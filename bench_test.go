@@ -1,0 +1,449 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks — one benchmark per table/figure, plus
+// ablation benchmarks for the design choices DESIGN.md calls out, and
+// micro-benchmarks of the flow's engines. Key measured quantities are
+// attached via b.ReportMetric so `go test -bench . -benchmem` prints the
+// reproduced series next to the runtimes.
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"desync/internal/core"
+	"desync/internal/designs"
+	"desync/internal/dft"
+	"desync/internal/expt"
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/pnr"
+	"desync/internal/sim"
+	"desync/internal/sta"
+	"desync/internal/stdcells"
+	"desync/internal/stg"
+	"desync/internal/variability"
+)
+
+// BenchmarkTable21CMuller evaluates the C-Muller element truth table
+// (Table 2.1) via the library cell's generalized-C functions.
+func BenchmarkTable21CMuller(b *testing.B) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	c := lib.MustCell("C3X1")
+	env := map[string]logic.V{}
+	for i := 0; i < b.N; i++ {
+		for mask := 0; mask < 8; mask++ {
+			env["A"] = logic.FromBool(mask&1 == 1)
+			env["B"] = logic.FromBool(mask&2 == 2)
+			env["C"] = logic.FromBool(mask&4 == 4)
+			set := c.GC.Set.Eval(env) == logic.H
+			reset := c.GC.Reset.Eval(env) == logic.H
+			if set != (mask == 7) || reset != (mask == 0) {
+				b.Fatal("C element truth table broken")
+			}
+		}
+	}
+}
+
+// BenchmarkFig24Protocols classifies the protocol lattice (Fig 2.4):
+// reachable-state counts, liveness and flow equivalence over a latch ring.
+func BenchmarkFig24Protocols(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Fig24()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 7 {
+			b.Fatal("protocol lattice incomplete")
+		}
+	}
+}
+
+// BenchmarkTable51DLXArea implements both DLX branches down to layout and
+// reports the core-size overhead of Table 5.1.
+func BenchmarkTable51DLXArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, _, err := expt.Table51()
+		if err != nil {
+			b.Fatal(err)
+		}
+		core51, _ := expt.Find(tbl.PostLayout, "core size (um2)")
+		seq, _ := expt.Find(tbl.PostSynthesis, "sequential logic (um2)")
+		b.ReportMetric(core51.Overhead, "coreOverhead%")
+		b.ReportMetric(seq.Overhead, "seqOverhead%")
+	}
+}
+
+// BenchmarkTable52ARMArea implements both ARM branches (scan design,
+// Low-Leakage library, single region) and reports Table 5.2's overheads.
+func BenchmarkTable52ARMArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, _, err := expt.Table52()
+		if err != nil {
+			b.Fatal(err)
+		}
+		core52, _ := expt.Find(tbl.PostLayout, "core size (um2)")
+		seq, _ := expt.Find(tbl.PostSynthesis, "sequential logic (um2)")
+		b.ReportMetric(core52.Overhead, "coreOverhead%")
+		b.ReportMetric(seq.Overhead, "seqOverhead%")
+	}
+}
+
+// BenchmarkFig53Timing sweeps the 8-tap delay-element selection at both
+// corners (Fig 5.3) and reports the best working setup and its period.
+func BenchmarkFig53Timing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweep, _, err := expt.Fig53(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sweep.BestSelection != 2 {
+			b.Fatalf("best selection %d, want 2", sweep.BestSelection)
+		}
+		for _, p := range sweep.DDLX {
+			if p.Selection == sweep.BestSelection && p.Corner == netlist.Worst {
+				b.ReportMetric(p.Period, "bestSetupWorst_ns")
+			}
+		}
+	}
+}
+
+// BenchmarkFig54Variability samples an inter-die population and reports the
+// fraction of chips on which the desynchronized DLX beats the synchronous
+// worst-case clock (Fig 5.4).
+func BenchmarkFig54Variability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mc, _, err := expt.Fig54(16, 12, 3, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mc.FasterFraction*100, "fasterChips%")
+	}
+}
+
+// BenchmarkFig55Power reruns the selection sweep and reports the power at
+// the best working setup, worst corner (Fig 5.5).
+func BenchmarkFig55Power(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweep, _, err := expt.Fig53(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range sweep.DDLX {
+			if p.Selection == 2 && p.Corner == netlist.Worst {
+				b.ReportMetric(p.PowerMW, "ddlxPower_mW")
+			}
+		}
+		b.ReportMetric(sweep.DLXPower[netlist.Worst], "dlxPower_mW")
+	}
+}
+
+// ---- Ablations ----
+
+// BenchmarkAblationMargin varies the delay-element sizing margin and
+// reports the resulting effective period: the cost of conservatism.
+func BenchmarkAblationMargin(b *testing.B) {
+	for _, margin := range []float64{0.85, 1.15, 1.5} {
+		b.Run(marginName(margin), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f, err := expt.RunDLXFlow(expt.FlowConfig{Margin: margin})
+				if err != nil {
+					b.Fatal(err)
+				}
+				run, err := expt.MeasureDDLX(f, netlist.Worst, 1, -1, 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !run.Correct {
+					b.Fatalf("margin %.2f broke flow equivalence", margin)
+				}
+				b.ReportMetric(run.EffectivePeriod, "period_ns")
+			}
+		})
+	}
+}
+
+func marginName(m float64) string {
+	switch m {
+	case 0.85:
+		return "margin0.85"
+	case 1.15:
+		return "margin1.15"
+	default:
+		return "margin1.50"
+	}
+}
+
+// BenchmarkAblationSingleRegion desynchronizes the DLX as one region (the
+// ARM fallback) and compares its effective period against the four-region
+// version: what automatic grouping buys.
+func BenchmarkAblationSingleRegion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f4, err := expt.RunDLXFlow(expt.FlowConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r4, err := expt.MeasureDDLX(f4, netlist.Worst, 1, -1, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1, err := expt.RunDLXFlow(expt.FlowConfig{SingleRegion: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r1, err := expt.MeasureDDLX(f1, netlist.Worst, 1, -1, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r4.Correct || !r1.Correct {
+			b.Fatal("ablation run broke flow equivalence")
+		}
+		b.ReportMetric(r4.EffectivePeriod, "fourRegions_ns")
+		b.ReportMetric(r1.EffectivePeriod, "oneRegion_ns")
+	}
+}
+
+// BenchmarkAblationCompletionDetection compares the §2.4.4 alternative —
+// dual-rail completion networks, true average-case timing — against the
+// paper's matched delay elements on the DLX.
+func BenchmarkAblationCompletionDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fd, err := expt.RunDLXFlow(expt.FlowConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd, err := expt.MeasureDDLX(fd, netlist.Worst, 1, -1, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fc, err := expt.RunDLXFlow(expt.FlowConfig{CompletionDetection: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc, err := expt.MeasureDDLX(fc, netlist.Worst, 1, -1, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rd.Correct || !rc.Correct {
+			b.Fatal("ablation broke flow equivalence")
+		}
+		b.ReportMetric(rd.EffectivePeriod, "matchedDelay_ns")
+		b.ReportMetric(rc.EffectivePeriod, "completion_ns")
+		b.ReportMetric(float64(fc.Result.Insert.CompletionCells), "completionCells")
+	}
+}
+
+// BenchmarkAblationGrouping measures what the logic-cleaning and bus
+// heuristics contribute to automatic region creation on the DLX.
+func BenchmarkAblationGrouping(b *testing.B) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	for i := 0; i < b.N; i++ {
+		full, err := designs.BuildDLX(lib, designs.TestProgram())
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.CleanLogic(full.Top)
+		gFull := core.AutoGroup(full.Top)
+
+		noBus, err := designs.BuildDLX(lib, designs.TestProgram())
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.CleanLogic(noBus.Top)
+		gNoBus := core.AutoGroupOpt(noBus.Top, core.GroupOptions{DisableBusRule: true})
+
+		noClean, err := designs.BuildDLX(lib, designs.TestProgram())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gNoClean := core.AutoGroup(noClean.Top)
+
+		b.ReportMetric(float64(gFull.Groups), "groups")
+		b.ReportMetric(float64(gNoBus.Groups), "groupsNoBusRule")
+		b.ReportMetric(float64(gNoClean.Groups), "groupsNoCleaning")
+	}
+}
+
+// BenchmarkSSTAMatching runs the §6 future-work verification: statistical
+// coverage of the matched delay elements across the operating spectrum.
+func BenchmarkSSTAMatching(b *testing.B) {
+	f, err := expt.RunDLXFlow(expt.FlowConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.SSTAMatching(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 1.0
+		for _, r := range rows {
+			if r.CoverShared < worst {
+				worst = r.CoverShared
+			}
+		}
+		b.ReportMetric(worst*100, "onDieCoverage%")
+	}
+}
+
+// BenchmarkFIRDesynchronize runs the third case study's transformation (§6
+// "more study case circuits"): the FIR filter with open handshake
+// boundaries.
+func BenchmarkFIRDesynchronize(b *testing.B) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	for i := 0; i < b.N; i++ {
+		d, err := designs.BuildFIR(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Desynchronize(d, core.Options{Period: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Insert.EnvRequests) != 1 || len(res.Insert.EnvAcks) != 1 {
+			b.Fatal("environment boundary ports missing")
+		}
+		b.ReportMetric(float64(len(res.DDG.Nodes)), "regions")
+	}
+}
+
+// ---- Engine micro-benchmarks ----
+
+// BenchmarkDesynchronizeDLX measures the transformation itself (§3.2).
+func BenchmarkDesynchronizeDLX(b *testing.B) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	for i := 0; i < b.N; i++ {
+		d, err := designs.BuildDLX(lib2(i, lib), designs.TestProgram())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Desynchronize(d, core.Options{Period: 4.65}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func lib2(i int, base *netlist.Library) *netlist.Library {
+	_ = i
+	return base
+}
+
+// BenchmarkSimulateDLX measures gate-level simulation throughput.
+func BenchmarkSimulateDLX(b *testing.B) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	d, err := designs.BuildDLX(lib, designs.TestProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	period := 5.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(d.Top, sim.Config{Corner: netlist.Worst})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Drive("rstn", logic.L, 0)
+		s.Drive("rstn", logic.H, period*0.4)
+		s.Clock("clk", period, 0, period*30)
+		if err := s.RunUntilQuiescent(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(s.Events()), "events")
+	}
+}
+
+// BenchmarkSTADLX measures the timing engine on the DLX.
+func BenchmarkSTADLX(b *testing.B) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	d, err := designs.BuildDLX(lib, designs.TestProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := sta.Build(d.Top, sta.Options{Corner: netlist.Worst})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := g.Analyze()
+		b.ReportMetric(r.WorstEndpointArrival(), "criticalPath_ns")
+	}
+}
+
+// BenchmarkFaultSimulation measures the DFT random-pattern fault simulator.
+func BenchmarkFaultSimulation(b *testing.B) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	d, err := designs.BuildDLX(lib, designs.TestProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dft.InsertScan(d); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := dft.GenerateVectors(d, 64, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Coverage()*100, "coverage%")
+	}
+}
+
+// BenchmarkPlaceAndRoute measures the backend substrate.
+func BenchmarkPlaceAndRoute(b *testing.B) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, err := designs.BuildDLX(lib, designs.TestProgram())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		lay, err := pnr.PlaceAndRoute(d, pnr.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lay.Report.CoreArea, "coreArea_um2")
+	}
+}
+
+// BenchmarkMonteCarloChip measures one variability sample end to end.
+func BenchmarkMonteCarloChip(b *testing.B) {
+	f, err := expt.RunDLXFlow(expt.FlowConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		variability.ApplyIntraDie(f.Desync.Top, 0.03, rng)
+		chip := variability.Sample(rng, 1, 1.0/6)[0]
+		run, err := expt.MeasureDDLX(f, netlist.Best, chip.Scale(), -1, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !run.Correct {
+			b.Fatal("chip failed")
+		}
+	}
+	b.StopTimer()
+	variability.ResetIntraDie(f.Desync.Top)
+}
+
+// BenchmarkProtocolRingCheck measures the STG flow-equivalence checker.
+func BenchmarkProtocolRingCheck(b *testing.B) {
+	p, err := stg.ProtocolByName("semi-decoupled")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := p.CheckRing(2, 2_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Live || !rep.FlowEquiv {
+			b.Fatal("semi-decoupled misclassified")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command drdesync is the desynchronization tool of the paper (§3.2): it
+// reads a post-synthesis gate-level Verilog netlist, applies the
+// desynchronization methodology — logic cleaning, automatic region
+// creation, flip-flop substitution, dependency-graph construction, matched
+// delay-element sizing and controller-network insertion — and writes the
+// desynchronized netlist plus the backend timing constraints.
+//
+// Usage:
+//
+//	drdesync -in design.v [-top name] [-lib HS|LL] [-period 2.4] \
+//	         [-mux] [-margin 1.15] [-falsepath net1,net2] [-manual-groups] \
+//	         [-simplify-names] -out out.v [-sdc out.sdc] [-blif out.blif]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"desync/internal/blif"
+	"desync/internal/core"
+	"desync/internal/stdcells"
+	"desync/internal/verilog"
+)
+
+func main() {
+	var (
+		in           = flag.String("in", "", "input gate-level Verilog netlist (required)")
+		top          = flag.String("top", "", "top module (default: auto-detect)")
+		lib          = flag.String("lib", "HS", "technology library variant: HS or LL")
+		period       = flag.Float64("period", 0, "original clock period in ns for constraint generation")
+		mux          = flag.Bool("mux", false, "build 8-tap multiplexed delay elements (adds delsel[2:0] ports)")
+		margin       = flag.Float64("margin", 1.15, "delay-element sizing margin")
+		falsePaths   = flag.String("falsepath", "", "comma-separated nets to ignore during grouping")
+		manualGroups = flag.Bool("manual-groups", false, "keep hierarchy-derived regions instead of auto grouping")
+		simplify     = flag.Bool("simplify-names", false, "rewrite escaped names as simple identifiers first")
+		out          = flag.String("out", "", "output Verilog netlist (required)")
+		sdcOut       = flag.String("sdc", "", "output SDC constraints file")
+		blifOut      = flag.String("blif", "", "output BLIF netlist (SIS export)")
+		skipClean    = flag.Bool("no-clean", false, "skip buffer/inverter-pair removal")
+		cdetFlag     = flag.Bool("cdet", false, "use dual-rail completion detection instead of matched delay elements (§2.4.4)")
+		tbOut        = flag.String("tb", "", "output a behavioural testbench skeleton (§4.8)")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *top, *lib, *out, *sdcOut, *blifOut, *falsePaths,
+		*period, *margin, *mux, *manualGroups, *simplify, *skipClean, *cdetFlag, *tbOut); err != nil {
+		fmt.Fprintln(os.Stderr, "drdesync:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, top, libVariant, out, sdcOut, blifOut, falsePaths string,
+	period, margin float64, mux, manualGroups, simplify, skipClean, cdetFlag bool, tbOut string) error {
+
+	var variant stdcells.Variant
+	switch libVariant {
+	case "HS":
+		variant = stdcells.HighSpeed
+	case "LL":
+		variant = stdcells.LowLeakage
+	default:
+		return fmt.Errorf("unknown library variant %q", libVariant)
+	}
+	lib := stdcells.New(variant)
+
+	src, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	d, err := verilog.Read(string(src), lib, top)
+	if err != nil {
+		return err
+	}
+	if simplify {
+		n := core.SimplifyNames(d.Top)
+		fmt.Printf("simplified %d names\n", n)
+	}
+	var fps []string
+	if falsePaths != "" {
+		fps = strings.Split(falsePaths, ",")
+	}
+	res, err := core.Desynchronize(d, core.Options{
+		Period:              period,
+		Margin:              margin,
+		MuxTaps:             mux,
+		FalsePaths:          fps,
+		ManualGroups:        manualGroups,
+		SkipClean:           skipClean,
+		CompletionDetection: cdetFlag,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cleaned %d buffering cells\n", res.CleanedCells)
+	fmt.Printf("regions: %d (+%d cells in group 0)\n", res.Grouping.Groups, res.Grouping.Group0)
+	fmt.Printf("flip-flops substituted: %d (+%d helper gates)\n",
+		res.Substitution.FFs, res.Substitution.ExtraGates)
+	var nodes []int
+	for _, g := range res.DDG.Nodes {
+		nodes = append(nodes, g)
+	}
+	sort.Ints(nodes)
+	for _, g := range nodes {
+		fmt.Printf("  region %d: succs %v, comb %.3f ns, delay element %d levels\n",
+			g, res.DDG.Succs[g], res.RegionDelays[g].CombMax, res.DelayLevels[g])
+	}
+	fmt.Printf("controllers: %d, C-tree cells: %d, delay cells: %d\n",
+		res.Insert.Controllers, res.Insert.CTreeCells, res.Insert.DelayCells)
+
+	if err := os.WriteFile(out, []byte(verilog.Write(d)), 0o644); err != nil {
+		return err
+	}
+	if sdcOut != "" {
+		if err := os.WriteFile(sdcOut, []byte(res.Constraints.Write()), 0o644); err != nil {
+			return err
+		}
+	}
+	if tbOut != "" {
+		if err := os.WriteFile(tbOut, []byte(core.WriteTestbench(d, res, "", period)), 0o644); err != nil {
+			return err
+		}
+	}
+	if blifOut != "" {
+		text, err := blif.Write(d.Top)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(blifOut, []byte(text), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"desync/internal/designs"
+	"desync/internal/stdcells"
+	"desync/internal/verilog"
+)
+
+// End-to-end CLI flow on real files: generate the DLX, desynchronize it
+// through run(), and verify every artifact re-reads.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	lib := stdcells.New(stdcells.HighSpeed)
+	d, err := designs.BuildDLX(lib, designs.TestProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "dlx.v")
+	if err := os.WriteFile(in, []byte(verilog.Write(d)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "ddlx.v")
+	sdcOut := filepath.Join(dir, "ddlx.sdc")
+	blifOut := filepath.Join(dir, "ddlx.blif")
+	tbOut := filepath.Join(dir, "tb.v")
+	if err := run(in, "", "HS", out, sdcOut, blifOut, "",
+		4.65, 1.15, true, false, false, false, false, tbOut); err != nil {
+		t.Fatal(err)
+	}
+	// The desynchronized netlist re-imports cleanly.
+	src, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := verilog.Read(string(src), stdcells.New(stdcells.HighSpeed), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := d2.Top.Check(); len(errs) > 0 {
+		t.Fatalf("check: %v", errs[0])
+	}
+	if d2.Top.Port("rst_desync") == nil || d2.Top.Port("delsel[0]") == nil {
+		t.Fatal("desynchronization ports missing")
+	}
+	// Constraints and BLIF landed.
+	sdcText, err := os.ReadFile(sdcOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"create_clock", "set_disable_timing", "set_size_only"} {
+		if !strings.Contains(string(sdcText), want) {
+			t.Fatalf("SDC missing %s", want)
+		}
+	}
+	blifText, err := os.ReadFile(blifOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blifText), ".model dlx") {
+		t.Fatal("BLIF broken")
+	}
+	tbText, err := os.ReadFile(tbOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tbText), "rst_desync") {
+		t.Fatal("testbench broken")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Missing input file.
+	if err := run(filepath.Join(dir, "nope.v"), "", "HS", filepath.Join(dir, "o.v"),
+		"", "", "", 1, 1.15, false, false, false, false, false, ""); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+	// Bad library variant.
+	in := filepath.Join(dir, "x.v")
+	os.WriteFile(in, []byte("module m (a); input a; endmodule"), 0o644)
+	if err := run(in, "", "XX", filepath.Join(dir, "o.v"),
+		"", "", "", 1, 1.15, false, false, false, false, false, ""); err == nil {
+		t.Fatal("expected library error")
+	}
+	// Unknown false-path net.
+	lib := stdcells.New(stdcells.HighSpeed)
+	d, err := designs.BuildDLX(lib, designs.TestProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlxIn := filepath.Join(dir, "dlx.v")
+	os.WriteFile(dlxIn, []byte(verilog.Write(d)), 0o644)
+	if err := run(dlxIn, "", "HS", filepath.Join(dir, "o.v"),
+		"", "", "no_such_net", 1, 1.15, false, false, false, false, false, ""); err == nil {
+		t.Fatal("expected false-path error")
+	}
+}

@@ -1,0 +1,127 @@
+// Command experiments regenerates the paper's evaluation: Tables 5.1 and
+// 5.2, Figures 5.3, 5.4 and 5.5, plus Table 2.1 and the Fig 2.4 protocol
+// classification.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -table 5.1 | -table 5.2
+//	experiments -fig 2.4 | -fig 5.3 | -fig 5.4 | -fig 5.5
+//	            [-cycles 25] [-chips 60] [-sel 3] [-seed 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"desync/internal/expt"
+	"desync/internal/netlist"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run everything")
+		table  = flag.String("table", "", "regenerate a table: 2.1, 5.1 or 5.2")
+		fig    = flag.String("fig", "", "regenerate a figure: 2.4, 5.3, 5.4 or 5.5")
+		cycles = flag.Int("cycles", 25, "simulated cycles per measurement")
+		chips  = flag.Int("chips", 60, "Monte Carlo population for Fig 5.4")
+		sel    = flag.Int("sel", 3, "delay selection for Fig 5.4 (-1 = fixed sized elements)")
+		seed   = flag.Int64("seed", 5, "random seed")
+	)
+	flag.Parse()
+	if !*all && *table == "" && *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *all || *table == "2.1" {
+		fmt.Println(expt.Table21())
+	}
+	if *all || *fig == "2.4" {
+		run("fig 2.4", func() error {
+			rows, err := expt.Fig24()
+			if err != nil {
+				return err
+			}
+			fmt.Println(expt.RenderFig24(rows))
+			return nil
+		})
+	}
+	if *all || *table == "5.1" {
+		run("table 5.1", func() error {
+			tbl, f, err := expt.Table51()
+			if err != nil {
+				return err
+			}
+			fmt.Println(tbl.Render())
+			fmt.Printf("  synchronous clock period (STA): best %.3f ns, worst %.3f ns\n",
+				f.BestPeriod, f.Period)
+			ab, err := expt.ControlOverhead(f, *cycles)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  as-sized DDLX effective period (worst): %.3f ns (%.1f%% over DLX)\n\n",
+				ab.DesyncPeriod, ab.OverheadPct)
+			return nil
+		})
+	}
+	if *all || *fig == "5.3" || *fig == "5.5" {
+		run("fig 5.3/5.5", func() error {
+			sweep, _, err := expt.Fig53(*cycles)
+			if err != nil {
+				return err
+			}
+			if *all || *fig == "5.3" {
+				fmt.Println(sweep.Render())
+			}
+			if *all || *fig == "5.5" {
+				fmt.Println(sweep.RenderPower())
+				fmt.Printf("  DLX power: best %.3f mW, worst %.3f mW\n\n",
+					sweep.DLXPower[netlist.Best], sweep.DLXPower[netlist.Worst])
+			}
+			return nil
+		})
+	}
+	if *all || *fig == "5.4" {
+		run("fig 5.4", func() error {
+			mc, _, err := expt.Fig54(*chips, *cycles, *sel, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(mc.Render())
+			return nil
+		})
+	}
+	if *all || *fig == "ssta" {
+		run("ssta", func() error {
+			f, err := expt.RunDLXFlow(expt.FlowConfig{})
+			if err != nil {
+				return err
+			}
+			rows, err := expt.SSTAMatching(f)
+			if err != nil {
+				return err
+			}
+			fmt.Println(expt.RenderSSTA(rows))
+			return nil
+		})
+	}
+	if *all || *table == "5.2" {
+		run("table 5.2", func() error {
+			tbl, f, err := expt.Table52()
+			if err != nil {
+				return err
+			}
+			fmt.Println(tbl.Render())
+			fmt.Printf("  scan chain: %d flip-flops, random-pattern stuck-at coverage %.1f%%\n\n",
+				f.ScanChain, f.Coverage*100)
+			return nil
+		})
+	}
+}

@@ -1,0 +1,43 @@
+// Command libprep performs the library-preparation step of §3.1: it emits
+// the built-in technology libraries as per-corner Liberty files and prints
+// the gatefile — the per-cell name/type/pin summary the desynchronization
+// tool works from.
+//
+// Usage: libprep [-variant HS|LL] [-dir .] [-gatefile]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"desync/internal/liberty"
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+)
+
+func main() {
+	var (
+		variant  = flag.String("variant", "HS", "library variant: HS or LL")
+		dir      = flag.String("dir", ".", "output directory for .lib files")
+		gatefile = flag.Bool("gatefile", false, "print the gatefile to stdout")
+	)
+	flag.Parse()
+	v := stdcells.HighSpeed
+	if *variant == "LL" {
+		v = stdcells.LowLeakage
+	}
+	lib := stdcells.New(v)
+	for _, corner := range []netlist.Corner{netlist.Best, netlist.Worst} {
+		path := filepath.Join(*dir, fmt.Sprintf("%s_%s.lib", lib.Name, corner))
+		if err := os.WriteFile(path, []byte(liberty.WriteCorner(lib, corner)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "libprep:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+	if *gatefile {
+		fmt.Print(stdcells.WriteGatefile(lib))
+	}
+}

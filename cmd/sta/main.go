@@ -1,0 +1,114 @@
+// Command sta runs static timing analysis on a gate-level Verilog netlist:
+// critical path report, per-region combinational delays, and setup checks
+// against a clock period — the PrimeTime role of the flow (§4.5, §3.2.5).
+//
+// Usage:
+//
+//	sta -in design.v [-top name] [-lib HS|LL] [-corner worst|best]
+//	    [-period 2.4] [-autobreak] [-regions]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"desync/internal/netlist"
+	"desync/internal/sta"
+	"desync/internal/stdcells"
+	"desync/internal/verilog"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input gate-level Verilog netlist (required)")
+		top       = flag.String("top", "", "top module (default: auto-detect)")
+		libV      = flag.String("lib", "HS", "library variant: HS or LL")
+		cornerS   = flag.String("corner", "worst", "corner: worst or best")
+		period    = flag.Float64("period", 0, "check setup against this clock period (ns)")
+		autobreak = flag.Bool("autobreak", false, "auto-break combinational loops (back-edge cuts)")
+		regions   = flag.Bool("regions", false, "report per-region combinational delays (requires Group fields via two-level hierarchy)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *top, *libV, *cornerS, *period, *autobreak, *regions); err != nil {
+		fmt.Fprintln(os.Stderr, "sta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, top, libV, cornerS string, period float64, autobreak, regions bool) error {
+	variant := stdcells.HighSpeed
+	if libV == "LL" {
+		variant = stdcells.LowLeakage
+	}
+	lib := stdcells.New(variant)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	d, err := verilog.Read(string(src), lib, top)
+	if err != nil {
+		return err
+	}
+	if err := d.Flatten(true); err != nil {
+		return err
+	}
+	corner := netlist.Worst
+	if cornerS == "best" {
+		corner = netlist.Best
+	}
+	opts := sta.Options{Corner: corner, AutoBreakLoops: autobreak}
+	g, err := sta.Build(d.Top, opts)
+	if err != nil {
+		return err
+	}
+	if n := len(g.AutoBroken); n > 0 {
+		fmt.Printf("auto-broke %d timing loops (arbitrary cuts — constrain them instead, §4.6.1)\n", n)
+	}
+	r := g.Analyze()
+	fmt.Printf("critical combinational delay (%s corner): %.4f ns\n", corner, r.WorstEndpointArrival())
+	fmt.Println("critical path:")
+	fmt.Print(sta.FormatPath(r.CriticalPath()))
+
+	if regions {
+		rds, err := sta.RegionDelays(d.Top, corner, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("per-region combinational delays:")
+		var ids []int
+		for id := range rds {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			rd := rds[id]
+			fmt.Printf("  region %d: comb %.4f ns, budget %.4f ns (worst endpoint %s)\n",
+				id, rd.CombMax, rd.Budget(), rd.WorstPath)
+		}
+	}
+	if period > 0 {
+		viol, err := sta.CheckSetup(d.Top, corner, period, opts)
+		if err != nil {
+			return err
+		}
+		if len(viol) == 0 {
+			fmt.Printf("setup: clean at %.4f ns\n", period)
+		} else {
+			fmt.Printf("setup: %d violations at %.4f ns; worst:\n", len(viol), period)
+			for i, v := range viol {
+				if i == 5 {
+					fmt.Println("  ...")
+					break
+				}
+				fmt.Printf("  %s arrives %.4f, required %.4f\n", v.Endpoint, v.Arrival, v.Required)
+			}
+		}
+	}
+	return nil
+}

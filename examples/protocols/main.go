@@ -1,0 +1,58 @@
+// protocols explores the desynchronization handshake protocols of Fig 2.4:
+// each is a Signal Transition Graph over adjacent latch enables; the
+// checker exhaustively executes every interleaving over a latch ring,
+// verifying liveness and flow equivalence and counting reachable states.
+//
+// Run with: go run ./examples/protocols
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"desync/internal/stg"
+)
+
+func main() {
+	fmt.Println("Latch-enable handshake protocols, by decreasing concurrency")
+	fmt.Println("(A = upstream latch enable, B = downstream; k = token index)")
+	fmt.Println()
+	for i := range stg.Protocols {
+		p := &stg.Protocols[i]
+		fmt.Printf("%s\n", p.Name)
+		for _, c := range p.Cross {
+			fmt.Printf("    arc %v\n", c)
+		}
+		pg, err := p.PairGraph()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := pg.Reachable(100000)
+		states := fmt.Sprintf("%d", r.States)
+		if r.Unbounded {
+			states = "unbounded"
+		}
+		rep, err := p.CheckRing(2, 2_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    pair states: %s   ring: live=%v flow-equivalent=%v\n",
+			states, rep.Live, rep.FlowEquiv)
+		if rep.Violation != "" {
+			fmt.Printf("    violation: %s\n", rep.Violation)
+		}
+		// Scale the ring and confirm the classification is stable.
+		if rep.Live && rep.FlowEquiv {
+			rep3, err := p.CheckRing(3, 8_000_000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("    3-register ring: live=%v flow-equivalent=%v (%d states explored)\n",
+				rep3.Live, rep3.FlowEquiv, rep3.States)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The two broken variants demonstrate the failure modes the paper")
+	fmt.Println("warns about: dropping the data-validity arc loses flow equivalence")
+	fmt.Println("(data overwriting); over-constraining deadlocks the ring.")
+}

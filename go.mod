@@ -1,0 +1,3 @@
+module desync
+
+go 1.22

@@ -1,0 +1,164 @@
+// Package blif exports flat gate-level modules in Berkeley Logic
+// Interchange Format, the paper's secondary export format for the SIS tool
+// (§3.2.7). Combinational cells become .names truth tables; flip-flops and
+// latches become .latch statements.
+package blif
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+)
+
+// Write renders the (flat) module as BLIF. Sequential cells map to .latch
+// with the appropriate type: "re" for rising-edge flip-flops, "ah" for
+// active-high latches. C elements and generalized C cells are modelled as
+// .latch with a feedback .names implementing set/hold/reset, the standard
+// SIS encoding for state-holding gates.
+func Write(m *netlist.Module) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".model %s\n", m.Name)
+
+	var ins, outs []string
+	for _, p := range m.Ports {
+		switch p.Dir {
+		case netlist.In:
+			ins = append(ins, p.Net.Name)
+		case netlist.Out:
+			outs = append(outs, p.Net.Name)
+		}
+	}
+	fmt.Fprintf(&sb, ".inputs %s\n", strings.Join(ins, " "))
+	fmt.Fprintf(&sb, ".outputs %s\n", strings.Join(outs, " "))
+
+	for _, in := range m.Insts {
+		if in.Sub != nil {
+			return "", fmt.Errorf("blif: module %s is not flat (instance %s)", m.Name, in.Name)
+		}
+		if err := writeInst(&sb, in); err != nil {
+			return "", err
+		}
+	}
+	sb.WriteString(".end\n")
+	return sb.String(), nil
+}
+
+func writeInst(sb *strings.Builder, in *netlist.Inst) error {
+	c := in.Cell
+	switch c.Kind {
+	case netlist.KindComb, netlist.KindTie:
+		for _, out := range c.Outputs() {
+			fn := c.Functions[out]
+			if fn == nil {
+				return fmt.Errorf("blif: cell %s output %s has no function", c.Name, out)
+			}
+			if err := writeNames(sb, in, fn, out); err != nil {
+				return err
+			}
+		}
+	case netlist.KindFF:
+		d := in.Conns[nextStateNet(in)]
+		q := in.Conns[c.Seq.Q]
+		ck := in.Conns[c.Seq.ClockPin]
+		if d == nil || q == nil || ck == nil {
+			return fmt.Errorf("blif: flip-flop %s incompletely connected", in.Name)
+		}
+		fmt.Fprintf(sb, ".latch %s %s re %s 3\n", d.Name, q.Name, ck.Name)
+	case netlist.KindLatch:
+		d := in.Conns[nextStateNet(in)]
+		q := in.Conns[c.Seq.Q]
+		g := in.Conns[c.Seq.ClockPin]
+		if d == nil || q == nil || g == nil {
+			return fmt.Errorf("blif: latch %s incompletely connected", in.Name)
+		}
+		fmt.Fprintf(sb, ".latch %s %s ah %s 3\n", d.Name, q.Name, g.Name)
+	case netlist.KindCElem, netlist.KindGC:
+		// q_next = set | (q & !reset); expressed as a .names with the
+		// output folded back through a zero-delay latch, SIS-style.
+		qNet := in.Conns[c.GC.Q]
+		if qNet == nil {
+			return fmt.Errorf("blif: C element %s output unconnected", in.Name)
+		}
+		state := qNet.Name + "__state"
+		next := logic.NewOr(c.GC.Set, logic.NewAnd(logic.Var("__q"), logic.Not(c.GC.Reset)))
+		if err := writeNamesExpr(sb, in, next, state, map[string]string{"__q": qNet.Name}); err != nil {
+			return err
+		}
+		fmt.Fprintf(sb, ".latch %s %s 3\n", state, qNet.Name)
+	default:
+		return fmt.Errorf("blif: unsupported cell kind %v for %s", c.Kind, in.Name)
+	}
+	return nil
+}
+
+// nextStateNet returns the data pin to use as the next-state input. BLIF has
+// no side pins, so cells with composite next-state functions (scan, sync
+// reset) keep only their primary D pin here; richer behaviour belongs to the
+// Verilog view.
+func nextStateNet(in *netlist.Inst) string {
+	if in.Cell.Pin("D") != nil {
+		return "D"
+	}
+	// Fall back to the first data input.
+	for _, p := range in.Cell.Pins {
+		if p.Dir == netlist.In && p.Class == netlist.ClassData {
+			return p.Name
+		}
+	}
+	return ""
+}
+
+func writeNames(sb *strings.Builder, in *netlist.Inst, fn *logic.Expr, outPin string) error {
+	return writeNamesExpr(sb, in, fn, in.Conns[outPin].Name, nil)
+}
+
+// writeNamesExpr emits a .names truth table for fn, mapping variables
+// through the instance's connections (with extra overriding the pin lookup).
+func writeNamesExpr(sb *strings.Builder, in *netlist.Inst, fn *logic.Expr, outNet string, extra map[string]string) error {
+	vars := fn.Vars()
+	sort.Strings(vars)
+	nets := make([]string, len(vars))
+	for i, v := range vars {
+		if extra != nil && extra[v] != "" {
+			nets[i] = extra[v]
+			continue
+		}
+		n := in.Conns[v]
+		if n == nil {
+			return fmt.Errorf("blif: %s: pin %s unconnected", in.Name, v)
+		}
+		nets[i] = n.Name
+	}
+	fmt.Fprintf(sb, ".names %s %s\n", strings.Join(nets, " "), outNet)
+	if len(vars) == 0 {
+		// Constant function.
+		if fn.Eval(nil) == logic.H {
+			sb.WriteString("1\n")
+		}
+		return nil
+	}
+	if len(vars) > 16 {
+		return fmt.Errorf("blif: function with %d inputs too wide", len(vars))
+	}
+	for mask := 0; mask < 1<<len(vars); mask++ {
+		env := map[string]logic.V{}
+		for i, v := range vars {
+			env[v] = logic.FromBool(mask>>i&1 == 1)
+		}
+		if fn.Eval(env) == logic.H {
+			row := make([]byte, len(vars))
+			for i := range vars {
+				if mask>>i&1 == 1 {
+					row[i] = '1'
+				} else {
+					row[i] = '0'
+				}
+			}
+			fmt.Fprintf(sb, "%s 1\n", row)
+		}
+	}
+	return nil
+}

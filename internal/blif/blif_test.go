@@ -1,0 +1,88 @@
+package blif
+
+import (
+	"strings"
+	"testing"
+
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+	"desync/internal/verilog"
+)
+
+func TestWriteBasics(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	src := `
+module top (a, b, ck, q);
+  input a, b, ck;
+  output q;
+  wire n1;
+  NAND2X1 u1 (.A(a), .B(b), .Z(n1));
+  DFFQX1 r (.D(n1), .CK(ck), .Q(q), .QN());
+endmodule
+`
+	d, err := verilog.Read(src, lib, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Write(d.Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		".model top",
+		".inputs a b ck",
+		".outputs q",
+		".names a b n1",
+		".latch n1 q re ck 3",
+		".end",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// NAND truth table: rows where output is 1.
+	if !strings.Contains(out, "00 1") || !strings.Contains(out, "10 1") || !strings.Contains(out, "01 1") {
+		t.Errorf("NAND on-set wrong:\n%s", out)
+	}
+	if strings.Contains(out, "11 1") {
+		t.Errorf("NAND on-set contains 11:\n%s", out)
+	}
+}
+
+func TestWriteLatchAndCElement(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	m := netlist.NewModule("m")
+	m.AddPort("d", netlist.In)
+	m.AddPort("g", netlist.In)
+	m.AddPort("q", netlist.Out)
+	la := m.AddInst("la", lib.MustCell("LATQX1"))
+	m.MustConnect(la, "D", m.Net("d"))
+	m.MustConnect(la, "G", m.Net("g"))
+	m.MustConnect(la, "Q", m.Net("q"))
+	c := m.AddInst("c1", lib.MustCell("C2X1"))
+	cq := m.AddNet("cq")
+	m.MustConnect(c, "A", m.Net("d"))
+	m.MustConnect(c, "B", m.Net("g"))
+	m.MustConnect(c, "Q", cq)
+
+	out, err := Write(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ".latch d q ah g 3") {
+		t.Errorf("latch line wrong:\n%s", out)
+	}
+	if !strings.Contains(out, ".latch cq__state cq 3") {
+		t.Errorf("C element feedback latch missing:\n%s", out)
+	}
+}
+
+func TestWriteRejectsHierarchy(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	sub := netlist.NewModule("sub")
+	d := netlist.NewDesign("top", lib)
+	d.Top.AddSubInst("s", sub)
+	if _, err := Write(d.Top); err == nil {
+		t.Fatal("expected error for hierarchical module")
+	}
+}

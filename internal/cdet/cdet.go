@@ -1,0 +1,518 @@
+// Package cdet implements the completion-detection alternative to matched
+// delay elements (§2.4.4): instead of delaying the request by the cloud's
+// critical-path delay, the combinational logic is shadowed by a dual-rail
+// completion network that signals when every region output has actually
+// resolved for the current data. The circuit then runs at its true,
+// data-dependent (average-case) speed — at the cost of roughly doubling
+// the combinational area, which is exactly the trade-off the paper cites
+// for not choosing this path in its flow.
+//
+// Construction: each cloud input x gets a rail pair (t,f) = (go·x, go·x̄);
+// each gate gets a DIMS-style dual-rail image built from its truth table
+// (inverters and buffers are free rail swaps); rails are monotone during
+// evaluation (go=1) and collapse to the 00 spacer when go falls, giving the
+// 4-phase return-to-zero for free. DONE is the conjunction of per-output
+// validities (t∨f). Every rail gate is at least as slow as the single-rail
+// gate it shadows, so DONE rising bounds the real datapath's settling along
+// the same sensitized paths; a configurable margin chain adds slack for
+// intra-die mismatch.
+package cdet
+
+import (
+	"fmt"
+	"sort"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+)
+
+// Result reports what the completion network construction created.
+type Result struct {
+	RailCells   int    // dual-rail image cells
+	DetectCells int    // validity OR / completion AND tree cells
+	Inputs      int    // boundary inputs
+	Outputs     int    // detected outputs
+	DoneInst    string // instance driving the done net (for constraints)
+}
+
+// railPair is the dual-rail image of one single-rail net.
+type railPair struct {
+	t, f *netlist.Net
+}
+
+// builder tracks construction state.
+type builder struct {
+	m      *netlist.Module
+	lib    *netlist.Library
+	prefix string
+	n      int
+	res    Result
+}
+
+func (b *builder) fresh(tag string) *netlist.Net {
+	b.n++
+	return b.m.AddNet(fmt.Sprintf("%s/%s%d", b.prefix, tag, b.n))
+}
+
+func (b *builder) gate(cell string, tag string, ins []*netlist.Net, out *netlist.Net) {
+	b.n++
+	in := b.m.AddInst(fmt.Sprintf("%s/%s%d", b.prefix, tag, b.n), b.lib.MustCell(cell))
+	in.Origin = "cdet"
+	in.SizeOnly = true
+	pins := in.Cell.Inputs()
+	if len(pins) != len(ins) {
+		panic(fmt.Sprintf("cdet: %s takes %d inputs, got %d", cell, len(pins), len(ins)))
+	}
+	for i, p := range pins {
+		b.m.MustConnect(in, p, ins[i])
+	}
+	b.m.MustConnect(in, in.Cell.Outputs()[0], out)
+}
+
+// and2 returns a&b as a fresh net.
+func (b *builder) and2(a, c *netlist.Net) *netlist.Net {
+	z := b.fresh("a")
+	b.gate("AND2X1", "and", []*netlist.Net{a, c}, z)
+	b.res.RailCells++
+	return z
+}
+
+// andTree conjoins nets.
+func (b *builder) andTree(ns []*netlist.Net, count *int) *netlist.Net {
+	for len(ns) > 1 {
+		var next []*netlist.Net
+		for i := 0; i < len(ns); i += 2 {
+			if i+1 == len(ns) {
+				next = append(next, ns[i])
+				continue
+			}
+			z := b.fresh("t")
+			b.gate("AND2X1", "ta", []*netlist.Net{ns[i], ns[i+1]}, z)
+			*count++
+			next = append(next, z)
+		}
+		ns = next
+	}
+	return ns[0]
+}
+
+// orTree disjoins nets.
+func (b *builder) orTree(ns []*netlist.Net, count *int) *netlist.Net {
+	for len(ns) > 1 {
+		var next []*netlist.Net
+		for i := 0; i < len(ns); i += 2 {
+			if i+1 == len(ns) {
+				next = append(next, ns[i])
+				continue
+			}
+			z := b.fresh("o")
+			b.gate("OR2X1", "or", []*netlist.Net{ns[i], ns[i+1]}, z)
+			*count++
+			next = append(next, z)
+		}
+		ns = next
+	}
+	return ns[0]
+}
+
+// AddCompletionNetwork shadows the given cloud gates with a dual-rail
+// completion network. go gates the rails (request in); done rises once all
+// detected outputs have resolved and falls when go falls. detect lists the
+// single-rail output nets whose resolution completes the region (typically
+// the nets feeding the region's latches). marginLevels appends an
+// AND-chain delay to done for extra safety.
+func AddCompletionNetwork(m *netlist.Module, lib *netlist.Library, prefix string,
+	cloud []*netlist.Inst, detect []*netlist.Net, goNet, done *netlist.Net, marginLevels int) (*Result, error) {
+
+	b := &builder{m: m, lib: lib, prefix: prefix}
+	inCloud := map[*netlist.Inst]bool{}
+	for _, g := range cloud {
+		if g.Cell == nil || g.Cell.Kind != netlist.KindComb {
+			return nil, fmt.Errorf("cdet: %s is not a combinational gate", g.Name)
+		}
+		inCloud[g] = true
+	}
+
+	// Topological order over cloud-internal edges.
+	order, err := levelize(cloud, inCloud)
+	if err != nil {
+		return nil, err
+	}
+
+	rails := map[*netlist.Net]railPair{}
+	// Boundary inputs: nets feeding cloud gates from outside the cloud.
+	boundary := map[*netlist.Net]bool{}
+	for _, g := range cloud {
+		for pin, n := range g.Conns {
+			if g.Cell.Pin(pin).Dir != netlist.In {
+				continue
+			}
+			if drv := n.Driver.Inst; drv == nil || !inCloud[drv] {
+				boundary[n] = true
+			}
+		}
+	}
+	var bnets []*netlist.Net
+	for n := range boundary {
+		bnets = append(bnets, n)
+	}
+	sort.Slice(bnets, func(i, j int) bool { return bnets[i].Name < bnets[j].Name })
+	for _, n := range bnets {
+		t := b.fresh("it")
+		f := b.fresh("if")
+		b.gate("AND2X1", "in", []*netlist.Net{goNet, n}, t)
+		b.gate("ANDN2X1", "inn", []*netlist.Net{goNet, n}, f)
+		b.res.RailCells += 2
+		rails[n] = railPair{t, f}
+	}
+	b.res.Inputs = len(bnets)
+
+	// Dual-rail image of every cloud gate, in topological order.
+	for _, g := range order {
+		if err := b.imageGate(g, rails); err != nil {
+			return nil, err
+		}
+	}
+
+	// Completion: AND over per-output validity.
+	var valids []*netlist.Net
+	for _, n := range detect {
+		rp, ok := rails[n]
+		if !ok {
+			return nil, fmt.Errorf("cdet: detected net %s has no rails (not in the cloud?)", n.Name)
+		}
+		v := b.fresh("v")
+		b.gate("OR2X1", "valid", []*netlist.Net{rp.t, rp.f}, v)
+		b.res.DetectCells++
+		valids = append(valids, v)
+	}
+	if len(valids) == 0 {
+		return nil, fmt.Errorf("cdet: nothing to detect")
+	}
+	b.res.Outputs = len(detect)
+	all := b.andTree(valids, &b.res.DetectCells)
+
+	// Margin chain: asymmetric (slow-rise) ANDs gated by go so the fall is
+	// fast when the request withdraws.
+	prev := all
+	for i := 0; i < marginLevels; i++ {
+		z := b.fresh("m")
+		b.gate("AND2X1", "margin", []*netlist.Net{prev, all}, z)
+		b.res.DetectCells++
+		prev = z
+	}
+	b.gate("BUFX2", "done", []*netlist.Net{prev}, done)
+	b.res.DoneInst = done.Driver.Inst.Name
+	b.res.DetectCells++
+	return &b.res, nil
+}
+
+// imageGate builds the dual-rail image of one gate.
+func (b *builder) imageGate(g *netlist.Inst, rails map[*netlist.Net]railPair) error {
+	fn := g.Cell.Functions[g.Cell.Outputs()[0]]
+	if fn == nil || len(g.Cell.Outputs()) != 1 {
+		return fmt.Errorf("cdet: gate %s (%s) unsupported", g.Name, g.Cell.Name)
+	}
+	outNet := g.Conns[g.Cell.Outputs()[0]]
+	vars := fn.Vars()
+
+	// Free cases: buffer and inverter are rail rewires.
+	if inv, ok := g.Cell.IsBufferLike(); ok {
+		in := g.Conns[g.Cell.Inputs()[0]]
+		rp, ok := rails[in]
+		if !ok {
+			return fmt.Errorf("cdet: missing rails for %s", in.Name)
+		}
+		if inv {
+			rails[outNet] = railPair{t: rp.f, f: rp.t}
+		} else {
+			rails[outNet] = rp
+		}
+		return nil
+	}
+	if len(vars) > 4 {
+		return fmt.Errorf("cdet: gate %s has %d inputs; DIMS image too wide", g.Name, len(vars))
+	}
+
+	// Collect input rails in variable order.
+	inRails := make([]railPair, len(vars))
+	for i, v := range vars {
+		n := g.Conns[v]
+		if n == nil {
+			return fmt.Errorf("cdet: %s pin %s unconnected", g.Name, v)
+		}
+		rp, ok := rails[n]
+		if !ok {
+			return fmt.Errorf("cdet: missing rails for %s into %s", n.Name, g.Name)
+		}
+		inRails[i] = rp
+	}
+
+	// Weak-indicating rails: one product per PRIME implicant, so the rail
+	// fires as soon as any controlling subset of inputs has arrived (an AND
+	// gate's false rail rises off a single 0 input). This is what makes the
+	// completion data-dependent — DIMS-style minterm sums would wait for
+	// every input and degenerate to critical-path timing.
+	t := b.railFromPrimes(fn, vars, inRails, true)
+	f := b.railFromPrimes(fn, vars, inRails, false)
+	rails[outNet] = railPair{t, f}
+	return nil
+}
+
+// railFromPrimes builds OR over a minimal cover of prime implicants of fn
+// (or its complement) as rail products. A cover (rather than all primes)
+// keeps the area near the paper's ~2x figure: the dropped consensus terms
+// could only make completion earlier, never wrong, since rails are
+// monotone and every on-set minterm stays covered.
+func (b *builder) railFromPrimes(fn *logic.Expr, vars []string, inRails []railPair, phase bool) *netlist.Net {
+	primes := coverPrimes(fn, vars, phase)
+	if len(primes) == 0 {
+		return b.constRail(false)
+	}
+	var terms []*netlist.Net
+	for _, cube := range primes {
+		var lits []*netlist.Net
+		for i, lit := range cube {
+			switch lit {
+			case cube1:
+				lits = append(lits, inRails[i].t)
+			case cube0:
+				lits = append(lits, inRails[i].f)
+			}
+		}
+		if len(lits) == 0 {
+			// Constant function: should not occur for library gates.
+			return b.constRail(true)
+		}
+		terms = append(terms, b.andTree(lits, &b.res.RailCells))
+	}
+	return b.orTree(terms, &b.res.RailCells)
+}
+
+// Cube literal values.
+const (
+	cube0 = 0
+	cube1 = 1
+	cubeX = 2
+)
+
+// primeImplicants enumerates the prime implicants of fn (phase=true) or its
+// complement (phase=false) over up to 4 variables by exhaustive cube
+// checking (3^k cubes).
+func primeImplicants(fn *logic.Expr, vars []string, phase bool) [][]int {
+	k := len(vars)
+	want := logic.L
+	if phase {
+		want = logic.H
+	}
+	env := map[string]logic.V{}
+	isImplicant := func(cube []int) bool {
+		// Every minterm covered by the cube must evaluate to want.
+		free := 0
+		for _, l := range cube {
+			if l == cubeX {
+				free++
+			}
+		}
+		for m := 0; m < 1<<free; m++ {
+			bit := 0
+			for i, l := range cube {
+				v := l
+				if l == cubeX {
+					v = m >> bit & 1
+					bit++
+				}
+				env[vars[i]] = logic.FromBool(v == 1)
+			}
+			if fn.Eval(env) != want {
+				return false
+			}
+		}
+		return true
+	}
+	// Enumerate all cubes (base-3 counting).
+	total := 1
+	for i := 0; i < k; i++ {
+		total *= 3
+	}
+	var implicants [][]int
+	for c := 0; c < total; c++ {
+		cube := make([]int, k)
+		x := c
+		for i := 0; i < k; i++ {
+			cube[i] = x % 3
+			x /= 3
+		}
+		if isImplicant(cube) {
+			implicants = append(implicants, cube)
+		}
+	}
+	// Prime: no implicant strictly contains it (same literals with one or
+	// more replaced by X).
+	contains := func(big, small []int) bool {
+		for i := range big {
+			if big[i] != cubeX && big[i] != small[i] {
+				return false
+			}
+		}
+		return true
+	}
+	var primes [][]int
+	for i, c := range implicants {
+		prime := true
+		for j, d := range implicants {
+			if i == j {
+				continue
+			}
+			if contains(d, c) && !equalCube(d, c) {
+				prime = false
+				break
+			}
+		}
+		if prime {
+			primes = append(primes, c)
+		}
+	}
+	return primes
+}
+
+func equalCube(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// coverPrimes selects a greedy minimal cover of the on-set (phase) from the
+// prime implicants: repeatedly pick the prime covering the most uncovered
+// minterms, tie-breaking on fewer literals.
+func coverPrimes(fn *logic.Expr, vars []string, phase bool) [][]int {
+	primes := primeImplicants(fn, vars, phase)
+	if len(primes) == 0 {
+		return nil
+	}
+	k := len(vars)
+	want := logic.L
+	if phase {
+		want = logic.H
+	}
+	// On-set minterms.
+	env := map[string]logic.V{}
+	var minterms []int
+	for m := 0; m < 1<<k; m++ {
+		for i, v := range vars {
+			env[v] = logic.FromBool(m>>i&1 == 1)
+		}
+		if fn.Eval(env) == want {
+			minterms = append(minterms, m)
+		}
+	}
+	covers := func(cube []int, m int) bool {
+		for i, l := range cube {
+			if l == cubeX {
+				continue
+			}
+			if (m>>i&1 == 1) != (l == cube1) {
+				return false
+			}
+		}
+		return true
+	}
+	literals := func(cube []int) int {
+		n := 0
+		for _, l := range cube {
+			if l != cubeX {
+				n++
+			}
+		}
+		return n
+	}
+	uncovered := map[int]bool{}
+	for _, m := range minterms {
+		uncovered[m] = true
+	}
+	var chosen [][]int
+	for len(uncovered) > 0 {
+		best, bestGain := -1, -1
+		for pi, p := range primes {
+			gain := 0
+			for m := range uncovered {
+				if covers(p, m) {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && best >= 0 && literals(p) < literals(primes[best])) {
+				best, bestGain = pi, gain
+			}
+		}
+		if bestGain <= 0 {
+			break // should not happen: primes cover the on-set
+		}
+		chosen = append(chosen, primes[best])
+		for m := range uncovered {
+			if covers(primes[best], m) {
+				delete(uncovered, m)
+			}
+		}
+	}
+	return chosen
+}
+
+// constRail returns a tie net for degenerate constant rails.
+func (b *builder) constRail(v bool) *netlist.Net {
+	name := b.prefix + "/rail0"
+	cell := "TIE0"
+	if v {
+		name, cell = b.prefix+"/rail1", "TIE1"
+	}
+	if n := b.m.Net(name); n != nil {
+		return n
+	}
+	n := b.m.AddNet(name)
+	b.gate(cell, "tie", nil, n)
+	return n
+}
+
+// levelize returns the cloud gates in topological order.
+func levelize(cloud []*netlist.Inst, inCloud map[*netlist.Inst]bool) ([]*netlist.Inst, error) {
+	indeg := map[*netlist.Inst]int{}
+	succs := map[*netlist.Inst][]*netlist.Inst{}
+	for _, g := range cloud {
+		indeg[g] += 0
+		for pin, n := range g.Conns {
+			if g.Cell.Pin(pin).Dir != netlist.In {
+				continue
+			}
+			if drv := n.Driver.Inst; drv != nil && inCloud[drv] {
+				succs[drv] = append(succs[drv], g)
+				indeg[g]++
+			}
+		}
+	}
+	queue := append([]*netlist.Inst(nil), cloud...)
+	sort.Slice(queue, func(i, j int) bool { return queue[i].Name < queue[j].Name })
+	var ready []*netlist.Inst
+	for _, g := range queue {
+		if indeg[g] == 0 {
+			ready = append(ready, g)
+		}
+	}
+	var order []*netlist.Inst
+	for len(ready) > 0 {
+		g := ready[0]
+		ready = ready[1:]
+		order = append(order, g)
+		for _, s := range succs[g] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != len(cloud) {
+		return nil, fmt.Errorf("cdet: combinational loop in cloud")
+	}
+	return order, nil
+}

@@ -1,0 +1,206 @@
+package cdet
+
+import (
+	"fmt"
+	"testing"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/sim"
+	"desync/internal/stdcells"
+)
+
+func hs() *netlist.Library { return stdcells.New(stdcells.HighSpeed) }
+
+// buildRippleCloud makes an n-bit ripple-carry incrementer cloud with
+// declared inputs in[i] and outputs out[i], plus the completion network.
+func buildRippleCloud(t *testing.T, n, margin int) (*netlist.Module, *Result) {
+	t.Helper()
+	lib := hs()
+	m := netlist.NewModule("m")
+	var cloud []*netlist.Inst
+	ins := make([]*netlist.Net, n)
+	outs := make([]*netlist.Net, n)
+	for i := 0; i < n; i++ {
+		ins[i] = m.AddPort(fmt.Sprintf("in[%d]", i), netlist.In).Net
+		outs[i] = m.AddNet(fmt.Sprintf("out[%d]", i))
+	}
+	carry := ins[0]
+	inv := m.AddInst("g_inv", lib.MustCell("INVX1"))
+	m.MustConnect(inv, "A", ins[0])
+	m.MustConnect(inv, "Z", outs[0])
+	cloud = append(cloud, inv)
+	for i := 1; i < n; i++ {
+		x := m.AddInst(fmt.Sprintf("g_x%d", i), lib.MustCell("XOR2X1"))
+		m.MustConnect(x, "A", ins[i])
+		m.MustConnect(x, "B", carry)
+		m.MustConnect(x, "Z", outs[i])
+		cloud = append(cloud, x)
+		if i < n-1 {
+			c := m.AddNet(fmt.Sprintf("c[%d]", i))
+			a := m.AddInst(fmt.Sprintf("g_a%d", i), lib.MustCell("AND2X1"))
+			m.MustConnect(a, "A", ins[i])
+			m.MustConnect(a, "B", carry)
+			m.MustConnect(a, "Z", c)
+			cloud = append(cloud, a)
+			carry = c
+		}
+	}
+	goNet := m.AddPort("go", netlist.In).Net
+	done := m.AddPort("done", netlist.Out).Net
+	res, err := AddCompletionNetwork(m, lib, "cd", cloud, outs, goNet, done, margin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := m.Check(); len(errs) > 0 {
+		t.Fatalf("check: %v", errs[0])
+	}
+	return m, res
+}
+
+func TestCompletionRisesAfterResolution(t *testing.T) {
+	m, res := buildRippleCloud(t, 8, 0)
+	if res.RailCells == 0 || res.Outputs != 8 {
+		t.Fatalf("network empty: %+v", res)
+	}
+	s, err := sim.New(m, sim.Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply data, then raise go; done must rise, and only after the rails
+	// resolved.
+	for i := 0; i < 8; i++ {
+		s.Drive(fmt.Sprintf("in[%d]", i), logic.H, 0) // all ones: worst carry
+	}
+	s.Drive("go", logic.L, 0)
+	s.RunUntilQuiescent()
+	if s.Value("done") != logic.L {
+		t.Fatalf("done=%v before go", s.Value("done"))
+	}
+	var doneAt float64
+	s.OnChange("done", func(tm float64, v logic.V) {
+		if v == logic.H && doneAt == 0 {
+			doneAt = tm
+		}
+	})
+	t0 := s.Now() + 1
+	s.Drive("go", logic.H, t0)
+	s.RunUntilQuiescent()
+	if s.Value("done") != logic.H {
+		t.Fatal("done never rose")
+	}
+	worstLatency := doneAt - t0
+
+	// Return to zero: go falls, done collapses.
+	s.Drive("go", logic.L, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("done") != logic.L {
+		t.Fatal("done did not return to zero")
+	}
+
+	// Average case: with input 0 (no carry chain), done is faster.
+	for i := 0; i < 8; i++ {
+		s.Drive(fmt.Sprintf("in[%d]", i), logic.L, s.Now()+1)
+	}
+	s.RunUntilQuiescent()
+	doneAt = 0
+	t1 := s.Now() + 1
+	s.Drive("go", logic.H, t1)
+	s.RunUntilQuiescent()
+	if s.Value("done") != logic.H {
+		t.Fatal("done never rose for easy data")
+	}
+	easyLatency := doneAt - t1
+	if easyLatency >= worstLatency {
+		t.Fatalf("completion not data-dependent: easy %.3f vs worst %.3f", easyLatency, worstLatency)
+	}
+}
+
+// The bundling requirement: done must never rise before the real outputs
+// have settled. Exhaustively over all 6-bit inputs, record the last real
+// output transition and the done rise.
+func TestCompletionBoundsDatapath(t *testing.T) {
+	m, _ := buildRippleCloud(t, 6, 0)
+	s, err := sim.New(m, sim.Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastData, doneRise float64
+	for i := 0; i < 6; i++ {
+		i := i
+		s.OnChange(fmt.Sprintf("out[%d]", i), func(tm float64, v logic.V) {
+			if tm > lastData {
+				lastData = tm
+			}
+		})
+	}
+	s.OnChange("done", func(tm float64, v logic.V) {
+		if v == logic.H {
+			doneRise = tm
+		}
+	})
+	for val := 0; val < 64; val++ {
+		s.Drive("go", logic.L, s.Now()+1)
+		s.RunUntilQuiescent()
+		for i := 0; i < 6; i++ {
+			s.Drive(fmt.Sprintf("in[%d]", i), logic.FromBool(val>>i&1 == 1), s.Now()+1)
+		}
+		s.RunUntilQuiescent()
+		lastData, doneRise = 0, 0
+		s.Drive("go", logic.H, s.Now()+1)
+		s.RunUntilQuiescent()
+		if s.Value("done") != logic.H {
+			t.Fatalf("val %d: done never rose", val)
+		}
+		if doneRise < lastData {
+			t.Fatalf("val %d: done at %.4f before data settled at %.4f", val, doneRise, lastData)
+		}
+	}
+}
+
+func TestCompletionMarginAddsDelay(t *testing.T) {
+	latency := func(margin int) float64 {
+		m, _ := buildRippleCloud(t, 6, margin)
+		s, _ := sim.New(m, sim.Config{Corner: netlist.Worst})
+		for i := 0; i < 6; i++ {
+			s.Drive(fmt.Sprintf("in[%d]", i), logic.H, 0)
+		}
+		s.Drive("go", logic.L, 0)
+		s.RunUntilQuiescent()
+		var doneAt float64
+		s.OnChange("done", func(tm float64, v logic.V) {
+			if v == logic.H {
+				doneAt = tm
+			}
+		})
+		t0 := s.Now() + 1
+		s.Drive("go", logic.H, t0)
+		s.RunUntilQuiescent()
+		return doneAt - t0
+	}
+	if latency(4) <= latency(0) {
+		t.Fatal("margin levels did not add delay")
+	}
+}
+
+func TestCompletionRejectsBadInput(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	goNet := m.AddPort("go", netlist.In).Net
+	done := m.AddPort("done", netlist.Out).Net
+	// Sequential cell in the cloud is rejected.
+	ff := m.AddInst("f", lib.MustCell("DFFQX1"))
+	m.MustConnect(ff, "D", m.AddNet("d"))
+	m.MustConnect(ff, "CK", m.AddNet("ck"))
+	m.MustConnect(ff, "Q", m.AddNet("q"))
+	if _, err := AddCompletionNetwork(m, lib, "cd", []*netlist.Inst{ff}, nil, goNet, done, 0); err == nil {
+		t.Fatal("expected rejection of sequential cloud member")
+	}
+	// Empty detect list is rejected.
+	g := m.AddInst("g", lib.MustCell("INVX1"))
+	m.MustConnect(g, "A", m.Net("d"))
+	m.MustConnect(g, "Z", m.AddNet("z"))
+	if _, err := AddCompletionNetwork(m, lib, "cd2", []*netlist.Inst{g}, nil, goNet, done, 0); err == nil {
+		t.Fatal("expected rejection of empty detect list")
+	}
+}

@@ -1,0 +1,100 @@
+package cdet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/sim"
+)
+
+// Property: for random small clouds built from random gates, the completion
+// network never signals done before every detected output has settled, for
+// every input vector — the bundling requirement the whole scheme rests on.
+func TestQuickCompletionBoundsRandomClouds(t *testing.T) {
+	lib := hs()
+	gates := []string{"AND2X1", "OR2X1", "NAND2X1", "NOR2X1", "XOR2X1", "ANDN2X1", "AOI21X1", "MUX2X1"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := netlist.NewModule("m")
+		nIn := 3 + rng.Intn(3)
+		var pool []*netlist.Net
+		for i := 0; i < nIn; i++ {
+			pool = append(pool, m.AddPort(fmt.Sprintf("in[%d]", i), netlist.In).Net)
+		}
+		var cloud []*netlist.Inst
+		nGates := 3 + rng.Intn(6)
+		var outs []*netlist.Net
+		for gi := 0; gi < nGates; gi++ {
+			cell := lib.MustCell(gates[rng.Intn(len(gates))])
+			g := m.AddInst(fmt.Sprintf("g%d", gi), cell)
+			for _, pin := range cell.Inputs() {
+				m.MustConnect(g, pin, pool[rng.Intn(len(pool))])
+			}
+			out := m.AddNet(fmt.Sprintf("w%d", gi))
+			m.MustConnect(g, cell.Outputs()[0], out)
+			pool = append(pool, out)
+			cloud = append(cloud, g)
+			outs = append(outs, out)
+		}
+		goNet := m.AddPort("go", netlist.In).Net
+		done := m.AddPort("done", netlist.Out).Net
+		if _, err := AddCompletionNetwork(m, lib, "cd", cloud, outs, goNet, done, 0); err != nil {
+			t.Fatal(err)
+		}
+		if errs := m.Check(); len(errs) > 0 {
+			t.Fatalf("check: %v", errs[0])
+		}
+
+		s, err := sim.New(m, sim.Config{Corner: netlist.Worst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lastData, doneRise float64
+		for _, n := range outs {
+			name := n.Name
+			s.OnChange(name, func(tm float64, v logic.V) {
+				if tm > lastData {
+					lastData = tm
+				}
+			})
+		}
+		s.OnChange("done", func(tm float64, v logic.V) {
+			if v == logic.H {
+				doneRise = tm
+			}
+		})
+		for vec := 0; vec < 1<<nIn; vec++ {
+			s.Drive("go", logic.L, s.Now()+1)
+			if err := s.RunUntilQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < nIn; i++ {
+				s.Drive(fmt.Sprintf("in[%d]", i), logic.FromBool(vec>>i&1 == 1), s.Now()+1)
+			}
+			if err := s.RunUntilQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			lastData, doneRise = 0, 0
+			s.Drive("go", logic.H, s.Now()+1)
+			if err := s.RunUntilQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			if s.Value("done") != logic.H {
+				t.Logf("seed %d vec %d: done never rose", seed, vec)
+				return false
+			}
+			if doneRise < lastData {
+				t.Logf("seed %d vec %d: done %.4f before data %.4f", seed, vec, doneRise, lastData)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

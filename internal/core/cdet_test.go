@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"desync/internal/designs"
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/sim"
+)
+
+// §2.4.4: the completion-detection alternative must preserve flow
+// equivalence while running at data-dependent speed, at roughly 2x the
+// combinational area.
+func TestCompletionDetectionFlowEquivalence(t *testing.T) {
+	lib := hs()
+	prog := designs.TestProgram()
+
+	dsync, err := designs.BuildDLX(lib, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddes, err := designs.BuildDLX(lib, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combBefore := func() float64 {
+		CleanLogic(dsync.Top)
+		var a float64
+		for _, in := range dsync.Top.Insts {
+			if in.Cell != nil && in.Cell.Kind == netlist.KindComb {
+				a += in.Cell.Area
+			}
+		}
+		return a
+	}()
+
+	res, err := Desynchronize(ddes, Options{Period: 5, CompletionDetection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insert.CompletionCells == 0 {
+		t.Fatal("no completion cells created")
+	}
+	// Area: the completion networks roughly double-to-quadruple the
+	// combinational logic (the paper cites ~2x; our generic prime-implicant
+	// images are less optimized than hand-mapped dual-rail cells).
+	var combAfter float64
+	for _, in := range ddes.Top.Insts {
+		if in.Cell != nil && in.Cell.Kind == netlist.KindComb {
+			combAfter += in.Cell.Area
+		}
+	}
+	ratio := combAfter / combBefore
+	if ratio < 1.7 || ratio > 6 {
+		t.Fatalf("completion-detection comb area ratio %.2f outside the expected regime", ratio)
+	}
+
+	// Behaviour: full flow equivalence against the synchronous run.
+	period := 5.0
+	ss, err := sim.New(dsync.Top, sim.Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.Drive("rstn", logic.L, 0)
+	ss.Drive("rstn", logic.H, period*0.4)
+	ss.Clock("clk", period, 0, period*30)
+	if err := ss.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sim.New(ddes.Top, sim.Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Drive("rstn", logic.L, 0)
+	ds.Drive("rst_desync", logic.H, 0)
+	ds.Drive("rstn", logic.H, 1)
+	ds.Drive("rst_desync", logic.L, 2)
+	if err := ds.Run(period * 60); err != nil {
+		t.Fatal(err)
+	}
+	compared := 0
+	for name, want := range ss.Captures {
+		got := ds.Captures[name+"/sl"]
+		if len(got) < 8 {
+			t.Fatalf("%s: only %d captures (deadlock?)", name, len(got))
+		}
+		n := len(want)
+		if len(got) < n {
+			n = len(got)
+		}
+		for k := 0; k < n; k++ {
+			if got[k] != want[k] {
+				t.Fatalf("%s capture %d: %v vs %v — completion detection broke flow equivalence",
+					name, k, got[k], want[k])
+			}
+		}
+		compared++
+	}
+	if compared < 500 {
+		t.Fatalf("compared only %d registers", compared)
+	}
+
+	// Average-case behaviour: cycle intervals vary with the data (unlike
+	// the fixed matched-delay version).
+	times := ds.CaptureTimes["pc_r[0]/sl"]
+	if len(times) < 12 {
+		t.Fatal("too few cycles")
+	}
+	minI, maxI := 1e9, 0.0
+	for k := 6; k < len(times); k++ {
+		d := times[k] - times[k-1]
+		if d < minI {
+			minI = d
+		}
+		if d > maxI {
+			maxI = d
+		}
+	}
+	if maxI-minI < 0.05 {
+		t.Fatalf("completion-detected cycle time not data-dependent: min %.3f max %.3f", minI, maxI)
+	}
+}

@@ -1,0 +1,114 @@
+// Package core implements drdesync, the desynchronization tool of the
+// paper: it converts a post-synthesis synchronous gate-level netlist into a
+// flow-equivalent asynchronous one. The pipeline mirrors §3.2: design
+// import and cleanup, logic cleaning, automatic region creation (the
+// grouping algorithm of Fig 3.4), flip-flop substitution (Fig 3.1),
+// data-dependency-graph construction, matched delay-element sizing via STA,
+// controller-network insertion and export with backend timing constraints
+// (Fig 4.2, §4.5–4.6).
+package core
+
+import (
+	"desync/internal/netlist"
+)
+
+// CleanLogic removes signal-buffering cells so that the grouping algorithm
+// sees only true data dependencies (§3.2.2, Fig 3.5): non-inverting buffers
+// are bypassed, and inverter pairs in series collapse. Nets bound to module
+// ports are preserved. Returns the number of removed cells. In an in-place
+// optimization flow the removed buffering is not reinstated; the backend
+// re-buffers as needed (§4.7).
+func CleanLogic(m *netlist.Module) int {
+	removed := 0
+	for {
+		changed := false
+		// Pass 1: non-inverting buffers.
+		for _, in := range append([]*netlist.Inst(nil), m.Insts...) {
+			if in.Cell == nil {
+				continue
+			}
+			inv, ok := in.Cell.IsBufferLike()
+			if !ok || inv {
+				continue
+			}
+			if bypassSingleInOut(m, in) {
+				removed++
+				changed = true
+			}
+		}
+		// Pass 2: inverter pairs — an inverter whose entire fanout is a
+		// single second inverter, with no port on the intermediate net.
+		for _, in := range append([]*netlist.Inst(nil), m.Insts...) {
+			if m.Inst(in.Name) == nil || in.Cell == nil {
+				continue // already removed this sweep
+			}
+			inv, ok := in.Cell.IsBufferLike()
+			if !ok || !inv {
+				continue
+			}
+			mid := in.Conns[outPin(in)]
+			if mid == nil || isPortNet(m, mid) || len(mid.Sinks) != 1 {
+				continue
+			}
+			second := mid.Sinks[0].Inst
+			if second == nil || second.Cell == nil {
+				continue
+			}
+			if inv2, ok2 := second.Cell.IsBufferLike(); !ok2 || !inv2 {
+				continue
+			}
+			src := in.Conns[inPin(in)]
+			out := second.Conns[outPin(second)]
+			if src == nil || out == nil {
+				continue
+			}
+			m.RemoveInst(in)
+			m.RemoveInst(second)
+			m.ReplaceSinks(out, src)
+			_ = m.RemoveNet(mid)
+			_ = m.RemoveNet(out)
+			removed += 2
+			changed = true
+		}
+		if !changed {
+			return removed
+		}
+	}
+}
+
+// bypassSingleInOut removes a buffer, moving its output sinks onto its
+// input net. Returns false when the move is unsafe (output net is a port
+// while the buffer is its only driver — the port keeps the net, so the
+// buffer stays only if input is also a port-driven... the sinks move and
+// the port rebinds; unsafe only when input and output are both ports).
+func bypassSingleInOut(m *netlist.Module, in *netlist.Inst) bool {
+	src := in.Conns[inPin(in)]
+	out := in.Conns[outPin(in)]
+	if src == nil || out == nil {
+		return false
+	}
+	if isPortNet(m, out) && isPortNet(m, src) {
+		// A buffer directly between two ports carries a real boundary; the
+		// backend may need it. Leave it alone.
+		return false
+	}
+	m.RemoveInst(in)
+	// ReplaceSinks moves instance sinks and rebinds any port on out to src.
+	m.ReplaceSinks(out, src)
+	_ = m.RemoveNet(out)
+	return true
+}
+
+func inPin(in *netlist.Inst) string  { return in.Cell.Inputs()[0] }
+func outPin(in *netlist.Inst) string { return in.Cell.Outputs()[0] }
+
+func isPortNet(m *netlist.Module, n *netlist.Net) bool { return portOf(m, n) != nil }
+
+func portOf(m *netlist.Module, n *netlist.Net) *netlist.Port {
+	for _, p := range m.Ports {
+		if p.Net == n {
+			return p
+		}
+	}
+	return nil
+}

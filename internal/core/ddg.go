@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"desync/internal/netlist"
+)
+
+// DDG is the data dependency graph of §2.4.1/§3.2.4: nodes are regions,
+// a directed edge u→v records a path from a register output of region u
+// into a register of region v.
+type DDG struct {
+	// Succs[u] lists the successor regions of u, sorted.
+	Succs map[int][]int
+	// Preds[v] lists the predecessor regions of v, sorted.
+	Preds map[int][]int
+	// Nodes lists all regions that contain sequential elements, sorted.
+	Nodes []int
+}
+
+// BuildDDG derives the dependency graph from a grouped, latch-substituted
+// (or still flip-flop-based) module. An edge u→v exists when a sequential
+// output of group u reaches a data input of group v — either through
+// combinational logic of group v or directly. The internal master→slave
+// connection of a substituted pair is not a dependency. Self edges (a
+// region feeding its own cloud) are kept: the controller network needs the
+// region's own request in its rendezvous.
+func BuildDDG(m *netlist.Module) *DDG {
+	edges := map[[2]int]bool{}
+	hasSeq := map[int]bool{}
+	for _, in := range m.Insts {
+		if in.Cell == nil {
+			continue
+		}
+		if in.Cell.IsSequential() && in.Cell.Kind != netlist.KindCElem && in.Cell.Kind != netlist.KindGC {
+			hasSeq[in.Group] = true
+		}
+		for pin, n := range in.Conns {
+			pd := in.Cell.Pin(pin)
+			if pd == nil || pd.Dir != netlist.In || n.FalsePath {
+				continue
+			}
+			if pd.Class != netlist.ClassData && pd.Class != netlist.ClassScanIn {
+				continue
+			}
+			drv := n.Driver.Inst
+			if drv == nil || drv.Cell == nil || drv.Cell.Seq == nil {
+				continue
+			}
+			if isInternalPair(drv, in) {
+				continue
+			}
+			// Direct register-to-register hops inside one region (signal
+			// history chains, §3.2.2) are ordered by the region's own
+			// master/slave handshake and hold margins; they are not a
+			// region-level data dependency. Combinationally-mediated
+			// self-edges (a region's cloud reading its own registers) stay.
+			if in.Cell.Seq != nil && drv.Group == in.Group {
+				continue
+			}
+			edges[[2]int{drv.Group, in.Group}] = true
+		}
+	}
+	d := &DDG{Succs: map[int][]int{}, Preds: map[int][]int{}}
+	for e := range edges {
+		if !hasSeq[e[0]] || !hasSeq[e[1]] {
+			continue
+		}
+		d.Succs[e[0]] = append(d.Succs[e[0]], e[1])
+		d.Preds[e[1]] = append(d.Preds[e[1]], e[0])
+	}
+	nodeSet := map[int]bool{}
+	for g := range hasSeq {
+		nodeSet[g] = true
+	}
+	for g := range nodeSet {
+		d.Nodes = append(d.Nodes, g)
+	}
+	sort.Ints(d.Nodes)
+	for _, l := range d.Succs {
+		sort.Ints(l)
+	}
+	for _, l := range d.Preds {
+		sort.Ints(l)
+	}
+	return d
+}
+
+// isInternalPair reports whether drv→sink is the master→slave hop of one
+// substituted flip-flop.
+func isInternalPair(drv, sink *netlist.Inst) bool {
+	if drv.Origin != "ffsub" || sink.Origin != "ffsub" {
+		return false
+	}
+	dp := strings.TrimSuffix(drv.Name, "/ml")
+	sp := strings.TrimSuffix(sink.Name, "/sl")
+	return dp == sp && dp != drv.Name && sp != sink.Name
+}

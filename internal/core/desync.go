@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"desync/internal/netlist"
+	"desync/internal/sdc"
+	"desync/internal/sta"
+)
+
+// Options configures a desynchronization run (the tool's command line,
+// §3.2).
+type Options struct {
+	// Period is the original clock period in ns, used for the derived
+	// latch-enable clock constraints (Fig 4.2) and the request-path max
+	// delays.
+	Period float64
+	// Margin scales the matched delay elements over the measured region
+	// budget; defaults to 1.15.
+	Margin float64
+	// MuxTaps builds 8-tap multiplexed delay elements selected by new
+	// delsel[2:0] ports (the calibration knob of Fig 5.3).
+	MuxTaps bool
+	// TapScales overrides DefaultTapScales when MuxTaps is set.
+	TapScales []float64
+	// FalsePaths names nets the grouping and dependency analyses ignore
+	// (§3.2.2 "False Paths").
+	FalsePaths []string
+	// ManualGroups keeps the Group fields already present on the instances
+	// (e.g. from a two-level hierarchy import) instead of running the
+	// automatic grouping.
+	ManualGroups bool
+	// SkipClean disables buffer/inverter-pair removal.
+	SkipClean bool
+	// CompletionDetection replaces delay elements with dual-rail completion
+	// networks (§2.4.4): true data-dependent, average-case timing at ~2x
+	// combinational area.
+	CompletionDetection bool
+	// CompletionMargin adds slow-rise levels to each DONE (default 2).
+	CompletionMargin int
+}
+
+// Result reports everything a drdesync run produced.
+type Result struct {
+	CleanedCells int
+	Grouping     GroupingResult
+	Substitution *SubstituteResult
+	DDG          *DDG
+	RegionDelays map[int]*sta.RegionDelay
+	DelayLevels  map[int]int
+	Insert       *InsertResult
+	Constraints  *sdc.Constraints
+}
+
+// Desynchronize converts the synchronous design in place: flatten, clean,
+// group, substitute flip-flops, build the dependency graph, size the
+// matched delay elements and insert the controller network. The datapath is
+// untouched (§2.1); the clock network is gone; the design gains a
+// rst_desync input (and delsel[2:0] when MuxTaps is set), plus environment
+// handshake ports for boundary regions.
+func Desynchronize(d *netlist.Design, opts Options) (*Result, error) {
+	if opts.Margin == 0 {
+		opts.Margin = 1.15
+	}
+	res := &Result{}
+
+	// Design import finalization: the paper's tool works on a flat view; a
+	// two-level netlist flattens with hierarchy-derived groups (§3.2.2).
+	if err := d.Flatten(opts.ManualGroups); err != nil {
+		return nil, fmt.Errorf("core: flatten: %w", err)
+	}
+	if missing := MarkFalsePaths(d.Top, opts.FalsePaths); len(missing) > 0 {
+		return nil, fmt.Errorf("core: unknown false-path nets %v", missing)
+	}
+	if !opts.SkipClean {
+		res.CleanedCells = CleanLogic(d.Top)
+	}
+	if opts.ManualGroups {
+		for _, in := range d.Top.Insts {
+			if in.Group < 0 {
+				in.Group = 0
+			}
+		}
+		res.Grouping.Groups = compactGroups(d.Top)
+	} else {
+		res.Grouping = AutoGroup(d.Top)
+	}
+
+	// Single-clock designs only (§4.1); multiple clock domains are the
+	// paper's future work, and silently merging them would fabricate
+	// cross-domain synchronization that the original never had.
+	clocks := map[*netlist.Net]bool{}
+	for _, in := range d.Top.Insts {
+		if in.Cell == nil || in.Cell.Kind != netlist.KindFF {
+			continue
+		}
+		if ck := in.Conns[in.Cell.Seq.ClockPin]; ck != nil {
+			clocks[ck] = true
+		}
+	}
+	if len(clocks) > 1 {
+		var names []string
+		for n := range clocks {
+			names = append(names, n.Name)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("core: %d clock domains (%v); the flow supports single-clock designs (§4.1)",
+			len(names), names)
+	}
+
+	sub, err := SubstituteFlipFlops(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: flip-flop substitution: %w", err)
+	}
+	res.Substitution = sub
+
+	res.DDG = BuildDDG(d.Top)
+
+	levels, rds, err := SizeDelayElements(d, res.DDG, opts.Margin)
+	if err != nil {
+		return nil, fmt.Errorf("core: delay sizing: %w", err)
+	}
+	res.DelayLevels = levels
+	res.RegionDelays = rds
+
+	cm := opts.CompletionMargin
+	if cm == 0 {
+		cm = 2
+	}
+	ins, err := InsertControlNetwork(d, res.DDG, sub.Enables, levels, InsertOptions{
+		Margin:              opts.Margin,
+		MuxTaps:             opts.MuxTaps,
+		TapScales:           opts.TapScales,
+		Period:              opts.Period,
+		CompletionDetection: opts.CompletionDetection,
+		CompletionMargin:    cm,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: control network: %w", err)
+	}
+	res.Insert = ins
+	res.Constraints = ins.Constraints
+
+	if errs := d.Top.Check(); len(errs) > 0 {
+		return nil, fmt.Errorf("core: desynchronized netlist fails checks: %v (and %d more)",
+			errs[0], len(errs)-1)
+	}
+	return res, nil
+}
+
+// DisabledArcMap converts the generated loop-breaking constraints into the
+// STA option format.
+func (r *Result) DisabledArcMap() map[sta.ArcKey]bool {
+	out := map[sta.ArcKey]bool{}
+	for _, da := range r.Constraints.Disabled {
+		out[sta.ArcKey{Inst: da.Inst, From: da.From, To: da.To}] = true
+	}
+	return out
+}
+
+// SimplifyNames rewrites escaped/hierarchical identifiers into plain ones
+// (§3.2.1 "escaped names are substituted by simple ones"), preserving
+// bus-bit [n] suffixes so the bus heuristic keeps working. Returns the
+// number of renamed nets and instances.
+func SimplifyNames(m *netlist.Module) int {
+	renamed := 0
+	simple := func(s string) string {
+		base, idx, isBus := netlist.BusBase(s)
+		body := s
+		if isBus {
+			body = base
+		}
+		out := make([]byte, 0, len(body))
+		changed := false
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			ok := c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+				(i > 0 && c >= '0' && c <= '9')
+			if ok {
+				out = append(out, c)
+			} else {
+				out = append(out, '_')
+				changed = true
+			}
+		}
+		if !changed {
+			return s
+		}
+		if isBus {
+			return fmt.Sprintf("%s[%d]", out, idx)
+		}
+		return string(out)
+	}
+	taken := map[string]bool{}
+	for _, n := range m.Nets {
+		taken[n.Name] = true
+	}
+	for _, n := range m.Nets {
+		ns := simple(n.Name)
+		if ns == n.Name || taken[ns] {
+			continue
+		}
+		delete(taken, n.Name)
+		taken[ns] = true
+		if err := m.RenameNet(n, ns); err != nil {
+			continue
+		}
+		renamed++
+	}
+	return renamed
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"desync/internal/designs"
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/sim"
+	"desync/internal/verilog"
+)
+
+// The tool-boundary round trip the CLI exercises: generated DLX → Verilog
+// text → re-import → desynchronize → Verilog text → re-import → simulate,
+// and the result is still flow-equivalent to the original synchronous
+// netlist. This covers the standard-format interoperability claim of §4.4
+// ("drdesync uses standard file formats and thus may be embedded in
+// virtually any modern industrial EDA flow").
+func TestVerilogRoundTripFlowEquivalence(t *testing.T) {
+	lib := hs()
+	prog := designs.TestProgram()
+
+	orig, err := designs.BuildDLX(lib, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := verilog.Write(orig)
+
+	// Synchronous reference from the re-imported netlist.
+	dsync, err := verilog.Read(text, lib, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := 5.0
+	ss, err := sim.New(dsync.Top, sim.Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.Drive("rstn", logic.L, 0)
+	ss.Drive("rstn", logic.H, period*0.4)
+	ss.Clock("clk", period, 0, period*25)
+	if err := ss.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Desynchronize a second import, export, re-import, simulate.
+	dwork, err := verilog.Read(text, lib, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Desynchronize(dwork, Options{Period: period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grouping.Groups != 4 {
+		t.Fatalf("groups after round trip = %d, want 4", res.Grouping.Groups)
+	}
+	dtext := verilog.Write(dwork)
+	dfinal, err := verilog.Read(dtext, lib, "")
+	if err != nil {
+		t.Fatalf("desynchronized netlist does not re-import: %v", err)
+	}
+	if errs := dfinal.Top.Check(); len(errs) > 0 {
+		t.Fatalf("re-imported netlist broken: %v", errs[0])
+	}
+	ds, err := sim.New(dfinal.Top, sim.Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Drive("rstn", logic.L, 0)
+	ds.Drive("rst_desync", logic.H, 0)
+	ds.Drive("rstn", logic.H, 1)
+	ds.Drive("rst_desync", logic.L, 2)
+	if err := ds.Run(period * 50); err != nil {
+		t.Fatal(err)
+	}
+
+	compared := 0
+	for name, want := range ss.Captures {
+		got := ds.Captures[name+"/sl"]
+		if len(got) < 8 {
+			t.Fatalf("%s: only %d captures after file round trip", name, len(got))
+		}
+		n := len(want)
+		if len(got) < n {
+			n = len(got)
+		}
+		for k := 0; k < n; k++ {
+			if got[k] != want[k] {
+				t.Fatalf("%s capture %d differs after file round trip", name, k)
+			}
+		}
+		compared++
+	}
+	if compared < 500 {
+		t.Fatalf("compared only %d registers", compared)
+	}
+}
+
+// §3.2.2's manual path: a two-level netlist whose top contains only
+// flattened submodules treated as the regions.
+func TestManualGroupsFromHierarchy(t *testing.T) {
+	lib := hs()
+	src := `
+module stage_a (ck, rn, in, out);
+  input ck, rn;
+  input [1:0] in;
+  output [1:0] out;
+  wire [1:0] d;
+  INVX1 g0 (.A(in[0]), .Z(d[0]));
+  INVX1 g1 (.A(in[1]), .Z(d[1]));
+  DFFRQX1 r0 (.D(d[0]), .CK(ck), .RN(rn), .Q(out[0]));
+  DFFRQX1 r1 (.D(d[1]), .CK(ck), .RN(rn), .Q(out[1]));
+endmodule
+
+module stage_b (ck, rn, in, out);
+  input ck, rn;
+  input [1:0] in;
+  output [1:0] out;
+  wire [1:0] d;
+  XOR2X1 g0 (.A(in[0]), .B(in[1]), .Z(d[0]));
+  XOR2X1 g1 (.A(in[1]), .B(in[0]), .Z(d[1]));
+  DFFRQX1 r0 (.D(d[0]), .CK(ck), .RN(rn), .Q(out[0]));
+  DFFRQX1 r1 (.D(d[1]), .CK(ck), .RN(rn), .Q(out[1]));
+endmodule
+
+module top (ck, rn, q);
+  input ck, rn;
+  output [1:0] q;
+  wire [1:0] x;
+  stage_a sa (.ck(ck), .rn(rn), .in(q), .out(x));
+  stage_b sb (.ck(ck), .rn(rn), .in(x), .out(q));
+endmodule
+`
+	d, err := verilog.Read(src, lib, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Desynchronize(d, Options{Period: 2, ManualGroups: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grouping.Groups != 2 {
+		t.Fatalf("hierarchy-derived regions = %d, want 2", res.Grouping.Groups)
+	}
+	// The two regions form a ring in the DDG.
+	for _, g := range res.DDG.Nodes {
+		if len(res.DDG.Succs[g]) != 1 {
+			t.Fatalf("region %d succs = %v", g, res.DDG.Succs[g])
+		}
+	}
+	// And it runs.
+	s, err := sim.New(d.Top, sim.Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drive("rn", logic.L, 0)
+	s.Drive("rst_desync", logic.H, 0)
+	s.Drive("rn", logic.H, 1)
+	s.Drive("rst_desync", logic.L, 2)
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	caps := s.Captures["sa/r0/sl"]
+	if len(caps) < 5 {
+		t.Fatalf("manual-grouped ring not live: %d captures (%v)", len(caps), caps)
+	}
+}
+
+// §6 lists multiple clock domains as future work; the tool must refuse them
+// loudly rather than silently merging unrelated timing domains.
+func TestMultipleClocksRejected(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("ck1", netlist.In)
+	m.AddPort("ck2", netlist.In)
+	m.AddPort("d", netlist.In)
+	for i, ck := range []string{"ck1", "ck2"} {
+		ff := m.AddInst(fmt.Sprintf("f%d", i), lib.MustCell("DFFQX1"))
+		m.MustConnect(ff, "D", m.Net("d"))
+		m.MustConnect(ff, "CK", m.Net(ck))
+		m.MustConnect(ff, "Q", m.AddNet(fmt.Sprintf("q%d", i)))
+		m.MustConnect(ff, "QN", m.AddNet(fmt.Sprintf("qn%d", i)))
+	}
+	d := &netlist.Design{Name: "m", Top: m, Lib: lib, Modules: map[string]*netlist.Module{"m": m}}
+	if _, err := Desynchronize(d, Options{Period: 2}); err == nil {
+		t.Fatal("expected multiple-clock rejection")
+	}
+}

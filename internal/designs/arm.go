@@ -1,0 +1,195 @@
+package designs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"desync/internal/netlist"
+)
+
+// BuildARMLike generates the second case study of §5.3: an ARM966E-class
+// 32-bit three-stage core — fetch, decode/register-read, execute/writeback
+// — with a 16x32 register file, a 32-bit ALU, a barrel shifter, a 16x16
+// multiplier and a small data memory. The paper's ARM was implemented on
+// the Low-Leakage library, as a scan design, desynchronized as a single
+// region (its internal architecture being too complex to group), and
+// evaluated on area only; this generator mirrors that usage: every
+// instance is pre-assigned to region 1 for the manual-grouping path.
+//
+// The instruction ROM is filled with a seeded pseudo-random program: the
+// design computes continuously (for power runs) but carries no testbench
+// semantics, as in the paper.
+func BuildARMLike(lib *netlist.Library, seed int64) (*netlist.Design, error) {
+	b := NewBuilder("arm", lib)
+	m := b.M
+	clk := m.AddPort("clk", netlist.In).Net
+	rstn := m.AddPort("rstn", netlist.In).Net
+	watch := b.OutputBus("awatch", 8)
+
+	const pcBits = 5
+	rng := rand.New(rand.NewSource(seed))
+	prog := make([]uint64, 1<<pcBits)
+	for i := range prog {
+		prog[i] = uint64(rng.Uint32())
+	}
+
+	// ---- Fetch ----
+	pcD := b.NewBus("apc_d", pcBits)
+	pc := b.RegBank("apc_r", pcD, clk, rstn, "apc_q")
+	pc1 := b.Inc(pc)
+	for i := range pcD {
+		b.Gate("BUFX1", pc1[i], pcD[i])
+	}
+	instr := b.NewBus("afetch", 32)
+	b.Rom(pc, prog, 32, instr)
+	fd := b.RegBank("afd_r", instr, clk, rstn, "afd_q")
+
+	// ---- Decode / register read ----
+	op := Bus{fd[28], fd[29], fd[30], fd[31]}
+	rd := Bus{fd[24], fd[25], fd[26], fd[27]}
+	rs1 := Bus{fd[20], fd[21], fd[22], fd[23]}
+	rs2 := Bus{fd[16], fd[17], fd[18], fd[19]}
+	regQ := make([]Bus, 16)
+	for r := 0; r < 16; r++ {
+		regQ[r] = b.NewBus(fmt.Sprintf("ar%d_q", r), 32)
+	}
+	aVal := b.MuxTree(regQ, rs1)
+	bVal := b.MuxTree(regQ, rs2)
+	imm := make(Bus, 32)
+	for i := 0; i < 16; i++ {
+		imm[i] = fd[i]
+	}
+	for i := 16; i < 32; i++ {
+		imm[i] = fd[15]
+	}
+	deOp := b.RegBank("ade_op_r", op, clk, rstn, "ade_op_q")
+	deRd := b.RegBank("ade_rd_r", rd, clk, rstn, "ade_rd_q")
+	deA := b.RegBank("ade_a_r", aVal, clk, rstn, "ade_a_q")
+	deB := b.RegBank("ade_b_r", bVal, clk, rstn, "ade_b_q")
+	deImm := b.RegBank("ade_imm_r", imm, clk, rstn, "ade_imm_q")
+
+	// ---- Execute ----
+	addOut, _ := b.Adder(deA, deB, nil)
+	subOut, _ := b.Sub(deA, deB)
+	andOut := b.BitwiseOp("AND2X1", deA, deB)
+	orOut := b.BitwiseOp("OR2X1", deA, deB)
+	xorOut := b.BitwiseOp("XOR2X1", deA, deB)
+	shOut := b.barrel(deA, Bus(deB[:5]))
+	mul16 := b.multiplier(Bus(deA[:8]), Bus(deB[:8]))
+	mulOut := make(Bus, 32)
+	copy(mulOut, mul16)
+	for i := len(mul16); i < 32; i++ {
+		mulOut[i] = b.Tie(0)
+	}
+
+	sel := func(opv int) *netlist.Net { return b.EqConst(deOp, uint64(opv)) }
+	res := addOut
+	res = b.MuxBus(res, subOut, sel(1), nil)
+	res = b.MuxBus(res, andOut, sel(2), nil)
+	res = b.MuxBus(res, orOut, sel(3), nil)
+	res = b.MuxBus(res, xorOut, sel(4), nil)
+	res = b.MuxBus(res, shOut, sel(5), nil)
+	res = b.MuxBus(res, mulOut, sel(6), nil)
+	res = b.MuxBus(res, deImm, sel(7), nil)
+
+	// Data memory: ops 8 write, 9 read.
+	memAddr := Bus(deA[:4])
+	isSt := sel(8)
+	isLd := sel(9)
+	wsel := b.Decoder(memAddr)
+	dmemQ := make([]Bus, 16)
+	for w := 0; w < 16; w++ {
+		we := b.And(isSt, wsel[w])
+		q := b.NewBus(fmt.Sprintf("adm%d_q", w), 32)
+		dd := b.MuxBus(q, deB, we, nil)
+		for i := 0; i < 32; i++ {
+			ff := m.AddInst(fmt.Sprintf("adm%d_r[%d]", w, i), lib.MustCell("DFFRQX1"))
+			m.MustConnect(ff, "D", dd[i])
+			m.MustConnect(ff, "CK", clk)
+			m.MustConnect(ff, "RN", rstn)
+			m.MustConnect(ff, "Q", q[i])
+		}
+		dmemQ[w] = q
+	}
+	rdata := b.MuxTree(dmemQ, memAddr)
+	wb := b.MuxBus(res, rdata, isLd, nil)
+
+	// Register write (every op except stores writes rd).
+	wen := b.Not(isSt)
+	rsel := b.Decoder(deRd)
+	for r := 0; r < 16; r++ {
+		we := b.And(wen, rsel[r])
+		dd := b.MuxBus(regQ[r], wb, we, nil)
+		for i := 0; i < 32; i++ {
+			ff := m.AddInst(fmt.Sprintf("ar%d_r[%d]", r, i), lib.MustCell("DFFRQX1"))
+			m.MustConnect(ff, "D", dd[i])
+			m.MustConnect(ff, "CK", clk)
+			m.MustConnect(ff, "RN", rstn)
+			m.MustConnect(ff, "Q", regQ[r][i])
+		}
+	}
+	for i := 0; i < 8; i++ {
+		b.Gate("BUFX1", regQ[15][i], watch[i])
+	}
+
+	// Single desynchronization region, per the paper.
+	for _, in := range m.Insts {
+		in.Group = 1
+	}
+
+	d := &netlist.Design{Name: "arm", Top: m, Modules: map[string]*netlist.Module{"arm": m}, Lib: lib}
+	if errs := m.Check(); len(errs) > 0 {
+		return nil, fmt.Errorf("designs: ARM netlist broken: %v", errs[0])
+	}
+	return d, nil
+}
+
+// barrel builds a left barrel shifter: out = a << sh.
+func (b *Builder) barrel(a, sh Bus) Bus {
+	cur := a
+	for lvl := 0; lvl < len(sh); lvl++ {
+		shift := 1 << lvl
+		shifted := make(Bus, len(a))
+		for i := range a {
+			if i < shift {
+				shifted[i] = b.Tie(0)
+			} else {
+				shifted[i] = cur[i-shift]
+			}
+		}
+		cur = b.MuxBus(cur, shifted, sh[lvl], nil)
+	}
+	return cur
+}
+
+// multiplier builds an unsigned multiplier from partial products reduced by
+// a balanced adder tree (log-depth rather than a linear array, to keep the
+// critical path realistic).
+func (b *Builder) multiplier(a, c Bus) Bus {
+	width := len(a) + len(c)
+	var terms []Bus
+	for i := range c {
+		pp := make(Bus, width)
+		for j := range pp {
+			if j >= i && j-i < len(a) {
+				pp[j] = b.And(a[j-i], c[i])
+			} else {
+				pp[j] = b.Tie(0)
+			}
+		}
+		terms = append(terms, pp)
+	}
+	for len(terms) > 1 {
+		var next []Bus
+		for i := 0; i < len(terms); i += 2 {
+			if i+1 == len(terms) {
+				next = append(next, terms[i])
+				continue
+			}
+			s, _ := b.Adder(terms[i], terms[i+1], nil)
+			next = append(next, s)
+		}
+		terms = next
+	}
+	return terms[0]
+}

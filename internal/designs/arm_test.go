@@ -1,0 +1,89 @@
+package designs
+
+import (
+	"fmt"
+	"testing"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/sim"
+	"desync/internal/stdcells"
+)
+
+func TestBuildARMStructure(t *testing.T) {
+	lib := stdcells.New(stdcells.LowLeakage)
+	d, err := BuildARMLike(lib, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Top.ComputeStats()
+	if st.FFs < 1000 {
+		t.Fatalf("ARM too small: %d FFs", st.FFs)
+	}
+	if st.CombGates < 3000 {
+		t.Fatalf("ARM too small: %d comb gates", st.CombGates)
+	}
+	if errs := d.Top.Check(); len(errs) > 0 {
+		t.Fatalf("check: %v", errs[0])
+	}
+	// Single-region pre-assignment for the manual grouping path (§5.3).
+	for _, in := range d.Top.Insts {
+		if in.Group != 1 {
+			t.Fatalf("%s not in region 1", in.Name)
+		}
+	}
+	// Deterministic program: same seed, same netlist size.
+	d2, err := BuildARMLike(stdcells.New(stdcells.LowLeakage), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Top.Insts) != len(d.Top.Insts) {
+		t.Fatal("generator not deterministic")
+	}
+}
+
+// The ARM-like core has no golden model (the paper had no ARM testbench,
+// §5.3), but it must at least run: the PC advances every cycle and the
+// datapath produces known values.
+func TestARMSimulates(t *testing.T) {
+	lib := stdcells.New(stdcells.LowLeakage)
+	d, err := BuildARMLike(lib, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d.Top, sim.Config{Corner: netlist.Best})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := 12.0
+	s.Drive("rstn", logic.L, 0)
+	s.Drive("rstn", logic.H, period*0.4)
+	s.Clock("clk", period, 0, period*20)
+	if err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	caps := s.Captures["apc_r[0]"]
+	if len(caps) < 15 {
+		t.Fatalf("PC captured only %d cycles", len(caps))
+	}
+	// PC is an incrementing counter: bit 0 alternates once out of reset.
+	flips := 0
+	for k := 1; k < len(caps); k++ {
+		if caps[k] != caps[k-1] {
+			flips++
+		}
+	}
+	if flips < len(caps)/2 {
+		t.Fatalf("PC not advancing: %d flips in %d cycles", flips, len(caps))
+	}
+	// Register-file writes resolve to known values.
+	known := 0
+	for r := 0; r < 16; r++ {
+		if s.Vector(fmt.Sprintf("ar%d_q", r), 32).Known() {
+			known++
+		}
+	}
+	if known < 4 {
+		t.Fatalf("only %d registers reached known values", known)
+	}
+}

@@ -1,0 +1,254 @@
+package designs
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/sim"
+	"desync/internal/sta"
+	"desync/internal/stdcells"
+)
+
+func hs() *netlist.Library { return stdcells.New(stdcells.HighSpeed) }
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	w := Encode(OpADD, 3, 1, 2, 0)
+	if w>>12 != OpADD || w>>9&7 != 3 || w>>6&7 != 1 || w>>3&7 != 2 {
+		t.Fatalf("ADD encoding wrong: %04x", w)
+	}
+	w = Encode(OpADDI, 5, 4, 0, -3)
+	if w&0x3f != 0x3d {
+		t.Fatalf("negative imm encoding wrong: %04x", w)
+	}
+	if sext6(0x3d) != 0xfffd {
+		t.Fatalf("sext6 wrong: %04x", sext6(0x3d))
+	}
+	if sext9(0x1fe) != 0xfffe {
+		t.Fatalf("sext9 wrong: %04x", sext9(0x1fe))
+	}
+}
+
+func TestModelBasicOps(t *testing.T) {
+	m := NewModel(TestProgram())
+	m.Run(60)
+	if m.Regs[1] != 5 || m.Regs[2] != 7 {
+		t.Fatalf("LI failed: r1=%d r2=%d", m.Regs[1], m.Regs[2])
+	}
+	if m.Regs[3] != 12 {
+		t.Fatalf("ADD failed: r3=%d", m.Regs[3])
+	}
+	if m.Regs[4] != 5 {
+		t.Fatalf("XOR chain failed: r4=%d", m.Regs[4])
+	}
+	if m.Regs[5] != 13 {
+		t.Fatalf("ADDI failed: r5=%d", m.Regs[5])
+	}
+	if m.Regs[6] != 12 {
+		t.Fatalf("SW/LW round trip failed: r6=%d", m.Regs[6])
+	}
+	if m.DMem[2] != 12 {
+		t.Fatalf("SW failed: dmem[2]=%d", m.DMem[2])
+	}
+	if m.Regs[7] < 2 {
+		t.Fatalf("loop not incrementing: r7=%d", m.Regs[7])
+	}
+	// The loop keeps running: r7 grows with more cycles.
+	before := m.Regs[7]
+	m.Run(40)
+	if m.Regs[7] <= before {
+		t.Fatalf("loop stalled: r7 %d -> %d", before, m.Regs[7])
+	}
+}
+
+func TestBuildDLXStructure(t *testing.T) {
+	lib := hs()
+	d, err := BuildDLX(lib, TestProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Top.ComputeStats()
+	if st.FFs < 500 {
+		t.Fatalf("DLX too small: %d FFs", st.FFs)
+	}
+	if st.CombGates < 1500 {
+		t.Fatalf("DLX too small: %d comb gates", st.CombGates)
+	}
+	if errs := d.Top.Check(); len(errs) > 0 {
+		t.Fatalf("check: %v", errs[0])
+	}
+	// Stage D buses exist for the grouping heuristic.
+	for _, base := range []string{"if_d[0]", "id_d[0]", "ex_d[0]", "mem_d[0]"} {
+		if d.Top.Net(base) == nil {
+			t.Fatalf("stage bus net %s missing", base)
+		}
+	}
+}
+
+// dlxPeriod picks a safe clock period from STA.
+func dlxPeriod(t *testing.T, d *netlist.Design) float64 {
+	t.Helper()
+	rds, err := sta.RegionDelays(d.Top, netlist.Worst, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, rd := range rds {
+		if b := rd.Budget(); b > worst {
+			worst = b
+		}
+	}
+	if worst <= 0 {
+		t.Fatal("no timing budget found")
+	}
+	return worst * 1.15
+}
+
+// The gate-level DLX must match the golden model cycle for cycle.
+func TestDLXMatchesModel(t *testing.T) {
+	lib := hs()
+	prog := TestProgram()
+	d, err := BuildDLX(lib, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := dlxPeriod(t, d)
+	cycles := 60
+
+	s, err := sim.New(d.Top, sim.Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drive("rstn", logic.L, 0)
+	s.Drive("rstn", logic.H, period*0.4)
+	s.Clock("clk", period, 0, period*(float64(cycles)+0.6))
+	if err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+
+	model := NewModel(prog)
+	steps := len(s.Captures["pc_r[0]"])
+	if steps < cycles-2 {
+		t.Fatalf("only %d captured cycles", steps)
+	}
+	model.Run(steps)
+
+	// PC trace equality, cycle by cycle.
+	for k := 0; k < steps; k++ {
+		var pc uint16
+		for i := 0; i < PCBits; i++ {
+			caps := s.Captures[fmt.Sprintf("pc_r[%d]", i)]
+			if caps[k] == logic.H {
+				pc |= 1 << uint(i)
+			}
+		}
+		if pc != model.Trace[k] {
+			t.Fatalf("cycle %d: gate-level PC %d, model PC %d", k, pc, model.Trace[k])
+		}
+	}
+	// Architectural state equality at the end.
+	for r := 0; r < 8; r++ {
+		got := s.Vector(fmt.Sprintf("rf%d_q", r), 16)
+		if !got.Known() {
+			t.Fatalf("r%d unknown: %v", r, got)
+		}
+		if uint16(got.Uint()) != model.Regs[r] {
+			t.Fatalf("r%d = %d, model %d", r, got.Uint(), model.Regs[r])
+		}
+	}
+	for w := 0; w < 16; w++ {
+		got := s.Vector(fmt.Sprintf("dm%d_q", w), 16)
+		if uint16(got.Uint()) != model.DMem[w] {
+			t.Fatalf("dmem[%d] = %d, model %d", w, got.Uint(), model.DMem[w])
+		}
+	}
+	// The watch bus mirrors R7.
+	if uint16(s.Vector("watch", 16).Uint()) != model.Regs[7] {
+		t.Fatal("watch bus does not mirror R7")
+	}
+}
+
+func TestDLXTimingSane(t *testing.T) {
+	lib := hs()
+	d, err := BuildDLX(lib, TestProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sta.Build(d.Top, sta.Options{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Analyze()
+	worst := r.WorstEndpointArrival()
+	if worst < 0.5 || math.IsInf(worst, 0) {
+		t.Fatalf("implausible critical path %.3f ns", worst)
+	}
+	// The paper's DLX has a ~13-level critical path; ours is a ripple-carry
+	// design, so expect a comb depth of at least 10 gate levels.
+	path := r.CriticalPath()
+	if len(path) < 10 {
+		t.Fatalf("critical path only %d steps", len(path))
+	}
+}
+
+func TestDLXProgramTooLarge(t *testing.T) {
+	lib := hs()
+	big := make([]uint16, 1<<PCBits+1)
+	if _, err := BuildDLX(lib, big); err == nil {
+		t.Fatal("expected ROM overflow error")
+	}
+}
+
+// A second program — Fibonacci — validates the gate-level DLX on different
+// control and data behaviour.
+func TestDLXRunsFibonacci(t *testing.T) {
+	lib := hs()
+	prog := FibProgram()
+	d, err := BuildDLX(lib, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := dlxPeriod(t, d)
+	cycles := 70
+	s, err := sim.New(d.Top, sim.Config{Corner: netlist.Best})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drive("rstn", logic.L, 0)
+	s.Drive("rstn", logic.H, period*0.4)
+	s.Clock("clk", period, 0, period*float64(cycles))
+	if err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	steps := len(s.Captures["pc_r[0]"])
+	model := NewModel(prog)
+	model.Run(steps)
+	for r := 1; r <= 4; r++ {
+		got := uint16(s.Vector(fmt.Sprintf("rf%d_q", r), 16).Uint())
+		if got != model.Regs[r] {
+			t.Fatalf("r%d = %d, model %d after %d cycles", r, got, model.Regs[r], steps)
+		}
+	}
+	for w := 0; w < 16; w++ {
+		got := uint16(s.Vector(fmt.Sprintf("dm%d_q", w), 16).Uint())
+		if got != model.DMem[w] {
+			t.Fatalf("dmem[%d] = %d, model %d", w, got, model.DMem[w])
+		}
+	}
+	// The model itself computed real Fibonacci numbers.
+	fib := []uint16{1, 1, 2, 3, 5, 8, 13, 21}
+	found := 0
+	for _, v := range model.DMem {
+		for _, f := range fib {
+			if v == f {
+				found++
+				break
+			}
+		}
+	}
+	if found < 3 {
+		t.Fatalf("no Fibonacci numbers landed in memory: %v", model.DMem)
+	}
+}

@@ -1,0 +1,259 @@
+package designs
+
+import (
+	"fmt"
+
+	"desync/internal/netlist"
+)
+
+// The DLX case study (§5.2): a four-stage (IF, ID, EX, MEM — writeback
+// folded into MEM) 16-bit RISC pipeline with the full integer ISA below, an
+// on-chip instruction ROM, an 8x16 register file and a 16x16 data memory,
+// and no data forwarding, as in the paper. Software schedules around the
+// pipeline: three delay slots after taken control flow and three
+// instructions between a definition and its use.
+//
+// Instruction format: [15:12] opcode, [11:9] rd, [8:6] rs1, [5:3] rs2,
+// [5:0] imm6 (sign extended).
+const (
+	OpNOP  = 0
+	OpADD  = 1 // rd = rs1 + rs2
+	OpSUB  = 2 // rd = rs1 - rs2
+	OpAND  = 3
+	OpOR   = 4
+	OpXOR  = 5
+	OpADDI = 6  // rd = rs1 + imm6
+	OpLW   = 7  // rd = DMEM[(rs1+imm6) & 15]
+	OpSW   = 8  // DMEM[(rs1+imm6) & 15] = R[rd]
+	OpBEQZ = 9  // if R[rs1]==0: PC = pc+1+imm6
+	OpJMP  = 10 // PC = pc+1+sext(instr[8:0])
+	OpLI   = 11 // rd = sext(imm6)
+)
+
+// Encode assembles one instruction.
+func Encode(op, rd, rs1, rs2, imm int) uint16 {
+	switch op {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR:
+		return uint16(op<<12 | rd<<9 | rs1<<6 | rs2<<3)
+	case OpADDI, OpLW, OpSW, OpLI:
+		return uint16(op<<12 | rd<<9 | rs1<<6 | imm&0x3f)
+	case OpBEQZ:
+		return uint16(op<<12 | rs1<<6 | imm&0x3f)
+	case OpJMP:
+		return uint16(op<<12 | imm&0x1ff)
+	}
+	return 0
+}
+
+// PCBits is the program counter width; the instruction ROM holds 1<<PCBits
+// words.
+const PCBits = 6
+
+// BuildDLX generates the synchronous gate-level DLX with the given program
+// in its instruction ROM. Ports: clk, rstn, and a 16-bit observation bus
+// "watch" showing register R7.
+func BuildDLX(lib *netlist.Library, program []uint16) (*netlist.Design, error) {
+	if len(program) > 1<<PCBits {
+		return nil, fmt.Errorf("designs: program of %d words exceeds ROM depth %d", len(program), 1<<PCBits)
+	}
+	b := NewBuilder("dlx", lib)
+	m := b.M
+	clk := m.AddPort("clk", netlist.In).Net
+	rstn := m.AddPort("rstn", netlist.In).Net
+	watch := b.OutputBus("watch", 16)
+
+	// ---------------- IF ----------------
+	pcD := b.NewBus("pc_d", PCBits) // driven by the next-PC mux below
+	pc := b.RegBank("pc_r", pcD, clk, rstn, "pc_q")
+	pc1 := b.Inc(pc)
+	words := make([]uint64, len(program))
+	for i, w := range program {
+		words[i] = uint64(w)
+	}
+	instr := b.NewBus("if_instr", 16)
+	b.Rom(pc, words, 16, instr)
+
+	// Branch redirect comes from the EX/MEM register (resolved in EX).
+	btakeQ := m.AddNet("exmem_btake_q")
+	btgtQ := b.NewBus("exmem_btgt_q", PCBits)
+	b.MuxBus(pc1, btgtQ, btakeQ, pcD)
+	ifidInstr := b.RegBank("ifid_instr_r", instr, clk, rstn, "ifid_instr_q")
+	ifidPC1 := b.RegBank("ifid_pc1_r", pc1, clk, rstn, "ifid_pc1_q")
+
+	// ---------------- ID ----------------
+	op := Bus{ifidInstr[12], ifidInstr[13], ifidInstr[14], ifidInstr[15]}
+	rd := Bus{ifidInstr[9], ifidInstr[10], ifidInstr[11]}
+	rs1 := Bus{ifidInstr[6], ifidInstr[7], ifidInstr[8]}
+	rs2 := Bus{ifidInstr[3], ifidInstr[4], ifidInstr[5]}
+
+	// Register file storage lives with the MEM (writeback) cloud; its read
+	// muxes belong to ID. Declare the Q buses now, build the write side in
+	// MEM below.
+	regQ := make([]Bus, 8)
+	for r := 0; r < 8; r++ {
+		regQ[r] = b.NewBus(fmt.Sprintf("rf%d_q", r), 16)
+	}
+	readPort := func(addr Bus) Bus { return b.MuxTree(regQ, addr) }
+	aVal := readPort(rs1)
+	bVal := readPort(rs2)
+	sVal := readPort(rd) // store data for SW
+
+	// Sign-extend imm6; JMP uses a 9-bit offset.
+	imm := make(Bus, 16)
+	isJmp := b.EqConst(op, OpJMP)
+	for i := 0; i < 6; i++ {
+		imm[i] = ifidInstr[i]
+	}
+	// Bits 6..8: instruction bits for JMP, sign bit otherwise.
+	for i := 6; i < 9; i++ {
+		imm[i] = b.Mux(ifidInstr[5], ifidInstr[i], isJmp)
+	}
+	signTop := b.Mux(ifidInstr[5], ifidInstr[8], isJmp)
+	for i := 9; i < 16; i++ {
+		imm[i] = signTop
+	}
+
+	idexOp := b.RegBank("idex_op_r", op, clk, rstn, "idex_op_q")
+	idexRd := b.RegBank("idex_rd_r", rd, clk, rstn, "idex_rd_q")
+	idexA := b.RegBank("idex_a_r", aVal, clk, rstn, "idex_a_q")
+	idexB := b.RegBank("idex_b_r", bVal, clk, rstn, "idex_b_q")
+	idexImm := b.RegBank("idex_imm_r", imm, clk, rstn, "idex_imm_q")
+	idexS := b.RegBank("idex_s_r", sVal, clk, rstn, "idex_s_q")
+	idexPC1 := b.RegBank("idex_pc1_r", ifidPC1, clk, rstn, "idex_pc1_q")
+
+	// ---------------- EX ----------------
+	exIsImm := b.OrTree([]*netlist.Net{
+		b.EqConst(idexOp, OpADDI), b.EqConst(idexOp, OpLW), b.EqConst(idexOp, OpSW),
+	})
+	opB := b.MuxBus(idexB, idexImm, exIsImm, nil)
+	addOut, _ := b.Adder(idexA, opB, nil)
+	subOut, _ := b.Sub(idexA, idexB)
+	andOut := b.BitwiseOp("AND2X1", idexA, idexB)
+	orOut := b.BitwiseOp("OR2X1", idexA, idexB)
+	xorOut := b.BitwiseOp("XOR2X1", idexA, idexB)
+
+	isSub := b.EqConst(idexOp, OpSUB)
+	isAnd := b.EqConst(idexOp, OpAND)
+	isOr := b.EqConst(idexOp, OpOR)
+	isXor := b.EqConst(idexOp, OpXOR)
+	isLi := b.EqConst(idexOp, OpLI)
+	result := addOut
+	result = b.MuxBus(result, subOut, isSub, nil)
+	result = b.MuxBus(result, andOut, isAnd, nil)
+	result = b.MuxBus(result, orOut, isOr, nil)
+	result = b.MuxBus(result, xorOut, isXor, nil)
+	result = b.MuxBus(result, idexImm, isLi, nil)
+
+	// Branch resolution.
+	aZero := b.IsZero(idexA)
+	isBeqz := b.EqConst(idexOp, OpBEQZ)
+	exIsJmp := b.EqConst(idexOp, OpJMP)
+	btake := b.Or(b.And(isBeqz, aZero), exIsJmp)
+	btgt, _ := b.Adder(idexPC1, Bus(idexImm[:PCBits]), nil)
+
+	exmemOp := b.RegBank("exmem_op_r", idexOp, clk, rstn, "exmem_op_q")
+	exmemRd := b.RegBank("exmem_rd_r", idexRd, clk, rstn, "exmem_rd_q")
+	exmemRes := b.RegBank("exmem_res_r", result, clk, rstn, "exmem_res_q")
+	exmemS := b.RegBank("exmem_s_r", idexS, clk, rstn, "exmem_s_q")
+	// The branch registers declared in IF get their D logic here.
+	connectReg := func(name string, d Bus, q Bus) {
+		for i := range d {
+			ff := m.AddInst(fmt.Sprintf("%s[%d]", name, i), lib.MustCell("DFFRQX1"))
+			m.MustConnect(ff, "D", d[i])
+			m.MustConnect(ff, "CK", clk)
+			m.MustConnect(ff, "RN", rstn)
+			m.MustConnect(ff, "Q", q[i])
+		}
+	}
+	connectReg("exmem_btake_r", Bus{btake}, Bus{btakeQ})
+	connectReg("exmem_btgt_r", btgt, btgtQ)
+
+	// ---------------- MEM (+WB) ----------------
+	memAddr := Bus(exmemRes[:4])
+	memIsSW := b.EqConst(exmemOp, OpSW)
+	memIsLW := b.EqConst(exmemOp, OpLW)
+	wsel := b.Decoder(memAddr)
+	dmemQ := make([]Bus, 16)
+	for w := 0; w < 16; w++ {
+		we := b.And(memIsSW, wsel[w])
+		q := b.NewBus(fmt.Sprintf("dm%d_q", w), 16)
+		d := b.MuxBus(q, exmemS, we, nil)
+		for i := 0; i < 16; i++ {
+			ff := m.AddInst(fmt.Sprintf("dm%d_r[%d]", w, i), lib.MustCell("DFFRQX1"))
+			m.MustConnect(ff, "D", d[i])
+			m.MustConnect(ff, "CK", clk)
+			m.MustConnect(ff, "RN", rstn)
+			m.MustConnect(ff, "Q", q[i])
+		}
+		dmemQ[w] = q
+	}
+	rdata := b.MuxTree(dmemQ, memAddr)
+	wbVal := b.MuxBus(exmemRes, rdata, memIsLW, nil)
+	// Write enable: every op that produces a register result.
+	wen := b.OrTree([]*netlist.Net{
+		b.EqConst(exmemOp, OpADD), b.EqConst(exmemOp, OpSUB),
+		b.EqConst(exmemOp, OpAND), b.EqConst(exmemOp, OpOR),
+		b.EqConst(exmemOp, OpXOR), b.EqConst(exmemOp, OpADDI),
+		memIsLW, b.EqConst(exmemOp, OpLI),
+	})
+	rsel := b.Decoder(exmemRd)
+	for r := 0; r < 8; r++ {
+		we := b.And(wen, rsel[r])
+		d := b.MuxBus(regQ[r], wbVal, we, nil)
+		for i := 0; i < 16; i++ {
+			ff := m.AddInst(fmt.Sprintf("rf%d_r[%d]", r, i), lib.MustCell("DFFRQX1"))
+			m.MustConnect(ff, "D", d[i])
+			m.MustConnect(ff, "CK", clk)
+			m.MustConnect(ff, "RN", rstn)
+			m.MustConnect(ff, "Q", regQ[r][i])
+		}
+	}
+	// Observe R7.
+	for i := 0; i < 16; i++ {
+		b.Gate("BUFX1", regQ[7][i], watch[i])
+	}
+
+	// Stage D-net bus naming: rename each stage's register data nets into a
+	// per-stage bus so the grouping bus heuristic (Fig 3.6) binds the
+	// stage's disconnected logic cones into one region, the way synthesized
+	// netlists keep register-input buses named.
+	stageOf := func(inst string) string {
+		switch {
+		case hasPrefix(inst, "pc_r") || hasPrefix(inst, "ifid_"):
+			return "if"
+		case hasPrefix(inst, "idex_"):
+			return "id"
+		case hasPrefix(inst, "exmem_"):
+			return "ex"
+		case hasPrefix(inst, "rf") || hasPrefix(inst, "dm"):
+			return "mem"
+		}
+		return ""
+	}
+	idx := map[string]int{}
+	renamed := map[*netlist.Net]bool{}
+	for _, in := range m.Insts {
+		if in.Cell == nil || in.Cell.Kind != netlist.KindFF {
+			continue
+		}
+		stage := stageOf(in.Name)
+		if stage == "" {
+			continue
+		}
+		d := in.Conns["D"]
+		if d == nil || renamed[d] || d.Driver.Inst == nil || d.Driver.Inst.Cell.Seq != nil {
+			continue
+		}
+		renamed[d] = true
+		_ = m.RenameNet(d, fmt.Sprintf("%s_d[%d]", stage, idx[stage]))
+		idx[stage]++
+	}
+
+	d := &netlist.Design{Name: "dlx", Top: m, Modules: map[string]*netlist.Module{"dlx": m}, Lib: lib}
+	if errs := m.Check(); len(errs) > 0 {
+		return nil, fmt.Errorf("designs: DLX netlist broken: %v", errs[0])
+	}
+	return d, nil
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

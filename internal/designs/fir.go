@@ -1,0 +1,150 @@
+package designs
+
+import (
+	"fmt"
+
+	"desync/internal/netlist"
+)
+
+// FIRTaps are the constant coefficients of the third case study: a 4-tap
+// FIR filter y[n] = 3·x[n] + 5·x[n−1] + 7·x[n−2] + 3·x[n−3]. The paper's
+// future work asks for "more study case circuits to evaluate how much the
+// results can be generalized" (§6); unlike the DLX ring, this datapath has
+// open boundaries — its first region is fed by primary inputs and its last
+// drives primary outputs — so desynchronizing it exercises the environment
+// request/acknowledge handshakes of §4.8.
+var FIRTaps = []uint64{3, 5, 7, 3}
+
+// FIRWidth is the input sample width; the accumulator carries FIRWidth+4.
+const FIRWidth = 8
+
+// BuildFIR generates the synchronous gate-level filter: an input stage
+// registering x and its delay line (flip-flop chains), a multiply stage
+// (constant multipliers from shift-and-add), and an accumulate stage
+// driving the y output. Ports: clk, rstn, x[7:0], y[11:0].
+func BuildFIR(lib *netlist.Library) (*netlist.Design, error) {
+	b := NewBuilder("fir", lib)
+	m := b.M
+	clk := m.AddPort("clk", netlist.In).Net
+	rstn := m.AddPort("rstn", netlist.In).Net
+	x := b.InputBus("x", FIRWidth)
+	yOut := b.OutputBus("y", FIRWidth+4)
+
+	// ---- Input stage: x register plus the delay line (FF->FF chains the
+	// grouping step-2 rule attaches to this region). ----
+	xr := make([]Bus, len(FIRTaps))
+	xr[0] = b.RegBank("xr0", x, clk, rstn, "xr0_q")
+	for k := 1; k < len(FIRTaps); k++ {
+		xr[k] = b.RegBank(fmt.Sprintf("xr%d", k), xr[k-1], clk, rstn, fmt.Sprintf("xr%d_q", k))
+	}
+
+	// ---- Multiply stage: constant multipliers (shift-and-add). ----
+	acw := FIRWidth + 4
+	pad := func(in Bus, shift int) Bus {
+		out := make(Bus, acw)
+		for i := range out {
+			switch {
+			case i < shift || i-shift >= len(in):
+				out[i] = b.Tie(0)
+			default:
+				out[i] = in[i-shift]
+			}
+		}
+		return out
+	}
+	prods := make([]Bus, len(FIRTaps))
+	for k, c := range FIRTaps {
+		var terms []Bus
+		for bit := 0; bit < 4; bit++ {
+			if c>>uint(bit)&1 == 1 {
+				terms = append(terms, pad(xr[k], bit))
+			}
+		}
+		p := terms[0]
+		for _, t := range terms[1:] {
+			p, _ = b.Adder(p, t, nil)
+		}
+		prods[k] = b.RegBank(fmt.Sprintf("pr%d", k), p, clk, rstn, fmt.Sprintf("pr%d_q", k))
+	}
+
+	// ---- Accumulate stage. ----
+	widen := func(in Bus) Bus {
+		if len(in) == acw {
+			return in
+		}
+		return pad(in, 0)
+	}
+	sum := widen(prods[0])
+	for _, p := range prods[1:] {
+		sum, _ = b.Adder(sum, widen(p), nil)
+	}
+	yq := b.RegBank("yr", sum, clk, rstn, "yr_q")
+	for i := range yq {
+		b.Gate("BUFX1", yq[i], yOut[i])
+	}
+
+	// Per-stage D-bus naming so the bus heuristic binds each stage's
+	// disconnected cones (the same mechanism as the DLX generator).
+	stageOf := func(inst string) string {
+		switch {
+		case hasPrefix(inst, "xr"):
+			return "in"
+		case hasPrefix(inst, "pr"):
+			return "mul"
+		case hasPrefix(inst, "yr"):
+			return "acc"
+		}
+		return ""
+	}
+	idx := map[string]int{}
+	renamed := map[*netlist.Net]bool{}
+	for _, in := range m.Insts {
+		if in.Cell == nil || in.Cell.Kind != netlist.KindFF {
+			continue
+		}
+		stage := stageOf(in.Name)
+		if stage == "" {
+			continue
+		}
+		d := in.Conns["D"]
+		if d == nil || renamed[d] || d.Driver.Inst == nil || d.Driver.Inst.Cell.Seq != nil {
+			continue
+		}
+		renamed[d] = true
+		_ = m.RenameNet(d, fmt.Sprintf("%s_d[%d]", stage, idx[stage]))
+		idx[stage]++
+	}
+
+	d := &netlist.Design{Name: "fir", Top: m, Modules: map[string]*netlist.Module{"fir": m}, Lib: lib}
+	if errs := m.Check(); len(errs) > 0 {
+		return nil, fmt.Errorf("designs: FIR netlist broken: %v", errs[0])
+	}
+	return d, nil
+}
+
+// FIRModel is the cycle-accurate golden reference: same three pipeline
+// stages.
+type FIRModel struct {
+	xr    [4]uint16
+	prods [4]uint16
+	Y     uint16
+	// YTrace records Y after each step.
+	YTrace []uint16
+}
+
+// Step feeds one input sample and advances one clock.
+func (f *FIRModel) Step(x uint16) {
+	mask := uint16(1<<(FIRWidth+4) - 1)
+	y := (f.prods[0] + f.prods[1] + f.prods[2] + f.prods[3]) & mask
+	var np [4]uint16
+	for k, c := range FIRTaps {
+		np[k] = uint16(uint64(f.xr[k])*c) & mask
+	}
+	var nx [4]uint16
+	nx[0] = x & (1<<FIRWidth - 1)
+	nx[1], nx[2], nx[3] = f.xr[0], f.xr[1], f.xr[2]
+	f.Y = y
+	f.prods = np
+	f.xr = nx
+	f.YTrace = append(f.YTrace, y)
+}

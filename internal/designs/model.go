@@ -1,0 +1,219 @@
+package designs
+
+// Model is a cycle-accurate golden reference of the DLX microarchitecture,
+// used to verify the gate-level generator: same four stages, same latencies,
+// same lack of forwarding.
+type Model struct {
+	PC    uint16
+	Regs  [8]uint16
+	DMem  [16]uint16
+	Prog  []uint16
+	ifid  mIFID
+	idex  mIDEX
+	exmem mEXMEM
+	// Trace records the PC value after each Step.
+	Trace []uint16
+}
+
+type mIFID struct {
+	instr, pc1 uint16
+}
+
+type mIDEX struct {
+	op, rd       uint16
+	a, b, imm, s uint16
+	pc1          uint16
+}
+
+type mEXMEM struct {
+	op, rd, res, s uint16
+	btake          bool
+	btgt           uint16
+}
+
+// NewModel returns a reset-state model of the given program.
+func NewModel(prog []uint16) *Model { return &Model{Prog: prog} }
+
+func sext6(v uint16) uint16 {
+	v &= 0x3f
+	if v&0x20 != 0 {
+		v |= 0xffc0
+	}
+	return v
+}
+
+func sext9(v uint16) uint16 {
+	v &= 0x1ff
+	if v&0x100 != 0 {
+		v |= 0xfe00
+	}
+	return v
+}
+
+// Step advances one clock cycle: every stage computes from the current
+// state, then all registers commit, exactly as the flip-flops do.
+func (m *Model) Step() {
+	// IF
+	var instr uint16
+	if int(m.PC) < len(m.Prog) {
+		instr = m.Prog[m.PC]
+	}
+	pc1 := (m.PC + 1) & (1<<PCBits - 1)
+	nextPC := pc1
+	if m.exmem.btake {
+		nextPC = m.exmem.btgt & (1<<PCBits - 1)
+	}
+	nextIFID := mIFID{instr: instr, pc1: pc1}
+
+	// ID
+	fi := m.ifid.instr
+	op := fi >> 12
+	rd := fi >> 9 & 7
+	rs1 := fi >> 6 & 7
+	rs2 := fi >> 3 & 7
+	var imm uint16
+	if op == OpJMP {
+		imm = sext9(fi)
+	} else {
+		imm = sext6(fi)
+	}
+	nextIDEX := mIDEX{
+		op: op, rd: rd,
+		a: m.Regs[rs1], b: m.Regs[rs2], s: m.Regs[rd],
+		imm: imm, pc1: m.ifid.pc1,
+	}
+
+	// EX
+	x := m.idex
+	opB := x.b
+	switch x.op {
+	case OpADDI, OpLW, OpSW:
+		opB = x.imm
+	}
+	res := x.a + opB
+	switch x.op {
+	case OpSUB:
+		res = x.a - x.b
+	case OpAND:
+		res = x.a & x.b
+	case OpOR:
+		res = x.a | x.b
+	case OpXOR:
+		res = x.a ^ x.b
+	case OpLI:
+		res = x.imm
+	}
+	btake := x.op == OpJMP || (x.op == OpBEQZ && x.a == 0)
+	btgt := (x.pc1 + x.imm) & (1<<PCBits - 1)
+	nextEXMEM := mEXMEM{op: x.op, rd: x.rd, res: res, s: x.s, btake: btake, btgt: btgt}
+
+	// MEM (+WB), reading memory before this cycle's write commits.
+	e := m.exmem
+	addr := e.res & 15
+	rdata := m.DMem[addr]
+	wb := e.res
+	if e.op == OpLW {
+		wb = rdata
+	}
+	wen := false
+	switch e.op {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpADDI, OpLW, OpLI:
+		wen = true
+	}
+
+	// Commit.
+	if e.op == OpSW {
+		m.DMem[addr] = e.s
+	}
+	if wen {
+		m.Regs[e.rd] = wb
+	}
+	m.PC = nextPC
+	m.ifid = nextIFID
+	m.idex = nextIDEX
+	m.exmem = nextEXMEM
+	m.Trace = append(m.Trace, m.PC)
+}
+
+// Run steps n cycles.
+func (m *Model) Run(n int) {
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+}
+
+// Asm helpers for readable test programs.
+
+// Nop3 is the three delay slots the schedule requires after control flow
+// and between def and use.
+func Nop3() []uint16 {
+	n := Encode(OpNOP, 0, 0, 0, 0)
+	return []uint16{n, n, n}
+}
+
+// Program concatenates instruction slices.
+func Program(parts ...[]uint16) []uint16 {
+	var out []uint16
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// I wraps a single instruction as a slice for Program.
+func I(op, rd, rs1, rs2, imm int) []uint16 {
+	return []uint16{Encode(op, rd, rs1, rs2, imm)}
+}
+
+// TestProgram exercises every opcode: arithmetic and logic into registers,
+// a store/load round trip, a taken branch and a jump loop that keeps
+// incrementing R7 — giving the timing and power runs sustained activity.
+func TestProgram() []uint16 {
+	return Program(
+		I(OpLI, 1, 0, 0, 5), // r1 = 5
+		I(OpLI, 2, 0, 0, 7), // r2 = 7
+		I(OpLI, 7, 0, 0, 0), // r7 = 0
+		Nop3(),
+		I(OpADD, 3, 1, 2, 0), // r3 = 12
+		I(OpSUB, 4, 2, 1, 0), // r4 = 2
+		Nop3(),
+		I(OpAND, 5, 3, 2, 0), // r5 = 12&7 = 4
+		I(OpOR, 6, 3, 1, 0),  // r6 = 12|5 = 13
+		I(OpXOR, 4, 4, 2, 0), // r4 = 2^7 = 5
+		Nop3(),
+		I(OpSW, 3, 0, 0, 2),   // dmem[2] = r3 (=12)
+		I(OpADDI, 5, 5, 0, 9), // r5 = 13
+		Nop3(),
+		I(OpLW, 6, 0, 0, 2), // r6 = dmem[2] = 12
+		Nop3(),
+		I(OpBEQZ, 0, 1, 0, 2), // r1 != 0: not taken
+		I(OpADDI, 7, 7, 0, 1), // r7++ (executes)
+		Nop3(),
+		// loop: r7++ ; jmp loop (with delay slots as NOPs)
+		I(OpADDI, 7, 7, 0, 1), // loop body at this PC
+		I(OpJMP, 0, 0, 0, -2), // back to the ADDI (pc1 + (-4))
+		Nop3(),
+	)
+}
+
+// FibProgram computes Fibonacci numbers in a loop: r1,r2 hold consecutive
+// terms, r3 counts iterations, each term is stored to memory at the counter
+// address. A second, independent validation program for the gate-level DLX.
+func FibProgram() []uint16 {
+	return Program(
+		I(OpLI, 1, 0, 0, 0), // r1 = F(0) = 0
+		I(OpLI, 2, 0, 0, 1), // r2 = F(1) = 1
+		I(OpLI, 3, 0, 0, 0), // r3 = counter
+		Nop3(),
+		// loop:
+		I(OpADD, 4, 1, 2, 0),  // r4 = r1 + r2
+		I(OpADDI, 3, 3, 0, 1), // r3++
+		Nop3(),
+		I(OpADD, 1, 2, 0, 0), // r1 = r2 (r0 stays 0)
+		I(OpADD, 2, 4, 0, 0), // r2 = r4
+		I(OpSW, 4, 3, 0, 0),  // dmem[r3 & 15] = r4
+		Nop3(),
+		I(OpJMP, 0, 0, 0, -12), // back to the loop head (ADD r4)
+		Nop3(),
+	)
+}

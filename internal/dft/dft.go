@@ -1,0 +1,371 @@
+// Package dft implements the Design-for-Testability step of the flow
+// (§4.3): scan flip-flop substitution, scan-chain stitching, and
+// random-pattern test-vector generation backed by a single-stuck-at fault
+// simulator. The desynchronization step consumes the scan netlist and, per
+// the flow-equivalence property, the very same vectors test the
+// desynchronized chip (§2.1, §4.8).
+package dft
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+)
+
+// scanMap names the scan-equivalent of each plain flip-flop in the
+// libraries.
+var scanMap = map[string]string{
+	"DFFQX1":  "SDFFQX1",
+	"DFFRQX1": "SDFFRQX1",
+}
+
+// InsertResult reports a scan-insertion run.
+type InsertResult struct {
+	Converted int
+	ChainLen  int
+}
+
+// InsertScan converts every flip-flop to its scan version and stitches a
+// single chain ordered by instance name. New ports: scan_in, scan_en,
+// scan_out. Flip-flops whose QN output is used, or without a scan
+// equivalent, are an error — the designer must restructure first, exactly
+// as a DFT tool would insist.
+func InsertScan(d *netlist.Design) (*InsertResult, error) {
+	m := d.Top
+	lib := d.Lib
+	var ffs []*netlist.Inst
+	for _, in := range m.Insts {
+		if in.Cell != nil && in.Cell.Kind == netlist.KindFF {
+			ffs = append(ffs, in)
+		}
+	}
+	sort.Slice(ffs, func(i, j int) bool { return ffs[i].Name < ffs[j].Name })
+	if len(ffs) == 0 {
+		return nil, fmt.Errorf("dft: no flip-flops to scan")
+	}
+
+	scanIn := m.AddPort("scan_in", netlist.In).Net
+	scanEn := m.AddPort("scan_en", netlist.In).Net
+	scanOut := m.AddPort("scan_out", netlist.Out).Net
+
+	prev := scanIn
+	res := &InsertResult{}
+	for _, ff := range ffs {
+		scanName, ok := scanMap[ff.Cell.Name]
+		if !ok {
+			return nil, fmt.Errorf("dft: no scan equivalent for %s (%s)", ff.Name, ff.Cell.Name)
+		}
+		if qn := ff.Cell.Seq.QN; qn != "" {
+			if n := ff.Conns[qn]; n != nil && len(n.Sinks) > 0 {
+				return nil, fmt.Errorf("dft: %s uses QN, which the scan cell lacks", ff.Name)
+			}
+		}
+		cell := lib.MustCell(scanName)
+		conns := map[string]*netlist.Net{}
+		for pin, n := range ff.Conns {
+			conns[pin] = n
+		}
+		group := ff.Group
+		name := ff.Name
+		m.RemoveInst(ff)
+		sc := m.AddInst(name, cell)
+		sc.Group = group
+		sc.Origin = "scan"
+		for _, p := range cell.Pins {
+			switch p.Name {
+			case "SI":
+				m.MustConnect(sc, "SI", prev)
+			case "SE":
+				m.MustConnect(sc, "SE", scanEn)
+			default:
+				n := conns[p.Name]
+				if n == nil {
+					if p.Dir == netlist.Out {
+						continue
+					}
+					return nil, fmt.Errorf("dft: %s pin %s has no source", name, p.Name)
+				}
+				m.MustConnect(sc, p.Name, n)
+			}
+		}
+		q := sc.Conns[cell.Seq.Q]
+		if q == nil {
+			q = m.AddNet(name + "_q_scan")
+			m.MustConnect(sc, cell.Seq.Q, q)
+		}
+		prev = q
+		res.Converted++
+	}
+	// Close the chain onto scan_out through a buffer (the last Q usually
+	// also feeds functional logic).
+	b := m.AddInst("scan_out_buf", lib.MustCell("BUFX1"))
+	b.Origin = "scan"
+	m.MustConnect(b, "A", prev)
+	m.MustConnect(b, "Z", scanOut)
+	res.ChainLen = res.Converted
+	return res, nil
+}
+
+// Fault is a single stuck-at fault on a net.
+type Fault struct {
+	Net     string
+	StuckAt logic.V
+}
+
+// CoverageReport summarizes a test-generation run.
+type CoverageReport struct {
+	Faults   int
+	Detected int
+	Vectors  int
+}
+
+// Coverage is the detected fraction.
+func (c CoverageReport) Coverage() float64 {
+	if c.Faults == 0 {
+		return 0
+	}
+	return float64(c.Detected) / float64(c.Faults)
+}
+
+// GenerateVectors runs random-pattern combinational fault simulation over
+// the scan design: scan flip-flop outputs and primary inputs are
+// controllable, flip-flop data inputs and primary outputs observable (the
+// standard full-scan assumption). It returns the achieved single-stuck-at
+// coverage over all comb-cell output nets. Patterns are simulated 64 at a
+// time bit-parallel; nVectors rounds up to a multiple of 64.
+func GenerateVectors(d *netlist.Design, nVectors int, seed int64) (*CoverageReport, error) {
+	cs, err := newConeSim(d.Top)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Fault list: stuck-at-0/1 on every comb output net.
+	var faults []Fault
+	for _, n := range d.Top.Nets {
+		if n.Driver.Inst == nil || n.Driver.Inst.Cell == nil {
+			continue
+		}
+		if n.Driver.Inst.Cell.Kind != netlist.KindComb {
+			continue
+		}
+		faults = append(faults, Fault{n.Name, logic.L}, Fault{n.Name, logic.H})
+	}
+	detected := make([]bool, len(faults))
+
+	words := (nVectors + 63) / 64
+	rep := &CoverageReport{Faults: len(faults), Vectors: words * 64}
+	for w := 0; w < words; w++ {
+		pattern := make([]uint64, len(cs.inputs))
+		for i := range pattern {
+			pattern[i] = rng.Uint64()
+		}
+		good := cs.evalMask(pattern, -1, 0)
+		for fi := range faults {
+			if detected[fi] {
+				continue
+			}
+			id := cs.idOf[d.Top.Net(faults[fi].Net)]
+			var fv uint64
+			if faults[fi].StuckAt == logic.H {
+				fv = ^uint64(0)
+			}
+			bad := cs.evalMask(pattern, id, fv)
+			for _, ob := range cs.observe {
+				if good[ob] != bad[ob] {
+					detected[fi] = true
+					rep.Detected++
+					break
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// coneSim evaluates the combinational view of a scan design: levelized
+// topological evaluation over nets.
+type coneSim struct {
+	m       *netlist.Module
+	nets    []*netlist.Net
+	idOf    map[*netlist.Net]int
+	order   []*netlist.Inst // comb cells in topological order
+	inputs  []int           // net ids of controllable points
+	observe []int           // net ids of observable points
+	ties    [][2]int        // (net id, constant value) for tie cells
+
+	scratch, goodBuf []uint64
+}
+
+func newConeSim(m *netlist.Module) (*coneSim, error) {
+	cs := &coneSim{m: m, idOf: map[*netlist.Net]int{}}
+	for i, n := range m.Nets {
+		cs.idOf[n] = i
+	}
+	cs.nets = m.Nets
+
+	// Controllable: primary inputs and sequential outputs.
+	for _, p := range m.Ports {
+		if p.Dir == netlist.In {
+			cs.inputs = append(cs.inputs, cs.idOf[p.Net])
+		} else {
+			cs.observe = append(cs.observe, cs.idOf[p.Net])
+		}
+	}
+	indeg := map[*netlist.Inst]int{}
+	var combs []*netlist.Inst
+	for _, in := range m.Insts {
+		if in.Cell == nil {
+			return nil, fmt.Errorf("dft: not flat")
+		}
+		if in.Cell.IsSequential() {
+			for _, out := range in.Cell.Outputs() {
+				if n := in.Conns[out]; n != nil {
+					cs.inputs = append(cs.inputs, cs.idOf[n])
+				}
+			}
+			for _, p := range in.Cell.Pins {
+				if p.Dir == netlist.In && p.Class == netlist.ClassData {
+					if n := in.Conns[p.Name]; n != nil {
+						cs.observe = append(cs.observe, cs.idOf[n])
+					}
+				}
+			}
+			continue
+		}
+		if in.Cell.Kind == netlist.KindComb {
+			combs = append(combs, in)
+			indeg[in] = 0
+		}
+		if in.Cell.Kind == netlist.KindTie {
+			for out, fn := range in.Cell.Functions {
+				if n := in.Conns[out]; n != nil {
+					v := 0
+					if fn.Eval(nil) == logic.H {
+						v = 1
+					}
+					cs.ties = append(cs.ties, [2]int{cs.idOf[n], v})
+				}
+			}
+		}
+	}
+	// Kahn levelization over comb-comb edges.
+	deps := map[*netlist.Inst][]*netlist.Inst{}
+	for _, in := range combs {
+		for pin, n := range in.Conns {
+			if in.Cell.Pin(pin).Dir != netlist.In {
+				continue
+			}
+			drv := n.Driver.Inst
+			if drv != nil && drv.Cell != nil && drv.Cell.Kind == netlist.KindComb {
+				deps[drv] = append(deps[drv], in)
+				indeg[in]++
+			}
+		}
+	}
+	var queue []*netlist.Inst
+	for _, in := range combs {
+		if indeg[in] == 0 {
+			queue = append(queue, in)
+		}
+	}
+	for len(queue) > 0 {
+		in := queue[0]
+		queue = queue[1:]
+		cs.order = append(cs.order, in)
+		for _, s := range deps[in] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(cs.order) != len(combs) {
+		return nil, fmt.Errorf("dft: combinational loop in scan design")
+	}
+	return cs, nil
+}
+
+// evalMask computes all net values bit-parallel over 64 patterns, with an
+// optional stuck-at fault injected on net id faultID (-1 for none). The
+// scratch buffers are reused across calls via the coneSim.
+func (cs *coneSim) evalMask(pattern []uint64, faultID int, faultVal uint64) []uint64 {
+	if cs.scratch == nil {
+		cs.scratch = make([]uint64, len(cs.nets))
+		cs.goodBuf = make([]uint64, len(cs.nets))
+	}
+	vals := cs.scratch
+	if faultID < 0 {
+		vals = cs.goodBuf
+	}
+	for i := range vals {
+		vals[i] = 0
+	}
+	for i, id := range cs.inputs {
+		vals[id] = pattern[i%len(pattern)]
+	}
+	for _, t := range cs.ties {
+		if t[1] == 1 {
+			vals[t[0]] = ^uint64(0)
+		}
+	}
+	if faultID >= 0 {
+		vals[faultID] = faultVal
+	}
+	env := map[string]uint64{}
+	for _, in := range cs.order {
+		for pin, n := range in.Conns {
+			if in.Cell.Pin(pin).Dir == netlist.In {
+				env[pin] = vals[cs.idOf[n]]
+			}
+		}
+		for out, fn := range in.Cell.Functions {
+			n := in.Conns[out]
+			if n == nil {
+				continue
+			}
+			id := cs.idOf[n]
+			vals[id] = evalMaskExpr(fn, env)
+			if id == faultID {
+				vals[id] = faultVal
+			}
+		}
+	}
+	return vals
+}
+
+func evalMaskExpr(e *logic.Expr, env map[string]uint64) uint64 {
+	switch e.Op {
+	case logic.OpConst:
+		if e.Val == logic.H {
+			return ^uint64(0)
+		}
+		return 0
+	case logic.OpVar:
+		return env[e.Name]
+	case logic.OpNot:
+		return ^evalMaskExpr(e.Child[0], env)
+	case logic.OpAnd:
+		r := ^uint64(0)
+		for _, c := range e.Child {
+			r &= evalMaskExpr(c, env)
+		}
+		return r
+	case logic.OpOr:
+		var r uint64
+		for _, c := range e.Child {
+			r |= evalMaskExpr(c, env)
+		}
+		return r
+	case logic.OpXor:
+		var r uint64
+		for _, c := range e.Child {
+			r ^= evalMaskExpr(c, env)
+		}
+		return r
+	}
+	return 0
+}

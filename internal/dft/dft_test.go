@@ -1,0 +1,159 @@
+package dft
+
+import (
+	"testing"
+
+	"desync/internal/designs"
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/sim"
+	"desync/internal/stdcells"
+)
+
+func small(t *testing.T) *netlist.Design {
+	t.Helper()
+	lib := stdcells.New(stdcells.HighSpeed)
+	d, err := designs.BuildDLX(lib, designs.TestProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestInsertScanStructure(t *testing.T) {
+	d := small(t)
+	before := d.Top.ComputeStats()
+	res, err := InsertScan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := d.Top.ComputeStats()
+	if res.Converted != before.FFs {
+		t.Fatalf("converted %d of %d FFs", res.Converted, before.FFs)
+	}
+	if after.FFs != before.FFs {
+		t.Fatalf("FF count changed: %d -> %d", before.FFs, after.FFs)
+	}
+	if after.SeqArea <= before.SeqArea {
+		t.Fatal("scan cells should be larger")
+	}
+	for _, p := range []string{"scan_in", "scan_en", "scan_out"} {
+		if d.Top.Port(p) == nil {
+			t.Fatalf("port %s missing", p)
+		}
+	}
+	if errs := d.Top.Check(); len(errs) > 0 {
+		t.Fatalf("check: %v", errs[0])
+	}
+	// Every scan FF's SI must be driven by another FF's Q or scan_in.
+	for _, in := range d.Top.Insts {
+		if in.Cell == nil || in.Cell.Seq == nil || in.Cell.Seq.ScanIn == "" {
+			continue
+		}
+		si := in.Conns[in.Cell.Seq.ScanIn]
+		drv := si.Driver
+		if drv.Inst == nil {
+			if si.Name != "scan_in" {
+				t.Fatalf("%s SI driven by %s", in.Name, si.Name)
+			}
+			continue
+		}
+		if drv.Inst.Cell.Kind != netlist.KindFF {
+			t.Fatalf("%s SI driven by non-FF %s", in.Name, drv.Inst.Name)
+		}
+	}
+}
+
+// Shift a known pattern through the whole chain: after chain-length cycles
+// in scan mode, scan_out replays scan_in.
+func TestScanChainShifts(t *testing.T) {
+	d := small(t)
+	res, err := InsertScan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d.Top, sim.Config{Corner: netlist.Best})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := 6.0
+	n := res.ChainLen
+	s.Drive("rstn", logic.H, 0) // no functional reset: scan controls state
+	s.Drive("scan_en", logic.H, 0)
+	pattern := []logic.V{logic.H, logic.L, logic.H, logic.H, logic.L}
+	// Drive the pattern then zeros; sample scan_out after n+len cycles.
+	for i := 0; i < n+len(pattern)+2; i++ {
+		v := logic.L
+		if i < len(pattern) {
+			v = pattern[i]
+		}
+		s.Drive("scan_in", v, float64(i)*period+0.1)
+	}
+	s.Clock("clk", period, 0, float64(n+len(pattern)+2)*period)
+	var outs []logic.V
+	s.OnChange("clk", func(tm float64, v logic.V) {
+		if v == logic.L { // sample on the falling edge
+			outs = append(outs, s.Value("scan_out"))
+		}
+	})
+	if err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	// outs[0] is the initial clock-low sample; outs[k+1] is scan_out after
+	// rising edge k. The bit driven before edge i reaches the last of the n
+	// chain positions after edge n-1+i.
+	for i, want := range pattern {
+		idx := n + i
+		if idx >= len(outs) {
+			t.Fatalf("not enough samples: %d", len(outs))
+		}
+		if outs[idx] != want {
+			t.Fatalf("chain bit %d: got %v want %v", i, outs[idx], want)
+		}
+	}
+}
+
+func TestFaultCoverage(t *testing.T) {
+	d := small(t)
+	if _, err := InsertScan(d); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := GenerateVectors(d, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults < 1000 {
+		t.Fatalf("fault list too small: %d", rep.Faults)
+	}
+	if rep.Coverage() < 0.55 {
+		t.Fatalf("random-pattern coverage %.2f implausibly low", rep.Coverage())
+	}
+	if rep.Coverage() > 1.0 {
+		t.Fatal("coverage > 1")
+	}
+	// More vectors detect at least as many faults.
+	rep2, err := GenerateVectors(d, 48, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Detected < rep.Detected {
+		t.Fatal("coverage decreased with more vectors")
+	}
+}
+
+func TestInsertScanRejectsQNUsers(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	d := netlist.NewDesign("m", lib)
+	m := d.Top
+	m.AddPort("clk", netlist.In)
+	m.AddPort("d", netlist.In)
+	m.AddPort("z", netlist.Out)
+	ff := m.AddInst("f", lib.MustCell("DFFQX1"))
+	m.MustConnect(ff, "D", m.Net("d"))
+	m.MustConnect(ff, "CK", m.Net("clk"))
+	m.MustConnect(ff, "Q", m.AddNet("q"))
+	m.MustConnect(ff, "QN", m.Net("z")) // QN in use
+	if _, err := InsertScan(d); err == nil {
+		t.Fatal("expected QN rejection")
+	}
+}

@@ -1,0 +1,411 @@
+package handshake
+
+import (
+	"fmt"
+	"testing"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/sim"
+	"desync/internal/stdcells"
+)
+
+func hs() *netlist.Library { return stdcells.New(stdcells.HighSpeed) }
+
+func TestControllerHandshakeCycle(t *testing.T) {
+	// One controller driven by a scripted environment; verify the 4-phase
+	// cycle ri+ → g- → ai+/ro+ ; ri- → ai- ; ao+ → g+ → ro- ; ao-.
+	lib := hs()
+	m := netlist.NewModule("m")
+	for _, p := range []string{"ri", "ao", "rst"} {
+		m.AddPort(p, netlist.In)
+	}
+	for _, p := range []string{"ai", "ro", "g"} {
+		m.AddPort(p, netlist.Out)
+	}
+	err := AddController(m, lib, "ctl", true, ControllerPorts{
+		Ri: m.Net("ri"), Ai: m.Net("ai"), Ro: m.Net("ro"),
+		Ao: m.Net("ao"), G: m.Net("g"), Rst: m.Net("rst"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(m, sim.Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drive("rst", logic.H, 0)
+	s.Drive("ri", logic.L, 0)
+	s.Drive("ao", logic.L, 0)
+	s.Drive("rst", logic.L, 1)
+	s.RunUntilQuiescent()
+	if s.Value("g") != logic.H {
+		t.Fatalf("master must reset transparent, g=%v", s.Value("g"))
+	}
+	if s.Value("ro") != logic.H {
+		// With g=1 the request stays low until capture.
+		t.Logf("ro=%v after reset (expected 0 for master)", s.Value("ro"))
+	}
+	if s.Value("ro") == logic.H {
+		t.Fatal("master must not request before capturing")
+	}
+	// ri+ -> capture: g falls, ai and ro rise.
+	s.Drive("ri", logic.H, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("g") != logic.L || s.Value("ai") != logic.H || s.Value("ro") != logic.H {
+		t.Fatalf("after ri+: g=%v ai=%v ro=%v, want 0 1 1",
+			s.Value("g"), s.Value("ai"), s.Value("ro"))
+	}
+	// ri- -> ai-.
+	s.Drive("ri", logic.L, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("ai") != logic.L {
+		t.Fatalf("after ri-: ai=%v want 0", s.Value("ai"))
+	}
+	if s.Value("g") != logic.L {
+		t.Fatal("g must stay low until the successor acknowledges")
+	}
+	// ao+ -> reopen and withdraw the request.
+	s.Drive("ao", logic.H, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("g") != logic.H || s.Value("ro") != logic.L {
+		t.Fatalf("after ao+: g=%v ro=%v, want 1 0", s.Value("g"), s.Value("ro"))
+	}
+	// ao- completes the cycle; state matches post-reset.
+	s.Drive("ao", logic.L, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("g") != logic.H || s.Value("ro") != logic.L || s.Value("ai") != logic.L {
+		t.Fatal("cycle did not return to the idle state")
+	}
+}
+
+func TestSlaveControllerAnnouncesResetData(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	for _, p := range []string{"ri", "ao", "rst"} {
+		m.AddPort(p, netlist.In)
+	}
+	for _, p := range []string{"ai", "ro", "g"} {
+		m.AddPort(p, netlist.Out)
+	}
+	if err := AddController(m, lib, "ctl", false, ControllerPorts{
+		Ri: m.Net("ri"), Ai: m.Net("ai"), Ro: m.Net("ro"),
+		Ao: m.Net("ao"), G: m.Net("g"), Rst: m.Net("rst"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := sim.New(m, sim.Config{Corner: netlist.Worst})
+	s.Drive("rst", logic.H, 0)
+	s.Drive("ri", logic.L, 0)
+	s.Drive("ao", logic.L, 0)
+	s.Drive("rst", logic.L, 1)
+	s.RunUntilQuiescent()
+	if s.Value("g") != logic.L {
+		t.Fatalf("slave must reset opaque, g=%v", s.Value("g"))
+	}
+	if s.Value("ro") != logic.H {
+		t.Fatalf("slave must announce its reset data: ro=%v want 1", s.Value("ro"))
+	}
+}
+
+func TestCTreeRendezvous(t *testing.T) {
+	lib := hs()
+	for _, n := range []int{2, 3, 4, 5, 7, 10} {
+		m := netlist.NewModule("m")
+		var ins []*netlist.Net
+		for i := 0; i < n; i++ {
+			ins = append(ins, m.AddPort(fmt.Sprintf("i%d", i), netlist.In).Net)
+		}
+		out := m.AddPort("out", netlist.Out).Net
+		cells, err := AddCTree(m, lib, "ct", ins, out)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if cells == 0 {
+			t.Fatalf("n=%d: no cells", n)
+		}
+		if errs := m.Check(); len(errs) > 0 {
+			t.Fatalf("n=%d: %v", n, errs)
+		}
+		s, _ := sim.New(m, sim.Config{Corner: netlist.Worst})
+		// All low -> out 0.
+		for i := 0; i < n; i++ {
+			s.Drive(fmt.Sprintf("i%d", i), logic.L, 0)
+		}
+		s.RunUntilQuiescent()
+		if s.Value("out") != logic.L {
+			t.Fatalf("n=%d: all-low should give 0", n)
+		}
+		// Raise all but one: must hold 0.
+		for i := 1; i < n; i++ {
+			s.Drive(fmt.Sprintf("i%d", i), logic.H, s.Now()+1)
+		}
+		s.RunUntilQuiescent()
+		if s.Value("out") != logic.L {
+			t.Fatalf("n=%d: partial inputs must hold", n)
+		}
+		// Raise the last: out rises.
+		s.Drive("i0", logic.H, s.Now()+1)
+		s.RunUntilQuiescent()
+		if s.Value("out") != logic.H {
+			t.Fatalf("n=%d: all-high should give 1", n)
+		}
+		// Drop one: holds 1.
+		s.Drive("i0", logic.L, s.Now()+1)
+		s.RunUntilQuiescent()
+		if s.Value("out") != logic.H {
+			t.Fatalf("n=%d: partial low must hold 1", n)
+		}
+	}
+}
+
+func TestCTreeRejectsSingleInput(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	in := m.AddPort("i", netlist.In).Net
+	out := m.AddPort("o", netlist.Out).Net
+	if _, err := AddCTree(m, lib, "ct", []*netlist.Net{in}, out); err == nil {
+		t.Fatal("expected error for single input")
+	}
+}
+
+func TestDelayElementAsymmetry(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	in := m.AddPort("in", netlist.In).Net
+	out := m.AddPort("out", netlist.Out).Net
+	rst := m.AddPort("rst", netlist.In).Net
+	if err := AddDelayElement(m, lib, "de", in, out, rst, nil, DelayElementSpec{Levels: 10}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := sim.New(m, sim.Config{Corner: netlist.Worst})
+	var riseAt, fallAt float64
+	s.OnChange("out", func(tm float64, v logic.V) {
+		if v == logic.H {
+			riseAt = tm
+		} else {
+			fallAt = tm
+		}
+	})
+	s.Drive("in", logic.L, 0)
+	s.RunUntilQuiescent()
+	t0 := s.Now() + 1
+	s.Drive("in", logic.H, t0)
+	s.RunUntilQuiescent()
+	rise := riseAt - t0
+	t1 := s.Now() + 1
+	s.Drive("in", logic.L, t1)
+	s.RunUntilQuiescent()
+	fall := fallAt - t1
+	if rise < 5*fall {
+		t.Fatalf("not asymmetric: rise %.4f fall %.4f", rise, fall)
+	}
+}
+
+// §3.1.4: the 2-phase variant has equal rise and fall delay.
+func TestSymmetricDelayElement(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	in := m.AddPort("in", netlist.In).Net
+	out := m.AddPort("out", netlist.Out).Net
+	if err := AddSymmetricDelayElement(m, lib, "sd", in, out, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddSymmetricDelayElement(m, lib, "bad", in, m.AddNet("x"), 0); err == nil {
+		t.Fatal("expected level validation error")
+	}
+	s, _ := sim.New(m, sim.Config{Corner: netlist.Worst})
+	var riseAt, fallAt float64
+	s.OnChange("out", func(tm float64, v logic.V) {
+		if v == logic.H {
+			riseAt = tm
+		} else {
+			fallAt = tm
+		}
+	})
+	s.Drive("in", logic.L, 0)
+	s.RunUntilQuiescent()
+	t0 := s.Now() + 1
+	s.Drive("in", logic.H, t0)
+	s.RunUntilQuiescent()
+	rise := riseAt - t0
+	t1 := s.Now() + 1
+	s.Drive("in", logic.L, t1)
+	s.RunUntilQuiescent()
+	fall := fallAt - t1
+	if rise <= 0 || fall <= 0 {
+		t.Fatal("element did not propagate")
+	}
+	if rise/fall > 1.05 || fall/rise > 1.05 {
+		t.Fatalf("not symmetric: rise %.4f fall %.4f", rise, fall)
+	}
+}
+
+func TestMuxedDelayElementTaps(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	in := m.AddPort("in", netlist.In).Net
+	out := m.AddPort("out", netlist.Out).Net
+	rst := m.AddPort("rst", netlist.In).Net
+	var sel []*netlist.Net
+	for i := 0; i < 3; i++ {
+		sel = append(sel, m.AddPort(fmt.Sprintf("sel%d", i), netlist.In).Net)
+	}
+	spec := DelayElementSpec{Levels: 16, Taps: []int{2, 4, 6, 8, 10, 12, 14, 16}}
+	if err := AddDelayElement(m, lib, "de", in, out, rst, sel, spec); err != nil {
+		t.Fatal(err)
+	}
+	measure := func(selVal int) float64 {
+		s, _ := sim.New(m, sim.Config{Corner: netlist.Worst})
+		for i := 0; i < 3; i++ {
+			s.Drive(fmt.Sprintf("sel%d", i), logic.FromBool(selVal>>i&1 == 1), 0)
+		}
+		s.Drive("in", logic.L, 0)
+		s.RunUntilQuiescent()
+		var riseAt float64
+		s.OnChange("out", func(tm float64, v logic.V) {
+			if v == logic.H {
+				riseAt = tm
+			}
+		})
+		t0 := s.Now() + 1
+		s.Drive("in", logic.H, t0)
+		s.RunUntilQuiescent()
+		if riseAt == 0 {
+			t.Fatalf("sel=%d: output never rose", selVal)
+		}
+		return riseAt - t0
+	}
+	prev := 0.0
+	for v := 0; v < 8; v++ {
+		d := measure(v)
+		if d <= prev {
+			t.Fatalf("tap %d delay %.4f not longer than tap %d (%.4f)", v, d, v-1, prev)
+		}
+		prev = d
+	}
+}
+
+// The definitive controller check: a two-register self-timed ring must be
+// live and flow-equivalent to its synchronous counterpart. reg1.D = !reg0.Q
+// and reg0.D = reg1.Q, all latches 1 bit wide, reset to 0. The synchronous
+// capture sequences are computed analytically and compared against the
+// slave latches' capture records.
+func TestTwoRegisterRingFlowEquivalence(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("ring")
+	rst := m.AddPort("rst", netlist.In).Net
+	rstn := m.AddNet("rstn")
+	ri := m.AddInst("rinv", lib.MustCell("INVX1"))
+	m.MustConnect(ri, "A", rst)
+	m.MustConnect(ri, "Z", rstn)
+
+	// Datapath: per register r, master latch Mr -> slave latch Sr.
+	// Comb: S0 -> INV -> M1 ; S1 -> BUF -> M0.
+	type reg struct {
+		mQ, sQ, mG, sG *netlist.Net
+	}
+	var regs [2]reg
+	for r := 0; r < 2; r++ {
+		regs[r].mQ = m.AddNet(fmt.Sprintf("m%dq", r))
+		regs[r].sQ = m.AddNet(fmt.Sprintf("s%dq", r))
+		regs[r].mG = m.AddNet(fmt.Sprintf("m%dg", r))
+		regs[r].sG = m.AddNet(fmt.Sprintf("s%dg", r))
+	}
+	mkLatch := func(name string, cell string, d, g, q *netlist.Net, withRst bool) {
+		la := m.AddInst(name, lib.MustCell(cell))
+		m.MustConnect(la, "D", d)
+		m.MustConnect(la, "G", g)
+		m.MustConnect(la, "Q", q)
+		if withRst {
+			m.MustConnect(la, "RN", rstn)
+		}
+	}
+	d1 := m.AddNet("d1") // into M1 = !s0q
+	inv := m.AddInst("cloud1", lib.MustCell("INVX1"))
+	m.MustConnect(inv, "A", regs[0].sQ)
+	m.MustConnect(inv, "Z", d1)
+	d0 := m.AddNet("d0") // into M0 = s1q
+	buf := m.AddInst("cloud0", lib.MustCell("BUFX1"))
+	m.MustConnect(buf, "A", regs[1].sQ)
+	m.MustConnect(buf, "Z", d0)
+
+	mkLatch("M0", "LATRQX1", d0, regs[0].mG, regs[0].mQ, true)
+	mkLatch("S0", "LATRQX1", regs[0].mQ, regs[0].sG, regs[0].sQ, true)
+	mkLatch("M1", "LATRQX1", d1, regs[1].mG, regs[1].mQ, true)
+	mkLatch("S1", "LATRQX1", regs[1].mQ, regs[1].sG, regs[1].sQ, true)
+
+	// Control: per register, master+slave controllers.
+	// S_{r-1}.ro -> delay -> M_r.ri ; M_r.ai -> S_{r-1}.ao
+	// M_r.ro -> S_r.ri ; S_r.ai -> M_r.ao
+	net := func(name string) *netlist.Net { return m.AddNet(name) }
+	var (
+		mRi = [2]*netlist.Net{net("m0ri"), net("m1ri")}
+		mAi = [2]*netlist.Net{net("m0ai"), net("m1ai")}
+		mRo = [2]*netlist.Net{net("m0ro"), net("m1ro")}
+		sRi = [2]*netlist.Net{net("s0ri"), net("s1ri")}
+		sAi = [2]*netlist.Net{net("s0ai"), net("s1ai")}
+		sRo = [2]*netlist.Net{net("s0ro"), net("s1ro")}
+	)
+	for r := 0; r < 2; r++ {
+		if err := AddController(m, lib, fmt.Sprintf("M%dc", r), true, ControllerPorts{
+			Ri: mRi[r], Ai: mAi[r], Ro: mRo[r], Ao: sAi[r], G: regs[r].mG, Rst: rst,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := AddController(m, lib, fmt.Sprintf("S%dc", r), false, ControllerPorts{
+			Ri: sRi[r], Ai: sAi[r], Ro: sRo[r], Ao: mAi[(r+1)%2], G: regs[r].sG, Rst: rst,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Master ro feeds slave ri through a short matched element (master
+		// to slave has no logic between, only the latch).
+		if err := AddDelayElement(m, lib, fmt.Sprintf("deMS%d", r), mRo[r], sRi[r], rst, nil, DelayElementSpec{Levels: 2}); err != nil {
+			t.Fatal(err)
+		}
+		// Slave ro feeds the next master through the cloud-matched element.
+		if err := AddDelayElement(m, lib, fmt.Sprintf("deSM%d", r), sRo[r], mRi[(r+1)%2], rst, nil, DelayElementSpec{Levels: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if errs := m.Check(); len(errs) > 0 {
+		t.Fatalf("ring netlist broken: %v", errs)
+	}
+
+	s, err := sim.New(m, sim.Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drive("rst", logic.H, 0)
+	s.Drive("rst", logic.L, 2)
+	if err := s.Run(200); err != nil {
+		t.Fatal(err)
+	}
+
+	// Synchronous reference: q0,q1 reset 0; q1' = !q0 ; q0' = q1.
+	// FF capture sequence = the value captured at each edge.
+	q0, q1 := false, false
+	var want0, want1 []logic.V
+	for k := 0; k < 8; k++ {
+		n1 := !q0
+		n0 := q1
+		q0, q1 = n0, n1
+		want0 = append(want0, logic.FromBool(q0))
+		want1 = append(want1, logic.FromBool(q1))
+	}
+	got0 := s.Captures["S0"]
+	got1 := s.Captures["S1"]
+	if len(got0) < 8 || len(got1) < 8 {
+		t.Fatalf("ring not live: %d/%d slave captures in 200ns", len(got0), len(got1))
+	}
+	for k := 0; k < 8; k++ {
+		if got0[k] != want0[k] {
+			t.Fatalf("S0 capture %d = %v, want %v (flow equivalence broken)\n got %v\nwant %v",
+				k, got0[k], want0[k], got0[:8], want0)
+		}
+		if got1[k] != want1[k] {
+			t.Fatalf("S1 capture %d = %v, want %v (flow equivalence broken)\n got %v\nwant %v",
+				k, got1[k], want1[k], got1[:8], want1)
+		}
+	}
+}

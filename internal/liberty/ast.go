@@ -1,0 +1,319 @@
+// Package liberty reads and writes a practical subset of the Liberty (.lib)
+// standard-cell library format. The flow uses it the way the paper does
+// (§3.1.1): libraries are characterized per corner as .lib text, and the
+// desynchronization tool's library-preparation step parses that text to
+// extract the "gatefile" information — cell names, types, pin roles,
+// functions and timing.
+//
+// The subset covers: nested group syntax, simple and quoted attribute
+// values, complex attributes (values("...")), cell/pin/ff/latch/timing
+// groups, scalar delay tables, setup/hold constraint arcs and a
+// vendor-extension pair of attributes for C-Muller elements.
+package liberty
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Group is a Liberty group statement: type (args) { attrs; subgroups }.
+type Group struct {
+	Type   string
+	Args   []string
+	Attrs  []Attr
+	Groups []*Group
+}
+
+// Attr is a simple (name : value;) or complex (name (v1, v2);) attribute.
+type Attr struct {
+	Name    string
+	Value   string   // simple form; unquoted
+	Complex []string // complex form arguments; nil for simple attributes
+}
+
+// Attr returns the first simple attribute with the given name, or "".
+func (g *Group) Attr(name string) string {
+	for _, a := range g.Attrs {
+		if a.Name == name && a.Complex == nil {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Sub returns all subgroups of the given type.
+func (g *Group) Sub(typ string) []*Group {
+	var out []*Group
+	for _, s := range g.Groups {
+		if s.Type == typ {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// First returns the first subgroup of the given type, or nil.
+func (g *Group) First(typ string) *Group {
+	for _, s := range g.Groups {
+		if s.Type == typ {
+			return s
+		}
+	}
+	return nil
+}
+
+// Parse parses Liberty text into its root group (normally "library").
+func Parse(src string) (*Group, error) {
+	t := &tokenizer{src: src, line: 1}
+	toks, err := t.tokenize()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("liberty: trailing tokens after library group (line %d)", p.toks[p.pos].line)
+	}
+	return g, nil
+}
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota
+	tokString
+	tokPunct // ( ) { } : ; ,
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type tokenizer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (t *tokenizer) tokenize() ([]token, error) {
+	var toks []token
+	for t.pos < len(t.src) {
+		c := t.src[t.pos]
+		switch {
+		case c == '\n':
+			t.line++
+			t.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			t.pos++
+		case c == '/' && t.pos+1 < len(t.src) && t.src[t.pos+1] == '*':
+			end := strings.Index(t.src[t.pos+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("liberty: unterminated comment at line %d", t.line)
+			}
+			t.line += strings.Count(t.src[t.pos:t.pos+2+end+2], "\n")
+			t.pos += 2 + end + 2
+		case c == '/' && t.pos+1 < len(t.src) && t.src[t.pos+1] == '/':
+			nl := strings.IndexByte(t.src[t.pos:], '\n')
+			if nl < 0 {
+				t.pos = len(t.src)
+			} else {
+				t.pos += nl
+			}
+		case c == '\\' && t.pos+1 < len(t.src) && (t.src[t.pos+1] == '\n' || t.src[t.pos+1] == '\r'):
+			// Line continuation.
+			t.pos++
+		case c == '"':
+			end := t.pos + 1
+			for end < len(t.src) && t.src[end] != '"' {
+				if t.src[end] == '\n' {
+					t.line++
+				}
+				end++
+			}
+			if end >= len(t.src) {
+				return nil, fmt.Errorf("liberty: unterminated string at line %d", t.line)
+			}
+			toks = append(toks, token{tokString, t.src[t.pos+1 : end], t.line})
+			t.pos = end + 1
+		case strings.IndexByte("(){}:;,", c) >= 0:
+			toks = append(toks, token{tokPunct, string(c), t.line})
+			t.pos++
+		default:
+			start := t.pos
+			for t.pos < len(t.src) && strings.IndexByte(" \t\r\n(){}:;,\"", t.src[t.pos]) < 0 {
+				t.pos++
+			}
+			if t.pos == start {
+				return nil, fmt.Errorf("liberty: unexpected character %q at line %d", c, t.line)
+			}
+			toks = append(toks, token{tokIdent, t.src[start:t.pos], t.line})
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() *token {
+	if p.pos >= len(p.toks) {
+		return nil
+	}
+	return &p.toks[p.pos]
+}
+
+func (p *parser) expect(kind tokKind, text string) (*token, error) {
+	tk := p.peek()
+	if tk == nil {
+		return nil, fmt.Errorf("liberty: unexpected end of input, expected %q", text)
+	}
+	if tk.kind != kind || (text != "" && tk.text != text) {
+		return nil, fmt.Errorf("liberty: line %d: expected %q, got %q", tk.line, text, tk.text)
+	}
+	p.pos++
+	return tk, nil
+}
+
+// parseGroup parses: ident ( args ) { body }
+func (p *parser) parseGroup() (*Group, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{Type: name.text}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for {
+		tk := p.peek()
+		if tk == nil {
+			return nil, fmt.Errorf("liberty: unexpected end inside group args of %s", g.Type)
+		}
+		if tk.kind == tokPunct && tk.text == ")" {
+			p.pos++
+			break
+		}
+		if tk.kind == tokPunct && tk.text == "," {
+			p.pos++
+			continue
+		}
+		g.Args = append(g.Args, tk.text)
+		p.pos++
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for {
+		tk := p.peek()
+		if tk == nil {
+			return nil, fmt.Errorf("liberty: unexpected end inside group body of %s", g.Type)
+		}
+		if tk.kind == tokPunct && tk.text == "}" {
+			p.pos++
+			break
+		}
+		if err := p.parseStatement(g); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// parseStatement parses one of:
+//
+//	name : value ;
+//	name ( args ) ;          (complex attribute)
+//	name ( args ) { ... }    (subgroup)
+func (p *parser) parseStatement(g *Group) error {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	tk := p.peek()
+	if tk == nil {
+		return fmt.Errorf("liberty: unexpected end after %q", name.text)
+	}
+	if tk.kind == tokPunct && tk.text == ":" {
+		p.pos++
+		val := p.peek()
+		if val == nil || (val.kind == tokPunct && val.text != "(") {
+			return fmt.Errorf("liberty: line %d: missing value for attribute %s", name.line, name.text)
+		}
+		p.pos++
+		// Values may be multi-token up to the semicolon (e.g. "1 ns").
+		text := val.text
+		for {
+			nxt := p.peek()
+			if nxt == nil {
+				return fmt.Errorf("liberty: missing ';' after attribute %s", name.text)
+			}
+			if nxt.kind == tokPunct && nxt.text == ";" {
+				p.pos++
+				break
+			}
+			text += " " + nxt.text
+			p.pos++
+		}
+		g.Attrs = append(g.Attrs, Attr{Name: name.text, Value: text})
+		return nil
+	}
+	if tk.kind == tokPunct && tk.text == "(" {
+		// Look ahead past the closing paren to decide attr vs subgroup.
+		depth := 0
+		i := p.pos
+		for ; i < len(p.toks); i++ {
+			if p.toks[i].kind != tokPunct {
+				continue
+			}
+			if p.toks[i].text == "(" {
+				depth++
+			} else if p.toks[i].text == ")" {
+				depth--
+				if depth == 0 {
+					break
+				}
+			}
+		}
+		if i+1 < len(p.toks) && p.toks[i+1].kind == tokPunct && p.toks[i+1].text == "{" {
+			p.pos-- // rewind over the group name
+			sub, err := p.parseGroup()
+			if err != nil {
+				return err
+			}
+			g.Groups = append(g.Groups, sub)
+			return nil
+		}
+		// Complex attribute.
+		p.pos++ // consume "("
+		attr := Attr{Name: name.text, Complex: []string{}}
+		for {
+			tk := p.peek()
+			if tk == nil {
+				return fmt.Errorf("liberty: unexpected end in complex attribute %s", name.text)
+			}
+			if tk.kind == tokPunct && tk.text == ")" {
+				p.pos++
+				break
+			}
+			if tk.kind == tokPunct && tk.text == "," {
+				p.pos++
+				continue
+			}
+			attr.Complex = append(attr.Complex, tk.text)
+			p.pos++
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return fmt.Errorf("liberty: complex attribute %s: %v", name.text, err)
+		}
+		g.Attrs = append(g.Attrs, attr)
+		return nil
+	}
+	return fmt.Errorf("liberty: line %d: unexpected token %q after %q", tk.line, tk.text, name.text)
+}

@@ -1,0 +1,514 @@
+package liberty
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+)
+
+// WriteCorner renders the library as Liberty text characterized at the given
+// corner, the way foundry libraries ship one .lib per corner.
+func WriteCorner(lib *netlist.Library, corner netlist.Corner) string {
+	var sb strings.Builder
+	w := func(depth int, format string, args ...any) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&sb, format, args...)
+		sb.WriteByte('\n')
+	}
+	w(0, "library (%s_%s) {", lib.Name, corner)
+	w(1, "technology (cmos);")
+	w(1, "delay_model : table_lookup;")
+	w(1, "time_unit : \"1ns\";")
+	w(1, "leakage_power_unit : \"1uW\";")
+	w(1, "capacitive_load_unit (1, pf);")
+	w(1, "default_operating_conditions : %s;", corner)
+
+	names := make([]string, 0, len(lib.Cells))
+	for n := range lib.Cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeCell(w, lib.Cells[name], corner)
+	}
+	w(0, "}")
+	return sb.String()
+}
+
+func writeCell(w func(int, string, ...any), c *netlist.CellDef, corner netlist.Corner) {
+	w(1, "cell (%s) {", c.Name)
+	w(2, "area : %g;", c.Area)
+	w(2, "cell_leakage_power : %g;", c.Leakage.At(corner))
+	w(2, "desync_energy : %g;", c.Energy)
+	switch c.Kind {
+	case netlist.KindFF:
+		s := c.Seq
+		w(2, "ff (IQ, IQN) {")
+		clocked := s.ClockPin
+		if s.ClockGate != "" {
+			clocked = s.ClockPin + "&" + s.ClockGate
+		}
+		w(3, "clocked_on : \"%s\";", clocked)
+		w(3, "next_state : \"%s\";", s.Next)
+		if s.AsyncReset != "" {
+			w(3, "clear : \"%s\";", asyncExpr(s.AsyncReset, s.AsyncResetLow))
+		}
+		if s.AsyncSet != "" {
+			w(3, "preset : \"%s\";", asyncExpr(s.AsyncSet, s.AsyncSetLow))
+		}
+		w(2, "}")
+	case netlist.KindLatch:
+		s := c.Seq
+		w(2, "latch (IQ, IQN) {")
+		w(3, "enable : \"%s\";", s.ClockPin)
+		w(3, "data_in : \"%s\";", s.Next)
+		if s.AsyncReset != "" {
+			w(3, "clear : \"%s\";", asyncExpr(s.AsyncReset, s.AsyncResetLow))
+		}
+		if s.AsyncSet != "" {
+			w(3, "preset : \"%s\";", asyncExpr(s.AsyncSet, s.AsyncSetLow))
+		}
+		w(2, "}")
+	case netlist.KindCElem, netlist.KindGC:
+		// Vendor-extension attributes: Liberty proper would use a
+		// statetable; the custom pair keeps the subset small while
+		// round-tripping the generalized-C semantics.
+		w(2, "desync_celem_set : \"%s\";", c.GC.Set)
+		w(2, "desync_celem_reset : \"%s\";", c.GC.Reset)
+		if c.Kind == netlist.KindGC {
+			w(2, "desync_celem_kind : gc;")
+		}
+	}
+	for _, p := range c.Pins {
+		writePin(w, c, &p, corner)
+	}
+	w(1, "}")
+}
+
+func asyncExpr(pin string, activeLow bool) string {
+	if activeLow {
+		return "!" + pin
+	}
+	return pin
+}
+
+func writePin(w func(int, string, ...any), c *netlist.CellDef, p *netlist.PinDef, corner netlist.Corner) {
+	w(2, "pin (%s) {", p.Name)
+	w(3, "direction : %s;", p.Dir)
+	if p.Dir == netlist.In {
+		w(3, "capacitance : %g;", p.Cap)
+		switch p.Class {
+		case netlist.ClassClock, netlist.ClassEnable:
+			w(3, "clock : true;")
+		case netlist.ClassScanIn:
+			w(3, "signal_type : test_scan_in;")
+		case netlist.ClassScanEnable:
+			w(3, "signal_type : test_scan_enable;")
+		case netlist.ClassAsyncSet:
+			w(3, "signal_type : set;")
+		case netlist.ClassAsyncReset:
+			w(3, "signal_type : reset;")
+		}
+		// Setup/hold constraint arcs against the clock pin.
+		if c.Seq != nil && p.Class == netlist.ClassData && c.Seq.Next != nil && refersTo(c.Seq.Next, p.Name) {
+			w(3, "timing () {")
+			w(4, "related_pin : \"%s\";", c.Seq.ClockPin)
+			w(4, "timing_type : setup_rising;")
+			w(4, "rise_constraint (scalar) { values (\"%g\"); }", c.Setup.At(corner))
+			w(4, "fall_constraint (scalar) { values (\"%g\"); }", c.Setup.At(corner))
+			w(3, "}")
+			w(3, "timing () {")
+			w(4, "related_pin : \"%s\";", c.Seq.ClockPin)
+			w(4, "timing_type : hold_rising;")
+			w(4, "rise_constraint (scalar) { values (\"%g\"); }", c.Hold.At(corner))
+			w(4, "fall_constraint (scalar) { values (\"%g\"); }", c.Hold.At(corner))
+			w(3, "}")
+		}
+	} else {
+		if fn, ok := c.Functions[p.Name]; ok {
+			w(3, "function : \"%s\";", fn)
+		} else if c.Seq != nil {
+			switch p.Name {
+			case c.Seq.Q:
+				w(3, "function : \"IQ\";")
+			case c.Seq.QN:
+				w(3, "function : \"IQN\";")
+			}
+		} else if c.GC != nil && p.Name == c.GC.Q {
+			w(3, "function : \"IQ\";")
+		}
+		// Propagation arcs into this output.
+		for _, a := range c.Arcs {
+			if a.To != p.Name {
+				continue
+			}
+			w(3, "timing () {")
+			w(4, "related_pin : \"%s\";", a.From)
+			w(4, "cell_rise (scalar) { values (\"%g\"); }", a.Rise.At(corner))
+			w(4, "cell_fall (scalar) { values (\"%g\"); }", a.Fall.At(corner))
+			w(3, "}")
+		}
+	}
+	w(2, "}")
+}
+
+func refersTo(e *logic.Expr, name string) bool {
+	for _, v := range e.Vars() {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadLibrary parses best- and worst-corner Liberty sources for the same
+// library and merges them into a single netlist.Library with per-corner
+// delays. The two sources must describe the same cells.
+func ReadLibrary(name, variant, bestSrc, worstSrc string) (*netlist.Library, error) {
+	best, err := readCorner(bestSrc)
+	if err != nil {
+		return nil, fmt.Errorf("liberty: best corner: %w", err)
+	}
+	worst, err := readCorner(worstSrc)
+	if err != nil {
+		return nil, fmt.Errorf("liberty: worst corner: %w", err)
+	}
+	lib := netlist.NewLibrary(name, variant)
+	for cname, bc := range best {
+		wc, ok := worst[cname]
+		if !ok {
+			return nil, fmt.Errorf("liberty: cell %s missing from worst corner", cname)
+		}
+		merged, err := mergeCorners(bc, wc)
+		if err != nil {
+			return nil, fmt.Errorf("liberty: cell %s: %w", cname, err)
+		}
+		lib.Add(merged)
+	}
+	for cname := range worst {
+		if _, ok := best[cname]; !ok {
+			return nil, fmt.Errorf("liberty: cell %s missing from best corner", cname)
+		}
+	}
+	return lib, nil
+}
+
+// cornerCell is a cell as read from a single-corner .lib.
+type cornerCell struct {
+	def     *netlist.CellDef // delays stored in the Best slot only
+	leakage float64
+}
+
+func readCorner(src string) (map[string]*cornerCell, error) {
+	root, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if root.Type != "library" {
+		return nil, fmt.Errorf("top-level group is %q, want library", root.Type)
+	}
+	out := map[string]*cornerCell{}
+	for _, cg := range root.Sub("cell") {
+		cc, err := readCell(cg)
+		if err != nil {
+			return nil, err
+		}
+		out[cc.def.Name] = cc
+	}
+	return out, nil
+}
+
+func readCell(cg *Group) (*cornerCell, error) {
+	if len(cg.Args) != 1 {
+		return nil, fmt.Errorf("cell group with %d names", len(cg.Args))
+	}
+	c := &netlist.CellDef{Name: cg.Args[0], Kind: netlist.KindComb, Functions: map[string]*logic.Expr{}}
+	cc := &cornerCell{def: c}
+	var err error
+	if v := cg.Attr("area"); v != "" {
+		if c.Area, err = strconv.ParseFloat(v, 64); err != nil {
+			return nil, fmt.Errorf("%s: bad area: %v", c.Name, err)
+		}
+	}
+	if v := cg.Attr("cell_leakage_power"); v != "" {
+		if cc.leakage, err = strconv.ParseFloat(v, 64); err != nil {
+			return nil, fmt.Errorf("%s: bad leakage: %v", c.Name, err)
+		}
+	}
+	if v := cg.Attr("desync_energy"); v != "" {
+		if c.Energy, err = strconv.ParseFloat(v, 64); err != nil {
+			return nil, fmt.Errorf("%s: bad energy: %v", c.Name, err)
+		}
+	}
+
+	// Sequential groups.
+	if ff := cg.First("ff"); ff != nil {
+		c.Kind = netlist.KindFF
+		if c.Seq, err = readSeq(ff, false); err != nil {
+			return nil, fmt.Errorf("%s: %v", c.Name, err)
+		}
+	} else if lt := cg.First("latch"); lt != nil {
+		c.Kind = netlist.KindLatch
+		if c.Seq, err = readSeq(lt, true); err != nil {
+			return nil, fmt.Errorf("%s: %v", c.Name, err)
+		}
+	} else if set := cg.Attr("desync_celem_set"); set != "" {
+		c.Kind = netlist.KindCElem
+		if cg.Attr("desync_celem_kind") == "gc" {
+			c.Kind = netlist.KindGC
+		}
+		gc := &netlist.GCSpec{}
+		if gc.Set, err = logic.ParseExpr(set); err != nil {
+			return nil, fmt.Errorf("%s: celem set: %v", c.Name, err)
+		}
+		if gc.Reset, err = logic.ParseExpr(cg.Attr("desync_celem_reset")); err != nil {
+			return nil, fmt.Errorf("%s: celem reset: %v", c.Name, err)
+		}
+		c.GC = gc
+	}
+
+	for _, pg := range cg.Sub("pin") {
+		if err := readPin(cc, pg); err != nil {
+			return nil, fmt.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	// A cell whose only output has function "0"/"1" is a tie cell.
+	if c.Kind == netlist.KindComb {
+		outs := c.Outputs()
+		if len(outs) == 1 {
+			if f := c.Functions[outs[0]]; f != nil && f.Op == logic.OpConst {
+				c.Kind = netlist.KindTie
+			}
+		}
+	}
+	// Resolve pin classes that depend on the seq spec (clock vs enable) and
+	// the C-element output name.
+	if c.Seq != nil {
+		for i := range c.Pins {
+			p := &c.Pins[i]
+			switch {
+			case p.Name == c.Seq.ClockPin && c.Kind == netlist.KindLatch:
+				p.Class = netlist.ClassEnable
+			case p.Name == c.Seq.ClockPin:
+				p.Class = netlist.ClassClock
+			case p.Name == c.Seq.Q:
+				p.Class = netlist.ClassOutput
+			case p.Name == c.Seq.QN:
+				p.Class = netlist.ClassOutputN
+			}
+		}
+	}
+	if c.GC != nil {
+		for i := range c.Pins {
+			if c.Pins[i].Dir == netlist.Out {
+				c.GC.Q = c.Pins[i].Name
+				c.Pins[i].Class = netlist.ClassOutput
+			}
+		}
+	}
+	return cc, nil
+}
+
+func readSeq(g *Group, isLatch bool) (*netlist.SeqSpec, error) {
+	s := &netlist.SeqSpec{Q: "Q"} // resolved properly from pin functions below
+	var nextAttr, clockAttr string
+	if isLatch {
+		nextAttr, clockAttr = "data_in", "enable"
+	} else {
+		nextAttr, clockAttr = "next_state", "clocked_on"
+	}
+	next, err := logic.ParseExpr(g.Attr(nextAttr))
+	if err != nil {
+		return nil, fmt.Errorf("bad %s: %v", nextAttr, err)
+	}
+	s.Next = next
+	clocked, err := logic.ParseExpr(g.Attr(clockAttr))
+	if err != nil {
+		return nil, fmt.Errorf("bad %s: %v", clockAttr, err)
+	}
+	// clocked_on is either a single pin or pin&gate for clock-gated cells;
+	// the true clock pin is identified later by its clock:true attribute, so
+	// here we take the first variable and patch in readPin if needed.
+	vars := clocked.Vars()
+	switch len(vars) {
+	case 1:
+		s.ClockPin = vars[0]
+	case 2:
+		// Disambiguated after pins are read (clock : true marks the pin).
+		s.ClockPin = vars[0]
+		s.ClockGate = vars[1]
+	default:
+		return nil, fmt.Errorf("unsupported %s expression %q", clockAttr, g.Attr(clockAttr))
+	}
+	if v := g.Attr("clear"); v != "" {
+		pin, low, err := parseAsync(v)
+		if err != nil {
+			return nil, err
+		}
+		s.AsyncReset, s.AsyncResetLow = pin, low
+	}
+	if v := g.Attr("preset"); v != "" {
+		pin, low, err := parseAsync(v)
+		if err != nil {
+			return nil, err
+		}
+		s.AsyncSet, s.AsyncSetLow = pin, low
+	}
+	return s, nil
+}
+
+func parseAsync(v string) (pin string, activeLow bool, err error) {
+	e, err := logic.ParseExpr(v)
+	if err != nil {
+		return "", false, fmt.Errorf("bad async expression %q: %v", v, err)
+	}
+	switch {
+	case e.Op == logic.OpVar:
+		return e.Name, false, nil
+	case e.Op == logic.OpNot && e.Child[0].Op == logic.OpVar:
+		return e.Child[0].Name, true, nil
+	}
+	return "", false, fmt.Errorf("unsupported async expression %q", v)
+}
+
+func readPin(cc *cornerCell, pg *Group) error {
+	c := cc.def
+	if len(pg.Args) != 1 {
+		return fmt.Errorf("pin group with %d names", len(pg.Args))
+	}
+	p := netlist.PinDef{Name: pg.Args[0]}
+	switch pg.Attr("direction") {
+	case "input":
+		p.Dir = netlist.In
+	case "output":
+		p.Dir = netlist.Out
+	case "inout":
+		p.Dir = netlist.InOut
+	default:
+		return fmt.Errorf("pin %s: missing direction", p.Name)
+	}
+	if v := pg.Attr("capacitance"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("pin %s: bad capacitance: %v", p.Name, err)
+		}
+		p.Cap = f
+	}
+	switch pg.Attr("signal_type") {
+	case "test_scan_in":
+		p.Class = netlist.ClassScanIn
+		if c.Seq != nil {
+			c.Seq.ScanIn = p.Name
+		}
+	case "test_scan_enable":
+		p.Class = netlist.ClassScanEnable
+		if c.Seq != nil {
+			c.Seq.ScanEnable = p.Name
+		}
+	case "set":
+		p.Class = netlist.ClassAsyncSet
+	case "reset":
+		p.Class = netlist.ClassAsyncReset
+	}
+	if pg.Attr("clock") == "true" {
+		p.Class = netlist.ClassClock
+		// Patch clock-vs-gate ambiguity for gated flip-flops.
+		if c.Seq != nil && c.Seq.ClockGate != "" && c.Seq.ClockPin != p.Name {
+			c.Seq.ClockGate, c.Seq.ClockPin = c.Seq.ClockPin, p.Name
+		}
+	}
+
+	if p.Dir == netlist.Out {
+		if fn := pg.Attr("function"); fn != "" && fn != "IQ" && fn != "IQN" {
+			e, err := logic.ParseExpr(fn)
+			if err != nil {
+				return fmt.Errorf("pin %s: bad function: %v", p.Name, err)
+			}
+			c.Functions[p.Name] = e
+		} else if c.Seq != nil {
+			switch fn {
+			case "IQ":
+				c.Seq.Q = p.Name
+				p.Class = netlist.ClassOutput
+			case "IQN":
+				c.Seq.QN = p.Name
+				p.Class = netlist.ClassOutputN
+			}
+		}
+	}
+
+	// Timing groups.
+	for _, tg := range pg.Sub("timing") {
+		related := tg.Attr("related_pin")
+		switch tg.Attr("timing_type") {
+		case "setup_rising":
+			d, err := scalarValue(tg, "rise_constraint")
+			if err != nil {
+				return err
+			}
+			c.Setup = netlist.Delay{Best: d}
+		case "hold_rising":
+			d, err := scalarValue(tg, "rise_constraint")
+			if err != nil {
+				return err
+			}
+			c.Hold = netlist.Delay{Best: d}
+		default:
+			rise, err := scalarValue(tg, "cell_rise")
+			if err != nil {
+				return err
+			}
+			fall, err := scalarValue(tg, "cell_fall")
+			if err != nil {
+				return err
+			}
+			c.Arcs = append(c.Arcs, netlist.TimingArc{
+				From: related, To: p.Name,
+				Rise: netlist.Delay{Best: rise},
+				Fall: netlist.Delay{Best: fall},
+			})
+		}
+	}
+	c.Pins = append(c.Pins, p)
+	return nil
+}
+
+// scalarValue extracts the single value of a scalar table subgroup, e.g.
+// cell_rise (scalar) { values ("0.05"); }.
+func scalarValue(tg *Group, name string) (float64, error) {
+	g := tg.First(name)
+	if g == nil {
+		return 0, fmt.Errorf("timing group missing %s", name)
+	}
+	for _, a := range g.Attrs {
+		if a.Name == "values" && len(a.Complex) == 1 {
+			return strconv.ParseFloat(a.Complex[0], 64)
+		}
+	}
+	return 0, fmt.Errorf("%s has no values()", name)
+}
+
+// mergeCorners combines a best- and worst-corner view of the same cell.
+func mergeCorners(best, worst *cornerCell) (*netlist.CellDef, error) {
+	c := best.def
+	wc := worst.def
+	c.Leakage = netlist.Delay{Best: best.leakage, Worst: worst.leakage}
+	if len(c.Arcs) != len(wc.Arcs) {
+		return nil, fmt.Errorf("arc count differs between corners (%d vs %d)", len(c.Arcs), len(wc.Arcs))
+	}
+	for i := range c.Arcs {
+		w := wc.Arc(c.Arcs[i].From, c.Arcs[i].To)
+		if w == nil {
+			return nil, fmt.Errorf("arc %s->%s missing from worst corner", c.Arcs[i].From, c.Arcs[i].To)
+		}
+		c.Arcs[i].Rise.Worst = w.Rise.Best
+		c.Arcs[i].Fall.Worst = w.Fall.Best
+	}
+	c.Setup.Worst = wc.Setup.Best
+	c.Hold.Worst = wc.Hold.Best
+	return c, nil
+}

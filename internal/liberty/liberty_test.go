@@ -1,0 +1,262 @@
+package liberty
+
+import (
+	"strings"
+	"testing"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+)
+
+func TestParseBasics(t *testing.T) {
+	src := `
+library (demo) {
+  time_unit : "1ns";
+  capacitive_load_unit (1, pf);
+  cell (INV) {
+    area : 2.8; /* comment */
+    pin (A) { direction : input; capacitance : 0.002; }
+    pin (Z) {
+      direction : output;
+      function : "!A";
+      timing () {
+        related_pin : "A";
+        cell_rise (scalar) { values ("0.016"); }
+        cell_fall (scalar) { values ("0.016"); }
+      }
+    }
+  }
+}`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != "library" || g.Args[0] != "demo" {
+		t.Fatalf("library group wrong: %v %v", g.Type, g.Args)
+	}
+	cells := g.Sub("cell")
+	if len(cells) != 1 || cells[0].Args[0] != "INV" {
+		t.Fatal("cell group missing")
+	}
+	if cells[0].Attr("area") != "2.8" {
+		t.Fatalf("area = %q", cells[0].Attr("area"))
+	}
+	pins := cells[0].Sub("pin")
+	if len(pins) != 2 {
+		t.Fatal("pins missing")
+	}
+	if pins[1].Attr("function") != "!A" {
+		t.Fatalf("function = %q", pins[1].Attr("function"))
+	}
+	tg := pins[1].First("timing")
+	if tg == nil || tg.Attr("related_pin") != "A" {
+		t.Fatal("timing group missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"library (x) {",
+		"library (x) { cell (y) }",
+		`library (x) { area  2.8; }`,
+		`library (x) { /* unterminated`,
+		`library (x) { s : "unterminated; }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestLineComments(t *testing.T) {
+	src := "library (d) {\n// a comment\narea : 1;\n}"
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Attr("area") != "1" {
+		t.Fatal("attribute after comment lost")
+	}
+}
+
+// The central contract: the synthetic libraries round-trip through Liberty
+// text with all flow-relevant information intact. This is the reproduction
+// of the paper's gatefile-extraction step (§3.1.1).
+func TestRoundTripStdcells(t *testing.T) {
+	for _, variant := range []stdcells.Variant{stdcells.HighSpeed, stdcells.LowLeakage} {
+		orig := stdcells.New(variant)
+		bestSrc := WriteCorner(orig, netlist.Best)
+		worstSrc := WriteCorner(orig, netlist.Worst)
+		got, err := ReadLibrary(orig.Name, string(variant), bestSrc, worstSrc)
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if len(got.Cells) != len(orig.Cells) {
+			t.Fatalf("%s: %d cells read, want %d", variant, len(got.Cells), len(orig.Cells))
+		}
+		for name, oc := range orig.Cells {
+			gc, ok := got.Cells[name]
+			if !ok {
+				t.Errorf("%s: cell %s lost", variant, name)
+				continue
+			}
+			compareCells(t, oc, gc)
+		}
+	}
+}
+
+func compareCells(t *testing.T, oc, gc *netlist.CellDef) {
+	t.Helper()
+	if gc.Kind != oc.Kind {
+		t.Errorf("%s: kind %v want %v", oc.Name, gc.Kind, oc.Kind)
+	}
+	if gc.Area != oc.Area {
+		t.Errorf("%s: area %g want %g", oc.Name, gc.Area, oc.Area)
+	}
+	if !close(gc.Energy, oc.Energy) {
+		t.Errorf("%s: energy %g want %g", oc.Name, gc.Energy, oc.Energy)
+	}
+	if !close(gc.Leakage.Best, oc.Leakage.Best) || !close(gc.Leakage.Worst, oc.Leakage.Worst) {
+		t.Errorf("%s: leakage %+v want %+v", oc.Name, gc.Leakage, oc.Leakage)
+	}
+	if len(gc.Pins) != len(oc.Pins) {
+		t.Errorf("%s: %d pins want %d", oc.Name, len(gc.Pins), len(oc.Pins))
+		return
+	}
+	for _, op := range oc.Pins {
+		gp := gc.Pin(op.Name)
+		if gp == nil {
+			t.Errorf("%s: pin %s lost", oc.Name, op.Name)
+			continue
+		}
+		if gp.Dir != op.Dir || gp.Class != op.Class {
+			t.Errorf("%s/%s: dir/class %v/%v want %v/%v", oc.Name, op.Name, gp.Dir, gp.Class, op.Dir, op.Class)
+		}
+	}
+	// Timing arcs with both corners.
+	for _, oa := range oc.Arcs {
+		ga := gc.Arc(oa.From, oa.To)
+		if ga == nil {
+			t.Errorf("%s: arc %s->%s lost", oc.Name, oa.From, oa.To)
+			continue
+		}
+		if !close(ga.Rise.Best, oa.Rise.Best) || !close(ga.Rise.Worst, oa.Rise.Worst) ||
+			!close(ga.Fall.Best, oa.Fall.Best) || !close(ga.Fall.Worst, oa.Fall.Worst) {
+			t.Errorf("%s: arc %s->%s delays %+v/%+v want %+v/%+v",
+				oc.Name, oa.From, oa.To, ga.Rise, ga.Fall, oa.Rise, oa.Fall)
+		}
+	}
+	// Functional equivalence of combinational functions.
+	for out, ofn := range oc.Functions {
+		gfn, ok := gc.Functions[out]
+		if !ok {
+			t.Errorf("%s: function for %s lost", oc.Name, out)
+			continue
+		}
+		if !equivalent(ofn, gfn) {
+			t.Errorf("%s: function %s not equivalent: %s vs %s", oc.Name, out, ofn, gfn)
+		}
+	}
+	// Sequential specs.
+	if (oc.Seq == nil) != (gc.Seq == nil) {
+		t.Errorf("%s: seq spec presence mismatch", oc.Name)
+		return
+	}
+	if oc.Seq != nil {
+		os, gs := oc.Seq, gc.Seq
+		if gs.ClockPin != os.ClockPin || gs.Q != os.Q || gs.QN != os.QN ||
+			gs.AsyncSet != os.AsyncSet || gs.AsyncReset != os.AsyncReset ||
+			gs.AsyncSetLow != os.AsyncSetLow || gs.AsyncResetLow != os.AsyncResetLow ||
+			gs.ScanIn != os.ScanIn || gs.ScanEnable != os.ScanEnable ||
+			gs.ClockGate != os.ClockGate {
+			t.Errorf("%s: seq spec mismatch:\n got %+v\nwant %+v", oc.Name, gs, os)
+		}
+		if !equivalent(os.Next, gs.Next) {
+			t.Errorf("%s: next-state not equivalent: %s vs %s", oc.Name, os.Next, gs.Next)
+		}
+		if !close(gc.Setup.Best, oc.Setup.Best) || !close(gc.Setup.Worst, oc.Setup.Worst) {
+			t.Errorf("%s: setup %+v want %+v", oc.Name, gc.Setup, oc.Setup)
+		}
+		if !close(gc.Hold.Best, oc.Hold.Best) || !close(gc.Hold.Worst, oc.Hold.Worst) {
+			t.Errorf("%s: hold %+v want %+v", oc.Name, gc.Hold, oc.Hold)
+		}
+	}
+	if (oc.GC == nil) != (gc.GC == nil) {
+		t.Errorf("%s: GC spec presence mismatch", oc.Name)
+		return
+	}
+	if oc.GC != nil {
+		if !equivalent(oc.GC.Set, gc.GC.Set) || !equivalent(oc.GC.Reset, gc.GC.Reset) {
+			t.Errorf("%s: GC spec not equivalent", oc.Name)
+		}
+		if gc.GC.Q != oc.GC.Q {
+			t.Errorf("%s: GC output %q want %q", oc.Name, gc.GC.Q, oc.GC.Q)
+		}
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9+1e-6*abs(b)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// equivalent exhaustively checks two expressions over their combined vars.
+func equivalent(a, b *logic.Expr) bool {
+	vars := map[string]bool{}
+	for _, v := range a.Vars() {
+		vars[v] = true
+	}
+	for _, v := range b.Vars() {
+		vars[v] = true
+	}
+	names := make([]string, 0, len(vars))
+	for v := range vars {
+		names = append(names, v)
+	}
+	for mask := 0; mask < 1<<len(names); mask++ {
+		env := map[string]logic.V{}
+		for i, n := range names {
+			env[n] = logic.FromBool(mask>>i&1 == 1)
+		}
+		if a.Eval(env) != b.Eval(env) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWriterDeterministic(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	a := WriteCorner(lib, netlist.Best)
+	b := WriteCorner(lib, netlist.Best)
+	if a != b {
+		t.Fatal("writer output not deterministic")
+	}
+	if !strings.Contains(a, "cell (DFFQX1)") {
+		t.Fatal("expected DFFQX1 in output")
+	}
+}
+
+func TestReadLibraryCornerMismatch(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	best := WriteCorner(lib, netlist.Best)
+	// Worst corner missing a cell.
+	worst := WriteCorner(lib, netlist.Worst)
+	worst = strings.Replace(worst, "cell (INVX1)", "cell (RENAMED)", 1)
+	if _, err := ReadLibrary("x", "HS", best, worst); err == nil {
+		t.Fatal("expected corner mismatch error")
+	}
+}

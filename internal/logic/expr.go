@@ -1,0 +1,332 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op identifies the operator of an expression node.
+type Op uint8
+
+// Expression operators. Var references an input by name, Const is a literal.
+const (
+	OpConst Op = iota
+	OpVar
+	OpNot
+	OpAnd
+	OpOr
+	OpXor
+)
+
+// Expr is a boolean expression tree over named inputs. It is the in-memory
+// form of a Liberty "function" attribute and is used both for simulation and
+// for structural analysis of cells.
+type Expr struct {
+	Op    Op
+	Val   V       // OpConst
+	Name  string  // OpVar
+	Child []*Expr // OpNot: 1 child; OpAnd/OpOr/OpXor: >=2 children
+}
+
+// Constants and constructors.
+
+// Const returns a constant expression.
+func Const(v V) *Expr { return &Expr{Op: OpConst, Val: v} }
+
+// Var returns a variable reference expression.
+func Var(name string) *Expr { return &Expr{Op: OpVar, Name: name} }
+
+// Not returns the negation of e.
+func Not(e *Expr) *Expr { return &Expr{Op: OpNot, Child: []*Expr{e}} }
+
+// NewAnd returns the conjunction of the given expressions.
+func NewAnd(es ...*Expr) *Expr { return &Expr{Op: OpAnd, Child: es} }
+
+// NewOr returns the disjunction of the given expressions.
+func NewOr(es ...*Expr) *Expr { return &Expr{Op: OpOr, Child: es} }
+
+// NewXor returns the exclusive-or of the given expressions.
+func NewXor(es ...*Expr) *Expr { return &Expr{Op: OpXor, Child: es} }
+
+// Eval evaluates the expression under the given environment. Missing
+// variables evaluate to X.
+func (e *Expr) Eval(env map[string]V) V {
+	switch e.Op {
+	case OpConst:
+		return e.Val
+	case OpVar:
+		return env[e.Name]
+	case OpNot:
+		return e.Child[0].Eval(env).Not()
+	case OpAnd:
+		r := H
+		for _, c := range e.Child {
+			r = And(r, c.Eval(env))
+			if r == L {
+				return L
+			}
+		}
+		return r
+	case OpOr:
+		r := L
+		for _, c := range e.Child {
+			r = Or(r, c.Eval(env))
+			if r == H {
+				return H
+			}
+		}
+		return r
+	case OpXor:
+		r := L
+		for _, c := range e.Child {
+			r = Xor(r, c.Eval(env))
+			if r == X {
+				return X
+			}
+		}
+		return r
+	}
+	return X
+}
+
+// Vars returns the sorted set of variable names referenced by e.
+func (e *Expr) Vars() []string {
+	set := map[string]bool{}
+	e.collectVars(set)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Expr) collectVars(set map[string]bool) {
+	if e.Op == OpVar {
+		set[e.Name] = true
+	}
+	for _, c := range e.Child {
+		c.collectVars(set)
+	}
+}
+
+// String renders the expression in Liberty syntax: ! for not, * or & for and
+// (we emit &), + or | for or (we emit |), ^ for xor.
+func (e *Expr) String() string {
+	switch e.Op {
+	case OpConst:
+		if e.Val == H {
+			return "1"
+		}
+		if e.Val == L {
+			return "0"
+		}
+		return "x"
+	case OpVar:
+		return e.Name
+	case OpNot:
+		return "!" + paren(e.Child[0], true)
+	case OpAnd:
+		return joinChildren(e.Child, "&")
+	case OpOr:
+		return joinChildren(e.Child, "|")
+	case OpXor:
+		return joinChildren(e.Child, "^")
+	}
+	return "?"
+}
+
+func joinChildren(cs []*Expr, op string) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = paren(c, false)
+	}
+	return strings.Join(parts, op)
+}
+
+func paren(e *Expr, unary bool) string {
+	switch e.Op {
+	case OpConst, OpVar:
+		return e.String()
+	case OpNot:
+		if unary {
+			return e.String()
+		}
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+// ParseExpr parses a Liberty-style boolean function string. Supported
+// syntax: identifiers, constants 0/1, ! and trailing ' for negation,
+// * and & for AND (also implicit by juxtaposition of parenthesized or
+// identifier terms separated by whitespace), + and | for OR, ^ for XOR,
+// parentheses. Precedence: ! > ^ > AND > OR (as in Liberty).
+func ParseExpr(s string) (*Expr, error) {
+	p := &exprParser{in: s}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("logic: trailing input %q in function %q", p.in[p.pos:], s)
+	}
+	return e, nil
+}
+
+// MustParseExpr is ParseExpr that panics on error; for package-level tables.
+func MustParseExpr(s string) *Expr {
+	e, err := ParseExpr(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type exprParser struct {
+	in  string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *exprParser) parseOr() (*Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Expr{left}
+	for p.peek() == '+' || p.peek() == '|' {
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return NewOr(kids...), nil
+}
+
+func (p *exprParser) parseAnd() (*Expr, error) {
+	left, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Expr{left}
+	for {
+		c := p.peek()
+		// Explicit AND operators, or implicit AND before a term start.
+		if c == '*' || c == '&' {
+			p.pos++
+		} else if c == '(' || c == '!' || isIdentStart(c) || c == '0' || c == '1' {
+			// implicit AND (Liberty allows "a b" and "a(b)")
+		} else {
+			break
+		}
+		right, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return NewAnd(kids...), nil
+}
+
+func (p *exprParser) parseXor() (*Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Expr{left}
+	for p.peek() == '^' {
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return NewXor(kids...), nil
+}
+
+func (p *exprParser) parseUnary() (*Expr, error) {
+	if p.peek() == '!' {
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(e), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (*Expr, error) {
+	c := p.peek()
+	var e *Expr
+	switch {
+	case c == '(':
+		p.pos++
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("logic: missing ')' in function %q", p.in)
+		}
+		p.pos++
+		e = inner
+	case c == '0':
+		p.pos++
+		e = Const(L)
+	case c == '1':
+		p.pos++
+		e = Const(H)
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.in) && isIdentPart(p.in[p.pos]) {
+			p.pos++
+		}
+		e = Var(p.in[start:p.pos])
+	default:
+		return nil, fmt.Errorf("logic: unexpected character %q in function %q", c, p.in)
+	}
+	// Postfix ' negation (Liberty alternative to !).
+	for p.pos < len(p.in) && p.in[p.pos] == '\'' {
+		p.pos++
+		e = Not(e)
+	}
+	return e, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '[' || c == ']' || c == '.'
+}

@@ -1,0 +1,133 @@
+// Package logic provides the three-valued logic system (0, 1, X) and the
+// boolean expression representation used throughout the flow: Liberty cell
+// functions are parsed into Expr trees, the simulator evaluates them, and the
+// desynchronization tool inspects them (e.g. to find inverting/buffering
+// cells during logic cleaning).
+package logic
+
+import "strings"
+
+// V is a three-valued logic value. The zero value is X (unknown), so freshly
+// allocated signal state starts out unknown, matching gate-level simulation
+// semantics before reset.
+type V uint8
+
+// The three logic values.
+const (
+	X V = iota // unknown / uninitialized
+	L          // logic 0
+	H          // logic 1
+)
+
+// FromBool converts a Go bool to a logic value.
+func FromBool(b bool) V {
+	if b {
+		return H
+	}
+	return L
+}
+
+// Bool reports the value as a bool; X maps to false.
+func (v V) Bool() bool { return v == H }
+
+// Known reports whether v is 0 or 1 (not X).
+func (v V) Known() bool { return v != X }
+
+// String returns "0", "1" or "x".
+func (v V) String() string {
+	switch v {
+	case L:
+		return "0"
+	case H:
+		return "1"
+	}
+	return "x"
+}
+
+// Not returns the three-valued negation of v.
+func (v V) Not() V {
+	switch v {
+	case L:
+		return H
+	case H:
+		return L
+	}
+	return X
+}
+
+// And returns the three-valued conjunction: 0 dominates X.
+func And(a, b V) V {
+	if a == L || b == L {
+		return L
+	}
+	if a == H && b == H {
+		return H
+	}
+	return X
+}
+
+// Or returns the three-valued disjunction: 1 dominates X.
+func Or(a, b V) V {
+	if a == H || b == H {
+		return H
+	}
+	if a == L && b == L {
+		return L
+	}
+	return X
+}
+
+// Xor returns the three-valued exclusive-or; any X input yields X.
+func Xor(a, b V) V {
+	if a == X || b == X {
+		return X
+	}
+	if a != b {
+		return H
+	}
+	return L
+}
+
+// Vector is a slice of logic values, LSB first, used for datapath buses in
+// tests and design generators.
+type Vector []V
+
+// VectorFromUint builds an n-bit vector (LSB first) from the low n bits of u.
+func VectorFromUint(u uint64, n int) Vector {
+	v := make(Vector, n)
+	for i := 0; i < n; i++ {
+		v[i] = FromBool(u>>uint(i)&1 == 1)
+	}
+	return v
+}
+
+// Uint interprets the vector as an unsigned integer (LSB first). X bits are
+// treated as 0; use Known to check cleanliness first.
+func (vec Vector) Uint() uint64 {
+	var u uint64
+	for i, v := range vec {
+		if v == H {
+			u |= 1 << uint(i)
+		}
+	}
+	return u
+}
+
+// Known reports whether every bit of the vector is 0 or 1.
+func (vec Vector) Known() bool {
+	for _, v := range vec {
+		if v == X {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector MSB first, e.g. "0101".
+func (vec Vector) String() string {
+	var sb strings.Builder
+	for i := len(vec) - 1; i >= 0; i-- {
+		sb.WriteString(vec[i].String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,203 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueOps(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       func(a, b V) V
+		a, b, r V
+	}{
+		{"and11", And, H, H, H},
+		{"and10", And, H, L, L},
+		{"and0x", And, L, X, L},
+		{"andx1", And, X, H, X},
+		{"andxx", And, X, X, X},
+		{"or00", Or, L, L, L},
+		{"or01", Or, L, H, H},
+		{"or1x", Or, H, X, H},
+		{"orx0", Or, X, L, X},
+		{"xor01", Xor, L, H, H},
+		{"xor11", Xor, H, H, L},
+		{"xorx1", Xor, X, H, X},
+	}
+	for _, c := range cases {
+		if got := c.f(c.a, c.b); got != c.r {
+			t.Errorf("%s: got %v want %v", c.name, got, c.r)
+		}
+	}
+	if H.Not() != L || L.Not() != H || X.Not() != X {
+		t.Error("Not is wrong")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if L.String() != "0" || H.String() != "1" || X.String() != "x" {
+		t.Fatal("String rendering wrong")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	f := func(u uint64) bool {
+		v := VectorFromUint(u, 16)
+		return v.Uint() == u&0xffff && v.Known()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := VectorFromUint(0b1010, 4)
+	if v.String() != "1010" {
+		t.Fatalf("got %q", v.String())
+	}
+	if !v.Known() {
+		t.Fatal("expected known")
+	}
+	v[2] = X
+	if v.Known() {
+		t.Fatal("expected unknown after setting X")
+	}
+}
+
+func TestParseExprBasic(t *testing.T) {
+	cases := []struct {
+		in  string
+		env map[string]V
+		out V
+	}{
+		{"A&B", map[string]V{"A": H, "B": H}, H},
+		{"A*B", map[string]V{"A": H, "B": L}, L},
+		{"A+B", map[string]V{"A": L, "B": H}, H},
+		{"A|B", map[string]V{"A": L, "B": L}, L},
+		{"!A", map[string]V{"A": H}, L},
+		{"A'", map[string]V{"A": H}, L},
+		{"A^B", map[string]V{"A": H, "B": H}, L},
+		{"A^B^C", map[string]V{"A": H, "B": H, "C": H}, H},
+		{"(A+B)&!C", map[string]V{"A": H, "B": L, "C": L}, H},
+		{"(A+B)&!C", map[string]V{"A": H, "B": L, "C": H}, L},
+		{"A&B+C&D", map[string]V{"A": L, "B": L, "C": H, "D": H}, H},
+		{"0", nil, L},
+		{"1", nil, H},
+		{"(S&A)|(!S&B)", map[string]V{"S": L, "A": H, "B": L}, L},
+		{"(S&A)|(!S&B)", map[string]V{"S": H, "A": H, "B": L}, H},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.in, err)
+		}
+		if got := e.Eval(c.env); got != c.out {
+			t.Errorf("%q under %v: got %v want %v", c.in, c.env, got, c.out)
+		}
+	}
+}
+
+func TestParseExprImplicitAnd(t *testing.T) {
+	e, err := ParseExpr("A (B+C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Eval(map[string]V{"A": H, "B": L, "C": H}); got != H {
+		t.Fatalf("implicit and: got %v", got)
+	}
+	if got := e.Eval(map[string]V{"A": L, "B": H, "C": H}); got != L {
+		t.Fatalf("implicit and: got %v", got)
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, bad := range []string{"", "(A", "A)", "&A", "A!", "A$B"} {
+		if _, err := ParseExpr(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	e := MustParseExpr("(S&A)|(!S&B)")
+	vars := e.Vars()
+	if len(vars) != 3 || vars[0] != "A" || vars[1] != "B" || vars[2] != "S" {
+		t.Fatalf("got vars %v", vars)
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	// Render then re-parse: must evaluate identically over all assignments.
+	exprs := []string{
+		"(S&A)|(!S&B)",
+		"A^B^C",
+		"!(A&B)|C",
+		"A&!B&C|!A&B",
+	}
+	for _, s := range exprs {
+		e1 := MustParseExpr(s)
+		e2, err := ParseExpr(e1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q: %v", s, e1.String(), err)
+		}
+		vars := e1.Vars()
+		for mask := 0; mask < 1<<len(vars); mask++ {
+			env := map[string]V{}
+			for i, v := range vars {
+				env[v] = FromBool(mask>>i&1 == 1)
+			}
+			if e1.Eval(env) != e2.Eval(env) {
+				t.Fatalf("%q: round trip mismatch under %v", s, env)
+			}
+		}
+	}
+}
+
+// Property: three-valued operators agree with boolean operators on known
+// values, and are monotone w.r.t. information (replacing X by any value never
+// changes a known output).
+func TestThreeValuedMonotone(t *testing.T) {
+	vals := []V{L, H, X}
+	ops := []struct {
+		name string
+		f    func(a, b V) V
+		bf   func(a, b bool) bool
+	}{
+		{"and", And, func(a, b bool) bool { return a && b }},
+		{"or", Or, func(a, b bool) bool { return a || b }},
+		{"xor", Xor, func(a, b bool) bool { return a != b }},
+	}
+	for _, op := range ops {
+		for _, a := range vals {
+			for _, b := range vals {
+				r := op.f(a, b)
+				if a.Known() && b.Known() {
+					want := FromBool(op.bf(a.Bool(), b.Bool()))
+					if r != want {
+						t.Errorf("%s(%v,%v)=%v want %v", op.name, a, b, r, want)
+					}
+					continue
+				}
+				// If output is known despite an X input, then it must be
+				// independent of the X input(s).
+				if r.Known() {
+					for _, ra := range refine(a) {
+						for _, rb := range refine(b) {
+							if op.f(ra, rb) != r {
+								t.Errorf("%s(%v,%v)=%v not stable under refinement (%v,%v)",
+									op.name, a, b, r, ra, rb)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func refine(v V) []V {
+	if v == X {
+		return []V{L, H}
+	}
+	return []V{v}
+}

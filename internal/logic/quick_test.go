@@ -1,0 +1,97 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randExpr builds a random expression over the given variables.
+func randExpr(rng *rand.Rand, vars []string, depth int) *Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		if rng.Intn(8) == 0 {
+			return Const(FromBool(rng.Intn(2) == 1))
+		}
+		return Var(vars[rng.Intn(len(vars))])
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Not(randExpr(rng, vars, depth-1))
+	case 1:
+		return NewAnd(randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
+	case 2:
+		return NewOr(randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
+	default:
+		return NewXor(randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
+	}
+}
+
+// Property: String() output re-parses to a semantically identical
+// expression for arbitrary random expression trees.
+func TestQuickExprStringRoundTrip(t *testing.T) {
+	vars := []string{"A", "B", "C", "D"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randExpr(rng, vars, 5)
+		e2, err := ParseExpr(e1.String())
+		if err != nil {
+			t.Logf("re-parse of %q failed: %v", e1.String(), err)
+			return false
+		}
+		for mask := 0; mask < 1<<len(vars); mask++ {
+			env := map[string]V{}
+			for i, v := range vars {
+				env[v] = FromBool(mask>>i&1 == 1)
+			}
+			if e1.Eval(env) != e2.Eval(env) {
+				t.Logf("mismatch for %q under %v", e1.String(), env)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: evaluation is monotone in information — refining an X input to
+// 0 or 1 never flips an already-known output.
+func TestQuickEvalMonotone(t *testing.T) {
+	vars := []string{"A", "B", "C"}
+	f := func(seed int64, mask uint8, xmask uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, vars, 4)
+		env := map[string]V{}
+		for i, v := range vars {
+			if xmask>>i&1 == 1 {
+				env[v] = X
+			} else {
+				env[v] = FromBool(mask>>uint(i)&1 == 1)
+			}
+		}
+		out := e.Eval(env)
+		if !out.Known() {
+			return true
+		}
+		// Refine every X in all combinations: output must not change.
+		var xs []string
+		for i, v := range vars {
+			if xmask>>i&1 == 1 {
+				xs = append(xs, v)
+			}
+		}
+		for r := 0; r < 1<<len(xs); r++ {
+			for i, v := range xs {
+				env[v] = FromBool(r>>i&1 == 1)
+			}
+			if e.Eval(env) != out {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

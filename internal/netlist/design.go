@@ -1,0 +1,502 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PinRef identifies one endpoint of a net: a pin of an instance, or (when
+// Inst is nil) a port of the enclosing module.
+type PinRef struct {
+	Inst *Inst  // nil for module ports
+	Pin  string // instance pin name or module port name
+}
+
+// String renders inst/pin or the bare port name.
+func (r PinRef) String() string {
+	if r.Inst == nil {
+		return r.Pin
+	}
+	return r.Inst.Name + "/" + r.Pin
+}
+
+// Net is a single-bit wire. A net has at most one driver (instance output or
+// module input port) and any number of sinks.
+type Net struct {
+	Name      string
+	Driver    PinRef   // zero value (Inst==nil, Pin=="") means undriven
+	Sinks     []PinRef // instance inputs and module output ports
+	FalsePath bool     // marked via drdesync's command line to be ignored by grouping (§3.2.2)
+
+	// Wire is the interconnect delay annotated by placement & routing;
+	// zero before layout. Applied to every driver→sink hop of the net.
+	Wire Delay
+}
+
+// HasDriver reports whether the net has a driver.
+func (n *Net) HasDriver() bool { return n.Driver.Inst != nil || n.Driver.Pin != "" }
+
+// BusBase splits a bit-blasted bus net name "data[3]" into ("data", 3, true).
+// Names without a [index] suffix return ok=false. The grouping bus heuristic
+// (§3.2.2) relies on this: it only works when the synthesis tool has kept
+// bus[n] naming rather than collapsing to bus_n.
+func BusBase(name string) (base string, index int, ok bool) {
+	if !strings.HasSuffix(name, "]") {
+		return "", 0, false
+	}
+	i := strings.LastIndexByte(name, '[')
+	if i < 0 {
+		return "", 0, false
+	}
+	idx := 0
+	digits := name[i+1 : len(name)-1]
+	if digits == "" {
+		return "", 0, false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return "", 0, false
+		}
+		idx = idx*10 + int(c-'0')
+	}
+	return name[:i], idx, true
+}
+
+// Inst is an instance of a library cell or of a submodule (exactly one of
+// Cell and Sub is non-nil). Conns maps the cell/submodule pin name to the
+// connected net in the enclosing module.
+type Inst struct {
+	Name  string
+	Cell  *CellDef
+	Sub   *Module
+	Conns map[string]*Net
+
+	// Group is the desynchronization region this instance belongs to;
+	// -1 before grouping. Group 0 is the paper's catch-all region for
+	// sequential elements registering circuit inputs.
+	Group int
+
+	// SizeOnly marks controller-internal gates that backend optimization may
+	// resize but not restructure (§4.6.2).
+	SizeOnly bool
+
+	// Origin records which flow step created the instance ("" for cells
+	// present in the imported netlist): "ffsub" for flip-flop substitution
+	// products, "ctrl" for controller-network cells, "delem" for delay
+	// elements, "cts" for enable-tree buffers, "scan" for DFT. The area
+	// tables of §5 attribute "ffsub" gates to sequential logic, matching the
+	// paper's accounting for the ARM scan design.
+	Origin string
+
+	// DelayFactor is this instance's intra-die variability multiplier applied
+	// to all its timing arcs during simulation; 1.0 nominal.
+	DelayFactor float64
+}
+
+// CellName returns the library cell or submodule name.
+func (in *Inst) CellName() string {
+	if in.Cell != nil {
+		return in.Cell.Name
+	}
+	return in.Sub.Name
+}
+
+// Port is a module-level port bound to an internal net of the same name.
+type Port struct {
+	Name string
+	Dir  PinDir
+	Net  *Net
+}
+
+// Module is a netlist: ports, nets and instances. Designs straight out of
+// synthesis are flat modules of library cells; the Verilog reader may also
+// build two-level hierarchies which Flatten collapses.
+type Module struct {
+	Name  string
+	Ports []*Port
+	Nets  []*Net
+	Insts []*Inst
+
+	netByName  map[string]*Net
+	instByName map[string]*Inst
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:       name,
+		netByName:  map[string]*Net{},
+		instByName: map[string]*Inst{},
+	}
+}
+
+// AddNet creates a new named net. It is an error (panic) to reuse a name.
+func (m *Module) AddNet(name string) *Net {
+	if _, dup := m.netByName[name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate net %q in module %s", name, m.Name))
+	}
+	n := &Net{Name: name}
+	m.Nets = append(m.Nets, n)
+	m.netByName[name] = n
+	return n
+}
+
+// Net returns the named net or nil.
+func (m *Module) Net(name string) *Net { return m.netByName[name] }
+
+// EnsureNet returns the named net, creating it if needed.
+func (m *Module) EnsureNet(name string) *Net {
+	if n := m.netByName[name]; n != nil {
+		return n
+	}
+	return m.AddNet(name)
+}
+
+// AddPort declares a module port and binds it to a same-named net (creating
+// the net if necessary). Input ports drive their net; output ports sink it.
+func (m *Module) AddPort(name string, dir PinDir) *Port {
+	n := m.EnsureNet(name)
+	p := &Port{Name: name, Dir: dir, Net: n}
+	m.Ports = append(m.Ports, p)
+	switch dir {
+	case In:
+		n.Driver = PinRef{Pin: name}
+	case Out:
+		n.Sinks = append(n.Sinks, PinRef{Pin: name})
+	}
+	return p
+}
+
+// AddPortOnNet declares a port bound to an existing net whose name may
+// differ from the port's (used by the Verilog reader when assign aliases
+// merge a port with another net).
+func (m *Module) AddPortOnNet(name string, dir PinDir, n *Net) (*Port, error) {
+	p := &Port{Name: name, Dir: dir, Net: n}
+	m.Ports = append(m.Ports, p)
+	switch dir {
+	case In:
+		if n.HasDriver() {
+			return nil, fmt.Errorf("netlist: input port %s on already-driven net %s", name, n.Name)
+		}
+		n.Driver = PinRef{Pin: name}
+	case Out:
+		n.Sinks = append(n.Sinks, PinRef{Pin: name})
+	}
+	return p, nil
+}
+
+// Port returns the named port or nil.
+func (m *Module) Port(name string) *Port {
+	for _, p := range m.Ports {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// AddInst creates an instance of a library cell with no connections.
+func (m *Module) AddInst(name string, cell *CellDef) *Inst {
+	return m.addInst(&Inst{Name: name, Cell: cell, Conns: map[string]*Net{}, Group: -1, DelayFactor: 1})
+}
+
+// AddSubInst creates an instance of a submodule.
+func (m *Module) AddSubInst(name string, sub *Module) *Inst {
+	return m.addInst(&Inst{Name: name, Sub: sub, Conns: map[string]*Net{}, Group: -1, DelayFactor: 1})
+}
+
+func (m *Module) addInst(in *Inst) *Inst {
+	if _, dup := m.instByName[in.Name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate instance %q in module %s", in.Name, m.Name))
+	}
+	m.Insts = append(m.Insts, in)
+	m.instByName[in.Name] = in
+	return in
+}
+
+// Inst returns the named instance or nil.
+func (m *Module) Inst(name string) *Inst { return m.instByName[name] }
+
+// Connect attaches pin of inst to net, updating the net's driver/sink lists
+// according to the pin direction. Connecting an output pin to an
+// already-driven net is an error.
+func (m *Module) Connect(in *Inst, pin string, net *Net) error {
+	dir, err := m.pinDir(in, pin)
+	if err != nil {
+		return err
+	}
+	if old := in.Conns[pin]; old != nil {
+		return fmt.Errorf("netlist: %s/%s already connected to %s", in.Name, pin, old.Name)
+	}
+	in.Conns[pin] = net
+	ref := PinRef{Inst: in, Pin: pin}
+	if dir == Out {
+		if net.HasDriver() {
+			return fmt.Errorf("netlist: net %s has two drivers: %s and %s", net.Name, net.Driver, ref)
+		}
+		net.Driver = ref
+	} else {
+		net.Sinks = append(net.Sinks, ref)
+	}
+	return nil
+}
+
+// MustConnect is Connect that panics on error; for programmatic generators.
+func (m *Module) MustConnect(in *Inst, pin string, net *Net) {
+	if err := m.Connect(in, pin, net); err != nil {
+		panic(err)
+	}
+}
+
+// Disconnect removes the connection of pin on inst from its net.
+func (m *Module) Disconnect(in *Inst, pin string) {
+	net := in.Conns[pin]
+	if net == nil {
+		return
+	}
+	delete(in.Conns, pin)
+	ref := PinRef{Inst: in, Pin: pin}
+	if net.Driver == ref {
+		net.Driver = PinRef{}
+		return
+	}
+	for i, s := range net.Sinks {
+		if s == ref {
+			net.Sinks = append(net.Sinks[:i], net.Sinks[i+1:]...)
+			return
+		}
+	}
+}
+
+// RemoveInst removes the instance and all its connections.
+func (m *Module) RemoveInst(in *Inst) {
+	for pin := range in.Conns {
+		m.Disconnect(in, pin)
+	}
+	delete(m.instByName, in.Name)
+	for i, x := range m.Insts {
+		if x == in {
+			m.Insts = append(m.Insts[:i], m.Insts[i+1:]...)
+			return
+		}
+	}
+}
+
+// RemoveNet removes an unconnected net.
+func (m *Module) RemoveNet(n *Net) error {
+	if n.HasDriver() || len(n.Sinks) > 0 {
+		return fmt.Errorf("netlist: net %s still connected", n.Name)
+	}
+	delete(m.netByName, n.Name)
+	for i, x := range m.Nets {
+		if x == n {
+			m.Nets = append(m.Nets[:i], m.Nets[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// RenameNet changes a net's name, keeping lookups consistent. The new name
+// must be free.
+func (m *Module) RenameNet(n *Net, name string) error {
+	if _, taken := m.netByName[name]; taken {
+		return fmt.Errorf("netlist: net name %q already in use", name)
+	}
+	delete(m.netByName, n.Name)
+	n.Name = name
+	m.netByName[name] = n
+	return nil
+}
+
+// ReplaceSinks moves every sink of from onto to (drivers are untouched).
+// Used by logic cleaning when a buffer is removed.
+func (m *Module) ReplaceSinks(from, to *Net) {
+	for _, s := range from.Sinks {
+		if s.Inst != nil {
+			s.Inst.Conns[s.Pin] = to
+		} else {
+			// Module output port: rebind the port to the surviving net.
+			if p := m.Port(s.Pin); p != nil {
+				p.Net = to
+			}
+		}
+		to.Sinks = append(to.Sinks, s)
+	}
+	from.Sinks = nil
+}
+
+func (m *Module) pinDir(in *Inst, pin string) (PinDir, error) {
+	if in.Cell != nil {
+		pd := in.Cell.Pin(pin)
+		if pd == nil {
+			return In, fmt.Errorf("netlist: cell %s has no pin %q", in.Cell.Name, pin)
+		}
+		return pd.Dir, nil
+	}
+	p := in.Sub.Port(pin)
+	if p == nil {
+		return In, fmt.Errorf("netlist: module %s has no port %q", in.Sub.Name, pin)
+	}
+	return p.Dir, nil
+}
+
+// Check validates structural sanity: every instance pin connected, every net
+// with sinks has a driver, no unknown pins. It returns all problems found.
+func (m *Module) Check() []error {
+	var errs []error
+	for _, in := range m.Insts {
+		var pins []PinDef
+		if in.Cell != nil {
+			pins = in.Cell.Pins
+		} else {
+			for _, p := range in.Sub.Ports {
+				pins = append(pins, PinDef{Name: p.Name, Dir: p.Dir})
+			}
+		}
+		for _, p := range pins {
+			if in.Conns[p.Name] == nil {
+				errs = append(errs, fmt.Errorf("%s: unconnected pin %s/%s", m.Name, in.Name, p.Name))
+			}
+		}
+	}
+	for _, n := range m.Nets {
+		if len(n.Sinks) > 0 && !n.HasDriver() {
+			errs = append(errs, fmt.Errorf("%s: net %s has sinks but no driver", m.Name, n.Name))
+		}
+	}
+	return errs
+}
+
+// Stats summarizes a module for the area tables of §5.
+type Stats struct {
+	Nets       int
+	Cells      int
+	CellArea   float64 // total standard-cell area, µm²
+	CombArea   float64
+	SeqArea    float64
+	FFs        int
+	Latches    int
+	CombGates  int
+	OtherCells int
+}
+
+// ComputeStats walks the (flat) module and tallies cell counts and areas.
+func (m *Module) ComputeStats() Stats {
+	var s Stats
+	s.Nets = len(m.Nets)
+	for _, in := range m.Insts {
+		if in.Cell == nil {
+			s.OtherCells++
+			continue
+		}
+		s.Cells++
+		s.CellArea += in.Cell.Area
+		switch in.Cell.Kind {
+		case KindFF:
+			s.FFs++
+			s.SeqArea += in.Cell.Area
+		case KindLatch:
+			s.Latches++
+			s.SeqArea += in.Cell.Area
+		case KindCElem, KindGC:
+			s.SeqArea += in.Cell.Area
+		default:
+			s.CombGates++
+			s.CombArea += in.Cell.Area
+		}
+	}
+	return s
+}
+
+// SortedNets returns the nets sorted by name (stable output for writers).
+func (m *Module) SortedNets() []*Net {
+	out := append([]*Net(nil), m.Nets...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Design couples a top module, its (optional) submodules and the library it
+// is mapped to.
+type Design struct {
+	Name    string
+	Top     *Module
+	Modules map[string]*Module
+	Lib     *Library
+}
+
+// NewDesign returns a design with a fresh top-level module of the same name.
+func NewDesign(name string, lib *Library) *Design {
+	top := NewModule(name)
+	return &Design{Name: name, Top: top, Modules: map[string]*Module{name: top}, Lib: lib}
+}
+
+// Flatten collapses all submodule instances of the top module into library
+// cell instances, prefixing inner names with "<inst>/". The paper's tool
+// accepts a two-level netlist whose top contains only flattened submodules
+// treated as regions (§3.2.2); Flatten records that origin in the Group
+// field when assignGroups is true.
+func (d *Design) Flatten(assignGroups bool) error {
+	group := 1
+	for {
+		var sub *Inst
+		for _, in := range d.Top.Insts {
+			if in.Sub != nil {
+				sub = in
+				break
+			}
+		}
+		if sub == nil {
+			return nil
+		}
+		g := -1
+		if assignGroups {
+			g = group
+			group++
+		}
+		if err := d.inline(sub, g); err != nil {
+			return err
+		}
+	}
+}
+
+// inline expands one submodule instance into the top module.
+func (d *Design) inline(in *Inst, group int) error {
+	top, sub := d.Top, in.Sub
+	prefix := in.Name + "/"
+	// Map each submodule net to a top-level net: port nets bind to the
+	// connected outer nets; internal nets get fresh prefixed names.
+	netMap := map[*Net]*Net{}
+	for _, p := range sub.Ports {
+		outer := in.Conns[p.Name]
+		if outer == nil {
+			return fmt.Errorf("netlist: %s/%s unconnected during flatten", in.Name, p.Name)
+		}
+		netMap[p.Net] = outer
+	}
+	for _, n := range sub.Nets {
+		if _, ok := netMap[n]; !ok {
+			netMap[n] = top.EnsureNet(prefix + n.Name)
+		}
+	}
+	// Remove the submodule instance before re-creating its contents so the
+	// outer nets' driver slots are free.
+	top.RemoveInst(in)
+	for _, si := range sub.Insts {
+		var ni *Inst
+		if si.Cell != nil {
+			ni = top.AddInst(prefix+si.Name, si.Cell)
+		} else {
+			ni = top.AddSubInst(prefix+si.Name, si.Sub)
+		}
+		ni.Group = group
+		ni.SizeOnly = si.SizeOnly
+		for pin, net := range si.Conns {
+			if err := top.Connect(ni, pin, netMap[net]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

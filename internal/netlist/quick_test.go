@@ -1,0 +1,154 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Connect followed by Disconnect restores the net's endpoint
+// lists exactly, for random connection orders.
+func TestQuickConnectDisconnectInverse(t *testing.T) {
+	lib := tinyLib()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModule("m")
+		var nets []*Net
+		for i := 0; i < 6; i++ {
+			nets = append(nets, m.AddNet(fmt.Sprintf("n%d", i)))
+		}
+		var insts []*Inst
+		for i := 0; i < 8; i++ {
+			in := m.AddInst(fmt.Sprintf("g%d", i), lib.MustCell("AND2"))
+			m.MustConnect(in, "A", nets[rng.Intn(len(nets))])
+			m.MustConnect(in, "B", nets[rng.Intn(len(nets))])
+			insts = append(insts, in)
+		}
+		// Disconnect and reconnect a random subset in random order.
+		perm := rng.Perm(len(insts))
+		var touched []*Inst
+		for _, i := range perm[:4] {
+			m.Disconnect(insts[i], "A")
+			touched = append(touched, insts[i])
+		}
+		for _, in := range touched {
+			// Churn through a temporary net and back off it.
+			tmp := m.EnsureNet("tmp_" + in.Name)
+			m.MustConnect(in, "A", tmp)
+			m.Disconnect(in, "A")
+		}
+		// Structural invariants must survive arbitrary churn: no duplicate
+		// or dangling endpoints anywhere.
+		for _, n := range m.Nets {
+			seen := map[string]bool{}
+			for _, s := range n.Sinks {
+				key := s.String()
+				if seen[key] {
+					t.Logf("duplicate sink %s on %s", key, n.Name)
+					return false
+				}
+				seen[key] = true
+				if s.Inst != nil && s.Inst.Conns[s.Pin] != n {
+					t.Logf("dangling sink %s on %s", key, n.Name)
+					return false
+				}
+			}
+			if n.Driver.Inst != nil && n.Driver.Inst.Conns[n.Driver.Pin] != n {
+				t.Logf("dangling driver on %s", n.Name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flattening preserves total library-cell instance counts and
+// keeps every connection consistent, for random two-level hierarchies.
+func TestQuickFlattenPreservesStructure(t *testing.T) {
+	lib := tinyLib()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random submodule: k inverters in series.
+		k := 1 + rng.Intn(4)
+		sub := NewModule("sub")
+		sub.AddPort("i", In)
+		sub.AddPort("o", Out)
+		prev := sub.Net("i")
+		for j := 0; j < k; j++ {
+			out := sub.Net("o")
+			if j != k-1 {
+				out = sub.AddNet(fmt.Sprintf("m%d", j))
+			}
+			g := sub.AddInst(fmt.Sprintf("v%d", j), lib.MustCell("INV"))
+			sub.MustConnect(g, "A", prev)
+			sub.MustConnect(g, "Z", out)
+			prev = out
+		}
+		// Top: a chain of n submodule instances.
+		n := 1 + rng.Intn(5)
+		d := NewDesign("top", lib)
+		d.Top.AddPort("a", In)
+		d.Top.AddPort("y", Out)
+		prevNet := d.Top.Net("a")
+		for j := 0; j < n; j++ {
+			out := d.Top.Net("y")
+			if j != n-1 {
+				out = d.Top.AddNet(fmt.Sprintf("l%d", j))
+			}
+			si := d.Top.AddSubInst(fmt.Sprintf("s%d", j), sub)
+			d.Top.MustConnect(si, "i", prevNet)
+			d.Top.MustConnect(si, "o", out)
+			prevNet = out
+		}
+		if err := d.Flatten(true); err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(d.Top.Insts) != n*k {
+			t.Logf("want %d flat cells, got %d", n*k, len(d.Top.Insts))
+			return false
+		}
+		if errs := d.Top.Check(); len(errs) > 0 {
+			t.Log(errs[0])
+			return false
+		}
+		// Groups assigned densely 1..n.
+		groups := map[int]bool{}
+		for _, in := range d.Top.Insts {
+			groups[in.Group] = true
+		}
+		return len(groups) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ComputeStats area equals the sum over instances, invariant to
+// instance creation order.
+func TestQuickStatsAdditive(t *testing.T) {
+	lib := tinyLib()
+	f := func(counts [4]uint8) bool {
+		m := NewModule("m")
+		cells := []string{"INV", "BUF", "AND2", "DFF"}
+		want := 0.0
+		id := 0
+		for ci, c := range counts {
+			for j := 0; j < int(c%10); j++ {
+				cell := lib.MustCell(cells[ci])
+				m.AddInst(fmt.Sprintf("i%d", id), cell)
+				id++
+				want += cell.Area
+			}
+		}
+		st := m.ComputeStats()
+		return st.CellArea == want && st.Cells == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

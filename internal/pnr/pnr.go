@@ -1,0 +1,369 @@
+// Package pnr is the backend substrate of the flow (§4.7): floorplanning,
+// clock/enable tree synthesis, row-based placement, and a wire-load model
+// that annotates net delays for post-layout timing and simulation. It
+// stands in for the commercial P&R tool and produces the post-layout rows
+// of Tables 5.1/5.2: cell and net counts, standard-cell area, core size and
+// utilization.
+package pnr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"desync/internal/netlist"
+)
+
+// Options configures the backend run.
+type Options struct {
+	// Utilization is the floorplan target (the paper's DLX runs used ~95%
+	// for the synchronous and ~91% for the desynchronized version).
+	Utilization float64
+	// RowHeight in µm; 2.6 matches a 90nm 7-track library.
+	RowHeight float64
+	// MaxFanout triggers buffer-tree synthesis on clock/enable-class nets.
+	MaxFanout int
+	// WirePerUm is the interconnect delay per µm of half-perimeter length.
+	WirePerUm netlist.Delay
+	// RegionAware places each desynchronization region contiguously, which
+	// keeps the matched delay elements physically close to the logic they
+	// track — the floorplanning constraint the paper's future-work section
+	// proposes for maximal variability correlation (§6).
+	RegionAware bool
+}
+
+// DefaultOptions returns backend settings used by the experiments.
+func DefaultOptions() Options {
+	return Options{
+		Utilization: 0.95,
+		RowHeight:   2.6,
+		MaxFanout:   16,
+		WirePerUm:   netlist.Delay{Best: 0.00012, Worst: 0.0003},
+	}
+}
+
+// Report is the post-layout summary (the "Post Layout" block of the area
+// tables).
+type Report struct {
+	Nets        int
+	Cells       int
+	StdCellArea float64 // µm²
+	CoreArea    float64 // µm²
+	Utilization float64 // %
+	CTSBuffers  int
+	Rows        int
+}
+
+// Layout holds placement results.
+type Layout struct {
+	Pos    map[*netlist.Inst][2]float64
+	CoreW  float64
+	CoreH  float64
+	Report Report
+}
+
+// PlaceAndRoute runs the backend on a flat design: enable/clock tree
+// synthesis, floorplan, placement, and wire-delay annotation. The module is
+// modified in place (CTS buffers added, net Wire delays set).
+func PlaceAndRoute(d *netlist.Design, opts Options) (*Layout, error) {
+	if opts.Utilization <= 0 || opts.Utilization > 1 {
+		return nil, fmt.Errorf("pnr: bad utilization %v", opts.Utilization)
+	}
+	m := d.Top
+	for _, in := range m.Insts {
+		if in.Sub != nil {
+			return nil, fmt.Errorf("pnr: design not flat (%s)", in.Name)
+		}
+	}
+	ctsBuffers, err := synthesizeTrees(d, opts.MaxFanout)
+	if err != nil {
+		return nil, err
+	}
+
+	// Floorplan.
+	st := m.ComputeStats()
+	coreArea := st.CellArea / opts.Utilization
+	side := math.Sqrt(coreArea)
+	rows := int(math.Ceil(side / opts.RowHeight))
+	if rows < 1 {
+		rows = 1
+	}
+	coreH := float64(rows) * opts.RowHeight
+	coreW := coreArea / coreH
+
+	// Placement: connectivity-driven linear order folded into rows;
+	// region-aware mode orders region by region.
+	var order []*netlist.Inst
+	if opts.RegionAware {
+		order = regionOrder(m)
+	} else {
+		order = connectivityOrder(m)
+	}
+	lay := &Layout{Pos: map[*netlist.Inst][2]float64{}, CoreW: coreW, CoreH: coreH}
+	x, row := 0.0, 0
+	rowCap := coreW
+	for _, in := range order {
+		w := in.Cell.Area / opts.RowHeight
+		if x+w > rowCap && row < rows-1 {
+			row++
+			x = 0
+		}
+		cx := x + w/2
+		if row%2 == 1 {
+			cx = coreW - cx // boustrophedon: snake alternate rows
+		}
+		lay.Pos[in] = [2]float64{cx, (float64(row) + 0.5) * opts.RowHeight}
+		x += w
+	}
+
+	// Wire model: HPWL per net.
+	for _, n := range m.Nets {
+		l := hpwl(lay, n)
+		n.Wire = netlist.Delay{
+			Best:  l * opts.WirePerUm.Best,
+			Worst: l * opts.WirePerUm.Worst,
+		}
+	}
+
+	lay.Report = Report{
+		Nets:        len(m.Nets),
+		Cells:       len(m.Insts),
+		StdCellArea: st.CellArea,
+		CoreArea:    coreArea,
+		Utilization: st.CellArea / coreArea * 100,
+		CTSBuffers:  ctsBuffers,
+		Rows:        rows,
+	}
+	return lay, nil
+}
+
+// hpwl computes the half-perimeter wire length of a net.
+func hpwl(lay *Layout, n *netlist.Net) float64 {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	add := func(in *netlist.Inst) {
+		p, ok := lay.Pos[in]
+		if !ok {
+			return
+		}
+		minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+		minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+	}
+	if n.Driver.Inst != nil {
+		add(n.Driver.Inst)
+	}
+	for _, s := range n.Sinks {
+		if s.Inst != nil {
+			add(s.Inst)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return 0
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// connectivityOrder produces a BFS ordering over the instance adjacency so
+// connected logic lands in nearby rows.
+func connectivityOrder(m *netlist.Module) []*netlist.Inst {
+	visited := map[*netlist.Inst]bool{}
+	var order []*netlist.Inst
+	// Deterministic seed order.
+	seeds := append([]*netlist.Inst(nil), m.Insts...)
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].Name < seeds[j].Name })
+	for _, seed := range seeds {
+		if visited[seed] {
+			continue
+		}
+		queue := []*netlist.Inst{seed}
+		visited[seed] = true
+		for len(queue) > 0 {
+			in := queue[0]
+			queue = queue[1:]
+			order = append(order, in)
+			// Neighbours through all connected nets.
+			var pins []string
+			for pin := range in.Conns {
+				pins = append(pins, pin)
+			}
+			sort.Strings(pins)
+			for _, pin := range pins {
+				n := in.Conns[pin]
+				if len(n.Sinks) > 64 {
+					continue // skip global nets: they connect everything
+				}
+				var nbrs []*netlist.Inst
+				if n.Driver.Inst != nil {
+					nbrs = append(nbrs, n.Driver.Inst)
+				}
+				for _, s := range n.Sinks {
+					if s.Inst != nil {
+						nbrs = append(nbrs, s.Inst)
+					}
+				}
+				for _, nb := range nbrs {
+					if !visited[nb] {
+						visited[nb] = true
+						queue = append(queue, nb)
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
+// regionOrder places whole regions contiguously: instances sorted by group
+// then by connectivity within the group, with ungrouped cells last.
+func regionOrder(m *netlist.Module) []*netlist.Inst {
+	byGroup := map[int][]*netlist.Inst{}
+	var groups []int
+	for _, in := range m.Insts {
+		if _, ok := byGroup[in.Group]; !ok {
+			groups = append(groups, in.Group)
+		}
+		byGroup[in.Group] = append(byGroup[in.Group], in)
+	}
+	sort.Ints(groups)
+	var order []*netlist.Inst
+	for _, g := range groups {
+		insts := byGroup[g]
+		sort.Slice(insts, func(i, j int) bool { return insts[i].Name < insts[j].Name })
+		order = append(order, insts...)
+	}
+	return order
+}
+
+// RegionSpread reports, per region, the mean distance of the region's
+// matched-delay-element cells from the centroid of its logic — the metric
+// the region-aware floorplan improves.
+func RegionSpread(lay *Layout, m *netlist.Module) map[int]float64 {
+	type acc struct {
+		x, y float64
+		n    int
+	}
+	centroid := map[int]*acc{}
+	for _, in := range m.Insts {
+		if in.Group <= 0 || in.Origin == "delem" {
+			continue
+		}
+		p, ok := lay.Pos[in]
+		if !ok {
+			continue
+		}
+		a := centroid[in.Group]
+		if a == nil {
+			a = &acc{}
+			centroid[in.Group] = a
+		}
+		a.x += p[0]
+		a.y += p[1]
+		a.n++
+	}
+	dist := map[int]*acc{}
+	for _, in := range m.Insts {
+		if in.Origin != "delem" || in.Group <= 0 {
+			continue
+		}
+		c := centroid[in.Group]
+		p, ok := lay.Pos[in]
+		if c == nil || c.n == 0 || !ok {
+			continue
+		}
+		cx, cy := c.x/float64(c.n), c.y/float64(c.n)
+		a := dist[in.Group]
+		if a == nil {
+			a = &acc{}
+			dist[in.Group] = a
+		}
+		a.x += math.Abs(p[0]-cx) + math.Abs(p[1]-cy)
+		a.n++
+	}
+	out := map[int]float64{}
+	for g, a := range dist {
+		if a.n > 0 {
+			out[g] = a.x / float64(a.n)
+		}
+	}
+	return out
+}
+
+// synthesizeTrees builds balanced buffer trees on every net that drives
+// more than maxFanout clock/enable-class pins — the CTS step that matches
+// the depth of all latch-enable trees so the derived-clock constraints of
+// Fig 4.2 hold (§4.5.1). Returns the number of buffers inserted.
+func synthesizeTrees(d *netlist.Design, maxFanout int) (int, error) {
+	if maxFanout < 2 {
+		return 0, fmt.Errorf("pnr: max fanout %d too small", maxFanout)
+	}
+	m := d.Top
+	buf := d.Lib.MustCell("CLKBUFX4")
+	total := 0
+	// Stable net order.
+	nets := append([]*netlist.Net(nil), m.Nets...)
+	sort.Slice(nets, func(i, j int) bool { return nets[i].Name < nets[j].Name })
+	for _, n := range nets {
+		var ctl []netlist.PinRef
+		for _, s := range n.Sinks {
+			if s.Inst == nil || s.Inst.Cell == nil {
+				continue
+			}
+			pd := s.Inst.Cell.Pin(s.Pin)
+			if pd == nil {
+				continue
+			}
+			switch pd.Class {
+			case netlist.ClassClock, netlist.ClassEnable, netlist.ClassAsyncSet,
+				netlist.ClassAsyncReset, netlist.ClassScanEnable:
+				ctl = append(ctl, s)
+			}
+		}
+		if len(ctl) <= maxFanout {
+			continue
+		}
+		// Detach the control sinks and rebuild them under a balanced
+		// buffer tree rooted at the original net.
+		for _, s := range ctl {
+			m.Disconnect(s.Inst, s.Pin)
+		}
+		var drive func(src *netlist.Net, leaves []netlist.PinRef)
+		drive = func(src *netlist.Net, leaves []netlist.PinRef) {
+			if len(leaves) <= maxFanout {
+				for _, s := range leaves {
+					m.MustConnect(s.Inst, s.Pin, src)
+				}
+				return
+			}
+			chunks := maxFanout
+			per := (len(leaves) + chunks - 1) / chunks
+			for i := 0; i < len(leaves); i += per {
+				end := i + per
+				if end > len(leaves) {
+					end = len(leaves)
+				}
+				total++
+				nb := m.AddInst(fmt.Sprintf("%s_cts%d", sanitize(n.Name), total), buf)
+				nb.Origin = "cts"
+				out := m.AddNet(fmt.Sprintf("%s_cts%d_z", sanitize(n.Name), total))
+				m.MustConnect(nb, "A", src)
+				m.MustConnect(nb, "Z", out)
+				drive(out, leaves[i:end])
+			}
+		}
+		drive(n, ctl)
+	}
+	return total, nil
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			out = append(out, c)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,149 @@
+package pnr
+
+import (
+	"testing"
+
+	"desync/internal/designs"
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/sim"
+	"desync/internal/sta"
+	"desync/internal/stdcells"
+)
+
+func TestPlaceAndRouteDLX(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	d, err := designs.BuildDLX(lib, designs.TestProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := d.Top.ComputeStats()
+	lay, err := PlaceAndRoute(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := lay.Report
+	if r.Cells <= pre.Cells {
+		t.Fatal("CTS should add buffers")
+	}
+	if r.CTSBuffers == 0 {
+		t.Fatal("the clock net fans out to hundreds of FFs; a tree is required")
+	}
+	if r.CoreArea <= r.StdCellArea {
+		t.Fatal("core must be larger than the cells")
+	}
+	if r.Utilization < 90 || r.Utilization > 100 {
+		t.Fatalf("utilization %.1f%% far from the 95%% target", r.Utilization)
+	}
+	// Every instance is placed inside the core.
+	for in, p := range lay.Pos {
+		if p[0] < 0 || p[0] > lay.CoreW || p[1] < 0 || p[1] > lay.CoreH {
+			t.Fatalf("%s placed outside the core: %v", in.Name, p)
+		}
+	}
+	if len(lay.Pos) != len(d.Top.Insts) {
+		t.Fatal("not all instances placed")
+	}
+	// Netlist still sane and fanout bounded on the clock tree.
+	if errs := d.Top.Check(); len(errs) > 0 {
+		t.Fatalf("post-CTS check: %v", errs[0])
+	}
+	clk := d.Top.Net("clk")
+	ctlSinks := 0
+	for _, s := range clk.Sinks {
+		if s.Inst != nil {
+			ctlSinks++
+		}
+	}
+	if ctlSinks > DefaultOptions().MaxFanout {
+		t.Fatalf("clock root still drives %d pins", ctlSinks)
+	}
+	// Wire delays annotated.
+	annotated := 0
+	for _, n := range d.Top.Nets {
+		if n.Wire.Worst > 0 {
+			annotated++
+		}
+	}
+	if annotated < len(d.Top.Nets)/2 {
+		t.Fatalf("only %d nets carry wire delay", annotated)
+	}
+}
+
+// Post-layout timing includes interconnect: the critical path grows.
+func TestPostLayoutTimingGrows(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	d, err := designs.BuildDLX(lib, designs.TestProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := sta.RegionDelays(d.Top, netlist.Worst, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlaceAndRoute(d, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	post, err := sta.RegionDelays(d.Top, netlist.Worst, sta.Options{UseWireDelays: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grew := false
+	for g, rd := range post {
+		if p, ok := pre[g]; ok && rd.CombMax > p.CombMax {
+			grew = true
+		}
+		if p, ok := pre[g]; ok && rd.CombMax < p.CombMax-1e-9 {
+			t.Fatalf("region %d got faster after layout", g)
+		}
+	}
+	if !grew {
+		t.Fatal("wire delays did not affect timing")
+	}
+}
+
+// The design still works functionally after CTS (buffered clocks).
+func TestPostCTSFunctional(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	d, err := designs.BuildDLX(lib, designs.TestProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlaceAndRoute(d, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d.Top, sim.Config{Corner: netlist.Worst, UseWireDelays: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := 8.0
+	s.Drive("rstn", logic.L, 0)
+	s.Drive("rstn", logic.H, period*0.4)
+	s.Clock("clk", period, 0, period*30)
+	if err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	model := designs.NewModel(designs.TestProgram())
+	steps := len(s.Captures["pc_r[0]"])
+	if steps < 25 {
+		t.Fatalf("too few cycles: %d", steps)
+	}
+	model.Run(steps)
+	got := uint16(s.Vector("rf7_q", 16).Uint())
+	if got != model.Regs[7] {
+		t.Fatalf("post-layout DLX computed r7=%d, model %d", got, model.Regs[7])
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	d, _ := designs.BuildDLX(lib, designs.TestProgram())
+	if _, err := PlaceAndRoute(d, Options{Utilization: 0}); err == nil {
+		t.Fatal("expected utilization error")
+	}
+	opts := DefaultOptions()
+	opts.MaxFanout = 1
+	if _, err := PlaceAndRoute(d, opts); err == nil {
+		t.Fatal("expected fanout error")
+	}
+}

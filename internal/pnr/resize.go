@@ -1,0 +1,114 @@
+package pnr
+
+import (
+	"math"
+	"strings"
+
+	"desync/internal/netlist"
+	"desync/internal/sta"
+)
+
+// ResizeReport summarizes an in-place optimization pass.
+type ResizeReport struct {
+	Upsized    int
+	Before     float64 // worst endpoint arrival before (ns)
+	After      float64
+	AreaBefore float64
+	AreaAfter  float64
+	Passes     int
+}
+
+// drive families with size variants available in the libraries, weakest
+// first.
+var driveFamilies = [][]string{
+	{"INVX1", "INVX2", "INVX4"},
+	{"BUFX1", "BUFX2", "BUFX4"},
+	{"AND2X1", "AND2X2"},
+	{"OR2X1", "OR2X2"},
+	{"CLKBUFX2", "CLKBUFX4", "CLKBUFX8"},
+}
+
+// ResizeForTiming is the in-place optimization of §4.7: it walks the worst
+// timing paths and swaps cells for stronger drive variants of the same
+// function — resizing only, never restructuring, which is exactly what the
+// size_only constraint permits on the hazard-free controller gates
+// (§4.6.2). It iterates until the worst arrival stops improving or
+// maxPasses is reached.
+func ResizeForTiming(d *netlist.Design, opts sta.Options, maxPasses int) (*ResizeReport, error) {
+	m := d.Top
+	upgrade := map[string]string{}
+	for _, fam := range driveFamilies {
+		for i := 0; i+1 < len(fam); i++ {
+			upgrade[fam[i]] = fam[i+1]
+		}
+	}
+	rep := &ResizeReport{}
+	for _, in := range m.Insts {
+		if in.Cell != nil {
+			rep.AreaBefore += in.Cell.Area
+		}
+	}
+
+	worst := func() (float64, []string, error) {
+		g, err := sta.Build(m, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		r := g.Analyze()
+		var names []string
+		for _, step := range r.CriticalPath() {
+			if i := strings.LastIndexByte(step.Node, '/'); i > 0 {
+				names = append(names, step.Node[:i])
+			}
+		}
+		return r.WorstEndpointArrival(), names, nil
+	}
+
+	w0, _, err := worst()
+	if err != nil {
+		return nil, err
+	}
+	rep.Before, rep.After = w0, w0
+	prev := math.Inf(1)
+	for pass := 0; pass < maxPasses && rep.After < prev; pass++ {
+		prev = rep.After
+		rep.Passes++
+		_, path, err := worst()
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		seen := map[string]bool{}
+		for _, name := range path {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			in := m.Inst(name)
+			if in == nil || in.Cell == nil {
+				continue
+			}
+			next, ok := upgrade[in.Cell.Name]
+			if !ok {
+				continue
+			}
+			in.Cell = d.Lib.MustCell(next)
+			rep.Upsized++
+			changed = true
+		}
+		if !changed {
+			break
+		}
+		w, _, err := worst()
+		if err != nil {
+			return nil, err
+		}
+		rep.After = w
+	}
+	for _, in := range m.Insts {
+		if in.Cell != nil {
+			rep.AreaAfter += in.Cell.Area
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,220 @@
+// Package power reproduces the paper's power-estimation chain (§5.2.3):
+// switching activity is collected from gate-level simulation (the VCD →
+// SAIF path), combined with per-cell switching energy and leakage from the
+// library, and reported as dynamic + static power. A VCD writer is included
+// for waveform export.
+package power
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/sim"
+)
+
+// Report is a power summary in mW.
+type Report struct {
+	DynamicMW float64
+	LeakageMW float64
+}
+
+// Total returns dynamic + leakage power.
+func (r Report) Total() float64 { return r.DynamicMW + r.LeakageMW }
+
+// Estimate computes power from a finished simulation: per-net toggle counts
+// weighted by the driving cell's switching energy, over the given active
+// duration (ns), plus the design's leakage at the corner. 1 pJ/ns = 1 mW.
+func Estimate(m *netlist.Module, s *sim.Simulator, duration float64, corner netlist.Corner) (Report, error) {
+	if duration <= 0 {
+		return Report{}, fmt.Errorf("power: non-positive duration %v", duration)
+	}
+	if s.M != m {
+		return Report{}, fmt.Errorf("power: simulator belongs to a different module")
+	}
+	var energy float64 // pJ
+	for i, n := range m.Nets {
+		drv := n.Driver.Inst
+		if drv == nil || drv.Cell == nil {
+			continue // primary inputs are charged to the environment
+		}
+		energy += float64(s.Toggles[i]) * drv.Cell.Energy
+	}
+	var leak float64 // µW
+	for _, in := range m.Insts {
+		if in.Cell != nil {
+			leak += in.Cell.Leakage.At(corner)
+		}
+	}
+	return Report{
+		DynamicMW: energy / duration,
+		LeakageMW: leak / 1000,
+	}, nil
+}
+
+// SAIF is a per-net activity summary, the moral equivalent of the file
+// vcd2saif produces.
+type SAIF struct {
+	Duration float64
+	Nets     map[string]*NetActivity
+}
+
+// NetActivity is one net's record: toggle count and time spent high.
+type NetActivity struct {
+	TC int64   // toggle count
+	T1 float64 // time at logic 1
+}
+
+// Collector accumulates activity during simulation; attach before running.
+type Collector struct {
+	s        *sim.Simulator
+	start    float64
+	lastHigh map[string]float64 // time the net last rose; -1 when low
+	saif     *SAIF
+}
+
+// NewCollector hooks every net of the module.
+func NewCollector(s *sim.Simulator) (*Collector, error) {
+	c := &Collector{
+		s:        s,
+		lastHigh: map[string]float64{},
+		saif:     &SAIF{Nets: map[string]*NetActivity{}},
+	}
+	for _, n := range s.M.Nets {
+		name := n.Name
+		na := &NetActivity{}
+		c.saif.Nets[name] = na
+		c.lastHigh[name] = -1
+		err := s.OnChange(name, func(tm float64, v logic.V) {
+			na.TC++
+			if v == logic.H {
+				c.lastHigh[name] = tm
+			} else if h := c.lastHigh[name]; h >= 0 {
+				na.T1 += tm - h
+				c.lastHigh[name] = -1
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Finish closes open high intervals at the given end time and returns the
+// summary.
+func (c *Collector) Finish(end float64) *SAIF {
+	for name, h := range c.lastHigh {
+		if h >= 0 {
+			c.saif.Nets[name].T1 += end - h
+			c.lastHigh[name] = -1
+		}
+	}
+	c.saif.Duration = end - c.start
+	return c.saif
+}
+
+// Write renders the summary in a SAIF-like text form.
+func (s *SAIF) Write(w io.Writer) error {
+	names := make([]string, 0, len(s.Nets))
+	for n := range s.Nets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintf(w, "(SAIFILE (DURATION %.4f)\n", s.Duration); err != nil {
+		return err
+	}
+	for _, n := range names {
+		a := s.Nets[n]
+		if _, err := fmt.Fprintf(w, "  (NET %q (T1 %.4f) (TC %d))\n", n, a.T1, a.TC); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, ")")
+	return err
+}
+
+// VCD streams value changes in Verilog VCD format. Attach before running,
+// then call Close after the simulation finishes.
+type VCD struct {
+	w        io.Writer
+	ids      map[string]string
+	lastTime float64
+	wroteT   bool
+	err      error
+}
+
+// NewVCD writes the header and hooks every net of the simulator's module.
+func NewVCD(s *sim.Simulator, w io.Writer, topName string) (*VCD, error) {
+	v := &VCD{w: w, ids: map[string]string{}, lastTime: -1}
+	fmt.Fprintf(w, "$timescale 1ns $end\n$scope module %s $end\n", topName)
+	nets := append([]*netlist.Net(nil), s.M.Nets...)
+	sort.Slice(nets, func(i, j int) bool { return nets[i].Name < nets[j].Name })
+	for i, n := range nets {
+		id := vcdID(i)
+		v.ids[n.Name] = id
+		fmt.Fprintf(w, "$var wire 1 %s %s $end\n", id, vcdName(n.Name))
+	}
+	fmt.Fprintf(w, "$upscope $end\n$enddefinitions $end\n")
+	for _, n := range nets {
+		name := n.Name
+		if err := s.OnChange(name, func(tm float64, val logic.V) {
+			v.emit(tm, name, val)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+func (v *VCD) emit(tm float64, net string, val logic.V) {
+	if v.err != nil {
+		return
+	}
+	if tm != v.lastTime || !v.wroteT {
+		// VCD time is integral; use picoseconds-scaled ns.
+		_, v.err = fmt.Fprintf(v.w, "#%d\n", int64(tm*1000))
+		v.lastTime = tm
+		v.wroteT = true
+	}
+	ch := "x"
+	switch val {
+	case logic.L:
+		ch = "0"
+	case logic.H:
+		ch = "1"
+	}
+	if v.err == nil {
+		_, v.err = fmt.Fprintf(v.w, "%s%s\n", ch, v.ids[net])
+	}
+}
+
+// Err reports any write error encountered.
+func (v *VCD) Err() error { return v.err }
+
+func vcdID(i int) string {
+	const alphabet = "!#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var sb strings.Builder
+	for {
+		sb.WriteByte(alphabet[i%len(alphabet)])
+		i /= len(alphabet)
+		if i == 0 {
+			return sb.String()
+		}
+	}
+}
+
+func vcdName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

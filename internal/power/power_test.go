@@ -1,0 +1,136 @@
+package power
+
+import (
+	"strings"
+	"testing"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/sim"
+	"desync/internal/stdcells"
+)
+
+func toggler(t *testing.T) (*netlist.Module, *sim.Simulator) {
+	t.Helper()
+	lib := stdcells.New(stdcells.HighSpeed)
+	m := netlist.NewModule("m")
+	m.AddPort("a", netlist.In)
+	m.AddPort("z", netlist.Out)
+	mid := m.AddNet("mid")
+	g1 := m.AddInst("g1", lib.MustCell("INVX1"))
+	m.MustConnect(g1, "A", m.Net("a"))
+	m.MustConnect(g1, "Z", mid)
+	g2 := m.AddInst("g2", lib.MustCell("BUFX1"))
+	m.MustConnect(g2, "A", mid)
+	m.MustConnect(g2, "Z", m.Net("z"))
+	s, err := sim.New(m, sim.Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func TestEstimateScalesWithActivity(t *testing.T) {
+	run := func(toggles int) Report {
+		m, s := toggler(t)
+		for i := 0; i < toggles; i++ {
+			s.Drive("a", logic.FromBool(i%2 == 0), float64(i)+1)
+		}
+		if err := s.RunUntilQuiescent(); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Estimate(m, s, 100, netlist.Worst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	low := run(4)
+	high := run(40)
+	if high.DynamicMW <= low.DynamicMW {
+		t.Fatalf("dynamic power must grow with activity: %v vs %v", low, high)
+	}
+	if low.LeakageMW != high.LeakageMW {
+		t.Fatal("leakage must not depend on activity")
+	}
+	if low.LeakageMW <= 0 {
+		t.Fatal("leakage missing")
+	}
+	if low.Total() != low.DynamicMW+low.LeakageMW {
+		t.Fatal("total wrong")
+	}
+}
+
+func TestLeakageCornerAndVariant(t *testing.T) {
+	m, s := toggler(t)
+	best, _ := Estimate(m, s, 100, netlist.Best)
+	worst, _ := Estimate(m, s, 100, netlist.Worst)
+	if worst.LeakageMW <= best.LeakageMW {
+		t.Fatal("hot corner must leak more")
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	m, s := toggler(t)
+	if _, err := Estimate(m, s, 0, netlist.Worst); err == nil {
+		t.Fatal("expected duration error")
+	}
+	other := netlist.NewModule("other")
+	if _, err := Estimate(other, s, 10, netlist.Worst); err == nil {
+		t.Fatal("expected module mismatch error")
+	}
+}
+
+func TestCollectorSAIF(t *testing.T) {
+	m, s := toggler(t)
+	c, err := NewCollector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drive("a", logic.L, 1)
+	s.Drive("a", logic.H, 2) // mid falls, z follows
+	s.Drive("a", logic.L, 10)
+	if err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	saif := c.Finish(20)
+	_ = m
+	a := saif.Nets["a"]
+	if a == nil || a.TC != 3 {
+		t.Fatalf("activity of a wrong: %+v", a)
+	}
+	if a.T1 < 7.9 || a.T1 > 8.1 {
+		t.Fatalf("a high-time %.2f, want ~8", a.T1)
+	}
+	var sb strings.Builder
+	if err := saif.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "(NET \"a\"") || !strings.Contains(out, "(TC 3)") {
+		t.Fatalf("SAIF rendering wrong:\n%s", out)
+	}
+}
+
+func TestVCDWriter(t *testing.T) {
+	_, s := toggler(t)
+	var sb strings.Builder
+	v, err := NewVCD(s, &sb, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drive("a", logic.H, 1)
+	s.Drive("a", logic.L, 3)
+	if err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Err() != nil {
+		t.Fatal(v.Err())
+	}
+	out := sb.String()
+	for _, want := range []string{"$timescale 1ns $end", "$var wire 1", "$enddefinitions", "#1000", "#3000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in VCD:\n%s", want, out)
+		}
+	}
+}

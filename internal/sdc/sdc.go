@@ -1,0 +1,98 @@
+// Package sdc models the Synopsys Design Constraints the desynchronization
+// tool generates for the backend (§4.4–4.6): clock specifications for the
+// master/slave latch-enable networks (Fig 4.2), timing-disabled pins that
+// break the controller loops (Fig 4.5), size-only markers for hazard-free
+// controller gates, and min/max point-to-point delays that keep the control
+// network constrained during timing-driven P&R.
+package sdc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Clock is a create_clock specification. Sources are ports or instance
+// output pins ("inst/pin").
+type Clock struct {
+	Name     string
+	Period   float64
+	Waveform [2]float64 // rise, fall edge times
+	Sources  []string
+	OnPins   bool // sources are pins (get_pins) rather than ports (get_ports)
+}
+
+// DisabledArc is a set_disable_timing directive on one cell arc, used to
+// break the asynchronous control loops so STA sees an acyclic graph
+// (§4.6.1).
+type DisabledArc struct {
+	Inst string
+	From string
+	To   string
+}
+
+// PointDelay is a set_min_delay/set_max_delay pair on a from->to pin path,
+// constraining controller connections the clocks do not cover.
+type PointDelay struct {
+	From, To string
+	Min, Max float64
+}
+
+// Constraints is everything the tool exports alongside the desynchronized
+// netlist.
+type Constraints struct {
+	Clocks      []Clock
+	Disabled    []DisabledArc
+	SizeOnly    []string // instance names
+	PointDelays []PointDelay
+	FalsePaths  [][2]string // from, to
+}
+
+// Write renders the constraints as SDC text, deterministically.
+func (c *Constraints) Write() string {
+	var sb strings.Builder
+	for _, ck := range c.Clocks {
+		coll := "get_ports"
+		if ck.OnPins {
+			coll = "get_pins"
+		}
+		srcs := append([]string(nil), ck.Sources...)
+		sort.Strings(srcs)
+		fmt.Fprintf(&sb, "create_clock -name %q -period %.4g -waveform {%.4g %.4g} [%s {%s}]\n",
+			ck.Name, ck.Period, ck.Waveform[0], ck.Waveform[1], coll, strings.Join(srcs, " "))
+	}
+	disabled := append([]DisabledArc(nil), c.Disabled...)
+	sort.Slice(disabled, func(i, j int) bool {
+		a, b := disabled[i], disabled[j]
+		if a.Inst != b.Inst {
+			return a.Inst < b.Inst
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	for _, d := range disabled {
+		fmt.Fprintf(&sb, "set_disable_timing -from %s -to %s [get_cells {%s}]\n", d.From, d.To, d.Inst)
+	}
+	so := append([]string(nil), c.SizeOnly...)
+	sort.Strings(so)
+	for _, inst := range so {
+		fmt.Fprintf(&sb, "set_size_only [get_cells {%s}]\n", inst)
+	}
+	pds := append([]PointDelay(nil), c.PointDelays...)
+	sort.Slice(pds, func(i, j int) bool {
+		if pds[i].From != pds[j].From {
+			return pds[i].From < pds[j].From
+		}
+		return pds[i].To < pds[j].To
+	})
+	for _, p := range pds {
+		fmt.Fprintf(&sb, "set_min_delay %.4g -from [get_pins {%s}] -to [get_pins {%s}]\n", p.Min, p.From, p.To)
+		fmt.Fprintf(&sb, "set_max_delay %.4g -from [get_pins {%s}] -to [get_pins {%s}]\n", p.Max, p.From, p.To)
+	}
+	for _, fp := range c.FalsePaths {
+		fmt.Fprintf(&sb, "set_false_path -from [get_pins {%s}] -to [get_pins {%s}]\n", fp[0], fp[1])
+	}
+	return sb.String()
+}

@@ -1,0 +1,74 @@
+package sdc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteClockSpec(t *testing.T) {
+	// Fig 4.2: the original clock and the derived master/slave enables.
+	c := &Constraints{
+		Clocks: []Clock{
+			{Name: "ClkM", Period: 2.4, Waveform: [2]float64{1.0, 2.4},
+				Sources: []string{"G2_Ctrl/master/g", "G1_Ctrl/master/g"}, OnPins: true},
+			{Name: "ClkS", Period: 2.4, Waveform: [2]float64{2.4, 2.8},
+				Sources: []string{"G1_Ctrl/slave/g"}, OnPins: true},
+		},
+	}
+	out := c.Write()
+	if !strings.Contains(out, `create_clock -name "ClkM" -period 2.4 -waveform {1 2.4}`) {
+		t.Fatalf("master clock line wrong:\n%s", out)
+	}
+	// Sources sorted.
+	if !strings.Contains(out, "{G1_Ctrl/master/g G2_Ctrl/master/g}") {
+		t.Fatalf("sources not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "get_pins") {
+		t.Fatalf("pin collection missing:\n%s", out)
+	}
+}
+
+func TestWriteLoopBreakingAndSizeOnly(t *testing.T) {
+	c := &Constraints{
+		Disabled: []DisabledArc{
+			{Inst: "G1_Ctrl/gc2", From: "B", To: "Q"},
+			{Inst: "G1_Ctrl/gc1", From: "A", To: "Q"},
+		},
+		SizeOnly:    []string{"G1_Ctrl/gc2", "G1_Ctrl/gc1"},
+		PointDelays: []PointDelay{{From: "a/Z", To: "b/A", Min: 0.1, Max: 1.5}},
+		FalsePaths:  [][2]string{{"rst", "G1_Ctrl/gc1/A"}},
+	}
+	out := c.Write()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("want 7 lines, got %d:\n%s", len(lines), out)
+	}
+	// Deterministic ordering: gc1 before gc2.
+	if !strings.Contains(lines[0], "gc1") {
+		t.Fatalf("disabled arcs not sorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"set_disable_timing -from A -to Q [get_cells {G1_Ctrl/gc1}]",
+		"set_size_only [get_cells {G1_Ctrl/gc1}]",
+		"set_min_delay 0.1 -from [get_pins {a/Z}] -to [get_pins {b/A}]",
+		"set_max_delay 1.5 -from [get_pins {a/Z}] -to [get_pins {b/A}]",
+		"set_false_path -from [get_pins {rst}] -to [get_pins {G1_Ctrl/gc1/A}]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	c := &Constraints{
+		SizeOnly: []string{"b", "a", "c"},
+	}
+	if c.Write() != c.Write() {
+		t.Fatal("not deterministic")
+	}
+	out := c.Write()
+	if strings.Index(out, "{a}") > strings.Index(out, "{b}") {
+		t.Fatal("size-only not sorted")
+	}
+}

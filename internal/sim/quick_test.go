@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+)
+
+// Property: simulation is deterministic — two runs of the same stimulus on
+// the same netlist produce identical capture sequences and toggle counts.
+func TestQuickDeterminism(t *testing.T) {
+	lib := hs()
+	f := func(seed uint32, period8 uint8) bool {
+		period := 1.5 + float64(period8%10)*0.3
+		run := func() ([]logic.V, int64) {
+			m := buildCounter(lib, 4)
+			s, err := New(m, Config{Corner: netlist.Worst})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Drive("rstn", logic.L, 0)
+			s.Drive("rstn", logic.H, period*1.2)
+			s.Clock("ck", period, 0, period*12)
+			if err := s.RunUntilQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			var toggles int64
+			for _, c := range s.Toggles {
+				toggles += c
+			}
+			return s.Captures["r[2]"], toggles
+		}
+		c1, t1 := run()
+		c2, t2 := run()
+		if t1 != t2 || len(c1) != len(c2) {
+			return false
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				return false
+			}
+		}
+		_ = seed
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling all delays by k scales every capture time by k without
+// changing the captured data (the self-similarity that makes desynchronized
+// circuits corner-tolerant).
+func TestQuickScaleInvariance(t *testing.T) {
+	lib := hs()
+	f := func(k8 uint8) bool {
+		k := 1 + float64(k8%15)/10 // 1.0 .. 2.4
+		runCaps := func(scale, period float64) []logic.V {
+			m := buildCounter(lib, 4)
+			s, err := New(m, Config{Corner: netlist.Worst, Scale: scale})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Drive("rstn", logic.L, 0)
+			s.Drive("rstn", logic.H, period*1.2)
+			s.Clock("ck", period, 0, period*12)
+			if err := s.RunUntilQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			return s.Captures["r[1]"]
+		}
+		// Scale delays by k and the clock by k: same data.
+		a := runCaps(1, 4)
+		b := runCaps(k, 4*k)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a combinational cone settles to the function of its inputs
+// regardless of input arrival order.
+func TestQuickArrivalOrderIndependence(t *testing.T) {
+	lib := hs()
+	f := func(a, b, c bool, order uint8) bool {
+		m := netlist.NewModule("m")
+		for _, p := range []string{"a", "b", "c"} {
+			m.AddPort(p, netlist.In)
+		}
+		m.AddPort("z", netlist.Out)
+		t1 := m.AddNet("t1")
+		g1 := m.AddInst("g1", lib.MustCell("XOR2X1"))
+		m.MustConnect(g1, "A", m.Net("a"))
+		m.MustConnect(g1, "B", m.Net("b"))
+		m.MustConnect(g1, "Z", t1)
+		g2 := m.AddInst("g2", lib.MustCell("AOI21X1"))
+		m.MustConnect(g2, "A", t1)
+		m.MustConnect(g2, "B", m.Net("c"))
+		m.MustConnect(g2, "C", m.Net("a"))
+		m.MustConnect(g2, "Z", m.Net("z"))
+
+		s, err := New(m, Config{Corner: netlist.Worst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := []string{"a", "b", "c"}
+		vals := map[string]bool{"a": a, "b": b, "c": c}
+		// Permute drive times by the order byte.
+		perm := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}[order%6]
+		for slot, idx := range perm {
+			s.Drive(names[idx], logic.FromBool(vals[names[idx]]), float64(slot)*0.7)
+		}
+		if err := s.RunUntilQuiescent(); err != nil {
+			t.Fatal(err)
+		}
+		want := !((a != b) && c || a) // AOI21: !((A&B)|C) with A=a^b, B=c, C=a
+		return s.Value("z") == logic.FromBool(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,409 @@
+package sim
+
+import (
+	"testing"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+)
+
+func hs() *netlist.Library { return stdcells.New(stdcells.HighSpeed) }
+
+func TestCombPropagation(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("a", netlist.In)
+	m.AddPort("b", netlist.In)
+	m.AddPort("z", netlist.Out)
+	g := m.AddInst("g", lib.MustCell("NAND2X1"))
+	m.MustConnect(g, "A", m.Net("a"))
+	m.MustConnect(g, "B", m.Net("b"))
+	m.MustConnect(g, "Z", m.Net("z"))
+
+	s, err := New(m, Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drive("a", logic.H, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drive("b", logic.H, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value("z") != logic.L {
+		t.Fatalf("z = %v, want 0", s.Value("z"))
+	}
+	if err := s.Drive("a", logic.L, s.Now()+1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value("z") != logic.H {
+		t.Fatalf("z = %v, want 1", s.Value("z"))
+	}
+}
+
+func TestXPropagation(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("a", netlist.In)
+	m.AddPort("z", netlist.Out)
+	b := m.AddNet("bx") // never driven: stays X
+	g := m.AddInst("g", lib.MustCell("AND2X1"))
+	m.MustConnect(g, "A", m.Net("a"))
+	m.MustConnect(g, "B", b)
+	m.MustConnect(g, "Z", m.Net("z"))
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	// 0 dominates X for AND.
+	s.Drive("a", logic.L, 0)
+	s.RunUntilQuiescent()
+	if s.Value("z") != logic.L {
+		t.Fatalf("0&X = %v, want 0", s.Value("z"))
+	}
+}
+
+// A 4-bit synchronous counter built from XOR/AND + DFFs: checks FF edge
+// semantics and capture recording.
+func buildCounter(lib *netlist.Library, width int) *netlist.Module {
+	m := netlist.NewModule("counter")
+	m.AddPort("ck", netlist.In)
+	m.AddPort("rstn", netlist.In)
+	carry := (*netlist.Net)(nil)
+	for i := 0; i < width; i++ {
+		q := m.AddNet(busBit("q", i))
+		d := m.AddNet(busBit("d", i))
+		ff := m.AddInst(busBit("r", i), lib.MustCell("DFFRQX1"))
+		m.MustConnect(ff, "D", d)
+		m.MustConnect(ff, "CK", m.Net("ck"))
+		m.MustConnect(ff, "RN", m.Net("rstn"))
+		m.MustConnect(ff, "Q", q)
+		if i == 0 {
+			inv := m.AddInst("inv0", lib.MustCell("INVX1"))
+			m.MustConnect(inv, "A", q)
+			m.MustConnect(inv, "Z", d)
+			carry = q
+		} else {
+			x := m.AddInst(busBit("x", i), lib.MustCell("XOR2X1"))
+			m.MustConnect(x, "A", q)
+			m.MustConnect(x, "B", carry)
+			m.MustConnect(x, "Z", d)
+			if i < width-1 {
+				newCarry := m.AddNet(busBit("c", i))
+				a := m.AddInst(busBit("a", i), lib.MustCell("AND2X1"))
+				m.MustConnect(a, "A", q)
+				m.MustConnect(a, "B", carry)
+				m.MustConnect(a, "Z", newCarry)
+				carry = newCarry
+			}
+		}
+	}
+	return m
+}
+
+func busBit(base string, i int) string {
+	return base + "[" + string(rune('0'+i)) + "]"
+}
+
+func TestSynchronousCounter(t *testing.T) {
+	lib := hs()
+	m := buildCounter(lib, 4)
+	s, err := New(m, Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := 2.0
+	s.Drive("rstn", logic.L, 0)
+	s.Drive("rstn", logic.H, period*1.5)
+	s.Clock("ck", period, 0, period*20)
+	if err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Vector("q", 4)
+	if !got.Known() {
+		t.Fatalf("counter value unknown: %v", got)
+	}
+	// Reset releases after the first edge; count the remaining edges.
+	// Clock rises at period/2 + k*period (Clock drives low first).
+	// Edges at 1, 3, 5, ..., 39 -> 20 edges; reset active until 3.0 so
+	// edges at 1 and 3(?) forced; count from the recorded captures of r[0].
+	caps := s.Captures["r[0]"]
+	if len(caps) == 0 {
+		t.Fatal("no captures recorded")
+	}
+	// The counter increments once running; verify against the capture
+	// sequence of bit 0 (alternating 0,1 once out of reset).
+	var incs uint64
+	for _, v := range caps {
+		if v == logic.H {
+			incs++
+		}
+	}
+	if logic.FromBool(got.Uint()&1 == 1) != caps[len(caps)-1] {
+		t.Fatalf("q[0]=%v inconsistent with last capture %v", got[0], caps[len(caps)-1])
+	}
+	if incs == 0 {
+		t.Fatal("counter never incremented")
+	}
+}
+
+func TestAsyncResetDominates(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("ck", netlist.In)
+	m.AddPort("rstn", netlist.In)
+	m.AddPort("d", netlist.In)
+	q := m.AddNet("q")
+	ff := m.AddInst("ff", lib.MustCell("DFFRQX1"))
+	m.MustConnect(ff, "D", m.Net("d"))
+	m.MustConnect(ff, "CK", m.Net("ck"))
+	m.MustConnect(ff, "RN", m.Net("rstn"))
+	m.MustConnect(ff, "Q", q)
+
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	s.Drive("d", logic.H, 0)
+	s.Drive("rstn", logic.H, 0)
+	s.Clock("ck", 2, 0, 10)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.H {
+		t.Fatalf("q=%v want 1 after clocking d=1", s.Value("q"))
+	}
+	// Assert reset with no clock: q falls asynchronously.
+	s.Drive("rstn", logic.L, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.L {
+		t.Fatalf("q=%v want 0 under async reset", s.Value("q"))
+	}
+	// Clock edges while reset held: q stays 0 even with d=1.
+	s.Clock("ck", 2, s.Now()+1, s.Now()+9)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.L {
+		t.Fatalf("q=%v want 0 while reset held", s.Value("q"))
+	}
+}
+
+func TestLatchTransparency(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("d", netlist.In)
+	m.AddPort("g", netlist.In)
+	q := m.AddNet("q")
+	la := m.AddInst("la", lib.MustCell("LATQX1"))
+	m.MustConnect(la, "D", m.Net("d"))
+	m.MustConnect(la, "G", m.Net("g"))
+	m.MustConnect(la, "Q", q)
+
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	s.Drive("g", logic.L, 0)
+	s.Drive("d", logic.H, 0)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.X {
+		t.Fatalf("opaque latch should hold X, got %v", s.Value("q"))
+	}
+	s.Drive("g", logic.H, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.H {
+		t.Fatalf("transparent latch should follow d=1, got %v", s.Value("q"))
+	}
+	s.Drive("d", logic.L, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.L {
+		t.Fatal("transparent latch should track d")
+	}
+	// Close, then change d: q holds.
+	s.Drive("g", logic.L, s.Now()+1)
+	s.RunUntilQuiescent()
+	s.Drive("d", logic.H, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.L {
+		t.Fatal("opaque latch should hold")
+	}
+	// Closing edge recorded a capture of the held value.
+	caps := s.Captures["la"]
+	if len(caps) != 1 || caps[0] != logic.L {
+		t.Fatalf("captures = %v, want [0]", caps)
+	}
+}
+
+func TestCElementHold(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("a", netlist.In)
+	m.AddPort("b", netlist.In)
+	q := m.AddNet("q")
+	c := m.AddInst("c", lib.MustCell("C2X1"))
+	m.MustConnect(c, "A", m.Net("a"))
+	m.MustConnect(c, "B", m.Net("b"))
+	m.MustConnect(c, "Q", q)
+
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	s.Drive("a", logic.L, 0)
+	s.Drive("b", logic.L, 0)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.L {
+		t.Fatalf("all-0 inputs: q=%v want 0", s.Value("q"))
+	}
+	s.Drive("a", logic.H, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.L {
+		t.Fatal("mixed inputs must hold")
+	}
+	s.Drive("b", logic.H, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.H {
+		t.Fatal("all-1 inputs must set")
+	}
+	s.Drive("a", logic.L, s.Now()+1)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.H {
+		t.Fatal("mixed inputs must hold 1")
+	}
+}
+
+func TestClockGatedFF(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	for _, p := range []string{"ck", "en", "d"} {
+		m.AddPort(p, netlist.In)
+	}
+	q := m.AddNet("q")
+	ff := m.AddInst("ff", lib.MustCell("DFFCGX1"))
+	m.MustConnect(ff, "D", m.Net("d"))
+	m.MustConnect(ff, "EN", m.Net("en"))
+	m.MustConnect(ff, "CK", m.Net("ck"))
+	m.MustConnect(ff, "Q", q)
+
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	s.Drive("d", logic.H, 0)
+	s.Drive("en", logic.L, 0)
+	s.Clock("ck", 2, 0, 6)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.X {
+		t.Fatalf("gated-off FF should not capture, q=%v", s.Value("q"))
+	}
+	s.Drive("en", logic.H, s.Now()+0.5)
+	s.Clock("ck", 2, s.Now()+1, s.Now()+5)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.H {
+		t.Fatalf("enabled FF should capture, q=%v", s.Value("q"))
+	}
+}
+
+func TestScanFF(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	for _, p := range []string{"ck", "se", "si", "d"} {
+		m.AddPort(p, netlist.In)
+	}
+	q := m.AddNet("q")
+	ff := m.AddInst("ff", lib.MustCell("SDFFQX1"))
+	m.MustConnect(ff, "D", m.Net("d"))
+	m.MustConnect(ff, "SI", m.Net("si"))
+	m.MustConnect(ff, "SE", m.Net("se"))
+	m.MustConnect(ff, "CK", m.Net("ck"))
+	m.MustConnect(ff, "Q", q)
+
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	s.Drive("d", logic.L, 0)
+	s.Drive("si", logic.H, 0)
+	s.Drive("se", logic.H, 0)
+	s.Clock("ck", 2, 0, 3)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.H {
+		t.Fatalf("scan mode should capture SI, q=%v", s.Value("q"))
+	}
+	s.Drive("se", logic.L, s.Now()+0.5)
+	s.Clock("ck", 2, s.Now()+1, s.Now()+3)
+	s.RunUntilQuiescent()
+	if s.Value("q") != logic.L {
+		t.Fatalf("functional mode should capture D, q=%v", s.Value("q"))
+	}
+}
+
+// Inertial semantics: a pulse shorter than the gate delay does not emerge.
+func TestInertialGlitchSuppression(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("a", netlist.In)
+	m.AddPort("z", netlist.Out)
+	g := m.AddInst("g", lib.MustCell("BUFX1"))
+	m.MustConnect(g, "A", m.Net("a"))
+	m.MustConnect(g, "Z", m.Net("z"))
+
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	s.Drive("a", logic.L, 0)
+	s.RunUntilQuiescent()
+	togglesBefore := s.Toggles[s.netIdx[m.Net("z")]]
+	// Pulse much shorter than the buffer delay.
+	bufDelay := lib.MustCell("BUFX1").Arcs[0].Rise.At(netlist.Worst)
+	s.Drive("a", logic.H, s.Now()+1)
+	s.Drive("a", logic.L, s.Now()+1+bufDelay/10)
+	s.RunUntilQuiescent()
+	toggles := s.Toggles[s.netIdx[m.Net("z")]] - togglesBefore
+	if toggles != 0 {
+		t.Fatalf("glitch propagated: %d extra toggles on z", toggles)
+	}
+}
+
+func TestEventBudgetCatchesOscillation(t *testing.T) {
+	lib := hs()
+	// A gated ring oscillator: z = NAND(en, z).
+	m := netlist.NewModule("osc")
+	m.AddPort("en", netlist.In)
+	z := m.AddNet("z")
+	n := m.AddInst("n", lib.MustCell("NAND2X1"))
+	m.MustConnect(n, "A", m.Net("en"))
+	m.MustConnect(n, "B", z)
+	m.MustConnect(n, "Z", z)
+	s, _ := New(m, Config{Corner: netlist.Worst, MaxEvents: 1000})
+	s.Drive("en", logic.L, 0)
+	if err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value("z") != logic.H {
+		t.Fatalf("z=%v want 1 with en=0", s.Value("z"))
+	}
+	s.Drive("en", logic.H, s.Now()+1)
+	if err := s.RunUntilQuiescent(); err == nil {
+		t.Fatal("expected oscillation to exhaust the event budget")
+	}
+}
+
+func TestScaleSlowsEverything(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("a", netlist.In)
+	m.AddPort("z", netlist.Out)
+	g := m.AddInst("g", lib.MustCell("INVX1"))
+	m.MustConnect(g, "A", m.Net("a"))
+	m.MustConnect(g, "Z", m.Net("z"))
+
+	run := func(scale float64) float64 {
+		s, _ := New(m, Config{Corner: netlist.Worst, Scale: scale})
+		var tEdge float64
+		s.OnChange("z", func(tm float64, v logic.V) {
+			if v == logic.L {
+				tEdge = tm
+			}
+		})
+		s.Drive("a", logic.H, 1)
+		s.RunUntilQuiescent()
+		return tEdge
+	}
+	t1, t2 := run(1), run(2)
+	if t2-1 <= t1-1 || !approx((t2-1)/(t1-1), 2, 1e-6) {
+		t.Fatalf("scale not applied: %.5f vs %.5f", t1, t2)
+	}
+}
+
+func approx(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

@@ -1,0 +1,202 @@
+// Package ssta is a first-order parameterized statistical static timing
+// engine — the methodology the paper's introduction contrasts
+// desynchronization with [2], and the verification its future-work section
+// asks for: "SSTA can be used to verify how well the delay elements match
+// the logic delay across the whole spectrum of operation conditions" (§6).
+//
+// Each cell delay is modelled in canonical first-order form
+//
+//	D = μ + g·Xg + l·Xl
+//
+// with one shared global variable Xg (inter-die: process/voltage/
+// temperature moving every cell together) and an independent local variable
+// Xl per instance (intra-die mismatch). Arrival times propagate as
+// canonical forms: addition is exact, MAX uses Clark's moment-matching
+// approximation with the correlation induced by the shared global term.
+//
+// The point of keeping the global term symbolic is the paper's core
+// argument: a matched delay element and the logic it shadows share Xg, so
+// the global variation cancels in their difference — coverage stays high
+// across the whole spectrum — whereas an external clock does not track it.
+package ssta
+
+import (
+	"fmt"
+	"math"
+
+	"desync/internal/netlist"
+	"desync/internal/sta"
+)
+
+// Dist is a canonical first-order random delay: Mean + G·Xg + L·Xl with
+// Xg, Xl independent standard normals (L aggregates this arrival's
+// accumulated local variance).
+type Dist struct {
+	Mean float64
+	G    float64 // sensitivity to the shared global variable
+	L    float64 // RSS of local sensitivities
+}
+
+// Sigma is the total standard deviation.
+func (d Dist) Sigma() float64 { return math.Hypot(d.G, d.L) }
+
+// Quantile returns Mean + z·Sigma.
+func (d Dist) Quantile(z float64) float64 { return d.Mean + z*d.Sigma() }
+
+// Add sums two independent-local canonical forms (series path segments).
+func (d Dist) Add(o Dist) Dist {
+	return Dist{Mean: d.Mean + o.Mean, G: d.G + o.G, L: math.Hypot(d.L, o.L)}
+}
+
+// Sub returns the distribution of d − o, assuming the global term is
+// shared (the desynchronization case) and locals independent.
+func (d Dist) Sub(o Dist) Dist {
+	return Dist{Mean: d.Mean - o.Mean, G: d.G - o.G, L: math.Hypot(d.L, o.L)}
+}
+
+// Max approximates max(d, o) by Clark's method, preserving the canonical
+// form (the global sensitivity blends by tightness probability; the local
+// term is refit to match Clark's total variance).
+func Max(a, b Dist) Dist {
+	s1, s2 := a.Sigma(), b.Sigma()
+	cov := a.G * b.G // locals independent
+	theta2 := s1*s1 + s2*s2 - 2*cov
+	if theta2 <= 1e-18 {
+		// Fully correlated and equal variance: max is just the larger mean.
+		if a.Mean >= b.Mean {
+			return a
+		}
+		return b
+	}
+	theta := math.Sqrt(theta2)
+	alpha := (a.Mean - b.Mean) / theta
+	t := cdf(alpha)
+	p := pdf(alpha)
+	mean := a.Mean*t + b.Mean*(1-t) + theta*p
+	m2 := (a.Mean*a.Mean+s1*s1)*t + (b.Mean*b.Mean+s2*s2)*(1-t) + (a.Mean+b.Mean)*theta*p
+	variance := m2 - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	g := a.G*t + b.G*(1-t)
+	l2 := variance - g*g
+	if l2 < 0 {
+		l2 = 0
+	}
+	return Dist{Mean: mean, G: g, L: math.Sqrt(l2)}
+}
+
+func pdf(x float64) float64 { return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi) }
+func cdf(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// Model converts best-corner cell delays into canonical forms.
+type Model struct {
+	// GlobalMean scales best-corner delays to the population mean (the
+	// mid-corner point: (1+spread)/2 for a spread of worst/best).
+	GlobalMean float64
+	// GlobalSigma is the standard deviation of the global scale.
+	GlobalSigma float64
+	// LocalSigma is the per-instance mismatch (fraction of the delay).
+	LocalSigma float64
+}
+
+// DefaultModel matches internal/variability's population: global scale
+// spanning [1, spread] as N((1+spread)/2, (spread-1)/6), 3% local mismatch.
+func DefaultModel(spread float64) Model {
+	return Model{
+		GlobalMean:  (1 + spread) / 2,
+		GlobalSigma: (spread - 1) / 6,
+		LocalSigma:  0.03,
+	}
+}
+
+// CellDelay converts one best-corner delay into a canonical form.
+func (mo Model) CellDelay(d float64) Dist {
+	return Dist{
+		Mean: d * mo.GlobalMean,
+		G:    d * mo.GlobalSigma,
+		L:    d * mo.GlobalMean * mo.LocalSigma,
+	}
+}
+
+// Result holds per-node arrival distributions.
+type Result struct {
+	G        *sta.Graph
+	Arrivals []Dist
+	reached  []bool
+}
+
+// Analyze builds the timing graph at the best corner and propagates
+// canonical arrival forms from the startpoints.
+func Analyze(m *netlist.Module, staOpts sta.Options, model Model) (*Result, error) {
+	staOpts.Corner = netlist.Best
+	staOpts.NoVariability = true // the model supplies variation
+	g, err := sta.Build(m, staOpts)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NodeCount()
+	r := &Result{G: g, Arrivals: make([]Dist, n), reached: make([]bool, n)}
+	for _, s := range g.StartNodes() {
+		r.reached[s] = true
+	}
+	for _, v := range g.TopoOrder() {
+		if !r.reached[v] {
+			continue
+		}
+		av := r.Arrivals[v]
+		g.OutEdges(v, func(e sta.EdgeInfo) {
+			var d Dist
+			if e.IsNet {
+				// Net arcs carry no variation model pre-layout; wire delay
+				// shares the global scale loosely — treat as deterministic.
+				d = Dist{Mean: e.Delay}
+			} else {
+				d = model.CellDelay(e.Delay)
+			}
+			cand := av.Add(d)
+			if !r.reached[e.To] {
+				r.Arrivals[e.To] = cand
+				r.reached[e.To] = true
+			} else {
+				r.Arrivals[e.To] = Max(r.Arrivals[e.To], cand)
+			}
+		})
+	}
+	return r, nil
+}
+
+// ArrivalAt returns the arrival distribution at an instance pin.
+func (r *Result) ArrivalAt(in *netlist.Inst, pin string) (Dist, error) {
+	id := r.G.NodeID(in, pin)
+	if id < 0 || !r.reached[id] {
+		return Dist{}, fmt.Errorf("ssta: no arrival at %s/%s", in.Name, pin)
+	}
+	return r.Arrivals[id], nil
+}
+
+// CoverageProbability returns P(cover ≥ path + guard): the probability a
+// matched delay element covers the logic it shadows. sharedGlobal selects
+// the desynchronization situation (both on the same die: the global term
+// cancels in the difference); with it false the two vary independently —
+// the external-reference situation the paper contrasts against.
+func CoverageProbability(cover, path Dist, guard float64, sharedGlobal bool) float64 {
+	var diff Dist
+	if sharedGlobal {
+		diff = cover.Sub(path)
+	} else {
+		diff = Dist{
+			Mean: cover.Mean - path.Mean,
+			G:    0,
+			L:    math.Hypot(math.Hypot(cover.G, cover.L), math.Hypot(path.G, path.L)),
+		}
+	}
+	sigma := diff.Sigma()
+	if sigma < 1e-12 {
+		if diff.Mean >= guard {
+			return 1
+		}
+		return 0
+	}
+	return cdf((diff.Mean - guard) / sigma)
+}

@@ -1,0 +1,165 @@
+package ssta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"desync/internal/netlist"
+	"desync/internal/sta"
+	"desync/internal/stdcells"
+)
+
+func TestDistAlgebra(t *testing.T) {
+	a := Dist{Mean: 1, G: 0.2, L: 0.1}
+	b := Dist{Mean: 2, G: 0.3, L: 0.2}
+	s := a.Add(b)
+	if !approx(s.Mean, 3, 1e-12) || !approx(s.G, 0.5, 1e-12) {
+		t.Fatalf("add wrong: %+v", s)
+	}
+	if !approx(s.L, math.Hypot(0.1, 0.2), 1e-12) {
+		t.Fatalf("local RSS wrong: %+v", s)
+	}
+	d := b.Sub(a)
+	if !approx(d.Mean, 1, 1e-12) || !approx(d.G, 0.1, 1e-12) {
+		t.Fatalf("sub wrong: %+v", d)
+	}
+	if a.Quantile(3) <= a.Mean {
+		t.Fatal("quantile wrong")
+	}
+}
+
+// Clark's max approximation must agree with Monte Carlo moments.
+func TestClarkMaxVsMonteCarlo(t *testing.T) {
+	cases := []struct{ a, b Dist }{
+		{Dist{Mean: 1, G: 0.2, L: 0.1}, Dist{Mean: 1.1, G: 0.15, L: 0.2}},
+		{Dist{Mean: 2, G: 0.4, L: 0}, Dist{Mean: 1, G: 0.1, L: 0.3}},
+		{Dist{Mean: 1, G: 0, L: 0.3}, Dist{Mean: 1, G: 0, L: 0.3}},
+	}
+	rng := rand.New(rand.NewSource(9))
+	for ci, c := range cases {
+		got := Max(c.a, c.b)
+		const n = 200000
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			xg := rng.NormFloat64()
+			v1 := c.a.Mean + c.a.G*xg + c.a.L*rng.NormFloat64()
+			v2 := c.b.Mean + c.b.G*xg + c.b.L*rng.NormFloat64()
+			m := math.Max(v1, v2)
+			sum += m
+			sum2 += m * m
+		}
+		mean := sum / n
+		sigma := math.Sqrt(sum2/n - mean*mean)
+		if !approx(got.Mean, mean, 0.01) {
+			t.Fatalf("case %d: Clark mean %.4f vs MC %.4f", ci, got.Mean, mean)
+		}
+		if !approx(got.Sigma(), sigma, 0.02) {
+			t.Fatalf("case %d: Clark sigma %.4f vs MC %.4f", ci, got.Sigma(), sigma)
+		}
+	}
+}
+
+func TestChainPropagation(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	m := netlist.NewModule("m")
+	m.AddPort("in", netlist.In)
+	m.AddPort("out", netlist.Out)
+	prev := m.Net("in")
+	n := 10
+	for i := 0; i < n; i++ {
+		net := m.Net("out")
+		if i != n-1 {
+			net = m.AddNet(string(rune('a' + i)))
+		}
+		g := m.AddInst("g"+string(rune('a'+i)), lib.MustCell("INVX1"))
+		m.MustConnect(g, "A", prev)
+		m.MustConnect(g, "Z", net)
+		prev = net
+	}
+	model := DefaultModel(stdcells.CornerSpread)
+	r, err := Analyze(m, sta.Options{}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := lib.MustCell("INVX1").Arcs[0].Rise.Best
+	id := r.G.PortID("out")
+	got := r.Arrivals[id]
+	wantMean := float64(n) * d * model.GlobalMean
+	if !approx(got.Mean, wantMean, 1e-9) {
+		t.Fatalf("chain mean %.4f want %.4f", got.Mean, wantMean)
+	}
+	// Global sensitivities add linearly (fully correlated)...
+	if !approx(got.G, float64(n)*d*model.GlobalSigma, 1e-9) {
+		t.Fatalf("global sens %.5f", got.G)
+	}
+	// ...locals in quadrature: sqrt(n) scaling.
+	wantL := math.Sqrt(float64(n)) * d * model.GlobalMean * model.LocalSigma
+	if !approx(got.L, wantL, 1e-9) {
+		t.Fatalf("local sens %.5f want %.5f", got.L, wantL)
+	}
+	// The global term dominates: total sigma reflects the corner spread.
+	if got.Sigma() < got.G {
+		t.Fatal("sigma inconsistent")
+	}
+}
+
+// The paper's argument, quantified: a matched delay element covers the
+// logic with near-certainty when they share the die (global cancels), but
+// an independently-varying reference of the same mean margin does not.
+func TestCoverageSharedVsIndependent(t *testing.T) {
+	model := DefaultModel(stdcells.CornerSpread)
+	logicPath := model.CellDelay(4.0)
+	cover := model.CellDelay(4.4) // 10% margin
+	shared := CoverageProbability(cover, logicPath, 0, true)
+	indep := CoverageProbability(cover, logicPath, 0, false)
+	if shared < 0.95 {
+		t.Fatalf("shared-die coverage %.4f, want near-certain", shared)
+	}
+	if indep > shared-0.05 {
+		t.Fatalf("independent reference coverage %.4f not clearly worse than shared %.4f", indep, shared)
+	}
+	// Coverage increases with margin in both models.
+	if CoverageProbability(model.CellDelay(4.0), logicPath, 0, false) >= indep {
+		t.Fatal("margin did not help the independent model")
+	}
+}
+
+func TestReconvergentMax(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	m := netlist.NewModule("m")
+	m.AddPort("a", netlist.In)
+	m.AddPort("z", netlist.Out)
+	// Two parallel paths of different depth into an AND.
+	mid1 := m.AddNet("m1")
+	g1 := m.AddInst("g1", lib.MustCell("BUFX1"))
+	m.MustConnect(g1, "A", m.Net("a"))
+	m.MustConnect(g1, "Z", mid1)
+	mid2 := m.AddNet("m2")
+	g2 := m.AddInst("g2", lib.MustCell("INVX1"))
+	m.MustConnect(g2, "A", mid1)
+	m.MustConnect(g2, "Z", mid2)
+	g3 := m.AddInst("g3", lib.MustCell("AND2X1"))
+	m.MustConnect(g3, "A", mid1)
+	m.MustConnect(g3, "B", mid2)
+	m.MustConnect(g3, "Z", m.Net("z"))
+
+	r, err := Analyze(m, sta.Options{}, DefaultModel(stdcells.CornerSpread))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Arrivals[r.G.PortID("z")]
+	// The deeper path dominates the mean.
+	buf := lib.MustCell("BUFX1").Arcs[0].Rise.Best
+	inv := lib.MustCell("INVX1").Arcs[0].Rise.Best
+	and := lib.MustCell("AND2X1").Arc("A", "Z").Rise.Best
+	deeper := (buf + inv + and) * DefaultModel(stdcells.CornerSpread).GlobalMean
+	if out.Mean < deeper-1e-9 {
+		t.Fatalf("max lost the deeper path: %.4f < %.4f", out.Mean, deeper)
+	}
+	if _, err := r.ArrivalAt(g3, "NOPE"); err == nil {
+		t.Fatal("expected error for unknown pin")
+	}
+}
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }

@@ -1,0 +1,431 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+)
+
+func hs() *netlist.Library { return stdcells.New(stdcells.HighSpeed) }
+
+// invChain builds in -> INV^n -> out.
+func invChain(lib *netlist.Library, n int) *netlist.Module {
+	m := netlist.NewModule("chain")
+	m.AddPort("in", netlist.In)
+	m.AddPort("out", netlist.Out)
+	prev := m.Net("in")
+	for i := 0; i < n; i++ {
+		net := m.Net("out")
+		if i != n-1 {
+			net = m.AddNet(nodeName(i))
+		}
+		g := m.AddInst(nodeName(i)+"_g", lib.MustCell("INVX1"))
+		m.MustConnect(g, "A", prev)
+		m.MustConnect(g, "Z", net)
+		prev = net
+	}
+	return m
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestInverterChainDelay(t *testing.T) {
+	lib := hs()
+	m := invChain(lib, 4)
+	g, err := Build(m, Options{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Analyze()
+	min, max, err := r.PortToPortDelay("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc := lib.MustCell("INVX1").Arcs[0]
+	want := 4 * arc.Rise.At(netlist.Worst)
+	if !approx(max, want, 1e-9) {
+		t.Fatalf("max delay %.4f want %.4f", max, want)
+	}
+	if !approx(min, want, 1e-9) {
+		t.Fatalf("min delay %.4f want %.4f", min, want)
+	}
+	// Best corner must be faster.
+	gB, _ := Build(m, Options{Corner: netlist.Best})
+	rB := gB.Analyze()
+	_, maxB, _ := rB.PortToPortDelay("out")
+	if maxB >= max {
+		t.Fatalf("best corner %v not faster than worst %v", maxB, max)
+	}
+}
+
+// The asymmetric delay element of Fig 2.9: chained ANDs all fed by the
+// primary input. Rising edges ripple through the whole chain (slow rise);
+// falling edges cut through the last gate (fast fall).
+func TestAsymmetricDelayElementTiming(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("delem")
+	m.AddPort("in", netlist.In)
+	m.AddPort("out", netlist.Out)
+	n := 8
+	prev := m.Net("in")
+	for i := 0; i < n; i++ {
+		net := m.Net("out")
+		if i != n-1 {
+			net = m.AddNet(nodeName(i))
+		}
+		g := m.AddInst(nodeName(i)+"_g", lib.MustCell("AND2X1"))
+		m.MustConnect(g, "A", prev)
+		m.MustConnect(g, "B", m.Net("in"))
+		m.MustConnect(g, "Z", net)
+		prev = net
+	}
+	g, err := Build(m, Options{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Analyze()
+	id := g.PortID("out")
+	riseMax := r.MaxRise[id]
+	fallMin := r.MinFall[id]
+	arc := lib.MustCell("AND2X1").Arcs[0]
+	wantRise := float64(n) * arc.Rise.At(netlist.Worst)
+	if !approx(riseMax, wantRise, 1e-9) {
+		t.Fatalf("rise max %.4f want %.4f", riseMax, wantRise)
+	}
+	wantFallMin := arc.Fall.At(netlist.Worst)
+	if !approx(fallMin, wantFallMin, 1e-9) {
+		t.Fatalf("fall min %.4f want %.4f (fast fall through last AND)", fallMin, wantFallMin)
+	}
+	if riseMax < 5*fallMin {
+		t.Fatalf("element not asymmetric: rise %.4f fall %.4f", riseMax, fallMin)
+	}
+}
+
+// Flip-flops bound timing paths: arrival at a downstream FF's D counts only
+// the combinational cloud, not paths through the FF.
+func TestRegisterBoundedPaths(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("ck", netlist.In)
+	m.AddPort("in", netlist.In)
+	m.AddPort("out", netlist.Out)
+	q1 := m.AddNet("q1")
+	z := m.AddNet("z")
+	f1 := m.AddInst("f1", lib.MustCell("DFFQX1"))
+	m.MustConnect(f1, "D", m.Net("in"))
+	m.MustConnect(f1, "CK", m.Net("ck"))
+	m.MustConnect(f1, "Q", q1)
+	m.MustConnect(f1, "QN", m.AddNet("nc1"))
+	g1 := m.AddInst("g1", lib.MustCell("AND2X1"))
+	m.MustConnect(g1, "A", q1)
+	m.MustConnect(g1, "B", m.Net("in"))
+	m.MustConnect(g1, "Z", z)
+	f2 := m.AddInst("f2", lib.MustCell("DFFQX1"))
+	m.MustConnect(f2, "D", z)
+	m.MustConnect(f2, "CK", m.Net("ck"))
+	m.MustConnect(f2, "Q", m.Net("out"))
+	m.MustConnect(f2, "QN", m.AddNet("nc2"))
+
+	g, err := Build(m, Options{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Analyze()
+	// Arrival at f2/D is one AND2 from q1 (a startpoint at 0).
+	id := g.NodeID(m.Inst("f2"), "D")
+	arc := lib.MustCell("AND2X1").Arcs[0]
+	if !approx(r.MaxAt(id), arc.Rise.At(netlist.Worst), 1e-9) {
+		t.Fatalf("arrival at f2/D = %.4f, want one AND delay", r.MaxAt(id))
+	}
+	// out (port) is fed by f2/Q, a startpoint: arrival 0.
+	if r.MaxAt(g.PortID("out")) != 0 {
+		t.Fatalf("arrival at out = %.4f, want 0", r.MaxAt(g.PortID("out")))
+	}
+}
+
+func TestCombinationalLoopDetection(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("loop")
+	a := m.AddNet("a")
+	b := m.AddNet("b")
+	i1 := m.AddInst("i1", lib.MustCell("INVX1"))
+	m.MustConnect(i1, "A", a)
+	m.MustConnect(i1, "Z", b)
+	i2 := m.AddInst("i2", lib.MustCell("INVX1"))
+	m.MustConnect(i2, "A", b)
+	m.MustConnect(i2, "Z", a)
+
+	if _, err := Build(m, Options{Corner: netlist.Worst}); err == nil {
+		t.Fatal("expected loop error")
+	}
+	g, err := Build(m, Options{Corner: netlist.Worst, AutoBreakLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.AutoBroken) == 0 {
+		t.Fatal("expected auto-broken arcs to be reported")
+	}
+	g.Analyze() // must not hang or panic
+}
+
+// §4.6.1: breaking a controller loop with explicit disabled arcs instead of
+// arbitrary auto-breaking.
+func TestDisabledArcBreaksLoop(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("cloop")
+	a := m.AddNet("a")
+	b := m.AddNet("b")
+	rq := m.AddNet("rq")
+	c1 := m.AddInst("c1", lib.MustCell("C2X1"))
+	m.MustConnect(c1, "A", a)
+	m.MustConnect(c1, "B", b)
+	m.MustConnect(c1, "Q", rq)
+	i1 := m.AddInst("i1", lib.MustCell("INVX1"))
+	m.MustConnect(i1, "A", rq)
+	m.MustConnect(i1, "Z", b)
+	m.AddPort("a", netlist.In) // drive a externally
+	// b -> c1 -> rq -> i1 -> b is a cycle.
+	if _, err := Build(m, Options{Corner: netlist.Worst}); err == nil {
+		t.Fatal("expected loop error")
+	}
+	disabled := map[ArcKey]bool{{Inst: "c1", From: "B", To: "Q"}: true}
+	g, err := Build(m, Options{Corner: netlist.Worst, Disabled: disabled})
+	if err != nil {
+		t.Fatalf("disabled arc did not break loop: %v", err)
+	}
+	if len(g.AutoBroken) != 0 {
+		t.Fatal("no auto-breaking should be needed")
+	}
+	// The A->Q arc must still be timed.
+	r := g.Analyze()
+	id := g.NodeID(c1, "Q")
+	if math.IsInf(r.MaxAt(id), -1) {
+		t.Fatal("C element output untimed after loop breaking")
+	}
+}
+
+func TestRegionDelays(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("ck", netlist.In)
+	m.AddPort("in", netlist.In)
+	// Region 1: one AND cloud into f1; Region 2: three-AND cloud into f2.
+	mkff := func(name string, d *netlist.Net, grp int) *netlist.Inst {
+		f := m.AddInst(name, lib.MustCell("DFFQX1"))
+		f.Group = grp
+		m.MustConnect(f, "D", d)
+		m.MustConnect(f, "CK", m.Net("ck"))
+		m.MustConnect(f, "Q", m.AddNet(name+"_q"))
+		m.MustConnect(f, "QN", m.AddNet(name+"_qn"))
+		return f
+	}
+	z1 := m.AddNet("z1")
+	g1 := m.AddInst("g1", lib.MustCell("AND2X1"))
+	g1.Group = 1
+	m.MustConnect(g1, "A", m.Net("in"))
+	m.MustConnect(g1, "B", m.Net("in"))
+	m.MustConnect(g1, "Z", z1)
+	f1 := mkff("f1", z1, 1)
+
+	prev := m.Net(f1.Name + "_q")
+	for i := 0; i < 3; i++ {
+		z := m.AddNet(nodeName(20 + i))
+		g := m.AddInst(nodeName(20+i)+"_g", lib.MustCell("AND2X1"))
+		g.Group = 2
+		m.MustConnect(g, "A", prev)
+		m.MustConnect(g, "B", m.Net("in"))
+		m.MustConnect(g, "Z", z)
+		prev = z
+	}
+	mkff("f2", prev, 2)
+
+	rds, err := RegionDelays(m, netlist.Worst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rds) != 2 {
+		t.Fatalf("want 2 regions, got %d", len(rds))
+	}
+	arc := lib.MustCell("AND2X1").Arcs[0].Rise.At(netlist.Worst)
+	if !approx(rds[1].CombMax, arc, 1e-9) {
+		t.Fatalf("region 1 comb %.4f want %.4f", rds[1].CombMax, arc)
+	}
+	if !approx(rds[2].CombMax, 3*arc, 1e-9) {
+		t.Fatalf("region 2 comb %.4f want %.4f", rds[2].CombMax, 3*arc)
+	}
+	if rds[2].Budget() <= rds[2].CombMax {
+		t.Fatal("budget must add clock-to-Q and setup")
+	}
+}
+
+func TestCheckSetup(t *testing.T) {
+	lib := hs()
+	m := invChain(lib, 10)
+	// Append a flip-flop capturing the chain output.
+	f := m.AddInst("f", lib.MustCell("DFFQX1"))
+	m.AddPort("ck", netlist.In)
+	m.MustConnect(f, "D", m.Net("out"))
+	m.MustConnect(f, "CK", m.Net("ck"))
+	m.MustConnect(f, "Q", m.AddNet("q"))
+	m.MustConnect(f, "QN", m.AddNet("qn"))
+
+	// Generous period: no violations.
+	v, err := CheckSetup(m, netlist.Worst, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// Tiny period: violation at f/D.
+	v, err = CheckSetup(m, netlist.Worst, 0.01, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) == 0 || v[0].Endpoint != "f/D" {
+		t.Fatalf("expected violation at f/D, got %v", v)
+	}
+}
+
+func TestCheckHold(t *testing.T) {
+	lib := hs()
+	// Direct FF->FF connection: the fastest path is just the net, so a
+	// large skew shows a hold violation while zero skew is clean (the min
+	// arrival is 0 at the FF D driven directly by another FF's Q, and hold
+	// requirements are positive... that direct hop arrives at t=0 which is
+	// below the hold time: the classic shift-register hold risk).
+	m := netlist.NewModule("m")
+	m.AddPort("ck", netlist.In)
+	m.AddPort("in", netlist.In)
+	q1 := m.AddNet("q1")
+	f1 := m.AddInst("f1", lib.MustCell("DFFQX1"))
+	m.MustConnect(f1, "D", m.Net("in"))
+	m.MustConnect(f1, "CK", m.Net("ck"))
+	m.MustConnect(f1, "Q", q1)
+	m.MustConnect(f1, "QN", m.AddNet("n1"))
+	f2 := m.AddInst("f2", lib.MustCell("DFFQX1"))
+	m.MustConnect(f2, "D", q1)
+	m.MustConnect(f2, "CK", m.Net("ck"))
+	m.MustConnect(f2, "Q", m.AddNet("q2"))
+	m.MustConnect(f2, "QN", m.AddNet("n2"))
+
+	// The FF's own clock-to-Q (not modelled in the min arrival, which
+	// starts at the Q pin) exceeds its hold time in this library, so with
+	// zero skew the direct hop only violates if hold > 0 arrival. Check
+	// both regimes explicitly.
+	v0, err := CheckHold(m, netlist.Worst, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrival at f2/D is 0 (Q startpoint + zero wire), hold is positive:
+	// flagged — the launch clock-to-Q margin is the designer's to claim
+	// via negative skew.
+	if len(v0) == 0 {
+		t.Fatal("expected the direct register hop to be flagged at zero margin")
+	}
+	c2q := lib.MustCell("DFFQX1").Arc("CK", "Q").Rise.At(netlist.Worst)
+	vc, err := CheckHold(m, netlist.Worst, -c2q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vc {
+		if v.Endpoint == "f2/D" {
+			t.Fatalf("clock-to-Q credit should clear the hop: %+v", v)
+		}
+	}
+}
+
+func TestCriticalPathTrace(t *testing.T) {
+	lib := hs()
+	m := invChain(lib, 5)
+	g, err := Build(m, Options{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Analyze()
+	path := r.CriticalPath()
+	if len(path) < 6 { // in + gate pins... at least input, 5 gates' pins collapse pairwise
+		t.Fatalf("path too short: %d steps\n%s", len(path), FormatPath(path))
+	}
+	if path[0].Node != "in" {
+		t.Fatalf("path should start at input port, starts at %s", path[0].Node)
+	}
+	if path[len(path)-1].Node != "out" {
+		t.Fatalf("path should end at output port, ends at %s", path[len(path)-1].Node)
+	}
+	// Arrivals are non-decreasing.
+	for i := 1; i < len(path); i++ {
+		if path[i].Arrival+1e-9 < path[i-1].Arrival {
+			t.Fatalf("arrivals decrease along path:\n%s", FormatPath(path))
+		}
+	}
+}
+
+func TestWireDelays(t *testing.T) {
+	lib := hs()
+	m := invChain(lib, 2)
+	m.Net("n00").Wire = netlist.Delay{Best: 0.1, Worst: 0.3}
+	gNo, _ := Build(m, Options{Corner: netlist.Worst})
+	gYes, _ := Build(m, Options{Corner: netlist.Worst, UseWireDelays: true})
+	_, maxNo, _ := gNo.Analyze().PortToPortDelay("out")
+	_, maxYes, _ := gYes.Analyze().PortToPortDelay("out")
+	if !approx(maxYes-maxNo, 0.3, 1e-9) {
+		t.Fatalf("wire delay not applied: %.4f vs %.4f", maxYes, maxNo)
+	}
+}
+
+func TestVariabilityFactor(t *testing.T) {
+	lib := hs()
+	m := invChain(lib, 1)
+	m.Inst("n00_g").DelayFactor = 2.0
+	g, _ := Build(m, Options{Corner: netlist.Worst})
+	r := g.Analyze()
+	_, max, _ := r.PortToPortDelay("out")
+	arc := lib.MustCell("INVX1").Arcs[0]
+	if !approx(max, 2*arc.Rise.At(netlist.Worst), 1e-9) {
+		t.Fatalf("delay factor not applied: %.4f", max)
+	}
+	gNo, _ := Build(m, Options{Corner: netlist.Worst, NoVariability: true})
+	_, maxNo, _ := gNo.Analyze().PortToPortDelay("out")
+	if !approx(maxNo, arc.Rise.At(netlist.Worst), 1e-9) {
+		t.Fatalf("NoVariability ignored: %.4f", maxNo)
+	}
+}
+
+func TestLatchTransparency(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("d", netlist.In)
+	m.AddPort("g", netlist.In)
+	m.AddPort("z", netlist.Out)
+	q := m.AddNet("q")
+	la := m.AddInst("la", lib.MustCell("LATQX1"))
+	m.MustConnect(la, "D", m.Net("d"))
+	m.MustConnect(la, "G", m.Net("g"))
+	m.MustConnect(la, "Q", q)
+	inv := m.AddInst("inv", lib.MustCell("INVX1"))
+	m.MustConnect(inv, "A", q)
+	m.MustConnect(inv, "Z", m.Net("z"))
+
+	// Opaque: z is reached from the latch Q startpoint only.
+	gOp, _ := Build(m, Options{Corner: netlist.Worst})
+	rOp := gOp.Analyze()
+	invd := lib.MustCell("INVX1").Arcs[0].Rise.At(netlist.Worst)
+	if !approx(rOp.MaxAt(gOp.PortID("z")), invd, 1e-9) {
+		t.Fatalf("opaque: %.4f want %.4f", rOp.MaxAt(gOp.PortID("z")), invd)
+	}
+	// Transparent: d -> Q -> z path counts D->Q.
+	gTr, _ := Build(m, Options{Corner: netlist.Worst, LatchTransparent: true})
+	rTr := gTr.Analyze()
+	if rTr.MaxAt(gTr.PortID("z")) <= invd {
+		t.Fatal("transparent latch path not included")
+	}
+}
+
+func approx(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}

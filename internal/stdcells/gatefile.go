@@ -1,0 +1,155 @@
+package stdcells
+
+import (
+	"fmt"
+	"strings"
+
+	"desync/internal/netlist"
+)
+
+// The gatefile text format (§3.1.1): one line per cell with its type and
+// pin roles, plus replacement rules mapping each flip-flop to its
+// master/slave latch recipe. The paper's tool generates this file once per
+// library migration with a .lib-parsing script; here WriteGatefile and
+// ParseGatefile are that script and its consumer.
+
+// ReplacementRule names the latch recipe for one flip-flop cell.
+type ReplacementRule struct {
+	FF    string
+	Latch string   // latch cell for master and slave
+	Extra []string // helper structures: scanmux, syncreset, clockgate, asyncset
+}
+
+// ReplacementRules derives the flip-flop substitution table for a library:
+// flip-flops with asynchronous reset use the reset latch; scan, synchronous
+// reset, clock gating and asynchronous set list the helper gating that
+// Fig 3.1 prescribes.
+func ReplacementRules(lib *netlist.Library) []ReplacementRule {
+	var rules []ReplacementRule
+	for _, name := range sortedCellNames(lib) {
+		c := lib.Cells[name]
+		if c.Kind != netlist.KindFF {
+			continue
+		}
+		r := ReplacementRule{FF: name, Latch: "LATQX1"}
+		s := c.Seq
+		if s.AsyncReset != "" {
+			r.Latch = "LATRQX1"
+		}
+		if s.ScanIn != "" {
+			r.Extra = append(r.Extra, "scanmux:MUX2X1")
+		}
+		if s.AsyncSet != "" {
+			r.Extra = append(r.Extra, "asyncset:OR2X1")
+		}
+		if s.ClockGate != "" {
+			r.Extra = append(r.Extra, "clockgate:AND2X1")
+		}
+		if name == "DFFSYNRX1" {
+			r.Extra = append(r.Extra, "syncreset:ANDN2X1")
+		}
+		rules = append(rules, r)
+	}
+	return rules
+}
+
+// WriteGatefile renders the gatefile as text.
+func WriteGatefile(lib *netlist.Library) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# gatefile for %s (%s)\n", lib.Name, lib.Variant)
+	g := ExtractGatefile(lib)
+	for _, e := range g.Cells {
+		fmt.Fprintf(&sb, "cell %s %s", e.Name, e.Kind)
+		for _, p := range e.Pins {
+			fmt.Fprintf(&sb, " %s:%s:%s", p.Name, dirCode(p.Dir), classCode(p.Class))
+		}
+		sb.WriteByte('\n')
+	}
+	for _, r := range ReplacementRules(lib) {
+		fmt.Fprintf(&sb, "replace %s -> %s", r.FF, r.Latch)
+		for _, x := range r.Extra {
+			fmt.Fprintf(&sb, " %s", x)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// GatefileSummary is the parsed view of a gatefile text.
+type GatefileSummary struct {
+	Cells    map[string]netlist.CellKind
+	Pins     map[string][]string // cell -> "name:dir:class" entries
+	Replaces map[string]ReplacementRule
+}
+
+// ParseGatefile reads the text form back.
+func ParseGatefile(src string) (*GatefileSummary, error) {
+	out := &GatefileSummary{
+		Cells:    map[string]netlist.CellKind{},
+		Pins:     map[string][]string{},
+		Replaces: map[string]ReplacementRule{},
+	}
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "cell":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("gatefile: line %d: short cell line", lineNo+1)
+			}
+			kind, err := kindOf(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("gatefile: line %d: %v", lineNo+1, err)
+			}
+			out.Cells[fields[1]] = kind
+			out.Pins[fields[1]] = fields[3:]
+		case "replace":
+			if len(fields) < 4 || fields[2] != "->" {
+				return nil, fmt.Errorf("gatefile: line %d: bad replace line", lineNo+1)
+			}
+			out.Replaces[fields[1]] = ReplacementRule{FF: fields[1], Latch: fields[3], Extra: fields[4:]}
+		default:
+			return nil, fmt.Errorf("gatefile: line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+	}
+	return out, nil
+}
+
+func dirCode(d netlist.PinDir) string {
+	switch d {
+	case netlist.In:
+		return "in"
+	case netlist.Out:
+		return "out"
+	}
+	return "inout"
+}
+
+var classCodes = map[netlist.PinClass]string{
+	netlist.ClassData:       "data",
+	netlist.ClassClock:      "clock",
+	netlist.ClassEnable:     "enable",
+	netlist.ClassAsyncSet:   "aset",
+	netlist.ClassAsyncReset: "areset",
+	netlist.ClassScanIn:     "scanin",
+	netlist.ClassScanEnable: "scanen",
+	netlist.ClassOutput:     "q",
+	netlist.ClassOutputN:    "qn",
+}
+
+func classCode(c netlist.PinClass) string { return classCodes[c] }
+
+func kindOf(s string) (netlist.CellKind, error) {
+	for _, k := range []netlist.CellKind{
+		netlist.KindComb, netlist.KindFF, netlist.KindLatch,
+		netlist.KindCElem, netlist.KindGC, netlist.KindTie,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown cell kind %q", s)
+}

@@ -1,0 +1,471 @@
+// Package stdcells provides the synthetic 90nm standard-cell libraries used
+// throughout the reproduction in place of the proprietary STMicroelectronics
+// CORE9 library. Two variants are built, mirroring §5 of the paper: a
+// High-Speed (HS) library used for the DLX case study and a Low-Leakage (LL)
+// library used for the ARM case study. Each cell carries area, per-corner
+// leakage, switching energy and per-arc rise/fall delays at the best and
+// worst PVT corners (the library has no typical corner, as in the paper).
+//
+// Absolute numbers are 90nm-plausible but synthetic; every experiment in the
+// repository depends only on their ratios (e.g. latch area vs flip-flop
+// area, worst/best corner spread), which are chosen to match the regimes the
+// paper reports.
+package stdcells
+
+import (
+	"fmt"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+)
+
+// Variant selects the library flavour.
+type Variant string
+
+// Library variants, as in §5: High-Speed for DLX, Low-Leakage for ARM.
+const (
+	HighSpeed  Variant = "HS"
+	LowLeakage Variant = "LL"
+)
+
+// CornerSpread: worst-case delay is this multiple of best-case delay for
+// every cell. The paper's desynchronization argument (Fig 5.3) relies on all
+// cells in a chip scaling together between corners; intra-die deviations are
+// added per instance by internal/variability.
+const CornerSpread = 2.5
+
+// builder accumulates cells with variant-dependent scaling.
+type builder struct {
+	lib *netlist.Library
+	// delayScale multiplies all delays; leakScale all leakage; energyScale
+	// all switching energies.
+	delayScale, leakScale, energyScale float64
+}
+
+// New builds a fresh library of the given variant. Libraries are cheap to
+// construct; callers typically build one per flow run.
+func New(v Variant) *netlist.Library {
+	b := &builder{lib: netlist.NewLibrary("CORE9GP-"+string(v), string(v))}
+	switch v {
+	case HighSpeed:
+		b.delayScale, b.leakScale, b.energyScale = 1.0, 1.0, 1.0
+	case LowLeakage:
+		// Low-leakage transistors: slower, dramatically less leaky,
+		// marginally cheaper per switch.
+		b.delayScale, b.leakScale, b.energyScale = 1.6, 0.04, 0.9
+	default:
+		panic(fmt.Sprintf("stdcells: unknown variant %q", v))
+	}
+	b.build()
+	return b.lib
+}
+
+// d returns a Delay with the library's corner spread applied to a best-case
+// value in nanoseconds.
+func (b *builder) d(best float64) netlist.Delay {
+	best *= b.delayScale
+	return netlist.Delay{Best: best, Worst: best * CornerSpread}
+}
+
+// leak converts an area to a per-corner leakage power in µW (worst corner —
+// high temperature — leaks more).
+func (b *builder) leak(area float64) netlist.Delay {
+	base := 0.002 * area * b.leakScale
+	return netlist.Delay{Best: base, Worst: base * 4}
+}
+
+// energy converts an area to a per-transition dynamic energy in pJ.
+func (b *builder) energy(area float64) float64 {
+	return (0.0016*area + 0.0008) * b.energyScale
+}
+
+// comb registers a combinational cell whose output Z computes fn over the
+// named inputs, with uniform input-to-output delay. riseSkew scales the rise
+// delay relative to the fall delay (1.0 symmetric).
+func (b *builder) comb(name string, area float64, inputs []string, fn string, base, riseSkew float64) *netlist.CellDef {
+	c := &netlist.CellDef{
+		Name:      name,
+		Kind:      netlist.KindComb,
+		Area:      area,
+		Leakage:   b.leak(area),
+		Energy:    b.energy(area),
+		Functions: map[string]*logic.Expr{"Z": logic.MustParseExpr(fn)},
+	}
+	for _, in := range inputs {
+		c.Pins = append(c.Pins, netlist.PinDef{Name: in, Dir: netlist.In, Cap: 0.002})
+		c.Arcs = append(c.Arcs, netlist.TimingArc{
+			From: in, To: "Z",
+			Rise: b.d(base * riseSkew),
+			Fall: b.d(base),
+		})
+	}
+	c.Pins = append(c.Pins, netlist.PinDef{Name: "Z", Dir: netlist.Out})
+	return b.lib.Add(c)
+}
+
+// seq registers a sequential cell (flip-flop or latch).
+func (b *builder) seq(name string, kind netlist.CellKind, area float64, pins []netlist.PinDef, spec *netlist.SeqSpec, clk2q, setup, hold float64) *netlist.CellDef {
+	c := &netlist.CellDef{
+		Name:    name,
+		Kind:    kind,
+		Area:    area,
+		Leakage: b.leak(area),
+		Energy:  b.energy(area),
+		Pins:    pins,
+		Seq:     spec,
+		Setup:   b.d(setup),
+		Hold:    b.d(hold),
+	}
+	// Clock/enable to Q propagation arc; latches additionally have a D->Q
+	// arc while transparent.
+	c.Arcs = append(c.Arcs, netlist.TimingArc{
+		From: spec.ClockPin, To: spec.Q, Rise: b.d(clk2q), Fall: b.d(clk2q),
+	})
+	if spec.QN != "" {
+		c.Arcs = append(c.Arcs, netlist.TimingArc{
+			From: spec.ClockPin, To: spec.QN, Rise: b.d(clk2q * 1.1), Fall: b.d(clk2q * 1.1),
+		})
+	}
+	if kind == netlist.KindLatch {
+		c.Arcs = append(c.Arcs, netlist.TimingArc{
+			From: "D", To: spec.Q, Rise: b.d(clk2q * 0.8), Fall: b.d(clk2q * 0.8),
+		})
+	}
+	if spec.AsyncSet != "" {
+		c.Arcs = append(c.Arcs, netlist.TimingArc{
+			From: spec.AsyncSet, To: spec.Q, Rise: b.d(clk2q), Fall: b.d(clk2q),
+		})
+	}
+	if spec.AsyncReset != "" {
+		c.Arcs = append(c.Arcs, netlist.TimingArc{
+			From: spec.AsyncReset, To: spec.Q, Rise: b.d(clk2q), Fall: b.d(clk2q),
+		})
+	}
+	return b.lib.Add(c)
+}
+
+// celem registers an n-input C-Muller element (Table 2.1 semantics).
+func (b *builder) celem(name string, n int, area, base float64, invertLast bool) *netlist.CellDef {
+	c := &netlist.CellDef{
+		Name:    name,
+		Kind:    netlist.KindCElem,
+		Area:    area,
+		Leakage: b.leak(area),
+		Energy:  b.energy(area),
+	}
+	var set, reset []*logic.Expr
+	for i := 0; i < n; i++ {
+		pin := string(rune('A' + i))
+		c.Pins = append(c.Pins, netlist.PinDef{Name: pin, Dir: netlist.In, Cap: 0.002})
+		c.Arcs = append(c.Arcs, netlist.TimingArc{From: pin, To: "Q", Rise: b.d(base), Fall: b.d(base)})
+		v := logic.Var(pin)
+		if invertLast && i == n-1 {
+			set = append(set, logic.Not(v))
+			reset = append(reset, v)
+		} else {
+			set = append(set, v)
+			reset = append(reset, logic.Not(v))
+		}
+	}
+	c.Pins = append(c.Pins, netlist.PinDef{Name: "Q", Dir: netlist.Out, Class: netlist.ClassOutput})
+	c.GC = &netlist.GCSpec{Set: logic.NewAnd(set...), Reset: logic.NewAnd(reset...), Q: "Q"}
+	return b.lib.Add(c)
+}
+
+func pin(name string, dir netlist.PinDir, class netlist.PinClass) netlist.PinDef {
+	return netlist.PinDef{Name: name, Dir: dir, Class: class, Cap: 0.002}
+}
+
+func (b *builder) build() {
+	// ---- Tie cells ----
+	for _, t := range []struct {
+		name string
+		v    string
+	}{{"TIE0", "0"}, {"TIE1", "1"}} {
+		c := &netlist.CellDef{
+			Name: t.name, Kind: netlist.KindTie, Area: 1.8,
+			Leakage:   b.leak(1.8),
+			Functions: map[string]*logic.Expr{"Z": logic.MustParseExpr(t.v)},
+			Pins:      []netlist.PinDef{{Name: "Z", Dir: netlist.Out}},
+		}
+		b.lib.Add(c)
+	}
+
+	// ---- Inverters and buffers, three drive strengths ----
+	// Larger drives: faster (divide delay), bigger (multiply area).
+	drives := []struct {
+		suffix string
+		dk, ak float64
+	}{{"X1", 1.0, 1.0}, {"X2", 0.72, 1.35}, {"X4", 0.55, 1.9}}
+	for _, dr := range drives {
+		b.comb("INV"+dr.suffix, 2.8*dr.ak, []string{"A"}, "!A", 0.016*dr.dk, 1.0)
+		b.comb("BUF"+dr.suffix, 3.7*dr.ak, []string{"A"}, "A", 0.028*dr.dk, 1.0)
+	}
+	// Clock buffers for low-skew trees (CTS).
+	b.comb("CLKBUFX2", 5.5, []string{"A"}, "A", 0.024, 1.0)
+	b.comb("CLKBUFX4", 7.4, []string{"A"}, "A", 0.019, 1.0)
+	b.comb("CLKBUFX8", 11.1, []string{"A"}, "A", 0.015, 1.0)
+
+	// ---- Basic gates ----
+	b.comb("NAND2X1", 3.7, []string{"A", "B"}, "!(A&B)", 0.020, 1.05)
+	b.comb("NAND3X1", 4.6, []string{"A", "B", "C"}, "!(A&B&C)", 0.026, 1.08)
+	b.comb("NOR2X1", 3.7, []string{"A", "B"}, "!(A|B)", 0.022, 1.15)
+	b.comb("NOR3X1", 4.6, []string{"A", "B", "C"}, "!(A|B|C)", 0.030, 1.2)
+	for _, dr := range drives[:2] {
+		b.comb("AND2"+dr.suffix, 4.6*dr.ak, []string{"A", "B"}, "A&B", 0.034*dr.dk, 1.05)
+		b.comb("OR2"+dr.suffix, 4.6*dr.ak, []string{"A", "B"}, "A|B", 0.036*dr.dk, 1.1)
+	}
+	b.comb("AND3X1", 5.5, []string{"A", "B", "C"}, "A&B&C", 0.041, 1.05)
+	b.comb("AND4X1", 6.5, []string{"A", "B", "C", "D"}, "A&B&C&D", 0.048, 1.05)
+	b.comb("OR3X1", 5.5, []string{"A", "B", "C"}, "A|B|C", 0.043, 1.1)
+	b.comb("XOR2X1", 7.4, []string{"A", "B"}, "A^B", 0.046, 1.0)
+	b.comb("XNOR2X1", 7.4, []string{"A", "B"}, "!(A^B)", 0.046, 1.0)
+	// MUX2: Z = A when S=0, B when S=1.
+	b.comb("MUX2X1", 8.3, []string{"A", "B", "S"}, "(A&!S)|(B&S)", 0.044, 1.0)
+	b.comb("AOI21X1", 5.5, []string{"A", "B", "C"}, "!((A&B)|C)", 0.028, 1.1)
+	b.comb("OAI21X1", 5.5, []string{"A", "B", "C"}, "!((A|B)&C)", 0.028, 1.1)
+	// AND with one inverted input: the workhorse of the flip-flop-to-latch
+	// conversion rules (Fig 3.1) and of the latch controllers.
+	b.comb("ANDN2X1", 4.6, []string{"A", "B"}, "A&!B", 0.034, 1.05)
+	b.comb("ORN2X1", 4.6, []string{"A", "B"}, "A|!B", 0.036, 1.1)
+
+	// ---- Flip-flops ----
+	// Plain D flip-flop with Q and QN.
+	b.seq("DFFQX1", netlist.KindFF, 18.4,
+		[]netlist.PinDef{
+			pin("D", netlist.In, netlist.ClassData),
+			pin("CK", netlist.In, netlist.ClassClock),
+			pin("Q", netlist.Out, netlist.ClassOutput),
+			pin("QN", netlist.Out, netlist.ClassOutputN),
+		},
+		&netlist.SeqSpec{Next: logic.Var("D"), ClockPin: "CK", Q: "Q", QN: "QN"},
+		0.110, 0.075, 0.012)
+	// Scan flip-flop: SE selects SI over D.
+	b.seq("SDFFQX1", netlist.KindFF, 23.9,
+		[]netlist.PinDef{
+			pin("D", netlist.In, netlist.ClassData),
+			pin("SI", netlist.In, netlist.ClassScanIn),
+			pin("SE", netlist.In, netlist.ClassScanEnable),
+			pin("CK", netlist.In, netlist.ClassClock),
+			pin("Q", netlist.Out, netlist.ClassOutput),
+		},
+		&netlist.SeqSpec{
+			Next:     logic.MustParseExpr("(SE&SI)|(!SE&D)"),
+			ClockPin: "CK", Q: "Q", ScanIn: "SI", ScanEnable: "SE",
+		},
+		0.120, 0.085, 0.012)
+	// Asynchronous reset (active-low RN).
+	b.seq("DFFRQX1", netlist.KindFF, 20.3,
+		[]netlist.PinDef{
+			pin("D", netlist.In, netlist.ClassData),
+			pin("CK", netlist.In, netlist.ClassClock),
+			pin("RN", netlist.In, netlist.ClassAsyncReset),
+			pin("Q", netlist.Out, netlist.ClassOutput),
+		},
+		&netlist.SeqSpec{
+			Next: logic.Var("D"), ClockPin: "CK", Q: "Q",
+			AsyncReset: "RN", AsyncResetLow: true,
+		},
+		0.115, 0.080, 0.012)
+	// Asynchronous set (active-low SN).
+	b.seq("DFFSQX1", netlist.KindFF, 20.3,
+		[]netlist.PinDef{
+			pin("D", netlist.In, netlist.ClassData),
+			pin("CK", netlist.In, netlist.ClassClock),
+			pin("SN", netlist.In, netlist.ClassAsyncSet),
+			pin("Q", netlist.Out, netlist.ClassOutput),
+		},
+		&netlist.SeqSpec{
+			Next: logic.Var("D"), ClockPin: "CK", Q: "Q",
+			AsyncSet: "SN", AsyncSetLow: true,
+		},
+		0.115, 0.080, 0.012)
+	// Synchronous reset (active-high R sampled with D).
+	b.seq("DFFSYNRX1", netlist.KindFF, 20.3,
+		[]netlist.PinDef{
+			pin("D", netlist.In, netlist.ClassData),
+			pin("R", netlist.In, netlist.ClassData),
+			pin("CK", netlist.In, netlist.ClassClock),
+			pin("Q", netlist.Out, netlist.ClassOutput),
+		},
+		&netlist.SeqSpec{Next: logic.MustParseExpr("D&!R"), ClockPin: "CK", Q: "Q"},
+		0.115, 0.080, 0.012)
+	// Clock-gated flip-flop: captures only when EN is high at the edge.
+	b.seq("DFFCGX1", netlist.KindFF, 21.2,
+		[]netlist.PinDef{
+			pin("D", netlist.In, netlist.ClassData),
+			pin("EN", netlist.In, netlist.ClassData),
+			pin("CK", netlist.In, netlist.ClassClock),
+			pin("Q", netlist.Out, netlist.ClassOutput),
+		},
+		&netlist.SeqSpec{Next: logic.Var("D"), ClockPin: "CK", Q: "Q", ClockGate: "EN"},
+		0.115, 0.080, 0.012)
+	// Scan flip-flop with asynchronous reset, used by the ARM case study.
+	b.seq("SDFFRQX1", netlist.KindFF, 25.8,
+		[]netlist.PinDef{
+			pin("D", netlist.In, netlist.ClassData),
+			pin("SI", netlist.In, netlist.ClassScanIn),
+			pin("SE", netlist.In, netlist.ClassScanEnable),
+			pin("CK", netlist.In, netlist.ClassClock),
+			pin("RN", netlist.In, netlist.ClassAsyncReset),
+			pin("Q", netlist.Out, netlist.ClassOutput),
+		},
+		&netlist.SeqSpec{
+			Next:     logic.MustParseExpr("(SE&SI)|(!SE&D)"),
+			ClockPin: "CK", Q: "Q", ScanIn: "SI", ScanEnable: "SE",
+			AsyncReset: "RN", AsyncResetLow: true,
+		},
+		0.125, 0.090, 0.012)
+
+	// ---- Latches ----
+	// Deliberately only the simplest possible latch is provided: all the
+	// richer flip-flop behaviours must be rebuilt as composite latch modules
+	// during library preparation, exactly the situation §3.1.2 describes.
+	// Area ratio vs DFFQX1 is 0.59, so a master/slave pair costs ~1.18x a
+	// flip-flop (the source of the sequential-area overhead in Table 5.1).
+	b.seq("LATQX1", netlist.KindLatch, 10.8,
+		[]netlist.PinDef{
+			pin("D", netlist.In, netlist.ClassData),
+			pin("G", netlist.In, netlist.ClassEnable),
+			pin("Q", netlist.Out, netlist.ClassOutput),
+		},
+		&netlist.SeqSpec{Next: logic.Var("D"), ClockPin: "G", Q: "Q"},
+		0.085, 0.050, 0.010)
+	// Latch with asynchronous active-low reset, for reset-able pipelines.
+	b.seq("LATRQX1", netlist.KindLatch, 12.0,
+		[]netlist.PinDef{
+			pin("D", netlist.In, netlist.ClassData),
+			pin("G", netlist.In, netlist.ClassEnable),
+			pin("RN", netlist.In, netlist.ClassAsyncReset),
+			pin("Q", netlist.Out, netlist.ClassOutput),
+		},
+		&netlist.SeqSpec{
+			Next: logic.Var("D"), ClockPin: "G", Q: "Q",
+			AsyncReset: "RN", AsyncResetLow: true,
+		},
+		0.088, 0.050, 0.010)
+
+	// ---- C-Muller elements ----
+	// 2- and 3-input C elements as hard cells; wider rendezvous is built as
+	// trees by internal/handshake (the paper synthesizes 2..10-input
+	// C elements from Verilog, §3.1.5).
+	b.celem("C2X1", 2, 10.2, 0.036, false)
+	b.celem("C3X1", 3, 12.9, 0.044, false)
+	// C2N: second input inverted; the building block of latch controllers.
+	b.celem("C2NX1", 2, 10.2, 0.036, true)
+
+	// ---- Controller cells ----
+	// The 4-phase semi-decoupled latch controller (§3.1.3) maps onto three
+	// complex gates: two resettable generalized-C elements (latch-enable and
+	// request-out state) plus a plain ANDN2 for the acknowledge. These are
+	// hand-mapped, hazard-free cells, as the paper requires — standard logic
+	// synthesis cannot produce them (§3.1.3).
+	//
+	// CGM: latch-enable element resetting HIGH (masters are transparent at
+	// reset). Q+ when ao=1 (the successor consumed the held datum; the
+	// latch reopens to admit the next one even if it is already
+	// requested); Q- when ri=1 and ao=0 (new datum valid, previous one
+	// consumed: capture).
+	b.gc("CGMX1", 13.0, 0.040,
+		"A|R", "(!A&B)&!R")
+	// CGS: the same function resetting LOW (slaves are opaque at reset).
+	b.gc("CGSX1", 13.0, 0.040,
+		"A&!R", "(!A&B)|R")
+	// CRO: request-out C element, reset LOW. Q+ when g=0 and ao=0; Q- when
+	// g=1 and ao=1. With a slave's reset state (g=0, ao=0) it fires as soon
+	// as reset releases, announcing the registers' reset data.
+	b.gc("CROX1", 13.0, 0.040,
+		"(!A&!B)&!R", "(A&B)|R")
+	// CB: the "opened since the last handshake" state bit (A=g, B=ri):
+	// set while the latch is transparent, cleared once the input handshake
+	// completes. It gates the input acknowledge so the controller never
+	// acknowledges a datum it has not re-opened for and captured — without
+	// it a lagging output acknowledge lets a token be skipped.
+	b.gc2("CBX1", 10.2, 0.036, "A", "!A&!B")
+	// AI: input acknowledge, Z = ri & !g & b.
+	b.comb("ANDN3X1", 5.5, []string{"A", "B", "C"}, "A&!B&C", 0.038, 1.05)
+}
+
+// gc2 registers a two-input generalized-C cell (no reset pin).
+func (b *builder) gc2(name string, area, base float64, set, reset string) *netlist.CellDef {
+	c := &netlist.CellDef{
+		Name:    name,
+		Kind:    netlist.KindGC,
+		Area:    area,
+		Leakage: b.leak(area),
+		Energy:  b.energy(area),
+	}
+	for _, in := range []string{"A", "B"} {
+		c.Pins = append(c.Pins, netlist.PinDef{Name: in, Dir: netlist.In, Cap: 0.002})
+		c.Arcs = append(c.Arcs, netlist.TimingArc{From: in, To: "Q", Rise: b.d(base), Fall: b.d(base)})
+	}
+	c.Pins = append(c.Pins, netlist.PinDef{Name: "Q", Dir: netlist.Out, Class: netlist.ClassOutput})
+	c.GC = &netlist.GCSpec{
+		Set:   logic.MustParseExpr(set),
+		Reset: logic.MustParseExpr(reset),
+		Q:     "Q",
+	}
+	return b.lib.Add(c)
+}
+
+// gc registers a resettable generalized-C controller cell with inputs A, B,
+// reset R and output Q.
+func (b *builder) gc(name string, area, base float64, set, reset string) *netlist.CellDef {
+	c := &netlist.CellDef{
+		Name:    name,
+		Kind:    netlist.KindGC,
+		Area:    area,
+		Leakage: b.leak(area),
+		Energy:  b.energy(area),
+	}
+	for _, in := range []string{"A", "B", "R"} {
+		c.Pins = append(c.Pins, netlist.PinDef{Name: in, Dir: netlist.In, Cap: 0.002})
+		c.Arcs = append(c.Arcs, netlist.TimingArc{From: in, To: "Q", Rise: b.d(base), Fall: b.d(base)})
+	}
+	c.Pins = append(c.Pins, netlist.PinDef{Name: "Q", Dir: netlist.Out, Class: netlist.ClassOutput})
+	c.GC = &netlist.GCSpec{
+		Set:   logic.MustParseExpr(set),
+		Reset: logic.MustParseExpr(reset),
+		Q:     "Q",
+	}
+	return b.lib.Add(c)
+}
+
+// Gatefile is the extracted library summary the desynchronization tool works
+// from (§3.1.1): per-cell name, type and pin roles, plus flip-flop
+// replacement rules filled in by internal/libprep.
+type Gatefile struct {
+	Lib   *netlist.Library
+	Cells []GatefileEntry
+}
+
+// GatefileEntry is one row of the gatefile.
+type GatefileEntry struct {
+	Name string
+	Kind netlist.CellKind
+	Pins []netlist.PinDef
+}
+
+// ExtractGatefile builds the gatefile view of a library, as the paper's
+// custom .lib-parsing script does.
+func ExtractGatefile(lib *netlist.Library) *Gatefile {
+	g := &Gatefile{Lib: lib}
+	for _, name := range sortedCellNames(lib) {
+		c := lib.Cells[name]
+		g.Cells = append(g.Cells, GatefileEntry{Name: c.Name, Kind: c.Kind, Pins: c.Pins})
+	}
+	return g
+}
+
+func sortedCellNames(lib *netlist.Library) []string {
+	names := make([]string, 0, len(lib.Cells))
+	for n := range lib.Cells {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -1,0 +1,250 @@
+package stdcells
+
+import (
+	"testing"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+)
+
+func TestLibrariesBuild(t *testing.T) {
+	hs := New(HighSpeed)
+	ll := New(LowLeakage)
+	if len(hs.Cells) == 0 || len(hs.Cells) != len(ll.Cells) {
+		t.Fatalf("cell counts: HS=%d LL=%d", len(hs.Cells), len(ll.Cells))
+	}
+	// Every cell must have coherent pins, functions and arcs.
+	for name, c := range hs.Cells {
+		switch c.Kind {
+		case netlist.KindComb, netlist.KindTie:
+			if len(c.Functions) == 0 {
+				t.Errorf("%s: combinational cell without function", name)
+			}
+			for out, fn := range c.Functions {
+				if c.Pin(out) == nil || c.Pin(out).Dir != netlist.Out {
+					t.Errorf("%s: function output %s is not an output pin", name, out)
+				}
+				for _, v := range fn.Vars() {
+					if c.Pin(v) == nil || c.Pin(v).Dir != netlist.In {
+						t.Errorf("%s: function references unknown input %s", name, v)
+					}
+				}
+			}
+		case netlist.KindFF, netlist.KindLatch:
+			if c.Seq == nil {
+				t.Errorf("%s: sequential cell without SeqSpec", name)
+				continue
+			}
+			if c.Pin(c.Seq.ClockPin) == nil || c.Pin(c.Seq.Q) == nil {
+				t.Errorf("%s: SeqSpec references missing pins", name)
+			}
+			if c.Setup.Worst <= 0 || c.Hold.Worst <= 0 {
+				t.Errorf("%s: missing setup/hold", name)
+			}
+		case netlist.KindCElem:
+			if c.GC == nil {
+				t.Errorf("%s: C element without GC spec", name)
+			}
+		}
+		// All arcs reference real pins with positive worst-case delay.
+		for _, a := range c.Arcs {
+			if c.Pin(a.From) == nil || c.Pin(a.To) == nil {
+				t.Errorf("%s: arc %s->%s references missing pins", name, a.From, a.To)
+			}
+			if a.Rise.Worst <= 0 || a.Fall.Worst <= 0 {
+				t.Errorf("%s: arc %s->%s has non-positive delay", name, a.From, a.To)
+			}
+			if a.Rise.Worst < a.Rise.Best || a.Fall.Worst < a.Fall.Best {
+				t.Errorf("%s: worst faster than best on %s->%s", name, a.From, a.To)
+			}
+		}
+		if c.Area <= 0 {
+			t.Errorf("%s: non-positive area", name)
+		}
+	}
+}
+
+func TestVariantScaling(t *testing.T) {
+	hs := New(HighSpeed)
+	ll := New(LowLeakage)
+	h := hs.MustCell("NAND2X1")
+	l := ll.MustCell("NAND2X1")
+	if l.Arcs[0].Rise.Best <= h.Arcs[0].Rise.Best {
+		t.Error("LL should be slower than HS")
+	}
+	if l.Leakage.Worst >= h.Leakage.Worst {
+		t.Error("LL should leak less than HS")
+	}
+	if l.Area != h.Area {
+		t.Error("area should not depend on variant")
+	}
+}
+
+func TestCellFunctions(t *testing.T) {
+	lib := New(HighSpeed)
+	cases := []struct {
+		cell string
+		env  map[string]logic.V
+		out  logic.V
+	}{
+		{"NAND2X1", map[string]logic.V{"A": logic.H, "B": logic.H}, logic.L},
+		{"NOR2X1", map[string]logic.V{"A": logic.L, "B": logic.L}, logic.H},
+		{"MUX2X1", map[string]logic.V{"A": logic.H, "B": logic.L, "S": logic.L}, logic.H},
+		{"MUX2X1", map[string]logic.V{"A": logic.H, "B": logic.L, "S": logic.H}, logic.L},
+		{"AOI21X1", map[string]logic.V{"A": logic.H, "B": logic.H, "C": logic.L}, logic.L},
+		{"OAI21X1", map[string]logic.V{"A": logic.L, "B": logic.L, "C": logic.H}, logic.H},
+		{"ANDN2X1", map[string]logic.V{"A": logic.H, "B": logic.L}, logic.H},
+		{"ANDN2X1", map[string]logic.V{"A": logic.H, "B": logic.H}, logic.L},
+		{"XOR2X1", map[string]logic.V{"A": logic.H, "B": logic.L}, logic.H},
+		{"TIE0", nil, logic.L},
+		{"TIE1", nil, logic.H},
+	}
+	for _, c := range cases {
+		cell := lib.MustCell(c.cell)
+		if got := cell.Functions["Z"].Eval(c.env); got != c.out {
+			t.Errorf("%s under %v: got %v want %v", c.cell, c.env, got, c.out)
+		}
+	}
+}
+
+// Table 2.1: the C-Muller element's truth table — all-0 inputs give 0,
+// all-1 inputs give 1, anything else holds the previous value. The GC spec
+// encodes set/reset conditions; here we check they partition correctly.
+func TestCMullerTruthTable(t *testing.T) {
+	lib := New(HighSpeed)
+	for _, name := range []string{"C2X1", "C3X1"} {
+		c := lib.MustCell(name)
+		n := len(c.Inputs())
+		for mask := 0; mask < 1<<n; mask++ {
+			env := map[string]logic.V{}
+			for i, p := range c.Inputs() {
+				env[p] = logic.FromBool(mask>>i&1 == 1)
+			}
+			set := c.GC.Set.Eval(env) == logic.H
+			reset := c.GC.Reset.Eval(env) == logic.H
+			allOnes := mask == 1<<n-1
+			allZeros := mask == 0
+			if set != allOnes {
+				t.Errorf("%s: set wrong for mask %b", name, mask)
+			}
+			if reset != allZeros {
+				t.Errorf("%s: reset wrong for mask %b", name, mask)
+			}
+			if set && reset {
+				t.Errorf("%s: set and reset both active for mask %b", name, mask)
+			}
+		}
+	}
+}
+
+func TestC2NInvertedInput(t *testing.T) {
+	c := New(HighSpeed).MustCell("C2NX1")
+	env := map[string]logic.V{"A": logic.H, "B": logic.L}
+	if c.GC.Set.Eval(env) != logic.H {
+		t.Error("C2N should set on A=1,B=0")
+	}
+	env = map[string]logic.V{"A": logic.L, "B": logic.H}
+	if c.GC.Reset.Eval(env) != logic.H {
+		t.Error("C2N should reset on A=0,B=1")
+	}
+}
+
+func TestLatchVsFlipFlopAreaRatio(t *testing.T) {
+	lib := New(HighSpeed)
+	dff := lib.MustCell("DFFQX1")
+	lat := lib.MustCell("LATQX1")
+	ratio := 2 * lat.Area / dff.Area
+	// A master/slave latch pair must cost mildly more than a flip-flop:
+	// this ratio drives the sequential-area overheads of Tables 5.1/5.2.
+	if ratio < 1.05 || ratio > 1.35 {
+		t.Fatalf("latch pair / DFF area ratio %.2f outside the regime the paper reports", ratio)
+	}
+}
+
+func TestGatefileExtraction(t *testing.T) {
+	lib := New(HighSpeed)
+	g := ExtractGatefile(lib)
+	if len(g.Cells) != len(lib.Cells) {
+		t.Fatalf("gatefile has %d cells, library %d", len(g.Cells), len(lib.Cells))
+	}
+	// Sorted by name.
+	for i := 1; i < len(g.Cells); i++ {
+		if g.Cells[i-1].Name >= g.Cells[i].Name {
+			t.Fatal("gatefile not sorted")
+		}
+	}
+	// Scan FF pin classes survive extraction.
+	for _, e := range g.Cells {
+		if e.Name == "SDFFQX1" {
+			var si, se bool
+			for _, p := range e.Pins {
+				si = si || p.Class == netlist.ClassScanIn
+				se = se || p.Class == netlist.ClassScanEnable
+			}
+			if !si || !se {
+				t.Fatal("scan pin classes lost in gatefile")
+			}
+		}
+	}
+}
+
+func TestBufferLikeCellsInLibrary(t *testing.T) {
+	lib := New(HighSpeed)
+	for _, name := range []string{"BUFX1", "BUFX2", "BUFX4", "CLKBUFX2"} {
+		if inv, ok := lib.MustCell(name).IsBufferLike(); !ok || inv {
+			t.Errorf("%s should be a non-inverting buffer", name)
+		}
+	}
+	for _, name := range []string{"INVX1", "INVX2", "INVX4"} {
+		if inv, ok := lib.MustCell(name).IsBufferLike(); !ok || !inv {
+			t.Errorf("%s should be an inverting buffer", name)
+		}
+	}
+}
+
+func TestGatefileTextRoundTrip(t *testing.T) {
+	lib := New(HighSpeed)
+	text := WriteGatefile(lib)
+	sum, err := ParseGatefile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Cells) != len(lib.Cells) {
+		t.Fatalf("parsed %d cells, want %d", len(sum.Cells), len(lib.Cells))
+	}
+	for name, c := range lib.Cells {
+		if sum.Cells[name] != c.Kind {
+			t.Fatalf("%s: kind %v want %v", name, sum.Cells[name], c.Kind)
+		}
+		if len(sum.Pins[name]) != len(c.Pins) {
+			t.Fatalf("%s: %d pins want %d", name, len(sum.Pins[name]), len(c.Pins))
+		}
+	}
+	// Every flip-flop has a replacement rule with the right latch.
+	for name, c := range lib.Cells {
+		if c.Kind != netlist.KindFF {
+			continue
+		}
+		r, ok := sum.Replaces[name]
+		if !ok {
+			t.Fatalf("%s: no replacement rule", name)
+		}
+		wantLatch := "LATQX1"
+		if c.Seq.AsyncReset != "" {
+			wantLatch = "LATRQX1"
+		}
+		if r.Latch != wantLatch {
+			t.Fatalf("%s: latch %s want %s", name, r.Latch, wantLatch)
+		}
+	}
+	// Scan flip-flops carry the scanmux helper (Fig 3.1a).
+	if r := sum.Replaces["SDFFQX1"]; len(r.Extra) == 0 || r.Extra[0] != "scanmux:MUX2X1" {
+		t.Fatalf("SDFFQX1 rule wrong: %+v", sum.Replaces["SDFFQX1"])
+	}
+	// Malformed inputs error.
+	for _, bad := range []string{"cell X", "replace A B", "bogus line here", "cell X nope"} {
+		if _, err := ParseGatefile(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}

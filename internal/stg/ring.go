@@ -1,0 +1,171 @@
+package stg
+
+import (
+	"fmt"
+)
+
+// Ring instantiates the protocol around a ring of nRegs registers — 2·nRegs
+// latches alternating master (even index, transparent at reset) and slave
+// (odd index, opaque at reset, holding datum r for register r). This is the
+// structure a desynchronized circuit's control network enforces on its
+// latch enables; checking it checks the protocol the way §2.2 requires:
+// liveness (no deadlock) and flow equivalence (every latch captures the
+// synchronous data sequence under every interleaving).
+func (p *Protocol) Ring(nRegs int) (*Graph, error) {
+	if nRegs < 2 {
+		return nil, fmt.Errorf("stg: ring needs at least 2 registers")
+	}
+	n := 2 * nRegs
+	g := NewGraph()
+	open := func(i int) bool { return i%2 == 0 }
+	for i := 0; i < n; i++ {
+		sig := latchSignal(i)
+		plus, minus := g.Ev(sig, true), g.Ev(sig, false)
+		pm, mp := selfTokens(open(i))
+		g.AddArc(plus, minus, pm)
+		g.AddArc(minus, plus, mp)
+	}
+	for i := 0; i < n; i++ {
+		a, b := i, (i+1)%n
+		for _, c := range p.Cross {
+			t, err := pairTokens(c, open(a), open(b))
+			if err != nil {
+				return nil, err
+			}
+			from := g.Ev(latchSignal(pairLatch(c.FromA, a, b)), c.FromPlus)
+			to := g.Ev(latchSignal(pairLatch(c.ToA, a, b)), c.ToPlus)
+			g.AddArc(from, to, t)
+		}
+	}
+	return g, nil
+}
+
+func latchSignal(i int) string { return fmt.Sprintf("L%d", i) }
+
+func pairLatch(isA bool, a, b int) int {
+	if isA {
+		return a
+	}
+	return b
+}
+
+// RingReport is the outcome of executing a protocol ring exhaustively.
+type RingReport struct {
+	Protocol  string
+	States    int
+	Live      bool
+	FlowEquiv bool
+	Violation string // first flow-equivalence violation found, if any
+}
+
+// CheckRing explores every interleaving of the ring (bounded by limit
+// states) while tracking data through the latches, and reports liveness and
+// flow equivalence. Data semantics: an opaque latch holds its value; a
+// transparent latch shows its upstream neighbour's value; a cycle of
+// transparent latches is a data race. At each closing edge the captured
+// value must equal the synchronous schedule's value for that latch
+// occurrence.
+func (p *Protocol) CheckRing(nRegs, limit int) (RingReport, error) {
+	g, err := p.Ring(nRegs)
+	if err != nil {
+		return RingReport{}, err
+	}
+	n := 2 * nRegs
+	rep := RingReport{Protocol: p.Name, Live: true, FlowEquiv: true}
+
+	// Event index -> latch index and polarity.
+	evLatch := make([]int, len(g.Events))
+	evPlus := make([]bool, len(g.Events))
+	for i, e := range g.Events {
+		var li int
+		if _, err := fmt.Sscanf(e.Signal, "L%d", &li); err != nil {
+			return rep, fmt.Errorf("stg: bad signal %q", e.Signal)
+		}
+		evLatch[i] = li
+		evPlus[i] = e.Plus
+	}
+
+	type state struct {
+		m    string // marking key
+		held string // datum id per latch (closed) or 0xff (open)
+		caps string // capture count per latch mod nRegs
+	}
+	// Initial data: slaves (odd) hold their register id; masters open.
+	held := make([]byte, n)
+	caps := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			held[i] = 0xff
+		} else {
+			held[i] = byte(i / 2)
+		}
+	}
+	init := g.Initial()
+	start := state{init.key(), string(held), string(caps)}
+	seen := map[state]bool{start: true}
+	queue := []state{start}
+
+	// value resolves the datum visible at latch i's output.
+	value := func(held []byte, i int) (byte, bool) {
+		for hops := 0; hops <= n; hops++ {
+			if held[i] != 0xff {
+				return held[i], true
+			}
+			i = (i - 1 + n) % n
+		}
+		return 0, false // all-transparent cycle: data race
+	}
+
+	for len(queue) > 0 && len(seen) <= limit {
+		st := queue[0]
+		queue = queue[1:]
+		m := Marking(st.m)
+		enabled := g.EnabledEvents(m)
+		if len(enabled) == 0 {
+			rep.Live = false
+			continue
+		}
+		for _, e := range enabled {
+			nm := g.Fire(m, e)
+			li := evLatch[e]
+			h := []byte(st.held)
+			c := []byte(st.caps)
+			if evPlus[e] {
+				h[li] = 0xff // transparent
+			} else {
+				v, ok := value(h, li)
+				if !ok {
+					if rep.FlowEquiv {
+						rep.FlowEquiv = false
+						rep.Violation = fmt.Sprintf("data race closing %s", g.Events[e])
+					}
+					continue
+				}
+				// Synchronous schedule: capture k of a latch in register r
+				// is datum (r-k) mod nRegs.
+				r := li / 2
+				expect := byte(((r-int(c[li])-1)%nRegs + nRegs) % nRegs)
+				if v != expect {
+					if rep.FlowEquiv {
+						rep.FlowEquiv = false
+						rep.Violation = fmt.Sprintf("latch L%d captured %d, expected %d (capture #%d)",
+							li, v, expect, c[li]+1)
+					}
+					continue
+				}
+				h[li] = v
+				c[li] = byte((int(c[li]) + 1) % nRegs)
+			}
+			ns := state{nm.key(), string(h), string(c)}
+			if !seen[ns] {
+				seen[ns] = true
+				queue = append(queue, ns)
+			}
+		}
+	}
+	rep.States = len(seen)
+	if len(seen) > limit {
+		return rep, fmt.Errorf("stg: ring state space exceeded %d states", limit)
+	}
+	return rep, nil
+}

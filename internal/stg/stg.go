@@ -1,0 +1,276 @@
+// Package stg implements Signal Transition Graphs restricted to marked
+// graphs (every place has one producer and one consumer), the class used to
+// specify desynchronization handshake protocols (Fig 2.4). It provides
+// reachability analysis (state counts), liveness checking, and a
+// flow-equivalence check that executes a protocol over a ring of latches and
+// verifies that every interleaving captures the synchronous data sequences.
+package stg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Event is a signal transition, e.g. "L0+".
+type Event struct {
+	Signal string
+	Plus   bool
+}
+
+// String renders the transition name.
+func (e Event) String() string {
+	if e.Plus {
+		return e.Signal + "+"
+	}
+	return e.Signal + "-"
+}
+
+// Arc is a token-carrying causal arc between two events.
+type Arc struct {
+	From, To int // event indices
+	Tokens   int // initial marking
+}
+
+// Graph is a marked graph over events.
+type Graph struct {
+	Events []Event
+	Arcs   []Arc
+
+	evIdx map[Event]int
+	in    [][]int // arc indices into each event
+	out   [][]int
+}
+
+// NewGraph returns an empty marked graph.
+func NewGraph() *Graph {
+	return &Graph{evIdx: map[Event]int{}}
+}
+
+// Ev interns an event and returns its index.
+func (g *Graph) Ev(signal string, plus bool) int {
+	e := Event{signal, plus}
+	if i, ok := g.evIdx[e]; ok {
+		return i
+	}
+	i := len(g.Events)
+	g.evIdx[e] = i
+	g.Events = append(g.Events, e)
+	return i
+}
+
+// AddArc adds a causal arc with an initial token count.
+func (g *Graph) AddArc(from, to, tokens int) {
+	g.Arcs = append(g.Arcs, Arc{from, to, tokens})
+}
+
+// freeze builds the incidence indexes.
+func (g *Graph) freeze() {
+	if g.in != nil {
+		return
+	}
+	g.in = make([][]int, len(g.Events))
+	g.out = make([][]int, len(g.Events))
+	for ai, a := range g.Arcs {
+		g.in[a.To] = append(g.in[a.To], ai)
+		g.out[a.From] = append(g.out[a.From], ai)
+	}
+}
+
+// Marking is a token count per arc.
+type Marking []uint8
+
+func (m Marking) key() string { return string(m) }
+
+// Initial returns the initial marking.
+func (g *Graph) Initial() Marking {
+	m := make(Marking, len(g.Arcs))
+	for i, a := range g.Arcs {
+		if a.Tokens < 0 || a.Tokens > 255 {
+			panic(fmt.Sprintf("stg: bad token count %d", a.Tokens))
+		}
+		m[i] = uint8(a.Tokens)
+	}
+	return m
+}
+
+// Enabled reports whether event e can fire under m.
+func (g *Graph) Enabled(m Marking, e int) bool {
+	g.freeze()
+	for _, ai := range g.in[e] {
+		if m[ai] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EnabledEvents lists all enabled events.
+func (g *Graph) EnabledEvents(m Marking) []int {
+	var out []int
+	for e := range g.Events {
+		if g.Enabled(m, e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Fire returns the marking after firing e (which must be enabled).
+func (g *Graph) Fire(m Marking, e int) Marking {
+	g.freeze()
+	n := make(Marking, len(m))
+	copy(n, m)
+	for _, ai := range g.in[e] {
+		n[ai]--
+	}
+	for _, ai := range g.out[e] {
+		n[ai]++
+	}
+	return n
+}
+
+// ReachResult summarizes a reachability analysis.
+type ReachResult struct {
+	States    int
+	Deadlock  bool     // some reachable marking enables nothing
+	Unbounded bool     // a marking exceeded the bound (not a safe net)
+	DeadTrace []string // events leading to the deadlock, if any
+}
+
+// Reachable explores the state space breadth-first up to limit states and a
+// per-arc token bound.
+func (g *Graph) Reachable(limit int) ReachResult {
+	g.freeze()
+	init := g.Initial()
+	seen := map[string]bool{init.key(): true}
+	type qe struct {
+		m     Marking
+		trace []string
+	}
+	queue := []qe{{init, nil}}
+	res := ReachResult{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		res.States++
+		if res.States > limit {
+			res.Unbounded = true
+			return res
+		}
+		enabled := g.EnabledEvents(cur.m)
+		if len(enabled) == 0 {
+			res.Deadlock = true
+			res.DeadTrace = cur.trace
+			continue
+		}
+		for _, e := range enabled {
+			next := g.Fire(cur.m, e)
+			// Safety bound: protocols here are safe nets (≤2 tokens/arc).
+			for _, t := range next {
+				if t > 4 {
+					res.Unbounded = true
+					return res
+				}
+			}
+			k := next.key()
+			if !seen[k] {
+				seen[k] = true
+				var tr []string
+				if len(cur.trace) < 32 {
+					tr = append(append(tr, cur.trace...), g.Events[e].String())
+				}
+				queue = append(queue, qe{next, tr})
+			}
+		}
+	}
+	return res
+}
+
+// Live reports whether the marked graph is live: strongly connected with
+// every directed cycle carrying at least one token. For strongly-connected
+// marked graphs this is equivalent to deadlock freedom, which Reachable
+// confirms; this structural check is independent of state-space size.
+func (g *Graph) Live() bool {
+	g.freeze()
+	if !g.stronglyConnected() {
+		return false
+	}
+	// A cycle with zero tokens exists iff the subgraph of zero-token arcs
+	// has a cycle.
+	n := len(g.Events)
+	adj := make([][]int, n)
+	for _, a := range g.Arcs {
+		if a.Tokens == 0 {
+			adj[a.From] = append(adj[a.From], a.To)
+		}
+	}
+	color := make([]uint8, n)
+	var cyclic bool
+	var dfs func(v int)
+	dfs = func(v int) {
+		color[v] = 1
+		for _, w := range adj[v] {
+			switch color[w] {
+			case 0:
+				dfs(w)
+			case 1:
+				cyclic = true
+			}
+			if cyclic {
+				return
+			}
+		}
+		color[v] = 2
+	}
+	for v := 0; v < n && !cyclic; v++ {
+		if color[v] == 0 {
+			dfs(v)
+		}
+	}
+	return !cyclic
+}
+
+func (g *Graph) stronglyConnected() bool {
+	n := len(g.Events)
+	if n == 0 {
+		return true
+	}
+	reach := func(adjOf func(int) []int) int {
+		seen := make([]bool, n)
+		stack := []int{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adjOf(v) {
+				if !seen[w] {
+					seen[w] = true
+					count++
+					stack = append(stack, w)
+				}
+			}
+		}
+		return count
+	}
+	fwd := make([][]int, n)
+	rev := make([][]int, n)
+	for _, a := range g.Arcs {
+		fwd[a.From] = append(fwd[a.From], a.To)
+		rev[a.To] = append(rev[a.To], a.From)
+	}
+	return reach(func(v int) []int { return fwd[v] }) == n &&
+		reach(func(v int) []int { return rev[v] }) == n
+}
+
+// Dump renders the graph for debugging.
+func (g *Graph) Dump() string {
+	var lines []string
+	for _, a := range g.Arcs {
+		lines = append(lines, fmt.Sprintf("%s -> %s [%d]",
+			g.Events[a.From], g.Events[a.To], a.Tokens))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,193 @@
+package stg
+
+import (
+	"strings"
+	"testing"
+)
+
+// A simple two-event ring: a+ -> a- -> a+ with one token.
+func toggleGraph() *Graph {
+	g := NewGraph()
+	p, m := g.Ev("a", true), g.Ev("a", false)
+	g.AddArc(p, m, 0)
+	g.AddArc(m, p, 1)
+	return g
+}
+
+func TestFireSemantics(t *testing.T) {
+	g := toggleGraph()
+	m0 := g.Initial()
+	p, mi := g.Ev("a", true), g.Ev("a", false)
+	if !g.Enabled(m0, p) || g.Enabled(m0, mi) {
+		t.Fatal("only a+ should be enabled initially")
+	}
+	m1 := g.Fire(m0, p)
+	if g.Enabled(m1, p) || !g.Enabled(m1, mi) {
+		t.Fatal("after a+, only a- should be enabled")
+	}
+	m2 := g.Fire(m1, mi)
+	if m2.key() != m0.key() {
+		t.Fatal("firing a+ then a- must return to the initial marking")
+	}
+}
+
+func TestReachableCounts(t *testing.T) {
+	g := toggleGraph()
+	r := g.Reachable(100)
+	if r.States != 2 || r.Deadlock || r.Unbounded {
+		t.Fatalf("toggle: %+v", r)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	g := NewGraph()
+	p, m := g.Ev("a", true), g.Ev("a", false)
+	g.AddArc(p, m, 0)
+	g.AddArc(m, p, 0) // token-free cycle: dead
+	r := g.Reachable(100)
+	if !r.Deadlock {
+		t.Fatal("expected deadlock")
+	}
+	if g.Live() {
+		t.Fatal("token-free cycle must not be live")
+	}
+}
+
+func TestLiveStructural(t *testing.T) {
+	if !toggleGraph().Live() {
+		t.Fatal("toggle graph is live")
+	}
+	// Not strongly connected: a dangling event.
+	g := toggleGraph()
+	g.Ev("b", true)
+	if g.Live() {
+		t.Fatal("disconnected graph must not be live")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	g := toggleGraph()
+	if g.Events[0].String() != "a+" || g.Events[1].String() != "a-" {
+		t.Fatal("event rendering wrong")
+	}
+	if !strings.Contains(g.Dump(), "a+ -> a- [0]") {
+		t.Fatal("dump missing arc")
+	}
+}
+
+// Fig 2.4: the protocol lattice. State counts decrease with concurrency;
+// all lattice members are live and flow-equivalent; the two deliberately
+// broken variants fail in exactly the advertised way.
+func TestProtocolLattice(t *testing.T) {
+	for _, p := range Protocols {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			pg, err := p.PairGraph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := pg.Reachable(10000)
+			if p.ExpectStates > 0 {
+				if r.Unbounded {
+					t.Fatal("pair STG unbounded")
+				}
+				if r.States != p.ExpectStates {
+					t.Errorf("pair states = %d, want %d", r.States, p.ExpectStates)
+				}
+			}
+			rr, err := p.CheckRing(2, 2_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rr.Live != p.ExpectLive {
+				t.Errorf("ring live = %v, want %v", rr.Live, p.ExpectLive)
+			}
+			if rr.FlowEquiv != p.ExpectFE {
+				t.Errorf("ring flow-equivalent = %v, want %v (violation: %s)",
+					rr.FlowEquiv, p.ExpectFE, rr.Violation)
+			}
+		})
+	}
+}
+
+func TestLatticeOrderedByConcurrency(t *testing.T) {
+	// The five valid protocols must have strictly decreasing state counts.
+	var counts []int
+	for _, p := range Protocols {
+		if !p.ExpectLive || !p.ExpectFE {
+			continue
+		}
+		pg, err := p.PairGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, pg.Reachable(10000).States)
+	}
+	if len(counts) != 5 {
+		t.Fatalf("expected 5 valid protocols, got %d", len(counts))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] >= counts[i-1] {
+			t.Fatalf("lattice not strictly decreasing: %v", counts)
+		}
+	}
+}
+
+func TestRingScalesToMoreRegisters(t *testing.T) {
+	p, err := ProtocolByName("semi-decoupled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, regs := range []int{2, 3} {
+		rr, err := p.CheckRing(regs, 5_000_000)
+		if err != nil {
+			t.Fatalf("regs=%d: %v", regs, err)
+		}
+		if !rr.Live || !rr.FlowEquiv {
+			t.Fatalf("regs=%d: live=%v FE=%v (%s)", regs, rr.Live, rr.FlowEquiv, rr.Violation)
+		}
+	}
+}
+
+func TestProtocolByName(t *testing.T) {
+	if _, err := ProtocolByName("semi-decoupled"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProtocolByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFallDecoupledViolationIsOverwrite(t *testing.T) {
+	p, _ := ProtocolByName("fall-decoupled-unsafe")
+	rr, err := p.CheckRing(2, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.FlowEquiv {
+		t.Fatal("fall-decoupled must not be flow-equivalent")
+	}
+	if rr.Violation == "" {
+		t.Fatal("violation message missing")
+	}
+}
+
+func TestOverConstrainedDeadlocks(t *testing.T) {
+	p, _ := ProtocolByName("over-constrained")
+	rr, err := p.CheckRing(2, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Live {
+		t.Fatal("over-constrained must deadlock")
+	}
+}
+
+func TestPairTokensRejectNegative(t *testing.T) {
+	// An arc whose occurrence pairing is inconsistent with the reset phase
+	// must be reported, not silently mis-marked.
+	bad := CrossArc{FromA: false, FromPlus: true, ToA: true, ToPlus: true, Offset: 0} // A+(k) after B+(k)
+	if _, err := pairTokens(bad, true, false); err == nil {
+		t.Fatal("expected negative-marking error")
+	}
+}

@@ -1,0 +1,67 @@
+// Package variability models the manufacturing and environmental variation
+// the paper argues desynchronization tolerates (§1, §2.5, Fig 5.4):
+// inter-die (global) variation that scales every cell of a chip together
+// between the best and worst library corners, and intra-die (local)
+// variation that perturbs individual instances. Fig 5.4's analysis assumes
+// the inter-die population is normally distributed between the two extreme
+// corners, "exactly like SSTA does"; Sample reproduces that assumption.
+package variability
+
+import (
+	"math"
+	"math/rand"
+
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+)
+
+// Chip is one sampled die.
+type Chip struct {
+	// Theta in [0,1]: 0 = best corner, 1 = worst corner.
+	Theta float64
+}
+
+// Scale converts the die's position between corners into the delay
+// multiplier to apply on top of best-corner delays (sim.Config.Scale with
+// Corner: Best).
+func (c Chip) Scale() float64 {
+	return 1 + c.Theta*(stdcells.CornerSpread-1)
+}
+
+// Sample draws n dies with theta ~ Normal(0.5, sigma) truncated to [0,1] —
+// the population of Fig 5.4. A sigma of 1/6 puts the corners at ±3σ.
+func Sample(rng *rand.Rand, n int, sigma float64) []Chip {
+	out := make([]Chip, n)
+	for i := range out {
+		for {
+			t := 0.5 + rng.NormFloat64()*sigma
+			if t >= 0 && t <= 1 {
+				out[i] = Chip{Theta: t}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ApplyIntraDie assigns every instance a local delay factor ~
+// Normal(1, sigma), clamped to ±3σ, modelling within-die mismatch. Matched
+// delay elements and the logic they track see *different* draws, which is
+// precisely the margin the paper says delay elements must keep (§2.5).
+func ApplyIntraDie(m *netlist.Module, sigma float64, rng *rand.Rand) {
+	lo, hi := 1-3*sigma, 1+3*sigma
+	for _, in := range m.Insts {
+		f := 1 + rng.NormFloat64()*sigma
+		in.DelayFactor = math.Max(lo, math.Min(hi, f))
+	}
+}
+
+// ResetIntraDie restores nominal per-instance delays.
+func ResetIntraDie(m *netlist.Module) {
+	for _, in := range m.Insts {
+		in.DelayFactor = 1
+	}
+}
+
+// WorstCaseScale is the multiplier corresponding to the worst corner.
+func WorstCaseScale() float64 { return stdcells.CornerSpread }

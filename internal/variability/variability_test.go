@@ -1,0 +1,64 @@
+package variability
+
+import (
+	"math/rand"
+	"testing"
+
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+)
+
+func TestSampleDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	chips := Sample(rng, 4000, 1.0/6)
+	var sum float64
+	for _, c := range chips {
+		if c.Theta < 0 || c.Theta > 1 {
+			t.Fatalf("theta out of range: %v", c.Theta)
+		}
+		sum += c.Theta
+	}
+	mean := sum / float64(len(chips))
+	if mean < 0.45 || mean > 0.55 {
+		t.Fatalf("mean theta %.3f, want ~0.5", mean)
+	}
+	// Scale spans [1, spread].
+	if (Chip{Theta: 0}).Scale() != 1 {
+		t.Fatal("theta 0 must be the best corner")
+	}
+	if (Chip{Theta: 1}).Scale() != stdcells.CornerSpread {
+		t.Fatal("theta 1 must be the worst corner")
+	}
+	if WorstCaseScale() != stdcells.CornerSpread {
+		t.Fatal("worst-case scale mismatch")
+	}
+}
+
+func TestIntraDie(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	m := netlist.NewModule("m")
+	for i := 0; i < 200; i++ {
+		in := m.AddInst(string(rune('a'+i%26))+string(rune('0'+i/26)), lib.MustCell("INVX1"))
+		_ = in
+	}
+	rng := rand.New(rand.NewSource(2))
+	ApplyIntraDie(m, 0.05, rng)
+	varied := 0
+	for _, in := range m.Insts {
+		if in.DelayFactor < 0.85 || in.DelayFactor > 1.15 {
+			t.Fatalf("factor %v outside clamp", in.DelayFactor)
+		}
+		if in.DelayFactor != 1 {
+			varied++
+		}
+	}
+	if varied < 150 {
+		t.Fatal("intra-die factors not applied")
+	}
+	ResetIntraDie(m)
+	for _, in := range m.Insts {
+		if in.DelayFactor != 1 {
+			t.Fatal("reset failed")
+		}
+	}
+}

@@ -1,0 +1,483 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"desync/internal/netlist"
+)
+
+// srcRange is a declared [msb:lsb] range.
+type srcRange struct{ msb, lsb int }
+
+func (r srcRange) width() int {
+	if r.msb >= r.lsb {
+		return r.msb - r.lsb + 1
+	}
+	return r.lsb - r.msb + 1
+}
+
+// bits returns the bit indices MSB-first.
+func (r srcRange) bits() []int {
+	out := make([]int, 0, r.width())
+	if r.msb >= r.lsb {
+		for i := r.msb; i >= r.lsb; i-- {
+			out = append(out, i)
+		}
+	} else {
+		for i := r.msb; i <= r.lsb; i++ {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// srcRef is a single-bit reference after expansion: a net name, or a
+// constant, or explicitly open.
+type srcRef struct {
+	name string // "" for constants/open
+	cval int8   // 0 or 1 for constants, -1 otherwise
+	open bool
+}
+
+// srcConn connects an instance pin (single bit, possibly "base[idx]") to a
+// reference list (MSB-first before pin expansion).
+type srcConn struct {
+	pin  string // "" for positional
+	refs []srcRef
+}
+
+type srcInst struct {
+	cell, name string
+	conns      []srcConn
+	positional bool
+	line       int
+}
+
+type srcAssign struct {
+	lhs, rhs []srcRef
+	line     int
+}
+
+type srcModule struct {
+	name      string
+	portOrder []string // base names in header order
+	dirs      map[string]netlist.PinDir
+	ranges    map[string]srcRange // declared ranges (ports and wires)
+	scalars   map[string]bool     // declared scalar wires/ports
+	insts     []srcInst
+	assigns   []srcAssign
+}
+
+func (m *srcModule) declWidth(name string) (srcRange, bool) {
+	r, ok := m.ranges[name]
+	return r, ok
+}
+
+// parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.toks[p.pos].kind == tEOF }
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tPunct || t.text != s {
+		return fmt.Errorf("verilog: line %d: expected %q, got %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return t, fmt.Errorf("verilog: line %d: expected identifier, got %q", t.line, t.text)
+	}
+	return t, nil
+}
+
+// identName strips the escape backslash: netlist names never carry it.
+func identName(t token) string { return strings.TrimPrefix(t.text, "\\") }
+
+// parseSource parses all modules in the source.
+func parseSource(src string) ([]*srcModule, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var mods []*srcModule
+	for !p.atEOF() {
+		t := p.next()
+		if t.kind != tIdent || t.text != "module" {
+			return nil, fmt.Errorf("verilog: line %d: expected 'module', got %q", t.line, t.text)
+		}
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("verilog: no modules in source")
+	}
+	return mods, nil
+}
+
+func (p *parser) parseModule() (*srcModule, error) {
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &srcModule{
+		name:    identName(nameTok),
+		dirs:    map[string]netlist.PinDir{},
+		ranges:  map[string]srcRange{},
+		scalars: map[string]bool{},
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for p.peek().kind != tPunct || p.peek().text != ")" {
+		t := p.next()
+		if t.kind == tPunct && t.text == "," {
+			continue
+		}
+		if t.kind != tIdent {
+			return nil, fmt.Errorf("verilog: line %d: bad port list token %q", t.line, t.text)
+		}
+		m.portOrder = append(m.portOrder, identName(t))
+	}
+	p.next() // ')'
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+
+	for {
+		t := p.peek()
+		if t.kind == tEOF {
+			return nil, fmt.Errorf("verilog: line %d: missing endmodule for %s", t.line, m.name)
+		}
+		if t.kind == tIdent && t.text == "endmodule" {
+			p.next()
+			return m, nil
+		}
+		switch {
+		case t.kind == tIdent && (t.text == "input" || t.text == "output" || t.text == "inout"):
+			if err := p.parseDecl(m, t.text); err != nil {
+				return nil, err
+			}
+		case t.kind == tIdent && t.text == "wire":
+			if err := p.parseDecl(m, "wire"); err != nil {
+				return nil, err
+			}
+		case t.kind == tIdent && t.text == "assign":
+			if err := p.parseAssign(m); err != nil {
+				return nil, err
+			}
+		case t.kind == tIdent:
+			if err := p.parseInst(m); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("verilog: line %d: unexpected token %q in module %s", t.line, t.text, m.name)
+		}
+	}
+}
+
+// parseDecl handles: input [7:0] a, b; / wire x; etc.
+func (p *parser) parseDecl(m *srcModule, kind string) error {
+	p.next() // keyword
+	var rng *srcRange
+	if p.peek().kind == tPunct && p.peek().text == "[" {
+		r, err := p.parseRange()
+		if err != nil {
+			return err
+		}
+		rng = &r
+	}
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		name := identName(t)
+		if rng != nil {
+			m.ranges[name] = *rng
+		} else {
+			m.scalars[name] = true
+		}
+		switch kind {
+		case "input":
+			m.dirs[name] = netlist.In
+		case "output":
+			m.dirs[name] = netlist.Out
+		case "inout":
+			m.dirs[name] = netlist.InOut
+		}
+		sep := p.next()
+		if sep.kind == tPunct && sep.text == ";" {
+			return nil
+		}
+		if sep.kind != tPunct || sep.text != "," {
+			return fmt.Errorf("verilog: line %d: expected ',' or ';' in declaration", sep.line)
+		}
+	}
+}
+
+func (p *parser) parseRange() (srcRange, error) {
+	if err := p.expectPunct("["); err != nil {
+		return srcRange{}, err
+	}
+	msb, err := p.parseInt()
+	if err != nil {
+		return srcRange{}, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return srcRange{}, err
+	}
+	lsb, err := p.parseInt()
+	if err != nil {
+		return srcRange{}, err
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return srcRange{}, err
+	}
+	return srcRange{msb, lsb}, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	t := p.next()
+	if t.kind != tNumber {
+		return 0, fmt.Errorf("verilog: line %d: expected number, got %q", t.line, t.text)
+	}
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("verilog: line %d: bad number %q", t.line, t.text)
+	}
+	return v, nil
+}
+
+// parseAssign handles: assign lhs = rhs;
+func (p *parser) parseAssign(m *srcModule) error {
+	t := p.next() // 'assign'
+	lhs, err := p.parseRefList(m)
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	rhs, err := p.parseRefList(m)
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	if len(lhs) != len(rhs) {
+		return fmt.Errorf("verilog: line %d: assign width mismatch (%d vs %d)", t.line, len(lhs), len(rhs))
+	}
+	m.assigns = append(m.assigns, srcAssign{lhs: lhs, rhs: rhs, line: t.line})
+	return nil
+}
+
+// parseInst handles: CELL instname ( .A(x), .Z(y) ); or positional.
+func (p *parser) parseInst(m *srcModule) error {
+	cellTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	inst := srcInst{cell: identName(cellTok), name: identName(nameTok), line: cellTok.line}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	first := true
+	for {
+		t := p.peek()
+		if t.kind == tPunct && t.text == ")" {
+			p.next()
+			break
+		}
+		if !first {
+			if err := p.expectPunct(","); err != nil {
+				return err
+			}
+		}
+		first = false
+		if p.peek().kind == tPunct && p.peek().text == "." {
+			p.next()
+			pinTok, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return err
+			}
+			var refs []srcRef
+			if p.peek().kind == tPunct && p.peek().text == ")" {
+				refs = []srcRef{{open: true, cval: -1}}
+			} else {
+				refs, err = p.parseRefList(m)
+				if err != nil {
+					return err
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+			inst.conns = append(inst.conns, srcConn{pin: identName(pinTok), refs: refs})
+		} else {
+			refs, err := p.parseRefList(m)
+			if err != nil {
+				return err
+			}
+			inst.positional = true
+			inst.conns = append(inst.conns, srcConn{refs: refs})
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	m.insts = append(m.insts, inst)
+	return nil
+}
+
+// parseRefList parses a reference: ident, ident[i], ident[m:l], constant, or
+// a concatenation {r, r, ...}. Returns single-bit references MSB-first.
+func (p *parser) parseRefList(m *srcModule) ([]srcRef, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tPunct && t.text == "{":
+		p.next()
+		var out []srcRef
+		for {
+			refs, err := p.parseRefList(m)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, refs...)
+			sep := p.next()
+			if sep.kind == tPunct && sep.text == "}" {
+				return out, nil
+			}
+			if sep.kind != tPunct || sep.text != "," {
+				return nil, fmt.Errorf("verilog: line %d: bad concatenation", sep.line)
+			}
+		}
+	case t.kind == tNumber:
+		p.next()
+		return parseConst(t)
+	case t.kind == tIdent:
+		p.next()
+		name := identName(t)
+		if p.peek().kind == tPunct && p.peek().text == "[" {
+			save := p.pos
+			r, err := p.parseRangeOrIndex()
+			if err != nil {
+				p.pos = save
+				return nil, err
+			}
+			var out []srcRef
+			for _, b := range r.bits() {
+				out = append(out, srcRef{name: fmt.Sprintf("%s[%d]", name, b), cval: -1})
+			}
+			return out, nil
+		}
+		// Bare name: expand if it is a declared bus.
+		if r, ok := m.declWidth(name); ok {
+			var out []srcRef
+			for _, b := range r.bits() {
+				out = append(out, srcRef{name: fmt.Sprintf("%s[%d]", name, b), cval: -1})
+			}
+			return out, nil
+		}
+		return []srcRef{{name: name, cval: -1}}, nil
+	}
+	return nil, fmt.Errorf("verilog: line %d: expected net reference, got %q", t.line, t.text)
+}
+
+// parseRangeOrIndex parses [i] or [m:l] after an identifier.
+func (p *parser) parseRangeOrIndex() (srcRange, error) {
+	if err := p.expectPunct("["); err != nil {
+		return srcRange{}, err
+	}
+	a, err := p.parseInt()
+	if err != nil {
+		return srcRange{}, err
+	}
+	t := p.next()
+	if t.kind == tPunct && t.text == "]" {
+		return srcRange{a, a}, nil
+	}
+	if t.kind != tPunct || t.text != ":" {
+		return srcRange{}, fmt.Errorf("verilog: line %d: bad bit select", t.line)
+	}
+	b, err := p.parseInt()
+	if err != nil {
+		return srcRange{}, err
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return srcRange{}, err
+	}
+	return srcRange{a, b}, nil
+}
+
+// parseConst expands 1'b0-style literals to constant bit refs, MSB-first.
+func parseConst(t token) ([]srcRef, error) {
+	s := t.text
+	q := strings.IndexByte(s, '\'')
+	if q < 0 {
+		return nil, fmt.Errorf("verilog: line %d: bare number %q not supported as net", t.line, s)
+	}
+	width, err := strconv.Atoi(s[:q])
+	if err != nil || width <= 0 || width > 64 {
+		return nil, fmt.Errorf("verilog: line %d: bad constant width in %q", t.line, s)
+	}
+	if q+1 >= len(s) {
+		return nil, fmt.Errorf("verilog: line %d: bad constant %q", t.line, s)
+	}
+	base := s[q+1]
+	digits := s[q+2:]
+	var val uint64
+	switch base {
+	case 'b', 'B':
+		v, err := strconv.ParseUint(digits, 2, 64)
+		if err != nil {
+			return nil, fmt.Errorf("verilog: line %d: bad binary constant %q", t.line, s)
+		}
+		val = v
+	case 'h', 'H':
+		v, err := strconv.ParseUint(digits, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("verilog: line %d: bad hex constant %q", t.line, s)
+		}
+		val = v
+	case 'd', 'D':
+		v, err := strconv.ParseUint(digits, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("verilog: line %d: bad decimal constant %q", t.line, s)
+		}
+		val = v
+	default:
+		return nil, fmt.Errorf("verilog: line %d: unsupported constant base %q", t.line, s)
+	}
+	out := make([]srcRef, width)
+	for i := 0; i < width; i++ {
+		bit := int8(0)
+		if val>>uint(width-1-i)&1 == 1 {
+			bit = 1
+		}
+		out[i] = srcRef{cval: bit}
+	}
+	return out, nil
+}

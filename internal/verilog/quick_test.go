@@ -1,0 +1,98 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+)
+
+// Property: any instance/net name round-trips through write + read (the
+// escaping rules cover arbitrary printable identifiers).
+func TestQuickNameEscaping(t *testing.T) {
+	l := stdcells.New(stdcells.HighSpeed)
+	f := func(raw string) bool {
+		name := sanitizeName(raw)
+		if name == "" {
+			return true
+		}
+		d := netlist.NewDesign("top", l)
+		m := d.Top
+		m.AddPort("a", netlist.In)
+		m.AddPort("z", netlist.Out)
+		in := m.AddInst(name, l.MustCell("INVX1"))
+		m.MustConnect(in, "A", m.Net("a"))
+		m.MustConnect(in, "Z", m.Net("z"))
+		out := Write(d)
+		d2, err := Read(out, l, "")
+		if err != nil {
+			t.Logf("name %q: %v\n%s", name, err, out)
+			return false
+		}
+		return d2.Top.Inst(name) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitizeName keeps printable non-space ASCII (escaped identifiers cannot
+// contain whitespace, and backslashes begin a new escape).
+func sanitizeName(raw string) string {
+	var sb strings.Builder
+	for _, r := range raw {
+		if r > ' ' && r < 127 && r != '\\' {
+			sb.WriteRune(r)
+		}
+	}
+	s := sb.String()
+	if len(s) > 40 {
+		s = s[:40]
+	}
+	return s
+}
+
+// Property: random bus widths and wirings round-trip with identical
+// connectivity.
+func TestQuickBusRoundTrip(t *testing.T) {
+	l := stdcells.New(stdcells.HighSpeed)
+	f := func(w8 uint8, pick uint16) bool {
+		w := int(w8%12) + 2
+		d := netlist.NewDesign("top", l)
+		m := d.Top
+		for i := 0; i < w; i++ {
+			m.AddPort(fmt.Sprintf("din[%d]", i), netlist.In)
+			m.AddPort(fmt.Sprintf("dout[%d]", i), netlist.Out)
+		}
+		// Wire each output from a pseudo-randomly picked input via INV.
+		for i := 0; i < w; i++ {
+			src := int(pick>>uint(i%8)) % w
+			if src < 0 {
+				src = -src
+			}
+			g := m.AddInst(fmt.Sprintf("g%d", i), l.MustCell("INVX1"))
+			m.MustConnect(g, "A", m.Net(fmt.Sprintf("din[%d]", src)))
+			m.MustConnect(g, "Z", m.Net(fmt.Sprintf("dout[%d]", i)))
+		}
+		out := Write(d)
+		d2, err := Read(out, l, "")
+		if err != nil {
+			t.Logf("%v\n%s", err, out)
+			return false
+		}
+		for i := 0; i < w; i++ {
+			g1 := d.Top.Inst(fmt.Sprintf("g%d", i))
+			g2 := d2.Top.Inst(fmt.Sprintf("g%d", i))
+			if g2 == nil || g2.Conns["A"].Name != g1.Conns["A"].Name {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,331 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+)
+
+func lib() *netlist.Library { return stdcells.New(stdcells.HighSpeed) }
+
+func TestReadSimple(t *testing.T) {
+	src := `
+// a tiny post-synthesis netlist
+module top (a, b, z);
+  input a, b;
+  output z;
+  wire n1;
+  NAND2X1 u1 (.A(a), .B(b), .Z(n1));
+  INVX1 u2 (.A(n1), .Z(z));
+endmodule
+`
+	d, err := Read(src, lib(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "top" || len(d.Top.Insts) != 2 {
+		t.Fatalf("bad design: %s, %d insts", d.Name, len(d.Top.Insts))
+	}
+	if errs := d.Top.Check(); len(errs) != 0 {
+		t.Fatalf("check: %v", errs)
+	}
+	u1 := d.Top.Inst("u1")
+	if u1.Cell.Name != "NAND2X1" || u1.Conns["Z"].Name != "n1" {
+		t.Fatal("instance u1 misconnected")
+	}
+	if d.Top.Net("z").Driver.Inst != d.Top.Inst("u2") {
+		t.Fatal("z not driven by u2")
+	}
+}
+
+func TestReadBusesAndConstants(t *testing.T) {
+	src := `
+module top (d, q, ck);
+  input [3:0] d;
+  output [3:0] q;
+  input ck;
+  DFFQX1 r0 (.D(d[0]), .CK(ck), .Q(q[0]), .QN());
+  DFFQX1 r1 (.D(d[1]), .CK(ck), .Q(q[1]), .QN());
+  DFFQX1 r2 (.D(1'b0), .CK(ck), .Q(q[2]), .QN());
+  DFFQX1 r3 (.D(1'b1), .CK(ck), .Q(q[3]), .QN());
+endmodule
+`
+	d, err := Read(src, lib(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Top.Ports) != 9 { // 4+4+1 bit-blasted
+		t.Fatalf("got %d ports", len(d.Top.Ports))
+	}
+	if d.Top.Net("d[0]") == nil || d.Top.Net("q[3]") == nil {
+		t.Fatal("bus bits not blasted")
+	}
+	// Constants drive via tie cells.
+	r2 := d.Top.Inst("r2")
+	tieNet := r2.Conns["D"]
+	if tieNet.Driver.Inst == nil || tieNet.Driver.Inst.Cell.Name != "TIE0" {
+		t.Fatal("1'b0 not driven by TIE0")
+	}
+	r3 := d.Top.Inst("r3")
+	if r3.Conns["D"].Driver.Inst.Cell.Name != "TIE1" {
+		t.Fatal("1'b1 not driven by TIE1")
+	}
+}
+
+func TestReadAssignAlias(t *testing.T) {
+	src := `
+module top (a, z, y);
+  input a;
+  output z, y;
+  wire n1;
+  INVX1 u1 (.A(a), .Z(n1));
+  assign z = n1;
+  assign y = a;
+endmodule
+`
+	d, err := Read(src, lib(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pz := d.Top.Port("z")
+	if pz.Net.Name != "n1" {
+		t.Fatalf("z bound to %s, want n1 (assign replaced)", pz.Net.Name)
+	}
+	py := d.Top.Port("y")
+	if py.Net.Name != "a" {
+		t.Fatalf("y bound to %s, want a", py.Net.Name)
+	}
+}
+
+func TestReadEscapedNames(t *testing.T) {
+	src := "module top (a, z);\n input a;\n output z;\n" +
+		" INVX1 \\u1/inv (.A(a), .Z(z));\nendmodule\n"
+	d, err := Read(src, lib(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Top.Inst("u1/inv") == nil {
+		t.Fatal("escaped instance name lost")
+	}
+}
+
+func TestReadPositional(t *testing.T) {
+	src := `
+module top (a, b, z);
+  input a, b;
+  output z;
+  NAND2X1 u1 (a, b, z);
+endmodule
+`
+	d, err := Read(src, lib(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := d.Top.Inst("u1")
+	if u1.Conns["A"].Name != "a" || u1.Conns["B"].Name != "b" || u1.Conns["Z"].Name != "z" {
+		t.Fatal("positional connection order wrong")
+	}
+}
+
+func TestReadHierarchy(t *testing.T) {
+	src := `
+module leaf (i, o);
+  input i;
+  output o;
+  INVX1 g (.A(i), .Z(o));
+endmodule
+
+module top (a, z);
+  input a;
+  output z;
+  wire m;
+  leaf l1 (.i(a), .o(m));
+  leaf l2 (.i(m), .o(z));
+endmodule
+`
+	d, err := Read(src, lib(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "top" {
+		t.Fatalf("auto top = %s", d.Name)
+	}
+	if len(d.Top.Insts) != 2 || d.Top.Inst("l1").Sub == nil {
+		t.Fatal("submodule instances wrong")
+	}
+	if err := d.Flatten(true); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Top.Insts) != 2 || d.Top.Inst("l1/g") == nil {
+		t.Fatal("flatten failed")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"module top (a); input a;", // no endmodule
+		"module top (a); input a; BOGUS u (.A(a)); endmodule",        // unknown cell
+		"module top (a); NAND2X1 u (.A(a), .B(a), .Z(a)); endmodule", // port без direction -> a has no dir decl
+		"module top (); wire w; NAND2X1 u (.NOPE(w)); endmodule",
+		"module top (); wire w; INVX1 u (w); endmodule", // positional count mismatch
+	}
+	for _, src := range cases {
+		if _, err := Read(src, lib(), ""); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestReadTopSelection(t *testing.T) {
+	src := `
+module m1 (a); input a; endmodule
+module m2 (a); input a; endmodule
+`
+	if _, err := Read(src, lib(), ""); err == nil {
+		t.Fatal("expected ambiguity error")
+	}
+	d, err := Read(src, lib(), "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "m2" {
+		t.Fatal("explicit top ignored")
+	}
+}
+
+// Round trip: write then read must preserve structure and names.
+func TestRoundTrip(t *testing.T) {
+	src := `
+module top (din, dout, ck, en);
+  input [7:0] din;
+  output [7:0] dout;
+  input ck, en;
+  wire [7:0] n;
+  MUX2X1 m0 (.A(din[0]), .B(dout[0]), .S(en), .Z(n[0]));
+  MUX2X1 m1 (.A(din[1]), .B(dout[1]), .S(en), .Z(n[1]));
+  DFFQX1 r0 (.D(n[0]), .CK(ck), .Q(dout[0]), .QN());
+  DFFQX1 r1 (.D(n[1]), .CK(ck), .Q(dout[1]), .QN());
+  BUFX1 b2 (.A(din[2]), .Z(dout[2]));
+  BUFX1 b3 (.A(din[3]), .Z(dout[3]));
+  BUFX1 b4 (.A(din[4]), .Z(dout[4]));
+  BUFX1 b5 (.A(din[5]), .Z(dout[5]));
+  BUFX1 b6 (.A(din[6]), .Z(dout[6]));
+  BUFX1 b7 (.A(din[7]), .Z(dout[7]));
+  INVX1 iu (.A(n[1]), .Z(n[2]));
+  BUFX1 sink3 (.A(n[2]), .Z(n[3]));
+  BUFX1 sink4 (.A(din[2]), .Z(n[4]));
+  BUFX1 sink5 (.A(n[4]), .Z(n[5]));
+  BUFX1 sink6 (.A(n[5]), .Z(n[6]));
+  BUFX1 sink7 (.A(n[6]), .Z(n[7]));
+endmodule
+`
+	d1, err := Read(src, lib(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := Write(d1)
+	d2, err := Read(out1, lib(), "")
+	if err != nil {
+		t.Fatalf("re-read failed: %v\n%s", err, out1)
+	}
+	if len(d2.Top.Insts) != len(d1.Top.Insts) {
+		t.Fatalf("instance count changed: %d -> %d", len(d1.Top.Insts), len(d2.Top.Insts))
+	}
+	if len(d2.Top.Nets) != len(d1.Top.Nets) {
+		t.Fatalf("net count changed: %d -> %d", len(d1.Top.Nets), len(d2.Top.Nets))
+	}
+	for _, in1 := range d1.Top.Insts {
+		in2 := d2.Top.Inst(in1.Name)
+		if in2 == nil {
+			t.Fatalf("instance %s lost", in1.Name)
+		}
+		for pin, n1 := range in1.Conns {
+			if in2.Conns[pin] == nil || in2.Conns[pin].Name != n1.Name {
+				t.Fatalf("%s/%s: %s vs %v", in1.Name, pin, n1.Name, in2.Conns[pin])
+			}
+		}
+	}
+	// Second write must be identical (determinism).
+	if out2 := Write(d2); out1 != out2 {
+		t.Fatal("write not deterministic across round trip")
+	}
+	// Bus reconstruction: din must be declared as a bus, not 8 escaped nets.
+	if !strings.Contains(out1, "input [7:0] din;") {
+		t.Fatalf("bus not reconstructed:\n%s", out1)
+	}
+}
+
+func TestWriteEscapesNames(t *testing.T) {
+	l := lib()
+	d := netlist.NewDesign("top", l)
+	m := d.Top
+	m.AddPort("a", netlist.In)
+	m.AddPort("z", netlist.Out)
+	in := m.AddInst("g/with.dots", l.MustCell("INVX1"))
+	m.MustConnect(in, "A", m.Net("a"))
+	m.MustConnect(in, "Z", m.Net("z"))
+	out := Write(d)
+	if !strings.Contains(out, "\\g/with.dots ") {
+		t.Fatalf("name not escaped:\n%s", out)
+	}
+	d2, err := Read(out, l, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Top.Inst("g/with.dots") == nil {
+		t.Fatal("escaped name did not round-trip")
+	}
+}
+
+func TestWriteAliasedOutputPort(t *testing.T) {
+	src := `
+module top (a, z);
+  input a;
+  output z;
+  wire n1;
+  INVX1 u1 (.A(a), .Z(n1));
+  assign z = n1;
+endmodule
+`
+	l := lib()
+	d, err := Read(src, l, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Write(d)
+	d2, err := Read(out, l, "")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if d2.Top.Port("z").Net.Name != "n1" {
+		t.Fatalf("aliased port lost: bound to %s\n%s", d2.Top.Port("z").Net.Name, out)
+	}
+}
+
+func TestConcatenationConnection(t *testing.T) {
+	src := `
+module sub (d, q);
+  input [1:0] d;
+  output [1:0] q;
+  BUFX1 b0 (.A(d[0]), .Z(q[0]));
+  BUFX1 b1 (.A(d[1]), .Z(q[1]));
+endmodule
+module top (x0, x1, y0, y1);
+  input x0, x1;
+  output y0, y1;
+  sub s (.d({x1, x0}), .q({y1, y0}));
+endmodule
+`
+	d, err := Read(src, lib(), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Top.Inst("s")
+	// d is [1:0] so MSB-first expansion maps d[1]<-x1, d[0]<-x0.
+	if s.Conns["d[1]"].Name != "x1" || s.Conns["d[0]"].Name != "x0" {
+		t.Fatalf("concat mapping wrong: %v", s.Conns)
+	}
+}

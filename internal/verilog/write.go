@@ -1,0 +1,290 @@
+package verilog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"desync/internal/netlist"
+)
+
+// Write renders the design as structural Verilog: submodules first, top
+// last. Bus-bit net names ("data[3]") are re-grouped into declared buses so
+// that a written netlist re-imports with identical names — which the
+// grouping bus heuristic (§3.2.2) depends on.
+func Write(d *netlist.Design) string {
+	var sb strings.Builder
+	written := map[string]bool{}
+	var emit func(m *netlist.Module)
+	emit = func(m *netlist.Module) {
+		if written[m.Name] {
+			return
+		}
+		written[m.Name] = true
+		for _, in := range m.Insts {
+			if in.Sub != nil {
+				emit(in.Sub)
+			}
+		}
+		writeModule(&sb, m)
+	}
+	emit(d.Top)
+	return sb.String()
+}
+
+// busInfo describes a reconstructed bus declaration.
+type busInfo struct {
+	base     string
+	min, max int
+}
+
+// analyzeBuses groups the given names into buses where safe: a base
+// qualifies when no scalar of the same name exists and indices are unique.
+func analyzeBuses(names []string, scalarTaken map[string]bool) (buses map[string]*busInfo, busNames map[string]bool) {
+	buses = map[string]*busInfo{}
+	seen := map[string]map[int]bool{}
+	disqualified := map[string]bool{}
+	for _, n := range names {
+		base, idx, ok := netlist.BusBase(n)
+		if !ok {
+			continue
+		}
+		if scalarTaken[base] {
+			disqualified[base] = true
+			continue
+		}
+		if seen[base] == nil {
+			seen[base] = map[int]bool{}
+			buses[base] = &busInfo{base: base, min: idx, max: idx}
+		}
+		if seen[base][idx] {
+			disqualified[base] = true
+			continue
+		}
+		seen[base][idx] = true
+		if idx < buses[base].min {
+			buses[base].min = idx
+		}
+		if idx > buses[base].max {
+			buses[base].max = idx
+		}
+	}
+	for b := range disqualified {
+		delete(buses, b)
+	}
+	busNames = map[string]bool{}
+	for _, n := range names {
+		if base, _, ok := netlist.BusBase(n); ok && buses[base] != nil {
+			busNames[n] = true
+		}
+	}
+	return buses, busNames
+}
+
+func writeModule(sb *strings.Builder, m *netlist.Module) {
+	// Scalar names in use (ports and nets without [i] suffixes).
+	scalarTaken := map[string]bool{}
+	var allNames []string
+	for _, n := range m.Nets {
+		allNames = append(allNames, n.Name)
+		if _, _, ok := netlist.BusBase(n.Name); !ok {
+			scalarTaken[n.Name] = true
+		}
+	}
+	buses, isBusBit := analyzeBuses(allNames, scalarTaken)
+
+	// Header: port bases in declaration order, each base once.
+	fmt.Fprintf(sb, "module %s (", escape(m.Name))
+	var headerDone = map[string]bool{}
+	first := true
+	portDirs := map[string]netlist.PinDir{}
+	var portBases []string
+	for _, p := range m.Ports {
+		base := p.Name
+		if b, _, ok := netlist.BusBase(p.Name); ok && buses[b] != nil {
+			base = b
+		}
+		if !headerDone[base] {
+			headerDone[base] = true
+			portBases = append(portBases, base)
+			portDirs[base] = p.Dir
+			if !first {
+				sb.WriteString(", ")
+			}
+			first = false
+			sb.WriteString(escape(base))
+		}
+	}
+	sb.WriteString(");\n")
+
+	// Port declarations.
+	portNets := map[string]bool{}
+	for _, p := range m.Ports {
+		portNets[p.Name] = true
+	}
+	for _, base := range portBases {
+		if b := buses[base]; b != nil && !scalarTaken[base] {
+			fmt.Fprintf(sb, "  %s [%d:%d] %s;\n", portDirs[base], b.max, b.min, escape(base))
+		} else {
+			fmt.Fprintf(sb, "  %s %s;\n", portDirs[base], escape(base))
+		}
+	}
+
+	// Wire declarations (everything that is not a port).
+	declared := map[string]bool{}
+	var wireLines []string
+	for _, n := range m.SortedNets() {
+		if portNets[n.Name] {
+			continue
+		}
+		if base, _, ok := netlist.BusBase(n.Name); ok && buses[base] != nil {
+			if headerDone[base] || declared[base] {
+				continue
+			}
+			declared[base] = true
+			b := buses[base]
+			wireLines = append(wireLines, fmt.Sprintf("  wire [%d:%d] %s;\n", b.max, b.min, escape(base)))
+			continue
+		}
+		if declared[n.Name] {
+			continue
+		}
+		declared[n.Name] = true
+		wireLines = append(wireLines, fmt.Sprintf("  wire %s;\n", escape(n.Name)))
+	}
+	sort.Strings(wireLines)
+	for _, l := range wireLines {
+		sb.WriteString(l)
+	}
+
+	// Ports whose net carries a different name (assign aliases) need the
+	// alias restated so a re-import reproduces the binding.
+	for _, p := range m.Ports {
+		if p.Net == nil || p.Net.Name == p.Name {
+			continue
+		}
+		switch p.Dir {
+		case netlist.Out:
+			fmt.Fprintf(sb, "  assign %s = %s;\n", escape(p.Name), netRef(p.Net, isBusBit))
+		case netlist.In:
+			fmt.Fprintf(sb, "  assign %s = %s;\n", netRef(p.Net, isBusBit), escape(p.Name))
+		}
+	}
+
+	// Instances, in creation order (stable, meaningful for diffs).
+	for _, in := range m.Insts {
+		writeInst(sb, m, in, isBusBit)
+	}
+	sb.WriteString("endmodule\n\n")
+}
+
+func writeInst(sb *strings.Builder, m *netlist.Module, in *netlist.Inst, isBusBit map[string]bool) {
+	fmt.Fprintf(sb, "  %s %s (", escape(in.CellName()), escape(in.Name))
+
+	type pinConn struct {
+		pin  string
+		nets []*netlist.Net // one for scalar, many (MSB-first) for submodule bus pins
+	}
+	var conns []pinConn
+	if in.Cell != nil {
+		for _, p := range in.Cell.Pins {
+			if n := in.Conns[p.Name]; n != nil {
+				conns = append(conns, pinConn{p.Name, []*netlist.Net{n}})
+			}
+		}
+	} else {
+		// Group submodule bus-bit ports back into one connection with a
+		// concatenation, MSB-first following the submodule's port order.
+		type group struct {
+			pins []string
+			nets []*netlist.Net
+		}
+		var order []string
+		groups := map[string]*group{}
+		for _, p := range in.Sub.Ports {
+			base := p.Name
+			if b, _, ok := netlist.BusBase(p.Name); ok {
+				base = b
+			}
+			g := groups[base]
+			if g == nil {
+				g = &group{}
+				groups[base] = g
+				order = append(order, base)
+			}
+			g.pins = append(g.pins, p.Name)
+			g.nets = append(g.nets, in.Conns[p.Name])
+		}
+		for _, base := range order {
+			g := groups[base]
+			if len(g.pins) == 1 && g.pins[0] == base {
+				if g.nets[0] != nil {
+					conns = append(conns, pinConn{base, g.nets}) //nolint:staticcheck
+				}
+				continue
+			}
+			conns = append(conns, pinConn{base, g.nets})
+		}
+	}
+
+	for i, c := range conns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, ".%s(", escape(c.pin))
+		if len(c.nets) == 1 {
+			sb.WriteString(netRef(c.nets[0], isBusBit))
+		} else {
+			sb.WriteString("{")
+			for j, n := range c.nets {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(netRef(n, isBusBit))
+			}
+			sb.WriteString("}")
+		}
+		sb.WriteString(")")
+	}
+	sb.WriteString(");\n")
+}
+
+// netRef renders a net reference: bus bits as base[idx], other names
+// escaped when necessary. nil nets (unconnected submodule bus slices)
+// render as 1'b0 — they should not occur in checked designs.
+func netRef(n *netlist.Net, isBusBit map[string]bool) string {
+	if n == nil {
+		return "1'b0"
+	}
+	if isBusBit[n.Name] {
+		base, idx, _ := netlist.BusBase(n.Name)
+		return fmt.Sprintf("%s[%d]", escape(base), idx)
+	}
+	return escape(n.Name)
+}
+
+// escape renders a name as a simple or escaped Verilog identifier.
+func escape(name string) string {
+	if name == "" {
+		return "\\ "
+	}
+	simple := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (i > 0 && c >= '0' && c <= '9')) {
+			simple = false
+			break
+		}
+	}
+	if simple && !isKeyword(name) {
+		return name
+	}
+	return "\\" + name + " "
+}
+
+var keywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"inout": true, "wire": true, "assign": true, "reg": true,
+}
+
+func isKeyword(s string) bool { return keywords[s] }
