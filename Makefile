@@ -1,0 +1,32 @@
+# Build and verification entry points. `make check` is the CI gate:
+# vet, the full test suite under the race detector, and the fault-campaign
+# smoke guard (any escaped delay or stuck-at fault fails the build).
+
+GO ?= go
+
+.PHONY: all build test check fuzz bench faults
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) test -run XXX -bench BenchmarkFaultCampaignSmoke -benchtime 1x .
+
+# Short fuzz passes over the two text front ends; corpora are committed
+# under internal/{verilog,liberty}/testdata/fuzz.
+fuzz:
+	$(GO) test ./internal/verilog/ -fuzz FuzzRead -fuzztime 20s
+	$(GO) test ./internal/liberty/ -fuzz FuzzParse -fuzztime 20s
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x .
+
+faults:
+	$(GO) run ./cmd/experiments -faults

@@ -14,6 +14,7 @@ import (
 	"desync/internal/designs"
 	"desync/internal/dft"
 	"desync/internal/expt"
+	"desync/internal/faults"
 	"desync/internal/logic"
 	"desync/internal/netlist"
 	"desync/internal/pnr"
@@ -229,6 +230,33 @@ func BenchmarkAblationCompletionDetection(b *testing.B) {
 		b.ReportMetric(rd.EffectivePeriod, "matchedDelay_ns")
 		b.ReportMetric(rc.EffectivePeriod, "completion_ns")
 		b.ReportMetric(float64(fc.Result.Insert.CompletionCells), "completionCells")
+	}
+}
+
+// BenchmarkFaultCampaignSmoke runs the DLX fault-injection campaign
+// (§4.6-style robustness check) and fails outright if any under-margin
+// delay fault or control stuck-at fault escapes: detection of those two
+// classes is the flow's safety argument, not a statistic to trend.
+func BenchmarkFaultCampaignSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := expt.RunDLXFaultCampaign(nil, expt.FaultCampaignConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, class := range []faults.Class{faults.ClassDelay, faults.ClassStuckAt} {
+			det, inj := rep.Detected(class)
+			if inj == 0 {
+				b.Fatalf("campaign injected no %s faults", class)
+			}
+			if det != inj {
+				b.Fatalf("%s detection %d/%d; escaped:\n%s", class, det, inj, rep.Render())
+			}
+		}
+		det, inj := rep.Detected(faults.ClassDelay)
+		b.ReportMetric(float64(inj), "delayFaults")
+		sdet, sinj := rep.Detected(faults.ClassStuckAt)
+		b.ReportMetric(float64(sinj), "stuckFaults")
+		b.ReportMetric(float64(det+sdet)/float64(inj+sinj), "detectionRate")
 	}
 }
 

@@ -21,11 +21,17 @@ func main() {
 		arm        = flag.Bool("arm", false, "emit the ARM-like design instead")
 	)
 	flag.Parse()
-	variant := stdcells.HighSpeed
-	if *libVariant == "LL" {
-		variant = stdcells.LowLeakage
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "dlxgen: internal error: %v\n", r)
+			os.Exit(3)
+		}
+	}()
+	lib, err := stdcells.NewChecked(stdcells.Variant(*libVariant))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlxgen:", err)
+		os.Exit(1)
 	}
-	lib := stdcells.New(variant)
 	d, err := designs.BuildDLX(lib, designs.TestProgram())
 	if *arm {
 		d, err = designs.BuildARMLike(lib, 42)

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"desync/internal/core"
+	"desync/internal/faults"
+	"desync/internal/netlist"
+)
+
+// designState is one attempt's working copy. Desynchronize mutates the
+// design in place, so every retry starts from a freshly built one.
+type designState struct {
+	d *netlist.Design
+}
+
+// maxMarginRetries bounds the under-margin auto-bump loop.
+const maxMarginRetries = 3
+
+// desynchronizeWithFallback runs the flow with two degradation policies
+// instead of giving up:
+//
+//   - Grouping finds no regions → retry as a single region (the ARM-style
+//     fallback of §5.3: when automatic grouping is not possible, the whole
+//     design becomes one region). Correct but with coarser concurrency.
+//   - A sized delay element under-covers its region (possible when the
+//     margin is below 1.0) → bump the margin 15% and retry, up to
+//     maxMarginRetries times.
+//
+// Both degradations print a warning to warnw; hard failures return the
+// staged FlowError untouched.
+func desynchronizeWithFallback(build func() (*designState, error), opts core.Options,
+	warnw io.Writer) (*netlist.Design, *core.Result, error) {
+
+	singleRegion := false
+	for attempt := 0; ; attempt++ {
+		st, err := build()
+		if err != nil {
+			return nil, nil, err
+		}
+		o := opts
+		if singleRegion {
+			for _, in := range st.d.Top.Insts {
+				in.Group = 1
+			}
+			o.ManualGroups = true
+		}
+		res, err := core.Desynchronize(st.d, o)
+		switch {
+		case err == nil && len(res.UnderMargin) > 0 && attempt < maxMarginRetries:
+			bumped := opts.Margin
+			if bumped == 0 {
+				bumped = 1.15
+			}
+			bumped *= 1.15
+			fmt.Fprintf(warnw, "drdesync: warning: delay elements under-cover regions %v at margin %.3g; retrying with margin %.3g\n",
+				res.UnderMargin, opts.Margin, bumped)
+			opts.Margin = bumped
+			continue
+		case err == nil:
+			if len(res.UnderMargin) > 0 {
+				fmt.Fprintf(warnw, "drdesync: warning: delay elements still under-cover regions %v after %d retries\n",
+					res.UnderMargin, maxMarginRetries)
+			}
+			return st.d, res, nil
+		case errors.Is(err, core.ErrNoRegions) && !singleRegion:
+			fmt.Fprintf(warnw, "drdesync: warning: %v; falling back to a single region (§5.3)\n", err)
+			singleRegion = true
+			continue
+		default:
+			return nil, nil, err
+		}
+	}
+}
+
+// runFaultCampaign exercises the freshly desynchronized design with the
+// default delay and control stuck-at fault sets and prints the report.
+func runFaultCampaign(d *netlist.Design, res *core.Result, o runOpts, w io.Writer) error {
+	period := o.period
+	if period <= 0 {
+		for _, rd := range res.RegionDelays {
+			if b := rd.Budget(); b > period {
+				period = b
+			}
+		}
+		period *= 1.05
+	}
+	if period <= 0 {
+		return fmt.Errorf("faults: cannot derive a period; pass -period")
+	}
+	cycles := o.faultCycles
+	if cycles <= 0 {
+		cycles = 12
+	}
+	c, err := faults.NewCampaign(d.Top, faults.Config{
+		Stimulus:      faults.ResetStimulus(d.Top, 0),
+		Horizon:       2 + period*float64(cycles)*6,
+		QuiescenceGap: 8 * period,
+		SetupGuard:    true,
+	})
+	if err != nil {
+		return err
+	}
+	perRegion := o.faultsPerRegion
+	if perRegion <= 0 {
+		perRegion = 2
+	}
+	list := c.DelayFaults(40, perRegion)
+	list = append(list, c.ControlStuckFaults()...)
+	rep, err := c.Run(list)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, rep.Render())
+	return err
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"desync/internal/core"
+	"desync/internal/designs"
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+	"desync/internal/verilog"
+)
+
+func buildDLXDesign() (*netlist.Design, error) {
+	return designs.BuildDLX(stdcells.New(stdcells.HighSpeed), designs.TestProgram())
+}
+
+// inputRegsOnly is a design the automatic grouping rejects: its only
+// flip-flops register primary inputs directly (no combinational cloud), so
+// every sequential element lands in group 0 and no region exists.
+const inputRegsOnly = `
+module m (clk, rstn, a, b, qa, qb);
+  input clk, rstn, a, b;
+  output qa, qb;
+  DFFRQX1 ra (.D(a), .CK(clk), .RN(rstn), .Q(qa));
+  DFFRQX1 rb (.D(b), .CK(clk), .RN(rstn), .Q(qb));
+endmodule
+`
+
+func buildFrom(t *testing.T, src string) func() (*designState, error) {
+	t.Helper()
+	return func() (*designState, error) {
+		d, err := verilog.Read(src, stdcells.New(stdcells.HighSpeed), "")
+		if err != nil {
+			return nil, err
+		}
+		return &designState{d: d}, nil
+	}
+}
+
+// TestFallbackSingleRegion: a grouping failure degrades to one region with
+// a warning instead of aborting the run.
+func TestFallbackSingleRegion(t *testing.T) {
+	// Direct flow attempt fails with the staged no-regions error.
+	st, err := buildFrom(t, inputRegsOnly)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Desynchronize(st.d, core.Options{Period: 1})
+	if !errors.Is(err, core.ErrNoRegions) {
+		t.Fatalf("direct flow: err = %v, want ErrNoRegions", err)
+	}
+	if core.StageOf(err) != core.StageGroup {
+		t.Fatalf("StageOf = %q, want %q", core.StageOf(err), core.StageGroup)
+	}
+
+	var warnings bytes.Buffer
+	d, res, err := desynchronizeWithFallback(buildFrom(t, inputRegsOnly),
+		core.Options{Period: 1}, &warnings)
+	if err != nil {
+		t.Fatalf("fallback flow failed: %v", err)
+	}
+	if res.Grouping.Groups != 1 {
+		t.Fatalf("fallback regions = %d, want 1", res.Grouping.Groups)
+	}
+	if !strings.Contains(warnings.String(), "single region") {
+		t.Fatalf("no fallback warning, got %q", warnings.String())
+	}
+	if d.Top.Net("G1_mri") == nil {
+		t.Fatal("fallback design has no region-1 handshake net")
+	}
+}
+
+// TestMarginAutoBump: an under-margin sizing result triggers a margin bump
+// and retry rather than shipping an element that does not cover its region.
+func TestMarginAutoBump(t *testing.T) {
+	src := dlxSource(t)
+	var warnings bytes.Buffer
+	_, res, err := desynchronizeWithFallback(buildFrom(t, src),
+		core.Options{Period: 4.65, Margin: 0.05}, &warnings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warnings.String(), "under-cover") {
+		t.Fatalf("no under-margin warning, got %q", warnings.String())
+	}
+	if len(res.UnderMargin) > 0 {
+		// Three 15% bumps from 0.05 cannot reach 1.0; the tool must still
+		// finish and leave the advisory in place.
+		if !strings.Contains(warnings.String(), "retries") {
+			t.Fatalf("missing final under-margin advisory, got %q", warnings.String())
+		}
+	}
+}
+
+// TestNoDegradationOnCleanRun: a healthy design desynchronizes on the first
+// attempt with no warnings.
+func TestNoDegradationOnCleanRun(t *testing.T) {
+	var warnings bytes.Buffer
+	_, res, err := desynchronizeWithFallback(buildFrom(t, dlxSource(t)),
+		core.Options{Period: 4.65}, &warnings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warnings.Len() != 0 {
+		t.Fatalf("unexpected warnings: %q", warnings.String())
+	}
+	if res.Grouping.Groups < 2 {
+		t.Fatalf("DLX regions = %d, want several", res.Grouping.Groups)
+	}
+}
+
+var dlxSrcCache string
+
+func dlxSource(t *testing.T) string {
+	t.Helper()
+	if dlxSrcCache == "" {
+		d, err := buildDLXDesign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dlxSrcCache = verilog.Write(d)
+	}
+	return dlxSrcCache
+}

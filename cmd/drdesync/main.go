@@ -9,7 +9,13 @@
 //
 //	drdesync -in design.v [-top name] [-lib HS|LL] [-period 2.4] \
 //	         [-mux] [-margin 1.15] [-falsepath net1,net2] [-manual-groups] \
-//	         [-simplify-names] -out out.v [-sdc out.sdc] [-blif out.blif]
+//	         [-simplify-names] [-faults] -out out.v [-sdc out.sdc] [-blif out.blif]
+//
+// When the automatic grouping finds no regions the tool degrades to a
+// single-region desynchronization (the ARM-style fallback of §5.3) with a
+// warning; when a sized delay element does not cover its region's budget
+// the tool bumps the margin and retries. -faults runs a fault-injection
+// campaign against the result and prints the detection report.
 package main
 
 import (
@@ -25,75 +31,94 @@ import (
 	"desync/internal/verilog"
 )
 
+type runOpts struct {
+	in, top, libVariant          string
+	out, sdcOut, blifOut, tbOut  string
+	falsePaths                   string
+	period, margin               float64
+	mux, manualGroups, simplify  bool
+	skipClean, cdet              bool
+	faults                       bool
+	faultCycles, faultsPerRegion int
+}
+
 func main() {
-	var (
-		in           = flag.String("in", "", "input gate-level Verilog netlist (required)")
-		top          = flag.String("top", "", "top module (default: auto-detect)")
-		lib          = flag.String("lib", "HS", "technology library variant: HS or LL")
-		period       = flag.Float64("period", 0, "original clock period in ns for constraint generation")
-		mux          = flag.Bool("mux", false, "build 8-tap multiplexed delay elements (adds delsel[2:0] ports)")
-		margin       = flag.Float64("margin", 1.15, "delay-element sizing margin")
-		falsePaths   = flag.String("falsepath", "", "comma-separated nets to ignore during grouping")
-		manualGroups = flag.Bool("manual-groups", false, "keep hierarchy-derived regions instead of auto grouping")
-		simplify     = flag.Bool("simplify-names", false, "rewrite escaped names as simple identifiers first")
-		out          = flag.String("out", "", "output Verilog netlist (required)")
-		sdcOut       = flag.String("sdc", "", "output SDC constraints file")
-		blifOut      = flag.String("blif", "", "output BLIF netlist (SIS export)")
-		skipClean    = flag.Bool("no-clean", false, "skip buffer/inverter-pair removal")
-		cdetFlag     = flag.Bool("cdet", false, "use dual-rail completion detection instead of matched delay elements (§2.4.4)")
-		tbOut        = flag.String("tb", "", "output a behavioural testbench skeleton (§4.8)")
-	)
+	var o runOpts
+	flag.StringVar(&o.in, "in", "", "input gate-level Verilog netlist (required)")
+	flag.StringVar(&o.top, "top", "", "top module (default: auto-detect)")
+	flag.StringVar(&o.libVariant, "lib", "HS", "technology library variant: HS or LL")
+	flag.Float64Var(&o.period, "period", 0, "original clock period in ns for constraint generation")
+	flag.BoolVar(&o.mux, "mux", false, "build 8-tap multiplexed delay elements (adds delsel[2:0] ports)")
+	flag.Float64Var(&o.margin, "margin", 1.15, "delay-element sizing margin")
+	flag.StringVar(&o.falsePaths, "falsepath", "", "comma-separated nets to ignore during grouping")
+	flag.BoolVar(&o.manualGroups, "manual-groups", false, "keep hierarchy-derived regions instead of auto grouping")
+	flag.BoolVar(&o.simplify, "simplify-names", false, "rewrite escaped names as simple identifiers first")
+	flag.StringVar(&o.out, "out", "", "output Verilog netlist (required)")
+	flag.StringVar(&o.sdcOut, "sdc", "", "output SDC constraints file")
+	flag.StringVar(&o.blifOut, "blif", "", "output BLIF netlist (SIS export)")
+	flag.BoolVar(&o.skipClean, "no-clean", false, "skip buffer/inverter-pair removal")
+	flag.BoolVar(&o.cdet, "cdet", false, "use dual-rail completion detection instead of matched delay elements (§2.4.4)")
+	flag.StringVar(&o.tbOut, "tb", "", "output a behavioural testbench skeleton (§4.8)")
+	flag.BoolVar(&o.faults, "faults", false, "run a fault-injection campaign on the desynchronized design")
+	flag.IntVar(&o.faultCycles, "fault-cycles", 12, "campaign run length in clock periods")
+	flag.IntVar(&o.faultsPerRegion, "faults-per-region", 2, "delay faults injected per region")
 	flag.Parse()
-	if *in == "" || *out == "" {
+	if o.in == "" || o.out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *top, *lib, *out, *sdcOut, *blifOut, *falsePaths,
-		*period, *margin, *mux, *manualGroups, *simplify, *skipClean, *cdetFlag, *tbOut); err != nil {
+	// Construction panics (library misuse, malformed internal state) that
+	// escape the error paths become one-line diagnostics, not stack traces:
+	// the tool's contract with scripts driving it is exit codes and stderr.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "drdesync: internal error: %v\n", r)
+			os.Exit(3)
+		}
+	}()
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "drdesync:", err)
+		if stage := core.StageOf(err); stage != "" {
+			fmt.Fprintf(os.Stderr, "drdesync: failed during the %s stage\n", stage)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(in, top, libVariant, out, sdcOut, blifOut, falsePaths string,
-	period, margin float64, mux, manualGroups, simplify, skipClean, cdetFlag bool, tbOut string) error {
-
-	var variant stdcells.Variant
-	switch libVariant {
-	case "HS":
-		variant = stdcells.HighSpeed
-	case "LL":
-		variant = stdcells.LowLeakage
-	default:
-		return fmt.Errorf("unknown library variant %q", libVariant)
-	}
-	lib := stdcells.New(variant)
-
-	src, err := os.ReadFile(in)
-	if err != nil {
+func run(o runOpts) error {
+	variant := stdcells.Variant(o.libVariant)
+	if _, err := stdcells.NewChecked(variant); err != nil {
 		return err
 	}
-	d, err := verilog.Read(string(src), lib, top)
+
+	src, err := os.ReadFile(o.in)
 	if err != nil {
 		return err
-	}
-	if simplify {
-		n := core.SimplifyNames(d.Top)
-		fmt.Printf("simplified %d names\n", n)
 	}
 	var fps []string
-	if falsePaths != "" {
-		fps = strings.Split(falsePaths, ",")
+	if o.falsePaths != "" {
+		fps = strings.Split(o.falsePaths, ",")
 	}
-	res, err := core.Desynchronize(d, core.Options{
-		Period:              period,
-		Margin:              margin,
-		MuxTaps:             mux,
+	opts := core.Options{
+		Period:              o.period,
+		Margin:              o.margin,
+		MuxTaps:             o.mux,
 		FalsePaths:          fps,
-		ManualGroups:        manualGroups,
-		SkipClean:           skipClean,
-		CompletionDetection: cdetFlag,
-	})
+		ManualGroups:        o.manualGroups,
+		SkipClean:           o.skipClean,
+		CompletionDetection: o.cdet,
+	}
+	d, res, err := desynchronizeWithFallback(func() (*designState, error) {
+		dd, err := verilog.Read(string(src), stdcells.New(variant), o.top)
+		if err != nil {
+			return nil, err
+		}
+		if o.simplify {
+			n := core.SimplifyNames(dd.Top)
+			fmt.Printf("simplified %d names\n", n)
+		}
+		return &designState{d: dd}, nil
+	}, opts, os.Stderr)
 	if err != nil {
 		return err
 	}
@@ -114,25 +139,31 @@ func run(in, top, libVariant, out, sdcOut, blifOut, falsePaths string,
 	fmt.Printf("controllers: %d, C-tree cells: %d, delay cells: %d\n",
 		res.Insert.Controllers, res.Insert.CTreeCells, res.Insert.DelayCells)
 
-	if err := os.WriteFile(out, []byte(verilog.Write(d)), 0o644); err != nil {
+	if o.faults {
+		if err := runFaultCampaign(d, res, o, os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if err := os.WriteFile(o.out, []byte(verilog.Write(d)), 0o644); err != nil {
 		return err
 	}
-	if sdcOut != "" {
-		if err := os.WriteFile(sdcOut, []byte(res.Constraints.Write()), 0o644); err != nil {
+	if o.sdcOut != "" {
+		if err := os.WriteFile(o.sdcOut, []byte(res.Constraints.Write()), 0o644); err != nil {
 			return err
 		}
 	}
-	if tbOut != "" {
-		if err := os.WriteFile(tbOut, []byte(core.WriteTestbench(d, res, "", period)), 0o644); err != nil {
+	if o.tbOut != "" {
+		if err := os.WriteFile(o.tbOut, []byte(core.WriteTestbench(d, res, "", o.period)), 0o644); err != nil {
 			return err
 		}
 	}
-	if blifOut != "" {
+	if o.blifOut != "" {
 		text, err := blif.Write(d.Top)
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(blifOut, []byte(text), 0o644); err != nil {
+		if err := os.WriteFile(o.blifOut, []byte(text), 0o644); err != nil {
 			return err
 		}
 	}

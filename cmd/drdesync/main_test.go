@@ -28,8 +28,10 @@ func TestRunEndToEnd(t *testing.T) {
 	sdcOut := filepath.Join(dir, "ddlx.sdc")
 	blifOut := filepath.Join(dir, "ddlx.blif")
 	tbOut := filepath.Join(dir, "tb.v")
-	if err := run(in, "", "HS", out, sdcOut, blifOut, "",
-		4.65, 1.15, true, false, false, false, false, tbOut); err != nil {
+	if err := run(runOpts{
+		in: in, libVariant: "HS", out: out, sdcOut: sdcOut, blifOut: blifOut,
+		tbOut: tbOut, period: 4.65, margin: 1.15, mux: true,
+	}); err != nil {
 		t.Fatal(err)
 	}
 	// The desynchronized netlist re-imports cleanly.
@@ -76,15 +78,19 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	// Missing input file.
-	if err := run(filepath.Join(dir, "nope.v"), "", "HS", filepath.Join(dir, "o.v"),
-		"", "", "", 1, 1.15, false, false, false, false, false, ""); err == nil {
+	if err := run(runOpts{
+		in: filepath.Join(dir, "nope.v"), libVariant: "HS",
+		out: filepath.Join(dir, "o.v"), period: 1, margin: 1.15,
+	}); err == nil {
 		t.Fatal("expected missing-file error")
 	}
 	// Bad library variant.
 	in := filepath.Join(dir, "x.v")
 	os.WriteFile(in, []byte("module m (a); input a; endmodule"), 0o644)
-	if err := run(in, "", "XX", filepath.Join(dir, "o.v"),
-		"", "", "", 1, 1.15, false, false, false, false, false, ""); err == nil {
+	if err := run(runOpts{
+		in: in, libVariant: "XX", out: filepath.Join(dir, "o.v"),
+		period: 1, margin: 1.15,
+	}); err == nil {
 		t.Fatal("expected library error")
 	}
 	// Unknown false-path net.
@@ -95,8 +101,10 @@ func TestRunErrors(t *testing.T) {
 	}
 	dlxIn := filepath.Join(dir, "dlx.v")
 	os.WriteFile(dlxIn, []byte(verilog.Write(d)), 0o644)
-	if err := run(dlxIn, "", "HS", filepath.Join(dir, "o.v"),
-		"", "", "no_such_net", 1, 1.15, false, false, false, false, false, ""); err == nil {
+	if err := run(runOpts{
+		in: dlxIn, libVariant: "HS", out: filepath.Join(dir, "o.v"),
+		falsePaths: "no_such_net", period: 1, margin: 1.15,
+	}); err == nil {
 		t.Fatal("expected false-path error")
 	}
 }

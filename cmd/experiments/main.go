@@ -7,6 +7,7 @@
 //	experiments -all
 //	experiments -table 5.1 | -table 5.2
 //	experiments -fig 2.4 | -fig 5.3 | -fig 5.4 | -fig 5.5
+//	experiments -faults
 //	            [-cycles 25] [-chips 60] [-sel 3] [-seed 5]
 package main
 
@@ -28,12 +29,19 @@ func main() {
 		chips  = flag.Int("chips", 60, "Monte Carlo population for Fig 5.4")
 		sel    = flag.Int("sel", 3, "delay selection for Fig 5.4 (-1 = fixed sized elements)")
 		seed   = flag.Int64("seed", 5, "random seed")
+		faults = flag.Bool("faults", false, "run the DLX fault-injection campaign")
 	)
 	flag.Parse()
-	if !*all && *table == "" && *fig == "" {
+	if !*all && *table == "" && *fig == "" && !*faults {
 		flag.Usage()
 		os.Exit(2)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "experiments: internal error: %v\n", r)
+			os.Exit(3)
+		}
+	}()
 	run := func(name string, f func() error) {
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
@@ -109,6 +117,16 @@ func main() {
 				return err
 			}
 			fmt.Println(expt.RenderSSTA(rows))
+			return nil
+		})
+	}
+	if *all || *faults {
+		run("faults", func() error {
+			rep, err := expt.RunDLXFaultCampaign(nil, expt.FaultCampaignConfig{Glitches: true})
+			if err != nil {
+				return err
+			}
+			fmt.Println(rep.Render())
 			return nil
 		})
 	}

@@ -24,11 +24,17 @@ func main() {
 		gatefile = flag.Bool("gatefile", false, "print the gatefile to stdout")
 	)
 	flag.Parse()
-	v := stdcells.HighSpeed
-	if *variant == "LL" {
-		v = stdcells.LowLeakage
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "libprep: internal error: %v\n", r)
+			os.Exit(3)
+		}
+	}()
+	lib, err := stdcells.NewChecked(stdcells.Variant(*variant))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "libprep:", err)
+		os.Exit(1)
 	}
-	lib := stdcells.New(v)
 	for _, corner := range []netlist.Corner{netlist.Best, netlist.Worst} {
 		path := filepath.Join(*dir, fmt.Sprintf("%s_%s.lib", lib.Name, corner))
 		if err := os.WriteFile(path, []byte(liberty.WriteCorner(lib, corner)), 0o644); err != nil {

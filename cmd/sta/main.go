@@ -31,6 +31,12 @@ func main() {
 		regions   = flag.Bool("regions", false, "report per-region combinational delays (requires Group fields via two-level hierarchy)")
 	)
 	flag.Parse()
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "sta: internal error: %v\n", r)
+			os.Exit(3)
+		}
+	}()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -42,11 +48,10 @@ func main() {
 }
 
 func run(in, top, libV, cornerS string, period float64, autobreak, regions bool) error {
-	variant := stdcells.HighSpeed
-	if libV == "LL" {
-		variant = stdcells.LowLeakage
+	lib, err := stdcells.NewChecked(stdcells.Variant(libV))
+	if err != nil {
+		return err
 	}
-	lib := stdcells.New(variant)
 	src, err := os.ReadFile(in)
 	if err != nil {
 		return err

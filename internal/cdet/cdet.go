@@ -40,13 +40,18 @@ type railPair struct {
 	t, f *netlist.Net
 }
 
-// builder tracks construction state.
+// builder tracks construction state. Construction errors (unknown cell,
+// arity mismatch, double-driven net) stick in err: the first one wins,
+// later gate calls become no-ops, and AddCompletionNetwork surfaces it —
+// the netlist under construction is abandoned rather than panicking
+// half-built.
 type builder struct {
 	m      *netlist.Module
 	lib    *netlist.Library
 	prefix string
 	n      int
 	res    Result
+	err    error
 }
 
 func (b *builder) fresh(tag string) *netlist.Net {
@@ -55,18 +60,32 @@ func (b *builder) fresh(tag string) *netlist.Net {
 }
 
 func (b *builder) gate(cell string, tag string, ins []*netlist.Net, out *netlist.Net) {
+	if b.err != nil {
+		return
+	}
+	cd, err := b.lib.Cell(cell)
+	if err != nil {
+		b.err = fmt.Errorf("cdet: %w", err)
+		return
+	}
 	b.n++
-	in := b.m.AddInst(fmt.Sprintf("%s/%s%d", b.prefix, tag, b.n), b.lib.MustCell(cell))
+	in := b.m.AddInst(fmt.Sprintf("%s/%s%d", b.prefix, tag, b.n), cd)
 	in.Origin = "cdet"
 	in.SizeOnly = true
 	pins := in.Cell.Inputs()
 	if len(pins) != len(ins) {
-		panic(fmt.Sprintf("cdet: %s takes %d inputs, got %d", cell, len(pins), len(ins)))
+		b.err = fmt.Errorf("cdet: %s takes %d inputs, got %d", cell, len(pins), len(ins))
+		return
 	}
 	for i, p := range pins {
-		b.m.MustConnect(in, p, ins[i])
+		if err := b.m.Connect(in, p, ins[i]); err != nil {
+			b.err = fmt.Errorf("cdet: %w", err)
+			return
+		}
 	}
-	b.m.MustConnect(in, in.Cell.Outputs()[0], out)
+	if err := b.m.Connect(in, in.Cell.Outputs()[0], out); err != nil {
+		b.err = fmt.Errorf("cdet: %w", err)
+	}
 }
 
 // and2 returns a&b as a fresh net.
@@ -202,6 +221,9 @@ func AddCompletionNetwork(m *netlist.Module, lib *netlist.Library, prefix string
 		prev = z
 	}
 	b.gate("BUFX2", "done", []*netlist.Net{prev}, done)
+	if b.err != nil {
+		return nil, b.err
+	}
 	b.res.DoneInst = done.Driver.Inst.Name
 	b.res.DetectCells++
 	return &b.res, nil
@@ -256,7 +278,7 @@ func (b *builder) imageGate(g *netlist.Inst, rails map[*netlist.Net]railPair) er
 	t := b.railFromPrimes(fn, vars, inRails, true)
 	f := b.railFromPrimes(fn, vars, inRails, false)
 	rails[outNet] = railPair{t, f}
-	return nil
+	return b.err
 }
 
 // railFromPrimes builds OR over a minimal cover of prime implicants of fn

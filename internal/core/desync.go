@@ -51,6 +51,11 @@ type Result struct {
 	DelayLevels  map[int]int
 	Insert       *InsertResult
 	Constraints  *sdc.Constraints
+	// UnderMargin lists regions whose sized delay element does not cover
+	// the measured launch-to-capture budget (only possible when the margin
+	// is below 1.0). The flow still completes — the ablation studies sweep
+	// such margins deliberately — but cmd/drdesync warns and can auto-bump.
+	UnderMargin []int
 }
 
 // Desynchronize converts the synchronous design in place: flatten, clean,
@@ -64,27 +69,27 @@ func Desynchronize(d *netlist.Design, opts Options) (*Result, error) {
 		opts.Margin = 1.15
 	}
 	res := &Result{}
+	name := d.Name
+
+	// validate runs the netlist invariant checker after each stage so a
+	// stage that corrupts the structure is caught at its own boundary.
+	validate := func(stage string, midFlow bool) error {
+		errs := d.Top.Validate(netlist.ValidateOptions{AllowUndriven: midFlow})
+		if len(errs) == 0 {
+			return nil
+		}
+		return flowErr(stage, name, "post-stage validation",
+			fmt.Errorf("%v (and %d more)", errs[0], len(errs)-1))
+	}
 
 	// Design import finalization: the paper's tool works on a flat view; a
 	// two-level netlist flattens with hierarchy-derived groups (§3.2.2).
 	if err := d.Flatten(opts.ManualGroups); err != nil {
-		return nil, fmt.Errorf("core: flatten: %w", err)
+		return nil, flowErr(StageImport, name, "flatten", err)
 	}
 	if missing := MarkFalsePaths(d.Top, opts.FalsePaths); len(missing) > 0 {
-		return nil, fmt.Errorf("core: unknown false-path nets %v", missing)
-	}
-	if !opts.SkipClean {
-		res.CleanedCells = CleanLogic(d.Top)
-	}
-	if opts.ManualGroups {
-		for _, in := range d.Top.Insts {
-			if in.Group < 0 {
-				in.Group = 0
-			}
-		}
-		res.Grouping.Groups = compactGroups(d.Top)
-	} else {
-		res.Grouping = AutoGroup(d.Top)
+		return nil, flowErr(StageImport, name, "",
+			fmt.Errorf("unknown false-path nets %v", missing))
 	}
 
 	// Single-clock designs only (§4.1); multiple clock domains are the
@@ -105,24 +110,52 @@ func Desynchronize(d *netlist.Design, opts Options) (*Result, error) {
 			names = append(names, n.Name)
 		}
 		sort.Strings(names)
-		return nil, fmt.Errorf("core: %d clock domains (%v); the flow supports single-clock designs (§4.1)",
-			len(names), names)
+		return nil, flowErr(StageImport, name, "",
+			fmt.Errorf("%d clock domains (%v); the flow supports single-clock designs (§4.1)",
+				len(names), names))
+	}
+	if err := validate(StageImport, true); err != nil {
+		return nil, err
+	}
+
+	if !opts.SkipClean {
+		res.CleanedCells = CleanLogic(d.Top)
+		if err := validate(StageClean, true); err != nil {
+			return nil, err
+		}
+	}
+	if opts.ManualGroups {
+		for _, in := range d.Top.Insts {
+			if in.Group < 0 {
+				in.Group = 0
+			}
+		}
+		res.Grouping.Groups = compactGroups(d.Top)
+	} else {
+		res.Grouping = AutoGroup(d.Top)
+	}
+	if res.Grouping.Groups == 0 {
+		return nil, flowErr(StageGroup, name, "", ErrNoRegions)
 	}
 
 	sub, err := SubstituteFlipFlops(d)
 	if err != nil {
-		return nil, fmt.Errorf("core: flip-flop substitution: %w", err)
+		return nil, flowErr(StageSubstitute, name, "", err)
 	}
 	res.Substitution = sub
+	if err := validate(StageSubstitute, true); err != nil {
+		return nil, err
+	}
 
 	res.DDG = BuildDDG(d.Top)
 
 	levels, rds, err := SizeDelayElements(d, res.DDG, opts.Margin)
 	if err != nil {
-		return nil, fmt.Errorf("core: delay sizing: %w", err)
+		return nil, flowErr(StageSize, name, "", err)
 	}
 	res.DelayLevels = levels
 	res.RegionDelays = rds
+	res.UnderMargin = underMarginRegions(d.Lib, res.DDG, levels, rds)
 
 	cm := opts.CompletionMargin
 	if cm == 0 {
@@ -137,16 +170,41 @@ func Desynchronize(d *netlist.Design, opts Options) (*Result, error) {
 		CompletionMargin:    cm,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: control network: %w", err)
+		return nil, flowErr(StageInsert, name, "control network", err)
 	}
 	res.Insert = ins
 	res.Constraints = ins.Constraints
 
 	if errs := d.Top.Check(); len(errs) > 0 {
-		return nil, fmt.Errorf("core: desynchronized netlist fails checks: %v (and %d more)",
-			errs[0], len(errs)-1)
+		return nil, flowErr(StageExport, name, "netlist checks",
+			fmt.Errorf("%v (and %d more)", errs[0], len(errs)-1))
+	}
+	if err := validate(StageExport, false); err != nil {
+		return nil, err
 	}
 	return res, nil
+}
+
+// underMarginRegions flags regions whose sized element delay falls short of
+// the measured budget: the matched element no longer matches.
+func underMarginRegions(lib *netlist.Library, ddg *DDG, levels map[int]int, rds map[int]*sta.RegionDelay) []int {
+	arc := lib.MustCell("AND2X1").Arc("A", "Z")
+	if arc == nil {
+		return nil
+	}
+	level := arc.Rise.At(netlist.Worst)
+	var under []int
+	for _, g := range ddg.Nodes {
+		rd := rds[g]
+		if rd == nil {
+			continue
+		}
+		if float64(levels[g])*level < rd.Budget() {
+			under = append(under, g)
+		}
+	}
+	sort.Ints(under)
+	return under
 }
 
 // DisabledArcMap converts the generated loop-breaking constraints into the

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Flow stage names, in pipeline order. FlowError.Stage is always one of
+// these, so callers (cmd/drdesync's degradation logic, tests) can switch on
+// them without string guessing.
+const (
+	StageImport     = "import"
+	StageClean      = "clean"
+	StageGroup      = "group"
+	StageSubstitute = "substitute"
+	StageSize       = "size"
+	StageInsert     = "insert"
+	StageExport     = "export"
+)
+
+// ErrNoRegions reports that grouping produced no desynchronization regions
+// (no sequential logic outside the catch-all group 0); the caller may retry
+// with a manual single-region assignment.
+var ErrNoRegions = errors.New("no desynchronization regions")
+
+// ErrUnderMargin reports that a sized delay element does not cover its
+// region's launch-to-capture budget (margin < 1); the caller may bump the
+// margin and retry.
+var ErrUnderMargin = errors.New("delay element under margin")
+
+// FlowError ties a failure to the desynchronization stage that produced it,
+// so the command line can report where the pipeline broke and decide whether
+// a degraded retry (single region, bumped margin) makes sense.
+type FlowError struct {
+	Stage  string // one of the Stage* constants
+	Design string // top module name
+	Detail string // optional human context (e.g. "post-stage validation")
+	Err    error
+}
+
+func (e *FlowError) Error() string {
+	msg := fmt.Sprintf("core: %s: stage %s", e.Design, e.Stage)
+	if e.Detail != "" {
+		msg += " (" + e.Detail + ")"
+	}
+	return msg + ": " + e.Err.Error()
+}
+
+func (e *FlowError) Unwrap() error { return e.Err }
+
+// StageOf returns the flow stage recorded in err's FlowError, or "" when err
+// carries none.
+func StageOf(err error) string {
+	var fe *FlowError
+	if errors.As(err, &fe) {
+		return fe.Stage
+	}
+	return ""
+}
+
+func flowErr(stage string, d string, detail string, err error) error {
+	return &FlowError{Stage: stage, Design: d, Detail: detail, Err: err}
+}

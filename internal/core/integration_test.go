@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"desync/internal/designs"
@@ -184,7 +185,18 @@ func TestMultipleClocksRejected(t *testing.T) {
 		m.MustConnect(ff, "QN", m.AddNet(fmt.Sprintf("qn%d", i)))
 	}
 	d := &netlist.Design{Name: "m", Top: m, Lib: lib, Modules: map[string]*netlist.Module{"m": m}}
-	if _, err := Desynchronize(d, Options{Period: 2}); err == nil {
+	_, err := Desynchronize(d, Options{Period: 2})
+	if err == nil {
 		t.Fatal("expected multiple-clock rejection")
+	}
+	// The refusal must be actionable: name both offending clock nets and
+	// state the single-clock restriction.
+	for _, want := range []string{"ck1", "ck2", "single-clock"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("rejection %q does not mention %q", err, want)
+		}
+	}
+	if StageOf(err) != StageImport {
+		t.Fatalf("StageOf = %q, want %q", StageOf(err), StageImport)
 	}
 }

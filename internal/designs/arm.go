@@ -19,7 +19,8 @@ import (
 // The instruction ROM is filled with a seeded pseudo-random program: the
 // design computes continuously (for power runs) but carries no testbench
 // semantics, as in the paper.
-func BuildARMLike(lib *netlist.Library, seed int64) (*netlist.Design, error) {
+func BuildARMLike(lib *netlist.Library, seed int64) (_ *netlist.Design, err error) {
+	defer recoverBuildErr("ARM", &err)
 	b := NewBuilder("arm", lib)
 	m := b.M
 	clk := m.AddPort("clk", netlist.In).Net

@@ -24,6 +24,15 @@ func NewBuilder(name string, lib *netlist.Library) *Builder {
 	return &Builder{M: netlist.NewModule(name), Lib: lib}
 }
 
+// recoverBuildErr converts a construction panic (wrong pin count, unknown
+// cell, duplicate name) into the Build* function's returned error, so the
+// generators stay usable as a library. Deferred by every Build* entry point.
+func recoverBuildErr(design string, err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("designs: %s construction: %v", design, r)
+	}
+}
+
 // Bus is an ordered list of single-bit nets, LSB first.
 type Bus []*netlist.Net
 

@@ -52,7 +52,8 @@ const PCBits = 6
 // BuildDLX generates the synchronous gate-level DLX with the given program
 // in its instruction ROM. Ports: clk, rstn, and a 16-bit observation bus
 // "watch" showing register R7.
-func BuildDLX(lib *netlist.Library, program []uint16) (*netlist.Design, error) {
+func BuildDLX(lib *netlist.Library, program []uint16) (_ *netlist.Design, err error) {
+	defer recoverBuildErr("DLX", &err)
 	if len(program) > 1<<PCBits {
 		return nil, fmt.Errorf("designs: program of %d words exceeds ROM depth %d", len(program), 1<<PCBits)
 	}

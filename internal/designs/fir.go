@@ -22,7 +22,8 @@ const FIRWidth = 8
 // registering x and its delay line (flip-flop chains), a multiply stage
 // (constant multipliers from shift-and-add), and an accumulate stage
 // driving the y output. Ports: clk, rstn, x[7:0], y[11:0].
-func BuildFIR(lib *netlist.Library) (*netlist.Design, error) {
+func BuildFIR(lib *netlist.Library) (_ *netlist.Design, err error) {
+	defer recoverBuildErr("FIR", &err)
 	b := NewBuilder("fir", lib)
 	m := b.M
 	clk := m.AddPort("clk", netlist.In).Net

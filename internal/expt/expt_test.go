@@ -205,6 +205,31 @@ func TestControlOverheadBand(t *testing.T) {
 // covers its logic with near-certainty on-die (shared global variation
 // cancels in the difference), while an off-die reference with the same
 // nominal margin would not.
+// TestUnderSizedDelayElementFlagged: a delay element sized far below its
+// region's combinational delay must be flagged twice over — statically by
+// the sizing check (Result.UnderMargin) and dynamically by the
+// flow-equivalence check, which sees the too-early capture corrupt the
+// architectural state at the worst corner.
+func TestUnderSizedDelayElementFlagged(t *testing.T) {
+	f, err := RunDLXFlow(FlowConfig{Margin: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Result.UnderMargin) == 0 {
+		t.Fatal("margin 0.05 not flagged by the sizing check")
+	}
+	run, err := MeasureDDLX(f, netlist.Worst, 1.0, -1, 20)
+	if err != nil {
+		// A stall is also a detection: the broken timing never produced
+		// enough captures to compare.
+		t.Logf("under-sized element stalled the simulation: %v", err)
+		return
+	}
+	if run.Correct {
+		t.Fatal("flow-equivalence check passed with under-sized delay elements")
+	}
+}
+
 func TestSSTAMatching(t *testing.T) {
 	f, err := RunDLXFlow(FlowConfig{})
 	if err != nil {

@@ -1,0 +1,173 @@
+// Package faults runs fault-injection campaigns against a desynchronized
+// design. The paper's central claim — the circuit stays live and
+// flow-equivalent because the matched delay elements track the logic and
+// the controllers are hazard-free (§2.5, §4.6) — is only believable if the
+// checkers verifying it actually fire when the design is broken. A campaign
+// injects that breakage deliberately: per-instance delay faults that push a
+// gate past its region's matched element, stuck-at faults on the handshake
+// control nets (requests, acknowledges, latch enables), and glitches; each
+// injected fault is then classified as detected (flow-equivalence mismatch,
+// liveness loss, watchdog trip, or simulator abort) or escaped.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"desync/internal/logic"
+	"desync/internal/sim"
+)
+
+// Class is the kind of physical defect a Fault models.
+type Class string
+
+const (
+	// ClassDelay inflates one instance's delay past its region's matched
+	// delay element (an under-margin fault: variability the element no
+	// longer covers, §2.5).
+	ClassDelay Class = "delay"
+	// ClassStuckAt pins a control net (request, acknowledge or latch
+	// enable) to a constant.
+	ClassStuckAt Class = "stuck-at"
+	// ClassGlitch forces a short pulse onto a control net mid-run (a hazard
+	// reaching the handshake network, §4.6).
+	ClassGlitch Class = "glitch"
+)
+
+// Fault is one injectable defect.
+type Fault struct {
+	Class Class
+	// Inst names the faulted instance (delay faults).
+	Inst string
+	// Factor multiplies the instance's DelayFactor (delay faults).
+	Factor float64
+	// Net names the faulted net (stuck-at and glitch faults).
+	Net string
+	// Value is the stuck/glitch level.
+	Value logic.V
+	// At and Width place a glitch pulse in time (ns).
+	At, Width float64
+}
+
+// String renders a compact fault label for reports.
+func (f Fault) String() string {
+	switch f.Class {
+	case ClassDelay:
+		return fmt.Sprintf("delay %s x%.0f", f.Inst, f.Factor)
+	case ClassStuckAt:
+		return fmt.Sprintf("stuck %s@%v", f.Net, f.Value)
+	case ClassGlitch:
+		return fmt.Sprintf("glitch %s=%v@%.2f+%.2f", f.Net, f.Value, f.At, f.Width)
+	}
+	return "unknown fault"
+}
+
+// Detection says which checker caught a fault.
+type Detection string
+
+const (
+	// NotDetected marks an escaped fault.
+	NotDetected Detection = ""
+	// ByFlowMismatch: a register's capture sequence diverged from the
+	// unfaulted run — flow equivalence (§2.1) is broken.
+	ByFlowMismatch Detection = "flow-mismatch"
+	// ByLiveness: a register captured far fewer values than the unfaulted
+	// run — the handshake network (partially) stalled.
+	ByLiveness Detection = "liveness-loss"
+	// ByWatchdog: a runtime guard tripped (deadlock, setup violation,
+	// X capture).
+	ByWatchdog Detection = "watchdog"
+	// BySimError: the simulator aborted (event budget — oscillation).
+	BySimError Detection = "sim-error"
+)
+
+// Outcome is the classification of one injected fault.
+type Outcome struct {
+	Fault    Fault
+	Detected bool
+	By       Detection
+	// Detail pinpoints the first evidence (register and capture index, net,
+	// or diagnostic).
+	Detail string
+	// Diags are the watchdog reports of the faulted run.
+	Diags []sim.Diagnostic
+}
+
+// Report aggregates a campaign.
+type Report struct {
+	Outcomes []Outcome
+}
+
+// Detected counts detections within a class ("" = all).
+func (r *Report) Detected(c Class) (detected, injected int) {
+	for _, o := range r.Outcomes {
+		if c != "" && o.Fault.Class != c {
+			continue
+		}
+		injected++
+		if o.Detected {
+			detected++
+		}
+	}
+	return detected, injected
+}
+
+// DetectionRate is detected/injected for a class ("" = all); 1.0 when the
+// class is empty.
+func (r *Report) DetectionRate(c Class) float64 {
+	d, n := r.Detected(c)
+	if n == 0 {
+		return 1
+	}
+	return float64(d) / float64(n)
+}
+
+// Escaped lists the faults no checker caught.
+func (r *Report) Escaped() []Fault {
+	var out []Fault
+	for _, o := range r.Outcomes {
+		if !o.Detected {
+			out = append(out, o.Fault)
+		}
+	}
+	return out
+}
+
+// Render formats the campaign as a text table: per-class detection rates,
+// the detection-mechanism histogram, and any escapes.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	classes := []Class{ClassDelay, ClassStuckAt, ClassGlitch}
+	fmt.Fprintf(&sb, "fault campaign: %d faults injected\n", len(r.Outcomes))
+	fmt.Fprintf(&sb, "  %-10s %9s %9s %7s\n", "class", "injected", "detected", "rate")
+	for _, c := range classes {
+		d, n := r.Detected(c)
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-10s %9d %9d %6.1f%%\n", c, n, d, 100*float64(d)/float64(n))
+	}
+	mech := map[Detection]int{}
+	for _, o := range r.Outcomes {
+		if o.Detected {
+			mech[o.By]++
+		}
+	}
+	var ms []string
+	for m := range mech {
+		ms = append(ms, string(m))
+	}
+	sort.Strings(ms)
+	sb.WriteString("  detected by:")
+	for _, m := range ms {
+		fmt.Fprintf(&sb, " %s=%d", m, mech[Detection(m)])
+	}
+	sb.WriteString("\n")
+	for _, o := range r.Outcomes {
+		if !o.Detected {
+			fmt.Fprintf(&sb, "  ESCAPED: %s\n", o.Fault)
+		}
+	}
+	return sb.String()
+}

@@ -37,10 +37,18 @@ func AddController(m *netlist.Module, lib *netlist.Library, prefix string, maste
 	if master {
 		gcell = "CGMX1"
 	}
-	gInst := m.AddInst(prefix+"/g", lib.MustCell(gcell))
-	roInst := m.AddInst(prefix+"/ro", lib.MustCell("CROX1"))
-	bInst := m.AddInst(prefix+"/b", lib.MustCell("CBX1"))
-	aiInst := m.AddInst(prefix+"/ai", lib.MustCell("ANDN3X1"))
+	cells := map[string]*netlist.CellDef{}
+	for _, name := range []string{gcell, "CROX1", "CBX1", "ANDN3X1"} {
+		c, err := lib.Cell(name)
+		if err != nil {
+			return fmt.Errorf("handshake: controller %s: %w", prefix, err)
+		}
+		cells[name] = c
+	}
+	gInst := m.AddInst(prefix+"/g", cells[gcell])
+	roInst := m.AddInst(prefix+"/ro", cells["CROX1"])
+	bInst := m.AddInst(prefix+"/b", cells["CBX1"])
+	aiInst := m.AddInst(prefix+"/ai", cells["ANDN3X1"])
 	for _, in := range []*netlist.Inst{gInst, roInst, bInst, aiInst} {
 		in.SizeOnly = true
 		in.Origin = "ctrl"
@@ -116,7 +124,11 @@ func AddCTree(m *netlist.Module, lib *netlist.Library, prefix string, inputs []*
 			if !(len(next) == 0 && rem == take) {
 				dst = m.AddNet(fmt.Sprintf("%s/t%d", prefix, cells))
 			}
-			c := m.AddInst(fmt.Sprintf("%s/c%d", prefix, cells), lib.MustCell(cellName))
+			cd, err := lib.Cell(cellName)
+			if err != nil {
+				return cells, fmt.Errorf("handshake: C tree %s: %w", prefix, err)
+			}
+			c := m.AddInst(fmt.Sprintf("%s/c%d", prefix, cells), cd)
 			c.SizeOnly = true
 			c.Origin = "ctrl"
 			cells++
@@ -157,7 +169,16 @@ func AddDelayElement(m *netlist.Module, lib *netlist.Library, prefix string, in,
 	if spec.Levels < 1 {
 		return fmt.Errorf("handshake: delay element needs ≥1 level")
 	}
-	and := lib.MustCell("AND2X1")
+	and, err := lib.Cell("AND2X1")
+	if err != nil {
+		return fmt.Errorf("handshake: delay element %s: %w", prefix, err)
+	}
+	connect := func(in *netlist.Inst, pin string, n *netlist.Net) error {
+		if err := m.Connect(in, pin, n); err != nil {
+			return fmt.Errorf("handshake: delay element %s: %w", prefix, err)
+		}
+		return nil
+	}
 	taps := map[int]*netlist.Net{}
 	prev := in
 	for lvl := 1; lvl <= spec.Levels; lvl++ {
@@ -165,9 +186,14 @@ func AddDelayElement(m *netlist.Module, lib *netlist.Library, prefix string, in,
 		g := m.AddInst(fmt.Sprintf("%s/a%d", prefix, lvl), and)
 		g.SizeOnly = true
 		g.Origin = "delem"
-		m.MustConnect(g, "A", prev)
-		m.MustConnect(g, "B", in)
-		m.MustConnect(g, "Z", dst)
+		for _, c := range []struct {
+			pin string
+			net *netlist.Net
+		}{{"A", prev}, {"B", in}, {"Z", dst}} {
+			if err := connect(g, c.pin, c.net); err != nil {
+				return err
+			}
+		}
 		prev = dst
 		taps[lvl] = dst
 	}
@@ -175,11 +201,17 @@ func AddDelayElement(m *netlist.Module, lib *netlist.Library, prefix string, in,
 
 	if spec.Taps == nil {
 		// Fixed element: buffer the last level onto out.
-		b := m.AddInst(prefix+"/out", lib.MustCell("BUFX2"))
+		buf, err := lib.Cell("BUFX2")
+		if err != nil {
+			return fmt.Errorf("handshake: delay element %s: %w", prefix, err)
+		}
+		b := m.AddInst(prefix+"/out", buf)
 		b.SizeOnly = true
 		b.Origin = "delem"
-		m.MustConnect(b, "A", prev)
-		return m.Connect(b, "Z", out)
+		if err := connect(b, "A", prev); err != nil {
+			return err
+		}
+		return connect(b, "Z", out)
 	}
 
 	// Validate taps.
@@ -201,7 +233,10 @@ func AddDelayElement(m *netlist.Module, lib *netlist.Library, prefix string, in,
 	}
 
 	// Mux tree: level k collapses pairs using sel[k].
-	mux := lib.MustCell("MUX2X1")
+	mux, err := lib.Cell("MUX2X1")
+	if err != nil {
+		return fmt.Errorf("handshake: delay element %s: %w", prefix, err)
+	}
 	muxes := 0
 	level := tapNets
 	for k := 0; len(level) > 1; k++ {
@@ -219,10 +254,15 @@ func AddDelayElement(m *netlist.Module, lib *netlist.Library, prefix string, in,
 			g.SizeOnly = true
 			g.Origin = "delem"
 			muxes++
-			m.MustConnect(g, "A", level[i])   // sel bit 0: shorter tap
-			m.MustConnect(g, "B", level[i+1]) // sel bit 1: longer tap
-			m.MustConnect(g, "S", sel[k])
-			m.MustConnect(g, "Z", dst)
+			for _, c := range []struct {
+				pin string
+				net *netlist.Net
+			}{{"A", level[i]}, {"B", level[i+1]}, {"S", sel[k]}, {"Z", dst}} {
+				// A takes the shorter tap (sel bit 0), B the longer.
+				if err := connect(g, c.pin, c.net); err != nil {
+					return err
+				}
+			}
 			next = append(next, dst)
 		}
 		level = next
@@ -239,7 +279,10 @@ func AddSymmetricDelayElement(m *netlist.Module, lib *netlist.Library, prefix st
 	if levels < 1 {
 		return fmt.Errorf("handshake: symmetric delay element needs ≥1 level")
 	}
-	buf := lib.MustCell("BUFX1")
+	buf, err := lib.Cell("BUFX1")
+	if err != nil {
+		return fmt.Errorf("handshake: symmetric delay element %s: %w", prefix, err)
+	}
 	prev := in
 	for i := 1; i <= levels; i++ {
 		dst := out
@@ -249,8 +292,12 @@ func AddSymmetricDelayElement(m *netlist.Module, lib *netlist.Library, prefix st
 		g := m.AddInst(fmt.Sprintf("%s/b%d", prefix, i), buf)
 		g.SizeOnly = true
 		g.Origin = "delem"
-		m.MustConnect(g, "A", prev)
-		m.MustConnect(g, "Z", dst)
+		if err := m.Connect(g, "A", prev); err != nil {
+			return fmt.Errorf("handshake: symmetric delay element %s: %w", prefix, err)
+		}
+		if err := m.Connect(g, "Z", dst); err != nil {
+			return fmt.Errorf("handshake: symmetric delay element %s: %w", prefix, err)
+		}
 		prev = dst
 	}
 	return nil

@@ -1,0 +1,42 @@
+package liberty
+
+import "testing"
+
+// FuzzParse feeds arbitrary text through the Liberty tokenizer and parser,
+// and — when a root group emerges — through the corner reader, which walks
+// cells, pins, timing arcs and function attributes. Any panic or hang is a
+// bug in input handling.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"library (L) { }",
+		`library (L) { cell (INVX1) { area : 1; pin (A) { direction : input; } } }`,
+		`library (L) { cell (INVX1) { pin (Z) { direction : output; function : "!A"; } } }`,
+		`library (L) { cell (DFF) { ff (IQ, IQN) { clocked_on : "CK"; next_state : "D"; } } }`,
+		`library (L) { cell (LAT) { latch (IQ, IQN) { enable : "G"; data_in : "D"; } } }`,
+		`library (L) { cell (C) { pin (Z) { timing () { related_pin : "A";
+  cell_rise (scalar) { values ("0.05"); } cell_fall (scalar) { values ("0.04"); } } } } }`,
+		"library (L) { define (x, cell, string); }",
+		"library (L) { cell (C) { area : ; } }",
+		"library (L) { cell (C) {",
+		"} } }",
+		"/* unterminated",
+		`library (L) { k : "unterminated; }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // bound parse work per input
+		}
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Exercise the semantic layer the same way ReadLibrary does, using
+		// the fuzzed text for both corners.
+		_, _ = ReadLibrary("F", "FZ", src, src)
+		_ = g.Attr("name")
+	})
+}

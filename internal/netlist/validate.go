@@ -1,0 +1,134 @@
+package netlist
+
+import "fmt"
+
+// ValidateOptions tunes the invariant checker for mid-flow snapshots.
+type ValidateOptions struct {
+	// AllowUndriven permits nets with sinks but no driver: between flip-flop
+	// substitution and controller insertion the latch-enable nets legally
+	// wait for their driver.
+	AllowUndriven bool
+	// MaxErrors bounds the report (0 = 64). Validation is a diagnostic, not
+	// a dump of every consequence of one broken link.
+	MaxErrors int
+}
+
+// Validate checks the module's structural invariants beyond what Check
+// covers: the name indices agree with the slices, every connection is
+// bidirectionally consistent (instance pin ↔ net driver/sink lists), pins
+// exist on their cells, and nets referenced by instances belong to the
+// module. It is run between desynchronization stages so a stage that
+// corrupts the netlist is caught at its own boundary instead of surfacing
+// as a wrong answer (or a panic) stages later.
+func (m *Module) Validate(opts ValidateOptions) []error {
+	limit := opts.MaxErrors
+	if limit <= 0 {
+		limit = 64
+	}
+	var errs []error
+	report := func(format string, args ...any) bool {
+		if len(errs) < limit {
+			errs = append(errs, fmt.Errorf("%s: %s", m.Name, fmt.Sprintf(format, args...)))
+		}
+		return len(errs) < limit
+	}
+
+	// Name indices agree with the slices.
+	inNets := make(map[*Net]bool, len(m.Nets))
+	for _, n := range m.Nets {
+		inNets[n] = true
+		if m.netByName[n.Name] != n {
+			report("net %q missing from or mismatched in the name index", n.Name)
+		}
+	}
+	if len(m.netByName) != len(m.Nets) {
+		report("net index has %d entries for %d nets", len(m.netByName), len(m.Nets))
+	}
+	inInsts := make(map[*Inst]bool, len(m.Insts))
+	for _, in := range m.Insts {
+		inInsts[in] = true
+		if m.instByName[in.Name] != in {
+			report("instance %q missing from or mismatched in the name index", in.Name)
+		}
+	}
+	if len(m.instByName) != len(m.Insts) {
+		report("instance index has %d entries for %d instances", len(m.instByName), len(m.Insts))
+	}
+
+	// Ports bind to nets of this module.
+	for _, p := range m.Ports {
+		if p.Net == nil {
+			report("port %s has no net", p.Name)
+			continue
+		}
+		if !inNets[p.Net] {
+			report("port %s bound to foreign net %q", p.Name, p.Net.Name)
+		}
+	}
+
+	// Instance connections: pin exists, net belongs to the module, and the
+	// net's driver/sink bookkeeping lists exactly this endpoint.
+	sinkCount := map[PinRef]int{}
+	for _, n := range m.Nets {
+		for _, s := range n.Sinks {
+			sinkCount[s]++
+			if sinkCount[s] > 1 {
+				report("net %s lists sink %s %d times", n.Name, s, sinkCount[s])
+			}
+		}
+	}
+	for _, in := range m.Insts {
+		if (in.Cell == nil) == (in.Sub == nil) {
+			report("instance %s must reference exactly one of cell and submodule", in.Name)
+			continue
+		}
+		for pin, n := range in.Conns {
+			if n == nil {
+				report("%s/%s connected to nil net", in.Name, pin)
+				continue
+			}
+			if !inNets[n] {
+				report("%s/%s connected to foreign net %q", in.Name, pin, n.Name)
+				continue
+			}
+			dir, err := m.pinDir(in, pin)
+			if err != nil {
+				report("%v", err)
+				continue
+			}
+			ref := PinRef{Inst: in, Pin: pin}
+			if dir == Out {
+				if n.Driver != ref {
+					report("%s drives net %s but the net records driver %s", ref, n.Name, n.Driver)
+				}
+			} else if sinkCount[ref] == 0 {
+				report("%s reads net %s but is not in its sink list", ref, n.Name)
+			}
+		}
+	}
+
+	// Net endpoints point back at real connections.
+	for _, n := range m.Nets {
+		if d := n.Driver; d.Inst != nil {
+			if !inInsts[d.Inst] {
+				report("net %s driven by removed instance %s", n.Name, d.Inst.Name)
+			} else if d.Inst.Conns[d.Pin] != n {
+				report("net %s records driver %s which is connected elsewhere", n.Name, d)
+			}
+		}
+		for _, s := range n.Sinks {
+			if s.Inst == nil {
+				continue
+			}
+			if !inInsts[s.Inst] {
+				report("net %s sinks removed instance %s", n.Name, s.Inst.Name)
+			} else if s.Inst.Conns[s.Pin] != n {
+				report("net %s records sink %s which is connected elsewhere", n.Name, s)
+			}
+		}
+		if !opts.AllowUndriven && len(n.Sinks) > 0 && !n.HasDriver() {
+			report("net %s has sinks but no driver", n.Name)
+		}
+	}
+	return errs
+}

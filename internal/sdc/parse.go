@@ -1,0 +1,332 @@
+package sdc
+
+// Parse reads constraints back from the SDC dialect Write emits, so
+// downstream tools (and tests) can consume a generated .sdc file without a
+// full Tcl interpreter. Unknown commands and malformed directives are
+// reported with line numbers rather than skipped: a constraint file that
+// silently loses a set_disable_timing line would let STA "verify" a design
+// through an arc the flow meant to cut.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses SDC text produced by Constraints.Write.
+func Parse(text string) (*Constraints, error) {
+	c := &Constraints{}
+	// set_min_delay / set_max_delay lines pair up into one PointDelay.
+	pdIndex := map[[2]string]int{}
+	for i, raw := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		toks, err := tokenizeSDC(line)
+		if err != nil {
+			return nil, fmt.Errorf("sdc: line %d: %w", lineNo, err)
+		}
+		p := &sdcLine{toks: toks, no: lineNo}
+		cmd, err := p.word()
+		if err != nil {
+			return nil, err
+		}
+		switch cmd {
+		case "create_clock":
+			if err := p.clock(c); err != nil {
+				return nil, err
+			}
+		case "set_disable_timing":
+			if err := p.disable(c); err != nil {
+				return nil, err
+			}
+		case "set_size_only":
+			g, err := p.collection("get_cells")
+			if err != nil {
+				return nil, err
+			}
+			c.SizeOnly = append(c.SizeOnly, g...)
+		case "set_min_delay", "set_max_delay":
+			if err := p.pointDelay(c, cmd == "set_min_delay", pdIndex); err != nil {
+				return nil, err
+			}
+		case "set_false_path":
+			from, to, err := p.fromToPins()
+			if err != nil {
+				return nil, err
+			}
+			c.FalsePaths = append(c.FalsePaths, [2]string{from, to})
+		default:
+			return nil, fmt.Errorf("sdc: line %d: unknown command %q", lineNo, cmd)
+		}
+		if len(p.toks) != 0 {
+			return nil, fmt.Errorf("sdc: line %d: trailing tokens after %s", lineNo, cmd)
+		}
+	}
+	return c, nil
+}
+
+// sdcTok is one token of an SDC line: a bare word, a "quoted string", or a
+// {brace group} split on whitespace. Brackets are dropped by the tokenizer —
+// the grammar Write emits never nests collections.
+type sdcTok struct {
+	word  string
+	items []string // non-nil for a {...} group
+}
+
+func tokenizeSDC(s string) ([]sdcTok, error) {
+	var toks []sdcTok
+	for i := 0; i < len(s); {
+		switch ch := s[i]; {
+		case ch == ' ' || ch == '\t' || ch == '[' || ch == ']':
+			i++
+		case ch == '{':
+			j := strings.IndexByte(s[i:], '}')
+			if j < 0 {
+				return nil, fmt.Errorf("unterminated { group")
+			}
+			toks = append(toks, sdcTok{items: strings.Fields(s[i+1 : i+j])})
+			i += j + 1
+		case ch == '}':
+			return nil, fmt.Errorf("unmatched }")
+		case ch == '"':
+			j := strings.IndexByte(s[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("unterminated string")
+			}
+			toks = append(toks, sdcTok{word: s[i+1 : i+1+j]})
+			i += j + 2
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t[]{}\"", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, sdcTok{word: s[i:j]})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// sdcLine consumes tokens of one directive.
+type sdcLine struct {
+	toks []sdcTok
+	no   int
+}
+
+func (p *sdcLine) errf(format string, args ...any) error {
+	return fmt.Errorf("sdc: line %d: %s", p.no, fmt.Sprintf(format, args...))
+}
+
+func (p *sdcLine) next() (sdcTok, error) {
+	if len(p.toks) == 0 {
+		return sdcTok{}, p.errf("unexpected end of line")
+	}
+	t := p.toks[0]
+	p.toks = p.toks[1:]
+	return t, nil
+}
+
+func (p *sdcLine) word() (string, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if t.items != nil {
+		return "", p.errf("expected a word, got a {} group")
+	}
+	return t.word, nil
+}
+
+func (p *sdcLine) float() (float64, error) {
+	w, err := p.word()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(w, 64)
+	if err != nil {
+		return 0, p.errf("bad number %q", w)
+	}
+	return v, nil
+}
+
+func (p *sdcLine) group() ([]string, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if t.items == nil {
+		return nil, p.errf("expected a {} group, got %q", t.word)
+	}
+	return t.items, nil
+}
+
+// collection consumes "<coll> {a b ...}" and returns the members.
+func (p *sdcLine) collection(coll string) ([]string, error) {
+	w, err := p.word()
+	if err != nil {
+		return nil, err
+	}
+	if w != coll {
+		return nil, p.errf("expected %s, got %q", coll, w)
+	}
+	g, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	if len(g) == 0 {
+		return nil, p.errf("empty %s collection", coll)
+	}
+	return g, nil
+}
+
+func (p *sdcLine) clock(c *Constraints) error {
+	ck := Clock{Period: -1}
+	var haveSrc bool
+	for len(p.toks) > 0 {
+		w, err := p.word()
+		if err != nil {
+			return err
+		}
+		switch w {
+		case "-name":
+			if ck.Name, err = p.word(); err != nil {
+				return err
+			}
+		case "-period":
+			if ck.Period, err = p.float(); err != nil {
+				return err
+			}
+		case "-waveform":
+			g, err := p.group()
+			if err != nil {
+				return err
+			}
+			if len(g) != 2 {
+				return p.errf("waveform needs 2 edges, got %d", len(g))
+			}
+			for k, s := range g {
+				v, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return p.errf("bad waveform edge %q", s)
+				}
+				ck.Waveform[k] = v
+			}
+		case "get_ports", "get_pins":
+			if ck.Sources, err = p.group(); err != nil {
+				return err
+			}
+			if len(ck.Sources) == 0 {
+				return p.errf("clock %q has no sources", ck.Name)
+			}
+			ck.OnPins = w == "get_pins"
+			haveSrc = true
+		default:
+			return p.errf("unknown create_clock argument %q", w)
+		}
+	}
+	if ck.Name == "" {
+		return p.errf("create_clock without -name")
+	}
+	if ck.Period <= 0 {
+		return p.errf("clock %q without a positive -period", ck.Name)
+	}
+	if !haveSrc {
+		return p.errf("clock %q has no sources", ck.Name)
+	}
+	c.Clocks = append(c.Clocks, ck)
+	return nil
+}
+
+func (p *sdcLine) disable(c *Constraints) error {
+	var d DisabledArc
+	for len(p.toks) > 0 {
+		w, err := p.word()
+		if err != nil {
+			return err
+		}
+		switch w {
+		case "-from":
+			if d.From, err = p.word(); err != nil {
+				return err
+			}
+		case "-to":
+			if d.To, err = p.word(); err != nil {
+				return err
+			}
+		case "get_cells":
+			g, err := p.group()
+			if err != nil {
+				return err
+			}
+			if len(g) != 1 {
+				return p.errf("set_disable_timing wants one cell, got %d", len(g))
+			}
+			d.Inst = g[0]
+		default:
+			return p.errf("unknown set_disable_timing argument %q", w)
+		}
+	}
+	if d.Inst == "" || d.From == "" || d.To == "" {
+		return p.errf("set_disable_timing missing -from/-to/cell")
+	}
+	c.Disabled = append(c.Disabled, d)
+	return nil
+}
+
+// fromToPins consumes "-from [get_pins {F}] -to [get_pins {T}]".
+func (p *sdcLine) fromToPins() (from, to string, err error) {
+	for len(p.toks) > 0 {
+		w, err := p.word()
+		if err != nil {
+			return "", "", err
+		}
+		var dst *string
+		switch w {
+		case "-from":
+			dst = &from
+		case "-to":
+			dst = &to
+		default:
+			return "", "", p.errf("unknown argument %q", w)
+		}
+		g, err := p.collection("get_pins")
+		if err != nil {
+			return "", "", err
+		}
+		if len(g) != 1 {
+			return "", "", p.errf("%s wants one pin, got %d", w, len(g))
+		}
+		*dst = g[0]
+	}
+	if from == "" || to == "" {
+		return "", "", p.errf("missing -from or -to")
+	}
+	return from, to, nil
+}
+
+func (p *sdcLine) pointDelay(c *Constraints, isMin bool, index map[[2]string]int) error {
+	v, err := p.float()
+	if err != nil {
+		return err
+	}
+	from, to, err := p.fromToPins()
+	if err != nil {
+		return err
+	}
+	key := [2]string{from, to}
+	i, ok := index[key]
+	if !ok {
+		i = len(c.PointDelays)
+		index[key] = i
+		c.PointDelays = append(c.PointDelays, PointDelay{From: from, To: to})
+	}
+	if isMin {
+		c.PointDelays[i].Min = v
+	} else {
+		c.PointDelays[i].Max = v
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package sdc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleConstraints() *Constraints {
+	return &Constraints{
+		Clocks: []Clock{
+			{Name: "mclk", Period: 2.4, Waveform: [2]float64{0, 1.2}, Sources: []string{"G1_gm", "G2_gm"}, OnPins: true},
+			{Name: "clk", Period: 4.65, Waveform: [2]float64{0, 2.325}, Sources: []string{"clk"}},
+		},
+		Disabled: []DisabledArc{
+			{Inst: "G1/g", From: "A", To: "Q"},
+			{Inst: "G1/ro", From: "B", To: "Q"},
+		},
+		SizeOnly:    []string{"G1/g", "G1/ro"},
+		PointDelays: []PointDelay{{From: "G1/ro/Q", To: "G2/g/B", Min: 0.1, Max: 1.5}},
+		FalsePaths:  [][2]string{{"tb/a", "tb/b"}},
+	}
+}
+
+// TestParseRoundTrip: everything Write emits parses back to the same
+// constraint set (modulo the deterministic ordering Write applies).
+func TestParseRoundTrip(t *testing.T) {
+	want := sampleConstraints()
+	text := want.Write()
+	got, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Write() != text {
+		t.Fatalf("round trip mismatch:\n--- wrote\n%s--- reparsed\n%s", text, got.Write())
+	}
+	if !reflect.DeepEqual(got.PointDelays, want.PointDelays) {
+		t.Fatalf("point delays = %+v, want %+v", got.PointDelays, want.PointDelays)
+	}
+}
+
+// TestParseMalformed: every malformed directive is rejected with a
+// line-numbered error naming the problem — not skipped. A dropped
+// set_disable_timing would let STA time through a cut arc.
+func TestParseMalformed(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown command", "set_clock_gating on", "unknown command"},
+		{"unterminated brace", "set_size_only [get_cells {G1/g]", "unterminated {"},
+		{"unmatched close brace", "set_size_only [get_cells G1/g}]", "unmatched }"},
+		{"unterminated string", `create_clock -name "mclk -period 2`, "unterminated string"},
+		{"clock without period", `create_clock -name "c" [get_ports {clk}]`, "-period"},
+		{"clock negative period", `create_clock -name "c" -period -2 [get_ports {clk}]`, "-period"},
+		{"clock without sources", `create_clock -name "c" -period 2`, "no sources"},
+		{"bad waveform arity", `create_clock -name "c" -period 2 -waveform {0 1 2} [get_ports {clk}]`, "waveform"},
+		{"bad waveform number", `create_clock -name "c" -period 2 -waveform {0 x} [get_ports {clk}]`, "waveform edge"},
+		{"disable missing to", "set_disable_timing -from A [get_cells {u1}]", "missing"},
+		{"disable empty cells", "set_disable_timing -from A -to Q [get_cells {}]", "one cell"},
+		{"min delay bad number", "set_min_delay abc -from [get_pins {a}] -to [get_pins {b}]", "bad number"},
+		{"min delay missing to", "set_min_delay 0.5 -from [get_pins {a}]", "missing"},
+		{"false path wrong collection", "set_false_path -from [get_ports {a}] -to [get_pins {b}]", "expected get_pins"},
+		{"line number reported", "create_clock -name \"c\" -period 2 [get_ports {clk}]\nbogus_cmd x", "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.in)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.in, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseIgnoresCommentsAndBlanks: comment and blank lines are skipped.
+func TestParseIgnoresCommentsAndBlanks(t *testing.T) {
+	c, err := Parse("# header\n\nset_size_only [get_cells {u1}]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.SizeOnly) != 1 || c.SizeOnly[0] != "u1" {
+		t.Fatalf("SizeOnly = %v", c.SizeOnly)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+// This file holds the fault-injection hooks: pin (force) and release nets,
+// and schedule arbitrary callbacks on the event queue. internal/faults
+// drives these to model stuck-at faults and glitches on the handshake
+// network; they are inert (zero overhead on the hot path) until first used.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"desync/internal/logic"
+)
+
+// At schedules fn to run at absolute simulation time t (≥ now). The
+// callback runs with the simulator positioned at t and may force, release
+// or drive nets.
+func (s *Simulator) At(t float64, fn func()) error {
+	if t < s.now {
+		return fmt.Errorf("sim: action at %.4f is in the past (now %.4f)", t, s.now)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("sim: bad action time %v", t)
+	}
+	s.actions = append(s.actions, fn)
+	s.seq++
+	heap.Push(&s.q, event{t: t, seq: s.seq, net: -1, act: int32(len(s.actions))})
+	return nil
+}
+
+// Force pins the named net to v from time at onward: transitions scheduled
+// by its driver (or by Drive) are dropped while the pin holds. It models a
+// stuck-at fault when left forced, or a glitch when paired with Release.
+func (s *Simulator) Force(name string, v logic.V, at float64) error {
+	n := s.M.Net(name)
+	if n == nil {
+		return fmt.Errorf("sim: no net %q to force", name)
+	}
+	idx := s.netIdx[n]
+	return s.At(at, func() { s.forceNet(idx, v) })
+}
+
+// Release unpins the named net at time at and re-derives its value from its
+// combinational driver, if any; sequential drivers reassert it at their
+// next evaluation.
+func (s *Simulator) Release(name string, at float64) error {
+	n := s.M.Net(name)
+	if n == nil {
+		return fmt.Errorf("sim: no net %q to release", name)
+	}
+	idx := s.netIdx[n]
+	return s.At(at, func() { s.releaseNet(idx) })
+}
+
+func (s *Simulator) forceNet(idx int, v logic.V) {
+	if s.forced == nil {
+		s.forced = make([]bool, len(s.nets))
+	}
+	s.forced[idx] = true
+	// Cancel any pending inertial transition so a queued event cannot sneak
+	// in after release with a stale generation.
+	s.gen[idx]++
+	s.pendOK[idx] = false
+	if s.val[idx] != v {
+		s.applyChange(idx, v)
+	}
+}
+
+func (s *Simulator) releaseNet(idx int) {
+	if s.forced == nil || !s.forced[idx] {
+		return
+	}
+	s.forced[idx] = false
+	// Recompute the driven value: a combinational driver re-evaluates and
+	// schedules the correct level; sequential or port drivers reassert on
+	// their own next event.
+	if drv := s.nets[idx].Driver.Inst; drv != nil {
+		s.evaluate(drv, "")
+	}
+}

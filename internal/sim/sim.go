@@ -49,6 +49,15 @@ type Simulator struct {
 	now    float64
 	events int64
 
+	// forced marks nets pinned by fault injection: gate-driven and stimulus
+	// transitions on them are dropped until Release.
+	forced []bool
+	// actions holds callbacks scheduled via At; events reference them by
+	// index+1 in their act field.
+	actions []func()
+
+	wd *watchdog
+
 	instState map[*netlist.Inst]*state
 	monitors  map[int][]func(t float64, v logic.V)
 
@@ -76,6 +85,7 @@ type event struct {
 	net int32
 	val logic.V
 	gen uint32
+	act int32 // index+1 into actions; 0 for net transitions
 }
 
 // transportGen marks stimulus events exempt from inertial cancellation.
@@ -240,9 +250,15 @@ func (s *Simulator) Run(until float64) error {
 	for s.q.Len() > 0 {
 		if s.q[0].t > until {
 			s.now = until
+			s.endOfRunChecks(until)
 			return nil
 		}
 		e := heap.Pop(&s.q).(event)
+		if e.act > 0 {
+			s.now = e.t
+			s.actions[e.act-1]()
+			continue
+		}
 		idx := int(e.net)
 		if e.gen != transportGen {
 			if e.gen != s.gen[idx] {
@@ -251,6 +267,9 @@ func (s *Simulator) Run(until float64) error {
 			s.pendOK[idx] = false
 		}
 		s.now = e.t
+		if s.forced != nil && s.forced[idx] {
+			continue // pinned by fault injection
+		}
 		if s.val[idx] == e.val {
 			continue
 		}
@@ -258,22 +277,32 @@ func (s *Simulator) Run(until float64) error {
 		if s.events > s.cfg.MaxEvents {
 			return fmt.Errorf("sim: event budget exceeded at t=%.4f (oscillation?)", s.now)
 		}
-		s.val[idx] = e.val
-		s.Toggles[idx]++
-		n := s.nets[idx]
-		for _, fn := range s.monitors[idx] {
-			fn(s.now, e.val)
-		}
-		for _, sink := range n.Sinks {
-			if sink.Inst != nil {
-				s.evaluate(sink.Inst, sink.Pin)
-			}
-		}
+		s.applyChange(idx, e.val)
 	}
 	if !math.IsInf(until, 1) {
 		s.now = until
 	}
+	s.endOfRunChecks(until)
 	return nil
+}
+
+// applyChange commits a net transition: value, activity counters, watchdog
+// bookkeeping, monitors, and sink re-evaluation.
+func (s *Simulator) applyChange(idx int, v logic.V) {
+	s.val[idx] = v
+	s.Toggles[idx]++
+	if s.wd != nil {
+		s.wd.noteChange(idx, s.now)
+	}
+	n := s.nets[idx]
+	for _, fn := range s.monitors[idx] {
+		fn(s.now, v)
+	}
+	for _, sink := range n.Sinks {
+		if sink.Inst != nil {
+			s.evaluate(sink.Inst, sink.Pin)
+		}
+	}
 }
 
 // RunUntilQuiescent processes all pending events (no time bound).
@@ -465,6 +494,9 @@ func (s *Simulator) evalLatch(in *netlist.Inst, pin string) {
 			s.driveQ(in, v, pin)
 		case prev == logic.H && g == logic.L:
 			// Closing edge: the data present now is what gets captured.
+			if s.wd != nil {
+				s.wd.checkSetup(in)
+			}
 			v := spec.Next.Eval(env)
 			s.record(in, v)
 			s.driveQ(in, v, pin)
@@ -481,4 +513,15 @@ func (s *Simulator) evalLatch(in *netlist.Inst, pin string) {
 func (s *Simulator) record(in *netlist.Inst, v logic.V) {
 	s.Captures[in.Name] = append(s.Captures[in.Name], v)
 	s.CaptureTimes[in.Name] = append(s.CaptureTimes[in.Name], s.now)
+	if s.wd != nil && v == logic.X {
+		s.wd.noteXCapture(in, s.now)
+	}
+}
+
+// endOfRunChecks lets the watchdog inspect the state a completed Run leaves
+// behind (quiescence/deadlock detection).
+func (s *Simulator) endOfRunChecks(until float64) {
+	if s.wd != nil {
+		s.wd.checkQuiescence(until)
+	}
 }

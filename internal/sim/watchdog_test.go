@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"desync/internal/logic"
+	"desync/internal/netlist"
+)
+
+// buildLatch wires one LATRQX1 with D, G and RN as primary inputs.
+func buildLatch(t *testing.T) *netlist.Module {
+	t.Helper()
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("d", netlist.In)
+	m.AddPort("g", netlist.In)
+	m.AddPort("rn", netlist.In)
+	m.AddPort("q", netlist.Out)
+	l := m.AddInst("l", lib.MustCell("LATRQX1"))
+	m.MustConnect(l, "D", m.Net("d"))
+	m.MustConnect(l, "G", m.Net("g"))
+	m.MustConnect(l, "RN", m.Net("rn"))
+	m.MustConnect(l, "Q", m.Net("q"))
+	return m
+}
+
+func TestWatchdogDeadlock(t *testing.T) {
+	m := buildLatch(t)
+	s, err := New(m, Config{Corner: netlist.Worst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Watch(WatchdogConfig{
+		HandshakeNets: []string{"g"}, QuiescenceGap: 10, XCaptureAfter: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Drive("rn", logic.H, 0)
+	s.Drive("d", logic.L, 0)
+	for i := 0; i < 4; i++ {
+		s.Drive("g", logic.V([]logic.V{logic.H, logic.L}[i%2]), float64(i))
+	}
+	// The "handshake" stops at t=3; the horizon is far past the gap.
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	diags := s.Diagnostics()
+	if len(diags) != 1 || diags[0].Kind != DiagDeadlock {
+		t.Fatalf("diags = %v, want one deadlock", diags)
+	}
+	if diags[0].Net != "g" || diags[0].Stage != "watchdog/deadlock" {
+		t.Errorf("diagnostic fields wrong: %+v", diags[0])
+	}
+	if !strings.Contains(diags[0].String(), "deadlock") {
+		t.Errorf("String() = %q", diags[0].String())
+	}
+}
+
+func TestWatchdogQuiescenceRespectsGap(t *testing.T) {
+	m := buildLatch(t)
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	if err := s.Watch(WatchdogConfig{
+		HandshakeNets: []string{"g"}, QuiescenceGap: 10, XCaptureAfter: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Drive("rn", logic.H, 0)
+	s.Drive("d", logic.L, 0)
+	s.Drive("g", logic.H, 1)
+	s.Drive("g", logic.L, 95)
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if diags := s.Diagnostics(); len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+}
+
+func TestWatchdogSetupViolation(t *testing.T) {
+	m := buildLatch(t)
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	if err := s.Watch(WatchdogConfig{SetupGuard: true, XCaptureAfter: -1}); err != nil {
+		t.Fatal(err)
+	}
+	setup := m.Inst("l").Cell.Setup.At(netlist.Worst)
+	if setup <= 0 {
+		t.Skip("library latch has no setup requirement")
+	}
+	s.Drive("rn", logic.H, 0)
+	s.Drive("g", logic.H, 0)
+	s.Drive("d", logic.H, 5)
+	s.Drive("g", logic.L, 5+setup/4) // closes within the setup window
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	diags := s.Diagnostics()
+	if len(diags) != 1 || diags[0].Kind != DiagSetup {
+		t.Fatalf("diags = %v, want one setup violation", diags)
+	}
+	if diags[0].Inst != "l" || diags[0].Net != "d" {
+		t.Errorf("diagnostic fields wrong: %+v", diags[0])
+	}
+}
+
+func TestWatchdogSetupCleanClose(t *testing.T) {
+	m := buildLatch(t)
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	if err := s.Watch(WatchdogConfig{SetupGuard: true, XCaptureAfter: -1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Drive("rn", logic.H, 0)
+	s.Drive("g", logic.H, 0)
+	s.Drive("d", logic.H, 5)
+	s.Drive("g", logic.L, 9) // data settled long before the closing edge
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if diags := s.Diagnostics(); len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+}
+
+func TestWatchdogXCapture(t *testing.T) {
+	m := buildLatch(t)
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	if err := s.Watch(WatchdogConfig{XCaptureAfter: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Drive("rn", logic.H, 0)
+	// d stays undriven: X flows into the latch at the closing edge.
+	s.Drive("g", logic.H, 2)
+	s.Drive("g", logic.L, 5)
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	diags := s.Diagnostics()
+	if len(diags) != 1 || diags[0].Kind != DiagXCapture || diags[0].Inst != "l" {
+		t.Fatalf("diags = %v, want one x-capture on l", diags)
+	}
+}
+
+func TestWatchUnknownNet(t *testing.T) {
+	m := buildLatch(t)
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	if err := s.Watch(WatchdogConfig{HandshakeNets: []string{"nope"}}); err == nil {
+		t.Fatal("expected error for unknown handshake net")
+	}
+}
+
+func TestForceReleaseNet(t *testing.T) {
+	lib := hs()
+	m := netlist.NewModule("m")
+	m.AddPort("a", netlist.In)
+	m.AddPort("b", netlist.In)
+	m.AddPort("z", netlist.Out)
+	g := m.AddInst("g", lib.MustCell("AND2X1"))
+	m.MustConnect(g, "A", m.Net("a"))
+	m.MustConnect(g, "B", m.Net("b"))
+	m.MustConnect(g, "Z", m.Net("z"))
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	s.Drive("a", logic.H, 0)
+	s.Drive("b", logic.H, 0)
+	if err := s.Force("z", logic.L, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release("z", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value("z") != logic.H {
+		t.Fatalf("before force: z = %v, want 1", s.Value("z"))
+	}
+	if err := s.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value("z") != logic.L {
+		t.Fatalf("while forced: z = %v, want 0", s.Value("z"))
+	}
+	// Driver transitions while pinned must be dropped, not queued.
+	s.Drive("a", logic.L, 8.2)
+	s.Drive("a", logic.H, 8.4)
+	if err := s.Run(9); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value("z") != logic.L {
+		t.Fatalf("forced net moved: z = %v", s.Value("z"))
+	}
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value("z") != logic.H {
+		t.Fatalf("after release: z = %v, want 1", s.Value("z"))
+	}
+}
+
+func TestForceErrors(t *testing.T) {
+	m := buildLatch(t)
+	s, _ := New(m, Config{Corner: netlist.Worst})
+	if err := s.Force("nope", logic.H, 0); err == nil {
+		t.Error("expected error forcing unknown net")
+	}
+	if err := s.Release("nope", 0); err == nil {
+		t.Error("expected error releasing unknown net")
+	}
+	s.now = 5
+	if err := s.At(1, func() {}); err == nil {
+		t.Error("expected error scheduling action in the past")
+	}
+}

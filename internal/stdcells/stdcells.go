@@ -43,8 +43,19 @@ type builder struct {
 }
 
 // New builds a fresh library of the given variant. Libraries are cheap to
-// construct; callers typically build one per flow run.
+// construct; callers typically build one per flow run. New panics on an
+// unknown variant; callers resolving a variant from user input should use
+// NewChecked.
 func New(v Variant) *netlist.Library {
+	lib, err := NewChecked(v)
+	if err != nil {
+		panic(err.Error())
+	}
+	return lib
+}
+
+// NewChecked is New with the unknown-variant failure returned as an error.
+func NewChecked(v Variant) (*netlist.Library, error) {
 	b := &builder{lib: netlist.NewLibrary("CORE9GP-"+string(v), string(v))}
 	switch v {
 	case HighSpeed:
@@ -54,10 +65,10 @@ func New(v Variant) *netlist.Library {
 		// marginally cheaper per switch.
 		b.delayScale, b.leakScale, b.energyScale = 1.6, 0.04, 0.9
 	default:
-		panic(fmt.Sprintf("stdcells: unknown variant %q", v))
+		return nil, fmt.Errorf("stdcells: unknown variant %q", v)
 	}
 	b.build()
-	return b.lib
+	return b.lib, nil
 }
 
 // d returns a Delay with the library's corner spread applied to a best-case

@@ -82,16 +82,28 @@ type Marking []uint8
 
 func (m Marking) key() string { return string(m) }
 
-// Initial returns the initial marking.
+// Initial returns the initial marking. It panics on a token count outside
+// 0..255; graphs built from literals use this, graphs built from external
+// input should call InitialChecked.
 func (g *Graph) Initial() Marking {
+	m, err := g.InitialChecked()
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// InitialChecked is Initial with the token-count validation returned as an
+// error instead of a panic.
+func (g *Graph) InitialChecked() (Marking, error) {
 	m := make(Marking, len(g.Arcs))
 	for i, a := range g.Arcs {
 		if a.Tokens < 0 || a.Tokens > 255 {
-			panic(fmt.Sprintf("stg: bad token count %d", a.Tokens))
+			return nil, fmt.Errorf("stg: bad token count %d on arc %d", a.Tokens, i)
 		}
 		m[i] = uint8(a.Tokens)
 	}
-	return m
+	return m, nil
 }
 
 // Enabled reports whether event e can fire under m.

@@ -1,0 +1,48 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"desync/internal/stdcells"
+)
+
+// FuzzRead feeds arbitrary source text through the full front end
+// (lex → parse → link). Read must either return a design or an error;
+// panics, hangs and out-of-memory blowups are bugs — this is the path that
+// consumes files from other tools.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"",
+		"module m (a); input a; endmodule",
+		"module m (a, z); input a; output z; INVX1 u (.A(a), .Z(z)); endmodule",
+		"module m (a, z); input a; output z; INVX1 u (a, z); endmodule",
+		"module m (q); output [3:0] q; wire [3:0] q; endmodule",
+		"module m (z); output z; assign z = 1'b0; endmodule",
+		"module sub (a); input a; endmodule\nmodule top (x); input x; sub s (.a(x)); endmodule",
+		"module m (\\a.b ); input \\a.b ; endmodule",
+		"// comment\nmodule m (a); /* block */ input a; endmodule",
+		"module m (a); input a; BOGUS u (.A(a)); endmodule",
+		"module m (a; input a; endmodule",
+		"module m (a) input a endmodule",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lib := stdcells.New(stdcells.HighSpeed)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // bound parse work per input
+		}
+		d, err := Read(src, lib, "")
+		if err != nil {
+			return
+		}
+		// A successfully linked design must re-export and re-import.
+		text := Write(d)
+		if _, err := Read(text, lib, d.Name); err != nil {
+			t.Fatalf("round trip failed: %v\ninput: %q\nexport:\n%s", err, src, text)
+		}
+		_ = strings.Count(text, "\n")
+	})
+}

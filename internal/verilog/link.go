@@ -170,10 +170,25 @@ func (b *modBuilder) build() error {
 			return err
 		}
 	}
-	// 4. Constant nets created through assign aliases still need drivers.
+	// 4. Constant nets still undriven after linking get tie-cell drivers.
+	// This runs after all instances so a netlist that spells out its own
+	// tie cells (e.g. a re-imported export) keeps them as the drivers.
 	for v, name := range [2]string{tie0Net, tie1Net} {
-		if n := b.m.Net(name); n != nil && !n.HasDriver() && b.tie[v] == nil {
-			b.tieNet(v)
+		n := b.m.Net(name)
+		if n == nil || n.HasDriver() {
+			continue
+		}
+		cell, ok := b.lk.lib.Cells[[2]string{"TIE0", "TIE1"}[v]]
+		if !ok {
+			continue
+		}
+		instName := "__" + cell.Name
+		for b.m.Inst(instName) != nil {
+			instName += "_"
+		}
+		in := b.m.AddInst(instName, cell)
+		if err := b.m.Connect(in, "Z", n); err != nil {
+			return fmt.Errorf("verilog: %s: %v", sm.name, err)
 		}
 	}
 	return nil
@@ -213,6 +228,9 @@ func (b *modBuilder) instance(si srcInst) error {
 	order, byBase, err := b.pinBits(si)
 	if err != nil {
 		return err
+	}
+	if b.m.Inst(si.name) != nil {
+		return fmt.Errorf("verilog: %s: line %d: duplicate instance %q", b.sm.name, si.line, si.name)
 	}
 	var inst *netlist.Inst
 	if cell, ok := b.lk.lib.Cells[si.cell]; ok {
@@ -286,20 +304,11 @@ func (b *modBuilder) instance(si srcInst) error {
 	return nil
 }
 
-// tieNet lazily creates the constant nets and their tie-cell drivers.
+// tieNet lazily resolves the constant nets. Drivers are added in build
+// step 4, once every source instance has had its chance to drive them.
 func (b *modBuilder) tieNet(v int) *netlist.Net {
-	if b.tie[v] != nil {
-		return b.tie[v]
+	if b.tie[v] == nil {
+		b.tie[v] = b.m.EnsureNet([2]string{tie0Net, tie1Net}[v])
 	}
-	names := [2]string{tie0Net, tie1Net}
-	cells := [2]string{"TIE0", "TIE1"}
-	net := b.m.EnsureNet(names[v])
-	b.tie[v] = net
-	if !net.HasDriver() {
-		if cell, ok := b.lk.lib.Cells[cells[v]]; ok {
-			in := b.m.AddInst("__"+cells[v], cell)
-			b.m.MustConnect(in, "Z", net)
-		}
-	}
-	return net
+	return b.tie[v]
 }

@@ -207,9 +207,21 @@ func (p *parser) parseDecl(m *srcModule, kind string) error {
 			return err
 		}
 		name := identName(t)
+		// Redeclaration with the same shape is normal netlist style
+		// (e.g. "output [7:0] q; wire [7:0] q;"); a shape conflict is not.
 		if rng != nil {
+			if m.scalars[name] {
+				return fmt.Errorf("verilog: line %d: %s redeclared as a bus (was scalar)", t.line, name)
+			}
+			if prev, ok := m.ranges[name]; ok && prev != *rng {
+				return fmt.Errorf("verilog: line %d: %s redeclared as [%d:%d] (was [%d:%d])",
+					t.line, name, rng.msb, rng.lsb, prev.msb, prev.lsb)
+			}
 			m.ranges[name] = *rng
 		} else {
+			if _, ok := m.ranges[name]; ok {
+				return fmt.Errorf("verilog: line %d: %s redeclared as a scalar (was a bus)", t.line, name)
+			}
 			m.scalars[name] = true
 		}
 		switch kind {

@@ -179,6 +179,65 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
+// Duplicate and conflicting names must be rejected at link time with a
+// message naming the offender — the netlist package would otherwise panic
+// deep inside AddInst, long after the offending source line is known.
+func TestReadDuplicateNames(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			"duplicate instance",
+			"module top (a, z); input a; output z; wire w;\n" +
+				"INVX1 u1 (.A(a), .Z(w));\nINVX1 u1 (.A(w), .Z(z));\nendmodule",
+			`duplicate instance "u1"`,
+		},
+		{
+			"scalar redeclared as bus",
+			"module top (a); input a; wire w; wire [3:0] w; endmodule",
+			"redeclared as a bus",
+		},
+		{
+			"bus redeclared as scalar",
+			"module top (a); input a; wire [3:0] w; wire w; endmodule",
+			"redeclared as a scalar",
+		},
+		{
+			"bus redeclared with another range",
+			"module top (a); input a; wire [3:0] w; wire [7:0] w; endmodule",
+			"redeclared as [7:0]",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(tc.src, lib(), "")
+			if err == nil {
+				t.Fatalf("expected error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Benign redeclaration (same shape, port-then-wire) stays legal.
+func TestReadRedeclareSameShape(t *testing.T) {
+	src := `
+module top (a, q);
+  input a;
+  output [1:0] q;
+  wire [1:0] q;
+  wire a;
+  INVX1 u0 (.A(a), .Z(q[0]));
+  INVX1 u1 (.A(a), .Z(q[1]));
+endmodule
+`
+	if _, err := Read(src, lib(), ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestReadTopSelection(t *testing.T) {
 	src := `
 module m1 (a); input a; endmodule
