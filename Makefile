@@ -1,10 +1,11 @@
 # Build and verification entry points. `make check` is the CI gate:
-# vet, the full test suite under the race detector, and the fault-campaign
-# smoke guard (any escaped delay or stuck-at fault fails the build).
+# vet, the static lint gate, the full test suite under the race detector,
+# and the fault-campaign smoke guard (any escaped delay or stuck-at fault
+# fails the build).
 
 GO ?= go
 
-.PHONY: all build test check fuzz bench faults
+.PHONY: all build test check lint fuzz bench faults
 
 all: build
 
@@ -14,16 +15,25 @@ build:
 test:
 	$(GO) test ./...
 
-check:
+# Static verification: repolint enforces the repo's own coding conventions,
+# drlint verifies both example designs before and (via the flow's built-in
+# gates) after desynchronization.
+lint:
+	$(GO) run ./cmd/repolint
+	$(GO) run ./cmd/drlint -gen dlx
+	$(GO) run ./cmd/drlint -gen arm
+
+check: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -run XXX -bench BenchmarkFaultCampaignSmoke -benchtime 1x .
+	$(GO) test -run XXX -bench 'BenchmarkFaultCampaignSmoke|BenchmarkLintClean' -benchtime 1x .
 
-# Short fuzz passes over the two text front ends; corpora are committed
-# under internal/{verilog,liberty}/testdata/fuzz.
+# Short fuzz passes over the three text front ends; corpora are committed
+# under internal/{verilog,liberty,sdc}/testdata/fuzz.
 fuzz:
 	$(GO) test ./internal/verilog/ -fuzz FuzzRead -fuzztime 20s
 	$(GO) test ./internal/liberty/ -fuzz FuzzParse -fuzztime 20s
+	$(GO) test ./internal/sdc/ -fuzz FuzzParse -fuzztime 20s
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .

@@ -15,6 +15,7 @@ import (
 	"desync/internal/dft"
 	"desync/internal/expt"
 	"desync/internal/faults"
+	"desync/internal/lint"
 	"desync/internal/logic"
 	"desync/internal/netlist"
 	"desync/internal/pnr"
@@ -257,6 +258,26 @@ func BenchmarkFaultCampaignSmoke(b *testing.B) {
 		sdet, sinj := rep.Detected(faults.ClassStuckAt)
 		b.ReportMetric(float64(sinj), "stuckFaults")
 		b.ReportMetric(float64(det+sdet)/float64(inj+sinj), "detectionRate")
+	}
+}
+
+// BenchmarkLintClean runs the static verifier over the DLX golden flow and
+// fails outright on any finding, pre- or post-desynchronization: like the
+// fault-campaign smoke guard, a lint-dirty tree is a broken build, not a
+// statistic. The runtime is the cost of the full lint pass.
+func BenchmarkLintClean(b *testing.B) {
+	f, err := expt.RunDLXFlow(expt.FlowConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pre := lint.Check(f.Sync.Top, lint.Options{})
+		post := lint.Check(f.Desync.Top, lint.Options{Desync: true, Constraints: f.Result.Constraints})
+		if n := pre.Count(lint.Warning) + post.Count(lint.Warning); n != 0 {
+			b.Fatalf("golden flow is not lint-clean: %d finding(s)\n%s%s", n, pre.Text(), post.Text())
+		}
+		b.ReportMetric(float64(len(f.Desync.Top.Insts)), "instances")
 	}
 }
 

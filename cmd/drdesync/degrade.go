@@ -7,8 +7,25 @@ import (
 
 	"desync/internal/core"
 	"desync/internal/faults"
+	"desync/internal/lint"
 	"desync/internal/netlist"
 )
+
+// lintGate prints every finding of a gating report to w and fails when any
+// Error-severity finding survives. The pre-import and post-export gates of
+// the flow both go through here.
+func lintGate(gate string, rep *lint.Report, w io.Writer) error {
+	if len(rep.Findings) > 0 {
+		fmt.Fprintf(w, "drdesync: %s lint:\n", gate)
+		for _, f := range rep.Findings {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+	}
+	if n := rep.Errors(); n > 0 {
+		return fmt.Errorf("%s lint gate failed with %d error(s)", gate, n)
+	}
+	return nil
+}
 
 // designState is one attempt's working copy. Desynchronize mutates the
 // design in place, so every retry starts from a freshly built one.
@@ -46,6 +63,16 @@ func desynchronizeWithFallback(build func() (*designState, error), opts core.Opt
 				in.Group = 1
 			}
 			o.ManualGroups = true
+		}
+		// Per-stage lint: every netlist.Validate boundary also runs the
+		// static netlist rules, so a stage that corrupts the structure is
+		// caught at its own boundary, not at export.
+		o.StageCheck = func(stage string, midFlow bool) error {
+			rep := lint.Check(st.d.Top, lint.Options{MidFlow: midFlow})
+			if n := rep.Errors(); n > 0 {
+				return fmt.Errorf("lint: %d error(s), first: %s", n, rep.Findings[0])
+			}
+			return nil
 		}
 		res, err := core.Desynchronize(st.d, o)
 		switch {

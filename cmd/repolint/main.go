@@ -1,0 +1,215 @@
+// Command repolint enforces repository-level coding conventions that plain
+// `go vet` cannot express. It parses every non-test Go file under internal/
+// (no type checking, stdlib go/ast only) and applies three rules:
+//
+//	RL-PANIC  panic() is reserved for programmer-error guards in the small
+//	          audited set of constructor/builder helpers below. Any panic in
+//	          other non-test internal code must become an error return.
+//	RL-STAGE  Every flowErr(...) call in internal/core must name its stage
+//	          with a Stage* constant (or propagate an enclosing `stage`
+//	          parameter), so FlowError.Stage is always machine-matchable.
+//	RL-FLOW   In the flow driver (internal/core/desync.go), functions that
+//	          return an error must return nil, a propagated error variable,
+//	          or a flowErr(...) call — never a bare fmt.Errorf/errors.New.
+//	          This is what guarantees core.StageOf works on every failure
+//	          that escapes Desynchronize.
+//
+// Exit status is 1 when any finding is produced, 2 on usage/parse errors.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// panicAllowlist keys are "slash-relative-path:function" for the audited
+// panic sites. These are all constructor or builder helpers whose contract
+// is "misuse is a bug in the caller": duplicate-name registration, malformed
+// generator parameters, and Must* wrappers.
+var panicAllowlist = map[string]bool{
+	"internal/stdcells/stdcells.go:New":      true, // library construction from vetted tables
+	"internal/designs/blocks.go:Gate":        true, // builder arity guard
+	"internal/designs/blocks.go:tree":        true, // empty reduction guard
+	"internal/designs/blocks.go:MuxBus":      true, // width mismatch guard
+	"internal/designs/blocks.go:MuxTree":     true, // empty tree guard
+	"internal/designs/blocks.go:Adder":       true, // width mismatch guard
+	"internal/netlist/design.go:AddNet":      true, // duplicate-name registration
+	"internal/netlist/design.go:addInst":     true, // duplicate-name registration
+	"internal/netlist/design.go:MustConnect": true,
+	"internal/netlist/cell.go:Add":           true, // duplicate-cell registration
+	"internal/netlist/cell.go:MustCell":      true,
+	"internal/stg/stg.go:Initial":            true, // malformed built-in STG spec
+	"internal/logic/expr.go:MustParseExpr":   true,
+}
+
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	n, err := run(root, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stdout, "repolint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// run checks the tree rooted at root and writes findings to w, returning
+// how many were produced.
+func run(root string, w io.Writer) (int, error) {
+	var files []string
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(files)
+
+	var all []finding
+	fset := token.NewFileSet()
+	for _, path := range files {
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		rel = filepath.ToSlash(rel)
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, checkFile(fset, rel, f)...)
+	}
+	for _, fd := range all {
+		fmt.Fprintf(w, "%s: %s: %s\n", fd.pos, fd.rule, fd.msg)
+	}
+	return len(all), nil
+}
+
+func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
+	var out []finding
+	core := strings.HasPrefix(rel, "internal/core/")
+	driver := rel == "internal/core/desync.go"
+
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		// RL-PANIC: any panic call outside the audited allowlist.
+		key := rel + ":" + fn.Name.Name
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && !panicAllowlist[key] {
+				out = append(out, finding{fset.Position(call.Pos()), "RL-PANIC",
+					fmt.Sprintf("panic in %s is not on the audited allowlist; return an error instead", fn.Name.Name)})
+			}
+			return true
+		})
+		if core {
+			out = append(out, checkStageArgs(fset, fn.Body)...)
+		}
+		if driver {
+			out = append(out, checkFlowReturns(fset, fn.Type, fn.Body)...)
+		}
+	}
+	return out
+}
+
+// checkStageArgs enforces RL-STAGE: the first argument of every flowErr call
+// must be a Stage* constant, or an identifier named like the conventional
+// `stage` parameter that forwards one.
+func checkStageArgs(fset *token.FileSet, body ast.Node) []finding {
+	var out []finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "flowErr" || len(call.Args) == 0 {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok {
+			if strings.HasPrefix(arg.Name, "Stage") || strings.HasPrefix(arg.Name, "stage") {
+				return true
+			}
+		}
+		out = append(out, finding{fset.Position(call.Pos()), "RL-STAGE",
+			"flowErr stage argument must be a Stage* constant (or a forwarded stage parameter)"})
+		return true
+	})
+	return out
+}
+
+// checkFlowReturns enforces RL-FLOW on one function (and any function
+// literals it contains, each judged against its own signature): when the
+// last result is an error, every return's final value must be nil, an
+// identifier propagating an existing error, or a flowErr(...) call.
+func checkFlowReturns(fset *token.FileSet, typ *ast.FuncType, body *ast.BlockStmt) []finding {
+	var out []finding
+	returnsError := false
+	if typ.Results != nil && len(typ.Results.List) > 0 {
+		last := typ.Results.List[len(typ.Results.List)-1]
+		if id, ok := last.Type.(*ast.Ident); ok && id.Name == "error" {
+			returnsError = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			out = append(out, checkFlowReturns(fset, n.Type, n.Body)...)
+			return false
+		case *ast.ReturnStmt:
+			if !returnsError || len(n.Results) == 0 {
+				return true
+			}
+			last := n.Results[len(n.Results)-1]
+			switch e := last.(type) {
+			case *ast.Ident:
+				return true // nil, or a propagated (already wrapped) error
+			case *ast.CallExpr:
+				if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "flowErr" {
+					return true
+				}
+			}
+			out = append(out, finding{fset.Position(n.Pos()), "RL-FLOW",
+				"flow driver error returns must be nil, a propagated error, or flowErr(...)"})
+		}
+		return true
+	})
+	return out
+}

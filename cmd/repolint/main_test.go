@@ -1,0 +1,101 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestRepoClean runs the checker over the actual repository; the conventions
+// it enforces must hold on every commit.
+func TestRepoClean(t *testing.T) {
+	var sb strings.Builder
+	n, err := run("../..", &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("repolint reported %d finding(s) on the tree:\n%s", n, sb.String())
+	}
+}
+
+// check parses src as the file named rel and returns the rule IDs fired.
+func check(t *testing.T, rel, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, rel, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rules []string
+	for _, fd := range checkFile(fset, rel, f) {
+		rules = append(rules, fd.rule)
+	}
+	return rules
+}
+
+func TestPanicOutsideAllowlistFires(t *testing.T) {
+	src := `package foo
+func Bad() { panic("boom") }
+`
+	got := check(t, "internal/foo/foo.go", src)
+	if len(got) != 1 || got[0] != "RL-PANIC" {
+		t.Fatalf("want [RL-PANIC], got %v", got)
+	}
+}
+
+func TestAllowlistedPanicAccepted(t *testing.T) {
+	src := `package netlist
+func (m *Module) MustConnect(a, b int) { panic("bad connect") }
+`
+	if got := check(t, "internal/netlist/design.go", src); len(got) != 0 {
+		t.Fatalf("allowlisted panic flagged: %v", got)
+	}
+}
+
+func TestStageArgRuleFires(t *testing.T) {
+	src := `package core
+func f() error { return flowErr("import", "d", "", nil) }
+func g() error { return flowErr(StageImport, "d", "", nil) }
+func h(stage string) error { return flowErr(stage, "d", "", nil) }
+`
+	got := check(t, "internal/core/other.go", src)
+	if len(got) != 1 || got[0] != "RL-STAGE" {
+		t.Fatalf("want exactly one RL-STAGE for the string literal, got %v", got)
+	}
+}
+
+func TestFlowReturnRuleFires(t *testing.T) {
+	src := `package core
+import "fmt"
+func Desynchronize() (int, error) {
+	if true {
+		return 0, fmt.Errorf("bare")
+	}
+	f := func() error { return fmt.Errorf("nested bare") }
+	_ = f
+	return 1, nil
+}
+`
+	got := check(t, "internal/core/desync.go", src)
+	var flow int
+	for _, r := range got {
+		if r == "RL-FLOW" {
+			flow++
+		}
+	}
+	if flow != 2 {
+		t.Fatalf("want 2 RL-FLOW findings (outer + nested literal), got %v", got)
+	}
+}
+
+func TestFlowReturnRuleScopedToDriver(t *testing.T) {
+	src := `package core
+import "fmt"
+func ecoMeasure() error { return fmt.Errorf("bare but legal here") }
+`
+	if got := check(t, "internal/core/eco.go", src); len(got) != 0 {
+		t.Fatalf("RL-FLOW leaked outside desync.go: %v", got)
+	}
+}

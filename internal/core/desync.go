@@ -39,6 +39,12 @@ type Options struct {
 	CompletionDetection bool
 	// CompletionMargin adds slow-rise levels to each DONE (default 2).
 	CompletionMargin int
+	// StageCheck, when non-nil, runs after each stage's Validate boundary
+	// with the stage name and whether the snapshot is mid-flow (undriven
+	// latch-enable nets are legal). cmd/drdesync hooks the static lint
+	// engine here so every stage is gated, not just import and export; an
+	// error aborts the flow as a FlowError of that stage.
+	StageCheck func(stage string, midFlow bool) error
 }
 
 // Result reports everything a drdesync run produced.
@@ -75,11 +81,16 @@ func Desynchronize(d *netlist.Design, opts Options) (*Result, error) {
 	// stage that corrupts the structure is caught at its own boundary.
 	validate := func(stage string, midFlow bool) error {
 		errs := d.Top.Validate(netlist.ValidateOptions{AllowUndriven: midFlow})
-		if len(errs) == 0 {
-			return nil
+		if len(errs) > 0 {
+			return flowErr(stage, name, "post-stage validation",
+				fmt.Errorf("%v (and %d more)", errs[0], len(errs)-1))
 		}
-		return flowErr(stage, name, "post-stage validation",
-			fmt.Errorf("%v (and %d more)", errs[0], len(errs)-1))
+		if opts.StageCheck != nil {
+			if err := opts.StageCheck(stage, midFlow); err != nil {
+				return flowErr(stage, name, "post-stage lint", err)
+			}
+		}
+		return nil
 	}
 
 	// Design import finalization: the paper's tool works on a flat view; a
@@ -217,39 +228,44 @@ func (r *Result) DisabledArcMap() map[sta.ArcKey]bool {
 	return out
 }
 
-// SimplifyNames rewrites escaped/hierarchical identifiers into plain ones
-// (§3.2.1 "escaped names are substituted by simple ones"), preserving
-// bus-bit [n] suffixes so the bus heuristic keeps working. Returns the
-// number of renamed nets and instances.
+// SimpleName rewrites one escaped/hierarchical identifier into a plain one
+// (§3.2.1 "escaped names are substituted by simple ones"), preserving the
+// bus-bit [n] suffix so the bus heuristic keeps working. Identifiers that
+// are already plain come back unchanged. The lint engine uses the same
+// mapping to warn about names that would collide after simplification.
+func SimpleName(s string) string {
+	base, idx, isBus := netlist.BusBase(s)
+	body := s
+	if isBus {
+		body = base
+	}
+	out := make([]byte, 0, len(body))
+	changed := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		ok := c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if ok {
+			out = append(out, c)
+		} else {
+			out = append(out, '_')
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	if isBus {
+		return fmt.Sprintf("%s[%d]", out, idx)
+	}
+	return string(out)
+}
+
+// SimplifyNames applies SimpleName to every net of the module, skipping
+// renames that would collide. Returns the number of renamed nets.
 func SimplifyNames(m *netlist.Module) int {
 	renamed := 0
-	simple := func(s string) string {
-		base, idx, isBus := netlist.BusBase(s)
-		body := s
-		if isBus {
-			body = base
-		}
-		out := make([]byte, 0, len(body))
-		changed := false
-		for i := 0; i < len(body); i++ {
-			c := body[i]
-			ok := c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
-				(i > 0 && c >= '0' && c <= '9')
-			if ok {
-				out = append(out, c)
-			} else {
-				out = append(out, '_')
-				changed = true
-			}
-		}
-		if !changed {
-			return s
-		}
-		if isBus {
-			return fmt.Sprintf("%s[%d]", out, idx)
-		}
-		return string(out)
-	}
+	simple := SimpleName
 	taken := map[string]bool{}
 	for _, n := range m.Nets {
 		taken[n.Name] = true

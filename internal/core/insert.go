@@ -379,21 +379,7 @@ func exposeNet(m *netlist.Module, lib *netlist.Library, port string, src *netlis
 }
 
 // regionOfName parses the "G<id>_" prefix the network insertion uses.
-func regionOfName(name string) (int, bool) {
-	if len(name) < 3 || name[0] != 'G' {
-		return 0, false
-	}
-	i := 1
-	g := 0
-	for i < len(name) && name[i] >= '0' && name[i] <= '9' {
-		g = g*10 + int(name[i]-'0')
-		i++
-	}
-	if i == 1 || i >= len(name) || name[i] != '_' {
-		return 0, false
-	}
-	return g, true
-}
+func regionOfName(name string) (int, bool) { return handshake.ControlRegion(name) }
 
 // masterSlaveLevels sizes the master→slave request delay: the worst latch
 // enable-to-output plus the worst latch setup, over one AND level's rise.

@@ -70,8 +70,8 @@ func BuildARMLike(lib *netlist.Library, seed int64) (_ *netlist.Design, err erro
 	deImm := b.RegBank("ade_imm_r", imm, clk, rstn, "ade_imm_q")
 
 	// ---- Execute ----
-	addOut, _ := b.Adder(deA, deB, nil)
-	subOut, _ := b.Sub(deA, deB)
+	addOut := b.Adder(deA, deB, nil)
+	subOut := b.Sub(deA, deB)
 	andOut := b.BitwiseOp("AND2X1", deA, deB)
 	orOut := b.BitwiseOp("OR2X1", deA, deB)
 	xorOut := b.BitwiseOp("XOR2X1", deA, deB)
@@ -187,7 +187,7 @@ func (b *Builder) multiplier(a, c Bus) Bus {
 				next = append(next, terms[i])
 				continue
 			}
-			s, _ := b.Adder(terms[i], terms[i+1], nil)
+			s := b.Adder(terms[i], terms[i+1], nil)
 			next = append(next, s)
 		}
 		terms = next

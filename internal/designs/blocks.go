@@ -216,29 +216,36 @@ func (b *Builder) MuxTree(inputs []Bus, sel Bus) Bus {
 }
 
 // Adder builds a ripple-carry adder: sum = a + c + cin (cin may be nil for
-// 0). Returns the sum and carry-out.
-func (b *Builder) Adder(a, c Bus, cin *netlist.Net) (Bus, *netlist.Net) {
+// 0). The carry-out is not built: no design consumes it, and the dead
+// final-bit carry cone would (rightly) trip the NL-CONE lint rule.
+func (b *Builder) Adder(a, c Bus, cin *netlist.Net) Bus {
 	if len(a) != len(c) {
 		panic("designs: adder width mismatch")
 	}
 	sum := make(Bus, len(a))
 	carry := cin
+	last := len(a) - 1
 	for i := range a {
 		axb := b.Xor(a[i], c[i])
 		if carry == nil {
 			sum[i] = axb
-			carry = b.And(a[i], c[i])
+			if i != last {
+				carry = b.And(a[i], c[i])
+			}
 			continue
 		}
 		sum[i] = b.Xor(axb, carry)
+		if i == last {
+			break
+		}
 		// carry' = a&c | carry&(a^c)
 		carry = b.Or(b.And(a[i], c[i]), b.And(carry, axb))
 	}
-	return sum, carry
+	return sum
 }
 
 // Sub builds a - c via two's complement (a + ~c + 1).
-func (b *Builder) Sub(a, c Bus) (Bus, *netlist.Net) {
+func (b *Builder) Sub(a, c Bus) Bus {
 	nc := make(Bus, len(c))
 	for i := range c {
 		nc[i] = b.Not(c[i])

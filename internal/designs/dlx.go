@@ -127,8 +127,8 @@ func BuildDLX(lib *netlist.Library, program []uint16) (_ *netlist.Design, err er
 		b.EqConst(idexOp, OpADDI), b.EqConst(idexOp, OpLW), b.EqConst(idexOp, OpSW),
 	})
 	opB := b.MuxBus(idexB, idexImm, exIsImm, nil)
-	addOut, _ := b.Adder(idexA, opB, nil)
-	subOut, _ := b.Sub(idexA, idexB)
+	addOut := b.Adder(idexA, opB, nil)
+	subOut := b.Sub(idexA, idexB)
 	andOut := b.BitwiseOp("AND2X1", idexA, idexB)
 	orOut := b.BitwiseOp("OR2X1", idexA, idexB)
 	xorOut := b.BitwiseOp("XOR2X1", idexA, idexB)
@@ -150,7 +150,7 @@ func BuildDLX(lib *netlist.Library, program []uint16) (_ *netlist.Design, err er
 	isBeqz := b.EqConst(idexOp, OpBEQZ)
 	exIsJmp := b.EqConst(idexOp, OpJMP)
 	btake := b.Or(b.And(isBeqz, aZero), exIsJmp)
-	btgt, _ := b.Adder(idexPC1, Bus(idexImm[:PCBits]), nil)
+	btgt := b.Adder(idexPC1, Bus(idexImm[:PCBits]), nil)
 
 	exmemOp := b.RegBank("exmem_op_r", idexOp, clk, rstn, "exmem_op_q")
 	exmemRd := b.RegBank("exmem_rd_r", idexRd, clk, rstn, "exmem_rd_q")

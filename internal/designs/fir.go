@@ -63,7 +63,7 @@ func BuildFIR(lib *netlist.Library) (_ *netlist.Design, err error) {
 		}
 		p := terms[0]
 		for _, t := range terms[1:] {
-			p, _ = b.Adder(p, t, nil)
+			p = b.Adder(p, t, nil)
 		}
 		prods[k] = b.RegBank(fmt.Sprintf("pr%d", k), p, clk, rstn, fmt.Sprintf("pr%d_q", k))
 	}
@@ -77,7 +77,7 @@ func BuildFIR(lib *netlist.Library) (_ *netlist.Design, err error) {
 	}
 	sum := widen(prods[0])
 	for _, p := range prods[1:] {
-		sum, _ = b.Adder(sum, widen(p), nil)
+		sum = b.Adder(sum, widen(p), nil)
 	}
 	yq := b.RegBank("yr", sum, clk, rstn, "yr_q")
 	for i := range yq {

@@ -51,7 +51,7 @@ func TestQuickAdder(t *testing.T) {
 	const w = 16
 	f := func(a, b uint16) bool {
 		got := evalBlock(t, w, 2, func(bl *Builder, ins []Bus) Bus {
-			s, _ := bl.Adder(ins[0], ins[1], nil)
+			s := bl.Adder(ins[0], ins[1], nil)
 			return s
 		}, []uint64{uint64(a), uint64(b)})
 		return uint16(got) == a+b
@@ -66,7 +66,7 @@ func TestQuickSub(t *testing.T) {
 	const w = 16
 	f := func(a, b uint16) bool {
 		got := evalBlock(t, w, 2, func(bl *Builder, ins []Bus) Bus {
-			s, _ := bl.Sub(ins[0], ins[1])
+			s := bl.Sub(ins[0], ins[1])
 			return s
 		}, []uint64{uint64(a), uint64(b)})
 		return uint16(got) == a-b

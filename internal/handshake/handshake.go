@@ -90,6 +90,39 @@ func ControllerDisabledArcs(prefix string) [][3]string {
 	}
 }
 
+// IsControlOrigin reports whether an instance Origin tag marks a cell
+// created by the desynchronization control stages (controllers and
+// rendezvous trees, delay elements, completion networks, enable-tree
+// buffers). Such cells are exempt from the synchronous-netlist rules —
+// combinational-loop and dead-cone checks — that the lint engine applies to
+// the datapath.
+func IsControlOrigin(origin string) bool {
+	switch origin {
+	case "ctrl", "delem", "cdet", "cts":
+		return true
+	}
+	return false
+}
+
+// ControlRegion parses the "G<id>_" prefix every control-network net and
+// instance name carries, returning the region id. Unlike Origin tags, names
+// survive a Verilog write/read round trip, so this is the test standalone
+// tools use on re-imported netlists.
+func ControlRegion(name string) (int, bool) {
+	if len(name) < 3 || name[0] != 'G' {
+		return 0, false
+	}
+	i, g := 1, 0
+	for i < len(name) && name[i] >= '0' && name[i] <= '9' {
+		g = g*10 + int(name[i]-'0')
+		i++
+	}
+	if i == 1 || i >= len(name) || name[i] != '_' {
+		return 0, false
+	}
+	return g, true
+}
+
 // AddCTree builds a C-Muller rendezvous over the given input nets, writing
 // the result to out. A single input is wired through directly (the caller
 // passes out == inputs[0] in that case — AddCTree rejects it). Trees use

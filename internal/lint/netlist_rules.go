@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"desync/internal/core"
+	"desync/internal/handshake"
+	"desync/internal/netlist"
+)
+
+// isControlInst reports whether an instance belongs to the inserted control
+// network rather than the datapath. In-memory designs carry Origin tags;
+// designs re-read from Verilog only keep the G<id>_ naming scheme, so both
+// tests run. Control cells are exempt from the synchronous-netlist rules
+// (their loops are the handshakes themselves) and are checked by the DS-*
+// family instead.
+func isControlInst(in *netlist.Inst) bool {
+	if handshake.IsControlOrigin(in.Origin) {
+		return true
+	}
+	_, ok := handshake.ControlRegion(in.Name)
+	return ok
+}
+
+// combDatapath reports whether the instance is a plain combinational
+// datapath gate: the population the loop and dead-cone rules apply to.
+func combDatapath(in *netlist.Inst) bool {
+	return in.Cell != nil && in.Cell.Kind == netlist.KindComb && !isControlInst(in)
+}
+
+// pinDirOf resolves a connection's direction for cell and submodule
+// instances alike; ok is false for pins the instance does not declare.
+func pinDirOf(in *netlist.Inst, pin string) (netlist.PinDir, bool) {
+	if in.Cell != nil {
+		if pd := in.Cell.Pin(pin); pd != nil {
+			return pd.Dir, true
+		}
+		return netlist.In, false
+	}
+	if p := in.Sub.Port(pin); p != nil {
+		return p.Dir, true
+	}
+	return netlist.In, false
+}
+
+// checkNetlist runs the NL-* family over one module.
+func (r *Report) checkNetlist(m *netlist.Module, opts Options) {
+	// NL-VALIDATE — structural invariants. Undriven nets are left to
+	// NL-FLOAT, which locates them properly and honors MidFlow.
+	for _, ve := range m.Validate(netlist.ValidateOptions{AllowUndriven: true}) {
+		r.addf(RuleValidate, Error, m.Name, "", "", "["+ve.Rule+"] "+ve.Msg)
+	}
+
+	r.checkPins(m)
+	if !opts.MidFlow {
+		r.checkFloat(m)
+	}
+	r.checkMultiDriven(m)
+	r.checkCombLoops(m)
+	r.checkDeadCones(m)
+	r.checkNameClash(m)
+}
+
+// checkPins flags unconnected instance pins: inputs as errors (the gate
+// computes garbage), outputs as warnings (dead result, possibly intended).
+func (r *Report) checkPins(m *netlist.Module) {
+	for _, in := range m.Insts {
+		var pins []netlist.PinDef
+		if in.Cell != nil {
+			pins = in.Cell.Pins
+		} else if in.Sub != nil {
+			for _, p := range in.Sub.Ports {
+				pins = append(pins, netlist.PinDef{Name: p.Name, Dir: p.Dir})
+			}
+		}
+		for _, p := range pins {
+			if in.Conns[p.Name] != nil {
+				continue
+			}
+			sev := Error
+			if p.Dir == netlist.Out {
+				sev = Warning
+			}
+			r.addf(RulePin, sev, m.Name, in.Name, "",
+				fmt.Sprintf("pin %s (%s) is unconnected", p.Name, p.Dir))
+		}
+	}
+}
+
+// checkFloat flags nets that are read but never driven.
+func (r *Report) checkFloat(m *netlist.Module) {
+	for _, n := range m.Nets {
+		if len(n.Sinks) > 0 && !n.HasDriver() {
+			r.addf(RuleFloat, Error, m.Name, "", n.Name,
+				fmt.Sprintf("net has %d sink(s) but no driver", len(n.Sinks)))
+		}
+	}
+}
+
+// checkMultiDriven counts a net's true drivers — output pins plus input
+// ports — from the connection maps (not the per-net bookkeeping, which by
+// construction can only remember one driver and so cannot show the clash).
+func (r *Report) checkMultiDriven(m *netlist.Module) {
+	drivers := map[*netlist.Net][]string{}
+	for _, in := range m.Insts {
+		for pin, n := range in.Conns {
+			if n == nil {
+				continue
+			}
+			if dir, ok := pinDirOf(in, pin); ok && dir == netlist.Out {
+				drivers[n] = append(drivers[n], in.Name+"/"+pin)
+			}
+		}
+	}
+	for _, p := range m.Ports {
+		if p.Dir == netlist.In && p.Net != nil {
+			drivers[p.Net] = append(drivers[p.Net], "port "+p.Name)
+		}
+	}
+	for _, n := range m.SortedNets() {
+		if ds := drivers[n]; len(ds) > 1 {
+			sort.Strings(ds)
+			r.addf(RuleMulti, Error, m.Name, "", n.Name,
+				fmt.Sprintf("net driven %d times: %s", len(ds), strings.Join(ds, ", ")))
+		}
+	}
+}
+
+// checkCombLoops finds cycles among plain combinational datapath gates. A
+// synchronous netlist must be acyclic between registers; a loop means lost
+// logic (or an async element mis-imported as gates). Control cells are
+// excluded — their loops are the handshake cycles DS-SDC audits.
+func (r *Report) checkCombLoops(m *netlist.Module) {
+	// Adjacency over comb datapath instances.
+	idx := map[*netlist.Inst]int{}
+	var nodes []*netlist.Inst
+	for _, in := range m.Insts {
+		if combDatapath(in) {
+			idx[in] = len(nodes)
+			nodes = append(nodes, in)
+		}
+	}
+	succ := make([][]int, len(nodes))
+	indeg := make([]int, len(nodes))
+	for _, in := range nodes {
+		u := idx[in]
+		for pin, n := range in.Conns {
+			if dir, ok := pinDirOf(in, pin); !ok || dir != netlist.Out || n == nil {
+				continue
+			}
+			for _, s := range n.Sinks {
+				if s.Inst == nil {
+					continue
+				}
+				if v, ok := idx[s.Inst]; ok {
+					succ[u] = append(succ[u], v)
+					indeg[v]++
+				}
+			}
+		}
+	}
+	// Trim everything not on a cycle: peel zero-in-degree nodes forward,
+	// then zero-out-degree nodes backward, so pure fan-in and fan-out of a
+	// loop drop away and only the cycle members remain.
+	queue := []int{}
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	removed := make([]bool, len(nodes))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		removed[u] = true
+		for _, v := range succ[u] {
+			if indeg[v]--; indeg[v] == 0 && !removed[v] {
+				queue = append(queue, v)
+			}
+		}
+	}
+	pred := make([][]int, len(nodes))
+	outdeg := make([]int, len(nodes))
+	for u, vs := range succ {
+		if removed[u] {
+			continue
+		}
+		for _, v := range vs {
+			if !removed[v] {
+				pred[v] = append(pred[v], u)
+				outdeg[u]++
+			}
+		}
+	}
+	for v := range nodes {
+		if !removed[v] && outdeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		removed[u] = true
+		for _, v := range pred[u] {
+			if outdeg[v]--; outdeg[v] == 0 && !removed[v] {
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Group survivors into weakly-connected clusters for one finding per
+	// loop nest, naming a bounded sample of members.
+	seen := make([]bool, len(nodes))
+	for v := range nodes {
+		if removed[v] || seen[v] {
+			continue
+		}
+		var member []string
+		stack := []int{v}
+		seen[v] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			member = append(member, nodes[u].Name)
+			for _, w := range succ[u] {
+				if !removed[w] && !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Strings(member)
+		sample := member
+		if len(sample) > 6 {
+			sample = sample[:6]
+		}
+		r.addf(RuleLoop, Error, m.Name, member[0], "",
+			fmt.Sprintf("combinational loop through %d gate(s): %s", len(member), strings.Join(sample, ", ")))
+	}
+}
+
+// checkDeadCones flags combinational gates whose outputs never reach an
+// observable point: an output port, a sequential or submodule input, or the
+// control network. Dead cones are harmless in silicon but always mean
+// either imported garbage or a flow stage that disconnected logic.
+func (r *Report) checkDeadCones(m *netlist.Module) {
+	observed := map[*netlist.Net]bool{}
+	var frontier []*netlist.Net
+	observe := func(n *netlist.Net) {
+		if n != nil && !observed[n] {
+			observed[n] = true
+			frontier = append(frontier, n)
+		}
+	}
+	for _, p := range m.Ports {
+		if p.Dir == netlist.Out {
+			observe(p.Net)
+		}
+	}
+	for _, in := range m.Insts {
+		if combDatapath(in) {
+			continue
+		}
+		for pin, n := range in.Conns {
+			if dir, ok := pinDirOf(in, pin); ok && dir == netlist.In {
+				observe(n)
+			}
+		}
+	}
+	live := map[*netlist.Inst]bool{}
+	for len(frontier) > 0 {
+		n := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		drv := n.Driver.Inst
+		if drv == nil || !combDatapath(drv) || live[drv] {
+			continue
+		}
+		live[drv] = true
+		for pin, in := range drv.Conns {
+			if dir, ok := pinDirOf(drv, pin); ok && dir == netlist.In {
+				observe(in)
+			}
+		}
+	}
+	for _, in := range m.Insts {
+		if combDatapath(in) && !live[in] {
+			r.addf(RuleCone, Warning, m.Name, in.Name, "",
+				"gate drives no port, register, or control input (dead logic cone)")
+		}
+	}
+}
+
+// checkNameClash warns about distinct identifiers that map to the same
+// plain name under the escaped-name simplification of §3.2.1: backend tools
+// that mangle hierarchy separators the same way would merge or rename them.
+func (r *Report) checkNameClash(m *netlist.Module) {
+	report := func(kind string, names map[string][]string) {
+		var keys []string
+		for k, group := range names {
+			if len(group) > 1 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			group := names[k]
+			sort.Strings(group)
+			f := Finding{Rule: RuleName, Severity: Warning, Module: m.Name,
+				Msg: fmt.Sprintf("%d %ss simplify to %q: %s", len(group), kind, k, strings.Join(group, ", "))}
+			if kind == "net" {
+				f.Net = group[0]
+			} else {
+				f.Inst = group[0]
+			}
+			r.add(f)
+		}
+	}
+	nets := map[string][]string{}
+	for _, n := range m.Nets {
+		nets[core.SimpleName(n.Name)] = append(nets[core.SimpleName(n.Name)], n.Name)
+	}
+	report("net", nets)
+	insts := map[string][]string{}
+	for _, in := range m.Insts {
+		insts[core.SimpleName(in.Name)] = append(insts[core.SimpleName(in.Name)], in.Name)
+	}
+	report("instance", insts)
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// String renders one finding the way the text reporter prints it:
+//
+//	error DS-PAIR dlx inst=G3_delem/a1: request source is G1_sro, want G2_sro
+func (f Finding) String() string {
+	var b strings.Builder
+	if f.Suppressed {
+		b.WriteString("suppressed ")
+	}
+	fmt.Fprintf(&b, "%s %s %s", f.Severity, f.Rule, f.Module)
+	if f.Inst != "" {
+		fmt.Fprintf(&b, " inst=%s", f.Inst)
+	}
+	if f.Net != "" {
+		fmt.Fprintf(&b, " net=%s", f.Net)
+	}
+	b.WriteString(": ")
+	b.WriteString(f.Msg)
+	return b.String()
+}
+
+// Text renders the whole report, one finding per line, followed by a
+// one-line tally. An empty report renders as "clean".
+func (r *Report) Text() string {
+	if len(r.Findings) == 0 {
+		return "clean\n"
+	}
+	var b strings.Builder
+	counts := map[Severity]int{}
+	suppressed := 0
+	for _, f := range r.Findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+		if f.Suppressed {
+			suppressed++
+			continue
+		}
+		counts[f.Severity]++
+	}
+	fmt.Fprintf(&b, "%d error(s), %d warning(s), %d note(s)",
+		counts[Error], counts[Warning], counts[Info])
+	if suppressed > 0 {
+		fmt.Fprintf(&b, ", %d suppressed", suppressed)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// jsonFinding is the wire form: severity as its string name.
+type jsonFinding struct {
+	Finding
+	SeverityName string `json:"severity"`
+}
+
+// JSON renders the report as an indented object with a findings array and
+// per-severity totals, for machine consumption (CI annotations, dashboards).
+func (r *Report) JSON() ([]byte, error) {
+	out := struct {
+		Findings []jsonFinding `json:"findings"`
+		Errors   int           `json:"errors"`
+		Warnings int           `json:"warnings"`
+		Notes    int           `json:"notes"`
+	}{Findings: []jsonFinding{}}
+	for _, f := range r.Findings {
+		out.Findings = append(out.Findings, jsonFinding{Finding: f, SeverityName: f.Severity.String()})
+	}
+	out.Errors = r.Count(Error)
+	out.Warnings = r.Count(Warning) - r.Count(Error)
+	out.Notes = r.Count(Info) - r.Count(Warning)
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Baseline is a set of finding keys accepted as known-clean: matching
+// findings are still reported but marked suppressed and excluded from every
+// count, so a legacy design can be gated on new findings only.
+type Baseline map[string]bool
+
+// ParseBaseline reads a baseline file: one Finding.Key per line
+// (rule|module|inst|net), blank lines and #-comments ignored.
+func ParseBaseline(rd io.Reader) (Baseline, error) {
+	b := Baseline{}
+	sc := bufio.NewScanner(rd)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		if strings.Count(s, "|") != 3 {
+			return nil, fmt.Errorf("lint: baseline line %d: want rule|module|inst|net, got %q", line, s)
+		}
+		b[s] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	return b, nil
+}
+
+// ApplyBaseline marks findings whose key appears in the baseline as
+// suppressed and returns how many were suppressed.
+func (r *Report) ApplyBaseline(b Baseline) int {
+	n := 0
+	for i := range r.Findings {
+		if b[r.Findings[i].Key()] {
+			r.Findings[i].Suppressed = true
+			n++
+		}
+	}
+	return n
+}
+
+// BaselineText renders the keys of all unsuppressed findings in baseline
+// file format (drlint -write-baseline), sorted and deduplicated.
+func (r *Report) BaselineText() string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, f := range r.Findings {
+		if f.Suppressed || seen[f.Key()] {
+			continue
+		}
+		seen[f.Key()] = true
+		keys = append(keys, f.Key())
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# drlint baseline: rule|module|inst|net, one accepted finding per line\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,9 @@
+// NL-CONE fixture: u2's output reaches no port, register, or control
+// input — a dead logic cone.
+module bad_cone (a, z);
+  input a;
+  output z;
+  wire dead;
+  BUFX1 u1 (.A(a), .Z(z));
+  INVX1 u2 (.A(a), .Z(dead));
+endmodule

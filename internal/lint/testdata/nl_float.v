@@ -1,0 +1,7 @@
+// NL-FLOAT fixture: wire fl is read by u1 but has no driver.
+module bad_float (a, z);
+  input a;
+  output z;
+  wire fl;
+  AND2X1 u1 (.A(a), .B(fl), .Z(z));
+endmodule

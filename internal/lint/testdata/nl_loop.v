@@ -1,0 +1,10 @@
+// NL-LOOP fixture: u1 and u2 form a combinational cycle (n1 -> n2 -> n1).
+// The buffer to z keeps the cluster observable so only the loop rule fires.
+module bad_loop (a, z);
+  input a;
+  output z;
+  wire n1, n2;
+  AND2X1 u1 (.A(a), .B(n2), .Z(n1));
+  INVX1 u2 (.A(n1), .Z(n2));
+  BUFX1 u3 (.A(n1), .Z(z));
+endmodule

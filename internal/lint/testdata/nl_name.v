@@ -1,0 +1,12 @@
+// NL-NAME fixture: the escaped net \alu/op simplifies to alu_op under the
+// §3.2.1 name rewriting, colliding with the plain net of that name.
+module bad_name (a, b, z1, z2);
+  input a, b;
+  output z1, z2;
+  wire \alu/op ;
+  wire alu_op;
+  INVX1 u1 (.A(a), .Z(\alu/op ));
+  INVX1 u2 (.A(b), .Z(alu_op));
+  BUFX1 u3 (.A(\alu/op ), .Z(z1));
+  BUFX1 u4 (.A(alu_op), .Z(z2));
+endmodule

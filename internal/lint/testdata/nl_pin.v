@@ -1,0 +1,7 @@
+// NL-PIN fixture: u1's B input is left unconnected, so the AND computes
+// garbage. The output pin path keeps the gate alive (no NL-CONE noise).
+module bad_pin (a, z);
+  input a;
+  output z;
+  AND2X1 u1 (.A(a), .Z(z));
+endmodule

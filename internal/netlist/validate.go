@@ -13,6 +13,31 @@ type ValidateOptions struct {
 	MaxErrors int
 }
 
+// Validation rule tags. Each ValidationError carries one, so consumers
+// (drlint wraps them as findings) can classify without parsing messages.
+const (
+	VRuleIndex     = "index"     // name index disagrees with the slices
+	VRulePort      = "port"      // port binding broken or foreign
+	VRuleInstKind  = "inst-kind" // instance without exactly one of cell/submodule
+	VRuleConn      = "conn"      // connection to nil/foreign net or unknown pin
+	VRuleDriver    = "driver"    // net/driver bookkeeping mismatch
+	VRuleSink      = "sink"      // net/sink bookkeeping mismatch
+	VRuleUndriven  = "undriven"  // net with sinks but no driver
+	VRuleTruncated = "truncated" // report hit MaxErrors; Msg carries the count
+)
+
+// ValidationError is one structural invariant violation, tagged with the
+// rule that fired so downstream tooling can classify it without string
+// matching.
+type ValidationError struct {
+	Rule   string // one of the VRule* constants
+	Module string
+	Msg    string
+}
+
+// Error renders "module: message" like the old bare errors did.
+func (e ValidationError) Error() string { return e.Module + ": " + e.Msg }
+
 // Validate checks the module's structural invariants beyond what Check
 // covers: the name indices agree with the slices, every connection is
 // bidirectionally consistent (instance pin ↔ net driver/sink lists), pins
@@ -20,17 +45,22 @@ type ValidateOptions struct {
 // module. It is run between desynchronization stages so a stage that
 // corrupts the netlist is caught at its own boundary instead of surfacing
 // as a wrong answer (or a panic) stages later.
-func (m *Module) Validate(opts ValidateOptions) []error {
+//
+// At most MaxErrors violations are reported; when more exist, the final
+// entry is tagged VRuleTruncated and counts the suppressed remainder.
+func (m *Module) Validate(opts ValidateOptions) []ValidationError {
 	limit := opts.MaxErrors
 	if limit <= 0 {
 		limit = 64
 	}
-	var errs []error
-	report := func(format string, args ...any) bool {
+	var errs []ValidationError
+	suppressed := 0
+	report := func(rule, format string, args ...any) {
 		if len(errs) < limit {
-			errs = append(errs, fmt.Errorf("%s: %s", m.Name, fmt.Sprintf(format, args...)))
+			errs = append(errs, ValidationError{Rule: rule, Module: m.Name, Msg: fmt.Sprintf(format, args...)})
+		} else {
+			suppressed++
 		}
-		return len(errs) < limit
 	}
 
 	// Name indices agree with the slices.
@@ -38,31 +68,31 @@ func (m *Module) Validate(opts ValidateOptions) []error {
 	for _, n := range m.Nets {
 		inNets[n] = true
 		if m.netByName[n.Name] != n {
-			report("net %q missing from or mismatched in the name index", n.Name)
+			report(VRuleIndex, "net %q missing from or mismatched in the name index", n.Name)
 		}
 	}
 	if len(m.netByName) != len(m.Nets) {
-		report("net index has %d entries for %d nets", len(m.netByName), len(m.Nets))
+		report(VRuleIndex, "net index has %d entries for %d nets", len(m.netByName), len(m.Nets))
 	}
 	inInsts := make(map[*Inst]bool, len(m.Insts))
 	for _, in := range m.Insts {
 		inInsts[in] = true
 		if m.instByName[in.Name] != in {
-			report("instance %q missing from or mismatched in the name index", in.Name)
+			report(VRuleIndex, "instance %q missing from or mismatched in the name index", in.Name)
 		}
 	}
 	if len(m.instByName) != len(m.Insts) {
-		report("instance index has %d entries for %d instances", len(m.instByName), len(m.Insts))
+		report(VRuleIndex, "instance index has %d entries for %d instances", len(m.instByName), len(m.Insts))
 	}
 
 	// Ports bind to nets of this module.
 	for _, p := range m.Ports {
 		if p.Net == nil {
-			report("port %s has no net", p.Name)
+			report(VRulePort, "port %s has no net", p.Name)
 			continue
 		}
 		if !inNets[p.Net] {
-			report("port %s bound to foreign net %q", p.Name, p.Net.Name)
+			report(VRulePort, "port %s bound to foreign net %q", p.Name, p.Net.Name)
 		}
 	}
 
@@ -73,36 +103,36 @@ func (m *Module) Validate(opts ValidateOptions) []error {
 		for _, s := range n.Sinks {
 			sinkCount[s]++
 			if sinkCount[s] > 1 {
-				report("net %s lists sink %s %d times", n.Name, s, sinkCount[s])
+				report(VRuleSink, "net %s lists sink %s %d times", n.Name, s, sinkCount[s])
 			}
 		}
 	}
 	for _, in := range m.Insts {
 		if (in.Cell == nil) == (in.Sub == nil) {
-			report("instance %s must reference exactly one of cell and submodule", in.Name)
+			report(VRuleInstKind, "instance %s must reference exactly one of cell and submodule", in.Name)
 			continue
 		}
 		for pin, n := range in.Conns {
 			if n == nil {
-				report("%s/%s connected to nil net", in.Name, pin)
+				report(VRuleConn, "%s/%s connected to nil net", in.Name, pin)
 				continue
 			}
 			if !inNets[n] {
-				report("%s/%s connected to foreign net %q", in.Name, pin, n.Name)
+				report(VRuleConn, "%s/%s connected to foreign net %q", in.Name, pin, n.Name)
 				continue
 			}
 			dir, err := m.pinDir(in, pin)
 			if err != nil {
-				report("%v", err)
+				report(VRuleConn, "%v", err)
 				continue
 			}
 			ref := PinRef{Inst: in, Pin: pin}
 			if dir == Out {
 				if n.Driver != ref {
-					report("%s drives net %s but the net records driver %s", ref, n.Name, n.Driver)
+					report(VRuleDriver, "%s drives net %s but the net records driver %s", ref, n.Name, n.Driver)
 				}
 			} else if sinkCount[ref] == 0 {
-				report("%s reads net %s but is not in its sink list", ref, n.Name)
+				report(VRuleSink, "%s reads net %s but is not in its sink list", ref, n.Name)
 			}
 		}
 	}
@@ -111,9 +141,9 @@ func (m *Module) Validate(opts ValidateOptions) []error {
 	for _, n := range m.Nets {
 		if d := n.Driver; d.Inst != nil {
 			if !inInsts[d.Inst] {
-				report("net %s driven by removed instance %s", n.Name, d.Inst.Name)
+				report(VRuleDriver, "net %s driven by removed instance %s", n.Name, d.Inst.Name)
 			} else if d.Inst.Conns[d.Pin] != n {
-				report("net %s records driver %s which is connected elsewhere", n.Name, d)
+				report(VRuleDriver, "net %s records driver %s which is connected elsewhere", n.Name, d)
 			}
 		}
 		for _, s := range n.Sinks {
@@ -121,14 +151,21 @@ func (m *Module) Validate(opts ValidateOptions) []error {
 				continue
 			}
 			if !inInsts[s.Inst] {
-				report("net %s sinks removed instance %s", n.Name, s.Inst.Name)
+				report(VRuleSink, "net %s sinks removed instance %s", n.Name, s.Inst.Name)
 			} else if s.Inst.Conns[s.Pin] != n {
-				report("net %s records sink %s which is connected elsewhere", n.Name, s)
+				report(VRuleSink, "net %s records sink %s which is connected elsewhere", n.Name, s)
 			}
 		}
 		if !opts.AllowUndriven && len(n.Sinks) > 0 && !n.HasDriver() {
-			report("net %s has sinks but no driver", n.Name)
+			report(VRuleUndriven, "net %s has sinks but no driver", n.Name)
 		}
+	}
+	if suppressed > 0 {
+		errs = append(errs, ValidationError{
+			Rule:   VRuleTruncated,
+			Module: m.Name,
+			Msg:    fmt.Sprintf("%d further validation errors suppressed (MaxErrors=%d)", suppressed, limit),
+		})
 	}
 	return errs
 }

@@ -1,0 +1,56 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// Validate's errors are rule-tagged and the report announces how many
+// violations MaxErrors suppressed, instead of silently clipping.
+func TestValidateRuleTagsAndTruncation(t *testing.T) {
+	lib := NewLibrary("tl", "HS")
+	buf := lib.Add(&CellDef{
+		Name: "BUF", Kind: KindComb, Area: 1,
+		Pins: []PinDef{{Name: "A", Dir: In}, {Name: "Z", Dir: Out}},
+	})
+
+	m := NewModule("bad")
+	// Many undriven nets with sinks: one finding each.
+	const n = 10
+	for i := 0; i < n; i++ {
+		in := m.AddInst(string(rune('a'+i)), buf)
+		w := m.AddNet("w" + string(rune('a'+i)))
+		if err := m.Connect(in, "A", w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	errs := m.Validate(ValidateOptions{})
+	if len(errs) != n {
+		t.Fatalf("want %d errors, got %d", n, len(errs))
+	}
+	for _, e := range errs {
+		if e.Rule != VRuleUndriven {
+			t.Fatalf("want rule %q, got %q (%s)", VRuleUndriven, e.Rule, e.Msg)
+		}
+		if e.Module != "bad" {
+			t.Fatalf("module not recorded: %+v", e)
+		}
+		if !strings.Contains(e.Error(), "bad: ") {
+			t.Fatalf("Error() lost the module prefix: %q", e.Error())
+		}
+	}
+
+	// A tighter budget truncates and says by how much.
+	errs = m.Validate(ValidateOptions{MaxErrors: 4})
+	if len(errs) != 5 {
+		t.Fatalf("want 4 errors + truncation marker, got %d", len(errs))
+	}
+	last := errs[len(errs)-1]
+	if last.Rule != VRuleTruncated {
+		t.Fatalf("last error not the truncation marker: %+v", last)
+	}
+	if !strings.Contains(last.Msg, "6 further") {
+		t.Fatalf("truncation count wrong: %q", last.Msg)
+	}
+}

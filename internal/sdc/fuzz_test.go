@@ -1,0 +1,53 @@
+package sdc
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text through the SDC reader. Parse must either
+// return constraints or a line-numbered error; panics and hangs are bugs —
+// this is the path that consumes .sdc files written by other tools. On a
+// successful parse the rendered form must re-parse, and rendering is the
+// normal form: writing the re-parsed constraints must reproduce it exactly.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"create_clock -name \"G1_m\" -period 2 -waveform {0 1} [get_ports {clk}]\n",
+		"create_clock -name \"G1_m\" -period 2.5 -waveform {0 1.25} [get_pins {G1_Mctrl/g/Z}]\n",
+		"set_disable_timing -from A -to Q [get_cells {G1_Mctrl/g}]\n",
+		"set_size_only [get_cells {G1_reqC/c0 G2_delem/a0}]\n",
+		"set_min_delay 0.2 -from [get_pins {G1_Mctrl/g/Z}] -to [get_pins {G2_reqC/c0/A}]\n" +
+			"set_max_delay 1.5 -from [get_pins {G1_Mctrl/g/Z}] -to [get_pins {G2_reqC/c0/A}]\n",
+		"set_false_path -from [get_pins {G1_sro}] -to [get_pins {G2_mri}]\n",
+		"create_clock -name c -period 1 [get_ports {a b c}]\n",
+		"create_clock -period 1 [get_ports {a}]\n",   // missing -name
+		"create_clock -name c [get_ports {a}]\n",     // missing -period
+		"set_disable_timing -from A [get_cells {u}]", // missing -to
+		"set_max_delay x -from [get_pins {a}] -to [get_pins {b}]\n",
+		"bogus_command 1 2 3\n",
+		"create_clock -name c -period 1 [get_ports {a]\n", // unterminated group
+		"create_clock -name \"c -period 1\n",              // unterminated string
+		"set_size_only [get_cells {}]\n",                  // empty collection
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // bound parse work per input
+		}
+		c, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := c.Write()
+		c2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\ninput: %q\nrendered:\n%s", err, src, text)
+		}
+		if text2 := c2.Write(); text2 != text {
+			t.Fatalf("rendering is not a fixed point\ninput: %q\nfirst:\n%s\nsecond:\n%s", src, text, text2)
+		}
+	})
+}

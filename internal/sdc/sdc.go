@@ -58,7 +58,10 @@ func (c *Constraints) Write() string {
 		}
 		srcs := append([]string(nil), ck.Sources...)
 		sort.Strings(srcs)
-		fmt.Fprintf(&sb, "create_clock -name %q -period %.4g -waveform {%.4g %.4g} [%s {%s}]\n",
+		// The name goes inside plain quotes, not %q: the reader's quoted
+		// strings are raw (no escape sequences), so Go-style escaping would
+		// not survive a Write/Parse round trip.
+		fmt.Fprintf(&sb, "create_clock -name \"%s\" -period %.4g -waveform {%.4g %.4g} [%s {%s}]\n",
 			ck.Name, ck.Period, ck.Waveform[0], ck.Waveform[1], coll, strings.Join(srcs, " "))
 	}
 	disabled := append([]DisabledArc(nil), c.Disabled...)

@@ -96,6 +96,17 @@ type Options struct {
 }
 
 // Build constructs the timing graph for a flat module.
+// EffectiveFactor is the delay multiplier an instance contributes to all of
+// its timing arcs: its DelayFactor, with the zero value meaning nominal.
+// Every consumer that prices an instance's arcs (the graph build, the lint
+// engine's delay-element audit) must agree on this defaulting.
+func EffectiveFactor(in *netlist.Inst) float64 {
+	if in.DelayFactor == 0 {
+		return 1
+	}
+	return in.DelayFactor
+}
+
 func Build(m *netlist.Module, opts Options) (*Graph, error) {
 	g := &Graph{Module: m, Corner: opts.Corner, idOf: map[pinKey]int{}}
 
@@ -127,8 +138,8 @@ func Build(m *netlist.Module, opts Options) (*Graph, error) {
 			return nil, fmt.Errorf("sta: module %s not flat (instance %s)", m.Name, in.Name)
 		}
 		c := in.Cell
-		factor := in.DelayFactor
-		if opts.NoVariability || factor == 0 {
+		factor := EffectiveFactor(in)
+		if opts.NoVariability {
 			factor = 1
 		}
 		senses := arcSenses(c)
