@@ -1,11 +1,11 @@
 # Build and verification entry points. `make check` is the CI gate:
-# vet, the static lint gate, the full test suite under the race detector,
-# and the fault-campaign smoke guard (any escaped delay or stuck-at fault
-# fails the build).
+# vet, the static lint gate, the formal equivalence gate over both case
+# studies, the full test suite under the race detector, and the smoke
+# guards (any escaped fault or state-count drift fails the build).
 
 GO ?= go
 
-.PHONY: all build test check lint fuzz bench faults
+.PHONY: all build test check lint equiv fuzz bench faults
 
 all: build
 
@@ -23,10 +23,18 @@ lint:
 	$(GO) run ./cmd/drlint -gen dlx
 	$(GO) run ./cmd/drlint -gen arm
 
-check: lint
+# Formal verification: model-check deadlock-freedom, phase safety and flow
+# equivalence of both case studies' control networks, cross-validated
+# against one randomized simulator trace each.
+equiv:
+	$(GO) run ./cmd/drequiv -gen dlx -xval 1
+	$(GO) run ./cmd/drequiv -gen arm -xval 1
+
+check: lint equiv
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run XXX -bench 'BenchmarkFaultCampaignSmoke|BenchmarkLintClean' -benchtime 1x .
+	$(GO) test -run XXX -bench BenchmarkEquivDLX -benchtime 1x ./internal/equiv/
 
 # Short fuzz passes over the three text front ends; corpora are committed
 # under internal/{verilog,liberty,sdc}/testdata/fuzz.

@@ -41,6 +41,9 @@ type runOpts struct {
 	skipClean, cdet              bool
 	faults                       bool
 	faultCycles, faultsPerRegion int
+	equivGate                    bool
+	equivMaxStates, equivXval    int
+	equivSeed                    int64
 }
 
 func main() {
@@ -60,6 +63,10 @@ func main() {
 	flag.BoolVar(&o.skipClean, "no-clean", false, "skip buffer/inverter-pair removal")
 	flag.BoolVar(&o.cdet, "cdet", false, "use dual-rail completion detection instead of matched delay elements (§2.4.4)")
 	flag.StringVar(&o.tbOut, "tb", "", "output a behavioural testbench skeleton (§4.8)")
+	flag.BoolVar(&o.equivGate, "equiv", false, "model-check the inserted control network (deadlock, phase safety, flow equivalence)")
+	flag.IntVar(&o.equivMaxStates, "equiv-max-states", 0, "marking budget for the -equiv gate (0: engine default)")
+	flag.IntVar(&o.equivXval, "equiv-xval", 0, "cross-validate the -equiv model against N randomized simulator traces")
+	flag.Int64Var(&o.equivSeed, "equiv-seed", 1, "PRNG seed for -equiv-xval traces")
 	flag.BoolVar(&o.faults, "faults", false, "run a fault-injection campaign on the desynchronized design")
 	flag.IntVar(&o.faultCycles, "fault-cycles", 12, "campaign run length in clock periods")
 	flag.IntVar(&o.faultsPerRegion, "faults-per-region", 2, "delay faults injected per region")
@@ -160,6 +167,12 @@ func run(o runOpts) error {
 	}
 	if err := lintGate("post-export", rep, os.Stderr); err != nil {
 		return err
+	}
+
+	if o.equivGate {
+		if err := equivGate(d, o, os.Stdout, os.Stderr); err != nil {
+			return err
+		}
 	}
 
 	if o.faults {

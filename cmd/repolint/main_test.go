@@ -99,3 +99,23 @@ func ecoMeasure() error { return fmt.Errorf("bare but legal here") }
 		t.Fatalf("RL-FLOW leaked outside desync.go: %v", got)
 	}
 }
+
+// TestEquivPanicPolicy pins the formal engine to the no-panic policy: a
+// panic introduced anywhere in internal/equiv is flagged, because the
+// package has no allowlisted sites — and must not silently grow any, since
+// a panic mid-exploration would take down a drdesync -equiv run instead of
+// producing a finding.
+func TestEquivPanicPolicy(t *testing.T) {
+	src := `package equiv
+func (m *Model) explode() { panic("unaudited") }
+`
+	got := check(t, "internal/equiv/explore.go", src)
+	if len(got) != 1 || got[0] != "RL-PANIC" {
+		t.Fatalf("want [RL-PANIC] for a panic in internal/equiv, got %v", got)
+	}
+	for key := range panicAllowlist {
+		if strings.HasPrefix(key, "internal/equiv/") {
+			t.Fatalf("internal/equiv must stay panic-free, but %q is allowlisted", key)
+		}
+	}
+}

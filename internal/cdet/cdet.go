@@ -21,6 +21,7 @@ package cdet
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"desync/internal/logic"
 	"desync/internal/netlist"
@@ -537,4 +538,17 @@ func levelize(cloud []*netlist.Inst, inCloud map[*netlist.Inst]bool) ([]*netlist
 		return nil, fmt.Errorf("cdet: combinational loop in cloud")
 	}
 	return order, nil
+}
+
+// Used reports whether the module contains a completion-detection network
+// built by AddCompletionNetwork. Downstream tools that model only the
+// matched-delay controller style (internal/equiv) use this to refuse
+// dual-rail designs explicitly instead of mis-modelling them.
+func Used(m *netlist.Module) bool {
+	for _, in := range m.Insts {
+		if strings.Contains(in.Name, "_cdet/") {
+			return true
+		}
+	}
+	return false
 }

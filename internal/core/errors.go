@@ -16,6 +16,7 @@ const (
 	StageSize       = "size"
 	StageInsert     = "insert"
 	StageExport     = "export"
+	StageEquiv      = "equiv"
 )
 
 // ErrNoRegions reports that grouping produced no desynchronization regions

@@ -1,0 +1,48 @@
+package equiv
+
+import (
+	"testing"
+	"time"
+
+	"desync/internal/expt"
+)
+
+// dlxStates is the reduced reachable-marking count of the desynchronized
+// DLX control network. It is pinned (rather than merely bounded) so that
+// any change to the model construction or the partial-order reduction is
+// a conscious decision: a silent growth here is how the gate stops being
+// tractable.
+const dlxStates = 4013
+
+// dlxExploreBudget bounds one reduced exploration of the DLX network. The
+// gate runs inside drdesync and make check; it must stay interactive.
+const dlxExploreBudget = 30 * time.Second
+
+// BenchmarkEquivDLX guards the formal gate's cost on the DLX case study:
+// the reduced state count must stay exactly dlxStates and a single
+// exploration must finish within dlxExploreBudget.
+func BenchmarkEquivDLX(b *testing.B) {
+	f, err := expt.RunDLXFlow(expt.FlowConfig{})
+	if err != nil {
+		b.Fatalf("DLX flow: %v", err)
+	}
+	m, err := FromModule(f.Desync.Top)
+	if err != nil {
+		b.Fatalf("FromModule: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res := m.Explore(ExploreOptions{})
+		if d := time.Since(start); d > dlxExploreBudget {
+			b.Fatalf("exploration took %v, budget %v", d, dlxExploreBudget)
+		}
+		if !res.Clean() {
+			b.Fatalf("DLX network no longer verifies: %+v", res.Violation)
+		}
+		if res.States != dlxStates {
+			b.Fatalf("reduced state count drifted: got %d, pinned %d (update the pin deliberately)", res.States, dlxStates)
+		}
+	}
+	b.ReportMetric(float64(dlxStates), "markings")
+}

@@ -1,0 +1,181 @@
+package equiv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"desync/internal/lint"
+)
+
+// Rule identifiers for the structured findings, in the style of the lint
+// engine's NL-*/DS-* families.
+const (
+	RuleDeadlock = "EQ-DEAD"   // reachable marking with no enabled transition
+	RuleSafety   = "EQ-SAFE"   // latch overwrite / data race
+	RuleFlow     = "EQ-FLOW"   // capture off the synchronous schedule
+	RuleBound    = "EQ-BOUND"  // search truncated by the marking budget
+	RuleModel    = "EQ-MODEL"  // extraction diagnostics (stuck/unmodelled sources)
+	RuleHazard   = "EQ-HAZARD" // excitation withdrawn without firing (SI hazard)
+	RuleXVal     = "EQ-XVAL"   // simulation trace diverged from the model
+)
+
+// Violation is one disproved property with its counterexample: the firing
+// sequence from reset and the enabling marking of the final event.
+type Violation struct {
+	Rule   string          `json:"rule"`
+	Region int             `json:"region,omitempty"`
+	Sig    string          `json:"signal,omitempty"`
+	Msg    string          `json:"msg"`
+	Events []TraceEvent    `json:"events,omitempty"`
+	Marking map[string]bool `json:"marking,omitempty"`
+	Gens   map[string]int  `json:"generations,omitempty"`
+}
+
+// Result is the outcome of one verification run. The three property flags
+// are proofs only when the search completed (no violation, no truncation).
+type Result struct {
+	Design  string `json:"design"`
+	Regions int    `json:"regions"`
+	Signals int    `json:"signals"`
+
+	States    int  `json:"states"`
+	MaxStates int  `json:"maxStates"`
+	Truncated bool `json:"truncated"`
+	Reduced   bool `json:"reduced"`
+
+	DeadlockFree   bool `json:"deadlockFree"`
+	Safe           bool `json:"safe"`
+	FlowEquivalent bool `json:"flowEquivalent"`
+
+	Violation *Violation `json:"violation,omitempty"`
+	Hazards   []string   `json:"hazards,omitempty"`
+
+	Model *ModelInfo  `json:"model,omitempty"`
+	XVal  *XValResult `json:"xval,omitempty"`
+}
+
+// ModelInfo summarizes extraction for the JSON report.
+type ModelInfo struct {
+	Findings []lint.Finding `json:"findings,omitempty"`
+}
+
+// Report folds the run into the lint engine's structured finding format,
+// which is what the drdesync -equiv gate consumes.
+func (r *Result) Report(modelFindings []lint.Finding) *lint.Report {
+	rep := &lint.Report{}
+	rep.Findings = append(rep.Findings, modelFindings...)
+	if r.Violation != nil {
+		rep.Findings = append(rep.Findings, lint.Finding{
+			Rule: r.Violation.Rule, Severity: lint.Error, Module: r.Design,
+			Net: r.Violation.Sig,
+			Msg: fmt.Sprintf("%s (counterexample: %d events)", r.Violation.Msg, len(r.Violation.Events)),
+		})
+	}
+	if r.Truncated {
+		rep.Findings = append(rep.Findings, lint.Finding{
+			Rule: RuleBound, Severity: lint.Warning, Module: r.Design,
+			Msg: fmt.Sprintf("state space truncated at %d markings; properties verified only up to this bound", r.States),
+		})
+	}
+	for _, h := range r.Hazards {
+		rep.Findings = append(rep.Findings, lint.Finding{
+			Rule: RuleHazard, Severity: lint.Warning, Module: r.Design, Msg: h,
+		})
+	}
+	if r.XVal != nil && r.XVal.Divergence != nil {
+		rep.Findings = append(rep.Findings, lint.Finding{
+			Rule: RuleXVal, Severity: lint.Error, Module: r.Design,
+			Net: r.XVal.Divergence.Net,
+			Msg: fmt.Sprintf("simulated trace %d (seed %d) diverged from the model at t=%.3f ns on %s",
+				r.XVal.Divergence.TraceIndex, r.XVal.Seed, r.XVal.Divergence.Time, r.XVal.Divergence.Net),
+		})
+	}
+	rep.Sort()
+	return rep
+}
+
+// Clean reports whether the run proved all three properties with no
+// divergence and no truncation.
+func (r *Result) Clean() bool {
+	return r.Violation == nil && !r.Truncated &&
+		(r.XVal == nil || r.XVal.Divergence == nil)
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "proved"
+	}
+	return "NOT proved"
+}
+
+// WriteText renders the human report.
+func (r *Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "equiv: %s: %d regions, %d signals, %d reachable markings", r.Design, r.Regions, r.Signals, r.States)
+	if r.Reduced {
+		fmt.Fprintf(w, " (reduced)")
+	}
+	fmt.Fprintln(w)
+	if r.Truncated {
+		fmt.Fprintf(w, "equiv: WARNING: truncated at the -max-states bound (%d); results hold only up to this bound\n", r.MaxStates)
+	}
+	fmt.Fprintf(w, "  deadlock-freedom: %s\n", mark(r.DeadlockFree))
+	fmt.Fprintf(w, "  phase safety:     %s\n", mark(r.Safe))
+	fmt.Fprintf(w, "  flow equivalence: %s\n", mark(r.FlowEquivalent))
+	for _, h := range r.Hazards {
+		fmt.Fprintf(w, "  hazard: %s\n", h)
+	}
+	if v := r.Violation; v != nil {
+		fmt.Fprintf(w, "  %s: %s\n", v.Rule, v.Msg)
+		fmt.Fprintf(w, "  counterexample (%d events from reset):\n", len(v.Events))
+		for _, e := range v.Events {
+			fmt.Fprintf(w, "    %s %s\n", e.Net, edge(e.Value))
+		}
+		if len(v.Marking) > 0 {
+			fmt.Fprintf(w, "  enabling marking:\n")
+			names := make([]string, 0, len(v.Marking))
+			for n := range v.Marking {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				val := 0
+				if v.Marking[n] {
+					val = 1
+				}
+				fmt.Fprintf(w, "    %s = %d\n", n, val)
+			}
+			gens := make([]string, 0, len(v.Gens))
+			for n := range v.Gens {
+				gens = append(gens, n)
+			}
+			sort.Strings(gens)
+			for _, n := range gens {
+				fmt.Fprintf(w, "    gen %s = %d\n", n, v.Gens[n])
+			}
+		}
+	}
+	if x := r.XVal; x != nil {
+		if x.Divergence == nil {
+			fmt.Fprintf(w, "  cross-validation: %d simulated traces, %d events accepted (seed %d)\n", x.Traces, x.Events, x.Seed)
+		} else {
+			fmt.Fprintf(w, "  cross-validation: trace %d DIVERGED at t=%.3f ns on %s (seed %d)\n",
+				x.Divergence.TraceIndex, x.Divergence.Time, x.Divergence.Net, x.Seed)
+		}
+	}
+}
+
+func edge(v bool) string {
+	if v {
+		return "+"
+	}
+	return "-"
+}
+
+// WriteJSON renders the machine report.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

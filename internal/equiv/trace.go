@@ -1,0 +1,61 @@
+package equiv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one transition of a counterexample or simulated trace: the
+// design net and the value it moved to.
+type TraceEvent struct {
+	Net   string `json:"net"`
+	Value bool   `json:"value"`
+}
+
+// Trace is the dumpable counterexample format consumed by drequiv -replay:
+// the violated rule, the firing sequence from reset, and the enabling
+// marking of the final event. Seed records the randomization that found a
+// cross-validation divergence, when one did.
+type Trace struct {
+	Design  string          `json:"design"`
+	Rule    string          `json:"rule"`
+	Msg     string          `json:"msg"`
+	Events  []TraceEvent    `json:"events"`
+	Marking map[string]bool `json:"marking,omitempty"`
+	Gens    map[string]int  `json:"generations,omitempty"`
+	Seed    int64           `json:"seed,omitempty"`
+}
+
+// CounterexampleTrace packages a violation for dumping.
+func (r *Result) CounterexampleTrace() *Trace {
+	if r.Violation == nil {
+		return nil
+	}
+	v := r.Violation
+	return &Trace{
+		Design: r.Design, Rule: v.Rule, Msg: v.Msg,
+		Events: v.Events, Marking: v.Marking, Gens: v.Gens,
+	}
+}
+
+// WriteTrace writes the JSON trace.
+func WriteTrace(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrace parses a JSON trace and checks its minimal invariants.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("equiv: malformed trace: %w", err)
+	}
+	for i, e := range t.Events {
+		if e.Net == "" {
+			return nil, fmt.Errorf("equiv: trace event %d has no net", i)
+		}
+	}
+	return &t, nil
+}

@@ -1,0 +1,51 @@
+package sim
+
+// Randomized-trace support: deterministic, seedable delay randomization.
+// The desynchronized control network is speed independent, so its formal
+// model must accept the simulator's behaviour under any assignment of gate
+// delays; jittering per-instance delay factors from a seed is how the
+// equiv cross-validation explores different interleavings reproducibly.
+
+import (
+	"math/rand"
+
+	"desync/internal/netlist"
+)
+
+// JitterDelayFactors multiplies the DelayFactor of every instance accepted
+// by filter (all instances when nil) by a uniform factor in
+// [1-spread, 1+spread], drawn from a PRNG seeded with seed. The walk order
+// is the module's instance order, so the same seed always produces the
+// same factors. It returns how many instances were touched and a restore
+// function that puts the original factors back.
+func JitterDelayFactors(m *netlist.Module, seed int64, spread float64, filter func(*netlist.Inst) bool) (int, func()) {
+	if spread < 0 {
+		spread = 0
+	}
+	if spread > 0.9 {
+		spread = 0.9
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type save struct {
+		in *netlist.Inst
+		f  float64
+	}
+	var saved []save
+	for _, in := range m.Insts {
+		if filter != nil && !filter(in) {
+			continue
+		}
+		saved = append(saved, save{in, in.DelayFactor})
+		f := in.DelayFactor
+		if f == 0 {
+			f = 1
+		}
+		in.DelayFactor = f * (1 + spread*(2*rng.Float64()-1))
+	}
+	restore := func() {
+		for _, s := range saved {
+			s.in.DelayFactor = s.f
+		}
+	}
+	return len(saved), restore
+}

@@ -1,0 +1,290 @@
+package stg
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// liveProtocols returns the five protocols of the lattice that are both
+// live and flow-equivalent — the ones a correct flow may insert.
+func liveProtocols(t *testing.T) []*Protocol {
+	t.Helper()
+	var out []*Protocol
+	for i := range Protocols {
+		p := &Protocols[i]
+		if p.ExpectLive && p.ExpectFE {
+			out = append(out, p)
+		}
+	}
+	if len(out) != 5 {
+		t.Fatalf("expected 5 live flow-equivalent protocols, got %d", len(out))
+	}
+	return out
+}
+
+// ringCycles enumerates the simple directed cycles of the marked graph up
+// to maxLen arcs, deduplicated by arc set. Marked-graph theory says the
+// token count around every one of them is invariant under firing; the
+// property tests walk the ring randomly and hold the theorem to account.
+func ringCycles(g *Graph, maxLen int) [][]int {
+	g.freeze()
+	outArcs := make([][]int, len(g.Events))
+	for ai, a := range g.Arcs {
+		outArcs[a.From] = append(outArcs[a.From], ai)
+	}
+	seen := map[string]bool{}
+	var cycles [][]int
+	var path []int
+	onPath := make([]bool, len(g.Events))
+	var dfs func(start, at int)
+	dfs = func(start, at int) {
+		if len(path) > maxLen {
+			return
+		}
+		for _, ai := range outArcs[at] {
+			to := g.Arcs[ai].To
+			if to == start && len(path) > 0 {
+				cyc := append(append([]int(nil), path...), ai)
+				key := cycleKey(cyc)
+				if !seen[key] {
+					seen[key] = true
+					cycles = append(cycles, cyc)
+				}
+				continue
+			}
+			if onPath[to] || to < start {
+				continue // simple cycles only, rooted at their smallest event
+			}
+			onPath[to] = true
+			path = append(path, ai)
+			dfs(start, to)
+			path = path[:len(path)-1]
+			onPath[to] = false
+		}
+	}
+	for e := range g.Events {
+		onPath[e] = true
+		dfs(e, e)
+		onPath[e] = false
+	}
+	return cycles
+}
+
+func cycleKey(arcs []int) string {
+	s := append([]int(nil), arcs...)
+	sort.Ints(s)
+	return fmt.Sprint(s)
+}
+
+// TestShowThroughBoundsConcurrency pins the boundary the random walks
+// uncovered: under CheckRing's show-through data semantics the two most
+// concurrent protocols are flow-equivalent on the 2-register ring (the
+// lattice observable) but not beyond it — with three registers the slack
+// lets an upstream latch reopen and pass a newer datum through a chain of
+// transparent latches before the downstream capture lands. Semi-decoupled
+// — the protocol the flow actually inserts — stays flow-equivalent.
+func TestShowThroughBoundsConcurrency(t *testing.T) {
+	for name, wantFE := range map[string]bool{
+		"desynchronization": false,
+		"fully-decoupled":   false,
+		"semi-decoupled":    true,
+	} {
+		p, err := ProtocolByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := p.CheckRing(3, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rr.Live {
+			t.Errorf("%s ring(3): not live", name)
+		}
+		if rr.FlowEquiv != wantFE {
+			t.Errorf("%s ring(3): flow-equivalent = %v, want %v (violation %q)",
+				name, rr.FlowEquiv, wantFE, rr.Violation)
+		}
+	}
+}
+
+func tokenSum(m Marking, cyc []int) int {
+	sum := 0
+	for _, ai := range cyc {
+		sum += int(m[ai])
+	}
+	return sum
+}
+
+// TestRingCycleTokenInvariant random-walks 2..5-stage rings of every live
+// protocol and checks the marked-graph invariants at each step: the token
+// count around every directed cycle never changes, and no arc ever carries
+// more than the safe-net bound.
+func TestRingCycleTokenInvariant(t *testing.T) {
+	for _, p := range liveProtocols(t) {
+		for regs := 2; regs <= 5; regs++ {
+			t.Run(fmt.Sprintf("%s/regs=%d", p.Name, regs), func(t *testing.T) {
+				g, err := p.Ring(regs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cycles := ringCycles(g, 8)
+				if len(cycles) < 2*regs {
+					t.Fatalf("found only %d cycles (want at least one per latch phase pair)", len(cycles))
+				}
+				init := g.Initial()
+				want := make([]int, len(cycles))
+				for c, cyc := range cycles {
+					want[c] = tokenSum(init, cyc)
+				}
+				for seed := int64(0); seed < 3; seed++ {
+					rng := rand.New(rand.NewSource(seed))
+					m := g.Initial()
+					for step := 0; step < 400; step++ {
+						enabled := g.EnabledEvents(m)
+						if len(enabled) == 0 {
+							t.Fatalf("seed %d: walk deadlocked at step %d", seed, step)
+						}
+						m = g.Fire(m, enabled[rng.Intn(len(enabled))])
+						for _, tok := range m {
+							if tok > 4 {
+								t.Fatalf("seed %d step %d: arc exceeded the safe-net bound (%d tokens)", seed, step, tok)
+							}
+						}
+						for c, cyc := range cycles {
+							if got := tokenSum(m, cyc); got != want[c] {
+								t.Fatalf("seed %d step %d: cycle token count drifted %d -> %d", seed, step, want[c], got)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRingLiveness checks liveness of the 2..5-stage rings both ways:
+// structurally (strong connectivity with every cycle marked) for the live
+// protocols, and by exhaustive reachability for the over-constrained
+// protocol, which must deadlock at every ring size.
+func TestRingLiveness(t *testing.T) {
+	for _, p := range liveProtocols(t) {
+		for regs := 2; regs <= 5; regs++ {
+			g, err := p.Ring(regs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Live() {
+				t.Errorf("%s ring(%d): structural liveness check failed", p.Name, regs)
+			}
+		}
+	}
+	dead, err := ProtocolByName("over-constrained")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for regs := 2; regs <= 4; regs++ {
+		g, err := dead.Ring(regs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Live() {
+			t.Errorf("over-constrained ring(%d): structural check claims live", regs)
+		}
+		rr := g.Reachable(500_000)
+		if rr.Unbounded {
+			t.Fatalf("over-constrained ring(%d): state space exceeded the bound", regs)
+		}
+		if !rr.Deadlock {
+			t.Errorf("over-constrained ring(%d): no reachable deadlock in %d states", regs, rr.States)
+		}
+	}
+}
+
+// TestRingFlowEquivalenceWalk drives long seeded random walks through
+// 2..5-stage rings with the data semantics of CheckRing (opaque latches
+// hold, transparent latches show their upstream neighbour) and checks every
+// capture latches exactly the datum the synchronous schedule assigns to
+// that occurrence. Exhaustive checking stops at small rings; the walks
+// reach deep occurrences of the schedule on the larger ones.
+//
+// The two maximally concurrent protocols are excluded above 2 registers:
+// under show-through semantics their pairwise arc sets admit a datum racing
+// through a chain of simultaneously transparent latches once the ring is
+// long enough (TestShowThroughBoundsConcurrency pins that boundary), which
+// is why the flow inserts semi-decoupled controllers.
+func TestRingFlowEquivalenceWalk(t *testing.T) {
+	feOnLargeRings := map[string]bool{
+		"semi-decoupled": true, "simple": true, "non-overlapping": true,
+	}
+	for _, p := range liveProtocols(t) {
+		for regs := 2; regs <= 5; regs++ {
+			if regs > 2 && !feOnLargeRings[p.Name] {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/regs=%d", p.Name, regs), func(t *testing.T) {
+				g, err := p.Ring(regs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := 2 * regs
+				evLatch := make([]int, len(g.Events))
+				evPlus := make([]bool, len(g.Events))
+				for i, e := range g.Events {
+					if _, err := fmt.Sscanf(e.Signal, "L%d", &evLatch[i]); err != nil {
+						t.Fatalf("bad signal %q", e.Signal)
+					}
+					evPlus[i] = e.Plus
+				}
+				value := func(held []int, i int) int {
+					for hops := 0; hops <= n; hops++ {
+						if held[i] >= 0 {
+							return held[i]
+						}
+						i = (i - 1 + n) % n
+					}
+					return -1
+				}
+				for seed := int64(0); seed < 4; seed++ {
+					rng := rand.New(rand.NewSource(100 + seed))
+					m := g.Initial()
+					held := make([]int, n)
+					caps := make([]int, n)
+					for i := range held {
+						if i%2 == 0 {
+							held[i] = -1
+						} else {
+							held[i] = i / 2
+						}
+					}
+					for step := 0; step < 600; step++ {
+						enabled := g.EnabledEvents(m)
+						if len(enabled) == 0 {
+							t.Fatalf("seed %d: walk deadlocked at step %d", seed, step)
+						}
+						e := enabled[rng.Intn(len(enabled))]
+						m = g.Fire(m, e)
+						li := evLatch[e]
+						if evPlus[e] {
+							held[li] = -1
+							continue
+						}
+						v := value(held, li)
+						if v < 0 {
+							t.Fatalf("seed %d step %d: data race closing L%d", seed, step, li)
+						}
+						r := li / 2
+						expect := ((r-caps[li]-1)%regs + regs) % regs
+						if v != expect {
+							t.Fatalf("seed %d step %d: latch L%d capture #%d latched %d, schedule requires %d",
+								seed, step, li, caps[li]+1, v, expect)
+						}
+						held[li] = v
+						caps[li]++
+					}
+				}
+			})
+		}
+	}
+}
