@@ -32,6 +32,10 @@ equiv:
 
 check: lint equiv
 	$(GO) vet ./...
+	# Targeted race pass first: the ctrlnet derivation cache and the equiv
+	# model built on it are the shared-state hot spots; fail fast on them
+	# before the full-suite race run below.
+	$(GO) test -race ./internal/ctrlnet/ ./internal/equiv/
 	$(GO) test -race ./...
 	$(GO) test -run XXX -bench 'BenchmarkFaultCampaignSmoke|BenchmarkLintClean' -benchtime 1x .
 	$(GO) test -run XXX -bench BenchmarkEquivDLX -benchtime 1x ./internal/equiv/

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"desync/internal/core"
+	"desync/internal/ctrlnet"
 	"desync/internal/designs"
 	"desync/internal/netlist"
 	"desync/internal/stdcells"
@@ -71,6 +72,29 @@ func TestFallbackSingleRegion(t *testing.T) {
 	if d.Top.Net("G1_mri") == nil {
 		t.Fatal("fallback design has no region-1 handshake net")
 	}
+	// The degraded run still carries a derived control network whose
+	// insert-stage claim cross-checks clean, exactly like a first-try run.
+	assertCleanCtrlnet(t, res)
+	if res.Network.ControlNet(1, "mri") == nil {
+		t.Fatal("derived network does not resolve the region-1 master request")
+	}
+}
+
+// assertCleanCtrlnet checks a fallback-produced result against the same
+// claim/derivation contract the straight-through flow enforces: a network
+// was derived, the flow shipped with an empty diff, and re-running the diff
+// against the insert stage's claim stays empty.
+func assertCleanCtrlnet(t *testing.T, res *core.Result) {
+	t.Helper()
+	if res.Network == nil || res.Network.Empty() {
+		t.Fatal("result carries no derived control network")
+	}
+	if len(res.CtrlDiff) != 0 {
+		t.Fatalf("flow shipped with claim/derivation mismatches: %v", res.CtrlDiff)
+	}
+	if ds := ctrlnet.Diff(res.Insert.Claim, res.Network); len(ds) != 0 {
+		t.Fatalf("re-running the cross-check disagrees: %v", ds)
+	}
 }
 
 // TestMarginAutoBump: an under-margin sizing result triggers a margin bump
@@ -93,6 +117,9 @@ func TestMarginAutoBump(t *testing.T) {
 			t.Fatalf("missing final under-margin advisory, got %q", warnings.String())
 		}
 	}
+	// Under-margin delay elements degrade timing, not structure: the shipped
+	// network's claim/derivation diff is as clean as a full-margin run's.
+	assertCleanCtrlnet(t, res)
 }
 
 // TestNoDegradationOnCleanRun: a healthy design desynchronizes on the first

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"desync/internal/core"
+	"desync/internal/ctrlnet"
 	"desync/internal/equiv"
 	"desync/internal/netlist"
 )
@@ -15,12 +16,16 @@ import (
 // the outcome into the same lint-style findings the other gates use. A
 // disproved property fails the run with a StageEquiv flow error; the
 // counterexample trace is printed so the failure is actionable without
-// re-running drequiv.
-func equivGate(d *netlist.Design, o runOpts, stdout, stderr io.Writer) error {
+// re-running drequiv. The gate reuses the control-network IR the flow
+// derived at export instead of re-deriving its own.
+func equivGate(d *netlist.Design, cn *ctrlnet.Network, o runOpts, stdout, stderr io.Writer) error {
 	fail := func(err error) error {
 		return &core.FlowError{Stage: core.StageEquiv, Design: d.Top.Name, Detail: "formal verification gate", Err: err}
 	}
-	m, err := equiv.FromModule(d.Top)
+	if cn == nil || cn.Module != d.Top {
+		cn = ctrlnet.Derive(d.Top)
+	}
+	m, err := equiv.FromNetwork(d.Top, cn)
 	if err != nil {
 		return fail(err)
 	}

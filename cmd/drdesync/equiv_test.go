@@ -52,7 +52,7 @@ func TestEquivGateFailsBrokenNetwork(t *testing.T) {
 	f.Desync.Top.Disconnect(ai, "Z")
 
 	var out, errb bytes.Buffer
-	err = equivGate(f.Desync, runOpts{}, &out, &errb)
+	err = equivGate(f.Desync, nil, runOpts{}, &out, &errb)
 	if err == nil {
 		t.Fatal("equiv gate passed a deadlocking network")
 	}

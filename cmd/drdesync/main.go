@@ -151,13 +151,16 @@ func run(o runOpts) error {
 	}
 	fmt.Printf("controllers: %d, C-tree cells: %d, delay cells: %d\n",
 		res.Insert.Controllers, res.Insert.CTreeCells, res.Insert.DelayCells)
+	fmt.Printf("control network: %d regions derived, insert-claim cross-check clean\n",
+		len(res.Network.Regions))
 
 	// Post-export lint gate: the full DS-* family over the final design,
-	// cross-checked against the constraints the run itself generated. When
-	// the margin-bump loop gave up and shipped under margin with an
-	// advisory, the DS-MARGIN findings restate that advisory: demote them
-	// to warnings so the acknowledged degradation still exits 0.
-	rep := lint.Check(d.Top, lint.Options{Desync: true, Constraints: res.Constraints})
+	// cross-checked against the constraints the run itself generated and
+	// reusing the control-network IR the flow already derived. When the
+	// margin-bump loop gave up and shipped under margin with an advisory,
+	// the DS-MARGIN findings restate that advisory: demote them to warnings
+	// so the acknowledged degradation still exits 0.
+	rep := lint.Check(d.Top, lint.Options{Desync: true, Constraints: res.Constraints, Network: res.Network})
 	if len(res.UnderMargin) > 0 {
 		for i := range rep.Findings {
 			if rep.Findings[i].Rule == lint.RuleMargin {
@@ -170,7 +173,7 @@ func run(o runOpts) error {
 	}
 
 	if o.equivGate {
-		if err := equivGate(d, o, os.Stdout, os.Stderr); err != nil {
+		if err := equivGate(d, res.Network, o, os.Stdout, os.Stderr); err != nil {
 			return err
 		}
 	}

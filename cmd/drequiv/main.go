@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 
+	"desync/internal/ctrlnet"
 	"desync/internal/equiv"
 	"desync/internal/expt"
 	"desync/internal/netlist"
@@ -86,7 +87,10 @@ func equivRun(o equivOpts, stdout io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	m, err := equiv.FromModule(mod)
+	// One control-network derivation serves the whole run: the model
+	// extraction here, and (via the memoized cache) anything downstream
+	// that derives again on the same module.
+	m, err := equiv.FromNetwork(mod, ctrlnet.Derive(mod))
 	if err != nil {
 		return 0, err
 	}

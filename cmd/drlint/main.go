@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 
+	"desync/internal/ctrlnet"
 	"desync/internal/designs"
 	"desync/internal/lint"
 	"desync/internal/netlist"
@@ -104,6 +105,11 @@ func lintRun(o lintOpts, stdout io.Writer) (int, error) {
 		}
 		opts.Desync = true
 		opts.Constraints = cons
+	}
+	// Derive the control-network IR once for the whole run; the DS-* rules
+	// consume it instead of re-deriving per check.
+	if opts.Desync {
+		opts.Network = ctrlnet.Derive(d.Top)
 	}
 
 	rep := lint.CheckDesign(d, opts)

@@ -1,18 +1,25 @@
 // Command repolint enforces repository-level coding conventions that plain
 // `go vet` cannot express. It parses every non-test Go file under internal/
-// (no type checking, stdlib go/ast only) and applies three rules:
+// and cmd/ (no type checking, stdlib go/ast only) and applies four rules:
 //
-//	RL-PANIC  panic() is reserved for programmer-error guards in the small
-//	          audited set of constructor/builder helpers below. Any panic in
-//	          other non-test internal code must become an error return.
-//	RL-STAGE  Every flowErr(...) call in internal/core must name its stage
-//	          with a Stage* constant (or propagate an enclosing `stage`
-//	          parameter), so FlowError.Stage is always machine-matchable.
-//	RL-FLOW   In the flow driver (internal/core/desync.go), functions that
-//	          return an error must return nil, a propagated error variable,
-//	          or a flowErr(...) call — never a bare fmt.Errorf/errors.New.
-//	          This is what guarantees core.StageOf works on every failure
-//	          that escapes Desynchronize.
+//	RL-PANIC    panic() is reserved for programmer-error guards in the small
+//	            audited set of constructor/builder helpers below. Any panic in
+//	            other non-test internal code must become an error return.
+//	RL-STAGE    Every flowErr(...) call in internal/core must name its stage
+//	            with a Stage* constant (or propagate an enclosing `stage`
+//	            parameter), so FlowError.Stage is always machine-matchable.
+//	RL-FLOW     In the flow driver (internal/core/desync.go), functions that
+//	            return an error must return nil, a propagated error variable,
+//	            or a flowErr(...) call — never a bare fmt.Errorf/errors.New.
+//	            This is what guarantees core.StageOf works on every failure
+//	            that escapes Desynchronize.
+//	RL-CTRLNET  The G<id>_ control-net naming convention has one owner:
+//	            internal/ctrlnet. Outside it (and internal/handshake, which
+//	            defines the instance-name grammar ctrlnet wraps), no file may
+//	            build or parse those names by hand — neither "G%d_" format
+//	            strings nor direct handshake.ControlRegion calls. Go through
+//	            ctrlnet.Name/CtrlGate/Region instead, so a naming change stays
+//	            a one-package change.
 //
 // Exit status is 1 when any finding is produced, 2 on usage/parse errors.
 package main
@@ -76,23 +83,25 @@ func main() {
 // how many were produced.
 func run(root string, w io.Writer) (int, error) {
 	var files []string
-	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if d.Name() == "testdata" {
-				return filepath.SkipDir
+	for _, sub := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(filepath.Join(root, sub), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				files = append(files, path)
 			}
 			return nil
+		})
+		if err != nil {
+			return 0, err
 		}
-		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
-			files = append(files, path)
-		}
-		return nil
-	})
-	if err != nil {
-		return 0, err
 	}
 	sort.Strings(files)
 
@@ -121,6 +130,12 @@ func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
 	core := strings.HasPrefix(rel, "internal/core/")
 	driver := rel == "internal/core/desync.go"
 
+	// cmd/repolint is exempt: its finding messages name the forbidden pattern.
+	if !strings.HasPrefix(rel, "internal/ctrlnet/") && !strings.HasPrefix(rel, "internal/handshake/") &&
+		!strings.HasPrefix(rel, "cmd/repolint/") {
+		out = append(out, checkCtrlnetOwnership(fset, f)...)
+	}
+
 	for _, decl := range f.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if !ok || fn.Body == nil {
@@ -146,6 +161,32 @@ func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
 			out = append(out, checkFlowReturns(fset, fn.Type, fn.Body)...)
 		}
 	}
+	return out
+}
+
+// checkCtrlnetOwnership enforces RL-CTRLNET on one file that is not part of
+// the naming convention's owner packages: no "G%d_" format-string literal
+// (hand-building control-net names) and no handshake.ControlRegion call
+// (hand-parsing controller instance names). Both have ctrlnet equivalents.
+func checkCtrlnetOwnership(fset *token.FileSet, f *ast.File) []finding {
+	var out []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.STRING && strings.Contains(n.Value, "G%d_") {
+				out = append(out, finding{fset.Position(n.Pos()), "RL-CTRLNET",
+					"control-net names are built by internal/ctrlnet (Name, CtrlGate, ...), not by G%d_ format strings"})
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "handshake" && sel.Sel.Name == "ControlRegion" {
+					out = append(out, finding{fset.Position(n.Pos()), "RL-CTRLNET",
+						"controller instance names are parsed by ctrlnet.Region, not handshake.ControlRegion"})
+				}
+			}
+		}
+		return true
+	})
 	return out
 }
 

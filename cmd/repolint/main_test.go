@@ -100,6 +100,53 @@ func ecoMeasure() error { return fmt.Errorf("bare but legal here") }
 	}
 }
 
+func TestCtrlnetRuleFires(t *testing.T) {
+	src := `package faults
+import "fmt"
+func names(g int) []string {
+	n := fmt.Sprintf("G%d_%s", g, "mri")
+	r, _ := handshake.ControlRegion("G1_Mctrl/g")
+	_ = r
+	return []string{n}
+}
+`
+	got := check(t, "internal/faults/campaign.go", src)
+	var ctrl int
+	for _, r := range got {
+		if r == "RL-CTRLNET" {
+			ctrl++
+		}
+	}
+	if ctrl != 2 {
+		t.Fatalf("want 2 RL-CTRLNET findings (format string + ControlRegion call), got %v", got)
+	}
+}
+
+func TestCtrlnetRuleCoversCmd(t *testing.T) {
+	src := `package main
+func net(g int) string { return fmt.Sprintf("G%d_mri", g) }
+`
+	got := check(t, "cmd/drdesync/main.go", src)
+	if len(got) != 1 || got[0] != "RL-CTRLNET" {
+		t.Fatalf("want [RL-CTRLNET] for a G%%d_ literal under cmd/, got %v", got)
+	}
+}
+
+func TestCtrlnetRuleExemptsOwners(t *testing.T) {
+	src := `package ctrlnet
+func Name(g int, suffix string) string { return fmt.Sprintf("G%d_%s", g, suffix) }
+`
+	if got := check(t, "internal/ctrlnet/names.go", src); len(got) != 0 {
+		t.Fatalf("RL-CTRLNET fired inside its owner package: %v", got)
+	}
+	src2 := `package handshake
+func ControlRegion(name string) (int, bool) { _ = "G%d_"; return 0, false }
+`
+	if got := check(t, "internal/handshake/handshake.go", src2); len(got) != 0 {
+		t.Fatalf("RL-CTRLNET fired inside internal/handshake: %v", got)
+	}
+}
+
 // TestEquivPanicPolicy pins the formal engine to the no-panic policy: a
 // panic introduced anywhere in internal/equiv is flagged, because the
 // package has no allowlisted sites — and must not silently grow any, since

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"desync/internal/ctrlnet"
 	"desync/internal/netlist"
 	"desync/internal/sdc"
 	"desync/internal/sta"
@@ -62,6 +63,14 @@ type Result struct {
 	// is below 1.0). The flow still completes — the ablation studies sweep
 	// such margins deliberately — but cmd/drdesync warns and can auto-bump.
 	UnderMargin []int
+	// Network is the control-network IR derived from the exported netlist
+	// (ctrlnet.Derive); downstream consumers — lint's DS-* rules, the equiv
+	// model, fault campaigns — reuse it instead of re-deriving their own.
+	Network *ctrlnet.Network
+	// CtrlDiff lists disagreements between the insert stage's Claim and
+	// Network. Always empty on a successful flow: any mismatch is a flow
+	// error at the export stage.
+	CtrlDiff []ctrlnet.Mismatch
 }
 
 // Desynchronize converts the synchronous design in place: flatten, clean,
@@ -190,6 +199,20 @@ func Desynchronize(d *netlist.Design, opts Options) (*Result, error) {
 		return nil, flowErr(StageExport, name, "netlist checks",
 			fmt.Errorf("%v (and %d more)", errs[0], len(errs)-1))
 	}
+
+	// Cross-check what the insert stage claims it built against what the
+	// exported netlist structurally contains. The derivation is independent
+	// of flow state (names and pin connectivity only), so a disagreement
+	// means a stage corrupted the control network after insertion — a class
+	// of bug per-consumer re-derivation used to absorb silently.
+	res.Network = ctrlnet.Derive(d.Top)
+	res.CtrlDiff = ctrlnet.Diff(ins.Claim, res.Network)
+	if len(res.CtrlDiff) > 0 {
+		return nil, flowErr(StageExport, name, "control-network cross-check",
+			fmt.Errorf("netlist disagrees with the insert stage's claim: %v (and %d more)",
+				res.CtrlDiff[0], len(res.CtrlDiff)-1))
+	}
+
 	if err := validate(StageExport, false); err != nil {
 		return nil, err
 	}

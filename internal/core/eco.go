@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"desync/internal/ctrlnet"
 	"desync/internal/netlist"
 	"desync/internal/sta"
 )
@@ -50,8 +51,8 @@ func ECOCalibrate(d *netlist.Design, res *Result, margin float64, repair bool) (
 
 func ecoRegion(d *netlist.Design, res *Result, g int, margin float64, repair bool) (ECORow, bool, error) {
 	m := d.Top
-	ctl := m.Inst(fmt.Sprintf("G%d_Mctrl/g", g))
-	if ctl == nil || m.Inst(fmt.Sprintf("G%d_delem/a1", g)) == nil {
+	ctl := m.Inst(ctrlnet.CtrlGate(g, true, ctrlnet.GateG))
+	if ctl == nil || m.Inst(ctrlnet.ChainStage(ctrlnet.DelayPrefix(g), 1)) == nil {
 		return ECORow{}, false, nil // completion-detected or env region
 	}
 	row := ECORow{Region: g}
@@ -124,26 +125,26 @@ func ecoMeasure(d *netlist.Design, res *Result, g int, ctl *netlist.Inst) (elem,
 // input so the return-to-zero stays fast (Fig 2.9's structure).
 func spliceLevels(d *netlist.Design, g, levels int) error {
 	m := d.Top
-	mri := m.Net(fmt.Sprintf("G%d_mri", g))
+	mri := m.Net(ctrlnet.Name(g, "mri"))
 	if mri == nil || mri.Driver.Inst == nil {
 		return fmt.Errorf("core: region %d request net not found", g)
 	}
-	first := m.Inst(fmt.Sprintf("G%d_delem/a1", g))
+	first := m.Inst(ctrlnet.ChainStage(ctrlnet.DelayPrefix(g), 1))
 	if first == nil {
 		return fmt.Errorf("core: region %d delay element not found", g)
 	}
 	in := first.Conns["B"] // the element's primary input
 	drv := mri.Driver
 	m.Disconnect(drv.Inst, drv.Pin)
-	prev := m.AddNet(fmt.Sprintf("G%d_eco_in%d", g, len(m.Nets)))
+	prev := m.AddNet(ctrlnet.Name(g, fmt.Sprintf("eco_in%d", len(m.Nets))))
 	m.MustConnect(drv.Inst, drv.Pin, prev)
 	and := d.Lib.MustCell("AND2X1")
 	for i := 0; i < levels; i++ {
 		out := mri
 		if i != levels-1 {
-			out = m.AddNet(fmt.Sprintf("G%d_eco%d_%d", g, len(m.Nets), i))
+			out = m.AddNet(ctrlnet.Name(g, fmt.Sprintf("eco%d_%d", len(m.Nets), i)))
 		}
-		gate := m.AddInst(fmt.Sprintf("G%d_eco%d", g, len(m.Insts)), and)
+		gate := m.AddInst(ctrlnet.Name(g, fmt.Sprintf("eco%d", len(m.Insts))), and)
 		gate.Origin = "delem"
 		gate.SizeOnly = true
 		m.MustConnect(gate, "A", prev)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"desync/internal/ctrlnet"
 	"desync/internal/netlist"
 )
 
@@ -37,8 +38,8 @@ func SubstituteFlipFlops(d *netlist.Design) (*SubstituteResult, error) {
 			return e
 		}
 		e := EnableNets{
-			Master: m.EnsureNet(fmt.Sprintf("G%d_gm", grp)),
-			Slave:  m.EnsureNet(fmt.Sprintf("G%d_gs", grp)),
+			Master: m.EnsureNet(ctrlnet.Name(grp, "gm")),
+			Slave:  m.EnsureNet(ctrlnet.Name(grp, "gs")),
 		}
 		res.Enables[grp] = e
 		return e

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"desync/internal/cdet"
+	"desync/internal/ctrlnet"
 	"desync/internal/handshake"
 	"desync/internal/netlist"
 	"desync/internal/sdc"
@@ -82,6 +83,10 @@ type InsertResult struct {
 	// predecessors; EnvAcks lists input ports for regions without
 	// successors (the testbench handshakes these, §4.8).
 	EnvRequests, EnvAcks []string
+	// Claim is the insertion's own record of the control network it built,
+	// in the ctrlnet cross-check vocabulary: ctrlnet.Diff checks it against
+	// the independently derived ctrlnet.Network at the end of the flow.
+	Claim *ctrlnet.Claim
 }
 
 // InsertControlNetwork replaces the removed clock network with the latch
@@ -93,6 +98,18 @@ func InsertControlNetwork(d *netlist.Design, ddg *DDG, enables map[int]EnableNet
 	m := d.Top
 	lib := d.Lib
 	res := &InsertResult{Constraints: &sdc.Constraints{}}
+	claim := &ctrlnet.Claim{
+		Module:  m,
+		Regions: append([]int(nil), ddg.Nodes...),
+		Preds:   map[int][]int{}, Succs: map[int][]int{},
+		DelayLevels: map[int]int{}, MSLevels: map[int]int{},
+		Completion: map[int]bool{},
+	}
+	for _, g := range ddg.Nodes {
+		claim.Preds[g] = append([]int(nil), ddg.Preds[g]...)
+		claim.Succs[g] = append([]int(nil), ddg.Succs[g]...)
+	}
+	res.Claim = claim
 
 	// Reset port for the controllers.
 	const rstName = "rst_desync"
@@ -122,9 +139,9 @@ func InsertControlNetwork(d *netlist.Design, ddg *DDG, enables map[int]EnableNet
 	rn := map[int]*regionNets{}
 	for _, g := range ddg.Nodes {
 		rn[g] = &regionNets{
-			mri: net(fmt.Sprintf("G%d_mri", g)), mai: net(fmt.Sprintf("G%d_mai", g)),
-			mro: net(fmt.Sprintf("G%d_mro", g)), sri: net(fmt.Sprintf("G%d_sri", g)),
-			sai: net(fmt.Sprintf("G%d_sai", g)), sro: net(fmt.Sprintf("G%d_sro", g)),
+			mri: net(ctrlnet.Name(g, "mri")), mai: net(ctrlnet.Name(g, "mai")),
+			mro: net(ctrlnet.Name(g, "mro")), sri: net(ctrlnet.Name(g, "sri")),
+			sai: net(ctrlnet.Name(g, "sai")), sro: net(ctrlnet.Name(g, "sro")),
 		}
 	}
 	// Resolve each region's slave acknowledge source: the single
@@ -134,19 +151,19 @@ func InsertControlNetwork(d *netlist.Design, ddg *DDG, enables map[int]EnableNet
 	for _, g := range ddg.Nodes {
 		switch succs := ddg.Succs[g]; len(succs) {
 		case 0:
-			port := fmt.Sprintf("G%d_env_ao", g)
+			port := ctrlnet.EnvAckPort(g)
 			m.AddPort(port, netlist.In)
 			sao[g] = m.Net(port)
 			res.EnvAcks = append(res.EnvAcks, port)
 			// The environment watches the slave's request to know when the
 			// region's data is valid.
-			if err := exposeNet(m, lib, fmt.Sprintf("G%d_env_ro", g), rn[g].sro); err != nil {
+			if err := exposeNet(m, lib, ctrlnet.EnvReadyPort(g), rn[g].sro); err != nil {
 				return nil, err
 			}
 		case 1:
 			sao[g] = rn[succs[0]].mai
 		default:
-			sao[g] = net(fmt.Sprintf("G%d_sao", g))
+			sao[g] = net(ctrlnet.Name(g, "sao"))
 		}
 	}
 	for _, g := range ddg.Nodes {
@@ -155,8 +172,8 @@ func InsertControlNetwork(d *netlist.Design, ddg *DDG, enables map[int]EnableNet
 			return nil, fmt.Errorf("core: region %d has no enable nets; run substitution first", g)
 		}
 		r := rn[g]
-		mPrefix := fmt.Sprintf("G%d_Mctrl", g)
-		sPrefix := fmt.Sprintf("G%d_Sctrl", g)
+		mPrefix := ctrlnet.CtrlPrefix(g, true)
+		sPrefix := ctrlnet.CtrlPrefix(g, false)
 		if err := handshake.AddController(m, lib, mPrefix, true, handshake.ControllerPorts{
 			Ri: r.mri, Ai: r.mai, Ro: r.mro, Ao: r.sai, G: en.Master, Rst: rst,
 		}); err != nil {
@@ -173,11 +190,12 @@ func InsertControlNetwork(d *netlist.Design, ddg *DDG, enables map[int]EnableNet
 		// setup. This path is short, so intra-die mismatch is relatively
 		// large on it: size with extra margin.
 		msLevels := masterSlaveLevels(lib, opts.Margin+0.25)
-		if err := handshake.AddDelayElement(m, lib, fmt.Sprintf("G%d_deMS", g), r.mro, r.sri, rst, nil,
+		if err := handshake.AddDelayElement(m, lib, ctrlnet.MSDelayPrefix(g), r.mro, r.sri, rst, nil,
 			handshake.DelayElementSpec{Levels: msLevels}); err != nil {
 			return nil, err
 		}
 		res.DelayCells += msLevels + 1
+		claim.MSLevels[g] = msLevels
 		// Loop breaking and size-only constraints (§4.6).
 		for _, p := range []string{mPrefix, sPrefix} {
 			for _, a := range handshake.ControllerDisabledArcs(p) {
@@ -198,22 +216,22 @@ func InsertControlNetwork(d *netlist.Design, ddg *DDG, enables map[int]EnableNet
 		case 0:
 			// Environment provides the request and observes the acknowledge
 			// (the testbench handshake of §4.8).
-			port := fmt.Sprintf("G%d_env_ri", g)
+			port := ctrlnet.EnvRequestPort(g)
 			m.AddPort(port, netlist.In)
 			reqSrc = m.Net(port)
 			res.EnvRequests = append(res.EnvRequests, port)
-			if err := exposeNet(m, lib, fmt.Sprintf("G%d_env_ai", g), r.mai); err != nil {
+			if err := exposeNet(m, lib, ctrlnet.EnvReqAckPort(g), r.mai); err != nil {
 				return nil, err
 			}
 		case 1:
 			reqSrc = rn[preds[0]].sro
 		default:
-			join := net(fmt.Sprintf("G%d_reqjoin", g))
+			join := net(ctrlnet.Name(g, "reqjoin"))
 			var ins []*netlist.Net
 			for _, p := range preds {
 				ins = append(ins, rn[p].sro)
 			}
-			cells, err := handshake.AddCTree(m, lib, fmt.Sprintf("G%d_reqC", g), ins, join)
+			cells, err := handshake.AddCTree(m, lib, ctrlnet.CTreePrefix(g, true), ins, join)
 			if err != nil {
 				return nil, err
 			}
@@ -235,6 +253,7 @@ func InsertControlNetwork(d *netlist.Design, ddg *DDG, enables map[int]EnableNet
 				levels[g] = 1
 			}
 		}
+		claim.Completion[g] = completed
 		reqFrom := reqFromCdet
 		if !completed {
 			lv := levels[g]
@@ -247,17 +266,18 @@ func InsertControlNetwork(d *netlist.Design, ddg *DDG, enables map[int]EnableNet
 				spec = muxedSpec(lv, tapScales)
 				selNets = sel
 			}
-			if err := handshake.AddDelayElement(m, lib, fmt.Sprintf("G%d_delem", g), reqSrc, r.mri, rst, selNets, spec); err != nil {
+			if err := handshake.AddDelayElement(m, lib, ctrlnet.DelayPrefix(g), reqSrc, r.mri, rst, selNets, spec); err != nil {
 				return nil, err
 			}
 			res.DelayCells += spec.Levels
-			reqFrom = fmt.Sprintf("G%d_delem/a1/A", g)
+			claim.DelayLevels[g] = spec.Levels
+			reqFrom = ctrlnet.ChainStage(ctrlnet.DelayPrefix(g), 1) + "/A"
 		}
 		// Constrain the request path min/max so timing-driven P&R keeps the
 		// matched element matched (§4.6).
 		res.Constraints.PointDelays = append(res.Constraints.PointDelays, sdc.PointDelay{
 			From: reqFrom,
-			To:   fmt.Sprintf("G%d_Mctrl/g/B", g),
+			To:   ctrlnet.CtrlGate(g, true, ctrlnet.GateG) + "/B",
 			Min:  0,
 			Max:  opts.Period,
 		})
@@ -270,13 +290,15 @@ func InsertControlNetwork(d *netlist.Design, ddg *DDG, enables map[int]EnableNet
 			for _, s := range succs {
 				ins = append(ins, rn[s].mai)
 			}
-			cells, err := handshake.AddCTree(m, lib, fmt.Sprintf("G%d_ackC", g), ins, sao[g])
+			cells, err := handshake.AddCTree(m, lib, ctrlnet.CTreePrefix(g, false), ins, sao[g])
 			if err != nil {
 				return nil, err
 			}
 			res.CTreeCells += cells
 		}
 	}
+	claim.EnvRequests = append([]string(nil), res.EnvRequests...)
+	claim.EnvAcks = append([]string(nil), res.EnvAcks...)
 
 	// Size-only markers for every controller-network cell (§4.6.2), and
 	// region tags on them so region-aware placement can keep each
@@ -286,7 +308,7 @@ func InsertControlNetwork(d *netlist.Design, ddg *DDG, enables map[int]EnableNet
 			res.Constraints.SizeOnly = append(res.Constraints.SizeOnly, in.Name)
 		}
 		if in.Group < 0 {
-			if g, ok := regionOfName(in.Name); ok {
+			if g, ok := ctrlnet.Region(in.Name); ok {
 				in.Group = g
 			}
 		}
@@ -299,8 +321,8 @@ func InsertControlNetwork(d *netlist.Design, ddg *DDG, enables map[int]EnableNet
 	if opts.Period > 0 {
 		var mSrcs, sSrcs []string
 		for _, g := range ddg.Nodes {
-			mSrcs = append(mSrcs, fmt.Sprintf("G%d_Mctrl/g/Q", g))
-			sSrcs = append(sSrcs, fmt.Sprintf("G%d_Sctrl/g/Q", g))
+			mSrcs = append(mSrcs, ctrlnet.CtrlGate(g, true, ctrlnet.GateG)+"/Q")
+			sSrcs = append(sSrcs, ctrlnet.CtrlGate(g, false, ctrlnet.GateG)+"/Q")
 		}
 		p := opts.Period
 		res.Constraints.Clocks = append(res.Constraints.Clocks,
@@ -358,7 +380,7 @@ func insertCompletion(m *netlist.Module, lib *netlist.Library, g int,
 		return false, "", nil
 	}
 	sort.Slice(detect, func(i, j int) bool { return detect[i].Name < detect[j].Name })
-	r, err := cdet.AddCompletionNetwork(m, lib, fmt.Sprintf("G%d_cdet", g), cloud, detect, goNet, done, margin)
+	r, err := cdet.AddCompletionNetwork(m, lib, ctrlnet.CdetPrefix(g), cloud, detect, goNet, done, margin)
 	if err != nil {
 		return false, "", err
 	}
@@ -377,9 +399,6 @@ func exposeNet(m *netlist.Module, lib *netlist.Library, port string, src *netlis
 	}
 	return m.Connect(b, "Z", p.Net)
 }
-
-// regionOfName parses the "G<id>_" prefix the network insertion uses.
-func regionOfName(name string) (int, bool) { return handshake.ControlRegion(name) }
 
 // masterSlaveLevels sizes the master→slave request delay: the worst latch
 // enable-to-output plus the worst latch setup, over one AND level's rise.

@@ -1,0 +1,131 @@
+package ctrlnet
+
+import (
+	"fmt"
+	"sort"
+
+	"desync/internal/netlist"
+)
+
+// Claim is what the flow says it built: the insert stage emits one directly
+// from its own bookkeeping (the DDG it walked, the delay levels it sized,
+// the ports it punched). It deliberately shares no code with Derive — the
+// whole point of the cross-check is that the two views are produced
+// independently, one from flow state and one from netlist structure.
+type Claim struct {
+	Module  *netlist.Module
+	Regions []int // sorted
+
+	// Preds/Succs is the region dependency graph the flow derived before
+	// insertion (core.BuildDDG), restricted to inserted regions.
+	Preds, Succs map[int][]int
+
+	// DelayLevels is the sized matched-element stage count per region; zero
+	// for completion-detected regions (which have no matched element).
+	DelayLevels map[int]int
+
+	// MSLevels is the master→slave element stage count per region.
+	MSLevels map[int]int
+
+	// Completion marks regions the flow equipped with completion detection.
+	Completion map[int]bool
+
+	// EnvRequests/EnvAcks list the environment handshake input ports the
+	// flow exposed, in region order.
+	EnvRequests, EnvAcks []string
+}
+
+// Mismatch is one disagreement between a Claim and a derived Network.
+type Mismatch struct {
+	Region int // -1 when not specific to one region
+	What   string
+}
+
+func (mm Mismatch) String() string {
+	if mm.Region < 0 {
+		return mm.What
+	}
+	return fmt.Sprintf("G%d: %s", mm.Region, mm.What)
+}
+
+// Diff cross-checks the flow's claim against the netlist-derived network
+// and returns every disagreement, in deterministic order. An empty result
+// means the netlist structurally realizes exactly what the flow reported.
+func Diff(c *Claim, n *Network) []Mismatch {
+	var out []Mismatch
+	miss := func(g int, format string, args ...any) {
+		out = append(out, Mismatch{Region: g, What: fmt.Sprintf(format, args...)})
+	}
+
+	if !equalInts(c.Regions, n.Regions) {
+		miss(-1, "claimed regions %v, netlist has %v", c.Regions, n.Regions)
+		return out // per-region checks would only cascade noise
+	}
+
+	for _, g := range c.Regions {
+		if ctl := n.Controllers[g]; ctl == nil || !ctl.Complete() {
+			miss(g, "controller gate set incomplete in netlist")
+		}
+		if !equalInts(c.Succs[g], n.Succs[g]) {
+			miss(g, "claimed successors %v, derived %v", c.Succs[g], n.Succs[g])
+		}
+		if !equalInts(c.Preds[g], n.Preds[g]) {
+			miss(g, "claimed predecessors %v, derived %v", c.Preds[g], n.Preds[g])
+		}
+		if c.Completion[g] != n.Completion[g] {
+			miss(g, "claimed completion detection %v, derived %v", c.Completion[g], n.Completion[g])
+		}
+		if want, rd := c.DelayLevels[g], n.ReqDelays[g]; rd == nil {
+			if want != 0 {
+				miss(g, "claimed %d matched delay levels, netlist has no %s chain", want, DelayPrefix(g))
+			}
+		} else if rd.Levels != want {
+			miss(g, "claimed %d matched delay levels, derived %d", want, rd.Levels)
+		}
+		if want, ms := c.MSLevels[g], n.MSDelays[g]; ms == nil {
+			if want != 0 {
+				miss(g, "claimed %d master-slave delay levels, netlist has no %s chain", want, MSDelayPrefix(g))
+			}
+		} else if ms.Levels != want {
+			miss(g, "claimed %d master-slave delay levels, derived %d", want, ms.Levels)
+		}
+	}
+
+	if !equalStrs(c.EnvRequests, n.EnvRequests) {
+		miss(-1, "claimed environment request ports %v, derived %v", c.EnvRequests, n.EnvRequests)
+	}
+	if !equalStrs(c.EnvAcks, n.EnvAcks) {
+		miss(-1, "claimed environment ack ports %v, derived %v", c.EnvAcks, n.EnvAcks)
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := append([]int(nil), a...), append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := append([]string(nil), a...), append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

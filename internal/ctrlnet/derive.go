@@ -1,0 +1,403 @@
+package ctrlnet
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"desync/internal/handshake"
+	"desync/internal/netlist"
+	"desync/internal/sta"
+)
+
+// Derive returns the control-network IR of a module, rebuilding it from
+// netlist structure alone. Results are memoized against the module's
+// mutation counter: repeated calls between structural changes (the common
+// CLI pattern — flow, then lint, then equiv, then faults on one module)
+// share a single derivation.
+//
+// Derivation has one documented side effect, inherited from the lint engine
+// it replaces: on designs re-read from Verilog (where in-memory Group tags
+// are gone) each cleanly colored latch gets its recovered region stored
+// back into Inst.Group, so region-aware timing analyses keep working.
+func Derive(m *netlist.Module) *Network {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, e := range cache {
+		if e != nil && e.Module == m && e.seq == m.ModSeq() {
+			return e
+		}
+	}
+	n := derive(m)
+	cache[cacheNext] = n
+	cacheNext = (cacheNext + 1) % len(cache)
+	return n
+}
+
+// DeriveFresh derives the IR bypassing the memo — for benchmarks and tests
+// that measure or exercise the derivation itself.
+func DeriveFresh(m *netlist.Module) *Network {
+	mu.Lock()
+	defer mu.Unlock()
+	return derive(m)
+}
+
+// The memo is a small ring: flows touch one module at a time, tests a
+// handful, and a bounded ring cannot pin arbitrarily many dead modules the
+// way a grow-only map would. The mutex also serializes the derivation
+// itself (it writes the recovered Group tags).
+var (
+	mu        sync.Mutex
+	cache     [4]*Network
+	cacheNext int
+)
+
+// deriver carries the memoized cone walks of one derivation.
+type deriver struct {
+	m *netlist.Module
+	n *Network
+
+	enableMemo map[*netlist.Net][]Root
+	srcMemo    map[*netlist.Net]map[*netlist.Inst]bool
+}
+
+func derive(m *netlist.Module) *Network {
+	n := &Network{
+		Module:      m,
+		Controllers: map[int]*Controller{},
+		Channels:    map[int]*Channel{},
+		latchOf:     map[*netlist.Inst]*Latch{},
+		Preds:       map[int][]int{}, Succs: map[int][]int{},
+		ReqTrees: map[int]*CTree{}, AckTrees: map[int]*CTree{},
+		ReqDelays: map[int]*DelayChain{}, MSDelays: map[int]*DelayChain{},
+		Completion: map[int]bool{},
+		seq:        m.ModSeq(),
+	}
+	d := &deriver{
+		m: m, n: n,
+		enableMemo: map[*netlist.Net][]Root{},
+		srcMemo:    map[*netlist.Net]map[*netlist.Inst]bool{},
+	}
+
+	// Regions are discovered by their master enable gates; the instance
+	// names survive Verilog round trips. Flip-flops are collected for the
+	// DS-FF rule; completion networks mark their region.
+	regionSet := map[int]bool{}
+	for _, in := range m.Insts {
+		if in.Cell != nil && in.Cell.Kind == netlist.KindFF {
+			n.FFs = append(n.FFs, in)
+		}
+		g, ok := Region(in.Name)
+		if !ok {
+			continue
+		}
+		if in.Name == CtrlGate(g, true, GateG) && !regionSet[g] {
+			regionSet[g] = true
+			n.Regions = append(n.Regions, g)
+		}
+		if strings.HasPrefix(in.Name, CdetPrefix(g)) {
+			n.Completion[g] = true
+		}
+	}
+	sort.Ints(n.Regions)
+	if n.Empty() {
+		return n
+	}
+
+	for _, g := range n.Regions {
+		n.Controllers[g] = &Controller{
+			Region: g,
+			Master: d.gates(g, true),
+			Slave:  d.gates(g, false),
+		}
+		n.Channels[g] = &Channel{
+			MRI: m.Net(Name(g, "mri")), MAI: m.Net(Name(g, "mai")),
+			MRO: m.Net(Name(g, "mro")), SRI: m.Net(Name(g, "sri")),
+			SAI: m.Net(Name(g, "sai")), SRO: m.Net(Name(g, "sro")),
+		}
+		if t := d.ctree(CTreePrefix(g, true) + "/"); t != nil {
+			n.ReqTrees[g] = t
+		}
+		if t := d.ctree(CTreePrefix(g, false) + "/"); t != nil {
+			n.AckTrees[g] = t
+		}
+		if c := d.chain(DelayPrefix(g) + "/"); c != nil {
+			n.ReqDelays[g] = c
+		}
+		if c := d.chain(MSDelayPrefix(g) + "/"); c != nil {
+			n.MSDelays[g] = c
+		}
+		if p := m.Port(EnvRequestPort(g)); p != nil && p.Dir == netlist.In {
+			n.EnvRequests = append(n.EnvRequests, p.Name)
+		}
+		if p := m.Port(EnvAckPort(g)); p != nil && p.Dir == netlist.In {
+			n.EnvAcks = append(n.EnvAcks, p.Name)
+		}
+	}
+
+	d.colorLatches()
+	d.buildEdges()
+	return n
+}
+
+func (d *deriver) gates(g int, master bool) Gates {
+	return Gates{
+		G:  d.m.Inst(CtrlGate(g, master, GateG)),
+		RO: d.m.Inst(CtrlGate(g, master, GateRO)),
+		B:  d.m.Inst(CtrlGate(g, master, GateB)),
+		AI: d.m.Inst(CtrlGate(g, master, GateAI)),
+	}
+}
+
+// ctrlEnableRoot matches the controller latch-enable gates by name.
+func ctrlEnableRoot(name string) (Root, bool) {
+	g, ok := Region(name)
+	if !ok {
+		return Root{}, false
+	}
+	switch name {
+	case CtrlGate(g, true, GateG):
+		return Root{Region: g, Phase: Master}, true
+	case CtrlGate(g, false, GateG):
+		return Root{Region: g, Phase: Slave}, true
+	}
+	return Root{}, false
+}
+
+// enableRoots walks backwards from an enable net through combinational
+// gating (clock-gate ANDs, set ORs, inverters of Fig 3.1) and returns the
+// controller enable gates that feed it.
+func (d *deriver) enableRoots(n *netlist.Net, visiting map[*netlist.Net]bool) []Root {
+	if rs, ok := d.enableMemo[n]; ok {
+		return rs
+	}
+	if visiting[n] {
+		return nil
+	}
+	visiting[n] = true
+	defer delete(visiting, n)
+	var out []Root
+	drv := n.Driver.Inst
+	switch {
+	case drv == nil || drv.Cell == nil:
+		// port, tie-off through submodule, or floating: no root
+	default:
+		if rt, ok := ctrlEnableRoot(drv.Name); ok {
+			out = append(out, rt)
+			break
+		}
+		if drv.Cell.Kind != netlist.KindComb {
+			break
+		}
+		for pin, in := range drv.Conns {
+			if dir, ok := pinDirOf(drv, pin); ok && dir == netlist.In && in != nil {
+				out = append(out, d.enableRoots(in, visiting)...)
+			}
+		}
+	}
+	d.enableMemo[n] = out
+	return out
+}
+
+// colorLatches records every latch with its enable net and distinct
+// controller roots, and recovers Group tags for cleanly colored latches.
+func (d *deriver) colorLatches() {
+	for _, in := range d.m.Insts {
+		if in.Cell == nil || in.Cell.Kind != netlist.KindLatch {
+			continue
+		}
+		l := &Latch{Inst: in, Enable: in.Conns[in.Cell.Seq.ClockPin]}
+		if l.Enable != nil {
+			seen := map[Root]bool{}
+			for _, rt := range d.enableRoots(l.Enable, map[*netlist.Net]bool{}) {
+				if !seen[rt] {
+					seen[rt] = true
+					l.Roots = append(l.Roots, rt)
+				}
+			}
+		}
+		if l.Colored() && in.Group < 0 {
+			in.Group = l.Roots[0].Region
+		}
+		d.n.Latches = append(d.n.Latches, l)
+		d.n.latchOf[in] = l
+	}
+}
+
+// isControl reports whether an instance belongs to the control network —
+// by Origin tag for in-memory designs, by name for re-read ones.
+func isControl(in *netlist.Inst) bool {
+	if handshake.IsControlOrigin(in.Origin) {
+		return true
+	}
+	_, ok := Region(in.Name)
+	return ok
+}
+
+// netSources returns the sequential instances whose outputs reach net n
+// backwards through combinational datapath logic (memoized; cycles
+// terminate the walk).
+func (d *deriver) netSources(n *netlist.Net, visiting map[*netlist.Net]bool) map[*netlist.Inst]bool {
+	if s, ok := d.srcMemo[n]; ok {
+		return s
+	}
+	if visiting[n] {
+		return nil
+	}
+	visiting[n] = true
+	defer delete(visiting, n)
+	out := map[*netlist.Inst]bool{}
+	drv := n.Driver.Inst
+	if drv != nil && drv.Cell != nil {
+		switch {
+		case drv.Cell.Seq != nil:
+			out[drv] = true
+		case drv.Cell.Kind == netlist.KindComb && !isControl(drv):
+			for pin, in := range drv.Conns {
+				if dir, ok := pinDirOf(drv, pin); ok && dir == netlist.In && in != nil {
+					for s := range d.netSources(in, visiting) {
+						out[s] = true
+					}
+				}
+			}
+		}
+	}
+	d.srcMemo[n] = out
+	return out
+}
+
+// latchDataNets returns the data-input nets of a sequential instance, one
+// entry per connected data pin (shared nets repeat).
+func latchDataNets(in *netlist.Inst) []*netlist.Net {
+	var out []*netlist.Net
+	for _, p := range in.Cell.Pins {
+		if p.Dir == netlist.In && p.Class == netlist.ClassData {
+			if n := in.Conns[p.Name]; n != nil {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// buildEdges enumerates the latch-to-latch data reaches of the colored
+// latches and derives the region dependency graph from them. Direct
+// same-region hops (the internal master→slave connection and signal-history
+// chains) are not dependencies, matching core.BuildDDG;
+// combinationally-mediated self edges stay.
+func (d *deriver) buildEdges() {
+	n := d.n
+	graph := map[[2]int]bool{}
+	for _, l := range n.Latches {
+		if !l.Colored() {
+			continue
+		}
+		v := l.Region()
+		for _, net := range latchDataNets(l.Inst) {
+			srcSet := d.netSources(net, map[*netlist.Net]bool{})
+			srcs := make([]*netlist.Inst, 0, len(srcSet))
+			for s := range srcSet {
+				srcs = append(srcs, s)
+			}
+			sort.Slice(srcs, func(i, j int) bool { return srcs[i].Name < srcs[j].Name })
+			for _, src := range srcs {
+				e := DataEdge{Sink: l.Inst, Net: net, Src: src, Direct: net.Driver.Inst == src}
+				n.Edges = append(n.Edges, e)
+				if sl := n.latchOf[src]; sl != nil && sl.Colored() {
+					u := sl.Region()
+					if u == v && e.Direct {
+						continue // direct intra-region register hop
+					}
+					graph[[2]int{u, v}] = true
+				}
+			}
+		}
+	}
+	for e := range graph {
+		n.Succs[e[0]] = append(n.Succs[e[0]], e[1])
+		n.Preds[e[1]] = append(n.Preds[e[1]], e[0])
+	}
+	for _, l := range n.Succs {
+		sort.Ints(l)
+	}
+	for _, l := range n.Preds {
+		sort.Ints(l)
+	}
+}
+
+// ctree collects the C-element tree carrying the given instance prefix,
+// with its external input nets as sorted leaves; nil when no member exists.
+func (d *deriver) ctree(prefix string) *CTree {
+	internal := map[*netlist.Net]bool{}
+	var members []*netlist.Inst
+	for _, in := range d.m.Insts {
+		if !strings.HasPrefix(in.Name, prefix) || in.Cell == nil {
+			continue
+		}
+		members = append(members, in)
+		for pin, n := range in.Conns {
+			if dir, ok := pinDirOf(in, pin); ok && dir == netlist.Out && n != nil {
+				internal[n] = true
+			}
+		}
+	}
+	if len(members) == 0 {
+		return nil
+	}
+	leafSet := map[string]bool{}
+	for _, in := range members {
+		for pin, n := range in.Conns {
+			if dir, ok := pinDirOf(in, pin); ok && dir == netlist.In && n != nil && !internal[n] {
+				leafSet[n.Name] = true
+			}
+		}
+	}
+	t := &CTree{Prefix: prefix, Members: members}
+	for n := range leafSet {
+		t.Leaves = append(t.Leaves, n)
+	}
+	sort.Strings(t.Leaves)
+	return t
+}
+
+// chain walks a delay-element AND chain (prefix + "a1", "a2", ...) summing
+// the worst-corner rise delay with each gate's variability factor — the
+// same pricing sta.Build uses. For muxed elements this is the longest tap.
+// Returns nil when no stage exists.
+func (d *deriver) chain(prefix string) *DelayChain {
+	c := &DelayChain{Prefix: prefix}
+	for {
+		in := d.m.Inst(ChainStage(strings.TrimSuffix(prefix, "/"), c.Levels+1))
+		if in == nil || in.Cell == nil {
+			break
+		}
+		arc := in.Cell.Arc("A", "Z")
+		if arc == nil {
+			break
+		}
+		if c.First == nil {
+			c.First = in
+		}
+		c.Delay += arc.Rise.At(netlist.Worst) * sta.EffectiveFactor(in)
+		c.Levels++
+	}
+	if c.Levels == 0 {
+		return nil
+	}
+	return c
+}
+
+// pinDirOf resolves a connection's direction for cell and submodule
+// instances alike; ok is false for pins the instance does not declare.
+func pinDirOf(in *netlist.Inst, pin string) (netlist.PinDir, bool) {
+	if in.Cell != nil {
+		if pd := in.Cell.Pin(pin); pd != nil {
+			return pd.Dir, true
+		}
+		return netlist.In, false
+	}
+	if p := in.Sub.Port(pin); p != nil {
+		return p.Dir, true
+	}
+	return netlist.In, false
+}

@@ -1,0 +1,102 @@
+package ctrlnet
+
+import (
+	"fmt"
+	"strings"
+
+	"desync/internal/handshake"
+)
+
+// This file is the single owner of the flow's "G<id>_" naming convention.
+// Every name the control-network insertion creates — channel nets, controller
+// gates, delay-element chains, rendezvous trees, completion networks,
+// environment ports — is constructed and parsed here and nowhere else
+// (repolint rule RL-CTRLNET pins the invariant). The names survive Verilog
+// round trips, which is what lets Derive rebuild the IR from a re-read
+// netlist with no in-memory flow state.
+
+// Channel net suffixes, in the order the six-net channel is laid out:
+// master request/ack in, master request out, slave request/ack in, slave
+// request out.
+var ChannelSuffixes = []string{"mri", "mai", "mro", "sri", "sai", "sro"}
+
+// Controller gate names within one controller half, per
+// handshake.AddController: the latch-enable gC, the request-out gC, the
+// opened-bit, and the acknowledge AND.
+const (
+	GateG  = "g"
+	GateRO = "ro"
+	GateB  = "b"
+	GateAI = "ai"
+)
+
+// Region parses the "G<id>_" prefix off a control-network name. It is the
+// blessed accessor for the convention; handshake.ControlRegion is its
+// implementation and must not be called from other packages.
+func Region(name string) (int, bool) { return handshake.ControlRegion(name) }
+
+// Name builds the canonical "G<id>_<suffix>" control-network name: channel
+// nets (Name(g, "mri")), enable nets (Name(g, "gm")), rendezvous nets
+// (Name(g, "reqjoin"), Name(g, "sao")), environment ports
+// (Name(g, "env_ri")).
+func Name(g int, suffix string) string { return fmt.Sprintf("G%d_%s", g, suffix) }
+
+// CtrlPrefix returns the instance-name prefix of region g's master or slave
+// controller ("G<g>_Mctrl" / "G<g>_Sctrl").
+func CtrlPrefix(g int, master bool) string {
+	if master {
+		return Name(g, "Mctrl")
+	}
+	return Name(g, "Sctrl")
+}
+
+// CtrlGate returns the full instance name of one controller gate, e.g.
+// CtrlGate(3, true, GateG) == "G3_Mctrl/g".
+func CtrlGate(g int, master bool, gate string) string {
+	return CtrlPrefix(g, master) + "/" + gate
+}
+
+// DelayPrefix returns region g's matched request delay-element instance
+// prefix (without the trailing slash).
+func DelayPrefix(g int) string { return Name(g, "delem") }
+
+// MSDelayPrefix returns region g's master→slave delay-element prefix.
+func MSDelayPrefix(g int) string { return Name(g, "deMS") }
+
+// ChainStage returns the i-th AND stage (1-based) of a delay-element chain,
+// e.g. ChainStage(DelayPrefix(3), 1) == "G3_delem/a1".
+func ChainStage(prefix string, i int) string { return fmt.Sprintf("%s/a%d", prefix, i) }
+
+// CTreePrefix returns region g's request or acknowledge C-Muller rendezvous
+// tree instance prefix.
+func CTreePrefix(g int, req bool) string {
+	if req {
+		return Name(g, "reqC")
+	}
+	return Name(g, "ackC")
+}
+
+// CdetPrefix returns region g's dual-rail completion-network prefix.
+func CdetPrefix(g int) string { return Name(g, "cdet") }
+
+// Environment handshake port names for boundary regions (§4.8): a region
+// with no predecessors receives requests on env_ri and publishes its
+// acknowledge on env_ai; a region with no successors receives acknowledges
+// on env_ao and publishes its request on env_ro.
+func EnvRequestPort(g int) string { return Name(g, "env_ri") }
+func EnvReqAckPort(g int) string  { return Name(g, "env_ai") }
+func EnvAckPort(g int) string     { return Name(g, "env_ao") }
+func EnvReadyPort(g int) string   { return Name(g, "env_ro") }
+
+// IsEnvRequestNet classifies a port-driven net as a request input of region
+// g: the flow's exact env_ri name, or (for mutated/foreign netlists that
+// keep the suffix) any _env_ri-suffixed name.
+func IsEnvRequestNet(name string, g int) bool {
+	return name == EnvRequestPort(g) || strings.HasSuffix(name, "_env_ri")
+}
+
+// IsDelayInstName reports whether an instance name places it inside a
+// matched or master→slave delay-element chain.
+func IsDelayInstName(name string) bool {
+	return strings.Contains(name, "_delem/") || strings.Contains(name, "_deMS/")
+}

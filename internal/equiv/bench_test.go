@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"desync/internal/ctrlnet"
 	"desync/internal/expt"
 )
 
@@ -45,4 +46,35 @@ func BenchmarkEquivDLX(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(dlxStates), "markings")
+}
+
+// BenchmarkModelFromFreshDerive vs BenchmarkModelFromSharedNetwork price
+// what the derive-once refactor buys: extraction on top of a private
+// re-derivation of the control network versus extraction reusing the IR the
+// rest of the run already holds.
+func BenchmarkModelFromFreshDerive(b *testing.B) {
+	f, err := expt.RunDLXFlow(expt.FlowConfig{})
+	if err != nil {
+		b.Fatalf("DLX flow: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromNetwork(f.Desync.Top, ctrlnet.DeriveFresh(f.Desync.Top)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelFromSharedNetwork(b *testing.B) {
+	f, err := expt.RunDLXFlow(expt.FlowConfig{})
+	if err != nil {
+		b.Fatalf("DLX flow: %v", err)
+	}
+	cn := ctrlnet.Derive(f.Desync.Top)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromNetwork(f.Desync.Top, cn); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

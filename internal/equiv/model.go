@@ -27,11 +27,10 @@ package equiv
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
 	"strings"
 
 	"desync/internal/cdet"
+	"desync/internal/ctrlnet"
 	"desync/internal/lint"
 	"desync/internal/netlist"
 )
@@ -175,10 +174,22 @@ type extractor struct {
 }
 
 // FromModule extracts the controller-network model from a desynchronized
-// module. It fails when the module has no controller regions or uses
-// completion detection (whose request timing lives in the dual-rail
-// datapath, outside this model — see DESIGN.md §10).
+// module, deriving (or reusing, via the ctrlnet memo) the control-network
+// IR first. Callers that already hold the IR use FromNetwork directly.
 func FromModule(mod *netlist.Module) (*Model, error) {
+	return FromNetwork(mod, ctrlnet.Derive(mod))
+}
+
+// FromNetwork extracts the controller-network model on top of an
+// already-derived control-network IR. It fails when the module has no
+// controller regions or uses completion detection (whose request timing
+// lives in the dual-rail datapath, outside this model — see DESIGN.md §10).
+//
+// The IR supplies the region list and the controller gate instances; every
+// operand is still resolved from pin connectivity, not from net names, so
+// the known-bad fixtures (rewired acks, swapped reset phases, degenerate
+// C-trees) are modelled faithfully as built.
+func FromNetwork(mod *netlist.Module, cn *ctrlnet.Network) (*Model, error) {
 	if cdet.Used(mod) {
 		return nil, fmt.Errorf("equiv: %s uses dual-rail completion detection; the marking model covers matched-delay controllers only", mod.Name)
 	}
@@ -194,30 +205,24 @@ func FromModule(mod *netlist.Module) (*Model, error) {
 	}
 	x := &extractor{m: m, mod: mod, net: map[*netlist.Net]int{}}
 
-	// Pass 1: discover regions by their master enable gates and create a
-	// signal for every controller gate output that exists. The reset phase
-	// is read from the actual cell (CGMX1 resets transparent, CGSX1
-	// opaque), so a swapped-phase netlist is modelled as built, not as
-	// intended.
-	for _, in := range mod.Insts {
-		g, ok := regionOfInst(in.Name, "_Mctrl/g")
-		if !ok {
-			continue
-		}
-		m.Regions = append(m.Regions, g)
-	}
-	sort.Ints(m.Regions)
+	// Pass 1: create a signal for every controller gate output that exists.
+	// The reset phase is read from the actual cell (CGMX1 resets
+	// transparent, CGSX1 opaque), so a swapped-phase netlist is modelled as
+	// built, not as intended.
+	m.Regions = append(m.Regions, cn.Regions...)
 	if len(m.Regions) == 0 {
 		return nil, fmt.Errorf("equiv: %s has no latch controllers (not a desynchronized design)", mod.Name)
 	}
 	for _, g := range m.Regions {
-		for _, side := range []string{"M", "S"} {
-			master := side == "M"
-			pre := fmt.Sprintf("G%d_%sctrl/", g, side)
-			x.gateSignal(pre+"g", "Q", kindG, g, master)
-			x.gateSignal(pre+"ro", "Q", kindRO, g, master)
-			x.gateSignal(pre+"b", "Q", kindB, g, master)
-			x.gateSignal(pre+"ai", "Z", kindAI, g, master)
+		for _, master := range []bool{true, false} {
+			gs := cn.Controllers[g].Master
+			if !master {
+				gs = cn.Controllers[g].Slave
+			}
+			x.gateSignal(gs.G, ctrlnet.CtrlGate(g, master, ctrlnet.GateG), "Q", kindG, g, master, gs.G)
+			x.gateSignal(gs.RO, ctrlnet.CtrlGate(g, master, ctrlnet.GateRO), "Q", kindRO, g, master, gs.G)
+			x.gateSignal(gs.B, ctrlnet.CtrlGate(g, master, ctrlnet.GateB), "Q", kindB, g, master, gs.G)
+			x.gateSignal(gs.AI, ctrlnet.CtrlGate(g, master, ctrlnet.GateAI), "Z", kindAI, g, master, gs.G)
 		}
 	}
 
@@ -226,8 +231,8 @@ func FromModule(mod *netlist.Module) (*Model, error) {
 	// into atomic joins. Initial values follow from the reset network:
 	// requests, acknowledges and joins all reset low.
 	for _, g := range m.Regions {
-		x.wireController(g, true)
-		x.wireController(g, false)
+		x.wireController(g, true, cn.Controllers[g].Master)
+		x.wireController(g, false, cn.Controllers[g].Slave)
 	}
 
 	// Pass 3: derive the generation topology — which productions feed each
@@ -248,12 +253,13 @@ func FromModule(mod *netlist.Module) (*Model, error) {
 // gateSignal registers the output net of one controller gate as a model
 // signal; a missing gate (or one with a dangling output) is recorded so
 // later operand resolution falls back to a stuck value with a finding.
-func (x *extractor) gateSignal(inst, outPin string, kind sigKind, region int, master bool) {
+// gGate is the same controller half's latch-enable gate, whose cell decides
+// the reset phase.
+func (x *extractor) gateSignal(in *netlist.Inst, name, outPin string, kind sigKind, region int, master bool, gGate *netlist.Inst) {
 	idxMap := x.m.gateIndex(kind, master)
-	in := x.mod.Inst(inst)
 	if in == nil || in.Conns[outPin] == nil {
 		idxMap[region] = -1
-		x.m.addFinding(lint.Warning, "", fmt.Sprintf("controller gate %s missing; its output is modelled stuck low", inst))
+		x.m.addFinding(lint.Warning, "", fmt.Sprintf("controller gate %s missing; its output is modelled stuck low", name))
 		return
 	}
 	n := in.Conns[outPin]
@@ -263,12 +269,8 @@ func (x *extractor) gateSignal(inst, outPin string, kind sigKind, region int, ma
 		// reset pin and settles to its g's reset value. Reading the cell
 		// here (rather than trusting the M/S prefix) is what makes the
 		// swapped-phase fixture observable.
-		gi := x.mod.Inst(strings.TrimSuffix(inst, "/b") + "/g")
-		if kind == kindG {
-			gi = in
-		}
-		if gi != nil && gi.Cell != nil {
-			init = gi.Cell.Name == "CGMX1"
+		if gGate != nil && gGate.Cell != nil {
+			init = gGate.Cell.Name == "CGMX1"
 		}
 	}
 	s := signal{name: n.Name, kind: kind, region: region, master: master, init: init}
@@ -307,15 +309,9 @@ func (m *Model) gateIndex(kind sigKind, master bool) map[int]int {
 
 // wireController resolves the input operands of the four gates of one
 // controller half from their pin connections.
-func (x *extractor) wireController(g int, master bool) {
+func (x *extractor) wireController(g int, master bool, gs ctrlnet.Gates) {
 	m := x.m
-	side := "S"
-	if master {
-		side = "M"
-	}
-	pre := fmt.Sprintf("G%d_%sctrl/", g, side)
-	get := func(inst, pin string) operand {
-		in := x.mod.Inst(inst)
+	get := func(in *netlist.Inst, pin string) operand {
 		if in == nil {
 			return operand{sig: -1}
 		}
@@ -329,10 +325,10 @@ func (x *extractor) wireController(g int, master bool) {
 	}
 	// Pin roles per handshake.AddController: g{A:ao B:ri}, ro{A:g B:ao},
 	// b{A:g B:ri}, ai{A:ri B:g C:b}.
-	set(m.gateIndex(kindG, master)[g], get(pre+"g", "A"), get(pre+"g", "B"), operand{sig: -1})
-	set(m.gateIndex(kindRO, master)[g], get(pre+"ro", "A"), get(pre+"ro", "B"), operand{sig: -1})
-	set(m.gateIndex(kindB, master)[g], get(pre+"b", "A"), get(pre+"b", "B"), operand{sig: -1})
-	set(m.gateIndex(kindAI, master)[g], get(pre+"ai", "A"), get(pre+"ai", "B"), get(pre+"ai", "C"))
+	set(m.gateIndex(kindG, master)[g], get(gs.G, "A"), get(gs.G, "B"), operand{sig: -1})
+	set(m.gateIndex(kindRO, master)[g], get(gs.RO, "A"), get(gs.RO, "B"), operand{sig: -1})
+	set(m.gateIndex(kindB, master)[g], get(gs.B, "A"), get(gs.B, "B"), operand{sig: -1})
+	set(m.gateIndex(kindAI, master)[g], get(gs.AI, "A"), get(gs.AI, "B"), get(gs.AI, "C"))
 }
 
 const maxResolveDepth = 64
@@ -377,7 +373,7 @@ func (x *extractor) resolve(n *netlist.Net, region int, master bool, depth int) 
 		}
 		m.addFinding(lint.Warning, n.Name, fmt.Sprintf("region %d: tied-off source modelled stuck %v", region, v))
 		return operand{sig: -1, stuck: v}
-	case strings.Contains(in.Name, "_delem/") || strings.Contains(in.Name, "_deMS/"):
+	case ctrlnet.IsDelayInstName(in.Name):
 		return x.delaySignal(n, region, master, depth)
 	case in.Cell.Kind == netlist.KindCElem:
 		return x.joinSignal(n, region, master, depth)
@@ -410,8 +406,7 @@ func (x *extractor) delaySignal(n *netlist.Net, region int, master bool, depth i
 	src := n
 	for i := 0; i < maxResolveDepth; i++ {
 		in := src.Driver.Inst
-		if in == nil || in.Cell == nil ||
-			!(strings.Contains(in.Name, "_delem/") || strings.Contains(in.Name, "_deMS/")) {
+		if in == nil || in.Cell == nil || !ctrlnet.IsDelayInstName(in.Name) {
 			break
 		}
 		src = delayInput(in)
@@ -467,9 +462,10 @@ func (x *extractor) envSignal(n *netlist.Net, region int, master bool) operand {
 
 // onRequestPath classifies an environment port: request inputs follow the
 // flow's G<id>_env_ri naming; anything else acting as a port-driven channel
-// is an acknowledge. The fallback keeps mutated netlists modellable.
+// is an acknowledge. The suffix fallback inside IsEnvRequestNet keeps
+// mutated netlists modellable.
 func onRequestPath(n *netlist.Net, region int) bool {
-	return n.Name == fmt.Sprintf("G%d_env_ri", region) || strings.HasSuffix(n.Name, "_env_ri")
+	return ctrlnet.IsEnvRequestNet(n.Name, region)
 }
 
 // joinSignal collapses the maximal C-element tree driving n into one atomic
@@ -605,16 +601,4 @@ func (m *Model) layoutCounters() {
 		}
 	}
 	m.nCtr = n
-}
-
-// regionOfInst parses "G<id><suffix>" instance names.
-func regionOfInst(name, suffix string) (int, bool) {
-	if !strings.HasPrefix(name, "G") || !strings.HasSuffix(name, suffix) {
-		return 0, false
-	}
-	id, err := strconv.Atoi(name[1 : len(name)-len(suffix)])
-	if err != nil {
-		return 0, false
-	}
-	return id, true
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"desync/internal/ctrlnet"
 	"desync/internal/netlist"
 	"desync/internal/ssta"
 	"desync/internal/sta"
@@ -56,7 +57,7 @@ func SSTAMatching(f *DLXFlow) ([]MatchRow, error) {
 
 	var rows []MatchRow
 	for _, g := range f.Result.DDG.Nodes {
-		ctl := m.Inst(fmt.Sprintf("G%d_Mctrl/g", g))
+		ctl := m.Inst(ctrlnet.CtrlGate(g, true, ctrlnet.GateG))
 		if ctl == nil {
 			continue
 		}

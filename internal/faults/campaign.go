@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"desync/internal/ctrlnet"
 	"desync/internal/logic"
 	"desync/internal/netlist"
 	"desync/internal/sim"
@@ -50,6 +51,7 @@ type Campaign struct {
 	// golden capture cadence; delay-fault factors are scaled against it.
 	effPeriod float64
 
+	cn        *ctrlnet.Network
 	handshake []string
 	regions   []int
 }
@@ -72,26 +74,16 @@ func NewCampaign(m *netlist.Module, cfg Config) (*Campaign, error) {
 	if cfg.MaxEventsFactor == 0 {
 		cfg.MaxEventsFactor = 4
 	}
-	c := &Campaign{M: m, cfg: cfg}
+	c := &Campaign{M: m, cfg: cfg, cn: ctrlnet.Derive(m)}
 
-	groups := map[int]bool{}
-	for _, in := range m.Insts {
-		if in.Group > 0 {
-			groups[in.Group] = true
-		}
-	}
-	for g := range groups {
-		c.regions = append(c.regions, g)
-	}
-	sort.Ints(c.regions)
-	if len(c.regions) == 0 {
+	if c.cn.Empty() {
 		return nil, fmt.Errorf("faults: module %s has no desynchronized regions", m.Name)
 	}
+	c.regions = append(c.regions, c.cn.Regions...)
 	for _, g := range c.regions {
 		for _, suffix := range []string{"mri", "sri"} {
-			name := fmt.Sprintf("G%d_%s", g, suffix)
-			if m.Net(name) != nil {
-				c.handshake = append(c.handshake, name)
+			if n := c.cn.ControlNet(g, suffix); n != nil {
+				c.handshake = append(c.handshake, n.Name)
 			}
 		}
 	}
@@ -391,12 +383,12 @@ func (c *Campaign) ControlStuckFaults(suffixes ...string) []Fault {
 	var out []Fault
 	for _, g := range c.regions {
 		for _, suffix := range suffixes {
-			name := fmt.Sprintf("G%d_%s", g, suffix)
-			if c.M.Net(name) == nil {
+			n := c.cn.ControlNet(g, suffix)
+			if n == nil {
 				continue
 			}
 			for _, v := range []logic.V{logic.L, logic.H} {
-				out = append(out, Fault{Class: ClassStuckAt, Net: name, Value: v})
+				out = append(out, Fault{Class: ClassStuckAt, Net: n.Name, Value: v})
 			}
 		}
 	}
@@ -415,12 +407,12 @@ func (c *Campaign) GlitchFaults(at, width float64, suffixes ...string) []Fault {
 	var out []Fault
 	for _, g := range c.regions {
 		for _, suffix := range suffixes {
-			name := fmt.Sprintf("G%d_%s", g, suffix)
-			if c.M.Net(name) == nil {
+			n := c.cn.ControlNet(g, suffix)
+			if n == nil {
 				continue
 			}
 			for _, v := range []logic.V{logic.L, logic.H} {
-				out = append(out, Fault{Class: ClassGlitch, Net: name, Value: v, At: at, Width: width})
+				out = append(out, Fault{Class: ClassGlitch, Net: n.Name, Value: v, At: at, Width: width})
 			}
 		}
 	}

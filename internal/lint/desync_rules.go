@@ -6,70 +6,38 @@ import (
 	"sort"
 	"strings"
 
+	"desync/internal/ctrlnet"
 	"desync/internal/handshake"
 	"desync/internal/netlist"
 	"desync/internal/sta"
 )
 
-// Latch phases of the master/slave substitution.
-const (
-	phaseMaster = iota
-	phaseSlave
-)
-
-func phaseName(p int) string {
-	if p == phaseMaster {
-		return "master"
-	}
-	return "slave"
-}
-
-// root is one controller latch-enable gate reachable backwards from a latch
-// enable net.
-type root struct {
-	region int
-	phase  int
-}
-
-// dsChecker carries the state the DS-* rules share: the latch coloring, the
-// derived region graph, and memoized cone walks.
+// dsChecker carries the state the DS-* rules share: the derived
+// control-network IR and the report under construction. The structural
+// derivation itself — latch coloring, region graph, rendezvous trees,
+// delay-chain arrivals — lives in internal/ctrlnet; the rules here only
+// judge it.
 type dsChecker struct {
-	r *Report
-	m *netlist.Module
-
-	regions   []int // sorted region ids, from controller instance names
-	regionSet map[int]bool
-
-	latchPhase  map[*netlist.Inst]int
-	latchRegion map[*netlist.Inst]int
-
-	enableMemo map[*netlist.Net][]root
-	srcMemo    map[*netlist.Net]map[*netlist.Inst]bool
-
-	preds, succs map[int][]int
+	r  *Report
+	m  *netlist.Module
+	cn *ctrlnet.Network
 }
 
 // checkDesync runs the DS-* family over one post-flow module.
 func (r *Report) checkDesync(m *netlist.Module, opts Options) {
-	c := &dsChecker{
-		r: r, m: m,
-		regionSet:   map[int]bool{},
-		latchPhase:  map[*netlist.Inst]int{},
-		latchRegion: map[*netlist.Inst]int{},
-		enableMemo:  map[*netlist.Net][]root{},
-		srcMemo:     map[*netlist.Net]map[*netlist.Inst]bool{},
-		preds:       map[int][]int{}, succs: map[int][]int{},
+	cn := opts.Network
+	if cn == nil || cn.Module != m {
+		cn = ctrlnet.Derive(m)
 	}
+	c := &dsChecker{r: r, m: m, cn: cn}
 	c.checkFFs()
-	c.discoverRegions()
-	if len(c.regions) == 0 {
+	if cn.Empty() {
 		r.addf(RulePair, Error, m.Name, "", "",
 			"no controller network found (no G<id>_Mctrl instances); the design is not desynchronized")
 		return
 	}
-	c.colorLatches()
+	c.checkEnables()
 	c.checkPhases()
-	c.buildRegionGraph()
 	c.checkChannels()
 	c.checkCElems()
 	c.checkTiming(opts)
@@ -77,163 +45,34 @@ func (r *Report) checkDesync(m *netlist.Module, opts Options) {
 
 // checkFFs: after substitution no flip-flop may remain (DS-FF).
 func (c *dsChecker) checkFFs() {
-	for _, in := range c.m.Insts {
-		if in.Cell != nil && in.Cell.Kind == netlist.KindFF {
-			c.r.addf(RuleFF, Error, c.m.Name, in.Name, "",
-				fmt.Sprintf("flip-flop %s survived master/slave substitution", in.CellName()))
-		}
+	for _, in := range c.cn.FFs {
+		c.r.addf(RuleFF, Error, c.m.Name, in.Name, "",
+			fmt.Sprintf("flip-flop %s survived master/slave substitution", in.CellName()))
 	}
 }
 
-// discoverRegions reads the region ids off the controller instance names,
-// which survive Verilog round trips.
-func (c *dsChecker) discoverRegions() {
-	for _, in := range c.m.Insts {
-		g, ok := handshake.ControlRegion(in.Name)
-		if ok && in.Name == fmt.Sprintf("G%d_Mctrl/g", g) && !c.regionSet[g] {
-			c.regionSet[g] = true
-			c.regions = append(c.regions, g)
-		}
-	}
-	sort.Ints(c.regions)
-}
-
-// ctrlEnableRoot matches the controller latch-enable gates by name.
-func ctrlEnableRoot(name string) (root, bool) {
-	g, ok := handshake.ControlRegion(name)
-	if !ok {
-		return root{}, false
-	}
-	switch name {
-	case fmt.Sprintf("G%d_Mctrl/g", g):
-		return root{region: g, phase: phaseMaster}, true
-	case fmt.Sprintf("G%d_Sctrl/g", g):
-		return root{region: g, phase: phaseSlave}, true
-	}
-	return root{}, false
-}
-
-// enableRoots walks backwards from an enable net through combinational
-// gating (clock-gate ANDs, set ORs, inverters of Fig 3.1) and returns the
-// controller enable gates that feed it.
-func (c *dsChecker) enableRoots(n *netlist.Net, visiting map[*netlist.Net]bool) []root {
-	if rs, ok := c.enableMemo[n]; ok {
-		return rs
-	}
-	if visiting[n] {
-		return nil
-	}
-	visiting[n] = true
-	defer delete(visiting, n)
-	var out []root
-	drv := n.Driver.Inst
-	switch {
-	case drv == nil || drv.Cell == nil:
-		// port, tie-off through submodule, or floating: no root
-	default:
-		if rt, ok := ctrlEnableRoot(drv.Name); ok {
-			out = append(out, rt)
-			break
-		}
-		if drv.Cell.Kind != netlist.KindComb {
-			break
-		}
-		for pin, in := range drv.Conns {
-			if dir, ok := pinDirOf(drv, pin); ok && dir == netlist.In && in != nil {
-				out = append(out, c.enableRoots(in, visiting)...)
-			}
-		}
-	}
-	c.enableMemo[n] = out
-	return out
-}
-
-// colorLatches assigns every latch its phase and region from its enable
-// root (DS-ENABLE). On designs re-read from Verilog — where in-memory Group
-// tags are gone — the recovered region is stored back on the latch so the
-// timing rules can attribute budgets per region.
-func (c *dsChecker) colorLatches() {
-	for _, in := range c.m.Insts {
-		if in.Cell == nil || in.Cell.Kind != netlist.KindLatch {
-			continue
-		}
-		en := in.Conns[in.Cell.Seq.ClockPin]
-		if en == nil {
-			c.r.addf(RuleEnable, Error, c.m.Name, in.Name, "",
+// checkEnables reports the latch-coloring failure modes (DS-ENABLE): an
+// unconnected enable pin, an enable no controller reaches, or one that
+// mixes controller phases.
+func (c *dsChecker) checkEnables() {
+	for _, l := range c.cn.Latches {
+		switch {
+		case l.Enable == nil:
+			c.r.addf(RuleEnable, Error, c.m.Name, l.Inst.Name, "",
 				"latch enable pin is unconnected")
-			continue
-		}
-		roots := c.enableRoots(en, map[*netlist.Net]bool{})
-		uniq := map[root]bool{}
-		for _, rt := range roots {
-			uniq[rt] = true
-		}
-		switch len(uniq) {
-		case 0:
-			c.r.addf(RuleEnable, Error, c.m.Name, in.Name, en.Name,
+		case len(l.Roots) == 0:
+			c.r.addf(RuleEnable, Error, c.m.Name, l.Inst.Name, l.Enable.Name,
 				"latch enable is not driven by any controller")
-		case 1:
-			rt := roots[0]
-			c.latchPhase[in] = rt.phase
-			c.latchRegion[in] = rt.region
-			if in.Group < 0 {
-				in.Group = rt.region
-			}
-		default:
+		case len(l.Roots) > 1:
 			var names []string
-			for rt := range uniq {
-				names = append(names, fmt.Sprintf("G%d/%s", rt.region, phaseName(rt.phase)))
+			for _, rt := range l.Roots {
+				names = append(names, fmt.Sprintf("G%d/%s", rt.Region, rt.Phase))
 			}
 			sort.Strings(names)
-			c.r.addf(RuleEnable, Error, c.m.Name, in.Name, en.Name,
+			c.r.addf(RuleEnable, Error, c.m.Name, l.Inst.Name, l.Enable.Name,
 				"latch enable reaches multiple controller phases: "+strings.Join(names, ", "))
 		}
 	}
-}
-
-// netSources returns the sequential instances whose outputs reach net n
-// backwards through combinational datapath logic (memoized; cycles — which
-// NL-LOOP reports separately — terminate the walk).
-func (c *dsChecker) netSources(n *netlist.Net, visiting map[*netlist.Net]bool) map[*netlist.Inst]bool {
-	if s, ok := c.srcMemo[n]; ok {
-		return s
-	}
-	if visiting[n] {
-		return nil
-	}
-	visiting[n] = true
-	defer delete(visiting, n)
-	out := map[*netlist.Inst]bool{}
-	drv := n.Driver.Inst
-	if drv != nil && drv.Cell != nil {
-		switch {
-		case drv.Cell.Seq != nil:
-			out[drv] = true
-		case drv.Cell.Kind == netlist.KindComb && !isControlInst(drv):
-			for pin, in := range drv.Conns {
-				if dir, ok := pinDirOf(drv, pin); ok && dir == netlist.In && in != nil {
-					for s := range c.netSources(in, visiting) {
-						out[s] = true
-					}
-				}
-			}
-		}
-	}
-	c.srcMemo[n] = out
-	return out
-}
-
-// latchDataNets returns the data-input nets of a sequential instance.
-func latchDataNets(in *netlist.Inst) []*netlist.Net {
-	var out []*netlist.Net
-	for _, p := range in.Cell.Pins {
-		if p.Dir == netlist.In && p.Class == netlist.ClassData {
-			if n := in.Conns[p.Name]; n != nil {
-				out = append(out, n)
-			}
-		}
-	}
-	return out
 }
 
 // checkPhases verifies the flow-equivalence prerequisite: every
@@ -241,92 +80,19 @@ func latchDataNets(in *netlist.Inst) []*netlist.Net {
 // slaves (of the predecessor regions, or their own master→slave pair seen
 // from the other side) and slaves by masters (DS-PHASE).
 func (c *dsChecker) checkPhases() {
-	for _, in := range c.m.Insts {
-		p, ok := c.latchPhase[in]
-		if !ok {
-			continue // uncolored: DS-ENABLE already reported
+	for _, e := range c.cn.Edges {
+		src := c.cn.Latch(e.Src)
+		if src == nil || !src.Colored() {
+			continue // uncolored (DS-ENABLE) or a flip-flop (DS-FF)
 		}
-		for _, n := range latchDataNets(in) {
-			for src := range c.netSources(n, map[*netlist.Net]bool{}) {
-				sp, ok := c.latchPhase[src]
-				if !ok || sp != p {
-					continue // uncolored, a flip-flop (DS-FF), or alternating
-				}
-				c.r.addf(RulePhase, Error, c.m.Name, in.Name, n.Name,
-					fmt.Sprintf("%s-phase latch is fed by %s-phase latch %s: phases must alternate",
-						phaseName(p), phaseName(sp), src.Name))
-			}
+		sink := c.cn.Latch(e.Sink)
+		if src.Phase() != sink.Phase() {
+			continue // alternating, as required
 		}
+		c.r.addf(RulePhase, Error, c.m.Name, e.Sink.Name, e.Net.Name,
+			fmt.Sprintf("%s-phase latch is fed by %s-phase latch %s: phases must alternate",
+				sink.Phase(), src.Phase(), e.Src.Name))
 	}
-}
-
-// buildRegionGraph derives the region dependency graph from latch
-// connectivity alone: an edge u→v when a latch of region u reaches a data
-// input of a latch of region v. Direct same-region hops (the internal
-// master→slave connection and signal-history chains) are not dependencies,
-// matching core.BuildDDG; combinationally-mediated self edges stay.
-func (c *dsChecker) buildRegionGraph() {
-	edges := map[[2]int]bool{}
-	for _, in := range c.m.Insts {
-		v, ok := c.latchRegion[in]
-		if !ok {
-			continue
-		}
-		for _, n := range latchDataNets(in) {
-			for src := range c.netSources(n, map[*netlist.Net]bool{}) {
-				u, ok := c.latchRegion[src]
-				if !ok {
-					continue
-				}
-				if u == v && n.Driver.Inst == src {
-					continue // direct intra-region register hop
-				}
-				edges[[2]int{u, v}] = true
-			}
-		}
-	}
-	for e := range edges {
-		c.succs[e[0]] = append(c.succs[e[0]], e[1])
-		c.preds[e[1]] = append(c.preds[e[1]], e[0])
-	}
-	for _, l := range c.succs {
-		sort.Ints(l)
-	}
-	for _, l := range c.preds {
-		sort.Ints(l)
-	}
-}
-
-// ctreeLeaves collects the external input nets of the C-element tree whose
-// instance names carry the given prefix.
-func (c *dsChecker) ctreeLeaves(prefix string) []string {
-	internal := map[*netlist.Net]bool{}
-	var members []*netlist.Inst
-	for _, in := range c.m.Insts {
-		if !strings.HasPrefix(in.Name, prefix) || in.Cell == nil {
-			continue
-		}
-		members = append(members, in)
-		for pin, n := range in.Conns {
-			if dir, ok := pinDirOf(in, pin); ok && dir == netlist.Out && n != nil {
-				internal[n] = true
-			}
-		}
-	}
-	leafSet := map[string]bool{}
-	for _, in := range members {
-		for pin, n := range in.Conns {
-			if dir, ok := pinDirOf(in, pin); ok && dir == netlist.In && n != nil && !internal[n] {
-				leafSet[n.Name] = true
-			}
-		}
-	}
-	var leaves []string
-	for n := range leafSet {
-		leaves = append(leaves, n)
-	}
-	sort.Strings(leaves)
-	return leaves
 }
 
 // checkChannels cross-checks the req/ack wiring of every region against the
@@ -344,100 +110,88 @@ func (c *dsChecker) checkChannels() {
 	// come from controllers); the reverse — a controller pair no latch
 	// listens to — is dead control logic.
 	latchRegions := map[int]bool{}
-	for _, g := range c.latchRegion {
-		latchRegions[g] = true
+	for _, l := range c.cn.Latches {
+		if l.Colored() {
+			latchRegions[l.Region()] = true
+		}
 	}
-	for _, g := range c.regions {
+	for _, g := range c.cn.Regions {
 		if !latchRegions[g] {
-			pair(fmt.Sprintf("G%d_Mctrl/g", g), "", "controller pair for region %d, but no latch is enabled by it", g)
+			pair(ctrlnet.CtrlGate(g, true, ctrlnet.GateG), "",
+				"controller pair for region %d, but no latch is enabled by it", g)
 		}
 	}
 
-	for _, g := range c.regions {
-		nets := map[string]*netlist.Net{}
+	for _, g := range c.cn.Regions {
+		ch := c.cn.Channels[g]
 		missing := false
-		for _, suffix := range []string{"mri", "mai", "mro", "sri", "sai", "sro"} {
-			name := fmt.Sprintf("G%d_%s", g, suffix)
-			n := m.Net(name)
-			if n == nil {
+		for _, suffix := range ctrlnet.ChannelSuffixes {
+			if ch.BySuffix(suffix) == nil {
+				name := ctrlnet.Name(g, suffix)
 				pair("", name, "control net %s is missing", name)
 				missing = true
 			}
-			nets[suffix] = n
 		}
 		if missing {
 			continue
 		}
 		// Controller gates drive their channel nets.
-		drivenBy := func(n *netlist.Net, inst string) bool {
-			return n.Driver.Inst != nil && n.Driver.Inst.Name == inst
-		}
+		ctl := c.cn.Controllers[g]
 		for _, chk := range []struct {
-			suffix, inst string
+			net  *netlist.Net
+			inst string
 		}{
-			{"mro", fmt.Sprintf("G%d_Mctrl/ro", g)},
-			{"sro", fmt.Sprintf("G%d_Sctrl/ro", g)},
-			{"mai", fmt.Sprintf("G%d_Mctrl/ai", g)},
-			{"sai", fmt.Sprintf("G%d_Sctrl/ai", g)},
+			{ch.MRO, ctrlnet.CtrlGate(g, true, ctrlnet.GateRO)},
+			{ch.SRO, ctrlnet.CtrlGate(g, false, ctrlnet.GateRO)},
+			{ch.MAI, ctrlnet.CtrlGate(g, true, ctrlnet.GateAI)},
+			{ch.SAI, ctrlnet.CtrlGate(g, false, ctrlnet.GateAI)},
 		} {
-			if !drivenBy(nets[chk.suffix], chk.inst) {
+			if chk.net.Driver.Inst == nil || chk.net.Driver.Inst.Name != chk.inst {
 				got := "nothing"
-				if d := nets[chk.suffix].Driver.Inst; d != nil {
+				if d := chk.net.Driver.Inst; d != nil {
 					got = d.Name
 				}
-				pair(chk.inst, nets[chk.suffix].Name, "net must be driven by %s, driven by %s", chk.inst, got)
+				pair(chk.inst, chk.net.Name, "net must be driven by %s, driven by %s", chk.inst, got)
 			}
 		}
 		// Master acknowledges the slave: its Ao pin must see sai.
-		if mg := m.Inst(fmt.Sprintf("G%d_Mctrl/g", g)); mg != nil {
-			if ao := mg.Conns["A"]; ao != nets["sai"] {
+		if mg := ctl.Master.G; mg != nil {
+			if ao := mg.Conns["A"]; ao != ch.SAI {
 				got := "(unconnected)"
 				if ao != nil {
 					got = ao.Name
 				}
-				pair(mg.Name, "", "master ack-in must be G%d_sai, got %s", g, got)
+				pair(mg.Name, "", "master ack-in must be %s, got %s", ch.SAI.Name, got)
 			}
 		}
 		// Master request reaches the slave through the master/slave element.
-		msPrefix := fmt.Sprintf("G%d_deMS/", g)
-		if a1 := m.Inst(msPrefix + "a1"); a1 == nil {
-			pair("", nets["sri"].Name, "master/slave delay element %sa1 is missing", msPrefix)
-		} else if a1.Conns["B"] != nets["mro"] {
-			pair(a1.Name, "", "master/slave element input must be G%d_mro", g)
+		msPrefix := ctrlnet.MSDelayPrefix(g) + "/"
+		if a1 := m.Inst(ctrlnet.ChainStage(ctrlnet.MSDelayPrefix(g), 1)); a1 == nil {
+			pair("", ch.SRI.Name, "master/slave delay element %sa1 is missing", msPrefix)
+		} else if a1.Conns["B"] != ch.MRO {
+			pair(a1.Name, "", "master/slave element input must be %s", ch.MRO.Name)
 		}
-		if d := nets["sri"].Driver.Inst; d == nil || !strings.HasPrefix(d.Name, msPrefix) {
+		if d := ch.SRI.Driver.Inst; d == nil || !strings.HasPrefix(d.Name, msPrefix) {
 			got := "nothing"
 			if d != nil {
 				got = d.Name
 			}
-			pair("", nets["sri"].Name, "slave request must come from %s*, driven by %s", msPrefix, got)
+			pair("", ch.SRI.Name, "slave request must come from %s*, driven by %s", msPrefix, got)
 		}
 
 		// Request side: predecessors' slave requests → rendezvous → matched
 		// delay element → mri. Completion-detected regions trace differently
 		// and their request timing is data-dependent by construction.
-		if c.cdetRegion(g) {
-			c.r.addf(RulePair, Info, m.Name, "", nets["mri"].Name,
+		if c.cn.Completion[g] {
+			c.r.addf(RulePair, Info, m.Name, "", ch.MRI.Name,
 				fmt.Sprintf("region %d uses completion detection; request pairing not traced", g))
 		} else {
-			c.checkRequestSide(g, nets["mri"])
+			c.checkRequestSide(g, ch.MRI)
 		}
 
 		// Ack side.
-		c.checkAckSide(g, nets["sai"])
+		c.checkAckSide(g, ch.SAI)
 	}
-}
-
-// cdetRegion reports whether region g uses a completion network instead of
-// a matched delay element.
-func (c *dsChecker) cdetRegion(g int) bool {
-	prefix := fmt.Sprintf("G%d_cdet", g)
-	for _, in := range c.m.Insts {
-		if strings.HasPrefix(in.Name, prefix) {
-			return true
-		}
-	}
-	return false
 }
 
 func (c *dsChecker) checkRequestSide(g int, mri *netlist.Net) {
@@ -445,7 +199,7 @@ func (c *dsChecker) checkRequestSide(g int, mri *netlist.Net) {
 	pair := func(inst, net, format string, args ...any) {
 		c.r.addf(RulePair, Error, m.Name, inst, net, fmt.Sprintf(format, args...))
 	}
-	dePrefix := fmt.Sprintf("G%d_delem/", g)
+	dePrefix := ctrlnet.DelayPrefix(g) + "/"
 	if d := mri.Driver.Inst; d == nil || !strings.HasPrefix(d.Name, dePrefix) {
 		got := "nothing"
 		if d != nil {
@@ -453,7 +207,7 @@ func (c *dsChecker) checkRequestSide(g int, mri *netlist.Net) {
 		}
 		pair("", mri.Name, "master request must come through the matched element %s*, driven by %s", dePrefix, got)
 	}
-	a1 := m.Inst(dePrefix + "a1")
+	a1 := m.Inst(ctrlnet.ChainStage(ctrlnet.DelayPrefix(g), 1))
 	if a1 == nil {
 		pair("", mri.Name, "matched delay element %sa1 is missing", dePrefix)
 		return
@@ -463,26 +217,26 @@ func (c *dsChecker) checkRequestSide(g int, mri *netlist.Net) {
 		pair(a1.Name, "", "matched element input pin B is unconnected")
 		return
 	}
-	preds := c.preds[g]
+	preds := c.cn.Preds[g]
 	switch len(preds) {
 	case 0:
-		port := m.Port(fmt.Sprintf("G%d_env_ri", g))
+		port := m.Port(ctrlnet.EnvRequestPort(g))
 		if port == nil || port.Dir != netlist.In || port.Net != reqSrc {
 			pair(a1.Name, reqSrc.Name,
-				"region %d has no predecessors: request must come from input port G%d_env_ri", g, g)
+				"region %d has no predecessors: request must come from input port %s", g, ctrlnet.EnvRequestPort(g))
 		}
-		if m.Port(fmt.Sprintf("G%d_env_ai", g)) == nil {
-			pair("", "", "region %d has no predecessors but no G%d_env_ai acknowledge port exists", g, g)
+		if m.Port(ctrlnet.EnvReqAckPort(g)) == nil {
+			pair("", "", "region %d has no predecessors but no %s acknowledge port exists", g, ctrlnet.EnvReqAckPort(g))
 		}
 	case 1:
-		want := fmt.Sprintf("G%d_sro", preds[0])
+		want := ctrlnet.Name(preds[0], "sro")
 		if reqSrc.Name != want {
 			pair(a1.Name, reqSrc.Name,
 				"region %d request source must be %s (its one predecessor's slave request), got %s",
 				g, want, reqSrc.Name)
 		}
 	default:
-		join := fmt.Sprintf("G%d_reqjoin", g)
+		join := ctrlnet.Name(g, "reqjoin")
 		if reqSrc.Name != join {
 			pair(a1.Name, reqSrc.Name,
 				"region %d has %d predecessors: request source must be rendezvous net %s, got %s",
@@ -491,10 +245,10 @@ func (c *dsChecker) checkRequestSide(g int, mri *netlist.Net) {
 		}
 		var want []string
 		for _, p := range preds {
-			want = append(want, fmt.Sprintf("G%d_sro", p))
+			want = append(want, ctrlnet.Name(p, "sro"))
 		}
 		sort.Strings(want)
-		got := c.ctreeLeaves(fmt.Sprintf("G%d_reqC/", g))
+		got := c.leaves(c.cn.ReqTrees[g])
 		if strings.Join(got, " ") != strings.Join(want, " ") {
 			pair("", reqSrc.Name,
 				"region %d request rendezvous joins {%s}, want {%s} (predecessors %v)",
@@ -508,9 +262,9 @@ func (c *dsChecker) checkAckSide(g int, sai *netlist.Net) {
 	pair := func(inst, net, format string, args ...any) {
 		c.r.addf(RulePair, Error, m.Name, inst, net, fmt.Sprintf(format, args...))
 	}
-	sg := m.Inst(fmt.Sprintf("G%d_Sctrl/g", g))
+	sg := c.cn.Controllers[g].Slave.G
 	if sg == nil {
-		pair("", "", "slave controller G%d_Sctrl is missing", g)
+		pair("", "", "slave controller %s is missing", ctrlnet.CtrlPrefix(g, false))
 		return
 	}
 	sao := sg.Conns["A"]
@@ -518,26 +272,26 @@ func (c *dsChecker) checkAckSide(g int, sai *netlist.Net) {
 		pair(sg.Name, "", "slave ack-in pin is unconnected")
 		return
 	}
-	succs := c.succs[g]
+	succs := c.cn.Succs[g]
 	switch len(succs) {
 	case 0:
-		port := m.Port(fmt.Sprintf("G%d_env_ao", g))
+		port := m.Port(ctrlnet.EnvAckPort(g))
 		if port == nil || port.Dir != netlist.In || port.Net != sao {
 			pair(sg.Name, sao.Name,
-				"region %d has no successors: acknowledge must come from input port G%d_env_ao", g, g)
+				"region %d has no successors: acknowledge must come from input port %s", g, ctrlnet.EnvAckPort(g))
 		}
-		if m.Port(fmt.Sprintf("G%d_env_ro", g)) == nil {
-			pair("", "", "region %d has no successors but no G%d_env_ro request port exists", g, g)
+		if m.Port(ctrlnet.EnvReadyPort(g)) == nil {
+			pair("", "", "region %d has no successors but no %s request port exists", g, ctrlnet.EnvReadyPort(g))
 		}
 	case 1:
-		want := fmt.Sprintf("G%d_mai", succs[0])
+		want := ctrlnet.Name(succs[0], "mai")
 		if sao.Name != want {
 			pair(sg.Name, sao.Name,
 				"region %d acknowledge source must be %s (its one successor's master ack), got %s",
 				g, want, sao.Name)
 		}
 	default:
-		join := fmt.Sprintf("G%d_sao", g)
+		join := ctrlnet.Name(g, "sao")
 		if sao.Name != join {
 			pair(sg.Name, sao.Name,
 				"region %d has %d successors: acknowledge must be rendezvous net %s, got %s",
@@ -546,16 +300,24 @@ func (c *dsChecker) checkAckSide(g int, sai *netlist.Net) {
 		}
 		var want []string
 		for _, s := range succs {
-			want = append(want, fmt.Sprintf("G%d_mai", s))
+			want = append(want, ctrlnet.Name(s, "mai"))
 		}
 		sort.Strings(want)
-		got := c.ctreeLeaves(fmt.Sprintf("G%d_ackC/", g))
+		got := c.leaves(c.cn.AckTrees[g])
 		if strings.Join(got, " ") != strings.Join(want, " ") {
 			pair("", sao.Name,
 				"region %d acknowledge rendezvous joins {%s}, want {%s} (successors %v)",
 				g, strings.Join(got, " "), strings.Join(want, " "), succs)
 		}
 	}
+}
+
+// leaves returns a tree's external inputs, empty for a missing tree.
+func (c *dsChecker) leaves(t *ctrlnet.CTree) []string {
+	if t == nil {
+		return nil
+	}
+	return t.Leaves
 }
 
 // checkCElems verifies rendezvous completeness (DS-CELEM): every C-element
@@ -607,9 +369,9 @@ func (c *dsChecker) checkTiming(opts Options) {
 			staOpts.Disabled[sta.ArcKey{Inst: da.Inst, From: da.From, To: da.To}] = true
 		}
 		// Every controller needs its three loop-breaking disables present.
-		for _, g := range c.regions {
-			for _, prefix := range []string{fmt.Sprintf("G%d_Mctrl", g), fmt.Sprintf("G%d_Sctrl", g)} {
-				for _, a := range handshake.ControllerDisabledArcs(prefix) {
+		for _, g := range c.cn.Regions {
+			for _, master := range []bool{true, false} {
+				for _, a := range handshake.ControllerDisabledArcs(ctrlnet.CtrlPrefix(g, master)) {
 					if !staOpts.Disabled[sta.ArcKey{Inst: a[0], From: a[1], To: a[2]}] {
 						c.r.addf(RuleSDC, Error, m.Name, a[0], "",
 							fmt.Sprintf("loop-breaking constraint missing for arc %s %s->%s", a[0], a[1], a[2]))
@@ -635,7 +397,7 @@ func (c *dsChecker) checkTiming(opts Options) {
 		}
 	}
 
-	rds, err := sta.RegionDelays(m, netlist.Worst, staOpts)
+	rds, err := c.cn.RegionBudgets(staOpts.Disabled)
 	if err != nil {
 		c.r.addf(RuleMargin, Error, m.Name, "", "",
 			fmt.Sprintf("region delay analysis failed: %v", err))
@@ -654,50 +416,29 @@ func (c *dsChecker) checkTiming(opts Options) {
 		setup = math.Max(setup, cd.Setup.Worst)
 	}
 	const eps = 1e-9
-	for _, reg := range c.regions {
-		if delay, n, ok := c.chainDelay(fmt.Sprintf("G%d_deMS/", reg)); ok {
-			if budget := c2q + setup; delay+eps < budget {
-				c.r.addf(RuleMargin, Error, m.Name, fmt.Sprintf("G%d_deMS/a1", reg), "",
+	for _, reg := range c.cn.Regions {
+		if ms := c.cn.MSDelays[reg]; ms != nil {
+			if budget := c2q + setup; ms.Delay+eps < budget {
+				c.r.addf(RuleMargin, Error, m.Name, ctrlnet.ChainStage(ctrlnet.MSDelayPrefix(reg), 1), "",
 					fmt.Sprintf("master/slave element (%d levels, %.3f ns) is under the latch launch+capture cost %.3f ns",
-						n, delay, budget))
+						ms.Levels, ms.Delay, budget))
 			}
 		}
-		if c.cdetRegion(reg) {
+		if c.cn.Completion[reg] {
 			continue // completion detection: timing is data-dependent by construction
 		}
-		delay, n, ok := c.chainDelay(fmt.Sprintf("G%d_delem/", reg))
-		if !ok {
+		de := c.cn.ReqDelays[reg]
+		if de == nil {
 			continue // missing element already reported by DS-PAIR
 		}
 		rd := rds[reg]
 		if rd == nil {
 			continue
 		}
-		if budget := rd.Budget(); delay+eps < budget {
-			c.r.addf(RuleMargin, Error, m.Name, fmt.Sprintf("G%d_delem/a1", reg), "",
+		if budget := rd.Budget(); de.Delay+eps < budget {
+			c.r.addf(RuleMargin, Error, m.Name, ctrlnet.ChainStage(ctrlnet.DelayPrefix(reg), 1), "",
 				fmt.Sprintf("matched element (%d levels, %.3f ns) does not cover region %d's budget %.3f ns (worst path into %s)",
-					n, delay, reg, budget, rd.WorstPath))
+					de.Levels, de.Delay, reg, budget, rd.WorstPath))
 		}
 	}
-}
-
-// chainDelay sums the worst-corner rise delay of a delay-element AND chain
-// (prefix + "a1", "a2", ...), applying each gate's variability factor — the
-// same pricing sta.Build uses. For muxed elements this is the longest tap.
-func (c *dsChecker) chainDelay(prefix string) (float64, int, bool) {
-	total := 0.0
-	n := 0
-	for {
-		in := c.m.Inst(fmt.Sprintf("%sa%d", prefix, n+1))
-		if in == nil || in.Cell == nil {
-			break
-		}
-		arc := in.Cell.Arc("A", "Z")
-		if arc == nil {
-			break
-		}
-		total += arc.Rise.At(netlist.Worst) * sta.EffectiveFactor(in)
-		n++
-	}
-	return total, n, n > 0
 }

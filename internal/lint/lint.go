@@ -18,6 +18,7 @@ package lint
 import (
 	"sort"
 
+	"desync/internal/ctrlnet"
 	"desync/internal/netlist"
 	"desync/internal/sdc"
 )
@@ -185,6 +186,12 @@ type Options struct {
 	// rules. When nil and Desync is set, loop coverage cannot be
 	// cross-checked and the engine says so with an Info finding.
 	Constraints *sdc.Constraints
+	// Network is an already-derived control-network IR for the module under
+	// check. Callers that derived one (the flow, cmd/drdesync) pass it so
+	// one derivation serves the whole run; when nil — or when it belongs to
+	// a different module — the DS-* rules derive their own via
+	// ctrlnet.Derive, which is itself memoized.
+	Network *ctrlnet.Network
 }
 
 // Check runs the selected rule families over one flat module and returns

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"desync/internal/core"
+	"desync/internal/ctrlnet"
 	"desync/internal/handshake"
 	"desync/internal/netlist"
 )
@@ -20,7 +21,7 @@ func isControlInst(in *netlist.Inst) bool {
 	if handshake.IsControlOrigin(in.Origin) {
 		return true
 	}
-	_, ok := handshake.ControlRegion(in.Name)
+	_, ok := ctrlnet.Region(in.Name)
 	return ok
 }
 

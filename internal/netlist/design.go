@@ -120,7 +120,17 @@ type Module struct {
 
 	netByName  map[string]*Net
 	instByName map[string]*Inst
+
+	// modseq counts structural mutations (nets, ports, instances,
+	// connectivity). Derivation caches keyed on the module compare it to
+	// decide whether a cached analysis is still valid.
+	modseq uint64
 }
+
+// ModSeq returns the module's structural mutation counter. Two calls
+// returning the same value bracket a window with no structural change, so an
+// analysis derived inside it is still valid.
+func (m *Module) ModSeq() uint64 { return m.modseq }
 
 // NewModule returns an empty module.
 func NewModule(name string) *Module {
@@ -136,6 +146,7 @@ func (m *Module) AddNet(name string) *Net {
 	if _, dup := m.netByName[name]; dup {
 		panic(fmt.Sprintf("netlist: duplicate net %q in module %s", name, m.Name))
 	}
+	m.modseq++
 	n := &Net{Name: name}
 	m.Nets = append(m.Nets, n)
 	m.netByName[name] = n
@@ -157,6 +168,7 @@ func (m *Module) EnsureNet(name string) *Net {
 // the net if necessary). Input ports drive their net; output ports sink it.
 func (m *Module) AddPort(name string, dir PinDir) *Port {
 	n := m.EnsureNet(name)
+	m.modseq++
 	p := &Port{Name: name, Dir: dir, Net: n}
 	m.Ports = append(m.Ports, p)
 	switch dir {
@@ -172,6 +184,7 @@ func (m *Module) AddPort(name string, dir PinDir) *Port {
 // differ from the port's (used by the Verilog reader when assign aliases
 // merge a port with another net).
 func (m *Module) AddPortOnNet(name string, dir PinDir, n *Net) (*Port, error) {
+	m.modseq++
 	p := &Port{Name: name, Dir: dir, Net: n}
 	m.Ports = append(m.Ports, p)
 	switch dir {
@@ -210,6 +223,7 @@ func (m *Module) addInst(in *Inst) *Inst {
 	if _, dup := m.instByName[in.Name]; dup {
 		panic(fmt.Sprintf("netlist: duplicate instance %q in module %s", in.Name, m.Name))
 	}
+	m.modseq++
 	m.Insts = append(m.Insts, in)
 	m.instByName[in.Name] = in
 	return in
@@ -229,6 +243,7 @@ func (m *Module) Connect(in *Inst, pin string, net *Net) error {
 	if old := in.Conns[pin]; old != nil {
 		return fmt.Errorf("netlist: %s/%s already connected to %s", in.Name, pin, old.Name)
 	}
+	m.modseq++
 	in.Conns[pin] = net
 	ref := PinRef{Inst: in, Pin: pin}
 	if dir == Out {
@@ -255,6 +270,7 @@ func (m *Module) Disconnect(in *Inst, pin string) {
 	if net == nil {
 		return
 	}
+	m.modseq++
 	delete(in.Conns, pin)
 	ref := PinRef{Inst: in, Pin: pin}
 	if net.Driver == ref {
@@ -274,6 +290,7 @@ func (m *Module) RemoveInst(in *Inst) {
 	for pin := range in.Conns {
 		m.Disconnect(in, pin)
 	}
+	m.modseq++
 	delete(m.instByName, in.Name)
 	for i, x := range m.Insts {
 		if x == in {
@@ -288,6 +305,7 @@ func (m *Module) RemoveNet(n *Net) error {
 	if n.HasDriver() || len(n.Sinks) > 0 {
 		return fmt.Errorf("netlist: net %s still connected", n.Name)
 	}
+	m.modseq++
 	delete(m.netByName, n.Name)
 	for i, x := range m.Nets {
 		if x == n {
@@ -304,6 +322,7 @@ func (m *Module) RenameNet(n *Net, name string) error {
 	if _, taken := m.netByName[name]; taken {
 		return fmt.Errorf("netlist: net name %q already in use", name)
 	}
+	m.modseq++
 	delete(m.netByName, n.Name)
 	n.Name = name
 	m.netByName[name] = n
@@ -313,6 +332,7 @@ func (m *Module) RenameNet(n *Net, name string) error {
 // ReplaceSinks moves every sink of from onto to (drivers are untouched).
 // Used by logic cleaning when a buffer is removed.
 func (m *Module) ReplaceSinks(from, to *Net) {
+	m.modseq++
 	for _, s := range from.Sinks {
 		if s.Inst != nil {
 			s.Inst.Conns[s.Pin] = to
