@@ -32,13 +32,15 @@ equiv:
 
 check: lint equiv
 	$(GO) vet ./...
-	# Targeted race pass first: the ctrlnet derivation cache and the equiv
-	# model built on it are the shared-state hot spots; fail fast on them
-	# before the full-suite race run below.
-	$(GO) test -race ./internal/ctrlnet/ ./internal/equiv/
+	# Targeted race pass first: the parallel engine, the fault fan-out, the
+	# ctrlnet derivation cache and the equiv model built on it are the
+	# shared-state hot spots; fail fast on them before the full-suite race
+	# run below.
+	$(GO) test -race ./internal/par/ ./internal/faults/ ./internal/ctrlnet/ ./internal/equiv/
+	$(GO) test -race -run 'Parallel|Cancellation' ./internal/sta/ ./internal/core/
 	$(GO) test -race ./...
-	$(GO) test -run XXX -bench 'BenchmarkFaultCampaignSmoke|BenchmarkLintClean' -benchtime 1x .
-	$(GO) test -run XXX -bench BenchmarkEquivDLX -benchtime 1x ./internal/equiv/
+	$(GO) test -run XXX -bench 'BenchmarkFaultCampaignSmoke|BenchmarkCampaignParallelDLX|BenchmarkLintClean' -benchtime 1x .
+	$(GO) test -run XXX -bench 'BenchmarkEquivDLX$$|BenchmarkEquivParallelDLX' -benchtime 1x ./internal/equiv/
 
 # Short fuzz passes over the three text front ends; corpora are committed
 # under internal/{verilog,liberty,sdc}/testdata/fuzz.

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -240,7 +241,7 @@ func BenchmarkAblationCompletionDetection(b *testing.B) {
 // classes is the flow's safety argument, not a statistic to trend.
 func BenchmarkFaultCampaignSmoke(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := expt.RunDLXFaultCampaign(nil, expt.FaultCampaignConfig{})
+		rep, err := expt.RunDLXFaultCampaign(context.Background(), nil, expt.FaultCampaignConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -259,6 +260,65 @@ func BenchmarkFaultCampaignSmoke(b *testing.B) {
 		b.ReportMetric(float64(sinj), "stuckFaults")
 		b.ReportMetric(float64(det+sdet)/float64(inj+sinj), "detectionRate")
 	}
+}
+
+// BenchmarkCampaignParallelDLX runs the same campaign with the parallel
+// fault fan-out at 4 workers. The detection guard is identical to the smoke
+// benchmark — parallelism must not change which faults are caught. On a
+// single-core host the runtime measures scheduling overhead, not speedup.
+func BenchmarkCampaignParallelDLX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := expt.RunDLXFaultCampaign(context.Background(), nil, expt.FaultCampaignConfig{Parallelism: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, class := range []faults.Class{faults.ClassDelay, faults.ClassStuckAt} {
+			det, inj := rep.Detected(class)
+			if inj == 0 {
+				b.Fatalf("campaign injected no %s faults", class)
+			}
+			if det != inj {
+				b.Fatalf("%s detection %d/%d under -j 4; escaped:\n%s", class, det, inj, rep.Render())
+			}
+		}
+		b.ReportMetric(float64(len(rep.Outcomes)), "faults")
+	}
+}
+
+// BenchmarkCampaignScalingDLX measures the campaign kernel alone (flow and
+// fault list built outside the timer) across worker counts; it is the
+// source of the EXPERIMENTS.md scaling table. The numbers are only a
+// speedup curve on a multi-core host — on a single core the sub-benchmarks
+// should coincide, which is itself a useful overhead bound.
+func BenchmarkCampaignScalingDLX(b *testing.B) {
+	f, err := expt.RunDLXFlow(expt.FlowConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(jobsName(j), func(b *testing.B) {
+			c, err := expt.NewDLXCampaign(context.Background(), f, 0, j)
+			if err != nil {
+				b.Fatal(err)
+			}
+			list := c.DelayFaults(40, 2)
+			list = append(list, c.ControlStuckFaults()...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := c.Run(context.Background(), list)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if det, inj := rep.Detected(""); det != inj {
+					b.Fatalf("detection %d/%d at %d workers", det, inj, j)
+				}
+			}
+		})
+	}
+}
+
+func jobsName(j int) string {
+	return "j" + string(rune('0'+j))
 }
 
 // BenchmarkLintClean runs the static verifier over the DLX golden flow and
@@ -345,7 +405,7 @@ func BenchmarkFIRDesynchronize(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := core.Desynchronize(d, core.Options{Period: 8})
+		res, err := core.Desynchronize(context.Background(), d, core.Options{Period: 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -366,7 +426,7 @@ func BenchmarkDesynchronizeDLX(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := core.Desynchronize(d, core.Options{Period: 4.65}); err != nil {
+		if _, err := core.Desynchronize(context.Background(), d, core.Options{Period: 4.65}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -48,8 +49,8 @@ const maxMarginRetries = 3
 //
 // Both degradations print a warning to warnw; hard failures return the
 // staged FlowError untouched.
-func desynchronizeWithFallback(build func() (*designState, error), opts core.Options,
-	warnw io.Writer) (*netlist.Design, *core.Result, error) {
+func desynchronizeWithFallback(ctx context.Context, build func() (*designState, error),
+	opts core.Options, warnw io.Writer) (*netlist.Design, *core.Result, error) {
 
 	singleRegion := false
 	for attempt := 0; ; attempt++ {
@@ -74,7 +75,7 @@ func desynchronizeWithFallback(build func() (*designState, error), opts core.Opt
 			}
 			return nil
 		}
-		res, err := core.Desynchronize(st.d, o)
+		res, err := core.Desynchronize(ctx, st.d, o)
 		switch {
 		case err == nil && len(res.UnderMargin) > 0 && attempt < maxMarginRetries:
 			bumped := opts.Margin
@@ -104,7 +105,7 @@ func desynchronizeWithFallback(build func() (*designState, error), opts core.Opt
 
 // runFaultCampaign exercises the freshly desynchronized design with the
 // default delay and control stuck-at fault sets and prints the report.
-func runFaultCampaign(d *netlist.Design, res *core.Result, o runOpts, w io.Writer) error {
+func runFaultCampaign(ctx context.Context, d *netlist.Design, res *core.Result, o runOpts, w io.Writer) error {
 	period := o.period
 	if period <= 0 {
 		for _, rd := range res.RegionDelays {
@@ -121,11 +122,12 @@ func runFaultCampaign(d *netlist.Design, res *core.Result, o runOpts, w io.Write
 	if cycles <= 0 {
 		cycles = 12
 	}
-	c, err := faults.NewCampaign(d.Top, faults.Config{
+	c, err := faults.NewCampaign(ctx, d.Top, faults.Config{
 		Stimulus:      faults.ResetStimulus(d.Top, 0),
 		Horizon:       2 + period*float64(cycles)*6,
 		QuiescenceGap: 8 * period,
 		SetupGuard:    true,
+		Parallelism:   o.parallelism,
 	})
 	if err != nil {
 		return err
@@ -136,7 +138,7 @@ func runFaultCampaign(d *netlist.Design, res *core.Result, o runOpts, w io.Write
 	}
 	list := c.DelayFaults(40, perRegion)
 	list = append(list, c.ControlStuckFaults()...)
-	rep, err := c.Run(list)
+	rep, err := c.Run(ctx, list)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -49,7 +50,7 @@ func TestFallbackSingleRegion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = core.Desynchronize(st.d, core.Options{Period: 1})
+	_, err = core.Desynchronize(context.Background(), st.d, core.Options{Period: 1})
 	if !errors.Is(err, core.ErrNoRegions) {
 		t.Fatalf("direct flow: err = %v, want ErrNoRegions", err)
 	}
@@ -58,7 +59,7 @@ func TestFallbackSingleRegion(t *testing.T) {
 	}
 
 	var warnings bytes.Buffer
-	d, res, err := desynchronizeWithFallback(buildFrom(t, inputRegsOnly),
+	d, res, err := desynchronizeWithFallback(context.Background(), buildFrom(t, inputRegsOnly),
 		core.Options{Period: 1}, &warnings)
 	if err != nil {
 		t.Fatalf("fallback flow failed: %v", err)
@@ -102,7 +103,7 @@ func assertCleanCtrlnet(t *testing.T, res *core.Result) {
 func TestMarginAutoBump(t *testing.T) {
 	src := dlxSource(t)
 	var warnings bytes.Buffer
-	_, res, err := desynchronizeWithFallback(buildFrom(t, src),
+	_, res, err := desynchronizeWithFallback(context.Background(), buildFrom(t, src),
 		core.Options{Period: 4.65, Margin: 0.05}, &warnings)
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +127,7 @@ func TestMarginAutoBump(t *testing.T) {
 // attempt with no warnings.
 func TestNoDegradationOnCleanRun(t *testing.T) {
 	var warnings bytes.Buffer
-	_, res, err := desynchronizeWithFallback(buildFrom(t, dlxSource(t)),
+	_, res, err := desynchronizeWithFallback(context.Background(), buildFrom(t, dlxSource(t)),
 		core.Options{Period: 4.65}, &warnings)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,7 +19,7 @@ import (
 // counterexample trace is printed so the failure is actionable without
 // re-running drequiv. The gate reuses the control-network IR the flow
 // derived at export instead of re-deriving its own.
-func equivGate(d *netlist.Design, cn *ctrlnet.Network, o runOpts, stdout, stderr io.Writer) error {
+func equivGate(ctx context.Context, d *netlist.Design, cn *ctrlnet.Network, o runOpts, stdout, stderr io.Writer) error {
 	fail := func(err error) error {
 		return &core.FlowError{Stage: core.StageEquiv, Design: d.Top.Name, Detail: "formal verification gate", Err: err}
 	}
@@ -29,9 +30,16 @@ func equivGate(d *netlist.Design, cn *ctrlnet.Network, o runOpts, stdout, stderr
 	if err != nil {
 		return fail(err)
 	}
-	res := m.Explore(equiv.ExploreOptions{MaxStates: o.equivMaxStates})
+	res, err := m.Explore(ctx, equiv.ExploreOptions{
+		MaxStates: o.equivMaxStates, Parallelism: o.parallelism,
+	})
+	if err != nil {
+		return fail(err)
+	}
 	if o.equivXval > 0 && res.Violation == nil {
-		xv, err := m.CrossValidate(d.Top, equiv.XValConfig{Traces: o.equivXval, Seed: o.equivSeed})
+		xv, err := m.CrossValidate(ctx, d.Top, equiv.XValConfig{
+			Traces: o.equivXval, Seed: o.equivSeed, Parallelism: o.parallelism,
+		})
 		if err != nil {
 			return fail(err)
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,7 +30,7 @@ func TestEquivGateEndToEnd(t *testing.T) {
 	if err := os.WriteFile(in, []byte(verilog.Write(d)), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(runOpts{
+	if err := run(context.Background(), runOpts{
 		in: in, libVariant: "HS", out: filepath.Join(dir, "ddlx.v"),
 		period: 4.65, margin: 1.15, equivGate: true, equivXval: 1, equivSeed: 5,
 	}); err != nil {
@@ -52,7 +53,7 @@ func TestEquivGateFailsBrokenNetwork(t *testing.T) {
 	f.Desync.Top.Disconnect(ai, "Z")
 
 	var out, errb bytes.Buffer
-	err = equivGate(f.Desync, nil, runOpts{}, &out, &errb)
+	err = equivGate(context.Background(), f.Desync, nil, runOpts{}, &out, &errb)
 	if err == nil {
 		t.Fatal("equiv gate passed a deadlocking network")
 	}

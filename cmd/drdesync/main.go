@@ -9,16 +9,20 @@
 //
 //	drdesync -in design.v [-top name] [-lib HS|LL] [-period 2.4] \
 //	         [-mux] [-margin 1.15] [-falsepath net1,net2] [-manual-groups] \
-//	         [-simplify-names] [-faults] -out out.v [-sdc out.sdc] [-blif out.blif]
+//	         [-simplify-names] [-faults] [-j N] -out out.v [-sdc out.sdc] [-blif out.blif]
 //
 // When the automatic grouping finds no regions the tool degrades to a
 // single-region desynchronization (the ARM-style fallback of §5.3) with a
 // warning; when a sized delay element does not cover its region's budget
 // the tool bumps the margin and retries. -faults runs a fault-injection
-// campaign against the result and prints the detection report.
+// campaign against the result and prints the detection report. -j bounds the
+// workers of the parallel kernels — delay-element sizing, the -equiv gate,
+// the -faults campaign — with 0 meaning all CPUs; every output is identical
+// at any value. Ctrl-C cancels the run cleanly between stages.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +30,7 @@ import (
 	"strings"
 
 	"desync/internal/blif"
+	"desync/internal/cliutil"
 	"desync/internal/core"
 	"desync/internal/lint"
 	"desync/internal/stdcells"
@@ -44,6 +49,7 @@ type runOpts struct {
 	equivGate                    bool
 	equivMaxStates, equivXval    int
 	equivSeed                    int64
+	parallelism                  int
 }
 
 func main() {
@@ -66,7 +72,8 @@ func main() {
 	flag.BoolVar(&o.equivGate, "equiv", false, "model-check the inserted control network (deadlock, phase safety, flow equivalence)")
 	flag.IntVar(&o.equivMaxStates, "equiv-max-states", 0, "marking budget for the -equiv gate (0: engine default)")
 	flag.IntVar(&o.equivXval, "equiv-xval", 0, "cross-validate the -equiv model against N randomized simulator traces")
-	flag.Int64Var(&o.equivSeed, "equiv-seed", 1, "PRNG seed for -equiv-xval traces")
+	cliutil.SeedVar(flag.CommandLine, &o.equivSeed, "equiv-seed", 1, "PRNG seed for -equiv-xval traces")
+	cliutil.ParallelismVar(flag.CommandLine, &o.parallelism)
 	flag.BoolVar(&o.faults, "faults", false, "run a fault-injection campaign on the desynchronized design")
 	flag.IntVar(&o.faultCycles, "fault-cycles", 12, "campaign run length in clock periods")
 	flag.IntVar(&o.faultsPerRegion, "faults-per-region", 2, "delay faults injected per region")
@@ -84,7 +91,9 @@ func main() {
 			os.Exit(3)
 		}
 	}()
-	if err := run(o); err != nil {
+	ctx, cancel := cliutil.Context()
+	defer cancel()
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "drdesync:", err)
 		if stage := core.StageOf(err); stage != "" {
 			fmt.Fprintf(os.Stderr, "drdesync: failed during the %s stage\n", stage)
@@ -93,7 +102,7 @@ func main() {
 	}
 }
 
-func run(o runOpts) error {
+func run(ctx context.Context, o runOpts) error {
 	variant := stdcells.Variant(o.libVariant)
 	if _, err := stdcells.NewChecked(variant); err != nil {
 		return err
@@ -115,8 +124,9 @@ func run(o runOpts) error {
 		ManualGroups:        o.manualGroups,
 		SkipClean:           o.skipClean,
 		CompletionDetection: o.cdet,
+		Parallelism:         o.parallelism,
 	}
-	d, res, err := desynchronizeWithFallback(func() (*designState, error) {
+	d, res, err := desynchronizeWithFallback(ctx, func() (*designState, error) {
 		dd, err := verilog.Read(string(src), stdcells.New(variant), o.top)
 		if err != nil {
 			return nil, err
@@ -160,7 +170,10 @@ func run(o runOpts) error {
 	// margin-bump loop gave up and shipped under margin with an advisory,
 	// the DS-MARGIN findings restate that advisory: demote them to warnings
 	// so the acknowledged degradation still exits 0.
-	rep := lint.Check(d.Top, lint.Options{Desync: true, Constraints: res.Constraints, Network: res.Network})
+	rep := lint.Check(d.Top, lint.Options{
+		Desync: true, Constraints: res.Constraints, Network: res.Network,
+		Parallelism: o.parallelism,
+	})
 	if len(res.UnderMargin) > 0 {
 		for i := range rep.Findings {
 			if rep.Findings[i].Rule == lint.RuleMargin {
@@ -173,13 +186,13 @@ func run(o runOpts) error {
 	}
 
 	if o.equivGate {
-		if err := equivGate(d, res.Network, o, os.Stdout, os.Stderr); err != nil {
+		if err := equivGate(ctx, d, res.Network, o, os.Stdout, os.Stderr); err != nil {
 			return err
 		}
 	}
 
 	if o.faults {
-		if err := runFaultCampaign(d, res, o, os.Stdout); err != nil {
+		if err := runFaultCampaign(ctx, d, res, o, os.Stdout); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,7 +29,7 @@ func TestRunEndToEnd(t *testing.T) {
 	sdcOut := filepath.Join(dir, "ddlx.sdc")
 	blifOut := filepath.Join(dir, "ddlx.blif")
 	tbOut := filepath.Join(dir, "tb.v")
-	if err := run(runOpts{
+	if err := run(context.Background(), runOpts{
 		in: in, libVariant: "HS", out: out, sdcOut: sdcOut, blifOut: blifOut,
 		tbOut: tbOut, period: 4.65, margin: 1.15, mux: true,
 	}); err != nil {
@@ -78,7 +79,7 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	// Missing input file.
-	if err := run(runOpts{
+	if err := run(context.Background(), runOpts{
 		in: filepath.Join(dir, "nope.v"), libVariant: "HS",
 		out: filepath.Join(dir, "o.v"), period: 1, margin: 1.15,
 	}); err == nil {
@@ -87,7 +88,7 @@ func TestRunErrors(t *testing.T) {
 	// Bad library variant.
 	in := filepath.Join(dir, "x.v")
 	os.WriteFile(in, []byte("module m (a); input a; endmodule"), 0o644)
-	if err := run(runOpts{
+	if err := run(context.Background(), runOpts{
 		in: in, libVariant: "XX", out: filepath.Join(dir, "o.v"),
 		period: 1, margin: 1.15,
 	}); err == nil {
@@ -101,7 +102,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	dlxIn := filepath.Join(dir, "dlx.v")
 	os.WriteFile(dlxIn, []byte(verilog.Write(d)), 0o644)
-	if err := run(runOpts{
+	if err := run(context.Background(), runOpts{
 		in: dlxIn, libVariant: "HS", out: filepath.Join(dir, "o.v"),
 		falsePaths: "no_such_net", period: 1, margin: 1.15,
 	}); err == nil {

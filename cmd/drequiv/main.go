@@ -7,14 +7,17 @@
 // Usage:
 //
 //	drequiv -in design.v [-top name] [-lib HS|LL] [-max-states N] \
-//	        [-no-reduce] [-xval N] [-seed S] [-dump-ce trace.json] [-json]
+//	        [-no-reduce] [-xval N] [-seed S] [-j N] [-dump-ce trace.json] [-json]
 //	drequiv -gen dlx|arm [...]
 //	drequiv -gen dlx -replay trace.json
 //
 // -gen runs the built-in case-study flow and verifies its output, so CI can
 // gate the example designs without carrying netlist artifacts. -xval N
 // cross-validates the model against N randomized simulator traces (seeded
-// with -seed, recorded in the JSON report, so failures reproduce). -dump-ce
+// with -seed, recorded in the JSON report, so failures reproduce). -j bounds
+// the exploration and cross-validation workers (0: all CPUs); the report —
+// state counts, counterexample traces, truncation — is identical at any
+// value, so -max-states and -no-reduce compose with it unchanged. -dump-ce
 // writes the counterexample of a violated property as a JSON trace;
 // -replay feeds such a trace back through the gate-level simulator to
 // confirm the interleaving dynamically.
@@ -24,12 +27,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"desync/internal/cliutil"
 	"desync/internal/ctrlnet"
 	"desync/internal/equiv"
 	"desync/internal/expt"
@@ -48,6 +53,7 @@ type equivOpts struct {
 	noReduce, jsonOut        bool
 	xval                     int
 	seed                     int64
+	parallelism              int
 	dumpCE, replay           string
 }
 
@@ -62,7 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&o.maxStates, "max-states", 0, "marking budget (0: engine default); truncation is reported explicitly")
 	fs.BoolVar(&o.noReduce, "no-reduce", false, "disable the partial-order reduction (full interleaving)")
 	fs.IntVar(&o.xval, "xval", 0, "cross-validate against N randomized simulator traces")
-	fs.Int64Var(&o.seed, "seed", 1, "PRNG seed for -xval trace generation (recorded in the report)")
+	cliutil.SeedVar(fs, &o.seed, "seed", 1, "PRNG seed for -xval trace generation")
+	cliutil.ParallelismVar(fs, &o.parallelism)
 	fs.BoolVar(&o.jsonOut, "json", false, "emit the report as JSON")
 	fs.StringVar(&o.dumpCE, "dump-ce", "", "write the counterexample trace of a violated property to this JSON file")
 	fs.StringVar(&o.replay, "replay", "", "replay a dumped counterexample trace through the simulator and confirm it")
@@ -74,7 +81,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	code, err := equivRun(o, stdout)
+	ctx, cancel := cliutil.Context()
+	defer cancel()
+	code, err := equivRun(ctx, o, stdout)
 	if err != nil {
 		fmt.Fprintln(stderr, "drequiv:", err)
 		return 2
@@ -82,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
-func equivRun(o equivOpts, stdout io.Writer) (int, error) {
+func equivRun(ctx context.Context, o equivOpts, stdout io.Writer) (int, error) {
 	mod, err := loadModule(o)
 	if err != nil {
 		return 0, err
@@ -99,9 +108,16 @@ func equivRun(o equivOpts, stdout io.Writer) (int, error) {
 		return replayRun(o, mod, m, stdout)
 	}
 
-	res := m.Explore(equiv.ExploreOptions{MaxStates: o.maxStates, NoReduce: o.noReduce})
+	res, err := m.Explore(ctx, equiv.ExploreOptions{
+		MaxStates: o.maxStates, NoReduce: o.noReduce, Parallelism: o.parallelism,
+	})
+	if err != nil {
+		return 0, err
+	}
 	if o.xval > 0 && res.Violation == nil {
-		xv, err := m.CrossValidate(mod, equiv.XValConfig{Traces: o.xval, Seed: o.seed})
+		xv, err := m.CrossValidate(ctx, mod, equiv.XValConfig{
+			Traces: o.xval, Seed: o.seed, Parallelism: o.parallelism,
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -194,7 +210,7 @@ func loadModule(o equivOpts) (*netlist.Module, error) {
 	if o.gen != "" {
 		switch o.gen {
 		case "dlx":
-			f, err := expt.RunDLXFlow(expt.FlowConfig{})
+			f, err := expt.RunDLXFlow(expt.FlowConfig{Parallelism: o.parallelism})
 			if err != nil {
 				return nil, err
 			}

@@ -23,6 +23,15 @@ func TestCleanDLX(t *testing.T) {
 			t.Errorf("report missing %q:\n%s", want, out.String())
 		}
 	}
+
+	// The -j flag must not change a single byte of the report.
+	var out4, errb4 bytes.Buffer
+	if code := run([]string{"-gen", "dlx", "-j", "4"}, &out4, &errb4); code != 0 {
+		t.Fatalf("-j 4: exit %d, stderr: %s", code, errb4.String())
+	}
+	if !bytes.Equal(out.Bytes(), out4.Bytes()) {
+		t.Errorf("report depends on -j:\n--- -j default ---\n%s\n--- -j 4 ---\n%s", out.String(), out4.String())
+	}
 }
 
 func TestJSONReportRecordsSeed(t *testing.T) {

@@ -61,6 +61,14 @@ func TestGoldenDesyncDLX(t *testing.T) {
 		t.Fatal(err)
 	}
 	goldenCompare(t, "dlx_desync.json", append(out, '\n'))
+
+	// The parallel timing cross-checks must reproduce the same golden.
+	rep4 := lint.Check(f.Desync.Top, lint.Options{Desync: true, Constraints: f.Result.Constraints, Parallelism: 4})
+	out4, err := rep4.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "dlx_desync.json", append(out4, '\n'))
 }
 
 func TestGoldenDesyncARM(t *testing.T) {

@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 
+	"desync/internal/cliutil"
 	"desync/internal/ctrlnet"
 	"desync/internal/designs"
 	"desync/internal/lint"
@@ -47,6 +48,7 @@ type lintOpts struct {
 	baseline, writeBaseline  string
 	desync, midflow          bool
 	jsonOut, rules           bool
+	parallelism              int
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -64,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.baseline, "baseline", "", "baseline file of accepted findings (rule|module|inst|net per line)")
 	fs.StringVar(&o.writeBaseline, "write-baseline", "", "write the current findings as a baseline file and exit 0")
 	fs.BoolVar(&o.rules, "rules", false, "print the rule catalog and exit")
+	cliutil.ParallelismVar(fs, &o.parallelism)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -93,7 +96,7 @@ func lintRun(o lintOpts, stdout io.Writer) (int, error) {
 		return 0, err
 	}
 
-	opts := lint.Options{Desync: o.desync, MidFlow: o.midflow}
+	opts := lint.Options{Desync: o.desync, MidFlow: o.midflow, Parallelism: o.parallelism}
 	if o.sdcIn != "" {
 		text, err := os.ReadFile(o.sdcIn)
 		if err != nil {

@@ -8,7 +8,7 @@
 //	experiments -table 5.1 | -table 5.2
 //	experiments -fig 2.4 | -fig 5.3 | -fig 5.4 | -fig 5.5
 //	experiments -faults
-//	            [-cycles 25] [-chips 60] [-sel 3] [-seed 5]
+//	            [-cycles 25] [-chips 60] [-sel 3] [-seed 5] [-j N]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"desync/internal/cliutil"
 	"desync/internal/expt"
 	"desync/internal/netlist"
 )
@@ -28,9 +29,12 @@ func main() {
 		cycles = flag.Int("cycles", 25, "simulated cycles per measurement")
 		chips  = flag.Int("chips", 60, "Monte Carlo population for Fig 5.4")
 		sel    = flag.Int("sel", 3, "delay selection for Fig 5.4 (-1 = fixed sized elements)")
-		seed   = flag.Int64("seed", 5, "random seed")
 		faults = flag.Bool("faults", false, "run the DLX fault-injection campaign")
 	)
+	var seed int64
+	var jobs int
+	cliutil.SeedVar(flag.CommandLine, &seed, "seed", 5, "random seed")
+	cliutil.ParallelismVar(flag.CommandLine, &jobs)
 	flag.Parse()
 	if !*all && *table == "" && *fig == "" && !*faults {
 		flag.Usage()
@@ -98,7 +102,7 @@ func main() {
 	}
 	if *all || *fig == "5.4" {
 		run("fig 5.4", func() error {
-			mc, _, err := expt.Fig54(*chips, *cycles, *sel, *seed)
+			mc, _, err := expt.Fig54(*chips, *cycles, *sel, seed)
 			if err != nil {
 				return err
 			}
@@ -122,7 +126,11 @@ func main() {
 	}
 	if *all || *faults {
 		run("faults", func() error {
-			rep, err := expt.RunDLXFaultCampaign(nil, expt.FaultCampaignConfig{Glitches: true})
+			ctx, cancel := cliutil.Context()
+			defer cancel()
+			rep, err := expt.RunDLXFaultCampaign(ctx, nil, expt.FaultCampaignConfig{
+				Glitches: true, Parallelism: jobs,
+			})
 			if err != nil {
 				return err
 			}

@@ -20,6 +20,12 @@
 //	            strings nor direct handshake.ControlRegion calls. Go through
 //	            ctrlnet.Name/CtrlGate/Region instead, so a naming change stays
 //	            a one-package change.
+//	RL-OPTS     Exported functions and methods must not take more than four
+//	            scalar configuration parameters (basic types: ints, floats,
+//	            bools, strings). Past that, positional call sites stop being
+//	            readable and every new knob is a breaking change; bundle the
+//	            knobs into an options struct (the Options/Config pattern with
+//	            documented zero values) instead.
 //
 // Exit status is 1 when any finding is produced, 2 on usage/parse errors.
 package main
@@ -55,6 +61,15 @@ var panicAllowlist = map[string]bool{
 	"internal/netlist/cell.go:MustCell":      true,
 	"internal/stg/stg.go:Initial":            true, // malformed built-in STG spec
 	"internal/logic/expr.go:MustParseExpr":   true,
+}
+
+// optsAllowlist exempts audited functions from RL-OPTS. The only legitimate
+// exemptions are positional by nature: the DLX assembler helpers mirror the
+// ISA's field order (op, rd, rs1, rs2, imm), which is a fixed encoding, not
+// a set of tunables.
+var optsAllowlist = map[string]bool{
+	"internal/designs/dlx.go:Encode": true,
+	"internal/designs/model.go:I":    true,
 }
 
 type finding struct {
@@ -160,8 +175,47 @@ func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
 		if driver {
 			out = append(out, checkFlowReturns(fset, fn.Type, fn.Body)...)
 		}
+		if !optsAllowlist[key] {
+			out = append(out, checkScalarParams(fset, fn)...)
+		}
 	}
 	return out
+}
+
+// scalarTypes are the basic types counted by RL-OPTS. Pointers, slices,
+// maps, funcs and named struct/interface types are not configuration
+// scalars and do not count.
+var scalarTypes = map[string]bool{
+	"bool": true, "string": true, "byte": true, "rune": true,
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true, "uintptr": true,
+	"float32": true, "float64": true, "complex64": true, "complex128": true,
+}
+
+// checkScalarParams enforces RL-OPTS: an exported function or method taking
+// more than four scalar basic-type parameters needs an options struct.
+func checkScalarParams(fset *token.FileSet, fn *ast.FuncDecl) []finding {
+	if !fn.Name.IsExported() || fn.Type.Params == nil {
+		return nil
+	}
+	scalars := 0
+	for _, field := range fn.Type.Params.List {
+		id, ok := field.Type.(*ast.Ident)
+		if !ok || !scalarTypes[id.Name] {
+			continue
+		}
+		// An unnamed field declares one parameter; a named field one per name.
+		if n := len(field.Names); n > 0 {
+			scalars += n
+		} else {
+			scalars++
+		}
+	}
+	if scalars <= 4 {
+		return nil
+	}
+	return []finding{{fset.Position(fn.Pos()), "RL-OPTS",
+		fmt.Sprintf("%s takes %d scalar configuration parameters; past four, bundle them into an options struct with documented zero values", fn.Name.Name, scalars)}}
 }
 
 // checkCtrlnetOwnership enforces RL-CTRLNET on one file that is not part of

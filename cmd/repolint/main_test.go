@@ -147,6 +147,42 @@ func ControlRegion(name string) (int, bool) { _ = "G%d_"; return 0, false }
 	}
 }
 
+func TestOptsRuleFires(t *testing.T) {
+	src := `package foo
+func Tune(cycles, workers int, margin float64, verbose bool, name string) {}
+`
+	got := check(t, "internal/foo/foo.go", src)
+	if len(got) != 1 || got[0] != "RL-OPTS" {
+		t.Fatalf("want [RL-OPTS] for five scalar parameters, got %v", got)
+	}
+}
+
+func TestOptsRuleIgnoresNonScalars(t *testing.T) {
+	// Pointers, structs, slices, funcs and contexts are not configuration
+	// scalars; four scalars is the documented ceiling; unexported functions
+	// are free to be as positional as they like.
+	src := `package foo
+import "context"
+func Run(ctx context.Context, d *Design, opts Options, cycles, workers int, margin float64, verbose bool) {}
+func internalHelper(a, b, c, d, e, f int) {}
+`
+	if got := check(t, "internal/foo/foo.go", src); len(got) != 0 {
+		t.Fatalf("RL-OPTS overcounted: %v", got)
+	}
+}
+
+func TestOptsRuleAllowlist(t *testing.T) {
+	src := `package designs
+func Encode(op, rd, rs1, rs2, imm int) uint16 { return 0 }
+`
+	if got := check(t, "internal/designs/dlx.go", src); len(got) != 0 {
+		t.Fatalf("allowlisted assembler helper flagged: %v", got)
+	}
+	if got := check(t, "internal/other/dlx.go", src); len(got) != 1 || got[0] != "RL-OPTS" {
+		t.Fatalf("allowlist must be path-specific, got %v", got)
+	}
+}
+
 // TestEquivPanicPolicy pins the formal engine to the no-panic policy: a
 // panic introduced anywhere in internal/equiv is flagged, because the
 // package has no allowlisted sites — and must not silently grow any, since

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -81,7 +82,7 @@ func run(in, top, libV, cornerS string, period float64, autobreak, regions bool)
 	fmt.Print(sta.FormatPath(r.CriticalPath()))
 
 	if regions {
-		rds, err := sta.RegionDelays(d.Top, corner, opts)
+		rds, err := sta.RegionDelays(context.Background(), d.Top, corner, opts)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -76,7 +77,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Desynchronize(dd, core.Options{Period: period})
+	res, err := core.Desynchronize(context.Background(), dd, core.Options{Period: period})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,40 @@
+// Package cliutil holds the flag and lifecycle conventions shared by the
+// flow's command-line tools. Every CLI that drives a parallel kernel
+// (drdesync, drlint, drequiv, experiments) registers the same -j flag
+// through ParallelismVar, so the worker bound reads identically everywhere
+// and the "0 means GOMAXPROCS, output identical at any value" contract is
+// stated once. Seed flags keep their historical per-tool names and defaults
+// (drequiv -seed 1, experiments -seed 5, drdesync -equiv-seed 1) but are
+// registered through SeedVar so the reproducibility wording stays uniform.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+)
+
+// ParallelismUsage is the shared help text of the -j flag.
+const ParallelismUsage = "worker bound for the parallel kernels (0: all CPUs); results are identical at any value"
+
+// ParallelismVar registers the shared -j flag on fs. The zero default defers
+// to GOMAXPROCS inside the kernels (internal/par.Workers).
+func ParallelismVar(fs *flag.FlagSet, p *int) {
+	fs.IntVar(p, "j", 0, ParallelismUsage)
+}
+
+// SeedVar registers a PRNG seed flag under the tool's historical name and
+// default, with a uniform reproducibility suffix on the usage string.
+func SeedVar(fs *flag.FlagSet, p *int64, name string, def int64, usage string) {
+	fs.Int64Var(p, name, def, fmt.Sprintf("%s (recorded so failures reproduce)", usage))
+}
+
+// Context returns the root context of a CLI run: canceled on the first
+// interrupt (Ctrl-C), so the parallel kernels drain their workers and the
+// tool exits through its normal error path instead of being killed mid-write.
+// A second interrupt falls back to the default signal behavior.
+func Context() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}

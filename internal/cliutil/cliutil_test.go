@@ -1,0 +1,69 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func newFS() *flag.FlagSet {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestParallelismVar(t *testing.T) {
+	fs := newFS()
+	var j int
+	ParallelismVar(fs, &j)
+	if err := fs.Parse([]string{"-j", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if j != 4 {
+		t.Fatalf("-j 4 parsed as %d", j)
+	}
+
+	fs = newFS()
+	ParallelismVar(fs, &j)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if j != 0 {
+		t.Fatalf("default -j = %d, want 0 (GOMAXPROCS)", j)
+	}
+}
+
+func TestSeedVarKeepsNameAndDefault(t *testing.T) {
+	fs := newFS()
+	var seed int64
+	SeedVar(fs, &seed, "equiv-seed", 1, "PRNG seed for -equiv-xval traces")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if seed != 1 {
+		t.Fatalf("default seed = %d, want 1", seed)
+	}
+	f := fs.Lookup("equiv-seed")
+	if f == nil {
+		t.Fatal("flag not registered under its historical name")
+	}
+	if !strings.Contains(f.Usage, "reproduce") {
+		t.Fatalf("usage %q lacks the reproducibility suffix", f.Usage)
+	}
+	if err := fs.Parse([]string{"-equiv-seed", "77"}); err != nil {
+		t.Fatal(err)
+	}
+	if seed != 77 {
+		t.Fatalf("parsed seed = %d, want 77", seed)
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := Context()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh context already dead: %v", err)
+	}
+	cancel()
+	<-ctx.Done()
+}

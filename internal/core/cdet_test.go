@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"desync/internal/designs"
@@ -35,7 +36,7 @@ func TestCompletionDetectionFlowEquivalence(t *testing.T) {
 		return a
 	}()
 
-	res, err := Desynchronize(ddes, Options{Period: 5, CompletionDetection: true})
+	res, err := Desynchronize(context.Background(), ddes, Options{Period: 5, CompletionDetection: true})
 	if err != nil {
 		t.Fatal(err)
 	}

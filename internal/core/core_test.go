@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -417,7 +418,7 @@ func TestDesynchronizeFlowEquivalence(t *testing.T) {
 
 	// Desynchronized run.
 	ddes := buildPipelineRing(lib)
-	res, err := Desynchronize(ddes, Options{Period: period})
+	res, err := Desynchronize(context.Background(), ddes, Options{Period: period})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,7 +464,7 @@ func TestDesynchronizeFlowEquivalence(t *testing.T) {
 func TestDesynchronizedNetlistExports(t *testing.T) {
 	lib := hs()
 	d := buildPipelineRing(lib)
-	res, err := Desynchronize(d, Options{Period: 3.0})
+	res, err := Desynchronize(context.Background(), d, Options{Period: 3.0})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -46,6 +47,10 @@ type Options struct {
 	// engine here so every stage is gated, not just import and export; an
 	// error aborts the flow as a FlowError of that stage.
 	StageCheck func(stage string, midFlow bool) error
+	// Parallelism bounds the workers of the flow's parallel kernels
+	// (per-region STA extraction during delay-element sizing); 0 means
+	// GOMAXPROCS. The flow's output is identical at any value.
+	Parallelism int
 }
 
 // Result reports everything a drdesync run produced.
@@ -79,7 +84,11 @@ type Result struct {
 // untouched (§2.1); the clock network is gone; the design gains a
 // rst_desync input (and delsel[2:0] when MuxTaps is set), plus environment
 // handshake ports for boundary regions.
-func Desynchronize(d *netlist.Design, opts Options) (*Result, error) {
+//
+// Cancellation is observed at every stage boundary (and inside the sized
+// kernels); a canceled flow aborts as a FlowError of the stage it was
+// entering, leaving the design in that stage's state.
+func Desynchronize(ctx context.Context, d *netlist.Design, opts Options) (*Result, error) {
 	if opts.Margin == 0 {
 		opts.Margin = 1.15
 	}
@@ -87,8 +96,12 @@ func Desynchronize(d *netlist.Design, opts Options) (*Result, error) {
 	name := d.Name
 
 	// validate runs the netlist invariant checker after each stage so a
-	// stage that corrupts the structure is caught at its own boundary.
+	// stage that corrupts the structure is caught at its own boundary; it
+	// is also where a cancellation between stages surfaces.
 	validate := func(stage string, midFlow bool) error {
+		if err := ctx.Err(); err != nil {
+			return flowErr(stage, name, "canceled", err)
+		}
 		errs := d.Top.Validate(netlist.ValidateOptions{AllowUndriven: midFlow})
 		if len(errs) > 0 {
 			return flowErr(stage, name, "post-stage validation",
@@ -100,6 +113,10 @@ func Desynchronize(d *netlist.Design, opts Options) (*Result, error) {
 			}
 		}
 		return nil
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, flowErr(StageImport, name, "canceled", err)
 	}
 
 	// Design import finalization: the paper's tool works on a flat view; a
@@ -169,7 +186,7 @@ func Desynchronize(d *netlist.Design, opts Options) (*Result, error) {
 
 	res.DDG = BuildDDG(d.Top)
 
-	levels, rds, err := SizeDelayElements(d, res.DDG, opts.Margin)
+	levels, rds, err := SizeDelayElements(ctx, d, res.DDG, opts.Margin, opts.Parallelism)
 	if err != nil {
 		return nil, flowErr(StageSize, name, "", err)
 	}

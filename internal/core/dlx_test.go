@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -66,7 +67,7 @@ func desyncDLX(t *testing.T, muxTaps bool) (*netlist.Design, *Result, float64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rds, err := sta.RegionDelays(d.Top, netlist.Worst, sta.Options{})
+	rds, err := sta.RegionDelays(context.Background(), d.Top, netlist.Worst, sta.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func desyncDLX(t *testing.T, muxTaps bool) (*netlist.Design, *Result, float64) {
 		}
 	}
 	period *= 1.15
-	res, err := Desynchronize(d, Options{Period: period, MuxTaps: muxTaps})
+	res, err := Desynchronize(context.Background(), d, Options{Period: period, MuxTaps: muxTaps})
 	if err != nil {
 		t.Fatal(err)
 	}

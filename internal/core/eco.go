@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -26,14 +27,20 @@ type ECORow struct {
 // layout, ECO can be used to calibrate the length of the delay elements
 // taking into consideration the final delays including full parasitics"
 // (§6). Returns one row per region with a fixed element.
-func ECOCalibrate(d *netlist.Design, res *Result, margin float64, repair bool) ([]ECORow, error) {
+//
+// The repair path splices gates into the shared netlist, so regions
+// calibrate serially; cancellation is observed between regions.
+func ECOCalibrate(ctx context.Context, d *netlist.Design, res *Result, margin float64, repair bool) ([]ECORow, error) {
 	if margin <= 0 {
 		margin = 1.15
 	}
 	m := d.Top
 	rows := []ECORow{}
 	for _, g := range res.DDG.Nodes {
-		row, ok, err := ecoRegion(d, res, g, margin, repair)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row, ok, err := ecoRegion(ctx, d, res, g, margin, repair)
 		if err != nil {
 			return nil, err
 		}
@@ -49,7 +56,7 @@ func ECOCalibrate(d *netlist.Design, res *Result, margin float64, repair bool) (
 	return rows, nil
 }
 
-func ecoRegion(d *netlist.Design, res *Result, g int, margin float64, repair bool) (ECORow, bool, error) {
+func ecoRegion(ctx context.Context, d *netlist.Design, res *Result, g int, margin float64, repair bool) (ECORow, bool, error) {
 	m := d.Top
 	ctl := m.Inst(ctrlnet.CtrlGate(g, true, ctrlnet.GateG))
 	if ctl == nil || m.Inst(ctrlnet.ChainStage(ctrlnet.DelayPrefix(g), 1)) == nil {
@@ -57,7 +64,7 @@ func ecoRegion(d *netlist.Design, res *Result, g int, margin float64, repair boo
 	}
 	row := ECORow{Region: g}
 	for attempt := 0; ; attempt++ {
-		elem, budget, err := ecoMeasure(d, res, g, ctl)
+		elem, budget, err := ecoMeasure(ctx, d, res, g, ctl)
 		if err != nil {
 			return ECORow{}, false, err
 		}
@@ -88,7 +95,7 @@ func ecoRegion(d *netlist.Design, res *Result, g int, margin float64, repair boo
 
 // ecoMeasure computes the post-layout element path delay (arrival at the
 // master controller's request pin) and the region's post-layout budget.
-func ecoMeasure(d *netlist.Design, res *Result, g int, ctl *netlist.Inst) (elem, budget float64, err error) {
+func ecoMeasure(ctx context.Context, d *netlist.Design, res *Result, g int, ctl *netlist.Inst) (elem, budget float64, err error) {
 	graph, err := sta.Build(d.Top, sta.Options{
 		Corner:        netlist.Worst,
 		Disabled:      res.DisabledArcMap(),
@@ -106,7 +113,7 @@ func ecoMeasure(d *netlist.Design, res *Result, g int, ctl *netlist.Inst) (elem,
 	if math.IsInf(elem, -1) {
 		return 0, 0, fmt.Errorf("core: region %d request path unconstrained", g)
 	}
-	rds, err := sta.RegionDelays(d.Top, netlist.Worst, sta.Options{
+	rds, err := sta.RegionDelays(ctx, d.Top, netlist.Worst, sta.Options{
 		Disabled:      res.DisabledArcMap(),
 		UseWireDelays: true,
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestECOCalibration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Desynchronize(d, Options{Period: 5})
+	res, err := Desynchronize(context.Background(), d, Options{Period: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestECOCalibration(t *testing.T) {
 
 	// With the 1.15 sizing margin, the freshly routed design must pass the
 	// check outright.
-	rows, err := ECOCalibrate(d, res, 1.15, false)
+	rows, err := ECOCalibrate(context.Background(), d, res, 1.15, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestECOCalibration(t *testing.T) {
 	}
 
 	// Detection pass: the victim region must now be uncovered.
-	rows2, err := ECOCalibrate(d, res, 1.15, false)
+	rows2, err := ECOCalibrate(context.Background(), d, res, 1.15, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestECOCalibration(t *testing.T) {
 	}
 
 	// Repair pass: splice levels until covered again.
-	rows3, err := ECOCalibrate(d, res, 1.15, true)
+	rows3, err := ECOCalibrate(context.Background(), d, res, 1.15, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestFIRDesynchronizedFlowEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rds, err := sta.RegionDelays(tmp.Top, netlist.Worst, sta.Options{})
+	rds, err := sta.RegionDelays(context.Background(), tmp.Top, netlist.Worst, sta.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFIRDesynchronizedFlowEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Desynchronize(ddes, Options{Period: period})
+	res, err := Desynchronize(context.Background(), ddes, Options{Period: period})
 	if err != nil {
 		t.Fatal(err)
 	}

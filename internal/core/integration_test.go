@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -50,7 +51,7 @@ func TestVerilogRoundTripFlowEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Desynchronize(dwork, Options{Period: period})
+	res, err := Desynchronize(context.Background(), dwork, Options{Period: period})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ endmodule
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Desynchronize(d, Options{Period: 2, ManualGroups: true})
+	res, err := Desynchronize(context.Background(), d, Options{Period: 2, ManualGroups: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestMultipleClocksRejected(t *testing.T) {
 		m.MustConnect(ff, "QN", m.AddNet(fmt.Sprintf("qn%d", i)))
 	}
 	d := &netlist.Design{Name: "m", Top: m, Lib: lib, Modules: map[string]*netlist.Module{"m": m}}
-	_, err := Desynchronize(d, Options{Period: 2})
+	_, err := Desynchronize(context.Background(), d, Options{Period: 2})
 	if err == nil {
 		t.Fatal("expected multiple-clock rejection")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestWriteTestbench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Desynchronize(ddes, Options{Period: 4.65})
+	res, err := Desynchronize(context.Background(), ddes, Options{Period: 4.65})
 	if err != nil {
 		t.Fatal(err)
 	}

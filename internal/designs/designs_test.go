@@ -1,6 +1,7 @@
 package designs
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -90,7 +91,7 @@ func TestBuildDLXStructure(t *testing.T) {
 // dlxPeriod picks a safe clock period from STA.
 func dlxPeriod(t *testing.T, d *netlist.Design) float64 {
 	t.Helper()
-	rds, err := sta.RegionDelays(d.Top, netlist.Worst, sta.Options{})
+	rds, err := sta.RegionDelays(context.Background(), d.Top, netlist.Worst, sta.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package equiv
 
 import (
+	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -34,7 +36,7 @@ func BenchmarkEquivDLX(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		res := m.Explore(ExploreOptions{})
+		res := mustExplore(b, m, ExploreOptions{})
 		if d := time.Since(start); d > dlxExploreBudget {
 			b.Fatalf("exploration took %v, budget %v", d, dlxExploreBudget)
 		}
@@ -46,6 +48,81 @@ func BenchmarkEquivDLX(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(dlxStates), "markings")
+}
+
+// BenchmarkEquivParallelDLX prices the same exploration with the parallel
+// frontier engine at 4 workers. On a single-core host this measures the
+// sharding overhead, not a speedup; the guard is the determinism pin — the
+// parallel search must land on exactly the serial state count.
+func BenchmarkEquivParallelDLX(b *testing.B) {
+	f, err := expt.RunDLXFlow(expt.FlowConfig{})
+	if err != nil {
+		b.Fatalf("DLX flow: %v", err)
+	}
+	m, err := FromModule(f.Desync.Top)
+	if err != nil {
+		b.Fatalf("FromModule: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res := mustExplore(b, m, ExploreOptions{Parallelism: 4})
+		if d := time.Since(start); d > dlxExploreBudget {
+			b.Fatalf("exploration took %v, budget %v", d, dlxExploreBudget)
+		}
+		if !res.Clean() {
+			b.Fatalf("DLX network no longer verifies: %+v", res.Violation)
+		}
+		if res.States != dlxStates {
+			b.Fatalf("parallel state count drifted: got %d, pinned %d", res.States, dlxStates)
+		}
+	}
+	b.ReportMetric(float64(dlxStates), "markings")
+}
+
+// BenchmarkEquivScaling measures the two equiv kernels across worker
+// counts for the EXPERIMENTS.md scaling table: the DLX full-interleaving
+// search bounded at 20k markings (the reduced search, at 4013 markings in
+// single-digit milliseconds, is too small to time) and the ARM
+// cross-validation trace fan-out.
+func BenchmarkEquivScaling(b *testing.B) {
+	dlx, err := expt.RunDLXFlow(expt.FlowConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	md, err := FromModule(dlx.Desync.Top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arm, err := expt.RunARMFlow(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ma, err := FromModule(arm.Desync.Top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("dlx-full-j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustExplore(b, md, ExploreOptions{NoReduce: true, MaxStates: 20_000, Parallelism: j})
+				if !res.Truncated {
+					b.Fatalf("expected a bounded search, got %d markings", res.States)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("arm-xval-j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x, err := ma.CrossValidate(context.Background(), arm.Desync.Top, XValConfig{Traces: 4, Seed: 7, Parallelism: j})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if x.Divergence != nil {
+					b.Fatalf("ARM xval diverged: %+v", x.Divergence)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkModelFromFreshDerive vs BenchmarkModelFromSharedNetwork price

@@ -111,7 +111,7 @@ func TestKnownBadFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res := m.Explore(ExploreOptions{})
+			res := mustExplore(t, m, ExploreOptions{})
 			if res.Violation == nil {
 				t.Fatalf("mutation not caught (states=%d truncated=%v)", res.States, res.Truncated)
 			}

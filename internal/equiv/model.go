@@ -40,13 +40,13 @@ type sigKind uint8
 
 const (
 	kindG       sigKind = iota // latch-enable gC output (CGMX1/CGSX1)
-	kindRO              // request-out gC output (CROX1)
-	kindB               // opened-since-handshake bit (CBX1)
-	kindAI              // acknowledge AND (ANDN3X1), combinational
-	kindJoin            // collapsed C-Muller rendezvous tree
-	kindDelay           // matched delay element output (channel arrival)
-	kindEnvSrc          // environment request producer (input port)
-	kindEnvSink         // environment acknowledge consumer (input port)
+	kindRO                     // request-out gC output (CROX1)
+	kindB                      // opened-since-handshake bit (CBX1)
+	kindAI                     // acknowledge AND (ANDN3X1), combinational
+	kindJoin                   // collapsed C-Muller rendezvous tree
+	kindDelay                  // matched delay element output (channel arrival)
+	kindEnvSrc                 // environment request producer (input port)
+	kindEnvSink                // environment acknowledge consumer (input port)
 )
 
 func (k sigKind) String() string {

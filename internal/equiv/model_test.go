@@ -1,12 +1,24 @@
 package equiv
 
 import (
+	"context"
 	"testing"
 
 	"desync/internal/expt"
 	"desync/internal/lint"
 	"desync/internal/netlist"
 )
+
+// mustExplore runs an uncancelled exploration, failing the test on the
+// (impossible without cancellation) error path.
+func mustExplore(t testing.TB, m *Model, opts ExploreOptions) *Result {
+	t.Helper()
+	res, err := m.Explore(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	return res
+}
 
 // dlxModule runs the full desynchronization flow on a fresh DLX and returns
 // the desynchronized top module. Each caller gets its own netlist so
@@ -36,7 +48,7 @@ func TestDLXClean(t *testing.T) {
 	if len(m.Regions) != 4 {
 		t.Fatalf("DLX regions = %v, want 4", m.Regions)
 	}
-	res := m.Explore(ExploreOptions{})
+	res := mustExplore(t, m, ExploreOptions{})
 	if !res.Clean() {
 		t.Fatalf("DLX not clean: %+v (truncated=%v)", res.Violation, res.Truncated)
 	}
@@ -59,7 +71,7 @@ func TestDLXFullPrefixAgrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := m.Explore(ExploreOptions{NoReduce: true, MaxStates: 150_000})
+	res := mustExplore(t, m, ExploreOptions{NoReduce: true, MaxStates: 150_000})
 	if res.Violation != nil {
 		t.Fatalf("full interleaving found a violation the reduction missed: %+v", res.Violation)
 	}
@@ -80,8 +92,8 @@ func TestARMClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	red := m.Explore(ExploreOptions{})
-	full := m.Explore(ExploreOptions{NoReduce: true})
+	red := mustExplore(t, m, ExploreOptions{})
+	full := mustExplore(t, m, ExploreOptions{NoReduce: true})
 	for name, res := range map[string]*Result{"reduced": red, "full": full} {
 		if !res.Clean() {
 			t.Fatalf("ARM %s not clean: %+v (truncated=%v)", name, res.Violation, res.Truncated)
@@ -101,7 +113,7 @@ func TestDLXCrossValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	xv, err := m.CrossValidate(mod, XValConfig{Traces: 4, Seed: 7})
+	xv, err := m.CrossValidate(context.Background(), mod, XValConfig{Traces: 4, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +142,7 @@ func TestStuckAckCaughtFormally(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := m.Explore(ExploreOptions{})
+	res := mustExplore(t, m, ExploreOptions{})
 	if res.Violation == nil {
 		t.Fatalf("stuck acknowledge not caught (states=%d truncated=%v)", res.States, res.Truncated)
 	}

@@ -24,13 +24,13 @@ const (
 // Violation is one disproved property with its counterexample: the firing
 // sequence from reset and the enabling marking of the final event.
 type Violation struct {
-	Rule   string          `json:"rule"`
-	Region int             `json:"region,omitempty"`
-	Sig    string          `json:"signal,omitempty"`
-	Msg    string          `json:"msg"`
-	Events []TraceEvent    `json:"events,omitempty"`
+	Rule    string          `json:"rule"`
+	Region  int             `json:"region,omitempty"`
+	Sig     string          `json:"signal,omitempty"`
+	Msg     string          `json:"msg"`
+	Events  []TraceEvent    `json:"events,omitempty"`
 	Marking map[string]bool `json:"marking,omitempty"`
-	Gens   map[string]int  `json:"generations,omitempty"`
+	Gens    map[string]int  `json:"generations,omitempty"`
 }
 
 // Result is the outcome of one verification run. The three property flags

@@ -1,6 +1,7 @@
 package equiv
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,16 +9,22 @@ import (
 	"desync/internal/handshake"
 	"desync/internal/logic"
 	"desync/internal/netlist"
+	"desync/internal/par"
 	"desync/internal/sim"
 )
 
 // XValConfig tunes the model-vs-simulation cross-validation.
 type XValConfig struct {
 	Traces  int     // randomized runs; 0 disables cross-validation
-	Seed    int64   // PRNG seed; trace k uses Seed+k
+	Seed    int64   // PRNG seed; trace k uses Seed+k; 0 means 0 (recorded)
 	Spread  float64 // control-gate delay jitter (default 0.35)
 	Horizon float64 // run length per trace in ns (default 60)
 	Corner  netlist.Corner
+	// Parallelism bounds the worker count for concurrent traces; 0 means
+	// GOMAXPROCS. The report is identical at any value: traces draw their
+	// delay jitter from per-trace seeds, never share simulator state, and
+	// the merge keeps the lowest-index divergence.
+	Parallelism int
 }
 
 // XValResult reports the cross-validation outcome.
@@ -60,7 +67,13 @@ type obsEvent struct {
 // so the model must accept every such run), observes the property-relevant
 // nets, and checks each observed trace is a firing sequence of the model
 // via subset construction over the invisible transitions.
-func (m *Model) CrossValidate(mod *netlist.Module, cfg XValConfig) (*XValResult, error) {
+//
+// Traces run concurrently (cfg.Parallelism workers): each one snapshots its
+// own jittered delay factors into its simulator instead of mutating the
+// shared module, and the serial merge below keeps exactly what the old
+// one-trace-at-a-time loop reported — the lowest-index divergence or
+// failure, with Events counting only the traces before it.
+func (m *Model) CrossValidate(ctx context.Context, mod *netlist.Module, cfg XValConfig) (*XValResult, error) {
 	if cfg.Spread == 0 {
 		cfg.Spread = 0.35
 	}
@@ -68,20 +81,44 @@ func (m *Model) CrossValidate(mod *netlist.Module, cfg XValConfig) (*XValResult,
 		cfg.Horizon = 60
 	}
 	res := &XValResult{Seed: cfg.Seed, Traces: cfg.Traces}
-	for k := 0; k < cfg.Traces; k++ {
+	type traceResult struct {
+		events int
+		div    *Divergence
+		err    error
+	}
+	tasks := make([]int, cfg.Traces)
+	for k := range tasks {
+		tasks[k] = k
+	}
+	// Per-trace errors travel inside the result (not as task errors), so
+	// the merge can replicate the serial loop's stop-at-first semantics;
+	// only cancellation aborts the fan-out itself.
+	results, err := par.Map(ctx, cfg.Parallelism, tasks, func(ctx context.Context, _ int, k int) (traceResult, error) {
+		if err := ctx.Err(); err != nil {
+			return traceResult{}, err
+		}
 		obs, err := m.simTrace(mod, cfg, cfg.Seed+int64(k))
 		if err != nil {
-			return res, err
+			return traceResult{err: err}, nil
 		}
 		div, err := m.accept(obs, k)
 		if err != nil {
-			return res, err
+			return traceResult{err: err}, nil
 		}
-		if div != nil {
-			res.Divergence = div
+		return traceResult{events: len(obs), div: div}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, r := range results {
+		if r.err != nil {
+			return res, r.err
+		}
+		if r.div != nil {
+			res.Divergence = r.div
 			return res, nil
 		}
-		res.Events += len(obs)
+		res.Events += r.events
 	}
 	return res, nil
 }
@@ -89,12 +126,11 @@ func (m *Model) CrossValidate(mod *netlist.Module, cfg XValConfig) (*XValResult,
 // simTrace runs one randomized simulation and returns the observed visible
 // transitions after reset release.
 func (m *Model) simTrace(mod *netlist.Module, cfg XValConfig, seed int64) ([]obsEvent, error) {
-	_, restore := sim.JitterDelayFactors(mod, seed, cfg.Spread, func(in *netlist.Inst) bool {
+	factors := sim.DelayFactorMap(mod, seed, cfg.Spread, func(in *netlist.Inst) bool {
 		return handshake.IsControlOrigin(in.Origin)
 	})
-	defer restore()
 
-	s, err := sim.New(mod, sim.Config{Corner: cfg.Corner})
+	s, err := sim.New(mod, sim.Config{Corner: cfg.Corner, DelayFactors: factors})
 	if err != nil {
 		return nil, err
 	}

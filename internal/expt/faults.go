@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"desync/internal/faults"
@@ -21,12 +22,15 @@ type FaultCampaignConfig struct {
 	DelayPerRegion int
 	// Glitches adds the pulse faults (informative: glitches may escape).
 	Glitches bool
+	// Parallelism bounds the campaign's workers (one fault per task); 0
+	// means GOMAXPROCS. The report is identical at any value.
+	Parallelism int
 }
 
 // NewDLXCampaign arms a fault campaign on an already-desynchronized DLX:
 // the same reset sequencing as MeasureDDLX, a deadlock watchdog spanning a
 // few effective periods, and the latch setup guard.
-func NewDLXCampaign(f *DLXFlow, cycles int) (*faults.Campaign, error) {
+func NewDLXCampaign(ctx context.Context, f *DLXFlow, cycles, parallelism int) (*faults.Campaign, error) {
 	if cycles <= 0 {
 		cycles = 12
 	}
@@ -43,11 +47,12 @@ func NewDLXCampaign(f *DLXFlow, cycles int) (*faults.Campaign, error) {
 		s.Drive("rstn", logic.H, 1)
 		return s.Drive("rst_desync", logic.L, 2)
 	}
-	return faults.NewCampaign(f.Desync.Top, faults.Config{
+	return faults.NewCampaign(ctx, f.Desync.Top, faults.Config{
 		Stimulus:      stim,
 		Horizon:       2 + f.Period*float64(cycles)*6,
 		QuiescenceGap: 8 * f.Period,
 		SetupGuard:    true,
+		Parallelism:   parallelism,
 	})
 }
 
@@ -56,10 +61,10 @@ func NewDLXCampaign(f *DLXFlow, cycles int) (*faults.Campaign, error) {
 // every one. The flow's §2.5/§4.6 robustness claims predict — and the
 // acceptance tests require — that every under-margin delay fault and every
 // control stuck-at fault is detected.
-func RunDLXFaultCampaign(f *DLXFlow, cfg FaultCampaignConfig) (*faults.Report, error) {
+func RunDLXFaultCampaign(ctx context.Context, f *DLXFlow, cfg FaultCampaignConfig) (*faults.Report, error) {
 	if f == nil {
 		var err error
-		if f, err = RunDLXFlow(FlowConfig{}); err != nil {
+		if f, err = RunDLXFlow(FlowConfig{Parallelism: cfg.Parallelism}); err != nil {
 			return nil, err
 		}
 	}
@@ -72,7 +77,7 @@ func RunDLXFaultCampaign(f *DLXFlow, cfg FaultCampaignConfig) (*faults.Report, e
 	if cfg.DelayPerRegion == 0 {
 		cfg.DelayPerRegion = 2
 	}
-	c, err := NewDLXCampaign(f, cfg.Cycles)
+	c, err := NewDLXCampaign(ctx, f, cfg.Cycles, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -83,5 +88,5 @@ func RunDLXFaultCampaign(f *DLXFlow, cfg FaultCampaignConfig) (*faults.Report, e
 		mid := 2 + f.Period*float64(cfg.Cycles)*3
 		list = append(list, c.GlitchFaults(mid, 0.3)...)
 	}
-	return c.Run(list)
+	return c.Run(ctx, list)
 }

@@ -6,6 +6,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"desync/internal/core"
@@ -49,6 +50,9 @@ type FlowConfig struct {
 	// CompletionDetection replaces delay elements with dual-rail completion
 	// networks (§2.4.4).
 	CompletionDetection bool
+	// Parallelism bounds the flow's parallel kernels; 0 means GOMAXPROCS.
+	// The results are identical at any value.
+	Parallelism int
 }
 
 // RunDLXFlow implements the experimental procedure of Fig 5.1 for the DLX:
@@ -84,13 +88,14 @@ func RunDLXFlow(cfg FlowConfig) (*DLXFlow, error) {
 			in.Group = 1
 		}
 	}
-	f.Result, err = core.Desynchronize(f.Desync, core.Options{
+	f.Result, err = core.Desynchronize(context.Background(), f.Desync, core.Options{
 		Period:              f.Period,
 		Margin:              cfg.Margin,
 		MuxTaps:             cfg.MuxTaps,
 		TapScales:           cfg.TapScales,
 		ManualGroups:        cfg.SingleRegion,
 		CompletionDetection: cfg.CompletionDetection,
+		Parallelism:         cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -115,7 +120,7 @@ func RunDLXFlow(cfg FlowConfig) (*DLXFlow, error) {
 // worst launch-to-capture budget over all regions.
 func syncPeriods(d *netlist.Design) (worst, best float64, err error) {
 	for _, corner := range []netlist.Corner{netlist.Worst, netlist.Best} {
-		rds, err := sta.RegionDelays(d.Top, corner, sta.Options{})
+		rds, err := sta.RegionDelays(context.Background(), d.Top, corner, sta.Options{})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -175,7 +180,7 @@ func RunARMFlow(layout bool) (*ARMFlow, error) {
 	if f.Desync, err = build(); err != nil {
 		return nil, err
 	}
-	if _, err = core.Desynchronize(f.Desync, core.Options{
+	if _, err = core.Desynchronize(context.Background(), f.Desync, core.Options{
 		Period:       armPeriod(f.Sync),
 		ManualGroups: true,
 	}); err != nil {
@@ -198,7 +203,7 @@ func RunARMFlow(layout bool) (*ARMFlow, error) {
 }
 
 func armPeriod(d *netlist.Design) float64 {
-	rds, err := sta.RegionDelays(d.Top, netlist.Worst, sta.Options{})
+	rds, err := sta.RegionDelays(context.Background(), d.Top, netlist.Worst, sta.Options{})
 	if err != nil {
 		return 10
 	}

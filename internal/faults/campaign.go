@@ -1,12 +1,14 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"desync/internal/ctrlnet"
 	"desync/internal/logic"
 	"desync/internal/netlist"
+	"desync/internal/par"
 	"desync/internal/sim"
 )
 
@@ -32,6 +34,12 @@ type Config struct {
 	// run's event count (oscillating faults abort instead of spinning);
 	// 0 means 4.
 	MaxEventsFactor float64
+	// Parallelism bounds the worker count when Run fans the faults out;
+	// 0 means GOMAXPROCS. The report is identical at any value: every
+	// fault gets its own simulator (delay faults ride a per-sim factor
+	// snapshot, never instance state), classification is pure, and the
+	// outcomes merge in fault order.
+	Parallelism int
 }
 
 // Campaign holds the design under test and the golden (unfaulted) reference
@@ -60,8 +68,12 @@ type Campaign struct {
 // the unfaulted reference simulation with every watchdog armed. A clean
 // design must produce zero diagnostics — anything else is a config or flow
 // bug, reported as an error here rather than silently polluting every
-// classification after it.
-func NewCampaign(m *netlist.Module, cfg Config) (*Campaign, error) {
+// classification after it. After construction the module is treated as
+// read-only: faulted runs never mutate it, so Run can fan them out.
+func NewCampaign(ctx context.Context, m *netlist.Module, cfg Config) (*Campaign, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.Stimulus == nil {
 		return nil, fmt.Errorf("faults: config needs a Stimulus function")
 	}
@@ -93,7 +105,7 @@ func NewCampaign(m *netlist.Module, cfg Config) (*Campaign, error) {
 
 	// Golden run: X guard off (the design boots through X), everything else
 	// armed.
-	s, err := c.newSim(0, -1)
+	s, err := c.newSim(0, -1, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -143,10 +155,12 @@ func (c *Campaign) GoldenEvents() int64 { return c.goldenEvents }
 
 // newSim builds a stimulated simulator with the watchdog armed.
 // xAfter < 0 disables the X-capture guard (golden run); maxEvents 0 keeps
-// the simulator default.
-func (c *Campaign) newSim(maxEvents int64, xAfter float64) (*sim.Simulator, error) {
+// the simulator default; factors are per-sim delay-factor overrides
+// (delay-fault injection without touching the shared module).
+func (c *Campaign) newSim(maxEvents int64, xAfter float64, factors map[string]float64) (*sim.Simulator, error) {
 	s, err := sim.New(c.M, sim.Config{
 		Corner: c.cfg.Corner, Scale: c.cfg.Scale, MaxEvents: maxEvents,
+		DelayFactors: factors,
 	})
 	if err != nil {
 		return nil, err
@@ -166,33 +180,39 @@ func (c *Campaign) newSim(maxEvents int64, xAfter float64) (*sim.Simulator, erro
 }
 
 // RunFault injects one fault, simulates to the campaign horizon and
-// classifies the outcome against the golden run. The design is restored
-// afterwards (delay faults mutate instance state; forces live only inside
-// the simulator).
-func (c *Campaign) RunFault(f Fault) (Outcome, error) {
+// classifies the outcome against the golden run. The design is never
+// mutated: delay faults ride a per-sim delay-factor snapshot and forces
+// live only inside the simulator, so concurrent RunFault calls are safe.
+func (c *Campaign) RunFault(ctx context.Context, f Fault) (Outcome, error) {
 	out := Outcome{Fault: f}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+
+	var factors map[string]float64
+	if f.Class == ClassDelay {
+		in := c.M.Inst(f.Inst)
+		if in == nil {
+			return out, fmt.Errorf("faults: no instance %q", f.Inst)
+		}
+		base := in.DelayFactor
+		if base == 0 {
+			base = 1
+		}
+		factors = map[string]float64{f.Inst: base * f.Factor}
+	}
 
 	// The X guard opens just past the golden boot transient: the unfaulted
 	// design never latches X again, so any later X capture is fault effect.
 	budget := int64(float64(c.goldenEvents)*c.cfg.MaxEventsFactor) + 100_000
-	s, err := c.newSim(budget, c.lastGoldenX)
+	s, err := c.newSim(budget, c.lastGoldenX, factors)
 	if err != nil {
 		return out, err
 	}
 
 	switch f.Class {
 	case ClassDelay:
-		in := c.M.Inst(f.Inst)
-		if in == nil {
-			return out, fmt.Errorf("faults: no instance %q", f.Inst)
-		}
-		old := in.DelayFactor
-		base := old
-		if base == 0 {
-			base = 1
-		}
-		in.DelayFactor = base * f.Factor
-		defer func() { in.DelayFactor = old }()
+		// Injected via the factor snapshot above.
 	case ClassStuckAt:
 		if err := s.Force(f.Net, f.Value, f.At); err != nil {
 			return out, err
@@ -262,17 +282,22 @@ func (c *Campaign) classify(out *Outcome, s *sim.Simulator, runErr error) {
 	out.By = NotDetected
 }
 
-// Run injects every fault in turn and aggregates the outcomes.
-func (c *Campaign) Run(faults []Fault) (*Report, error) {
-	rep := &Report{}
-	for _, f := range faults {
-		o, err := c.RunFault(f)
+// Run injects every fault — fanned out over cfg.Parallelism workers, one
+// simulator per fault — and aggregates the outcomes in fault order, so the
+// report is byte-identical at any worker count. The first failing fault
+// (lowest index) aborts the campaign, as the serial loop did.
+func (c *Campaign) Run(ctx context.Context, faults []Fault) (*Report, error) {
+	outs, err := par.Map(ctx, c.cfg.Parallelism, faults, func(ctx context.Context, _ int, f Fault) (Outcome, error) {
+		o, err := c.RunFault(ctx, f)
 		if err != nil {
-			return nil, fmt.Errorf("faults: %s: %w", f, err)
+			return o, fmt.Errorf("faults: %s: %w", f, err)
 		}
-		rep.Outcomes = append(rep.Outcomes, o)
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rep, nil
+	return &Report{Outcomes: outs}, nil
 }
 
 // DelayFaults enumerates per-instance delay faults: for each region, up to

@@ -11,7 +11,9 @@
 package faults
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -37,17 +39,18 @@ const (
 
 // Fault is one injectable defect.
 type Fault struct {
-	Class Class
+	Class Class `json:"class"`
 	// Inst names the faulted instance (delay faults).
-	Inst string
+	Inst string `json:"inst,omitempty"`
 	// Factor multiplies the instance's DelayFactor (delay faults).
-	Factor float64
+	Factor float64 `json:"factor,omitempty"`
 	// Net names the faulted net (stuck-at and glitch faults).
-	Net string
+	Net string `json:"net,omitempty"`
 	// Value is the stuck/glitch level.
-	Value logic.V
+	Value logic.V `json:"value,omitempty"`
 	// At and Width place a glitch pulse in time (ns).
-	At, Width float64
+	At    float64 `json:"at,omitempty"`
+	Width float64 `json:"width,omitempty"`
 }
 
 // String renders a compact fault label for reports.
@@ -84,19 +87,19 @@ const (
 
 // Outcome is the classification of one injected fault.
 type Outcome struct {
-	Fault    Fault
-	Detected bool
-	By       Detection
+	Fault    Fault     `json:"fault"`
+	Detected bool      `json:"detected"`
+	By       Detection `json:"by,omitempty"`
 	// Detail pinpoints the first evidence (register and capture index, net,
 	// or diagnostic).
-	Detail string
+	Detail string `json:"detail,omitempty"`
 	// Diags are the watchdog reports of the faulted run.
-	Diags []sim.Diagnostic
+	Diags []sim.Diagnostic `json:"diags,omitempty"`
 }
 
 // Report aggregates a campaign.
 type Report struct {
-	Outcomes []Outcome
+	Outcomes []Outcome `json:"outcomes"`
 }
 
 // Detected counts detections within a class ("" = all).
@@ -132,6 +135,19 @@ func (r *Report) Escaped() []Fault {
 		}
 	}
 	return out
+}
+
+// WriteJSON renders the campaign as indented JSON with outcomes in fault
+// order. Everything in it is deterministic — the determinism suite diffs
+// this output byte-for-byte across worker counts.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }
 
 // Render formats the campaign as a text table: per-class detection rates,

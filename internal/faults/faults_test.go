@@ -1,6 +1,7 @@
 package faults_test
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -11,8 +12,8 @@ import (
 )
 
 // The DLX flow is expensive to build; every test shares one desynchronized
-// design and one campaign (campaign runs only read the module, apart from
-// the delay-factor save/restore inside RunFault).
+// design and one campaign (campaign runs never mutate the module — delay
+// faults travel as per-simulator factor snapshots).
 var (
 	once     sync.Once
 	flow     *expt.DLXFlow
@@ -27,7 +28,7 @@ func dlxCampaign(t *testing.T) *faults.Campaign {
 		if buildErr != nil {
 			return
 		}
-		campaign, buildErr = expt.NewDLXCampaign(flow, 10)
+		campaign, buildErr = expt.NewDLXCampaign(context.Background(), flow, 10, 0)
 	})
 	if buildErr != nil {
 		t.Fatalf("building DLX campaign: %v", buildErr)
@@ -57,7 +58,7 @@ func TestDelayFaultsDetected(t *testing.T) {
 	if len(list) < len(c.Regions()) {
 		t.Fatalf("enumerated only %d delay faults for %d regions", len(list), len(c.Regions()))
 	}
-	rep, err := c.Run(list)
+	rep, err := c.Run(context.Background(), list)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestControlStuckFaultsDetected(t *testing.T) {
 	if len(list) < 4*len(c.Regions()) {
 		t.Fatalf("enumerated only %d stuck faults for %d regions", len(list), len(c.Regions()))
 	}
-	rep, err := c.Run(list)
+	rep, err := c.Run(context.Background(), list)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestGlitchFaultsClassified(t *testing.T) {
 	if len(list) == 0 {
 		t.Fatal("no glitch faults enumerated")
 	}
-	rep, err := c.Run(list[:4])
+	rep, err := c.Run(context.Background(), list[:4])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"context"
 	"testing"
 
 	"desync/internal/core"
@@ -50,7 +51,7 @@ func TestARMGoldenFlowLintsClean(t *testing.T) {
 	}
 	mustClean(t, "synchronous ARM", lint.Check(d.Top, lint.Options{}))
 
-	res, err := core.Desynchronize(d, core.Options{Period: 5.0, ManualGroups: true})
+	res, err := core.Desynchronize(context.Background(), d, core.Options{Period: 5.0, ManualGroups: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestDelayFaultsFlaggedStatically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := expt.NewDLXCampaign(f, 0)
+	c, err := expt.NewDLXCampaign(context.Background(), f, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

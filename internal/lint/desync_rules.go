@@ -397,7 +397,7 @@ func (c *dsChecker) checkTiming(opts Options) {
 		}
 	}
 
-	rds, err := c.cn.RegionBudgets(staOpts.Disabled)
+	rds, err := c.cn.RegionBudgets(staOpts.Disabled, opts.Parallelism)
 	if err != nil {
 		c.r.addf(RuleMargin, Error, m.Name, "", "",
 			fmt.Sprintf("region delay analysis failed: %v", err))

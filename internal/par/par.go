@@ -1,0 +1,155 @@
+// Package par is the flow's parallel execution engine: bounded worker
+// pools with context cancellation, error-group semantics and — the part
+// the flow actually depends on — determinism. Every kernel built on this
+// package (fault campaigns, the equiv frontier search, per-region STA
+// extraction) must produce byte-identical reports at any worker count, so
+// the primitives here separate *computing* results (any order, any
+// goroutine) from *merging* them (always in task-index order, always on
+// the caller's goroutine). Callers keep per-task results in index-addressed
+// slots and fold them serially; nothing in this package ever exposes
+// completion order.
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: n itself when positive, otherwise
+// GOMAXPROCS. Every Parallelism option field in the repo goes through this,
+// so "zero means default" is one rule, not one per package.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(ctx, i) for i in [0, n) on at most workers goroutines
+// (resolved via Workers). Tasks are claimed from a shared counter, so
+// completion order is arbitrary — fn must write any result it produces
+// into an index-addressed slot.
+//
+// Error-group semantics: the first task error cancels the shared context,
+// the remaining workers drain without claiming new tasks, and the error
+// returned is deterministic — the lowest-index task error that is not the
+// cancellation echo, so the same failing input reports the same failure at
+// any worker count. A parent-context cancellation with no task error
+// returns ctx.Err().
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// The serial path is the specification the parallel one must match:
+		// same per-task ctx check, same first-error-wins selection.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := cctx.Err(); err != nil {
+					return
+				}
+				if err := fn(cctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic selection: prefer the lowest-index error that is not
+	// just the cancellation rippling through sibling tasks.
+	var firstAny error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstAny == nil {
+			firstAny = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstAny
+}
+
+// Map runs fn over items on at most workers goroutines and returns the
+// results in item order, regardless of completion order. On error the
+// partial results are discarded and the deterministic ForEach error is
+// returned.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForEach(ctx, workers, len(items), func(ctx context.Context, i int) error {
+		r, err := fn(ctx, i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Slabs partitions [0, n) into at most k contiguous half-open ranges of
+// near-equal size, for batch kernels that want one task per slab instead of
+// one per element. The ranges cover [0, n) exactly, in order.
+func Slabs(n, k int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := make([][2]int, 0, k)
+	size, rem := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

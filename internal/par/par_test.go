@@ -1,0 +1,219 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 1000
+		hits := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(context.Context, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachDeterministicError(t *testing.T) {
+	// Several tasks fail; the reported error must be the lowest-index one
+	// at every worker count, even though completion order differs.
+	for _, workers := range []int{1, 2, 8} {
+		for trial := 0; trial < 20; trial++ {
+			err := ForEach(context.Background(), workers, 64, func(_ context.Context, i int) error {
+				if i == 7 || i == 40 || i == 63 {
+					return fmt.Errorf("task %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "task 7 failed" {
+				t.Fatalf("workers=%d: got %v, want task 7 failed", workers, err)
+			}
+		}
+	}
+}
+
+func TestForEachErrorCancelsSiblings(t *testing.T) {
+	var started atomic.Int32
+	err := ForEach(context.Background(), 2, 10_000, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("got %v", err)
+	}
+	// Cancellation is advisory per claim, so some tasks run after the
+	// failure — but nowhere near all of them.
+	if n := started.Load(); n == 10_000 {
+		t.Fatalf("all %d tasks ran despite early error", n)
+	}
+}
+
+func TestForEachParentCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForEach(ctx, workers, 10_000, func(ctx context.Context, i int) error {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n == 10_000 {
+			t.Fatalf("workers=%d: cancellation not observed", workers)
+		}
+	}
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	items := make([]int, 257)
+	for i := range items {
+		items[i] = i
+	}
+	var want []int
+	for _, workers := range []int{1, 2, 4, 9} {
+		got, err := Map(context.Background(), workers, items, func(_ context.Context, i, item int) (int, error) {
+			return item*item + i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := Map(context.Background(), 4, []int{0, 1, 2, 3}, func(_ context.Context, i, item int) (int, error) {
+		if item >= 2 {
+			return 0, fmt.Errorf("item %d", item)
+		}
+		return item, nil
+	})
+	if err == nil || err.Error() != "item 2" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSlabs(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want [][2]int
+	}{
+		{0, 4, nil},
+		{3, 1, [][2]int{{0, 3}}},
+		{3, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{10, 3, [][2]int{{0, 4}, {4, 7}, {7, 10}}},
+		{8, 4, [][2]int{{0, 2}, {2, 4}, {4, 6}, {6, 8}}},
+	}
+	for _, c := range cases {
+		got := Slabs(c.n, c.k)
+		if len(got) != len(c.want) {
+			t.Fatalf("Slabs(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Slabs(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+			}
+		}
+	}
+	// Any n,k: slabs tile [0,n) exactly.
+	for n := 1; n < 50; n++ {
+		for k := 1; k < 10; k++ {
+			prev := 0
+			for _, s := range Slabs(n, k) {
+				if s[0] != prev || s[1] <= s[0] {
+					t.Fatalf("Slabs(%d,%d): bad slab %v", n, k, s)
+				}
+				prev = s[1]
+			}
+			if prev != n {
+				t.Fatalf("Slabs(%d,%d): covers up to %d", n, k, prev)
+			}
+		}
+	}
+}
+
+func TestStripedInsertIfMin(t *testing.T) {
+	// Concurrent workers race to claim keys with different priorities; the
+	// minimum must win for every key, at any stripe/worker count.
+	s := NewStriped[uint64](8)
+	const keys, writers = 200, 8
+	err := ForEach(context.Background(), writers, writers, func(_ context.Context, w int) error {
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("k%03d", k)
+			prio := uint64(w*1000 + k)
+			s.Update(key, func(old uint64, ok bool) (uint64, bool) {
+				return prio, !ok || prio < old
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != keys {
+		t.Fatalf("Len = %d, want %d", got, keys)
+	}
+	for k := 0; k < keys; k++ {
+		v, ok := s.Get(fmt.Sprintf("k%03d", k))
+		if !ok || v != uint64(k) {
+			t.Fatalf("key %d: got %d,%v want %d", k, v, ok, k)
+		}
+	}
+}
+
+func TestStripedGetMissing(t *testing.T) {
+	s := NewStriped[int](1)
+	if v, ok := s.Get("nope"); ok || v != 0 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+}

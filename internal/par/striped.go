@@ -1,0 +1,81 @@
+package par
+
+import "sync"
+
+// Striped is a lock-striped string-keyed map for concurrent deduplication.
+// Keys are hashed (FNV-1a) onto a power-of-two stripe count, each stripe
+// guarded by its own RWMutex, so workers inserting disjoint keys rarely
+// contend.
+//
+// The write primitive is Update, an atomic read-modify-write; the equiv
+// frontier search uses it as insert-if-min over occurrence priorities,
+// which is what makes parallel exploration reproduce the serial visit
+// order exactly (see UpdateMin's doc in internal/equiv).
+type Striped[V any] struct {
+	stripes []stripe[V]
+	mask    uint64
+}
+
+type stripe[V any] struct {
+	mu sync.RWMutex
+	m  map[string]V
+}
+
+// NewStriped builds a map with at least the given stripe count, rounded up
+// to a power of two; counts below 1 get a single stripe.
+func NewStriped[V any](stripes int) *Striped[V] {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	s := &Striped[V]{stripes: make([]stripe[V], n), mask: uint64(n - 1)}
+	for i := range s.stripes {
+		s.stripes[i].m = map[string]V{}
+	}
+	return s
+}
+
+func (s *Striped[V]) stripeOf(key string) *stripe[V] {
+	// Inline FNV-1a: the keys are short packed states, hashed once per
+	// operation on a hot path.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &s.stripes[h&s.mask]
+}
+
+// Get returns the value stored for key.
+func (s *Striped[V]) Get(key string) (V, bool) {
+	st := s.stripeOf(key)
+	st.mu.RLock()
+	v, ok := st.m[key]
+	st.mu.RUnlock()
+	return v, ok
+}
+
+// Update atomically read-modify-writes the entry for key: fn receives the
+// current value (zero V when absent) and whether one existed, and returns
+// the value to store plus whether to store it. Concurrent Updates on the
+// same key serialize on the stripe lock.
+func (s *Striped[V]) Update(key string, fn func(old V, ok bool) (V, bool)) {
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	old, ok := st.m[key]
+	if v, store := fn(old, ok); store {
+		st.m[key] = v
+	}
+	st.mu.Unlock()
+}
+
+// Len counts the stored entries across all stripes.
+func (s *Striped[V]) Len() int {
+	n := 0
+	for i := range s.stripes {
+		s.stripes[i].mu.RLock()
+		n += len(s.stripes[i].m)
+		s.stripes[i].mu.RUnlock()
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package pnr
 
 import (
+	"context"
 	"testing"
 
 	"desync/internal/designs"
@@ -77,14 +78,14 @@ func TestPostLayoutTimingGrows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pre, err := sta.RegionDelays(d.Top, netlist.Worst, sta.Options{})
+	pre, err := sta.RegionDelays(context.Background(), d.Top, netlist.Worst, sta.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := PlaceAndRoute(d, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
-	post, err := sta.RegionDelays(d.Top, netlist.Worst, sta.Options{UseWireDelays: true})
+	post, err := sta.RegionDelays(context.Background(), d.Top, netlist.Worst, sta.Options{UseWireDelays: true})
 	if err != nil {
 		t.Fatal(err)
 	}

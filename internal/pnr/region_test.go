@@ -1,6 +1,7 @@
 package pnr
 
 import (
+	"context"
 	"testing"
 
 	"desync/internal/core"
@@ -18,7 +19,7 @@ func TestRegionAwarePlacementTightensDelayElements(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := core.Desynchronize(d, core.Options{Period: 5}); err != nil {
+		if _, err := core.Desynchronize(context.Background(), d, core.Options{Period: 5}); err != nil {
 			t.Fatal(err)
 		}
 		return d

@@ -1,6 +1,7 @@
 package pnr
 
 import (
+	"context"
 	"testing"
 
 	"desync/internal/core"
@@ -59,7 +60,7 @@ func TestResizeRespectsDesynchronizedNetlist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cres, err := core.Desynchronize(d, core.Options{Period: 5})
+	cres, err := core.Desynchronize(context.Background(), d, core.Options{Period: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

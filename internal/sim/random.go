@@ -12,13 +12,14 @@ import (
 	"desync/internal/netlist"
 )
 
-// JitterDelayFactors multiplies the DelayFactor of every instance accepted
-// by filter (all instances when nil) by a uniform factor in
-// [1-spread, 1+spread], drawn from a PRNG seeded with seed. The walk order
-// is the module's instance order, so the same seed always produces the
-// same factors. It returns how many instances were touched and a restore
-// function that puts the original factors back.
-func JitterDelayFactors(m *netlist.Module, seed int64, spread float64, filter func(*netlist.Inst) bool) (int, func()) {
+// DelayFactorMap draws a jittered delay factor for every instance accepted
+// by filter (all instances when nil): the instance's DelayFactor (nominal
+// when zero) times a uniform factor in [1-spread, 1+spread], from a PRNG
+// seeded with seed. The walk order is the module's instance order, so the
+// same seed always produces the same factors. The module is not touched —
+// the result feeds Config.DelayFactors, so concurrent traces with
+// different seeds can share one immutable module.
+func DelayFactorMap(m *netlist.Module, seed int64, spread float64, filter func(*netlist.Inst) bool) map[string]float64 {
 	if spread < 0 {
 		spread = 0
 	}
@@ -26,26 +27,16 @@ func JitterDelayFactors(m *netlist.Module, seed int64, spread float64, filter fu
 		spread = 0.9
 	}
 	rng := rand.New(rand.NewSource(seed))
-	type save struct {
-		in *netlist.Inst
-		f  float64
-	}
-	var saved []save
+	out := map[string]float64{}
 	for _, in := range m.Insts {
 		if filter != nil && !filter(in) {
 			continue
 		}
-		saved = append(saved, save{in, in.DelayFactor})
 		f := in.DelayFactor
 		if f == 0 {
 			f = 1
 		}
-		in.DelayFactor = f * (1 + spread*(2*rng.Float64()-1))
+		out[in.Name] = f * (1 + spread*(2*rng.Float64()-1))
 	}
-	restore := func() {
-		for _, s := range saved {
-			s.in.DelayFactor = s.f
-		}
-	}
-	return len(saved), restore
+	return out
 }

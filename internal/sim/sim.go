@@ -30,6 +30,11 @@ type Config struct {
 	Scale float64
 	// MaxEvents guards against oscillation; defaults to 50 million.
 	MaxEvents int64
+	// DelayFactors overrides instances' DelayFactor by name, for this
+	// simulator only. The factors are snapshotted at construction, so
+	// campaigns and jitter runs can share one immutable module across
+	// concurrent simulators instead of mutating instance state.
+	DelayFactors map[string]float64
 }
 
 // Simulator executes one flat module.
@@ -59,7 +64,11 @@ type Simulator struct {
 	wd *watchdog
 
 	instState map[*netlist.Inst]*state
-	monitors  map[int][]func(t float64, v logic.V)
+	// factors holds the per-instance delay-factor overrides from
+	// Config.DelayFactors, resolved to instances at construction; nil when
+	// the config has none, so the common path stays a field read.
+	factors  map[*netlist.Inst]float64
+	monitors map[int][]func(t float64, v logic.V)
 
 	// Captures records, per sequential instance name, the sequence of data
 	// values captured (FF: at each effective clock edge; latch: at each
@@ -124,6 +133,14 @@ func New(m *netlist.Module, cfg Config) (*Simulator, error) {
 	}
 	for i, n := range m.Nets {
 		s.netIdx[n] = i
+	}
+	if len(cfg.DelayFactors) > 0 {
+		s.factors = make(map[*netlist.Inst]float64, len(cfg.DelayFactors))
+		for name, f := range cfg.DelayFactors {
+			if in := m.Inst(name); in != nil {
+				s.factors[in] = f
+			}
+		}
 	}
 	s.nets = m.Nets
 	s.val = make([]logic.V, len(m.Nets))
@@ -341,6 +358,11 @@ func (s *Simulator) delayOf(in *netlist.Inst, fromPin, outPin string, v logic.V)
 		}
 	}
 	factor := in.DelayFactor
+	if s.factors != nil {
+		if f, ok := s.factors[in]; ok {
+			factor = f
+		}
+	}
 	if factor == 0 {
 		factor = 1
 	}

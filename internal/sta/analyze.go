@@ -1,11 +1,13 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"desync/internal/netlist"
+	"desync/internal/par"
 )
 
 // Result holds per-node arrival times for a late (max) and early (min)
@@ -206,8 +208,16 @@ func (rd RegionDelay) Budget() float64 { return rd.ClkToQ + rd.CombMax + rd.Setu
 // RegionDelays computes, for each group id present in the module, the
 // combinational critical path into that group's sequential elements
 // (§3.2.5). The analysis runs register-bounded (latches opaque), so each
-// region's cloud is measured independently as the paper requires.
-func RegionDelays(m *netlist.Module, corner netlist.Corner, opts Options) (map[int]*RegionDelay, error) {
+// region's cloud is measured independently as the paper requires — which
+// also makes the per-region extraction embarrassingly parallel: after one
+// shared graph build and arrival propagation, each region scans only its
+// own registers (opts.Parallelism workers; identical results at any
+// count, since regions never share a summary and each keeps its module
+// instance order).
+func RegionDelays(ctx context.Context, m *netlist.Module, corner netlist.Corner, opts Options) (map[int]*RegionDelay, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opts.Corner = corner
 	opts.LatchTransparent = false
 	g, err := Build(m, opts)
@@ -216,15 +226,6 @@ func RegionDelays(m *netlist.Module, corner netlist.Corner, opts Options) (map[i
 	}
 	r := g.Analyze()
 
-	out := map[int]*RegionDelay{}
-	get := func(grp int) *RegionDelay {
-		rd := out[grp]
-		if rd == nil {
-			rd = &RegionDelay{Group: grp, CombMin: math.Inf(1)}
-			out[grp] = rd
-		}
-		return rd
-	}
 	// Worst clock-to-Q over all sequential cells: the launch cost. Kept
 	// global (any region may feed any other).
 	var worstC2Q float64
@@ -240,38 +241,59 @@ func RegionDelays(m *netlist.Module, corner netlist.Corner, opts Options) (map[i
 			}
 		}
 	}
+
+	// Partition the sequential instances by region, preserving module
+	// instance order within each (ties in the max scans below resolve the
+	// same way the old single loop did).
+	byGroup := map[int][]*netlist.Inst{}
+	var groups []int
 	for _, in := range m.Insts {
-		c := in.Cell
-		if c == nil || c.Seq == nil {
+		if in.Cell == nil || in.Cell.Seq == nil {
 			continue
 		}
-		rd := get(in.Group)
-		if s := c.Setup.At(corner); s > rd.Setup {
-			rd.Setup = s
+		if _, ok := byGroup[in.Group]; !ok {
+			groups = append(groups, in.Group)
 		}
-		rd.ClkToQ = worstC2Q
-		// Data inputs of this register are endpoints of its region's cloud.
-		for _, p := range c.Pins {
-			if p.Dir != netlist.In || p.Name == c.Seq.ClockPin {
-				continue
-			}
-			id := g.NodeID(in, p.Name)
-			if id < 0 {
-				continue
-			}
-			if t := r.MaxAt(id); !math.IsInf(t, -1) && t > rd.CombMax {
-				rd.CombMax = t
-				rd.WorstPath = g.NodeName(id)
-			}
-			if t := r.MinAt(id); t < rd.CombMin {
-				rd.CombMin = t
-			}
-		}
+		byGroup[in.Group] = append(byGroup[in.Group], in)
 	}
-	for _, rd := range out {
+
+	rds, err := par.Map(ctx, opts.Parallelism, groups, func(ctx context.Context, _ int, grp int) (*RegionDelay, error) {
+		rd := &RegionDelay{Group: grp, CombMin: math.Inf(1), ClkToQ: worstC2Q}
+		for _, in := range byGroup[grp] {
+			c := in.Cell
+			if s := c.Setup.At(corner); s > rd.Setup {
+				rd.Setup = s
+			}
+			// Data inputs of this register are endpoints of its region's
+			// cloud.
+			for _, p := range c.Pins {
+				if p.Dir != netlist.In || p.Name == c.Seq.ClockPin {
+					continue
+				}
+				id := g.NodeID(in, p.Name)
+				if id < 0 {
+					continue
+				}
+				if t := r.MaxAt(id); !math.IsInf(t, -1) && t > rd.CombMax {
+					rd.CombMax = t
+					rd.WorstPath = g.NodeName(id)
+				}
+				if t := r.MinAt(id); t < rd.CombMin {
+					rd.CombMin = t
+				}
+			}
+		}
 		if math.IsInf(rd.CombMin, 1) {
 			rd.CombMin = 0
 		}
+		return rd, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*RegionDelay, len(rds))
+	for _, rd := range rds {
+		out[rd.Group] = rd
 	}
 	return out, nil
 }

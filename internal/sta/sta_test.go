@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -243,7 +244,7 @@ func TestRegionDelays(t *testing.T) {
 	}
 	mkff("f2", prev, 2)
 
-	rds, err := RegionDelays(m, netlist.Worst, Options{})
+	rds, err := RegionDelays(context.Background(), m, netlist.Worst, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
