@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint equiv fuzz bench faults
+.PHONY: all build test check lint equiv fuzz bench faults sweep
 
 all: build
 
@@ -30,27 +30,42 @@ equiv:
 	$(GO) run ./cmd/drequiv -gen dlx -xval 1
 	$(GO) run ./cmd/drequiv -gen arm -xval 1
 
-check: lint equiv
+check: lint equiv sweep
 	$(GO) vet ./...
 	# Targeted race pass first: the parallel engine, the fault fan-out, the
-	# ctrlnet derivation cache and the equiv model built on it are the
-	# shared-state hot spots; fail fast on them before the full-suite race
-	# run below.
-	$(GO) test -race ./internal/par/ ./internal/faults/ ./internal/ctrlnet/ ./internal/equiv/
+	# sweep's ordered fold and journal, the ctrlnet derivation cache and the
+	# equiv model built on it are the shared-state hot spots; fail fast on
+	# them before the full-suite race run below.
+	$(GO) test -race ./internal/par/ ./internal/faults/ ./internal/sweep/ ./internal/ctrlnet/ ./internal/equiv/
 	$(GO) test -race -run 'Parallel|Cancellation' ./internal/sta/ ./internal/core/
 	$(GO) test -race ./...
-	$(GO) test -run XXX -bench 'BenchmarkFaultCampaignSmoke|BenchmarkCampaignParallelDLX|BenchmarkLintClean' -benchtime 1x .
+	$(GO) test -run XXX -bench 'BenchmarkFaultCampaignSmoke|BenchmarkCampaignParallelDLX|BenchmarkSweepSmokeDLX|BenchmarkLintClean' -benchtime 1x .
 	$(GO) test -run XXX -bench 'BenchmarkEquivDLX$$|BenchmarkEquivParallelDLX' -benchtime 1x ./internal/equiv/
 
-# Short fuzz passes over the three text front ends; corpora are committed
-# under internal/{verilog,liberty,sdc}/testdata/fuzz.
+# Short fuzz passes over the three text front ends and the sweep's
+# checkpoint-journal parser; corpora are committed under
+# internal/{verilog,liberty,sdc,sweep}/testdata/fuzz.
 fuzz:
 	$(GO) test ./internal/verilog/ -fuzz FuzzRead -fuzztime 20s
 	$(GO) test ./internal/liberty/ -fuzz FuzzParse -fuzztime 20s
 	$(GO) test ./internal/sdc/ -fuzz FuzzParse -fuzztime 20s
+	$(GO) test ./internal/sweep/ -fuzz FuzzReadJournal -fuzztime 20s
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
 
 faults:
 	$(GO) run ./cmd/experiments -faults
+
+# Robustness-surface smoke: a small corner x chip x fault sweep through the
+# streaming engine, checkpointed and resumed, so `make check` exercises the
+# drsweep path end to end (journal create, SIGTERM-safe fold, resume
+# replay). The surface must be flat — any escape fails the run via the
+# sweep smoke benchmark above; this target checks the CLI plumbing.
+sweep:
+	rm -f /tmp/drsweep-smoke.journal
+	$(GO) run ./cmd/drsweep -corners 2 -chips 2 -per-region 1 -quiet \
+		-checkpoint /tmp/drsweep-smoke.journal
+	$(GO) run ./cmd/drsweep -corners 2 -chips 2 -per-region 1 -quiet \
+		-checkpoint /tmp/drsweep-smoke.journal -resume
+	rm -f /tmp/drsweep-smoke.journal

@@ -556,3 +556,34 @@ func BenchmarkProtocolRingCheck(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSweepSmokeDLX runs a small corner x chip x fault robustness
+// sweep end to end and fails outright if the surface is not flat: every
+// corner must detect 100% of its injected faults and no scenario may be
+// quarantined. This is the guard for the streaming sweep engine — the
+// ordered fold, the quarantine boundary and the aggregation all sit on
+// this path — sized to stay a smoke test, not a measurement.
+func BenchmarkSweepSmokeDLX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := expt.DLXRobustnessSurface(context.Background(), nil, expt.SurfaceConfig{
+			Corners: 2, Chips: 2, DelayPerRegion: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.FailureCount != 0 {
+			b.Fatalf("sweep quarantined %d scenario(s):\n%s", rep.FailureCount, rep.Render())
+		}
+		for _, cs := range rep.CornerStats {
+			if cs.Injected == 0 {
+				b.Fatalf("corner %d injected no faults", cs.Corner)
+			}
+			if cs.Detected != cs.Injected {
+				b.Fatalf("corner %d detection %d/%d; surface not flat:\n%s",
+					cs.Corner, cs.Detected, cs.Injected, rep.Render())
+			}
+		}
+		b.ReportMetric(float64(rep.Total), "scenarios")
+		b.ReportMetric(float64(rep.Detected)/float64(rep.Injected), "detectionRate")
+	}
+}

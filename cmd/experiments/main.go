@@ -8,6 +8,7 @@
 //	experiments -table 5.1 | -table 5.2
 //	experiments -fig 2.4 | -fig 5.3 | -fig 5.4 | -fig 5.5
 //	experiments -faults
+//	experiments -sweep
 //	            [-cycles 25] [-chips 60] [-sel 3] [-seed 5] [-j N]
 package main
 
@@ -23,20 +24,21 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run everything")
-		table  = flag.String("table", "", "regenerate a table: 2.1, 5.1 or 5.2")
-		fig    = flag.String("fig", "", "regenerate a figure: 2.4, 5.3, 5.4 or 5.5")
-		cycles = flag.Int("cycles", 25, "simulated cycles per measurement")
-		chips  = flag.Int("chips", 60, "Monte Carlo population for Fig 5.4")
-		sel    = flag.Int("sel", 3, "delay selection for Fig 5.4 (-1 = fixed sized elements)")
-		faults = flag.Bool("faults", false, "run the DLX fault-injection campaign")
+		all     = flag.Bool("all", false, "run everything")
+		table   = flag.String("table", "", "regenerate a table: 2.1, 5.1 or 5.2")
+		fig     = flag.String("fig", "", "regenerate a figure: 2.4, 5.3, 5.4 or 5.5")
+		cycles  = flag.Int("cycles", 25, "simulated cycles per measurement")
+		chips   = flag.Int("chips", 60, "Monte Carlo population for Fig 5.4")
+		sel     = flag.Int("sel", 3, "delay selection for Fig 5.4 (-1 = fixed sized elements)")
+		faults  = flag.Bool("faults", false, "run the DLX fault-injection campaign")
+		doSweep = flag.Bool("sweep", false, "sweep the DLX robustness surface (corners x chips x faults)")
 	)
 	var seed int64
 	var jobs int
 	cliutil.SeedVar(flag.CommandLine, &seed, "seed", 5, "random seed")
 	cliutil.ParallelismVar(flag.CommandLine, &jobs)
 	flag.Parse()
-	if !*all && *table == "" && *fig == "" && !*faults {
+	if !*all && *table == "" && *fig == "" && !*faults && !*doSweep {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -135,6 +137,28 @@ func main() {
 				return err
 			}
 			fmt.Println(rep.Render())
+			return nil
+		})
+	}
+	if *all || *doSweep {
+		run("sweep", func() error {
+			ctx, cancel := cliutil.Context()
+			defer cancel()
+			f, err := expt.RunDLXFlow(expt.FlowConfig{Parallelism: jobs})
+			if err != nil {
+				return err
+			}
+			rep, err := expt.DLXRobustnessSurface(ctx, f, expt.SurfaceConfig{
+				Seed: seed, Parallelism: jobs,
+			})
+			if err != nil {
+				return err
+			}
+			rows, err := expt.SSTAMatching(f)
+			if err != nil {
+				return err
+			}
+			fmt.Println(expt.RenderSurface(rep, rows))
 			return nil
 		})
 	}

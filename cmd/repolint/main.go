@@ -1,10 +1,18 @@
 // Command repolint enforces repository-level coding conventions that plain
 // `go vet` cannot express. It parses every non-test Go file under internal/
-// and cmd/ (no type checking, stdlib go/ast only) and applies four rules:
+// and cmd/ (no type checking, stdlib go/ast only) and applies the rules
+// below:
 //
 //	RL-PANIC    panic() is reserved for programmer-error guards in the small
 //	            audited set of constructor/builder helpers below. Any panic in
 //	            other non-test internal code must become an error return.
+//	RL-RECOVER  recover() has exactly three audited jobs: the sweep's
+//	            scenario quarantine (internal/sweep runQuarantined), the
+//	            design builders' construction-panic translation
+//	            (internal/designs recoverBuildErr), and the cmd main
+//	            top-level guards. Anywhere else, a recover hides a bug; let
+//	            it crash in tests and quarantine it at the audited boundary
+//	            in production paths.
 //	RL-STAGE    Every flowErr(...) call in internal/core must name its stage
 //	            with a Stage* constant (or propagate an enclosing `stage`
 //	            parameter), so FlowError.Stage is always machine-matchable.
@@ -61,6 +69,22 @@ var panicAllowlist = map[string]bool{
 	"internal/netlist/cell.go:MustCell":      true,
 	"internal/stg/stg.go:Initial":            true, // malformed built-in STG spec
 	"internal/logic/expr.go:MustParseExpr":   true,
+	"internal/sweep/journal.go:mustJSON":     true, // Must* wrapper; plain-struct marshal cannot fail
+}
+
+// recoverAllowlist keys are "slash-relative-path:function" for the audited
+// recover sites: the sweep's scenario quarantine, the design builders'
+// panic-to-error translation, and the top-level guard each cmd main wraps
+// around its whole run. Widening a quarantine boundary is a reviewed change
+// to this table, never a drive-by defer.
+var recoverAllowlist = map[string]bool{
+	"internal/sweep/run.go:runQuarantined":       true, // scenario quarantine
+	"internal/designs/blocks.go:recoverBuildErr": true, // builder panic -> Build* error
+	"cmd/sta/main.go:main":                       true,
+	"cmd/dlxgen/main.go:main":                    true,
+	"cmd/drdesync/main.go:main":                  true,
+	"cmd/experiments/main.go:main":               true,
+	"cmd/libprep/main.go:main":                   true,
 }
 
 // optsAllowlist exempts audited functions from RL-OPTS. The only legitimate
@@ -163,9 +187,19 @@ func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
 			if !ok {
 				return true
 			}
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && !panicAllowlist[key] {
-				out = append(out, finding{fset.Position(call.Pos()), "RL-PANIC",
-					fmt.Sprintf("panic in %s is not on the audited allowlist; return an error instead", fn.Name.Name)})
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				switch {
+				case id.Name == "panic" && !panicAllowlist[key]:
+					out = append(out, finding{fset.Position(call.Pos()), "RL-PANIC",
+						fmt.Sprintf("panic in %s is not on the audited allowlist; return an error instead", fn.Name.Name)})
+				case id.Name == "recover" && !recoverAllowlist[key]:
+					// RL-RECOVER: recover only at the audited quarantine and
+					// cmd-boundary sites. The key is the top-level declaration,
+					// so a recover inside a deferred closure is still pinned to
+					// the function that defers it.
+					out = append(out, finding{fset.Position(call.Pos()), "RL-RECOVER",
+						fmt.Sprintf("recover in %s is not an audited quarantine boundary; let the panic propagate or move it behind an allowlisted boundary", fn.Name.Name)})
+				}
 			}
 			return true
 		})

@@ -183,6 +183,56 @@ func Encode(op, rd, rs1, rs2, imm int) uint16 { return 0 }
 	}
 }
 
+func TestRecoverOutsideAllowlistFires(t *testing.T) {
+	// A recover inside a deferred closure is pinned to the top-level
+	// function that defers it, so hiding one in a defer still fires.
+	src := `package foo
+func Swallow() {
+	defer func() {
+		if r := recover(); r != nil {
+		}
+	}()
+}
+`
+	got := check(t, "internal/foo/foo.go", src)
+	if len(got) != 1 || got[0] != "RL-RECOVER" {
+		t.Fatalf("want [RL-RECOVER] for a recover outside the audited boundaries, got %v", got)
+	}
+}
+
+func TestRecoverQuarantineBoundaryAccepted(t *testing.T) {
+	src := `package sweep
+func runQuarantined() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return nil
+}
+`
+	if got := check(t, "internal/sweep/run.go", src); len(got) != 0 {
+		t.Fatalf("quarantine boundary flagged: %v", got)
+	}
+	// The boundary is the named function in the named file, nothing wider.
+	if got := check(t, "internal/sweep/other.go", src); len(got) != 1 || got[0] != "RL-RECOVER" {
+		t.Fatalf("allowlist must be path-specific, got %v", got)
+	}
+}
+
+func TestRecoverCmdBoundaryAccepted(t *testing.T) {
+	src := `package main
+func main() {
+	defer func() { recover() }()
+}
+func helper() { defer func() { recover() }() }
+`
+	got := check(t, "cmd/drdesync/main.go", src)
+	if len(got) != 1 || got[0] != "RL-RECOVER" {
+		t.Fatalf("want exactly the helper's recover flagged (main is the boundary), got %v", got)
+	}
+}
+
 // TestEquivPanicPolicy pins the formal engine to the no-panic policy: a
 // panic introduced anywhere in internal/equiv is flagged, because the
 // package has no allowlisted sites — and must not silently grow any, since

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 )
 
 // ParallelismUsage is the shared help text of the -j flag.
@@ -31,10 +33,19 @@ func SeedVar(fs *flag.FlagSet, p *int64, name string, def int64, usage string) {
 	fs.Int64Var(p, name, def, fmt.Sprintf("%s (recorded so failures reproduce)", usage))
 }
 
+// DurationVar registers a duration flag (Go syntax: 30s, 2m) with a
+// uniform "0 disables" suffix on the usage string — the wall-clock knobs
+// (scenario deadlines, watchdog budgets) all read the same way.
+func DurationVar(fs *flag.FlagSet, p *time.Duration, name string, def time.Duration, usage string) {
+	fs.DurationVar(p, name, def, fmt.Sprintf("%s (0 disables)", usage))
+}
+
 // Context returns the root context of a CLI run: canceled on the first
-// interrupt (Ctrl-C), so the parallel kernels drain their workers and the
-// tool exits through its normal error path instead of being killed mid-write.
-// A second interrupt falls back to the default signal behavior.
+// interrupt (Ctrl-C) or SIGTERM (a batch scheduler reclaiming the node),
+// so the parallel kernels drain their workers and the tool exits through
+// its normal error path — checkpoint journals keep a clean, resumable
+// prefix — instead of being killed mid-write. A second signal falls back
+// to the default behavior.
 func Context() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt)
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }

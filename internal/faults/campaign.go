@@ -40,7 +40,23 @@ type Config struct {
 	// snapshot, never instance state), classification is pure, and the
 	// outcomes merge in fault order.
 	Parallelism int
+	// Seed roots the campaign's randomization. Each faulted run mixes its
+	// fault index into it (DeriveSeed), so runs draw independent streams and
+	// any single fault reproduces standalone from (Seed, index); 0 is a
+	// valid root (recorded as such).
+	Seed int64
+	// Jitter, when positive, perturbs every non-faulted instance's delay by
+	// a uniform factor in [1-Jitter, 1+Jitter] per faulted run (seeded as
+	// above): the campaign then also samples whether detection survives
+	// benign delay variation instead of only the nominal interleaving.
+	// 0 disables.
+	Jitter float64
 }
+
+// eventBudgetHeadroom pads the faulted runs' event budget above the
+// golden-run multiple, so short golden runs still leave room for a fault's
+// extra switching before the oscillation guard trips.
+const eventBudgetHeadroom = 100_000
 
 // Campaign holds the design under test and the golden (unfaulted) reference
 // run every faulted run is classified against.
@@ -129,12 +145,7 @@ func NewCampaign(ctx context.Context, m *netlist.Module, cfg Config) (*Campaign,
 			}
 		}
 	}
-	var busiest []float64
-	for _, times := range s.CaptureTimes {
-		if len(times) > len(busiest) {
-			busiest = times
-		}
-	}
+	busiest := busiestCaptureTrain(s.CaptureTimes)
 	if n := len(busiest); n >= 3 {
 		// Skip the first interval: the boot handshake is not steady-state.
 		c.effPeriod = (busiest[n-1] - busiest[1]) / float64(n-2)
@@ -158,16 +169,28 @@ func (c *Campaign) GoldenEvents() int64 { return c.goldenEvents }
 // the simulator default; factors are per-sim delay-factor overrides
 // (delay-fault injection without touching the shared module).
 func (c *Campaign) newSim(maxEvents int64, xAfter float64, factors map[string]float64) (*sim.Simulator, error) {
+	return c.newScenarioSim(maxEvents, xAfter, factors, 1, nil)
+}
+
+// newScenarioSim is newSim at an arbitrary operating point: the global
+// scale multiplies the campaign corner's scale (and the quiescence gap, so
+// the deadlock verdict tracks the stretched time axis), and interrupt is
+// polled inside Run for deadlines and cancellation.
+func (c *Campaign) newScenarioSim(maxEvents int64, xAfter float64, factors map[string]float64, scale float64, interrupt func() error) (*sim.Simulator, error) {
+	base := c.cfg.Scale
+	if base == 0 {
+		base = 1
+	}
 	s, err := sim.New(c.M, sim.Config{
-		Corner: c.cfg.Corner, Scale: c.cfg.Scale, MaxEvents: maxEvents,
-		DelayFactors: factors,
+		Corner: c.cfg.Corner, Scale: base * scale, MaxEvents: maxEvents,
+		DelayFactors: factors, Interrupt: interrupt,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if err := s.Watch(sim.WatchdogConfig{
 		HandshakeNets: c.handshake,
-		QuiescenceGap: c.cfg.QuiescenceGap,
+		QuiescenceGap: c.cfg.QuiescenceGap * scale,
 		SetupGuard:    c.cfg.SetupGuard,
 		XCaptureAfter: xAfter,
 	}); err != nil {
@@ -179,59 +202,13 @@ func (c *Campaign) newSim(maxEvents int64, xAfter float64, factors map[string]fl
 	return s, nil
 }
 
-// RunFault injects one fault, simulates to the campaign horizon and
-// classifies the outcome against the golden run. The design is never
-// mutated: delay faults ride a per-sim delay-factor snapshot and forces
-// live only inside the simulator, so concurrent RunFault calls are safe.
+// RunFault injects one fault at the campaign's nominal operating point,
+// simulates to the campaign horizon and classifies the outcome against the
+// golden run. The design is never mutated: delay faults ride a per-sim
+// delay-factor snapshot and forces live only inside the simulator, so
+// concurrent RunFault calls are safe.
 func (c *Campaign) RunFault(ctx context.Context, f Fault) (Outcome, error) {
-	out := Outcome{Fault: f}
-	if err := ctx.Err(); err != nil {
-		return out, err
-	}
-
-	var factors map[string]float64
-	if f.Class == ClassDelay {
-		in := c.M.Inst(f.Inst)
-		if in == nil {
-			return out, fmt.Errorf("faults: no instance %q", f.Inst)
-		}
-		base := in.DelayFactor
-		if base == 0 {
-			base = 1
-		}
-		factors = map[string]float64{f.Inst: base * f.Factor}
-	}
-
-	// The X guard opens just past the golden boot transient: the unfaulted
-	// design never latches X again, so any later X capture is fault effect.
-	budget := int64(float64(c.goldenEvents)*c.cfg.MaxEventsFactor) + 100_000
-	s, err := c.newSim(budget, c.lastGoldenX, factors)
-	if err != nil {
-		return out, err
-	}
-
-	switch f.Class {
-	case ClassDelay:
-		// Injected via the factor snapshot above.
-	case ClassStuckAt:
-		if err := s.Force(f.Net, f.Value, f.At); err != nil {
-			return out, err
-		}
-	case ClassGlitch:
-		if err := s.Force(f.Net, f.Value, f.At); err != nil {
-			return out, err
-		}
-		if err := s.Release(f.Net, f.At+f.Width); err != nil {
-			return out, err
-		}
-	default:
-		return out, fmt.Errorf("faults: unknown fault class %q", f.Class)
-	}
-
-	runErr := s.Run(c.cfg.Horizon)
-	out.Diags = s.Diagnostics()
-	c.classify(&out, s, runErr)
-	return out, nil
+	return c.RunScenario(ctx, Scenario{Fault: f})
 }
 
 // classify fills Detected/By/Detail, strongest evidence first: a corrupted
@@ -285,10 +262,12 @@ func (c *Campaign) classify(out *Outcome, s *sim.Simulator, runErr error) {
 // Run injects every fault — fanned out over cfg.Parallelism workers, one
 // simulator per fault — and aggregates the outcomes in fault order, so the
 // report is byte-identical at any worker count. The first failing fault
-// (lowest index) aborts the campaign, as the serial loop did.
+// (lowest index) aborts the campaign, as the serial loop did. Each run's
+// randomization (Config.Jitter) mixes the fault's index into Config.Seed,
+// so the streams are independent and each reproduces standalone.
 func (c *Campaign) Run(ctx context.Context, faults []Fault) (*Report, error) {
-	outs, err := par.Map(ctx, c.cfg.Parallelism, faults, func(ctx context.Context, _ int, f Fault) (Outcome, error) {
-		o, err := c.RunFault(ctx, f)
+	outs, err := par.Map(ctx, c.cfg.Parallelism, faults, func(ctx context.Context, i int, f Fault) (Outcome, error) {
+		o, err := c.RunScenario(ctx, Scenario{Fault: f, Index: int64(i)})
 		if err != nil {
 			return o, fmt.Errorf("faults: %s: %w", f, err)
 		}

@@ -93,6 +93,11 @@ type Outcome struct {
 	// Detail pinpoints the first evidence (register and capture index, net,
 	// or diagnostic).
 	Detail string `json:"detail,omitempty"`
+	// Period is the faulted run's effective handshake period (ns,
+	// normalized to the nominal corner), estimated from its busiest capture
+	// train; 0 when the run captured too little to measure. Sweeps fold it
+	// into streaming quantiles — the robustness-surface observable.
+	Period float64 `json:"period,omitempty"`
 	// Diags are the watchdog reports of the faulted run.
 	Diags []sim.Diagnostic `json:"diags,omitempty"`
 }

@@ -1,0 +1,150 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Fold runs compute(ctx, i) for i in [start, n) on at most workers
+// goroutines and folds every result exactly once, strictly in index order,
+// on the caller's goroutine. It is the streaming counterpart of Map: the
+// per-task results never accumulate into a slice, so a sweep over 10^6
+// scenarios holds O(workers) results in memory while its aggregates (and
+// its checkpoint journal) still see the exact serial order — byte-identical
+// output at any worker count.
+//
+// The reorder buffer is naturally bounded: results travel through a channel
+// of capacity workers, so a worker that has raced far ahead of the fold
+// blocks sending and the caller holds at most ~2*workers undelivered
+// results at any moment.
+//
+// fold may return an error to stop the sweep early (a graceful cutoff such
+// as "too many failures"); that error is returned as-is, no further fold
+// calls happen, and in-flight computes are cancelled. A compute error also
+// stops the fold — results already folded stay folded (the journal keeps a
+// valid prefix), and the error returned is deterministic ForEach-style: the
+// lowest-index compute error that is not a cancellation echo. Because the
+// fold is strictly ordered, a fold error always precedes (in index order)
+// any concurrent compute error, so it wins.
+func Fold[R any](ctx context.Context, workers, start, n int, compute func(ctx context.Context, i int) (R, error), fold func(i int, r R) error) error {
+	if start < 0 {
+		start = 0
+	}
+	if n <= start {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n-start {
+		workers = n - start
+	}
+	if workers <= 1 {
+		// The serial path is the specification the parallel one must match:
+		// compute then fold, index by index, first error wins.
+		for i := start; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			r, err := compute(ctx, i)
+			if err != nil {
+				return err
+			}
+			if err := fold(i, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type slot struct {
+		i   int
+		r   R
+		err error
+	}
+	ch := make(chan slot, workers)
+	var next atomic.Int64
+	next.Store(int64(start))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if cctx.Err() != nil {
+					return
+				}
+				r, err := compute(cctx, i)
+				select {
+				case ch <- slot{i: i, r: r, err: err}:
+				case <-cctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	pending := make(map[int]slot, 2*workers)
+	errs := map[int]error{}
+	var foldErr error
+	want := start
+	for s := range ch {
+		if s.err != nil {
+			errs[s.i] = s.err
+			cancel()
+			continue
+		}
+		if foldErr != nil || len(errs) > 0 {
+			continue // draining after a stop: never fold past the first error
+		}
+		pending[s.i] = s
+		for {
+			p, ok := pending[want]
+			if !ok {
+				break
+			}
+			delete(pending, want)
+			if err := fold(p.i, p.r); err != nil {
+				foldErr = err
+				cancel()
+				break
+			}
+			want++
+		}
+	}
+	if foldErr != nil {
+		return foldErr
+	}
+	// Deterministic selection, as in ForEach: the lowest-index compute error
+	// that is not just the cancellation rippling through sibling tasks.
+	idxs := make([]int, 0, len(errs))
+	for i := range errs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var firstAny error
+	for _, i := range idxs {
+		err := errs[i]
+		if firstAny == nil {
+			firstAny = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstAny
+}

@@ -1,0 +1,137 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// TestFoldOrdered: the fold must see every index exactly once, strictly
+// ascending, at any worker count — the property checkpoint journals and
+// streaming aggregates are built on.
+func TestFoldOrdered(t *testing.T) {
+	const n = 500
+	for _, workers := range []int{1, 2, 3, 8, 32} {
+		want := 0
+		sum := 0
+		err := Fold(context.Background(), workers, 0, n,
+			func(_ context.Context, i int) (int, error) {
+				runtime.Gosched() // shake completion order
+				return 3 * i, nil
+			},
+			func(i, r int) error {
+				if i != want {
+					t.Fatalf("workers=%d: fold saw index %d, want %d", workers, i, want)
+				}
+				if r != 3*i {
+					t.Fatalf("workers=%d: fold saw result %d for index %d", workers, r, i)
+				}
+				want++
+				sum += r
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want != n || sum != 3*n*(n-1)/2 {
+			t.Fatalf("workers=%d: folded %d of %d (sum %d)", workers, want, n, sum)
+		}
+	}
+}
+
+// TestFoldStart: resume semantics — folding [start, n) touches exactly the
+// tail, so a journal replay can hand the engine its first unwritten index.
+func TestFoldStart(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		want := 100
+		err := Fold(context.Background(), workers, 100, 150,
+			func(_ context.Context, i int) (int, error) { return i, nil },
+			func(i, r int) error {
+				if i != want {
+					t.Fatalf("workers=%d: fold saw %d, want %d", workers, i, want)
+				}
+				want++
+				return nil
+			})
+		if err != nil || want != 150 {
+			t.Fatalf("workers=%d: folded up to %d, err %v", workers, want, err)
+		}
+	}
+}
+
+// TestFoldEmpty: an already-complete range folds nothing and succeeds.
+func TestFoldEmpty(t *testing.T) {
+	err := Fold(context.Background(), 4, 10, 10,
+		func(_ context.Context, i int) (int, error) { t.Fatal("compute called"); return 0, nil },
+		func(i, r int) error { t.Fatal("fold called"); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFoldComputeError: a failing compute surfaces its own error (not a
+// cancellation echo) and the fold stops on a contiguous prefix strictly
+// before the failed index — the journal is left valid.
+func TestFoldComputeError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 2, 8} {
+		last := -1
+		err := Fold(context.Background(), workers, 0, 200,
+			func(_ context.Context, i int) (int, error) {
+				if i == 37 {
+					return 0, boom
+				}
+				return i, nil
+			},
+			func(i, r int) error {
+				if i != last+1 {
+					t.Fatalf("workers=%d: non-contiguous fold at %d after %d", workers, i, last)
+				}
+				last = i
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v, want boom", workers, err)
+		}
+		if last >= 37 {
+			t.Fatalf("workers=%d: folded index %d past the failure", workers, last)
+		}
+	}
+}
+
+// TestFoldFoldError: the fold's own error is a graceful early stop — it
+// comes back verbatim and no further fold calls happen.
+func TestFoldFoldError(t *testing.T) {
+	stop := errors.New("enough")
+	for _, workers := range []int{1, 6} {
+		calls := 0
+		err := Fold(context.Background(), workers, 0, 1000,
+			func(_ context.Context, i int) (int, error) { return i, nil },
+			func(i, r int) error {
+				calls++
+				if i == 25 {
+					return stop
+				}
+				return nil
+			})
+		if !errors.Is(err, stop) {
+			t.Fatalf("workers=%d: got %v, want stop", workers, err)
+		}
+		if calls != 26 {
+			t.Fatalf("workers=%d: %d fold calls, want 26", workers, calls)
+		}
+	}
+}
+
+// TestFoldCancel: parent-context cancellation aborts with ctx.Err().
+func TestFoldCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Fold(ctx, 4, 0, 100,
+		func(ctx context.Context, i int) (int, error) { return i, ctx.Err() },
+		func(i, r int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -73,7 +73,8 @@ type WatchdogConfig struct {
 	// XCaptureAfter reports captures of X at times strictly later than this;
 	// negative disables the guard (a design boots through X).
 	XCaptureAfter float64
-	// MaxDiags bounds the report; 0 means 64.
+	// MaxDiags bounds the report; 0 falls back to the simulator's
+	// Config.MaxDiags (whose own zero value means DefaultMaxDiags).
 	MaxDiags int
 }
 
@@ -123,7 +124,7 @@ func (s *Simulator) Diagnostics() []Diagnostic {
 func (w *watchdog) report(d Diagnostic) {
 	limit := w.cfg.MaxDiags
 	if limit <= 0 {
-		limit = 64
+		limit = w.s.cfg.MaxDiags // New resolved the zero value already
 	}
 	if len(w.diags) < limit {
 		d.Stage = "watchdog/" + string(d.Kind)

@@ -34,6 +34,23 @@ const (
 // added per instance by internal/variability.
 const CornerSpread = 2.5
 
+// CornerGrid spans the inter-die operating range with n evenly spaced
+// global delay scales from the best corner (1) to the worst (CornerSpread)
+// inclusive — the PVT axis of a scenario sweep. n < 2 collapses to the
+// nominal best corner.
+func CornerGrid(n int) []float64 {
+	if n < 2 {
+		return []float64{1}
+	}
+	out := make([]float64, n)
+	step := (CornerSpread - 1) / float64(n-1)
+	for i := range out {
+		out[i] = 1 + float64(i)*step
+	}
+	out[n-1] = CornerSpread // exact endpoint, no accumulation drift
+	return out
+}
+
 // builder accumulates cells with variant-dependent scaling.
 type builder struct {
 	lib *netlist.Library

@@ -248,3 +248,25 @@ func TestGatefileTextRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestCornerGrid: the PVT axis spans [1, CornerSpread] inclusive, evenly,
+// with exact endpoints (sweep journals compare these floats bitwise).
+func TestCornerGrid(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		if g := CornerGrid(n); len(g) != 1 || g[0] != 1 {
+			t.Fatalf("CornerGrid(%d) = %v", n, g)
+		}
+	}
+	g := CornerGrid(7)
+	if len(g) != 7 || g[0] != 1 || g[6] != CornerSpread {
+		t.Fatalf("CornerGrid(7) = %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not increasing at %d: %v", i, g)
+		}
+	}
+	if g2 := CornerGrid(2); g2[0] != 1 || g2[1] != CornerSpread {
+		t.Fatalf("CornerGrid(2) = %v", g2)
+	}
+}

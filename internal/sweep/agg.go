@@ -1,0 +1,287 @@
+package sweep
+
+import (
+	"math"
+	"sort"
+
+	"desync/internal/faults"
+)
+
+// Streaming aggregates: everything the sweep reports is folded record by
+// record in scenario order, holds O(corners) state regardless of sweep
+// size, and is a pure function of the record sequence — so a resumed run
+// (journal prefix replayed, tail recomputed) reproduces the uninterrupted
+// run's report byte for byte.
+
+// Quantile is a P² (Jain & Chlamtac) streaming quantile estimator: five
+// markers track the p-quantile of an unbounded stream in constant memory.
+// It is deterministic in the insertion order, which the ordered fold fixes.
+type Quantile struct {
+	p    float64
+	n    int
+	q    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions (1-based)
+	np   [5]float64 // desired marker positions
+	dn   [5]float64 // desired position increments
+	init []float64  // first five samples, before the markers exist
+}
+
+// NewQuantile estimates the p-quantile (0 < p < 1) of the stream.
+func NewQuantile(p float64) *Quantile {
+	return &Quantile{p: p, dn: [5]float64{0, p / 2, p, (1 + p) / 2, 1}}
+}
+
+// Add feeds one observation.
+func (e *Quantile) Add(x float64) {
+	if e.n < 5 {
+		e.init = append(e.init, x)
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.init)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.init[i]
+				e.pos[i] = float64(i + 1)
+			}
+			e.np = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+			e.init = nil
+		}
+		return
+	}
+	e.n++
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x < e.q[1]:
+		k = 0
+	case x < e.q[2]:
+		k = 1
+	case x < e.q[3]:
+		k = 2
+	case x <= e.q[4]:
+		k = 3
+	default:
+		e.q[4] = x
+		k = 3
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.np[i] += e.dn[i]
+	}
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			if qn := e.parabolic(i, s); e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Count is the number of observations fed so far.
+func (e *Quantile) Count() int { return e.n }
+
+// Value is the current estimate; with fewer than five observations it is
+// the nearest-rank quantile of what arrived.
+func (e *Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		s := append([]float64(nil), e.init...)
+		sort.Float64s(s)
+		k := int(e.p * float64(len(s)))
+		if k >= len(s) {
+			k = len(s) - 1
+		}
+		return s[k]
+	}
+	return e.q[2]
+}
+
+// WilsonCI is the 95% Wilson score interval for k detections in n trials —
+// the right interval for rates near 1, where the sweep's detection rates
+// live (a normal approximation would report [0.99, 1.01]).
+func WilsonCI(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054
+	p := float64(k) / float64(n)
+	fn := float64(n)
+	denom := 1 + z*z/fn
+	center := p + z*z/(2*fn)
+	half := z * math.Sqrt(p*(1-p)/fn+z*z/(4*fn*fn))
+	lo = (center - half) / denom
+	hi = (center + half) / denom
+	// At the boundaries the Wilson bounds are exactly 0 and 1; pin them so
+	// float roundoff cannot leak a 0.9999999999999998 into the report.
+	if k == 0 || lo < 0 {
+		lo = 0
+	}
+	if k == n || hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// ClassCounts is one fault class's tally inside a corner.
+type ClassCounts struct {
+	Class    faults.Class `json:"class"`
+	Injected int          `json:"injected"`
+	Detected int          `json:"detected"`
+}
+
+// CornerStats aggregates one corner of the sweep. The count fields stream;
+// the derived fields (rate, interval, quantile values) are filled by
+// finalize so the JSON is self-contained.
+type CornerStats struct {
+	Corner   int     `json:"corner"`
+	Scale    float64 `json:"scale"`
+	Injected int     `json:"injected"`
+	Detected int     `json:"detected"`
+	Rate     float64 `json:"rate"`
+	RateLo   float64 `json:"rate_lo"`
+	RateHi   float64 `json:"rate_hi"`
+
+	Classes []ClassCounts `json:"classes,omitempty"`
+
+	// Period quantiles (ns, normalized to the nominal corner) over every
+	// completed scenario that measured one — the robustness surface's
+	// latency axis.
+	PeriodN   int     `json:"period_n"`
+	PeriodP50 float64 `json:"period_p50,omitempty"`
+	PeriodP90 float64 `json:"period_p90,omitempty"`
+	PeriodP99 float64 `json:"period_p99,omitempty"`
+
+	Timeouts int `json:"timeouts,omitempty"`
+	Panics   int `json:"panics,omitempty"`
+	Errors   int `json:"errors,omitempty"`
+
+	q50, q90, q99 *Quantile
+}
+
+func newCornerStats(corner int, scale float64) *CornerStats {
+	return &CornerStats{
+		Corner: corner, Scale: scale,
+		q50: NewQuantile(0.5), q90: NewQuantile(0.9), q99: NewQuantile(0.99),
+	}
+}
+
+func (cs *CornerStats) class(c faults.Class) *ClassCounts {
+	for i := range cs.Classes {
+		if cs.Classes[i].Class == c {
+			return &cs.Classes[i]
+		}
+	}
+	cs.Classes = append(cs.Classes, ClassCounts{Class: c})
+	return &cs.Classes[len(cs.Classes)-1]
+}
+
+func (cs *CornerStats) finalize() {
+	if cs.Injected > 0 {
+		cs.Rate = float64(cs.Detected) / float64(cs.Injected)
+	}
+	cs.RateLo, cs.RateHi = WilsonCI(cs.Detected, cs.Injected)
+	cs.PeriodN = cs.q50.Count()
+	if cs.PeriodN > 0 {
+		cs.PeriodP50 = cs.q50.Value()
+		cs.PeriodP90 = cs.q90.Value()
+		cs.PeriodP99 = cs.q99.Value()
+	}
+}
+
+// FailureRef is one quarantined scenario kept in the report (the sweep
+// keeps the first maxFailureRefs; the journal keeps them all).
+type FailureRef struct {
+	Index  int    `json:"index"`
+	Corner int    `json:"corner"`
+	Chip   int    `json:"chip"`
+	Fault  int    `json:"fault"`
+	Kind   Kind   `json:"kind"`
+	Msg    string `json:"msg"`
+}
+
+// maxFailureRefs bounds the report's inline failure list; the count is
+// always exact.
+const maxFailureRefs = 16
+
+// agg folds Records into the streaming state.
+type agg struct {
+	space        Space
+	corners      []*CornerStats
+	done         int
+	detected     int
+	injected     int
+	failures     []FailureRef
+	failureCount int
+}
+
+func newAgg(space Space) *agg {
+	space = space.normalize()
+	a := &agg{space: space}
+	for i, s := range space.Corners {
+		a.corners = append(a.corners, newCornerStats(i, s))
+	}
+	return a
+}
+
+// add folds one record. Called in strict scenario order.
+func (a *agg) add(rec Record) {
+	a.done++
+	cs := a.corners[rec.Corner]
+	if rec.Failure != nil {
+		a.failureCount++
+		switch rec.Failure.Kind {
+		case KindPanic:
+			cs.Panics++
+		case KindTimeout:
+			cs.Timeouts++
+		default:
+			cs.Errors++
+		}
+		if len(a.failures) < maxFailureRefs {
+			a.failures = append(a.failures, FailureRef{
+				Index: rec.Index, Corner: rec.Corner, Chip: rec.Chip, Fault: rec.Fault,
+				Kind: rec.Failure.Kind, Msg: rec.Failure.Msg,
+			})
+		}
+		return
+	}
+	o := rec.Outcome
+	cs.Injected++
+	a.injected++
+	cc := cs.class(o.Fault.Class)
+	cc.Injected++
+	if o.Detected {
+		cs.Detected++
+		a.detected++
+		cc.Detected++
+	}
+	if o.Period > 0 {
+		cs.q50.Add(o.Period)
+		cs.q90.Add(o.Period)
+		cs.q99.Add(o.Period)
+	}
+}

@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"desync/internal/faults"
+)
+
+// lcg is a tiny deterministic generator for test streams (no seeding
+// subtleties, identical on every platform).
+type lcg uint64
+
+func (g *lcg) next() float64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return float64(*g>>11) / float64(1<<53)
+}
+
+// TestQuantileUniform: on 20k uniform draws the P² markers must land close
+// to the true quantiles — and identically on every run, since the stream
+// is fixed.
+func TestQuantileUniform(t *testing.T) {
+	for _, tc := range []struct{ p, tol float64 }{{0.5, 0.02}, {0.9, 0.02}, {0.99, 0.01}} {
+		g := lcg(42)
+		q := NewQuantile(tc.p)
+		for i := 0; i < 20000; i++ {
+			q.Add(g.next())
+		}
+		if v := q.Value(); math.Abs(v-tc.p) > tc.tol {
+			t.Errorf("p%.0f estimate %.4f, want within %.3f", 100*tc.p, v, tc.tol)
+		}
+		if q.Count() != 20000 {
+			t.Errorf("count %d", q.Count())
+		}
+	}
+}
+
+// TestQuantileSmall: below five samples the estimator falls back to the
+// nearest-rank quantile of what it has.
+func TestQuantileSmall(t *testing.T) {
+	q := NewQuantile(0.5)
+	if q.Value() != 0 {
+		t.Fatal("empty estimator must report 0")
+	}
+	for _, x := range []float64{3, 1, 2} {
+		q.Add(x)
+	}
+	if v := q.Value(); v != 2 {
+		t.Fatalf("median of {3,1,2} = %v, want 2", v)
+	}
+}
+
+// TestQuantileDeterministic: the estimate is a pure function of the
+// insertion order — the property that makes resumed sweeps byte-identical.
+func TestQuantileDeterministic(t *testing.T) {
+	run := func() float64 {
+		g := lcg(7)
+		q := NewQuantile(0.9)
+		for i := 0; i < 5000; i++ {
+			q.Add(g.next())
+		}
+		return q.Value()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same stream, different estimates: %v vs %v", a, b)
+	}
+}
+
+// TestWilsonCI: interval shape at the boundaries the sweep lives near.
+func TestWilsonCI(t *testing.T) {
+	lo, hi := WilsonCI(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty interval [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonCI(100, 100)
+	if hi != 1 || lo < 0.95 || lo > 0.995 {
+		t.Fatalf("100/100 interval [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonCI(95, 100)
+	if lo >= 0.95 || hi <= 0.95 {
+		t.Fatalf("95/100 interval [%v,%v] does not bracket the rate", lo, hi)
+	}
+	if lo < 0.85 || hi > 1 {
+		t.Fatalf("95/100 interval [%v,%v] implausibly wide", lo, hi)
+	}
+}
+
+// TestSpaceDecode: the index decomposition must be a bijection onto the
+// cross-product, fault-fastest.
+func TestSpaceDecode(t *testing.T) {
+	sp := Space{Corners: []float64{1, 2, 3}, Chips: 4, Faults: make([]faults.Fault, 5)}
+	if sp.Size() != 60 {
+		t.Fatalf("size %d", sp.Size())
+	}
+	seen := map[[3]int]bool{}
+	prevCorner := 0
+	for i := 0; i < sp.Size(); i++ {
+		c, ch, f := sp.Decode(i)
+		if c < 0 || c > 2 || ch < 0 || ch > 3 || f < 0 || f > 4 {
+			t.Fatalf("index %d decoded out of range (%d,%d,%d)", i, c, ch, f)
+		}
+		if c < prevCorner {
+			t.Fatalf("corner order regressed at index %d", i)
+		}
+		prevCorner = c
+		key := [3]int{c, ch, f}
+		if seen[key] {
+			t.Fatalf("index %d repeats cell %v", i, key)
+		}
+		seen[key] = true
+	}
+	if len(seen) != 60 {
+		t.Fatalf("covered %d cells", len(seen))
+	}
+}

@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzReadJournal throws arbitrary bytes at the checkpoint parser: it must
+// never panic, never report records without a header, never report a clean
+// length beyond the input, and fail only with the typed corruption error —
+// the contract resume relies on when it decides whether a journal is a torn
+// tail (continue) or damage (refuse).
+func FuzzReadJournal(f *testing.F) {
+	// A valid two-record journal, assembled frame by frame.
+	valid := append([]byte(nil), journalMagic...)
+	frame := func(payload string) {
+		var pre [8]byte
+		binary.LittleEndian.PutUint32(pre[:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(pre[4:], crcOf(payload))
+		valid = append(valid, pre[:]...)
+		valid = append(valid, payload...)
+	}
+	frame(`{"design":"t","seed":1,"corners":[1],"chips":1,"sigma":0,"faults_hash":7,"total":2}`)
+	frame(`{"index":0,"corner":0,"chip":0,"fault":0,"outcome":{"fault":{"class":"stuck-at"},"detected":true}}`)
+	frame(`{"index":1,"corner":0,"chip":0,"fault":1,"failure":{"kind":"panic","msg":"boom"}}`)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])                                             // truncated record
+	dup := append(append([]byte(nil), valid...), valid[len(valid)-108:]...) // repeated index frame
+	f.Add(dup)
+	corrupt := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(corrupt[len(journalMagic):], 0xFFFFFFFF) // corrupted length prefix
+	f.Add(corrupt)
+	f.Add([]byte{})
+	f.Add([]byte("drsweepj1\n"))
+	f.Add([]byte("not a journal at all, but long enough to try framing"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, recs, clean, err := ReadJournal(data)
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped error: %v", err)
+		}
+		if clean < 0 || clean > len(data) {
+			t.Fatalf("clean length %d outside input of %d bytes", clean, len(data))
+		}
+		if hdr == nil && len(recs) > 0 {
+			t.Fatal("records without a header")
+		}
+		for i, r := range recs {
+			if r.Index != i {
+				t.Fatalf("record %d carries index %d", i, r.Index)
+			}
+		}
+		if err == nil && clean > 0 {
+			// The clean prefix must re-read to the same records.
+			_, recs2, clean2, err2 := ReadJournal(data[:clean])
+			if err2 != nil || len(recs2) != len(recs) || clean2 != clean {
+				t.Fatalf("clean prefix unstable: %d->%d records, %d->%d clean, %v",
+					len(recs), len(recs2), clean, clean2, err2)
+			}
+		}
+	})
+}
+
+func crcOf(s string) uint32 {
+	return crc32.ChecksumIEEE([]byte(s))
+}

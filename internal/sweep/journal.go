@@ -1,0 +1,286 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+
+	"desync/internal/faults"
+)
+
+// The checkpoint journal is an append-only frame stream:
+//
+//	magic "drsweepj1\n"
+//	frame*: uint32 LE payload length | uint32 LE CRC32(IEEE) of payload | payload
+//
+// The first frame is the Header JSON; every later frame is one Record JSON
+// with strictly consecutive indexes starting at 0 — exactly the fold order,
+// so "resume" is "replay the prefix, then fold from the next index". A
+// torn tail (the frame at EOF is incomplete or fails its CRC) is what a
+// crash legitimately leaves behind and is tolerated: the reader reports the
+// clean prefix length and resume truncates to it. Anything else — a bad
+// magic, an implausible length prefix, a CRC or index violation with more
+// data after it — is corruption and is refused with ErrCorrupt.
+
+var (
+	// ErrCorrupt: the journal is damaged beyond a torn tail (bad magic,
+	// corrupted length prefix, mid-file CRC failure, out-of-order or
+	// duplicate record index). Resuming from it would silently lose or
+	// repeat scenarios, so the engine refuses.
+	ErrCorrupt = errors.New("sweep: journal corrupt")
+	// ErrMismatch: the journal's header describes a different sweep (other
+	// seed, space or fault matrix) than the one resuming.
+	ErrMismatch = errors.New("sweep: journal config mismatch")
+)
+
+var journalMagic = []byte("drsweepj1\n")
+
+// maxFrame bounds a frame payload; a length prefix beyond it is corruption,
+// not a huge record (a Record is a few KB even with diagnostics attached).
+const maxFrame = 1 << 24
+
+// Header identifies the sweep a journal belongs to. Resume compares every
+// field: replaying records from a different space or seed would fold
+// nonsense into the aggregates.
+type Header struct {
+	Design  string    `json:"design"`
+	Seed    int64     `json:"seed"`
+	Corners []float64 `json:"corners"`
+	Chips   int       `json:"chips"`
+	Sigma   float64   `json:"sigma"`
+	// FaultsHash fingerprints the fault matrix (FNV-1a over its JSON), so a
+	// changed enumeration is caught without storing every fault.
+	FaultsHash uint64 `json:"faults_hash"`
+	Total      int    `json:"total"`
+}
+
+func (h Header) equal(o Header) bool {
+	if h.Design != o.Design || h.Seed != o.Seed || h.Chips != o.Chips ||
+		h.Sigma != o.Sigma || h.FaultsHash != o.FaultsHash || h.Total != o.Total ||
+		len(h.Corners) != len(o.Corners) {
+		return false
+	}
+	for i := range h.Corners {
+		if h.Corners[i] != o.Corners[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadJournal parses a journal image. It returns the header (nil when the
+// file is so short even the header frame is torn), the clean record prefix,
+// and the byte offset of the end of that prefix — the length resume
+// truncates the file to. A torn tail is not an error; corruption is.
+func ReadJournal(data []byte) (*Header, []Record, int, error) {
+	if len(data) < len(journalMagic) {
+		if len(data) == 0 {
+			return nil, nil, 0, nil
+		}
+		if !hasPrefix(journalMagic, data) {
+			return nil, nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+		// A torn magic write: tolerate as an empty journal.
+		return nil, nil, 0, nil
+	}
+	if string(data[:len(journalMagic)]) != string(journalMagic) {
+		return nil, nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	off := len(journalMagic)
+	var hdr *Header
+	var recs []Record
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < 8 {
+			return hdr, recs, off, nil // torn frame prefix at EOF
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length > maxFrame {
+			return hdr, recs, off, fmt.Errorf("%w: frame length %d at offset %d", ErrCorrupt, length, off)
+		}
+		if rest < 8+int(length) {
+			return hdr, recs, off, nil // torn payload at EOF
+		}
+		payload := data[off+8 : off+8+int(length)]
+		end := off + 8 + int(length)
+		if crc32.ChecksumIEEE(payload) != sum {
+			if end == len(data) {
+				return hdr, recs, off, nil // torn write of the final frame
+			}
+			return hdr, recs, off, fmt.Errorf("%w: CRC mismatch at offset %d", ErrCorrupt, off)
+		}
+		if hdr == nil {
+			var h Header
+			if err := json.Unmarshal(payload, &h); err != nil {
+				return nil, nil, off, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+			}
+			hdr = &h
+		} else {
+			var r Record
+			if err := json.Unmarshal(payload, &r); err != nil {
+				return hdr, recs, off, fmt.Errorf("%w: record %d: %v", ErrCorrupt, len(recs), err)
+			}
+			if r.Index != len(recs) {
+				return hdr, recs, off, fmt.Errorf("%w: record index %d at position %d", ErrCorrupt, r.Index, len(recs))
+			}
+			recs = append(recs, r)
+		}
+		off = end
+	}
+	return hdr, recs, off, nil
+}
+
+// hasPrefix reports whether data is a prefix of want.
+func hasPrefix(want, data []byte) bool {
+	if len(data) > len(want) {
+		return false
+	}
+	return string(want[:len(data)]) == string(data)
+}
+
+// Journal is the append side: created fresh or resumed onto a clean prefix,
+// it frames each record and fsyncs every fsyncEvery appends (and on Close),
+// so a crash loses at most the last unsynced records — never the file's
+// integrity.
+type Journal struct {
+	f          *os.File
+	fsyncEvery int
+	unsynced   int
+	closed     bool
+}
+
+// CreateJournal starts a fresh journal at path (truncating any previous
+// one) and durably writes the magic and header before returning.
+func CreateJournal(path string, hdr Header, fsyncEvery int) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, fsyncEvery: resolveFsync(fsyncEvery)}
+	if _, err := f.Write(journalMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := j.appendFrame(mustJSON(hdr)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// ResumeJournal reopens path, verifies its header against want, truncates
+// any torn tail and returns the journal positioned to append along with
+// the already-journaled record prefix. A missing file — or one torn before
+// its header frame was durable — resumes as a fresh journal with no
+// records.
+func ResumeJournal(path string, want Header, fsyncEvery int) (*Journal, []Record, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		j, cerr := CreateJournal(path, want, fsyncEvery)
+		return j, nil, cerr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	hdr, recs, clean, err := ReadJournal(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if hdr == nil {
+		j, cerr := CreateJournal(path, want, fsyncEvery)
+		return j, nil, cerr
+	}
+	if !hdr.equal(want) {
+		return nil, nil, fmt.Errorf("%w: journal is for design %q seed %d total %d",
+			ErrMismatch, hdr.Design, hdr.Seed, hdr.Total)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(int64(clean)); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(int64(clean), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{f: f, fsyncEvery: resolveFsync(fsyncEvery)}, recs, nil
+}
+
+// Append journals one record (already in fold order — the caller is the
+// ordered fold, so indexes arrive consecutive by construction).
+func (j *Journal) Append(rec Record) error {
+	if err := j.appendFrame(mustJSON(rec)); err != nil {
+		return err
+	}
+	j.unsynced++
+	if j.unsynced >= j.fsyncEvery {
+		j.unsynced = 0
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// Close flushes the tail durably and closes the file; extra calls are
+// no-ops (the engine closes explicitly to report sync errors and again via
+// defer for the abort paths).
+func (j *Journal) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+func (j *Journal) appendFrame(payload []byte) error {
+	var pre [8]byte
+	binary.LittleEndian.PutUint32(pre[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(pre[4:], crc32.ChecksumIEEE(payload))
+	if _, err := j.f.Write(pre[:]); err != nil {
+		return err
+	}
+	_, err := j.f.Write(payload)
+	return err
+}
+
+func resolveFsync(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Records and headers are plain data structs; this cannot fail.
+		panic(err)
+	}
+	return b
+}
+
+// HashFaults fingerprints a fault matrix for Header.FaultsHash: FNV-1a
+// over the JSON of every fault, in order.
+func HashFaults(fs []faults.Fault) uint64 {
+	h := fnv.New64a()
+	for _, f := range fs {
+		h.Write(mustJSON(f))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}

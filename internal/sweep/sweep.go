@@ -1,0 +1,107 @@
+// Package sweep is the flow's robustness-surface engine: a streaming
+// scenario sweep over the cross-product of inter-die corners (global delay
+// scales), Monte Carlo chips (per-instance intra-die delay draws) and the
+// fault matrix of internal/faults. Flow equivalence (§2.1) is what makes
+// the product well-posed — a correct desynchronized design produces the
+// same capture-value sequence at every operating point, so one nominal
+// golden run classifies every cell of the product.
+//
+// The engine is built for runs that are too big to babysit: results stream
+// through par.Fold in strict scenario order into bounded-memory aggregates
+// (per-corner detection rates with Wilson intervals, P² period quantiles)
+// and an append-only checkpoint journal, scenarios that panic or blow a
+// wall-clock deadline are quarantined as records instead of killing the
+// sweep, and an interrupted run resumes from its journal to the same final
+// aggregates, byte for byte, at any worker count.
+package sweep
+
+import (
+	"fmt"
+
+	"desync/internal/faults"
+)
+
+// Space is the scenario cross-product. Scenario index i decodes as
+// fault-fastest: fault = i mod F, chip = (i/F) mod C, corner = i/(F*C) —
+// so a journal prefix always covers whole low corners first and the
+// per-corner aggregates fill one corner at a time.
+type Space struct {
+	// Corners are the inter-die operating points, as global delay scales on
+	// top of the campaign's nominal corner (1 = nominal); empty means {1}.
+	Corners []float64
+	// Chips is the number of Monte Carlo intra-die draws per corner; <= 1
+	// means a single nominal chip (no draw).
+	Chips int
+	// Sigma is the per-instance uniform delay spread of a chip draw
+	// ([1-Sigma, 1+Sigma]); 0 makes every chip nominal.
+	Sigma float64
+	// Faults is the injected fault matrix.
+	Faults []faults.Fault
+}
+
+// normalize resolves the zero values ({1} corners, 1 chip).
+func (sp Space) normalize() Space {
+	if len(sp.Corners) == 0 {
+		sp.Corners = []float64{1}
+	}
+	if sp.Chips < 1 {
+		sp.Chips = 1
+	}
+	if sp.Sigma <= 0 {
+		sp.Sigma = 0
+	}
+	return sp
+}
+
+// Size is the scenario count |corners| * chips * |faults|.
+func (sp Space) Size() int {
+	sp = sp.normalize()
+	return len(sp.Corners) * sp.Chips * len(sp.Faults)
+}
+
+// Decode maps a scenario index to its (corner, chip, fault) cell.
+func (sp Space) Decode(i int) (corner, chip, fault int) {
+	sp = sp.normalize()
+	f := len(sp.Faults)
+	return i / (f * sp.Chips), (i / f) % sp.Chips, i % f
+}
+
+// Kind says why a quarantined scenario failed.
+type Kind string
+
+const (
+	// KindPanic: the scenario's simulation panicked; the quarantine boundary
+	// turned it into a record.
+	KindPanic Kind = "panic"
+	// KindTimeout: the scenario exceeded the per-scenario wall-clock
+	// deadline and was aborted through the simulator's interrupt hook.
+	KindTimeout Kind = "timeout"
+	// KindError: the scenario returned an ordinary error (bad net name,
+	// stimulus failure).
+	KindError Kind = "error"
+)
+
+// ScenarioError is one quarantined scenario failure: recorded, counted
+// against -max-failures, never fatal to the sweep.
+type ScenarioError struct {
+	Kind Kind   `json:"kind"`
+	Msg  string `json:"msg"`
+}
+
+func (e *ScenarioError) Error() string {
+	return fmt.Sprintf("sweep: scenario %s: %s", e.Kind, e.Msg)
+}
+
+// Record is one journaled scenario result: either an Outcome or a
+// quarantined Failure, never both. Records carry no wall-clock fields —
+// everything in them must replay byte-identically on resume.
+type Record struct {
+	// Index is the scenario's position in the sweep (Space.Decode order).
+	Index  int `json:"index"`
+	Corner int `json:"corner"`
+	Chip   int `json:"chip"`
+	Fault  int `json:"fault"`
+
+	Outcome *faults.Outcome `json:"outcome,omitempty"`
+	Failure *ScenarioError  `json:"failure,omitempty"`
+}

@@ -56,6 +56,28 @@ func ApplyIntraDie(m *netlist.Module, sigma float64, rng *rand.Rand) {
 	}
 }
 
+// IntraDieFactors is the non-mutating form of ApplyIntraDie: the same
+// Normal(1, sigma) per-instance draw, clamped to ±3σ, returned as a factor
+// map (sim.Config.DelayFactors) instead of written into the module. The
+// draw multiplies each instance's baked-in DelayFactor (nominal when zero)
+// because Config.DelayFactors *overrides* it — a chip map must not erase a
+// sized delay element. Sweeps use it to evaluate many Monte Carlo chips
+// against one shared read-only design: each chip is just a map,
+// reproducible from its rng seed.
+func IntraDieFactors(m *netlist.Module, sigma float64, rng *rand.Rand) map[string]float64 {
+	lo, hi := 1-3*sigma, 1+3*sigma
+	out := make(map[string]float64, len(m.Insts))
+	for _, in := range m.Insts {
+		base := in.DelayFactor
+		if base == 0 {
+			base = 1
+		}
+		f := 1 + rng.NormFloat64()*sigma
+		out[in.Name] = base * math.Max(lo, math.Min(hi, f))
+	}
+	return out
+}
+
 // ResetIntraDie restores nominal per-instance delays.
 func ResetIntraDie(m *netlist.Module) {
 	for _, in := range m.Insts {

@@ -62,3 +62,45 @@ func TestIntraDie(t *testing.T) {
 		}
 	}
 }
+
+// TestIntraDieFactors: the map form must draw the same mismatch model as
+// ApplyIntraDie without touching the module, compose with baked-in
+// nominals instead of erasing them, and reproduce from its seed.
+func TestIntraDieFactors(t *testing.T) {
+	lib := stdcells.New(stdcells.HighSpeed)
+	m := netlist.NewModule("m")
+	for i := 0; i < 100; i++ {
+		m.AddInst(string(rune('a'+i%26))+string(rune('0'+i/26)), lib.MustCell("INVX1"))
+	}
+	m.Insts[0].DelayFactor = 2 // a sized delay element
+
+	a := IntraDieFactors(m, 0.05, rand.New(rand.NewSource(3)))
+	b := IntraDieFactors(m, 0.05, rand.New(rand.NewSource(3)))
+	if len(a) != len(m.Insts) {
+		t.Fatalf("drew %d factors for %d instances", len(a), len(m.Insts))
+	}
+	varied := 0
+	for name, f := range a {
+		if b[name] != f {
+			t.Fatalf("%s: same seed drew %v then %v", name, f, b[name])
+		}
+		base := 1.0
+		if name == m.Insts[0].Name {
+			base = 2
+		}
+		if f < base*0.85 || f > base*1.15 {
+			t.Fatalf("%s: factor %v outside clamp around nominal %v", name, f, base)
+		}
+		if f != base {
+			varied++
+		}
+	}
+	if varied < 80 {
+		t.Fatal("factors barely vary")
+	}
+	for _, in := range m.Insts[1:] {
+		if in.DelayFactor != 1 {
+			t.Fatal("module mutated")
+		}
+	}
+}
