@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint equiv fuzz bench faults sweep
+.PHONY: all build test check vet lint equiv fuzz bench faults sweep
 
 all: build
 
@@ -15,13 +15,21 @@ build:
 test:
 	$(GO) test ./...
 
+# Compiler-level static analysis, runnable on its own.
+vet:
+	$(GO) vet ./...
+
 # Static verification: repolint enforces the repo's own coding conventions,
 # drlint verifies both example designs before and (via the flow's built-in
-# gates) after desynchronization.
+# gates) after desynchronization, and the mga marked-graph engine issues
+# its polynomial-time liveness/safety/period verdicts on all three case
+# studies (drequiv -static).
 lint:
 	$(GO) run ./cmd/repolint
 	$(GO) run ./cmd/drlint -gen dlx
 	$(GO) run ./cmd/drlint -gen arm
+	$(GO) run ./cmd/drequiv -gen dlx -static
+	$(GO) run ./cmd/drequiv -gen fir -static
 
 # Formal verification: model-check deadlock-freedom, phase safety and flow
 # equivalence of both case studies' control networks, cross-validated
@@ -30,8 +38,7 @@ equiv:
 	$(GO) run ./cmd/drequiv -gen dlx -xval 1
 	$(GO) run ./cmd/drequiv -gen arm -xval 1
 
-check: lint equiv sweep
-	$(GO) vet ./...
+check: vet lint equiv sweep
 	# Targeted race pass first: the parallel engine, the fault fan-out, the
 	# sweep's ordered fold and journal, the ctrlnet derivation cache and the
 	# equiv model built on it are the shared-state hot spots; fail fast on
@@ -39,7 +46,7 @@ check: lint equiv sweep
 	$(GO) test -race ./internal/par/ ./internal/faults/ ./internal/sweep/ ./internal/ctrlnet/ ./internal/equiv/
 	$(GO) test -race -run 'Parallel|Cancellation' ./internal/sta/ ./internal/core/
 	$(GO) test -race ./...
-	$(GO) test -run XXX -bench 'BenchmarkFaultCampaignSmoke|BenchmarkCampaignParallelDLX|BenchmarkSweepSmokeDLX|BenchmarkLintClean' -benchtime 1x .
+	$(GO) test -run XXX -bench 'BenchmarkFaultCampaignSmoke|BenchmarkCampaignParallelDLX|BenchmarkSweepSmokeDLX|BenchmarkLintClean|BenchmarkMGAStaticDLX' -benchtime 1x .
 	$(GO) test -run XXX -bench 'BenchmarkEquivDLX$$|BenchmarkEquivParallelDLX' -benchtime 1x ./internal/equiv/
 
 # Short fuzz passes over the three text front ends and the sweep's

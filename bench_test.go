@@ -12,12 +12,15 @@ import (
 	"testing"
 
 	"desync/internal/core"
+	"desync/internal/ctrlnet"
 	"desync/internal/designs"
 	"desync/internal/dft"
+	"desync/internal/equiv"
 	"desync/internal/expt"
 	"desync/internal/faults"
 	"desync/internal/lint"
 	"desync/internal/logic"
+	"desync/internal/mga"
 	"desync/internal/netlist"
 	"desync/internal/pnr"
 	"desync/internal/sim"
@@ -338,6 +341,36 @@ func BenchmarkLintClean(b *testing.B) {
 			b.Fatalf("golden flow is not lint-clean: %d finding(s)\n%s%s", n, pre.Text(), post.Text())
 		}
 		b.ReportMetric(float64(len(f.Desync.Top.Insts)), "instances")
+	}
+}
+
+// BenchmarkMGAStaticDLX runs the static marked-graph engine over the DLX
+// golden flow and guards its verdicts: the graph must be live and safe,
+// and the static period bound must stay within 10% above the calibrated
+// 6.5085 ns (a drift in either direction means the pricing model or the
+// extraction changed). The per-op runtime is the cost of one full static
+// analysis over a prebuilt extraction — the number the static-vs-BFS
+// speedup in EXPERIMENTS.md is computed from.
+func BenchmarkMGAStaticDLX(b *testing.B) {
+	f, err := expt.RunDLXFlow(expt.FlowConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cn := ctrlnet.Derive(f.Desync.Top)
+	m, err := equiv.FromNetwork(f.Desync.Top, cn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := mga.AnalyzeModel(f.Desync.Top, cn, m, mga.Options{})
+		if !rep.Live || !rep.Safe {
+			b.Fatalf("DLX golden flow fails static verification: live=%v safe=%v", rep.Live, rep.Safe)
+		}
+		if rep.PeriodNs < 6.50 || rep.PeriodNs > 6.51*1.10 {
+			b.Fatalf("static period bound drifted: %.4f ns", rep.PeriodNs)
+		}
+		b.ReportMetric(rep.PeriodNs, "period-ns")
 	}
 }
 

@@ -19,6 +19,14 @@
 // workers of the parallel kernels — delay-element sizing, the -equiv gate,
 // the -faults campaign — with 0 meaning all CPUs; every output is identical
 // at any value. Ctrl-C cancels the run cleanly between stages.
+//
+// After export the tool always runs the static marked-graph gate
+// (internal/mga): polynomial-time liveness, token-bound safety and a
+// static period bound over the inserted control network, deterministic at
+// any -j. The optional -equiv gate then explores the same extraction
+// exhaustively; when the design's protocol-state estimate exceeds the
+// -max-states reach, the static gate stands alone and the tool says so
+// explicitly instead of truncating a search.
 package main
 
 import (
@@ -185,7 +193,16 @@ func run(ctx context.Context, o runOpts) error {
 		return err
 	}
 
-	if o.equivGate {
+	// Static marked-graph gate: always on. Polynomial-time liveness,
+	// safety and throughput verdicts over the inserted control network,
+	// plus the estimate that decides whether the exhaustive -equiv gate's
+	// marking budget can reach the design at all.
+	srep, err := staticGate(d, res.Network, os.Stdout, os.Stderr)
+	if err != nil {
+		return err
+	}
+
+	if o.equivGate && equivWithinReach(srep, o.equivMaxStates, os.Stderr) {
 		if err := equivGate(ctx, d, res.Network, o, os.Stdout, os.Stderr); err != nil {
 			return err
 		}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"desync/internal/core"
+	"desync/internal/ctrlnet"
+	"desync/internal/equiv"
+	"desync/internal/mga"
+	"desync/internal/netlist"
+)
+
+// staticGate is the always-on structural verification gate: it analyzes
+// the delay-annotated marked graph of the freshly inserted control network
+// — liveness, place bounds, the request-vs-data cross-check and the static
+// period bound — in polynomial time, before (and independently of) the
+// optional exhaustive -equiv gate. Error findings fail the run with a
+// StageStatic flow error. It returns the report so the caller can decide
+// whether the state space is within the -equiv gate's reach.
+func staticGate(d *netlist.Design, cn *ctrlnet.Network, stdout, stderr io.Writer) (*mga.Report, error) {
+	fail := func(err error) (*mga.Report, error) {
+		return nil, &core.FlowError{Stage: core.StageStatic, Design: d.Top.Name, Detail: "static marked-graph gate", Err: err}
+	}
+	if cn == nil || cn.Module != d.Top {
+		cn = ctrlnet.Derive(d.Top)
+	}
+	rep, err := mga.Analyze(d.Top, cn, mga.Options{})
+	if err != nil {
+		return fail(err)
+	}
+	rep.WriteText(stdout)
+	if err := lintGate("static", rep.LintReport(rep.ModelFindings), stderr); err != nil {
+		return fail(err)
+	}
+	return rep, nil
+}
+
+// equivWithinReach decides whether the exhaustive gate's marking budget
+// covers the design's estimated protocol state space; when it does not,
+// the caller skips the BFS with an explicit downgrade note and the static
+// verdicts stand alone.
+func equivWithinReach(rep *mga.Report, maxStates int, stderr io.Writer) bool {
+	budget := maxStates
+	if budget <= 0 {
+		budget = equiv.DefaultMaxStates
+	}
+	if est := mga.StateEstimate(rep.Regions); est > uint64(budget) {
+		fmt.Fprintf(stderr, "drdesync: %d-region state estimate %d exceeds the %d-marking equiv budget; "+
+			"skipping the exhaustive gate — the static marked-graph verdicts stand alone\n",
+			rep.Regions, est, budget)
+		return false
+	}
+	return true
+}

@@ -8,8 +8,9 @@
 //
 //	drequiv -in design.v [-top name] [-lib HS|LL] [-max-states N] \
 //	        [-no-reduce] [-xval N] [-seed S] [-j N] [-dump-ce trace.json] [-json]
-//	drequiv -gen dlx|arm [...]
+//	drequiv -gen dlx|arm|fir [...]
 //	drequiv -gen dlx -replay trace.json
+//	drequiv -gen dlx -static [-json]
 //
 // -gen runs the built-in case-study flow and verifies its output, so CI can
 // gate the example designs without carrying netlist artifacts. -xval N
@@ -21,6 +22,12 @@
 // writes the counterexample of a violated property as a JSON trace;
 // -replay feeds such a trace back through the gate-level simulator to
 // confirm the interleaving dynamically.
+//
+// -static replaces the exhaustive exploration with the polynomial-time
+// marked-graph analysis of internal/mga: structural liveness and safety
+// verdicts plus the static period bound and critical handshake cycle. Its
+// report is deterministic (byte-identical across runs and -j values) and
+// reaches designs whose state space no marking budget covers.
 //
 // Exit codes: 0 all properties proved (and replay confirmed), 1 a property
 // was disproved (or replay did not confirm), 2 usage or input errors.
@@ -38,6 +45,7 @@ import (
 	"desync/internal/ctrlnet"
 	"desync/internal/equiv"
 	"desync/internal/expt"
+	"desync/internal/mga"
 	"desync/internal/netlist"
 	"desync/internal/stdcells"
 	"desync/internal/verilog"
@@ -51,6 +59,7 @@ type equivOpts struct {
 	in, gen, top, libVariant string
 	maxStates                int
 	noReduce, jsonOut        bool
+	static                   bool
 	xval                     int
 	seed                     int64
 	parallelism              int
@@ -62,11 +71,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var o equivOpts
 	fs.StringVar(&o.in, "in", "", "input desynchronized gate-level Verilog netlist")
-	fs.StringVar(&o.gen, "gen", "", "verify a built-in case-study flow instead of a file: dlx or arm")
+	fs.StringVar(&o.gen, "gen", "", "verify a built-in case-study flow instead of a file: dlx, arm or fir")
 	fs.StringVar(&o.top, "top", "", "top module (default: auto-detect)")
 	fs.StringVar(&o.libVariant, "lib", "HS", "technology library variant: HS or LL")
 	fs.IntVar(&o.maxStates, "max-states", 0, "marking budget (0: engine default); truncation is reported explicitly")
 	fs.BoolVar(&o.noReduce, "no-reduce", false, "disable the partial-order reduction (full interleaving)")
+	fs.BoolVar(&o.static, "static", false, "run the polynomial-time marked-graph analysis instead of the exhaustive exploration")
 	fs.IntVar(&o.xval, "xval", 0, "cross-validate against N randomized simulator traces")
 	cliutil.SeedVar(fs, &o.seed, "seed", 1, "PRNG seed for -xval trace generation")
 	cliutil.ParallelismVar(fs, &o.parallelism)
@@ -95,6 +105,9 @@ func equivRun(ctx context.Context, o equivOpts, stdout io.Writer) (int, error) {
 	mod, err := loadModule(o)
 	if err != nil {
 		return 0, err
+	}
+	if o.static {
+		return staticRun(o, mod, stdout)
 	}
 	// One control-network derivation serves the whole run: the model
 	// extraction here, and (via the memoized cache) anything downstream
@@ -150,6 +163,30 @@ func equivRun(ctx context.Context, o equivOpts, stdout io.Writer) (int, error) {
 		res.WriteText(stdout)
 	}
 	if !res.Clean() {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// staticRun is the -static mode: the marked-graph analysis in place of
+// the BFS. Exit 1 on any error-severity finding, mirroring the explore
+// path's disproved-property exit.
+func staticRun(o equivOpts, mod *netlist.Module, stdout io.Writer) (int, error) {
+	rep, err := mga.Analyze(mod, ctrlnet.Derive(mod), mga.Options{})
+	if err != nil {
+		return 0, err
+	}
+	if o.jsonOut {
+		if err := rep.WriteJSON(stdout); err != nil {
+			return 0, err
+		}
+	} else {
+		rep.WriteText(stdout)
+		for _, f := range rep.ModelFindings {
+			fmt.Fprintf(stdout, "%s\n", f.String())
+		}
+	}
+	if rep.LintReport(rep.ModelFindings).Errors() > 0 {
 		return 1, nil
 	}
 	return 0, nil
@@ -221,8 +258,14 @@ func loadModule(o equivOpts) (*netlist.Module, error) {
 				return nil, err
 			}
 			return f.Desync.Top, nil
+		case "fir":
+			f, err := expt.RunFIRFlow(expt.FlowConfig{Parallelism: o.parallelism})
+			if err != nil {
+				return nil, err
+			}
+			return f.Desync.Top, nil
 		}
-		return nil, fmt.Errorf("unknown -gen design %q (want dlx or arm)", o.gen)
+		return nil, fmt.Errorf("unknown -gen design %q (want dlx, arm or fir)", o.gen)
 	}
 	lib := stdcells.New(stdcells.Variant(o.libVariant))
 	src, err := os.ReadFile(o.in)

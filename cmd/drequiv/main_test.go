@@ -110,7 +110,7 @@ func TestUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{},
 		{"-gen", "dlx", "-in", "x.v"},
-		{"-gen", "fir"},
+		{"-gen", "nonesuch"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer

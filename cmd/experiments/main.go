@@ -9,6 +9,7 @@
 //	experiments -fig 2.4 | -fig 5.3 | -fig 5.4 | -fig 5.5
 //	experiments -faults
 //	experiments -sweep
+//	experiments -static
 //	            [-cycles 25] [-chips 60] [-sel 3] [-seed 5] [-j N]
 package main
 
@@ -19,6 +20,7 @@ import (
 
 	"desync/internal/cliutil"
 	"desync/internal/expt"
+	"desync/internal/expt/static"
 	"desync/internal/netlist"
 )
 
@@ -32,13 +34,14 @@ func main() {
 		sel     = flag.Int("sel", 3, "delay selection for Fig 5.4 (-1 = fixed sized elements)")
 		faults  = flag.Bool("faults", false, "run the DLX fault-injection campaign")
 		doSweep = flag.Bool("sweep", false, "sweep the DLX robustness surface (corners x chips x faults)")
+		doStat  = flag.Bool("static", false, "cross-check the static marked-graph engine against simulation and the BFS")
 	)
 	var seed int64
 	var jobs int
 	cliutil.SeedVar(flag.CommandLine, &seed, "seed", 5, "random seed")
 	cliutil.ParallelismVar(flag.CommandLine, &jobs)
 	flag.Parse()
-	if !*all && *table == "" && *fig == "" && !*faults && !*doSweep {
+	if !*all && *table == "" && *fig == "" && !*faults && !*doSweep && !*doStat {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -137,6 +140,17 @@ func main() {
 				return err
 			}
 			fmt.Println(rep.Render())
+			return nil
+		})
+	}
+	if *all || *doStat {
+		run("static", func() error {
+			tab, err := static.Run(static.Options{SimCycles: *cycles * 16, Parallelism: jobs})
+			if err != nil {
+				return err
+			}
+			static.Render(os.Stdout, tab)
+			fmt.Println()
 			return nil
 		})
 	}

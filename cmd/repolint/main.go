@@ -34,6 +34,16 @@
 //	            readable and every new knob is a breaking change; bundle the
 //	            knobs into an options struct (the Options/Config pattern with
 //	            documented zero values) instead.
+//	RL-MAPORDER Iterating a map with an order-dependent body (appending to a
+//	            slice, printing, writing) leaks Go's randomized iteration
+//	            order into output — the exact nondeterminism the flow's
+//	            byte-identical-reports guarantee forbids. The canonical fix
+//	            is collect-keys-then-sort; a loop immediately followed by a
+//	            sort of what it collected is recognized and accepted. Sites
+//	            where the order provably cannot escape are audited into the
+//	            allowlist, never waved through silently. (Detection is
+//	            syntactic: it sees maps declared or received in the same
+//	            function, which is where the footgun lives.)
 //
 // Exit status is 1 when any finding is produced, 2 on usage/parse errors.
 package main
@@ -94,6 +104,17 @@ var recoverAllowlist = map[string]bool{
 var optsAllowlist = map[string]bool{
 	"internal/designs/dlx.go:Encode": true,
 	"internal/designs/model.go:I":    true,
+}
+
+// mapOrderAllowlist exempts audited map-range loops from RL-MAPORDER, keyed
+// like the other allowlists. An entry means the iteration order was reviewed
+// and cannot reach any output: the collected values are order-insensitive
+// (set union, error joining where any witness suffices) or sorted beyond the
+// checker's one-block horizon.
+var mapOrderAllowlist = map[string]bool{
+	// closure seeds its worklist from a marking set; the saturation is a
+	// fixpoint, so the queue's initial order cannot change the result set.
+	"internal/equiv/xval.go:closure": true,
 }
 
 type finding struct {
@@ -212,7 +233,165 @@ func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
 		if !optsAllowlist[key] {
 			out = append(out, checkScalarParams(fset, fn)...)
 		}
+		if !mapOrderAllowlist[key] {
+			out = append(out, checkMapOrder(fset, fn)...)
+		}
 	}
+	return out
+}
+
+// mapIdents collects the identifiers the function visibly binds to map
+// values: map-typed parameters, receivers, := / = assignments from make(map)
+// or map composite literals, and var declarations of map type. Purely
+// syntactic — a map arriving through a selector or a function result is
+// invisible, which keeps the rule free of false positives at the cost of
+// recall.
+func mapIdents(fn *ast.FuncDecl) map[string]bool {
+	maps := map[string]bool{}
+	bind := func(names []*ast.Ident, typ ast.Expr) {
+		if _, ok := typ.(*ast.MapType); !ok {
+			return
+		}
+		for _, id := range names {
+			maps[id.Name] = true
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			bind(f.Names, f.Type)
+		}
+	}
+	isMapExpr := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.CompositeLit:
+			_, ok := e.Type.(*ast.MapType)
+			return ok
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+				_, ok := e.Args[0].(*ast.MapType)
+				return ok
+			}
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if isMapExpr(n.Rhs[i]) {
+					maps[id.Name] = true
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if vs.Type != nil {
+					bind(vs.Names, vs.Type)
+				}
+				for i, v := range vs.Values {
+					if i < len(vs.Names) && isMapExpr(v) {
+						maps[vs.Names[i].Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return maps
+}
+
+// orderDependent reports whether a range body leaks iteration order:
+// appending to a slice, printing, or writing all emit elements in the order
+// visited. Accumulation into maps, sums, maxima and deletes do not.
+func orderDependent(body *ast.BlockStmt) bool {
+	dep := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" {
+				dep = true
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+				strings.HasPrefix(name, "Write") {
+				dep = true
+			}
+		}
+		return !dep
+	})
+	return dep
+}
+
+// sortsAfter reports whether any statement in stmts calls into sort or
+// slices — the collect-then-sort idiom that neutralizes map iteration
+// order before it can reach output.
+func sortsAfter(stmts []ast.Stmt) bool {
+	sorted := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+					sorted = true
+				}
+			}
+			return !sorted
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapOrder enforces RL-MAPORDER: a range over a visibly map-typed
+// value whose body is order-dependent must be followed (in the same
+// statement list) by a sort, or be on the audited allowlist.
+func checkMapOrder(fset *token.FileSet, fn *ast.FuncDecl) []finding {
+	maps := mapIdents(fn)
+	if len(maps) == 0 {
+		return nil
+	}
+	var out []finding
+	scan := func(stmts []ast.Stmt) {
+		for i, s := range stmts {
+			rng, ok := s.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			id, ok := rng.X.(*ast.Ident)
+			if !ok || !maps[id.Name] || !orderDependent(rng.Body) {
+				continue
+			}
+			if sortsAfter(stmts[i+1:]) {
+				continue
+			}
+			out = append(out, finding{fset.Position(rng.Pos()), "RL-MAPORDER",
+				fmt.Sprintf("range over map %s has an order-dependent body; collect keys and sort, or audit the site into the allowlist", id.Name)})
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			scan(n.List)
+		case *ast.CaseClause:
+			scan(n.Body)
+		case *ast.CommClause:
+			scan(n.Body)
+		}
+		return true
+	})
 	return out
 }
 

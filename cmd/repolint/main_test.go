@@ -252,3 +252,108 @@ func (m *Model) explode() { panic("unaudited") }
 		}
 	}
 }
+
+func TestMapOrderRuleFires(t *testing.T) {
+	// Appending in map-iteration order without a sort is the footgun.
+	src := `package foo
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	got := check(t, "internal/foo/foo.go", src)
+	if len(got) != 1 || got[0] != "RL-MAPORDER" {
+		t.Fatalf("want [RL-MAPORDER], got %v", got)
+	}
+}
+
+func TestMapOrderSortNeutralizes(t *testing.T) {
+	// Collect-then-sort is the canonical deterministic idiom and must pass.
+	src := `package foo
+import "sort"
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`
+	if got := check(t, "internal/foo/foo.go", src); len(got) != 0 {
+		t.Fatalf("sorted collection flagged: %v", got)
+	}
+}
+
+func TestMapOrderIgnoresOrderFreeBodies(t *testing.T) {
+	// Accumulation (sums, maxima, map writes, deletes) is commutative;
+	// only bodies that emit elements in visit order are flagged.
+	src := `package foo
+func Total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+func Invert(m map[string]int) map[int]string {
+	inv := map[int]string{}
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+`
+	if got := check(t, "internal/foo/foo.go", src); len(got) != 0 {
+		t.Fatalf("order-free map loops flagged: %v", got)
+	}
+}
+
+func TestMapOrderSeesLocalDeclarations(t *testing.T) {
+	// make(map...), map literals and var declarations all mark the
+	// identifier; printing in iteration order fires on any of them.
+	src := `package foo
+import "fmt"
+func Dump() {
+	seen := make(map[int]bool)
+	for k := range seen {
+		fmt.Println(k)
+	}
+	var idx map[string]int
+	for k := range idx {
+		fmt.Println(k)
+	}
+}
+`
+	got := check(t, "internal/foo/foo.go", src)
+	var n int
+	for _, r := range got {
+		if r == "RL-MAPORDER" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("want 2 RL-MAPORDER findings (make + var decl), got %v", got)
+	}
+}
+
+func TestMapOrderAllowlist(t *testing.T) {
+	src := `package equiv
+func (m *Model) closure(set map[string]int) {
+	var queue []int
+	for _, st := range set {
+		queue = append(queue, st)
+	}
+	_ = queue
+}
+`
+	if got := check(t, "internal/equiv/xval.go", src); len(got) != 0 {
+		t.Fatalf("allowlisted closure seeding flagged: %v", got)
+	}
+	if got := check(t, "internal/equiv/other.go", src); len(got) != 1 || got[0] != "RL-MAPORDER" {
+		t.Fatalf("allowlist must be path-specific, got %v", got)
+	}
+}

@@ -16,6 +16,7 @@ const (
 	StageSize       = "size"
 	StageInsert     = "insert"
 	StageExport     = "export"
+	StageStatic     = "static"
 	StageEquiv      = "equiv"
 )
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"fmt"
 
 	"desync/internal/ctrlnet"
@@ -59,8 +61,15 @@ func SubstituteFlipFlops(d *netlist.Design) (*SubstituteResult, error) {
 	}
 	res.FFs = len(ffs)
 
-	// Remove clock nets that no longer drive anything, and their ports.
+	// Remove clock nets that no longer drive anything, and their ports —
+	// in name order, so the result (and any report built from it) does not
+	// inherit the map's iteration order.
+	clks := make([]*netlist.Net, 0, len(clockNets))
 	for n := range clockNets {
+		clks = append(clks, n)
+	}
+	sort.Slice(clks, func(i, j int) bool { return clks[i].Name < clks[j].Name })
+	for _, n := range clks {
 		if len(n.Sinks) == 0 || onlyPortSinks(n) {
 			removeNetAndPort(m, n)
 			res.ClockNets = append(res.ClockNets, n.Name)

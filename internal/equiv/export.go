@@ -1,0 +1,150 @@
+// Static-analysis export hooks: a read-only view of the extracted
+// token-marking model for consumers that reason about the controller
+// network structurally instead of exploring its state space
+// (internal/mga). The view deliberately exposes indexes, not pointers —
+// the model stays immutable and the consumer cannot perturb a later BFS
+// over the same extraction.
+package equiv
+
+// Exported signal kind names, matching sigKind.String().
+const (
+	SigG       = "g"       // latch-enable gC output (CGMX1/CGSX1)
+	SigRO      = "ro"      // request-out gC output (CROX1)
+	SigB       = "b"       // opened-since-handshake bit (CBX1)
+	SigAI      = "ai"      // acknowledge AND (ANDN3X1)
+	SigJoin    = "join"    // collapsed C-Muller rendezvous tree
+	SigDelay   = "delay"   // matched delay-element arrival
+	SigEnvSrc  = "env-req" // environment request producer
+	SigEnvSink = "env-ack" // environment acknowledge consumer
+)
+
+// StaticOperand mirrors one resolved input of a model signal. Sig < 0
+// means the source is stuck at the constant Stuck (an undriven net, a
+// tie cell, an unmodelled driver): it never transitions, so whatever
+// depends on it for a handshake phase is structurally dead.
+type StaticOperand struct {
+	Sig   int
+	Stuck bool
+}
+
+// StaticSignal is the read-only export of one model signal: its design
+// net name, kind, owning controller half, reset value and the real
+// input operands the extractor resolved for it (placeholder operands of
+// two-input gates are omitted).
+type StaticSignal struct {
+	Name   string
+	Kind   string
+	Region int
+	Master bool
+	Init   bool
+	Inputs []StaticOperand
+}
+
+// StaticSignals exports every model signal in extraction order; the
+// slice index is the signal index StaticOperand.Sig and GenLink.Sig
+// refer to. The export is computed once and shared across calls (the
+// model is immutable after extraction); callers must not modify it.
+func (m *Model) StaticSignals() []StaticSignal {
+	if m.staticSigs != nil {
+		return m.staticSigs
+	}
+	out := make([]StaticSignal, len(m.sigs))
+	for i := range m.sigs {
+		s := &m.sigs[i]
+		v := StaticSignal{
+			Name:   s.name,
+			Kind:   s.kind.String(),
+			Region: s.region,
+			Master: s.master,
+			Init:   s.init,
+		}
+		switch s.kind {
+		case kindG, kindRO, kindB:
+			v.Inputs = []StaticOperand{{s.a.sig, s.a.stuck}, {s.b.sig, s.b.stuck}}
+		case kindAI:
+			v.Inputs = []StaticOperand{{s.a.sig, s.a.stuck}, {s.b.sig, s.b.stuck}, {s.c.sig, s.c.stuck}}
+		case kindDelay:
+			v.Inputs = []StaticOperand{{s.a.sig, s.a.stuck}}
+		case kindJoin:
+			for _, t := range s.terms {
+				v.Inputs = append(v.Inputs, StaticOperand{t.sig, t.stuck})
+			}
+		case kindEnvSrc, kindEnvSink:
+			// The watched controller gate; a missing gate exports as stuck.
+			v.Inputs = []StaticOperand{{s.a.sig, s.a.stuck}}
+		}
+		out[i] = v
+	}
+	m.staticSigs = out
+	return out
+}
+
+// StaticGates holds the model signal indexes of one region's eight
+// controller gate outputs (-1 when the gate is missing from the
+// netlist).
+type StaticGates struct {
+	MG, SG, MRO, SRO, MB, SB, MAI, SAI int
+}
+
+// StaticGates exports the controller gate signal indexes of one region.
+func (m *Model) StaticGates(region int) StaticGates {
+	at := func(idx map[int]int) int {
+		if i, ok := idx[region]; ok {
+			return i
+		}
+		return -1
+	}
+	return StaticGates{
+		MG: at(m.mg), SG: at(m.sg),
+		MRO: at(m.mro), SRO: at(m.sro),
+		MB: at(m.mb), SB: at(m.sb),
+		MAI: at(m.mai), SAI: at(m.sai),
+	}
+}
+
+// GenLink kinds: how one generation source or consumer connects.
+const (
+	LinkSlave   = "slave"    // pred region's slave request-out (the normal case)
+	LinkMaster  = "master"   // pred region's master request-out (unusual wiring)
+	LinkEnv     = "env"      // environment request channel
+	LinkCons    = "consumer" // consuming region's master acknowledge
+	LinkEnvSink = "env-sink" // environment acknowledge consumer
+)
+
+// GenLink is the exported form of one generation edge: Region is set for
+// region-to-region links, Sig for environment channels.
+type GenLink struct {
+	Kind   string
+	Region int
+	Sig    int
+}
+
+func exportLinks(refs []genRef) []GenLink {
+	out := make([]GenLink, 0, len(refs))
+	for _, r := range refs {
+		l := GenLink{Region: r.region, Sig: r.sig}
+		switch r.kind {
+		case genSlave:
+			l.Kind = LinkSlave
+		case genMaster:
+			l.Kind = LinkMaster
+		case genEnv:
+			l.Kind = LinkEnv
+		case genCons:
+			l.Kind = LinkCons
+		case genEnvSink:
+			l.Kind = LinkEnvSink
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// StaticPreds exports the generation sources feeding one region's master
+// capture, as resolved from the request wiring (C-trees expanded to
+// their leaves, delay chains walked through).
+func (m *Model) StaticPreds(region int) []GenLink { return exportLinks(m.preds[region]) }
+
+// StaticConsumers exports who must consume one region's slave output
+// before it may reopen, as resolved from the acknowledge wiring.
+func (m *Model) StaticConsumers(region int) []GenLink { return exportLinks(m.consumers[region]) }

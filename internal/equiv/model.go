@@ -117,6 +117,10 @@ type Model struct {
 	sigs  []signal
 	sigOf map[string]int // net name -> signal index
 
+	// staticSigs caches the StaticSignals export (computed on demand; the
+	// model is immutable after extraction).
+	staticSigs []StaticSignal
+
 	// Per-region controller gate signal indexes (-1 when the gate is
 	// missing from the netlist; operands referencing it become stuck).
 	mg, sg, mro, sro, mb, sb, mai, sai map[int]int

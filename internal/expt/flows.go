@@ -142,6 +142,7 @@ func syncPeriods(d *netlist.Design) (worst, best float64, err error) {
 // ARMFlow holds the ARM case study (area only, as in §5.3).
 type ARMFlow struct {
 	Sync, Desync             *netlist.Design
+	Result                   *core.Result
 	ScanChain                int
 	Coverage                 float64
 	SyncSynth, DesyncSynth   Breakdown
@@ -180,7 +181,7 @@ func RunARMFlow(layout bool) (*ARMFlow, error) {
 	if f.Desync, err = build(); err != nil {
 		return nil, err
 	}
-	if _, err = core.Desynchronize(context.Background(), f.Desync, core.Options{
+	if f.Result, err = core.Desynchronize(context.Background(), f.Desync, core.Options{
 		Period:       armPeriod(f.Sync),
 		ManualGroups: true,
 	}); err != nil {

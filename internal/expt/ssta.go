@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"desync/internal/core"
 	"desync/internal/ctrlnet"
 	"desync/internal/netlist"
 	"desync/internal/ssta"
@@ -33,18 +34,24 @@ type MatchRow struct {
 // situation (element and logic on the same die); the independent column
 // shows what an off-die reference of the same nominal margin would achieve.
 func SSTAMatching(f *DLXFlow) ([]MatchRow, error) {
+	return SSTAMatchingDesign(f.Desync, f.Result)
+}
+
+// SSTAMatchingDesign is SSTAMatching over any desynchronized design and
+// its flow result (the DLX, ARM and FIR case studies all qualify).
+func SSTAMatchingDesign(d *netlist.Design, res *core.Result) ([]MatchRow, error) {
 	model := ssta.DefaultModel(stdcells.CornerSpread)
-	r, err := ssta.Analyze(f.Desync.Top, sta.Options{
-		Disabled: f.Result.DisabledArcMap(),
+	r, err := ssta.Analyze(d.Top, sta.Options{
+		Disabled: res.DisabledArcMap(),
 	}, model)
 	if err != nil {
 		return nil, err
 	}
-	m := f.Desync.Top
+	m := d.Top
 
 	// Launch + capture guard of a latch pair, as a canonical form.
 	var c2q, setup float64
-	for _, c := range f.Desync.Lib.Cells {
+	for _, c := range d.Lib.Cells {
 		if c.Kind != netlist.KindLatch {
 			continue
 		}
@@ -56,7 +63,7 @@ func SSTAMatching(f *DLXFlow) ([]MatchRow, error) {
 	guard := model.CellDelay(c2q + setup)
 
 	var rows []MatchRow
-	for _, g := range f.Result.DDG.Nodes {
+	for _, g := range res.DDG.Nodes {
 		ctl := m.Inst(ctrlnet.CtrlGate(g, true, ctrlnet.GateG))
 		if ctl == nil {
 			continue

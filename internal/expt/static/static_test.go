@@ -1,0 +1,58 @@
+package static
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCrossCheckDLX runs the cross-check with the ARM flow skipped (its
+// synthesis dominates wall-clock) and checks the static engine against
+// both dynamic oracles on the two simulated case studies.
+func TestCrossCheckDLX(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flow build in -short mode")
+	}
+	tab, err := Run(Options{Reps: 2, SimCycles: 200, FIRSamples: 60, SkipARM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want dlx and fir", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if !r.Live || !r.Safe {
+			t.Errorf("%s: static verdict live=%v safe=%v, BFS proves both", r.Design, r.Live, r.Safe)
+		}
+		if r.SimNs <= 0 {
+			t.Errorf("%s: no measured period", r.Design)
+		}
+		// The static period is an upper bound on the measured one, and on
+		// these case studies a tight one.
+		if r.StaticNs < r.SimNs-1e-6 {
+			t.Errorf("%s: static bound %.5f below measured %.5f", r.Design, r.StaticNs, r.SimNs)
+		}
+		if r.StaticNs > r.SimNs*1.10 {
+			t.Errorf("%s: static bound %.5f more than 10%% above measured %.5f", r.Design, r.StaticNs, r.SimNs)
+		}
+		if r.SSTANs <= 0 || r.SSTANs > r.StaticNs {
+			t.Errorf("%s: SSTA 3σ logic delay %.5f should be a positive lower bound under %.5f",
+				r.Design, r.SSTANs, r.StaticNs)
+		}
+		if r.BFSStates == 0 || r.StaticUS <= 0 || r.BFSUS <= 0 {
+			t.Errorf("%s: missing timing data: %+v", r.Design, r)
+		}
+	}
+	if tab.DLXFull.US <= 0 || tab.DLXFull.States == 0 {
+		t.Errorf("missing full-interleaving baseline: %+v", tab.DLXFull)
+	}
+
+	var buf bytes.Buffer
+	Render(&buf, tab)
+	out := buf.String()
+	for _, want := range []string{"dlx", "fir", "full interleaving", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -118,6 +118,11 @@ type Report struct {
 
 func (r *Report) add(f Finding) { r.Findings = append(r.Findings, f) }
 
+// Merge appends findings produced by another engine (equiv, mga) to the
+// report, preserving their order, so flow gates aggregate every analysis
+// into one reporting and baseline surface.
+func (r *Report) Merge(fs []Finding) { r.Findings = append(r.Findings, fs...) }
+
 func (r *Report) addf(rule string, sev Severity, module, inst, net, msg string) {
 	r.add(Finding{Rule: rule, Severity: sev, Module: module, Inst: inst, Net: net, Msg: msg})
 }

@@ -1,0 +1,134 @@
+package mga
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"desync/internal/lint"
+)
+
+// Rule identifiers. Stable: baselines, golden tests and DESIGN.md §14
+// refer to them by name.
+const (
+	RuleLive  = "MG-LIVE"  // structural liveness: dead inputs, token-free cycles
+	RuleSafe  = "MG-SAFE"  // place bounds, reset phases, request-vs-data cross-check
+	RuleCycle = "MG-CYCLE" // critical cycle and static period bound
+	RulePerf  = "MG-PERF"  // per-region bottleneck channel
+)
+
+// Rules catalogs the analyzer's findings for documentation surfaces.
+var Rules = []lint.RuleInfo{
+	{ID: RuleLive, Severity: lint.Error, Summary: "marked graph not live: dead handshake input or token-free cycle"},
+	{ID: RuleSafe, Severity: lint.Error, Summary: "marked graph not safe: unbounded place, reset-phase inversion, or unsynchronized data edge"},
+	{ID: RuleCycle, Severity: lint.Info, Summary: "critical handshake cycle and static period bound"},
+	{ID: RulePerf, Severity: lint.Info, Summary: "per-region bottleneck channel and local cycle period"},
+}
+
+// RegionPerf is one region's locally worst channel cycle.
+type RegionPerf struct {
+	Region   int     `json:"region"`
+	Channel  string  `json:"channel"`
+	PeriodNs float64 `json:"period_ns"`
+}
+
+// Report is the outcome of one static analysis: structural verdicts, the
+// throughput bound, and lint-style findings. It is deterministic — the
+// same design yields byte-identical text and JSON on every run.
+type Report struct {
+	Design      string `json:"design"`
+	Regions     int    `json:"regions"`
+	Transitions int    `json:"transitions"`
+	PlaceCount  int    `json:"places"`
+
+	Live     bool `json:"live"`
+	Safe     bool `json:"safe"`
+	MaxBound int  `json:"max_bound"`
+
+	// PeriodNs is the maximum cycle ratio: an upper bound on the
+	// steady-state period (0 when liveness failed and no bound exists).
+	PeriodNs      float64      `json:"period_ns"`
+	CriticalCycle []string     `json:"critical_cycle,omitempty"`
+	Bottleneck    string       `json:"bottleneck,omitempty"`
+	PerRegion     []RegionPerf `json:"per_region,omitempty"`
+
+	Findings []lint.Finding `json:"-"`
+
+	// ModelFindings carries the equiv extraction's EQ-MODEL diagnostics
+	// when Analyze built the graph from a netlist, so gates report stuck
+	// or unmodelled sources next to the structural verdicts.
+	ModelFindings []lint.Finding `json:"-"`
+}
+
+// Errors reports how many error-severity findings the analysis produced.
+func (r *Report) Errors() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == lint.Error {
+			n++
+		}
+	}
+	return n
+}
+
+// LintReport folds the findings (plus any extra, e.g. the model
+// extraction's EQ-MODEL diagnostics) into a lint report for the shared
+// gating machinery.
+func (r *Report) LintReport(extra []lint.Finding) *lint.Report {
+	lr := &lint.Report{}
+	lr.Merge(r.Findings)
+	lr.Merge(extra)
+	return lr
+}
+
+// WriteText renders the report for terminals: verdict lines, the critical
+// cycle, and every finding in lint's one-line format.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "design:       %s\n", r.Design)
+	fmt.Fprintf(w, "marked graph: %d regions, %d transitions, %d places\n",
+		r.Regions, r.Transitions, r.PlaceCount)
+	fmt.Fprintf(w, "MG-LIVE:      %s\n", verdict(r.Live, "live (every cycle carries a token; no dead inputs)", "NOT LIVE"))
+	fmt.Fprintf(w, "MG-SAFE:      %s\n", verdict(r.Safe, fmt.Sprintf("safe (every place bounded at %d token)", r.MaxBound), "NOT SAFE"))
+	if r.PeriodNs > 0 {
+		fmt.Fprintf(w, "MG-CYCLE:     static period bound %.4f ns (bottleneck %s)\n", r.PeriodNs, r.Bottleneck)
+		fmt.Fprintf(w, "  critical:   %s\n", joinNames(r.CriticalCycle))
+		for _, p := range r.PerRegion {
+			fmt.Fprintf(w, "  region %-4d %-10s %.4f ns\n", p.Region, p.Channel, p.PeriodNs)
+		}
+	}
+	for _, f := range r.Findings {
+		if f.Severity == lint.Info && (f.Rule == RuleCycle || f.Rule == RulePerf) {
+			continue // already rendered above
+		}
+		fmt.Fprintf(w, "%s\n", f.String())
+	}
+}
+
+func verdict(ok bool, yes, no string) string {
+	if ok {
+		return yes
+	}
+	return no
+}
+
+// WriteJSON renders the report as indented JSON with the findings
+// attached in lint's wire form.
+func (r *Report) WriteJSON(w io.Writer) error {
+	type jsonFinding struct {
+		lint.Finding
+		SeverityName string `json:"severity"`
+	}
+	out := struct {
+		*Report
+		Findings []jsonFinding `json:"findings"`
+	}{Report: r, Findings: []jsonFinding{}}
+	for _, f := range r.Findings {
+		out.Findings = append(out.Findings, jsonFinding{Finding: f, SeverityName: f.Severity.String()})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
