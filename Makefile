@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet lint equiv fuzz bench faults sweep
+.PHONY: all build test check vet lint equiv fuzz bench faults sweep serve
 
 all: build
 
@@ -38,7 +38,7 @@ equiv:
 	$(GO) run ./cmd/drequiv -gen dlx -xval 1
 	$(GO) run ./cmd/drequiv -gen arm -xval 1
 
-check: vet lint equiv sweep
+check: vet lint equiv sweep serve
 	# Targeted race pass first: the parallel engine, the fault fan-out, the
 	# sweep's ordered fold and journal, the ctrlnet derivation cache and the
 	# equiv model built on it are the shared-state hot spots; fail fast on
@@ -48,6 +48,7 @@ check: vet lint equiv sweep
 	$(GO) test -race ./...
 	$(GO) test -run XXX -bench 'BenchmarkFaultCampaignSmoke|BenchmarkCampaignParallelDLX|BenchmarkSweepSmokeDLX|BenchmarkLintClean|BenchmarkMGAStaticDLX' -benchtime 1x .
 	$(GO) test -run XXX -bench 'BenchmarkEquivDLX$$|BenchmarkEquivParallelDLX' -benchtime 1x ./internal/equiv/
+	$(GO) test -run XXX -bench 'BenchmarkServeCachedSubmit' -benchtime 1x ./internal/flowserv/
 
 # Short fuzz passes over the three text front ends and the sweep's
 # checkpoint-journal parser; corpora are committed under
@@ -69,6 +70,13 @@ faults:
 # drsweep path end to end (journal create, SIGTERM-safe fold, resume
 # replay). The surface must be flat — any escape fails the run via the
 # sweep smoke benchmark above; this target checks the CLI plumbing.
+# Job-server smoke: start an in-process drserve on an ephemeral port,
+# submit the DLX over real HTTP, poll it to completion, resubmit and
+# verify the cache hit is instant and byte-identical, then drain. This is
+# the flow-as-a-service path `make check` exercises end to end.
+serve:
+	$(GO) run ./cmd/drserve -smoke
+
 sweep:
 	rm -f /tmp/drsweep-smoke.journal
 	$(GO) run ./cmd/drsweep -corners 2 -chips 2 -per-region 1 -quiet \

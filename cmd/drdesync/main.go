@@ -99,11 +99,14 @@ func main() {
 			os.Exit(3)
 		}
 	}()
-	ctx, cancel := cliutil.Context()
-	defer cancel()
-	if err := run(ctx, o); err != nil {
+	interrupted, err := cliutil.RunDrained(func(ctx context.Context) error {
+		return run(ctx, o)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "drdesync:", err)
-		if stage := core.StageOf(err); stage != "" {
+		if interrupted {
+			fmt.Fprintln(os.Stderr, "drdesync: interrupted; the flow drained at a stage boundary")
+		} else if stage := core.StageOf(err); stage != "" {
 			fmt.Fprintf(os.Stderr, "drdesync: failed during the %s stage\n", stage)
 		}
 		os.Exit(1)

@@ -27,7 +27,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +35,7 @@ import (
 
 	"desync/internal/cliutil"
 	"desync/internal/expt"
+	"desync/internal/sweep"
 )
 
 func main() {
@@ -85,9 +85,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	ctx, cancel := cliutil.Context()
-	defer cancel()
-
 	var progress func(done, total int)
 	if !o.quiet {
 		last := -1
@@ -104,17 +101,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	rep, err := expt.DLXRobustnessSurface(ctx, nil, expt.SurfaceConfig{
-		Corners: o.corners, Chips: o.chips, Sigma: o.sigma,
-		Cycles: o.cycles, DelayFactor: o.delayFactor,
-		DelayPerRegion: o.perRegion, Glitches: o.glitches,
-		Seed: o.seed, Parallelism: o.parallelism,
-		Checkpoint: o.checkpoint, Resume: o.resume, FsyncEvery: o.fsyncEvery,
-		ScenarioTimeout: o.scenarioTimeout, MaxFailures: o.maxFailures,
-		Progress: progress,
+	var rep *sweep.Report
+	interrupted, err := cliutil.RunDrained(func(ctx context.Context) error {
+		var err error
+		rep, err = expt.DLXRobustnessSurface(ctx, nil, expt.SurfaceConfig{
+			Corners: o.corners, Chips: o.chips, Sigma: o.sigma,
+			Cycles: o.cycles, DelayFactor: o.delayFactor,
+			DelayPerRegion: o.perRegion, Glitches: o.glitches,
+			Seed: o.seed, Parallelism: o.parallelism,
+			Checkpoint: o.checkpoint, Resume: o.resume, FsyncEvery: o.fsyncEvery,
+			ScenarioTimeout: o.scenarioTimeout, MaxFailures: o.maxFailures,
+			Progress: progress,
+		})
+		return err
 	})
 	if err != nil {
-		if errors.Is(err, context.Canceled) && o.checkpoint != "" {
+		if interrupted && o.checkpoint != "" {
 			fmt.Fprintf(stderr, "drsweep: interrupted; journal %s holds the completed prefix — rerun with -resume\n", o.checkpoint)
 		} else {
 			fmt.Fprintf(stderr, "drsweep: %v\n", err)

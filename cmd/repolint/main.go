@@ -34,6 +34,12 @@
 //	            readable and every new knob is a breaking change; bundle the
 //	            knobs into an options struct (the Options/Config pattern with
 //	            documented zero values) instead.
+//	RL-HTTPCTX  HTTP handlers — any function taking a *http.Request — must
+//	            derive cancellation from the request via r.Context(), never
+//	            mint a fresh root with context.Background()/context.TODO().
+//	            A handler on a detached context keeps computing for clients
+//	            that hung up and ignores server shutdown, which breaks the
+//	            flow server's drain guarantee.
 //	RL-MAPORDER Iterating a map with an order-dependent body (appending to a
 //	            slice, printing, writing) leaks Go's randomized iteration
 //	            order into output — the exact nondeterminism the flow's
@@ -90,6 +96,7 @@ var panicAllowlist = map[string]bool{
 var recoverAllowlist = map[string]bool{
 	"internal/sweep/run.go:runQuarantined":       true, // scenario quarantine
 	"internal/designs/blocks.go:recoverBuildErr": true, // builder panic -> Build* error
+	"internal/flowserv/run.go:runGuarded":        true, // job-server flow quarantine
 	"cmd/sta/main.go:main":                       true,
 	"cmd/dlxgen/main.go:main":                    true,
 	"cmd/drdesync/main.go:main":                  true,
@@ -233,6 +240,7 @@ func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
 		if !optsAllowlist[key] {
 			out = append(out, checkScalarParams(fset, fn)...)
 		}
+		out = append(out, checkHTTPCtx(fset, fn)...)
 		if !mapOrderAllowlist[key] {
 			out = append(out, checkMapOrder(fset, fn)...)
 		}
@@ -451,6 +459,60 @@ func checkCtrlnetOwnership(fset *token.FileSet, f *ast.File) []finding {
 						"controller instance names are parsed by ctrlnet.Region, not handshake.ControlRegion"})
 				}
 			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkHTTPCtx enforces RL-HTTPCTX: a function with a *http.Request
+// parameter must not call context.Background() or context.TODO() anywhere
+// in its body (function literals included — a goroutine spawned from a
+// handler on a detached root has the same lifetime bug). The request's own
+// context is the only correct cancellation root inside a handler.
+func checkHTTPCtx(fset *token.FileSet, fn *ast.FuncDecl) []finding {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	isHTTPRequest := func(e ast.Expr) bool {
+		star, ok := e.(*ast.StarExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		return ok && pkg.Name == "http" && sel.Sel.Name == "Request"
+	}
+	handler := false
+	for _, field := range fn.Type.Params.List {
+		if isHTTPRequest(field.Type) {
+			handler = true
+			break
+		}
+	}
+	if !handler {
+		return nil
+	}
+	var out []finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "context" {
+			return true
+		}
+		if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+			out = append(out, finding{fset.Position(call.Pos()), "RL-HTTPCTX",
+				fmt.Sprintf("HTTP handler %s mints a detached context with context.%s; derive from r.Context() so client hangups and server drain cancel the work", fn.Name.Name, sel.Sel.Name)})
 		}
 		return true
 	})

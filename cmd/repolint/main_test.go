@@ -357,3 +357,69 @@ func (m *Model) closure(set map[string]int) {
 		t.Fatalf("allowlist must be path-specific, got %v", got)
 	}
 }
+
+func TestHTTPCtxRuleFires(t *testing.T) {
+	src := `package web
+import (
+	"context"
+	"net/http"
+)
+func handle(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background()
+	_ = ctx
+}
+`
+	got := check(t, "internal/web/web.go", src)
+	if len(got) != 1 || got[0] != "RL-HTTPCTX" {
+		t.Fatalf("want [RL-HTTPCTX] for context.Background in a handler, got %v", got)
+	}
+}
+
+func TestHTTPCtxCatchesTODOInHandlerClosure(t *testing.T) {
+	src := `package web
+import (
+	"context"
+	"net/http"
+)
+func handle(w http.ResponseWriter, r *http.Request) {
+	go func() {
+		ctx := context.TODO()
+		_ = ctx
+	}()
+}
+`
+	got := check(t, "internal/web/web.go", src)
+	if len(got) != 1 || got[0] != "RL-HTTPCTX" {
+		t.Fatalf("want [RL-HTTPCTX] for context.TODO in a handler goroutine, got %v", got)
+	}
+}
+
+func TestHTTPCtxAcceptsRequestContext(t *testing.T) {
+	src := `package web
+import (
+	"context"
+	"net/http"
+)
+func handle(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 0)
+	defer cancel()
+	_ = ctx
+}
+`
+	if got := check(t, "internal/web/web.go", src); len(got) != 0 {
+		t.Fatalf("r.Context() derivation flagged: %v", got)
+	}
+}
+
+func TestHTTPCtxIgnoresNonHandlers(t *testing.T) {
+	src := `package web
+import "context"
+func Serve() {
+	ctx := context.Background()
+	_ = ctx
+}
+`
+	if got := check(t, "internal/web/web.go", src); len(got) != 0 {
+		t.Fatalf("non-handler Background flagged: %v", got)
+	}
+}

@@ -10,6 +10,7 @@ package cliutil
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,4 +49,21 @@ func DurationVar(fs *flag.FlagSet, p *time.Duration, name string, def time.Durat
 // to the default behavior.
 func Context() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// RunDrained is the shared drain lifecycle of every long-running tool
+// (drdesync, drsweep, drserve): it runs fn under the Context signal context
+// and classifies the outcome. interrupted is true when fn failed *because*
+// the first Ctrl-C/SIGTERM canceled the context — the tool drained and
+// stopped where it was told to — so mains can print a resume hint or exit
+// quietly instead of reporting a spurious failure. A server that finishes
+// its drain cleanly returns nil and is simply not interrupted; a second
+// signal falls back to the runtime's default kill.
+func RunDrained(fn func(ctx context.Context) error) (interrupted bool, err error) {
+	ctx, cancel := Context()
+	defer cancel()
+	err = fn(ctx)
+	interrupted = ctx.Err() != nil && err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	return interrupted, err
 }

@@ -47,6 +47,12 @@ type Options struct {
 	// engine here so every stage is gated, not just import and export; an
 	// error aborts the flow as a FlowError of that stage.
 	StageCheck func(stage string, midFlow bool) error
+	// Progress, when non-nil, is called with each Stage* constant as the
+	// flow enters that stage — the same seams FlowError.Stage reports, in
+	// Stages order (minus StageClean under SkipClean). The job server
+	// streams these to clients; the callback runs on the flow's goroutine,
+	// so it must be fast and must not call back into the design.
+	Progress func(stage string)
 	// Parallelism bounds the workers of the flow's parallel kernels
 	// (per-region STA extraction during delay-element sizing); 0 means
 	// GOMAXPROCS. The flow's output is identical at any value.
@@ -94,6 +100,10 @@ func Desynchronize(ctx context.Context, d *netlist.Design, opts Options) (*Resul
 	}
 	res := &Result{}
 	name := d.Name
+	progress := opts.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
 
 	// validate runs the netlist invariant checker after each stage so a
 	// stage that corrupts the structure is caught at its own boundary; it
@@ -118,6 +128,7 @@ func Desynchronize(ctx context.Context, d *netlist.Design, opts Options) (*Resul
 	if err := ctx.Err(); err != nil {
 		return nil, flowErr(StageImport, name, "canceled", err)
 	}
+	progress(StageImport)
 
 	// Design import finalization: the paper's tool works on a flat view; a
 	// two-level netlist flattens with hierarchy-derived groups (§3.2.2).
@@ -156,11 +167,13 @@ func Desynchronize(ctx context.Context, d *netlist.Design, opts Options) (*Resul
 	}
 
 	if !opts.SkipClean {
+		progress(StageClean)
 		res.CleanedCells = CleanLogic(d.Top)
 		if err := validate(StageClean, true); err != nil {
 			return nil, err
 		}
 	}
+	progress(StageGroup)
 	if opts.ManualGroups {
 		for _, in := range d.Top.Insts {
 			if in.Group < 0 {
@@ -175,6 +188,7 @@ func Desynchronize(ctx context.Context, d *netlist.Design, opts Options) (*Resul
 		return nil, flowErr(StageGroup, name, "", ErrNoRegions)
 	}
 
+	progress(StageSubstitute)
 	sub, err := SubstituteFlipFlops(d)
 	if err != nil {
 		return nil, flowErr(StageSubstitute, name, "", err)
@@ -184,6 +198,7 @@ func Desynchronize(ctx context.Context, d *netlist.Design, opts Options) (*Resul
 		return nil, err
 	}
 
+	progress(StageSize)
 	res.DDG = BuildDDG(d.Top)
 
 	levels, rds, err := SizeDelayElements(ctx, d, res.DDG, opts.Margin, opts.Parallelism)
@@ -194,6 +209,7 @@ func Desynchronize(ctx context.Context, d *netlist.Design, opts Options) (*Resul
 	res.RegionDelays = rds
 	res.UnderMargin = underMarginRegions(d.Lib, res.DDG, levels, rds)
 
+	progress(StageInsert)
 	cm := opts.CompletionMargin
 	if cm == 0 {
 		cm = 2
@@ -212,6 +228,7 @@ func Desynchronize(ctx context.Context, d *netlist.Design, opts Options) (*Resul
 	res.Insert = ins
 	res.Constraints = ins.Constraints
 
+	progress(StageExport)
 	if errs := d.Top.Check(); len(errs) > 0 {
 		return nil, flowErr(StageExport, name, "netlist checks",
 			fmt.Errorf("%v (and %d more)", errs[0], len(errs)-1))

@@ -20,6 +20,15 @@ const (
 	StageEquiv      = "equiv"
 )
 
+// Stages lists the in-flow pipeline stages in execution order — exactly the
+// sequence Options.Progress observes on a full run (StageClean is skipped
+// under SkipClean). StageStatic and StageEquiv are post-export gate stages
+// run by the drivers, not by Desynchronize itself.
+var Stages = []string{
+	StageImport, StageClean, StageGroup, StageSubstitute,
+	StageSize, StageInsert, StageExport,
+}
+
 // ErrNoRegions reports that grouping produced no desynchronization regions
 // (no sequential logic outside the catch-all group 0); the caller may retry
 // with a manual single-region assignment.

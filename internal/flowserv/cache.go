@@ -1,0 +1,94 @@
+package flowserv
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+)
+
+// entry is one cached flow result: the artifact bytes exactly as the fresh
+// run produced them. Entries are immutable after insertion — a cache hit
+// serves the same byte slices the fresh run stored, which is what makes the
+// cached-equals-fresh guarantee trivial to audit.
+type entry struct {
+	key       string
+	artifacts map[string][]byte
+}
+
+// cache is the content-addressed result store: an LRU bounded by entry
+// count. Keys are the (netlist content hash, canonical options) digests of
+// request.go; the cross-request analogue of ctrlnet's ModSeq memoization.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	byKey   map[string]*list.Element // value: *entry
+	lru     *list.List               // front = most recently used
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+func newCache(maxEntries int) *cache {
+	return &cache{max: maxEntries, byKey: map[string]*list.Element{}, lru: list.New()}
+}
+
+// get returns the entry for key, counting the hit or miss.
+func (c *cache) get(key string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry), true
+}
+
+// put inserts a fresh result, evicting from the LRU tail past the bound.
+// A concurrent duplicate insert (two identical jobs racing) keeps the
+// first entry: both hold byte-identical artifacts by the flow's
+// determinism guarantee, so which one wins is unobservable.
+func (c *cache) put(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[e.key] = c.lru.PushFront(e)
+	for c.max > 0 && c.lru.Len() > c.max {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.byKey, tail.Value.(*entry).key)
+		c.evicted++
+	}
+}
+
+// CacheStats is the /stats cache section.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Evicted uint64 `json:"evicted"`
+}
+
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.lru.Len(), Hits: c.hits, Misses: c.misses, Evicted: c.evicted}
+}
+
+// artifactNames lists an artifact map's keys sorted, for stable JSON.
+func artifactNames(m map[string][]byte) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,287 @@
+package flowserv
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives RunLoadTest: Clients concurrent clients each submit
+// every design in Designs, Rounds times, against the server at BaseURL.
+// Round 1 populates the cache; later rounds measure hits.
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent clients. 0 means 8.
+	Clients int
+	// Designs are the gen names each client submits. Empty means
+	// dlx, arm and fir.
+	Designs []string
+	// Rounds is how many times each client cycles the design list. 0 means 2.
+	Rounds int
+	// Options is the flow option set submitted with every job.
+	Options FlowOptions
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if len(c.Designs) == 0 {
+		c.Designs = []string{"dlx", "arm", "fir"}
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 2
+	}
+	return c
+}
+
+// DesignStats aggregates one design's jobs across all clients and rounds.
+type DesignStats struct {
+	Design      string
+	Jobs        int
+	CacheHits   int
+	FreshTotal  time.Duration
+	FreshMax    time.Duration
+	CachedTotal time.Duration
+	CachedMax   time.Duration
+}
+
+func (d DesignStats) freshMean() time.Duration {
+	if n := d.Jobs - d.CacheHits; n > 0 {
+		return d.FreshTotal / time.Duration(n)
+	}
+	return 0
+}
+
+func (d DesignStats) cachedMean() time.Duration {
+	if d.CacheHits > 0 {
+		return d.CachedTotal / time.Duration(d.CacheHits)
+	}
+	return 0
+}
+
+// LoadReport is the outcome of one load-test run.
+type LoadReport struct {
+	Clients   int
+	Rounds    int
+	Jobs      int
+	Rejected  int // 503s (queue full / draining), retried until admitted
+	Errors    []string
+	Elapsed   time.Duration
+	PerDesign []DesignStats
+	Stats     ServerStats
+}
+
+// Render formats the report as the table EXPERIMENTS.md records.
+func (r *LoadReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load test: %d clients x %d designs x %d rounds = %d jobs in %v (%.1f jobs/s, %d retried 503s)\n",
+		r.Clients, len(r.PerDesign), r.Rounds, r.Jobs, r.Elapsed.Round(time.Millisecond),
+		float64(r.Jobs)/r.Elapsed.Seconds(), r.Rejected)
+	fmt.Fprintf(&b, "%-8s %6s %6s %12s %12s %12s %12s\n",
+		"design", "jobs", "hits", "fresh-mean", "fresh-max", "hit-mean", "hit-max")
+	for _, d := range r.PerDesign {
+		fmt.Fprintf(&b, "%-8s %6d %6d %12v %12v %12v %12v\n",
+			d.Design, d.Jobs, d.CacheHits,
+			d.freshMean().Round(time.Millisecond), d.FreshMax.Round(time.Millisecond),
+			d.cachedMean().Round(time.Microsecond), d.CachedMax.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "cache: %d entries, %d hits, %d misses\n",
+		r.Stats.Cache.Entries, r.Stats.Cache.Hits, r.Stats.Cache.Misses)
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "error: %s\n", e)
+	}
+	return b.String()
+}
+
+// RunLoadTest exercises a running server over real HTTP: every client
+// submits each design Rounds times, streams the job's event feed to the
+// terminal event, verifies result.json arrived, and records the
+// submit-to-terminal latency split by cache outcome.
+func RunLoadTest(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &LoadReport{Clients: cfg.Clients, Rounds: cfg.Rounds}
+	stats := map[string]*DesignStats{}
+	for _, d := range cfg.Designs {
+		stats[d] = &DesignStats{Design: d}
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	hc := &http.Client{}
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < cfg.Rounds; round++ {
+				for _, design := range cfg.Designs {
+					took, cached, retries, err := runLoadJob(ctx, hc, cfg, design)
+					mu.Lock()
+					rep.Rejected += retries
+					if err != nil {
+						if len(rep.Errors) < 10 {
+							rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", design, err))
+						}
+						mu.Unlock()
+						continue
+					}
+					ds := stats[design]
+					ds.Jobs++
+					if cached {
+						ds.CacheHits++
+						ds.CachedTotal += took
+						if took > ds.CachedMax {
+							ds.CachedMax = took
+						}
+					} else {
+						ds.FreshTotal += took
+						if took > ds.FreshMax {
+							ds.FreshMax = took
+						}
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	for _, d := range cfg.Designs {
+		rep.PerDesign = append(rep.PerDesign, *stats[d])
+		rep.Jobs += stats[d].Jobs
+	}
+	sort.Slice(rep.PerDesign, func(i, j int) bool {
+		return rep.PerDesign[i].Design < rep.PerDesign[j].Design
+	})
+	if err := getJSON(ctx, hc, cfg.BaseURL+"/stats", &rep.Stats); err != nil {
+		return rep, fmt.Errorf("fetching /stats: %w", err)
+	}
+	return rep, nil
+}
+
+// runLoadJob pushes one submission through its whole lifecycle and times
+// it. Queue-full 503s back off and retry — that is the bounded queue
+// working, not a failure — and the retry count is reported.
+func runLoadJob(ctx context.Context, hc *http.Client, cfg LoadConfig, design string) (took time.Duration, cached bool, retries int, err error) {
+	body, err := json.Marshal(JobRequest{Gen: design, Options: cfg.Options})
+	if err != nil {
+		return 0, false, 0, err
+	}
+	start := time.Now()
+	var st Status
+	for {
+		resp, err := postJSON(ctx, hc, cfg.BaseURL+"/jobs", body)
+		if err != nil {
+			return 0, false, retries, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			retries++
+			select {
+			case <-time.After(50 * time.Millisecond):
+				continue
+			case <-ctx.Done():
+				return 0, false, retries, ctx.Err()
+			}
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return 0, false, retries, fmt.Errorf("submit: HTTP %d (%s)", resp.StatusCode, st.Error)
+		}
+		if decErr != nil {
+			return 0, false, retries, decErr
+		}
+		break
+	}
+
+	final, err := streamToTerminal(ctx, hc, cfg.BaseURL, st.ID)
+	if err != nil {
+		return 0, false, retries, err
+	}
+	took = time.Since(start)
+	if final != StateDone {
+		return took, st.Cached, retries, fmt.Errorf("job %s ended %s", st.ID, final)
+	}
+	// The artifacts must actually be there — a done job without its
+	// summary is a server bug the load test should catch.
+	var sum Summary
+	if err := getJSON(ctx, hc, cfg.BaseURL+"/jobs/"+st.ID+"/artifacts/"+ArtifactResult, &sum); err != nil {
+		return took, st.Cached, retries, fmt.Errorf("job %s: %w", st.ID, err)
+	}
+	return took, st.Cached, retries, nil
+}
+
+// streamToTerminal follows a job's NDJSON event feed and returns the
+// terminal state it ends on.
+func streamToTerminal(ctx context.Context, hc *http.Client, base, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("events: HTTP %d", resp.StatusCode)
+	}
+	final := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return "", fmt.Errorf("events: %w", err)
+		}
+		switch ev.Kind {
+		case StateDone, StateFailed, StateCanceled:
+			final = ev.Kind
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	if final == "" {
+		return "", fmt.Errorf("event stream for %s ended without a terminal event", id)
+	}
+	return final, nil
+}
+
+func postJSON(ctx context.Context, hc *http.Client, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return hc.Do(req)
+}
+
+func getJSON(ctx context.Context, hc *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,174 @@
+package flowserv
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"desync/internal/designs"
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+	"desync/internal/verilog"
+)
+
+// cacheKeyVersion is folded into every cache key so a change to the flow's
+// canonicalization (new option, different defaults) invalidates old entries
+// instead of serving results computed under different semantics.
+const cacheKeyVersion = "drserve-cache-v1"
+
+// FlowOptions is the client-facing option set of one job, a JSON mirror of
+// core.Options plus the optional verification gates. Zero values mean the
+// flow defaults (margin 1.15, completion margin 2); Canonicalize makes the
+// defaults explicit so equivalent requests share one cache entry.
+type FlowOptions struct {
+	// Period is the original clock period in ns; 0 derives it from STA over
+	// the input design (worst launch-to-capture budget x 1.05).
+	Period float64 `json:"period,omitempty"`
+	// Margin scales the matched delay elements; 0 means 1.15.
+	Margin float64 `json:"margin,omitempty"`
+	// MuxTaps builds 8-tap multiplexed delay elements.
+	MuxTaps bool `json:"mux,omitempty"`
+	// ManualGroups keeps the Group fields already on the instances.
+	ManualGroups bool `json:"manualGroups,omitempty"`
+	// SkipClean disables buffer/inverter-pair removal.
+	SkipClean bool `json:"skipClean,omitempty"`
+	// CompletionDetection replaces delay elements with dual-rail completion
+	// networks (§2.4.4).
+	CompletionDetection bool `json:"cdet,omitempty"`
+	// Equiv runs the exhaustive marked-graph gate post-export (skipped with
+	// an explicit note when the state estimate exceeds the budget).
+	Equiv bool `json:"equiv,omitempty"`
+	// EquivMaxStates bounds the equiv gate; 0 means the engine default.
+	EquivMaxStates int `json:"equivMaxStates,omitempty"`
+	// Faults runs the fault-injection campaign and attaches its report.
+	Faults bool `json:"faults,omitempty"`
+	// FaultCycles is the campaign run length in clock periods; 0 means 12.
+	FaultCycles int `json:"faultCycles,omitempty"`
+	// FaultsPerRegion is the delay faults injected per region; 0 means 2.
+	FaultsPerRegion int `json:"faultsPerRegion,omitempty"`
+	// Parallelism asks for a per-job worker bound for the parallel kernels.
+	// The server clamps it to its own per-job budget. NOT part of the cache
+	// key: every kernel's output is identical at any worker count.
+	Parallelism int `json:"j,omitempty"`
+}
+
+// JobRequest is the body of POST /jobs: exactly one of Gen (a built-in
+// case-study generator) or Verilog (an uploaded gate-level netlist).
+type JobRequest struct {
+	// Gen names a built-in design: dlx, arm or fir.
+	Gen string `json:"gen,omitempty"`
+	// Verilog is an uploaded gate-level netlist source.
+	Verilog string `json:"verilog,omitempty"`
+	// Top selects the top module of an upload (default: auto-detect).
+	Top string `json:"top,omitempty"`
+	// Lib is the technology library variant: HS or LL. Defaults to HS, or
+	// LL for gen=arm (the paper's ARM uses the low-leakage library).
+	Lib string `json:"lib,omitempty"`
+	// Options configures the flow and its gates.
+	Options FlowOptions `json:"options"`
+}
+
+// Canonicalize returns the options with every documented default applied
+// and the parallelism request removed — the form that is hashed into the
+// cache key, so that {} and {"margin":1.15} address the same entry.
+func (o FlowOptions) Canonicalize() FlowOptions {
+	c := o
+	if c.Margin == 0 {
+		c.Margin = 1.15
+	}
+	if c.FaultCycles == 0 {
+		c.FaultCycles = 12
+	}
+	if c.FaultsPerRegion == 0 {
+		c.FaultsPerRegion = 2
+	}
+	if !c.Faults {
+		// Fault knobs are inert without the campaign; normalize them away
+		// so they cannot split cache entries.
+		c.FaultCycles = 0
+		c.FaultsPerRegion = 0
+	}
+	if !c.Equiv {
+		c.EquivMaxStates = 0
+	}
+	c.Parallelism = 0
+	return c
+}
+
+// validate rejects malformed requests before any work happens.
+func (r *JobRequest) validate() error {
+	if (r.Gen == "") == (r.Verilog == "") {
+		return fmt.Errorf("exactly one of gen and verilog is required")
+	}
+	switch r.Gen {
+	case "", "dlx", "arm", "fir":
+	default:
+		return fmt.Errorf("unknown gen design %q (want dlx, arm or fir)", r.Gen)
+	}
+	switch r.Lib {
+	case "", "HS", "LL":
+	default:
+		return fmt.Errorf("unknown library variant %q (want HS or LL)", r.Lib)
+	}
+	if r.Gen != "" && r.Top != "" {
+		return fmt.Errorf("top applies to uploads only")
+	}
+	return nil
+}
+
+// libVariant resolves the request's library variant with the per-design
+// default (ARM is an LL design in the paper).
+func (r *JobRequest) libVariant() stdcells.Variant {
+	if r.Lib != "" {
+		return stdcells.Variant(r.Lib)
+	}
+	if r.Gen == "arm" {
+		return stdcells.LowLeakage
+	}
+	return stdcells.HighSpeed
+}
+
+// buildDesign constructs the input design: a generator build or an upload
+// parse. For gen=arm the request's ManualGroups is forced on — the
+// generator bakes the paper's single-region assignment into the instances
+// (§5.3) — and the canonical options reflect that, so the forced and the
+// explicit form share a cache entry.
+func (r *JobRequest) buildDesign() (*netlist.Design, error) {
+	lib := stdcells.New(r.libVariant())
+	switch r.Gen {
+	case "dlx":
+		return designs.BuildDLX(lib, designs.TestProgram())
+	case "arm":
+		return designs.BuildARMLike(lib, 42)
+	case "fir":
+		return designs.BuildFIR(lib)
+	}
+	return verilog.Read(r.Verilog, lib, r.Top)
+}
+
+// normalize applies cross-field defaults that depend on the design choice.
+func (r *JobRequest) normalize() {
+	if r.Gen == "arm" {
+		r.Options.ManualGroups = true
+	}
+	if r.Lib == "" {
+		r.Lib = string(r.libVariant())
+	}
+}
+
+// cacheKey is the content address of this request's result: a digest over
+// the canonical netlist content hash and the canonicalized options. Two
+// requests with byte-different but content-identical inputs (same design
+// built twice, an upload re-serialized with reordered declarations) land on
+// the same entry; any change that can alter the flow's output — netlist
+// content, library variant, any canonical option — lands on a new one.
+func cacheKey(d *netlist.Design, opts FlowOptions) (string, error) {
+	oj, err := json.Marshal(opts.Canonicalize())
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s\n", cacheKeyVersion, d.ContentHash(), oj)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,269 @@
+package flowserv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"desync/internal/core"
+	"desync/internal/equiv"
+	"desync/internal/faults"
+	"desync/internal/lint"
+	"desync/internal/mga"
+	"desync/internal/netlist"
+	"desync/internal/sta"
+	"desync/internal/verilog"
+)
+
+// Artifact names served under /jobs/{id}/artifacts/. Every successful job
+// has the first three plus result.json; equiv.json and faults.json appear
+// when their gates were requested.
+const (
+	ArtifactNetlist     = "netlist.v"
+	ArtifactConstraints = "constraints.sdc"
+	ArtifactLint        = "lint.json"
+	ArtifactStatic      = "static.json"
+	ArtifactEquiv       = "equiv.json"
+	ArtifactFaults      = "faults.json"
+	ArtifactResult      = "result.json"
+)
+
+// Summary is result.json: what the run produced, in one stable record.
+type Summary struct {
+	Design      string      `json:"design"`
+	Gen         string      `json:"gen,omitempty"`
+	Lib         string      `json:"lib"`
+	CacheKey    string      `json:"cacheKey"`
+	Options     FlowOptions `json:"options"`
+	Period      float64     `json:"period"`
+	Regions     int         `json:"regions"`
+	Cleaned     int         `json:"cleanedCells"`
+	FFs         int         `json:"ffsSubstituted"`
+	Controllers int         `json:"controllers"`
+	DelayCells  int         `json:"delayCells"`
+	UnderMargin []int       `json:"underMargin,omitempty"`
+	LintErrors  int         `json:"lintErrors"`
+	StaticOK    bool        `json:"staticOK"`
+	EquivRan    bool        `json:"equivRan"`
+	EquivNote   string      `json:"equivNote,omitempty"`
+	FaultsRan   bool        `json:"faultsRan"`
+	Artifacts   []string    `json:"artifacts"`
+}
+
+// runGuarded executes one job's flow with the package's single panic
+// quarantine: a panic escaping any kernel (malformed upload driving a
+// builder guard, an internal invariant breach) fails that job, never the
+// server. The boundary mirrors internal/sweep's runQuarantined and is
+// audited in cmd/repolint's recover allowlist.
+func runGuarded(ctx context.Context, j *job, jobParallelism int) (arts map[string][]byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("flow panic (quarantined): %v", r)
+		}
+	}()
+	return runFlow(ctx, j, jobParallelism)
+}
+
+// runFlow drives the whole flow for one job: pre-import lint, the
+// desynchronization pipeline with per-stage progress events and mid-flow
+// lint gates, the post-export lint / static / optional equiv and faults
+// gates, and the artifact exports. It returns the artifacts produced so
+// far even on failure, so a tripped gate stays diagnosable over HTTP.
+func runFlow(ctx context.Context, j *job, jobParallelism int) (map[string][]byte, error) {
+	arts := map[string][]byte{}
+	d := j.design
+	opts := j.req.Options.Canonicalize()
+	opts.Parallelism = jobParallelism
+
+	// Pre-import gate: reject structurally broken inputs before the heavy
+	// pipeline touches them (same discipline as drdesync).
+	pre := lint.CheckDesign(d, lint.Options{Parallelism: opts.Parallelism})
+	if n := pre.Errors(); n > 0 {
+		return arts, fmt.Errorf("pre-import lint: %d error(s), first: %s", n, pre.Findings[0])
+	}
+	j.event("gate", "pre-import", "lint clean")
+
+	period := opts.Period
+	if period == 0 {
+		var err error
+		if period, err = derivePeriod(ctx, d.Top, opts.Parallelism); err != nil {
+			return arts, fmt.Errorf("deriving a period from STA: %w (pass options.period)", err)
+		}
+	}
+
+	res, err := core.Desynchronize(ctx, d, core.Options{
+		Period:              period,
+		Margin:              opts.Margin,
+		MuxTaps:             opts.MuxTaps,
+		ManualGroups:        opts.ManualGroups,
+		SkipClean:           opts.SkipClean,
+		CompletionDetection: opts.CompletionDetection,
+		Parallelism:         opts.Parallelism,
+		Progress:            j.setStage,
+		StageCheck: func(stage string, midFlow bool) error {
+			rep := lint.Check(d.Top, lint.Options{MidFlow: midFlow, Parallelism: opts.Parallelism})
+			if n := rep.Errors(); n > 0 {
+				return fmt.Errorf("lint: %d error(s), first: %s", n, rep.Findings[0])
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return arts, err
+	}
+
+	// Post-export lint over the final design, cross-checked against the
+	// constraints the run generated, reusing the flow's derived IR.
+	lrep := lint.Check(d.Top, lint.Options{
+		Desync: true, Constraints: res.Constraints, Network: res.Network,
+		Parallelism: opts.Parallelism,
+	})
+	if lj, err := lrep.JSON(); err == nil {
+		arts[ArtifactLint] = lj
+	}
+	if n := lrep.Errors(); n > 0 {
+		return arts, fmt.Errorf("post-export lint gate: %d error(s), first: %s", n, lrep.Findings[0])
+	}
+	j.event("gate", "lint", "post-export lint clean")
+
+	// Static marked-graph gate: always on, polynomial time.
+	srep, err := mga.Analyze(d.Top, res.Network, mga.Options{})
+	if err != nil {
+		return arts, fmt.Errorf("static marked-graph gate: %w", err)
+	}
+	var sbuf bytes.Buffer
+	if err := srep.WriteJSON(&sbuf); err == nil {
+		arts[ArtifactStatic] = sbuf.Bytes()
+	}
+	if n := srep.LintReport(srep.ModelFindings).Errors(); n > 0 {
+		return arts, fmt.Errorf("static marked-graph gate: %d error finding(s)", n)
+	}
+	j.event("gate", "static", "liveness, safety and period verdicts clean")
+
+	equivRan, equivNote, err := runEquivGate(ctx, j, d, res, opts, arts)
+	if err != nil {
+		return arts, err
+	}
+	if opts.Faults {
+		if err := runFaultsGate(ctx, j, d, res, opts, period, arts); err != nil {
+			return arts, err
+		}
+	}
+
+	arts[ArtifactNetlist] = []byte(verilog.Write(d))
+	arts[ArtifactConstraints] = []byte(res.Constraints.Write())
+	sum := Summary{
+		Design: d.Top.Name, Gen: j.req.Gen, Lib: j.req.Lib,
+		CacheKey: j.key, Options: j.req.Options.Canonicalize(),
+		Period: period, Regions: res.Grouping.Groups,
+		Cleaned: res.CleanedCells, FFs: res.Substitution.FFs,
+		Controllers: res.Insert.Controllers, DelayCells: res.Insert.DelayCells,
+		UnderMargin: res.UnderMargin, LintErrors: lrep.Errors(),
+		StaticOK: true, EquivRan: equivRan, EquivNote: equivNote,
+		FaultsRan: opts.Faults,
+	}
+	sum.Artifacts = artifactNames(arts)
+	// result.json names itself in the artifact list.
+	sum.Artifacts = append(sum.Artifacts, ArtifactResult)
+	sj, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return arts, err
+	}
+	arts[ArtifactResult] = append(sj, '\n')
+	for _, name := range sum.Artifacts {
+		j.event("artifact", "", name)
+	}
+	return arts, nil
+}
+
+// runEquivGate runs the exhaustive marked-graph exploration when requested
+// and within the marking budget's reach, mirroring drdesync's downgrade
+// discipline: past the estimate, the static verdicts stand alone and the
+// job says so in an explicit note instead of truncating a search.
+func runEquivGate(ctx context.Context, j *job, d *netlist.Design, res *core.Result,
+	opts FlowOptions, arts map[string][]byte) (ran bool, note string, err error) {
+	if !opts.Equiv {
+		return false, "", nil
+	}
+	budget := opts.EquivMaxStates
+	if budget <= 0 {
+		budget = equiv.DefaultMaxStates
+	}
+	if est := mga.StateEstimate(res.Grouping.Groups); est > uint64(budget) {
+		note = fmt.Sprintf("state estimate %d exceeds the %d-marking budget; static verdicts stand alone", est, budget)
+		j.event("note", "equiv", note)
+		return false, note, nil
+	}
+	m, err := equiv.FromNetwork(d.Top, res.Network)
+	if err != nil {
+		return false, "", fmt.Errorf("equiv gate: %w", err)
+	}
+	eres, err := m.Explore(ctx, equiv.ExploreOptions{
+		MaxStates: opts.EquivMaxStates, Parallelism: opts.Parallelism,
+	})
+	if err != nil {
+		return false, "", fmt.Errorf("equiv gate: %w", err)
+	}
+	var ebuf bytes.Buffer
+	if err := eres.WriteJSON(&ebuf); err == nil {
+		arts[ArtifactEquiv] = ebuf.Bytes()
+	}
+	if n := eres.Report(m.Findings).Errors(); n > 0 {
+		return true, "", fmt.Errorf("equiv gate: %d error finding(s)", n)
+	}
+	if eres.Truncated {
+		note = fmt.Sprintf("truncated at %d markings; properties hold only up to this bound", eres.States)
+	}
+	j.event("gate", "equiv", "deadlock-freedom, phase safety and flow equivalence clean")
+	return true, note, nil
+}
+
+// runFaultsGate runs the default delay + control-stuck-at campaign against
+// the freshly desynchronized design and attaches the report. Escapes do not
+// fail the job — the report is the product — matching drdesync -faults.
+func runFaultsGate(ctx context.Context, j *job, d *netlist.Design, res *core.Result,
+	opts FlowOptions, period float64, arts map[string][]byte) error {
+	c, err := faults.NewCampaign(ctx, d.Top, faults.Config{
+		Stimulus:      faults.ResetStimulus(d.Top, 0),
+		Horizon:       2 + period*float64(opts.FaultCycles)*6,
+		QuiescenceGap: 8 * period,
+		SetupGuard:    true,
+		Parallelism:   opts.Parallelism,
+	})
+	if err != nil {
+		return fmt.Errorf("fault campaign: %w", err)
+	}
+	list := c.DelayFaults(40, opts.FaultsPerRegion)
+	list = append(list, c.ControlStuckFaults()...)
+	rep, err := c.Run(ctx, list)
+	if err != nil {
+		return fmt.Errorf("fault campaign: %w", err)
+	}
+	var fbuf bytes.Buffer
+	if err := rep.WriteJSON(&fbuf); err == nil {
+		arts[ArtifactFaults] = fbuf.Bytes()
+	}
+	j.event("gate", "faults", fmt.Sprintf("campaign ran %d faults", len(list)))
+	return nil
+}
+
+// derivePeriod measures the input design's synchronous clock period the way
+// the experiment flows do: the worst launch-to-capture budget over all
+// regions at the worst corner, with a 5% clock margin.
+func derivePeriod(ctx context.Context, m *netlist.Module, parallelism int) (float64, error) {
+	rds, err := sta.RegionDelays(ctx, m, netlist.Worst, sta.Options{})
+	if err != nil {
+		return 0, err
+	}
+	p := 0.0
+	for _, rd := range rds {
+		if b := rd.Budget(); b > p {
+			p = b
+		}
+	}
+	if p <= 0 {
+		return 0, fmt.Errorf("no launch-to-capture budgets found")
+	}
+	return p * 1.05, nil
+}

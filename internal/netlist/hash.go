@@ -1,0 +1,117 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ContentHash returns a stable hex digest of the module's canonical content:
+// the module name, ports in declaration order (the interface contract), and
+// nets and instances in name-sorted order with their connectivity, region
+// assignment, origin and timing annotations. Two modules that export the
+// same design hash identically regardless of the order nets or instances
+// were created in, and nothing in the walk ranges over a map without
+// sorting first — the digest is deterministic across processes.
+//
+// The hash covers everything the desynchronization flow's output depends
+// on, so it is a sound cache key for flow results: structure (driver/sink
+// connectivity), cell bindings, groups, false-path marks, SizeOnly/Origin
+// flags, and the per-instance/per-net delay annotations.
+func (m *Module) ContentHash() string {
+	h := sha256.New()
+	writeModuleContent(h, m)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ContentHash returns the design-level digest: the library identity (name
+// and variant — the same structure mapped to HS vs LL cells times
+// differently), then every module of the design in name-sorted order. It is
+// the netlist half of a content-addressed flow-result cache key.
+func (d *Design) ContentHash() string {
+	h := sha256.New()
+	if d.Lib != nil {
+		fmt.Fprintf(h, "lib %s %s\n", d.Lib.Name, d.Lib.Variant)
+	}
+	fmt.Fprintf(h, "design %s top %s\n", d.Name, d.Top.Name)
+	var names []string
+	for name := range d.Modules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "module %s\n", name)
+		writeModuleContent(h, d.Modules[name])
+	}
+	// A top module outside the Modules map (hand-assembled designs) still
+	// contributes its content.
+	if _, ok := d.Modules[d.Top.Name]; !ok {
+		writeModuleContent(h, d.Top)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeModuleContent streams the canonical form of one module. Every
+// collection is emitted in a sorted or declaration order; map iteration
+// never reaches the writer.
+func writeModuleContent(w io.Writer, m *Module) {
+	fmt.Fprintf(w, "name %s\n", m.Name)
+	for _, p := range m.Ports {
+		netName := ""
+		if p.Net != nil {
+			netName = p.Net.Name
+		}
+		fmt.Fprintf(w, "port %s %s %s\n", p.Name, p.Dir, netName)
+	}
+
+	nets := make([]*Net, len(m.Nets))
+	copy(nets, m.Nets)
+	sort.Slice(nets, func(i, j int) bool { return nets[i].Name < nets[j].Name })
+	for _, n := range nets {
+		fmt.Fprintf(w, "net %s drv %s", n.Name, n.Driver)
+		sinks := make([]string, 0, len(n.Sinks))
+		for _, s := range n.Sinks {
+			sinks = append(sinks, s.String())
+		}
+		sort.Strings(sinks)
+		for _, s := range sinks {
+			fmt.Fprintf(w, " snk %s", s)
+		}
+		if n.FalsePath {
+			fmt.Fprint(w, " fp")
+		}
+		if n.Wire != (Delay{}) {
+			fmt.Fprintf(w, " wire %g %g", n.Wire.Best, n.Wire.Worst)
+		}
+		fmt.Fprintln(w)
+	}
+
+	insts := make([]*Inst, len(m.Insts))
+	copy(insts, m.Insts)
+	sort.Slice(insts, func(i, j int) bool { return insts[i].Name < insts[j].Name })
+	for _, in := range insts {
+		fmt.Fprintf(w, "inst %s %s g %d", in.Name, in.CellName(), in.Group)
+		if in.SizeOnly {
+			fmt.Fprint(w, " so")
+		}
+		if in.Origin != "" {
+			fmt.Fprintf(w, " org %s", in.Origin)
+		}
+		if in.DelayFactor != 0 && in.DelayFactor != 1 {
+			fmt.Fprintf(w, " df %g", in.DelayFactor)
+		}
+		pins := make([]string, 0, len(in.Conns))
+		for pin := range in.Conns {
+			pins = append(pins, pin)
+		}
+		sort.Strings(pins)
+		for _, pin := range pins {
+			if n := in.Conns[pin]; n != nil {
+				fmt.Fprintf(w, " %s=%s", pin, n.Name)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

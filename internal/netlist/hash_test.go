@@ -1,0 +1,119 @@
+package netlist
+
+import "testing"
+
+// buildPair wires inv -> and gate through net w; order chooses whether the
+// nets and instances are created forward or reversed, so the two variants
+// hold identical content in different creation order.
+func buildPair(t *testing.T, reversed bool) *Module {
+	t.Helper()
+	lib := tinyLib()
+	m := NewModule("pair")
+	add := func(name string) *Net { return m.AddNet(name) }
+	var a, w, z *Net
+	if reversed {
+		z, w, a = add("z"), add("w"), add("a")
+	} else {
+		a, w, z = add("a"), add("w"), add("z")
+	}
+	m.AddPortOnNet("a", In, a)
+	m.AddPortOnNet("z", Out, z)
+	inv := m.AddInst("u_inv", lib.MustCell("INV"))
+	buf := m.AddInst("u_buf", lib.MustCell("BUF"))
+	if reversed {
+		// Connection order permuted too: the Conns map has no order, but the
+		// sequence of Connect calls changes Sinks slice order on shared nets.
+		m.MustConnect(buf, "Z", z)
+		m.MustConnect(buf, "A", w)
+		m.MustConnect(inv, "Z", w)
+		m.MustConnect(inv, "A", a)
+	} else {
+		m.MustConnect(inv, "A", a)
+		m.MustConnect(inv, "Z", w)
+		m.MustConnect(buf, "A", w)
+		m.MustConnect(buf, "Z", z)
+	}
+	return m
+}
+
+func TestContentHashDeterministic(t *testing.T) {
+	h1 := buildPair(t, false).ContentHash()
+	h2 := buildPair(t, false).ContentHash()
+	if h1 != h2 {
+		t.Fatalf("identical builds hash differently: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("want a 64-hex-digit sha256, got %q", h1)
+	}
+}
+
+func TestContentHashCreationOrderInvariant(t *testing.T) {
+	fwd := buildPair(t, false).ContentHash()
+	rev := buildPair(t, true).ContentHash()
+	if fwd != rev {
+		t.Fatalf("creation order leaked into the hash: %s vs %s", fwd, rev)
+	}
+}
+
+func TestContentHashSeesContentChanges(t *testing.T) {
+	base := buildPair(t, false).ContentHash()
+	lib := tinyLib()
+
+	// A structural change: one extra net.
+	m := buildPair(t, false)
+	m.AddNet("extra")
+	if m.ContentHash() == base {
+		t.Fatal("added net not reflected in the hash")
+	}
+
+	// An annotation change: region assignment.
+	m2 := buildPair(t, false)
+	m2.Inst("u_inv").Group = 3
+	if m2.ContentHash() == base {
+		t.Fatal("group change not reflected in the hash")
+	}
+
+	// A connectivity change: retarget the buffer input.
+	m3 := buildPair(t, false)
+	m3.Disconnect(m3.Inst("u_buf"), "A")
+	m3.MustConnect(m3.Inst("u_buf"), "A", m3.Net("a"))
+	if m3.ContentHash() == base {
+		t.Fatal("reconnection not reflected in the hash")
+	}
+
+	// A cell-binding change at equal connectivity.
+	m4 := NewModule("pair")
+	a, w, z := m4.AddNet("a"), m4.AddNet("w"), m4.AddNet("z")
+	m4.AddPortOnNet("a", In, a)
+	m4.AddPortOnNet("z", Out, z)
+	i1 := m4.AddInst("u_inv", lib.MustCell("BUF")) // BUF where INV was
+	i2 := m4.AddInst("u_buf", lib.MustCell("BUF"))
+	m4.MustConnect(i1, "A", a)
+	m4.MustConnect(i1, "Z", w)
+	m4.MustConnect(i2, "A", w)
+	m4.MustConnect(i2, "Z", z)
+	if m4.ContentHash() == base {
+		t.Fatal("cell binding not reflected in the hash")
+	}
+}
+
+func TestDesignContentHashCoversLibraryVariant(t *testing.T) {
+	build := func(variant string) *Design {
+		lib := NewLibrary("tiny", variant)
+		lib.Add(&CellDef{Name: "INV", Kind: KindComb,
+			Pins: []PinDef{{Name: "A", Dir: In}, {Name: "Z", Dir: Out}}})
+		d := NewDesign("top", lib)
+		n := d.Top.AddNet("a")
+		d.Top.AddPortOnNet("a", In, n)
+		in := d.Top.AddInst("u", lib.MustCell("INV"))
+		d.Top.MustConnect(in, "A", n)
+		return d
+	}
+	hs, hs2, ll := build("HS").ContentHash(), build("HS").ContentHash(), build("LL").ContentHash()
+	if hs != hs2 {
+		t.Fatalf("design hash nondeterministic: %s vs %s", hs, hs2)
+	}
+	if hs == ll {
+		t.Fatal("library variant must be part of the design hash")
+	}
+}
