@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet lint equiv fuzz bench faults sweep serve
+.PHONY: all build test check vet lint equiv fuzz bench faults sweep serve scale
 
 all: build
 
@@ -38,7 +38,7 @@ equiv:
 	$(GO) run ./cmd/drequiv -gen dlx -xval 1
 	$(GO) run ./cmd/drequiv -gen arm -xval 1
 
-check: vet lint equiv sweep serve
+check: vet lint equiv sweep serve scale
 	# Targeted race pass first: the parallel engine, the fault fan-out, the
 	# sweep's ordered fold and journal, the ctrlnet derivation cache and the
 	# equiv model built on it are the shared-state hot spots; fail fast on
@@ -49,6 +49,7 @@ check: vet lint equiv sweep serve
 	$(GO) test -run XXX -bench 'BenchmarkFaultCampaignSmoke|BenchmarkCampaignParallelDLX|BenchmarkSweepSmokeDLX|BenchmarkLintClean|BenchmarkMGAStaticDLX' -benchtime 1x .
 	$(GO) test -run XXX -bench 'BenchmarkEquivDLX$$|BenchmarkEquivParallelDLX' -benchtime 1x ./internal/equiv/
 	$(GO) test -run XXX -bench 'BenchmarkServeCachedSubmit' -benchtime 1x ./internal/flowserv/
+	$(GO) test -run XXX -bench 'BenchmarkNetlistDerive100k' -benchtime 1x ./internal/expt/
 
 # Short fuzz passes over the three text front ends and the sweep's
 # checkpoint-journal parser; corpora are committed under
@@ -76,6 +77,14 @@ faults:
 # the flow-as-a-service path `make check` exercises end to end.
 serve:
 	$(GO) run ./cmd/drserve -smoke
+
+# Million-gate-core smoke: generate a 100k-instance pipeline and push it
+# through the whole representation surface — Verilog export, re-import,
+# ContentHash, Validate, the desynchronization flow and a fresh control
+# derivation. On the SoA core the row takes a few seconds; the generous
+# bound only trips if some stage regresses to its old quadratic shape.
+scale:
+	timeout 300 $(GO) run ./cmd/experiments -scale 100000
 
 sweep:
 	rm -f /tmp/drsweep-smoke.journal

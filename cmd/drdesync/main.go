@@ -10,6 +10,12 @@
 //	drdesync -in design.v [-top name] [-lib HS|LL] [-period 2.4] \
 //	         [-mux] [-margin 1.15] [-falsepath net1,net2] [-manual-groups] \
 //	         [-simplify-names] [-faults] [-j N] -out out.v [-sdc out.sdc] [-blif out.blif]
+//	drdesync -gen pipeline:depth=32,width=64,regions=100 -out out.v [...]
+//
+// -gen desynchronizes a generated design instead of a file: a fixed case
+// study (dlx, arm, fir) or a parametric spec in the designs.ParseSpec
+// grammar. Pre-grouped generators (arm, the pipeline family) imply
+// -manual-groups.
 //
 // When the automatic grouping finds no regions the tool degrades to a
 // single-region desynchronization (the ARM-style fallback of §5.3) with a
@@ -40,13 +46,15 @@ import (
 	"desync/internal/blif"
 	"desync/internal/cliutil"
 	"desync/internal/core"
+	"desync/internal/designs"
 	"desync/internal/lint"
+	"desync/internal/netlist"
 	"desync/internal/stdcells"
 	"desync/internal/verilog"
 )
 
 type runOpts struct {
-	in, top, libVariant          string
+	in, gen, top, libVariant     string
 	out, sdcOut, blifOut, tbOut  string
 	falsePaths                   string
 	period, margin               float64
@@ -62,7 +70,8 @@ type runOpts struct {
 
 func main() {
 	var o runOpts
-	flag.StringVar(&o.in, "in", "", "input gate-level Verilog netlist (required)")
+	flag.StringVar(&o.in, "in", "", "input gate-level Verilog netlist (required unless -gen)")
+	flag.StringVar(&o.gen, "gen", "", "desynchronize a generated design instead of a file: dlx, arm, fir, or a spec like pipeline:depth=8,width=32")
 	flag.StringVar(&o.top, "top", "", "top module (default: auto-detect)")
 	flag.StringVar(&o.libVariant, "lib", "HS", "technology library variant: HS or LL")
 	flag.Float64Var(&o.period, "period", 0, "original clock period in ns for constraint generation")
@@ -86,7 +95,7 @@ func main() {
 	flag.IntVar(&o.faultCycles, "fault-cycles", 12, "campaign run length in clock periods")
 	flag.IntVar(&o.faultsPerRegion, "faults-per-region", 2, "delay faults injected per region")
 	flag.Parse()
-	if o.in == "" || o.out == "" {
+	if (o.in == "") == (o.gen == "") || o.out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -119,26 +128,37 @@ func run(ctx context.Context, o runOpts) error {
 		return err
 	}
 
-	src, err := os.ReadFile(o.in)
-	if err != nil {
-		return err
+	var src []byte
+	if o.in != "" {
+		var err error
+		if src, err = os.ReadFile(o.in); err != nil {
+			return err
+		}
 	}
 	var fps []string
 	if o.falsePaths != "" {
 		fps = strings.Split(o.falsePaths, ",")
 	}
 	opts := core.Options{
-		Period:              o.period,
-		Margin:              o.margin,
-		MuxTaps:             o.mux,
-		FalsePaths:          fps,
-		ManualGroups:        o.manualGroups,
+		Period:     o.period,
+		Margin:     o.margin,
+		MuxTaps:    o.mux,
+		FalsePaths: fps,
+		// Pre-grouped generators (arm, the pipeline family) bake their
+		// region assignment into the instances.
+		ManualGroups:        o.manualGroups || designs.PreGrouped(o.gen),
 		SkipClean:           o.skipClean,
 		CompletionDetection: o.cdet,
 		Parallelism:         o.parallelism,
 	}
 	d, res, err := desynchronizeWithFallback(ctx, func() (*designState, error) {
-		dd, err := verilog.Read(string(src), stdcells.New(variant), o.top)
+		var dd *netlist.Design
+		var err error
+		if o.gen != "" {
+			dd, err = designs.ParseSpec(o.gen, stdcells.New(variant))
+		} else {
+			dd, err = verilog.Read(string(src), stdcells.New(variant), o.top)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -9,11 +9,14 @@
 //	drequiv -in design.v [-top name] [-lib HS|LL] [-max-states N] \
 //	        [-no-reduce] [-xval N] [-seed S] [-j N] [-dump-ce trace.json] [-json]
 //	drequiv -gen dlx|arm|fir [...]
+//	drequiv -gen pipeline:depth=32,width=64,regions=100 [...]
 //	drequiv -gen dlx -replay trace.json
 //	drequiv -gen dlx -static [-json]
 //
-// -gen runs the built-in case-study flow and verifies its output, so CI can
-// gate the example designs without carrying netlist artifacts. -xval N
+// -gen runs a built-in flow and verifies its output, so CI can gate the
+// example designs without carrying netlist artifacts: dlx, arm and fir run
+// their hand-tuned case-study flows, and any other designs.ParseSpec spec
+// (pipeline, riscv, des) runs the generic desynchronization flow. -xval N
 // cross-validates the model against N randomized simulator traces (seeded
 // with -seed, recorded in the JSON report, so failures reproduce). -j bounds
 // the exploration and cross-validation workers (0: all CPUs); the report —
@@ -40,9 +43,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"desync/internal/cliutil"
 	"desync/internal/ctrlnet"
+	"desync/internal/designs"
 	"desync/internal/equiv"
 	"desync/internal/expt"
 	"desync/internal/mga"
@@ -71,7 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var o equivOpts
 	fs.StringVar(&o.in, "in", "", "input desynchronized gate-level Verilog netlist")
-	fs.StringVar(&o.gen, "gen", "", "verify a built-in case-study flow instead of a file: dlx, arm or fir")
+	fs.StringVar(&o.gen, "gen", "", "verify a built-in flow instead of a file: dlx, arm, fir, or a spec like pipeline:depth=8,width=32")
 	fs.StringVar(&o.top, "top", "", "top module (default: auto-detect)")
 	fs.StringVar(&o.libVariant, "lib", "HS", "technology library variant: HS or LL")
 	fs.IntVar(&o.maxStates, "max-states", 0, "marking budget (0: engine default); truncation is reported explicitly")
@@ -265,7 +270,16 @@ func loadModule(o equivOpts) (*netlist.Module, error) {
 			}
 			return f.Desync.Top, nil
 		}
-		return nil, fmt.Errorf("unknown -gen design %q (want dlx, arm or fir)", o.gen)
+		// Anything else is a parametric generator spec: desynchronize it
+		// through the generic flow and verify that output.
+		if !designs.ValidSpec(o.gen) {
+			return nil, fmt.Errorf("unknown -gen design %q (want %s, with pipeline key=value params)", o.gen, strings.Join(designs.SpecNames(), "|"))
+		}
+		f, err := expt.RunGenFlow(o.gen, expt.FlowConfig{Parallelism: o.parallelism})
+		if err != nil {
+			return nil, err
+		}
+		return f.Desync.Top, nil
 	}
 	lib := stdcells.New(stdcells.Variant(o.libVariant))
 	src, err := os.ReadFile(o.in)

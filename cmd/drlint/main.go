@@ -9,10 +9,13 @@
 //	drlint -in design.v [-top name] [-lib HS|LL] [-desync] [-sdc out.sdc] \
 //	       [-midflow] [-json] [-baseline accepted.lint] [-write-baseline accepted.lint]
 //	drlint -gen dlx|arm|fir [-lib HS|LL] [-json]
+//	drlint -gen pipeline:depth=32,width=64,regions=100 [-json]
 //	drlint -rules
 //
-// -gen lints one of the built-in case-study generators instead of a file,
-// so CI can gate the example designs without carrying netlist artifacts.
+// -gen lints a built-in generator instead of a file — a fixed case study
+// (dlx, arm, fir) or a parametric spec in the designs.ParseSpec grammar
+// (pipeline, riscv, des with key=value overrides) — so CI can gate the
+// example designs without carrying netlist artifacts.
 // -sdc supplies the generated constraints for the loop-coverage and
 // delay-margin cross-checks (it implies -desync). A baseline file accepts
 // known findings by key (rule|module|inst|net); -write-baseline records the
@@ -56,7 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var o lintOpts
 	fs.StringVar(&o.in, "in", "", "input gate-level Verilog netlist")
-	fs.StringVar(&o.gen, "gen", "", "lint a built-in design instead of a file: dlx, arm or fir")
+	fs.StringVar(&o.gen, "gen", "", "lint a generated design instead of a file: dlx, arm, fir, or a spec like pipeline:depth=8,width=32")
 	fs.StringVar(&o.top, "top", "", "top module (default: auto-detect)")
 	fs.StringVar(&o.libVariant, "lib", "HS", "technology library variant: HS or LL")
 	fs.BoolVar(&o.desync, "desync", false, "run the desynchronization (DS-*) rules as well")
@@ -154,15 +157,7 @@ func lintRun(o lintOpts, stdout io.Writer) (int, error) {
 // generators.
 func loadDesign(o lintOpts, lib *netlist.Library) (*netlist.Design, error) {
 	if o.gen != "" {
-		switch o.gen {
-		case "dlx":
-			return designs.BuildDLX(lib, designs.TestProgram())
-		case "arm":
-			return designs.BuildARMLike(lib, 42)
-		case "fir":
-			return designs.BuildFIR(lib)
-		}
-		return nil, fmt.Errorf("unknown -gen design %q (want dlx, arm or fir)", o.gen)
+		return designs.ParseSpec(o.gen, lib)
 	}
 	src, err := os.ReadFile(o.in)
 	if err != nil {

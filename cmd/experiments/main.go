@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"desync/internal/cliutil"
 	"desync/internal/expt"
@@ -35,13 +37,14 @@ func main() {
 		faults  = flag.Bool("faults", false, "run the DLX fault-injection campaign")
 		doSweep = flag.Bool("sweep", false, "sweep the DLX robustness surface (corners x chips x faults)")
 		doStat  = flag.Bool("static", false, "cross-check the static marked-graph engine against simulation and the BFS")
+		scale   = flag.String("scale", "", "measure the netlist-core scaling table at these comma-separated instance counts (e.g. 10000,100000,1000000)")
 	)
 	var seed int64
 	var jobs int
 	cliutil.SeedVar(flag.CommandLine, &seed, "seed", 5, "random seed")
 	cliutil.ParallelismVar(flag.CommandLine, &jobs)
 	flag.Parse()
-	if !*all && *table == "" && *fig == "" && !*faults && !*doSweep && !*doStat {
+	if !*all && *table == "" && *fig == "" && !*faults && !*doSweep && !*doStat && *scale == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -186,6 +189,21 @@ func main() {
 			fmt.Printf("  scan chain: %d flip-flops, random-pattern stuck-at coverage %.1f%%\n\n",
 				f.ScanChain, f.Coverage*100)
 			return nil
+		})
+	}
+	if *scale != "" {
+		run("scale", func() error {
+			var targets []int
+			for _, s := range strings.Split(*scale, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n < 1 {
+					return fmt.Errorf("bad -scale size %q", s)
+				}
+				targets = append(targets, n)
+			}
+			ctx, cancel := cliutil.Context()
+			defer cancel()
+			return expt.RenderScaleTable(ctx, os.Stdout, targets, jobs)
 		})
 	}
 }

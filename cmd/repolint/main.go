@@ -40,6 +40,14 @@
 //	            A handler on a detached context keeps computing for clients
 //	            that hung up and ignores server shutdown, which breaks the
 //	            flow server's drain guarantee.
+//	RL-NETID    Outside internal/netlist, no new map[string]*netlist.Net or
+//	            map[string]*netlist.Inst: a string-keyed side table rebuilds
+//	            a name index the module already maintains (Net/Inst lookups,
+//	            dense NetID/InstID handles and the NetByID/InstByID tables)
+//	            and puts per-record map hashing back on paths the SoA
+//	            refactor took it off of. Small audited snapshots — e.g. one
+//	            instance's pin bindings captured just before RemoveInst —
+//	            live in the allowlist.
 //	RL-MAPORDER Iterating a map with an order-dependent body (appending to a
 //	            slice, printing, writing) leaks Go's randomized iteration
 //	            order into output — the exact nondeterminism the flow's
@@ -81,6 +89,7 @@ var panicAllowlist = map[string]bool{
 	"internal/netlist/design.go:AddNet":      true, // duplicate-name registration
 	"internal/netlist/design.go:addInst":     true, // duplicate-name registration
 	"internal/netlist/design.go:MustConnect": true,
+	"internal/netlist/storage.go:EndBulk":    true, // unmatched Begin/EndBulk is a caller bug
 	"internal/netlist/cell.go:Add":           true, // duplicate-cell registration
 	"internal/netlist/cell.go:MustCell":      true,
 	"internal/stg/stg.go:Initial":            true, // malformed built-in STG spec
@@ -111,6 +120,16 @@ var recoverAllowlist = map[string]bool{
 var optsAllowlist = map[string]bool{
 	"internal/designs/dlx.go:Encode": true,
 	"internal/designs/model.go:I":    true,
+}
+
+// netidAllowlist exempts audited sites from RL-NETID, keyed like the other
+// allowlists. An entry means the map was reviewed and is not a module-scale
+// name index: all current entries snapshot per-flip-flop pin->net bindings
+// immediately before the substitution detaches and removes the flip-flops.
+var netidAllowlist = map[string]bool{
+	"internal/core/ffsub.go:SubstituteFlipFlops": true, // FF pin snapshots pre-detach
+	"internal/core/ffsub.go:substituteOne":       true, // consumes the snapshot
+	"internal/dft/dft.go:InsertScan":             true, // FF pin snapshot pre-removal
 }
 
 // mapOrderAllowlist exempts audited map-range loops from RL-MAPORDER, keyed
@@ -202,6 +221,10 @@ func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
 		!strings.HasPrefix(rel, "cmd/repolint/") {
 		out = append(out, checkCtrlnetOwnership(fset, f)...)
 	}
+	// internal/netlist owns the name indexes RL-NETID forbids rebuilding.
+	if !strings.HasPrefix(rel, "internal/netlist/") && !strings.HasPrefix(rel, "cmd/repolint/") {
+		out = append(out, checkNetIDMaps(fset, rel, f)...)
+	}
 
 	for _, decl := range f.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
@@ -244,6 +267,62 @@ func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
 		if !mapOrderAllowlist[key] {
 			out = append(out, checkMapOrder(fset, fn)...)
 		}
+	}
+	return out
+}
+
+// checkNetIDMaps enforces RL-NETID: outside internal/netlist, a
+// map[string]*netlist.Net or map[string]*netlist.Inst — as a type, a
+// make() argument, a composite literal, a field or a parameter — rebuilds
+// a name index the module already owns. Detection is syntactic over every
+// MapType node; the allowlist key is the enclosing top-level declaration.
+func checkNetIDMaps(fset *token.FileSet, rel string, f *ast.File) []finding {
+	var out []finding
+	for _, decl := range f.Decls {
+		name := ""
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			name = d.Name.Name
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					name = s.Name.Name
+				case *ast.ValueSpec:
+					if len(s.Names) > 0 {
+						name = s.Names[0].Name
+					}
+				}
+			}
+		}
+		if netidAllowlist[rel+":"+name] {
+			continue
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			mt, ok := n.(*ast.MapType)
+			if !ok {
+				return true
+			}
+			k, ok := mt.Key.(*ast.Ident)
+			if !ok || k.Name != "string" {
+				return true
+			}
+			star, ok := mt.Value.(*ast.StarExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := star.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "netlist" || (sel.Sel.Name != "Net" && sel.Sel.Name != "Inst") {
+				return true
+			}
+			out = append(out, finding{fset.Position(mt.Pos()), "RL-NETID",
+				fmt.Sprintf("map[string]*netlist.%s in %s rebuilds a name index the module owns; use Net/Inst lookups or dense NetID/InstID-indexed slices, or audit the site into netidAllowlist", sel.Sel.Name, name)})
+			return true
+		})
 	}
 	return out
 }

@@ -423,3 +423,54 @@ func Serve() {
 		t.Fatalf("non-handler Background flagged: %v", got)
 	}
 }
+
+func TestNetIDRuleFires(t *testing.T) {
+	src := `package foo
+import "desync/internal/netlist"
+type index struct{ nets map[string]*netlist.Net }
+func build(m *netlist.Module) map[string]*netlist.Inst {
+	byName := map[string]*netlist.Inst{}
+	return byName
+}
+`
+	got := check(t, "internal/foo/foo.go", src)
+	if len(got) != 3 {
+		t.Fatalf("want 3 RL-NETID findings (field, result, literal), got %v", got)
+	}
+	for _, r := range got {
+		if r != "RL-NETID" {
+			t.Fatalf("want RL-NETID, got %v", got)
+		}
+	}
+}
+
+func TestNetIDRuleAllowsOtherMaps(t *testing.T) {
+	src := `package foo
+import "desync/internal/netlist"
+func ok(m *netlist.Module) {
+	byID := map[int]*netlist.Net{}
+	names := map[string]string{}
+	stats := map[string]*netlist.Module{}
+	_, _, _ = byID, names, stats
+}
+`
+	if got := check(t, "internal/foo/foo.go", src); len(got) != 0 {
+		t.Fatalf("non-name-index maps flagged: %v", got)
+	}
+}
+
+func TestNetIDRuleExemptsOwnerAndAllowlist(t *testing.T) {
+	owner := `package netlist
+type Module struct{ byName map[string]*Net }
+`
+	if got := check(t, "internal/netlist/design.go", owner); len(got) != 0 {
+		t.Fatalf("owner package flagged: %v", got)
+	}
+	allowed := `package core
+import "desync/internal/netlist"
+func substituteOne() { conns := map[string]*netlist.Net{}; _ = conns }
+`
+	if got := check(t, "internal/core/ffsub.go", allowed); len(got) != 0 {
+		t.Fatalf("allowlisted site flagged: %v", got)
+	}
+}

@@ -60,17 +60,17 @@ func writeInst(sb *strings.Builder, in *netlist.Inst) error {
 			}
 		}
 	case netlist.KindFF:
-		d := in.Conns[nextStateNet(in)]
-		q := in.Conns[c.Seq.Q]
-		ck := in.Conns[c.Seq.ClockPin]
+		d := in.Conn(nextStateNet(in))
+		q := in.Conn(c.Seq.Q)
+		ck := in.Conn(c.Seq.ClockPin)
 		if d == nil || q == nil || ck == nil {
 			return fmt.Errorf("blif: flip-flop %s incompletely connected", in.Name)
 		}
 		fmt.Fprintf(sb, ".latch %s %s re %s 3\n", d.Name, q.Name, ck.Name)
 	case netlist.KindLatch:
-		d := in.Conns[nextStateNet(in)]
-		q := in.Conns[c.Seq.Q]
-		g := in.Conns[c.Seq.ClockPin]
+		d := in.Conn(nextStateNet(in))
+		q := in.Conn(c.Seq.Q)
+		g := in.Conn(c.Seq.ClockPin)
 		if d == nil || q == nil || g == nil {
 			return fmt.Errorf("blif: latch %s incompletely connected", in.Name)
 		}
@@ -78,7 +78,7 @@ func writeInst(sb *strings.Builder, in *netlist.Inst) error {
 	case netlist.KindCElem, netlist.KindGC:
 		// q_next = set | (q & !reset); expressed as a .names with the
 		// output folded back through a zero-delay latch, SIS-style.
-		qNet := in.Conns[c.GC.Q]
+		qNet := in.Conn(c.GC.Q)
 		if qNet == nil {
 			return fmt.Errorf("blif: C element %s output unconnected", in.Name)
 		}
@@ -112,7 +112,7 @@ func nextStateNet(in *netlist.Inst) string {
 }
 
 func writeNames(sb *strings.Builder, in *netlist.Inst, fn *logic.Expr, outPin string) error {
-	return writeNamesExpr(sb, in, fn, in.Conns[outPin].Name, nil)
+	return writeNamesExpr(sb, in, fn, in.Conn(outPin).Name, nil)
 }
 
 // writeNamesExpr emits a .names truth table for fn, mapping variables
@@ -126,7 +126,7 @@ func writeNamesExpr(sb *strings.Builder, in *netlist.Inst, fn *logic.Expr, outNe
 			nets[i] = extra[v]
 			continue
 		}
-		n := in.Conns[v]
+		n := in.Conn(v)
 		if n == nil {
 			return fmt.Errorf("blif: %s: pin %s unconnected", in.Name, v)
 		}

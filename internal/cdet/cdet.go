@@ -163,7 +163,8 @@ func AddCompletionNetwork(m *netlist.Module, lib *netlist.Library, prefix string
 	// Boundary inputs: nets feeding cloud gates from outside the cloud.
 	boundary := map[*netlist.Net]bool{}
 	for _, g := range cloud {
-		for pin, n := range g.Conns {
+		for _, pc := range g.Conns() {
+			pin, n := pc.Pin, pc.Net
 			if g.Cell.Pin(pin).Dir != netlist.In {
 				continue
 			}
@@ -236,12 +237,12 @@ func (b *builder) imageGate(g *netlist.Inst, rails map[*netlist.Net]railPair) er
 	if fn == nil || len(g.Cell.Outputs()) != 1 {
 		return fmt.Errorf("cdet: gate %s (%s) unsupported", g.Name, g.Cell.Name)
 	}
-	outNet := g.Conns[g.Cell.Outputs()[0]]
+	outNet := g.Conn(g.Cell.Outputs()[0])
 	vars := fn.Vars()
 
 	// Free cases: buffer and inverter are rail rewires.
 	if inv, ok := g.Cell.IsBufferLike(); ok {
-		in := g.Conns[g.Cell.Inputs()[0]]
+		in := g.Conn(g.Cell.Inputs()[0])
 		rp, ok := rails[in]
 		if !ok {
 			return fmt.Errorf("cdet: missing rails for %s", in.Name)
@@ -260,7 +261,7 @@ func (b *builder) imageGate(g *netlist.Inst, rails map[*netlist.Net]railPair) er
 	// Collect input rails in variable order.
 	inRails := make([]railPair, len(vars))
 	for i, v := range vars {
-		n := g.Conns[v]
+		n := g.Conn(v)
 		if n == nil {
 			return fmt.Errorf("cdet: %s pin %s unconnected", g.Name, v)
 		}
@@ -504,7 +505,8 @@ func levelize(cloud []*netlist.Inst, inCloud map[*netlist.Inst]bool) ([]*netlist
 	succs := map[*netlist.Inst][]*netlist.Inst{}
 	for _, g := range cloud {
 		indeg[g] += 0
-		for pin, n := range g.Conns {
+		for _, pc := range g.Conns() {
+			pin, n := pc.Pin, pc.Net
 			if g.Cell.Pin(pin).Dir != netlist.In {
 				continue
 			}

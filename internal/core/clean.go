@@ -22,6 +22,10 @@ func CleanLogic(m *netlist.Module) int {
 	removed := 0
 	for {
 		changed := false
+		// Each sweep removes up to O(n) buffers; batch the removals so the
+		// Insts/Nets arrays compact once per sweep instead of splicing per
+		// removal (quadratic on million-instance inputs).
+		m.BeginBulk()
 		// Pass 1: non-inverting buffers.
 		for _, in := range append([]*netlist.Inst(nil), m.Insts...) {
 			if in.Cell == nil {
@@ -46,7 +50,7 @@ func CleanLogic(m *netlist.Module) int {
 			if !ok || !inv {
 				continue
 			}
-			mid := in.Conns[outPin(in)]
+			mid := in.Conn(outPin(in))
 			if mid == nil || isPortNet(m, mid) || len(mid.Sinks) != 1 {
 				continue
 			}
@@ -57,8 +61,8 @@ func CleanLogic(m *netlist.Module) int {
 			if inv2, ok2 := second.Cell.IsBufferLike(); !ok2 || !inv2 {
 				continue
 			}
-			src := in.Conns[inPin(in)]
-			out := second.Conns[outPin(second)]
+			src := in.Conn(inPin(in))
+			out := second.Conn(outPin(second))
 			if src == nil || out == nil {
 				continue
 			}
@@ -70,6 +74,7 @@ func CleanLogic(m *netlist.Module) int {
 			removed += 2
 			changed = true
 		}
+		m.EndBulk()
 		if !changed {
 			return removed
 		}
@@ -82,8 +87,8 @@ func CleanLogic(m *netlist.Module) int {
 // buffer stays only if input is also a port-driven... the sinks move and
 // the port rebinds; unsafe only when input and output are both ports).
 func bypassSingleInOut(m *netlist.Module, in *netlist.Inst) bool {
-	src := in.Conns[inPin(in)]
-	out := in.Conns[outPin(in)]
+	src := in.Conn(inPin(in))
+	out := in.Conn(outPin(in))
 	if src == nil || out == nil {
 		return false
 	}

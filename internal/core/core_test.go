@@ -33,7 +33,7 @@ func TestCleanLogicRemovesBuffers(t *testing.T) {
 	if removed != 2 {
 		t.Fatalf("removed %d cells, want 2", removed)
 	}
-	if g.Conns["A"] != m.Net("a") {
+	if g.Conn("A") != m.Net("a") {
 		t.Fatal("sink not rewired to source")
 	}
 	if errs := m.Check(); len(errs) > 0 {
@@ -62,7 +62,7 @@ func TestCleanLogicCollapsesInverterPairs(t *testing.T) {
 	if removed != 2 {
 		t.Fatalf("removed %d cells, want 2", removed)
 	}
-	if g.Conns["A"] != m.Net("a") {
+	if g.Conn("A") != m.Net("a") {
 		t.Fatal("pair not collapsed onto source")
 	}
 }

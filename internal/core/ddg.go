@@ -36,7 +36,8 @@ func BuildDDG(m *netlist.Module) *DDG {
 		if in.Cell.IsSequential() && in.Cell.Kind != netlist.KindCElem && in.Cell.Kind != netlist.KindGC {
 			hasSeq[in.Group] = true
 		}
-		for pin, n := range in.Conns {
+		for _, pc := range in.Conns() {
+			pin, n := pc.Pin, pc.Net
 			pd := in.Cell.Pin(pin)
 			if pd == nil || pd.Dir != netlist.In || n.FalsePath {
 				continue

@@ -148,7 +148,7 @@ func Desynchronize(ctx context.Context, d *netlist.Design, opts Options) (*Resul
 		if in.Cell == nil || in.Cell.Kind != netlist.KindFF {
 			continue
 		}
-		if ck := in.Conns[in.Cell.Seq.ClockPin]; ck != nil {
+		if ck := in.Conn(in.Cell.Seq.ClockPin); ck != nil {
 			clocks[ck] = true
 		}
 	}

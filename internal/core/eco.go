@@ -140,7 +140,7 @@ func spliceLevels(d *netlist.Design, g, levels int) error {
 	if first == nil {
 		return fmt.Errorf("core: region %d delay element not found", g)
 	}
-	in := first.Conns["B"] // the element's primary input
+	in := first.Conn("B") // the element's primary input
 	drv := mri.Driver
 	m.Disconnect(drv.Inst, drv.Pin)
 	prev := m.AddNet(ctrlnet.Name(g, fmt.Sprintf("eco_in%d", len(m.Nets))))

@@ -62,7 +62,7 @@ func TestECOCalibration(t *testing.T) {
 		if in.Group != victim.Region || in.Cell == nil || in.Cell.Kind != netlist.KindLatch {
 			continue
 		}
-		if n := in.Conns["D"]; n != nil {
+		if n := in.Conn("D"); n != nil {
 			n.Wire = netlist.Delay{Best: 0.5, Worst: 1.5}
 			degraded++
 		}

@@ -49,16 +49,45 @@ func SubstituteFlipFlops(d *netlist.Design) (*SubstituteResult, error) {
 
 	clockNets := map[*netlist.Net]bool{}
 	var ffs []*netlist.Inst
+	ffSet := map[*netlist.Inst]bool{}
 	for _, in := range m.Insts {
 		if in.Cell != nil && in.Cell.Kind == netlist.KindFF {
 			ffs = append(ffs, in)
+			ffSet[in] = true
 		}
 	}
-	for _, ff := range ffs {
-		if err := substituteOne(m, lib, ff, enables, res, clockNets); err != nil {
+	// Snapshot every flip-flop's pin->net map, then detach all FF input
+	// sinks in one filter pass per net. Clock, reset and scan-enable nets
+	// fan out to every flip-flop, so the per-pin Disconnect inside
+	// RemoveInst would rescan and resplice those sink lists once per FF —
+	// quadratic at hundreds of thousands of flip-flops.
+	ffConns := make([]map[string]*netlist.Net, len(ffs))
+	touched := map[*netlist.Net]bool{}
+	for i, ff := range ffs {
+		conns := make(map[string]*netlist.Net, len(ff.Conns()))
+		for _, pc := range ff.Conns() {
+			conns[pc.Pin] = pc.Net
+			if pc.Dir == netlist.In {
+				touched[pc.Net] = true
+			}
+		}
+		ffConns[i] = conns
+		clockNets[conns[ff.Cell.Seq.ClockPin]] = true
+	}
+	dropFF := func(s netlist.PinRef) bool { return ffSet[s.Inst] }
+	for n := range touched {
+		m.DisconnectSinks(n, dropFF)
+	}
+	// Every substitution removes one flip-flop; batch the removals so the
+	// Insts array compacts once after the loop instead of splicing per FF.
+	m.BeginBulk()
+	for i, ff := range ffs {
+		if err := substituteOne(m, lib, ff, ffConns[i], enables, res); err != nil {
+			m.EndBulk()
 			return nil, err
 		}
 	}
+	m.EndBulk()
 	res.FFs = len(ffs)
 
 	// Remove clock nets that no longer drive anything, and their ports —
@@ -99,9 +128,10 @@ func removeNetAndPort(m *netlist.Module, n *netlist.Net) {
 	_ = m.RemoveNet(n)
 }
 
-// substituteOne rewrites a single flip-flop as a latch pair.
+// substituteOne rewrites a single flip-flop as a latch pair. conns is the
+// flip-flop's pin->net map snapshotted before its input pins were detached.
 func substituteOne(m *netlist.Module, lib *netlist.Library, ff *netlist.Inst,
-	enables func(int) EnableNets, res *SubstituteResult, clockNets map[*netlist.Net]bool) error {
+	conns map[string]*netlist.Net, enables func(int) EnableNets, res *SubstituteResult) error {
 
 	c := ff.Cell
 	spec := c.Seq
@@ -110,12 +140,6 @@ func substituteOne(m *netlist.Module, lib *netlist.Library, ff *netlist.Inst,
 		return fmt.Errorf("core: flip-flop %s has no region; run grouping first", ff.Name)
 	}
 	en := enables(grp)
-
-	conns := map[string]*netlist.Net{}
-	for pin, n := range ff.Conns {
-		conns[pin] = n
-	}
-	clockNets[conns[spec.ClockPin]] = true
 
 	newGate := func(suffix, cell string) *netlist.Inst {
 		g := m.AddInst(ff.Name+"/"+suffix, lib.MustCell(cell))
@@ -243,7 +267,7 @@ func substituteOne(m *netlist.Module, lib *netlist.Library, ff *netlist.Inst,
 		if qn := conns[spec.QN]; qn != nil {
 			if len(qn.Sinks) > 0 {
 				inv := newGate("qninv", "INVX1")
-				m.MustConnect(inv, "A", slave.Conns["Q"])
+				m.MustConnect(inv, "A", slave.Conn("Q"))
 				m.MustConnect(inv, "Z", qn)
 				res.ExtraGates++
 			} else if !isPortNet(m, qn) {

@@ -53,7 +53,7 @@ func buildSpecialFFRing(lib *netlist.Library, ffCell string, ctlPin string) *net
 		}
 		m.MustConnect(ff, "Q", bq[i])
 		for _, p := range cell.Pins {
-			if p.Dir != netlist.In || ff.Conns[p.Name] != nil {
+			if p.Dir != netlist.In || ff.Conn(p.Name) != nil {
 				continue
 			}
 			switch p.Name {

@@ -70,7 +70,8 @@ func AutoGroupOpt(m *netlist.Module, opts GroupOptions) GroupingResult {
 			// Combinational source cells of every member (including the
 			// region's sequential elements, whose data-input cones belong
 			// to this cloud).
-			for pin, n := range cell.Conns {
+			for _, pc := range cell.Conns() {
+				pin, n := pc.Pin, pc.Net
 				pd := cell.Cell.Pin(pin)
 				if pd == nil || pd.Dir != netlist.In || n.FalsePath {
 					continue
@@ -85,7 +86,8 @@ func AutoGroupOpt(m *netlist.Module, opts GroupOptions) GroupingResult {
 			if isComb(cell) {
 				// Target cells of combinational members (both gates and the
 				// flip-flops the cloud drives).
-				for pin, n := range cell.Conns {
+				for _, pc := range cell.Conns() {
+					pin, n := pc.Pin, pc.Net
 					pd := cell.Cell.Pin(pin)
 					if pd == nil || pd.Dir != netlist.Out || n.FalsePath {
 						continue
@@ -121,7 +123,8 @@ func AutoGroupOpt(m *netlist.Module, opts GroupOptions) GroupingResult {
 			if in.Group != -1 || in.Cell == nil || in.Cell.Seq == nil {
 				continue
 			}
-			for pin, n := range in.Conns {
+			for _, pc := range in.Conns() {
+				pin, n := pc.Pin, pc.Net
 				pd := in.Cell.Pin(pin)
 				if pd == nil || pd.Dir != netlist.In || pd.Class != netlist.ClassData || n.FalsePath {
 					continue

@@ -366,7 +366,8 @@ func insertCompletion(m *netlist.Module, lib *netlist.Library, g int,
 		if in.Group != g || in.Cell == nil || in.Cell.Seq == nil {
 			continue
 		}
-		for pin, n := range in.Conns {
+		for _, pc := range in.Conns() {
+			pin, n := pc.Pin, pc.Net
 			pd := in.Cell.Pin(pin)
 			if pd == nil || pd.Dir != netlist.In || pd.Class != netlist.ClassData {
 				continue

@@ -216,7 +216,7 @@ func (n *Network) ControlNet(g int, suffix string) *netlist.Net {
 		if in == nil {
 			return nil
 		}
-		return in.Conns["Q"]
+		return in.Conn("Q")
 	}
 	if c := n.Controllers[g]; c != nil {
 		switch suffix {

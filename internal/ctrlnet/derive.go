@@ -59,6 +59,11 @@ type deriver struct {
 
 	enableMemo map[*netlist.Net][]Root
 	srcMemo    map[*netlist.Net]map[*netlist.Inst]bool
+	// prefixIdx buckets instances by their name up to and including the
+	// first '/'. Every ctree query prefix is slash-free plus a trailing
+	// slash, so one pass over Insts answers all of them — scanning the whole
+	// module per region made derivation quadratic past a few hundred regions.
+	prefixIdx map[string][]*netlist.Inst
 }
 
 func derive(m *netlist.Module) *Network {
@@ -189,7 +194,8 @@ func (d *deriver) enableRoots(n *netlist.Net, visiting map[*netlist.Net]bool) []
 		if drv.Cell.Kind != netlist.KindComb {
 			break
 		}
-		for pin, in := range drv.Conns {
+		for _, pc := range drv.Conns() {
+			pin, in := pc.Pin, pc.Net
 			if dir, ok := pinDirOf(drv, pin); ok && dir == netlist.In && in != nil {
 				out = append(out, d.enableRoots(in, visiting)...)
 			}
@@ -206,7 +212,7 @@ func (d *deriver) colorLatches() {
 		if in.Cell == nil || in.Cell.Kind != netlist.KindLatch {
 			continue
 		}
-		l := &Latch{Inst: in, Enable: in.Conns[in.Cell.Seq.ClockPin]}
+		l := &Latch{Inst: in, Enable: in.Conn(in.Cell.Seq.ClockPin)}
 		if l.Enable != nil {
 			seen := map[Root]bool{}
 			for _, rt := range d.enableRoots(l.Enable, map[*netlist.Net]bool{}) {
@@ -253,7 +259,8 @@ func (d *deriver) netSources(n *netlist.Net, visiting map[*netlist.Net]bool) map
 		case drv.Cell.Seq != nil:
 			out[drv] = true
 		case drv.Cell.Kind == netlist.KindComb && !isControl(drv):
-			for pin, in := range drv.Conns {
+			for _, pc := range drv.Conns() {
+				pin, in := pc.Pin, pc.Net
 				if dir, ok := pinDirOf(drv, pin); ok && dir == netlist.In && in != nil {
 					for s := range d.netSources(in, visiting) {
 						out[s] = true
@@ -272,7 +279,7 @@ func latchDataNets(in *netlist.Inst) []*netlist.Net {
 	var out []*netlist.Net
 	for _, p := range in.Cell.Pins {
 		if p.Dir == netlist.In && p.Class == netlist.ClassData {
-			if n := in.Conns[p.Name]; n != nil {
+			if n := in.Conn(p.Name); n != nil {
 				out = append(out, n)
 			}
 		}
@@ -328,14 +335,24 @@ func (d *deriver) buildEdges() {
 // ctree collects the C-element tree carrying the given instance prefix,
 // with its external input nets as sorted leaves; nil when no member exists.
 func (d *deriver) ctree(prefix string) *CTree {
+	if d.prefixIdx == nil {
+		d.prefixIdx = map[string][]*netlist.Inst{}
+		for _, in := range d.m.Insts {
+			if cut := strings.IndexByte(in.Name, '/'); cut >= 0 {
+				key := in.Name[:cut+1]
+				d.prefixIdx[key] = append(d.prefixIdx[key], in)
+			}
+		}
+	}
 	internal := map[*netlist.Net]bool{}
 	var members []*netlist.Inst
-	for _, in := range d.m.Insts {
-		if !strings.HasPrefix(in.Name, prefix) || in.Cell == nil {
+	for _, in := range d.prefixIdx[prefix] {
+		if in.Cell == nil {
 			continue
 		}
 		members = append(members, in)
-		for pin, n := range in.Conns {
+		for _, pc := range in.Conns() {
+			pin, n := pc.Pin, pc.Net
 			if dir, ok := pinDirOf(in, pin); ok && dir == netlist.Out && n != nil {
 				internal[n] = true
 			}
@@ -346,7 +363,8 @@ func (d *deriver) ctree(prefix string) *CTree {
 	}
 	leafSet := map[string]bool{}
 	for _, in := range members {
-		for pin, n := range in.Conns {
+		for _, pc := range in.Conns() {
+			pin, n := pc.Pin, pc.Net
 			if dir, ok := pinDirOf(in, pin); ok && dir == netlist.In && n != nil && !internal[n] {
 				leafSet[n.Name] = true
 			}

@@ -241,7 +241,7 @@ func BuildDLX(lib *netlist.Library, program []uint16) (_ *netlist.Design, err er
 		if stage == "" {
 			continue
 		}
-		d := in.Conns["D"]
+		d := in.Conn("D")
 		if d == nil || renamed[d] || d.Driver.Inst == nil || d.Driver.Inst.Cell.Seq != nil {
 			continue
 		}

@@ -107,7 +107,7 @@ func BuildFIR(lib *netlist.Library) (_ *netlist.Design, err error) {
 		if stage == "" {
 			continue
 		}
-		d := in.Conns["D"]
+		d := in.Conn("D")
 		if d == nil || renamed[d] || d.Driver.Inst == nil || d.Driver.Inst.Cell.Seq != nil {
 			continue
 		}

@@ -1,0 +1,229 @@
+package designs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"desync/internal/netlist"
+)
+
+// PipelineCfg parameterizes the scalable pipeline generator family. The
+// three fixed case studies (DLX, ARM, FIR) top out at a few thousand
+// instances; this family produces valid, lint-clean feed-forward pipelines
+// anywhere from 10k to over a million instances, so every kernel in the
+// flow can be pushed orders of magnitude past the paper's designs.
+type PipelineCfg struct {
+	// Depth is the number of register ranks (pipeline stages). Each stage
+	// contributes one rank of DFFRQX1 bits plus its round-function logic.
+	Depth int
+	// Width is the datapath width in bits.
+	Width int
+	// Regions is the number of desynchronization regions the stages fold
+	// into: stages are split into Regions contiguous runs, each pre-assigned
+	// a region for the manual-grouping flow path (like the paper's ARM).
+	// 0 means one region per stage; values above Depth clamp to Depth (a
+	// stage is the finest region the feed-forward structure supports).
+	Regions int
+	// Fanout selects the high-fanout stress style of each stage's shared
+	// mix term: "balanced" (no shared term; every net has bounded fanout),
+	// "broadcast" (one parity net per stage fans out to all Width bits), or
+	// "tree" (the same parity distributed through an explicit buffer tree
+	// with bounded per-buffer fanout). Empty means balanced.
+	Fanout string
+	// Kind selects the round structure: "mix" (per-bit AND/XOR mixing, the
+	// RISC-V-style deep datapath shape) or "feistel" (DES-style L/R halves
+	// with a registered round-key pipeline; Width must be even). Empty
+	// means mix.
+	Kind string
+	// Seed drives the per-stage tap selection; same seed, same netlist.
+	Seed int64
+}
+
+// Preset pipeline configurations named by the related work: a deep
+// RISC-V-style pipelined core shape and Serwe's 16-round DES crypto
+// pipeline shape.
+var pipelinePresets = map[string]PipelineCfg{
+	"riscv": {Depth: 32, Width: 64, Regions: 32, Fanout: "balanced", Kind: "mix", Seed: 1},
+	"des":   {Depth: 16, Width: 64, Regions: 16, Fanout: "broadcast", Kind: "feistel", Seed: 1},
+}
+
+func (c PipelineCfg) validate() error {
+	if c.Depth < 1 {
+		return fmt.Errorf("designs: pipeline depth %d < 1", c.Depth)
+	}
+	if c.Width < 8 {
+		return fmt.Errorf("designs: pipeline width %d < 8", c.Width)
+	}
+	if c.Regions < 0 {
+		return fmt.Errorf("designs: pipeline regions %d < 0", c.Regions)
+	}
+	switch c.Fanout {
+	case "", "balanced", "broadcast", "tree":
+	default:
+		return fmt.Errorf("designs: pipeline fanout style %q (want balanced|broadcast|tree)", c.Fanout)
+	}
+	switch c.Kind {
+	case "", "mix", "feistel":
+	default:
+		return fmt.Errorf("designs: pipeline kind %q (want mix|feistel)", c.Kind)
+	}
+	if c.Kind == "feistel" && (c.Width%2 != 0 || c.Width < 16) {
+		return fmt.Errorf("designs: feistel pipeline needs an even width >= 16, got %d", c.Width)
+	}
+	return nil
+}
+
+// EstInsts estimates the instance count the configuration generates —
+// good to a few percent, for sizing scaling experiments before building.
+func (c PipelineCfg) EstInsts() int {
+	perBit := 4 // mix: AND + 2 XOR + DFF
+	if c.Kind == "feistel" {
+		perBit = 4 // per width-bit averaged over both halves + key rank
+	}
+	return c.Depth*c.Width*perBit + 2*c.Width
+}
+
+// BuildPipeline generates a synchronous feed-forward pipeline per the
+// configuration: Depth register ranks of Width bits, each preceded by a
+// seeded round function, with every instance pre-assigned to one of
+// Regions contiguous regions (manual-grouping flow path). Ports: clk,
+// rstn, din[Width-1:0] (plus key[Width/2-1:0] for feistel), dout[Width-1:0].
+//
+// The output is Validate-clean and netlist-lint-clean by construction:
+// every pin is connected, the graph is acyclic, and every combinational
+// cone reaches the next rank or the outputs.
+func BuildPipeline(lib *netlist.Library, cfg PipelineCfg) (_ *netlist.Design, err error) {
+	defer recoverBuildErr("pipeline", &err)
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Regions == 0 || cfg.Regions > cfg.Depth {
+		cfg.Regions = cfg.Depth
+	}
+	if cfg.Fanout == "" {
+		cfg.Fanout = "balanced"
+	}
+	if cfg.Kind == "" {
+		cfg.Kind = "mix"
+	}
+	b := NewBuilder("pipeline", lib)
+	m := b.M
+	clk := m.AddPort("clk", netlist.In).Net
+	rstn := m.AddPort("rstn", netlist.In).Net
+	din := b.InputBus("din", cfg.Width)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var key Bus
+	if cfg.Kind == "feistel" {
+		key = b.InputBus("key", cfg.Width/2)
+	}
+
+	cur := din
+	for s := 0; s < cfg.Depth; s++ {
+		group := 1 + s*cfg.Regions/cfg.Depth
+		start := len(m.Insts)
+		var d Bus
+		if cfg.Kind == "feistel" {
+			d, key = b.feistelRound(cfg, s, cur, key, rng)
+		} else {
+			d = b.mixRound(cfg, s, cur, rng)
+		}
+		cur = b.RegBank(fmt.Sprintf("p%d_r", s), d, clk, rstn, fmt.Sprintf("p%d_q", s))
+		if cfg.Kind == "feistel" && s < cfg.Depth-1 {
+			key = b.RegBank(fmt.Sprintf("p%d_kr", s), key, clk, rstn, fmt.Sprintf("p%d_kq", s))
+		}
+		// The round's combinational cloud groups with the rank that captures
+		// it: the grouping dependency graph derives edges from the reading
+		// instance's region.
+		for _, in := range m.Insts[start:] {
+			in.Group = group
+		}
+	}
+
+	// Drive the outputs; for feistel, fold the final round key in so the
+	// key pipeline's last rank stays observable (no dead cones).
+	dout := b.OutputBus("dout", cfg.Width)
+	start := len(m.Insts)
+	for i := range dout {
+		if cfg.Kind == "feistel" {
+			x := b.Xor(cur[i], key[i%len(key)])
+			b.Gate("BUFX1", x, dout[i])
+		} else {
+			b.Gate("BUFX1", cur[i], dout[i])
+		}
+	}
+	for _, in := range m.Insts[start:] {
+		in.Group = cfg.Regions
+	}
+
+	d := &netlist.Design{Name: "pipeline", Top: m, Modules: map[string]*netlist.Module{"pipeline": m}, Lib: lib}
+	return d, nil
+}
+
+// mixRound builds one RISC-V-style datapath stage: per bit, an AND of two
+// neighbor taps XOR-folded with a seeded long-range tap, then combined with
+// the stage's shared term per the fanout style.
+func (b *Builder) mixRound(cfg PipelineCfg, stage int, cur Bus, rng *rand.Rand) Bus {
+	w := cfg.Width
+	tap := 2 + rng.Intn(w-3)
+	shared := b.stageShared(cfg, stage, cur)
+	d := make(Bus, w)
+	for i := 0; i < w; i++ {
+		t1 := b.And(cur[i], cur[(i+1)%w])
+		t2 := b.Xor(t1, cur[(i+tap)%w])
+		if shared != nil {
+			d[i] = b.Xor(t2, shared[i%len(shared)])
+		} else {
+			d[i] = b.Xor(t2, cur[(i+5)%w])
+		}
+	}
+	return d
+}
+
+// feistelRound builds one DES-style stage on L/R halves: L' = R and
+// R' = L XOR f(R, K), where f mixes each R bit with its round-key bit and a
+// seeded neighbor tap. Returns the new state and the rotated round key.
+func (b *Builder) feistelRound(cfg PipelineCfg, stage int, cur, key Bus, rng *rand.Rand) (Bus, Bus) {
+	h := cfg.Width / 2
+	l, r := cur[:h], cur[h:]
+	tap := 1 + rng.Intn(h-1)
+	shared := b.stageShared(cfg, stage, r)
+	d := make(Bus, cfg.Width)
+	for j := 0; j < h; j++ {
+		f := b.Xor(b.And(r[j], key[j]), r[(j+tap)%h])
+		if shared != nil {
+			f = b.Xor(f, shared[j%len(shared)])
+		}
+		d[j] = r[j] // L' = R: pure wiring into the next rank
+		d[h+j] = b.Xor(l[j], f)
+	}
+	// Rotate the key by one for the next round (wire permutation, no gates).
+	rot := make(Bus, h)
+	for j := 0; j < h; j++ {
+		rot[j] = key[(j+1)%h]
+	}
+	return d, rot
+}
+
+// stageShared builds the stage's shared high-fanout term per the fanout
+// style: nil for balanced, a single parity net for broadcast, or the
+// parity net distributed through a max-fanout-8 buffer tree.
+func (b *Builder) stageShared(cfg PipelineCfg, stage int, src Bus) Bus {
+	switch cfg.Fanout {
+	case "broadcast":
+		p := b.tree(src[:8], b.Xor)
+		return Bus{p}
+	case "tree":
+		p := b.tree(src[:8], b.Xor)
+		leaves := (cfg.Width + 7) / 8
+		out := make(Bus, leaves)
+		for i := range out {
+			z := b.fresh()
+			b.Gate("BUFX1", p, z)
+			out[i] = z
+		}
+		return out
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,124 @@
+package designs
+
+import (
+	"math/rand"
+	"testing"
+
+	"desync/internal/lint"
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+)
+
+// checkPipelineClean asserts the generator's core contract: every knob
+// combination yields a design that passes Validate and carries no NL-*
+// lint findings at all (not merely none at Error severity).
+func checkPipelineClean(t *testing.T, cfg PipelineCfg) *netlist.Design {
+	t.Helper()
+	d, err := BuildPipeline(stdcells.New(stdcells.HighSpeed), cfg)
+	if err != nil {
+		t.Fatalf("%+v: build: %v", cfg, err)
+	}
+	if errs := d.Top.Validate(netlist.ValidateOptions{}); len(errs) > 0 {
+		t.Fatalf("%+v: validate: %v", cfg, errs[0])
+	}
+	rep := lint.Check(d.Top, lint.Options{})
+	if len(rep.Findings) > 0 {
+		t.Fatalf("%+v: lint: %v (and %d more)", cfg, rep.Findings[0], len(rep.Findings)-1)
+	}
+	return d
+}
+
+// TestPipelineKnobMatrix sweeps every fanout × kind combination at several
+// shapes, plus randomized configurations, and requires each to be
+// Validate- and lint-clean.
+func TestPipelineKnobMatrix(t *testing.T) {
+	for _, fanout := range []string{"balanced", "broadcast", "tree"} {
+		for _, kind := range []string{"mix", "feistel"} {
+			for _, shape := range []struct{ depth, width, regions int }{
+				{1, 16, 0}, {3, 16, 1}, {8, 32, 4}, {5, 24, 5},
+			} {
+				cfg := PipelineCfg{
+					Depth: shape.depth, Width: shape.width, Regions: shape.regions,
+					Fanout: fanout, Kind: kind, Seed: 7,
+				}
+				checkPipelineClean(t, cfg)
+			}
+		}
+	}
+	// Randomized shapes: quick seeds, bounded size so the matrix stays fast.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 12; i++ {
+		cfg := PipelineCfg{
+			Depth:   1 + rng.Intn(10),
+			Width:   2 * (8 + rng.Intn(24)), // even, >= 16: valid for both kinds
+			Fanout:  []string{"balanced", "broadcast", "tree"}[rng.Intn(3)],
+			Kind:    []string{"mix", "feistel"}[rng.Intn(2)],
+			Seed:    rng.Int63(),
+			Regions: 0,
+		}
+		cfg.Regions = rng.Intn(cfg.Depth + 1)
+		checkPipelineClean(t, cfg)
+	}
+}
+
+// TestPipelineDeterministic requires the same configuration to reproduce
+// the same netlist, byte for byte, via ContentHash — the property the flow
+// server's content-addressed cache depends on — and a different seed to
+// produce a different one.
+func TestPipelineDeterministic(t *testing.T) {
+	cfg := PipelineCfg{Depth: 6, Width: 32, Regions: 3, Fanout: "broadcast", Kind: "mix", Seed: 42}
+	a := checkPipelineClean(t, cfg)
+	b := checkPipelineClean(t, cfg)
+	if ah, bh := a.ContentHash(), b.ContentHash(); ah != bh {
+		t.Fatalf("same cfg, different ContentHash: %s vs %s", ah, bh)
+	}
+	cfg.Seed = 43
+	c := checkPipelineClean(t, cfg)
+	if a.ContentHash() == c.ContentHash() {
+		t.Fatalf("different seeds produced identical netlists")
+	}
+}
+
+// TestPipelineShape pins down the structural promises: group assignment
+// covers exactly 1..Regions contiguously, every instance is grouped, and
+// the port list matches the kind.
+func TestPipelineShape(t *testing.T) {
+	cfg := PipelineCfg{Depth: 8, Width: 16, Regions: 4, Kind: "feistel", Seed: 3}
+	d := checkPipelineClean(t, cfg)
+	m := d.Top
+	seen := map[int]bool{}
+	for _, in := range m.Insts {
+		if in.Group < 1 || in.Group > cfg.Regions {
+			t.Fatalf("inst %s group %d outside [1,%d]", in.Name, in.Group, cfg.Regions)
+		}
+		seen[in.Group] = true
+	}
+	if len(seen) != cfg.Regions {
+		t.Fatalf("populated %d regions, want %d", len(seen), cfg.Regions)
+	}
+	for _, p := range []string{"clk", "rstn", "din[0]", "key[0]", "dout[0]"} {
+		if m.Port(p) == nil {
+			t.Fatalf("missing port %s", p)
+		}
+	}
+	if got := len(m.Insts); got < cfg.EstInsts()/2 || got > cfg.EstInsts()*2 {
+		t.Fatalf("instance count %d far from estimate %d", got, cfg.EstInsts())
+	}
+}
+
+// TestPipelineValidateRejects enumerates the configuration errors.
+func TestPipelineValidateRejects(t *testing.T) {
+	for _, cfg := range []PipelineCfg{
+		{Depth: 0, Width: 16},
+		{Depth: 4, Width: 4},
+		{Depth: 4, Width: 16, Regions: -1},
+		{Depth: 4, Width: 16, Fanout: "star"},
+		{Depth: 4, Width: 16, Kind: "sponge"},
+		{Depth: 4, Width: 17, Kind: "feistel"},
+		{Depth: 4, Width: 8, Kind: "feistel"},
+	} {
+		if _, err := BuildPipeline(stdcells.New(stdcells.HighSpeed), cfg); err == nil {
+			t.Errorf("%+v: build accepted an invalid configuration", cfg)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package designs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"desync/internal/stdcells"
+	"desync/internal/verilog"
+)
+
+// TestSoACompatDigests pins the canonical digests of the three fixed case
+// studies to the values the pre-SoA (map-based) netlist representation
+// produced. The index/slab storage refactor promised byte-identical
+// ContentHash streams and Verilog exports; these constants are the captured
+// pre-refactor values, so any representation change that leaks into the
+// canonical forms — sink ordering, %g rendering, pin iteration order —
+// fails here rather than silently invalidating flow-result caches.
+func TestSoACompatDigests(t *testing.T) {
+	dlx, err := BuildDLX(stdcells.New(stdcells.HighSpeed), TestProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm, err := BuildARMLike(stdcells.New(stdcells.LowLeakage), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fir, err := BuildFIR(stdcells.New(stdcells.HighSpeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vh := func(s string) string {
+		h := sha256.Sum256([]byte(s))
+		return hex.EncodeToString(h[:])
+	}
+	for _, c := range []struct {
+		name                             string
+		design, top, verilog             string
+		wantDesign, wantTop, wantVerilog string
+	}{
+		{
+			name:        "dlx",
+			design:      dlx.ContentHash(),
+			top:         dlx.Top.ContentHash(),
+			verilog:     vh(verilog.Write(dlx)),
+			wantDesign:  "c1f506989ee4407af56b5b4478179cabd6bc9e0e982720a7a9a0dd3f6a788aed",
+			wantTop:     "1c0a96f1e8ab455c8fabaef415efdd8d451ef1ae7296afcc2c7490ec55130e6f",
+			wantVerilog: "29f2bc93c1fa72e4e0bcccdd2a24d513651cd320254e6c26f4dabf443f7decab",
+		},
+		{
+			name:        "arm",
+			design:      arm.ContentHash(),
+			top:         arm.Top.ContentHash(),
+			verilog:     vh(verilog.Write(arm)),
+			wantDesign:  "7203f08ab1adf4a34a727ae0d3e815c8d881b79db492702bb8addab038be3d8c",
+			wantTop:     "87736cd46db8fb234bac1db09b3f0dfba06af737badf10b7f83963b11d9f310a",
+			wantVerilog: "274d83d590675dcfee412e7d3b1906221c0ac7a9bd9a585b284162150278440b",
+		},
+		{
+			name:        "fir",
+			design:      fir.ContentHash(),
+			top:         fir.Top.ContentHash(),
+			verilog:     vh(verilog.Write(fir)),
+			wantDesign:  "386471639747595836c0f94c7695d9abe47b7d23e49d5c5936f2d5554a347f86",
+			wantTop:     "ed11411e9071cc165813a2176e1c6808950fd16d003af77ed7a213d44164e4e1",
+			wantVerilog: "e7d42db3234f1fa169c1445a02223584fe27718d0103279d1c3437779bd58a1b",
+		},
+	} {
+		if c.design != c.wantDesign {
+			t.Errorf("%s: design ContentHash = %s, want pre-refactor %s", c.name, c.design, c.wantDesign)
+		}
+		if c.top != c.wantTop {
+			t.Errorf("%s: top ContentHash = %s, want pre-refactor %s", c.name, c.top, c.wantTop)
+		}
+		if c.verilog != c.wantVerilog {
+			t.Errorf("%s: verilog export digest = %s, want pre-refactor %s", c.name, c.verilog, c.wantVerilog)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package designs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"desync/internal/netlist"
+	"desync/internal/stdcells"
+)
+
+// ParseSpec builds a generated design from a "-gen" spec string, the one
+// parser every CLI (drdesync, drlint, drequiv, drsweep, drserve) shares in
+// place of hand-rolled dlx|arm|fir switches.
+//
+// Grammar:
+//
+//	dlx | arm | fir                      fixed case studies
+//	pipeline[:k=v,...]                   parametric pipeline
+//	riscv[:k=v,...] | des[:k=v,...]      pipeline presets with overrides
+//
+// Pipeline keys: depth, width, regions, seed (integers), fanout
+// (balanced|broadcast|tree), kind (mix|feistel). Example:
+//
+//	pipeline:depth=32,width=64,regions=100
+//
+// A nil lib selects each generator's default library variant (Low-Leakage
+// for arm, High-Speed otherwise, matching the paper's case studies).
+func ParseSpec(spec string, lib *netlist.Library) (*netlist.Design, error) {
+	name, params, _ := strings.Cut(spec, ":")
+	if lib == nil {
+		lib = stdcells.New(DefaultLibVariant(name))
+	}
+	switch name {
+	case "dlx":
+		if params != "" {
+			return nil, fmt.Errorf("designs: %s takes no parameters (got %q)", name, params)
+		}
+		return BuildDLX(lib, TestProgram())
+	case "arm":
+		if params != "" {
+			return nil, fmt.Errorf("designs: %s takes no parameters (got %q)", name, params)
+		}
+		return BuildARMLike(lib, 42)
+	case "fir":
+		if params != "" {
+			return nil, fmt.Errorf("designs: %s takes no parameters (got %q)", name, params)
+		}
+		return BuildFIR(lib)
+	case "pipeline", "riscv", "des":
+		cfg, err := ParsePipelineSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return BuildPipeline(lib, cfg)
+	default:
+		return nil, fmt.Errorf("designs: unknown generator %q (want %s)", name, strings.Join(SpecNames(), "|"))
+	}
+}
+
+// ParsePipelineSpec parses the pipeline portion of the grammar into a
+// configuration without building it (the job server validates requests and
+// sizes budgets before running the generator).
+func ParsePipelineSpec(spec string) (PipelineCfg, error) {
+	name, params, _ := strings.Cut(spec, ":")
+	cfg, preset := pipelinePresets[name]
+	if !preset {
+		if name != "pipeline" {
+			return PipelineCfg{}, fmt.Errorf("designs: %q is not a pipeline generator", name)
+		}
+		cfg = PipelineCfg{Depth: 8, Width: 32}
+	}
+	if params == "" {
+		return cfg, cfg.validate()
+	}
+	for _, kv := range strings.Split(params, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return PipelineCfg{}, fmt.Errorf("designs: malformed pipeline parameter %q (want key=value)", kv)
+		}
+		switch k {
+		case "fanout":
+			cfg.Fanout = v
+		case "kind":
+			cfg.Kind = v
+		case "depth", "width", "regions", "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return PipelineCfg{}, fmt.Errorf("designs: pipeline parameter %s=%q is not an integer", k, v)
+			}
+			switch k {
+			case "depth":
+				cfg.Depth = int(n)
+			case "width":
+				cfg.Width = int(n)
+			case "regions":
+				cfg.Regions = int(n)
+			case "seed":
+				cfg.Seed = n
+			}
+		default:
+			return PipelineCfg{}, fmt.Errorf("designs: unknown pipeline parameter %q (want depth|width|regions|seed|fanout|kind)", k)
+		}
+	}
+	return cfg, cfg.validate()
+}
+
+// SpecNames lists the generator names ParseSpec accepts, sorted, for CLI
+// usage strings and request validation.
+func SpecNames() []string {
+	names := []string{"dlx", "arm", "fir", "pipeline"}
+	for name := range pipelinePresets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ValidSpec reports whether the spec parses (without building anything);
+// request validators use it to reject bad submissions early.
+func ValidSpec(spec string) bool {
+	name, _, _ := strings.Cut(spec, ":")
+	switch name {
+	case "dlx", "arm", "fir":
+		return strings.IndexByte(spec, ':') < 0
+	case "pipeline", "riscv", "des":
+		_, err := ParsePipelineSpec(spec)
+		return err == nil
+	default:
+		return false
+	}
+}
+
+// PreGrouped reports whether the spec's generator pre-assigns
+// desynchronization regions on its instances (Inst.Group), so flows over it
+// must run with manual grouping instead of the automatic algorithm — the
+// paper's ARM path (§5.3), which the pipeline family also takes.
+func PreGrouped(spec string) bool {
+	name, _, _ := strings.Cut(spec, ":")
+	switch name {
+	case "arm", "pipeline", "riscv", "des":
+		return true
+	}
+	return false
+}
+
+// DefaultLibVariant returns the library variant a generator's case study
+// used in the paper: the ARM was the Low-Leakage implementation, everything
+// else High-Speed.
+func DefaultLibVariant(spec string) stdcells.Variant {
+	name, _, _ := strings.Cut(spec, ":")
+	if name == "arm" {
+		return stdcells.LowLeakage
+	}
+	return stdcells.HighSpeed
+}

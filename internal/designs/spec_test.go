@@ -1,0 +1,109 @@
+package designs
+
+import (
+	"strings"
+	"testing"
+
+	"desync/internal/stdcells"
+)
+
+func TestParsePipelineSpec(t *testing.T) {
+	for _, c := range []struct {
+		spec string
+		want PipelineCfg
+	}{
+		{"pipeline", PipelineCfg{Depth: 8, Width: 32}},
+		{"pipeline:depth=32,width=64,regions=100", PipelineCfg{Depth: 32, Width: 64, Regions: 100}},
+		{"pipeline:depth=4,width=16,fanout=tree,kind=mix,seed=9", PipelineCfg{Depth: 4, Width: 16, Fanout: "tree", Kind: "mix", Seed: 9}},
+		{"riscv", pipelinePresets["riscv"]},
+		{"des", pipelinePresets["des"]},
+		{"riscv:depth=8,regions=2", PipelineCfg{Depth: 8, Width: 64, Regions: 2, Fanout: "balanced", Kind: "mix", Seed: 1}},
+	} {
+		got, err := ParsePipelineSpec(c.spec)
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParsePipelineSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"pipeline:depth",            // no value
+		"pipeline:depth=x",          // not an integer
+		"pipeline:color=blue",       // unknown key
+		"pipeline:depth=0",          // fails validate
+		"pipeline:fanout=star",      // bad enum
+		"dlx",                       // not a pipeline generator
+		"des:width=17,kind=feistel", // odd feistel width
+	} {
+		if _, err := ParsePipelineSpec(spec); err == nil {
+			t.Errorf("%s: want error", spec)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	for _, spec := range []string{"dlx", "arm", "fir", "pipeline", "riscv:depth=2", "des:depth=2"} {
+		d, err := ParseSpec(spec, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if d.Top == nil || len(d.Top.Insts) == 0 {
+			t.Fatalf("%s: empty design", spec)
+		}
+	}
+	for _, spec := range []string{"", "dlx:extra=1", "arm:seed=2", "vax", "pipeline:bad"} {
+		if _, err := ParseSpec(spec, nil); err == nil {
+			t.Errorf("%q: want error", spec)
+		}
+	}
+	// An explicit library wins over the per-spec default.
+	ll := stdcells.New(stdcells.LowLeakage)
+	d, err := ParseSpec("fir", ll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lib != ll {
+		t.Fatal("fir: explicit library not used")
+	}
+}
+
+func TestSpecHelpers(t *testing.T) {
+	names := SpecNames()
+	for _, want := range []string{"arm", "des", "dlx", "fir", "pipeline", "riscv"} {
+		if !strings.Contains(strings.Join(names, ","), want) {
+			t.Fatalf("SpecNames() = %v missing %s", names, want)
+		}
+	}
+	for spec, want := range map[string]bool{
+		"dlx": true, "arm": true, "fir": true, "pipeline": true,
+		"pipeline:depth=2,width=16": true,
+		"riscv":                     true,
+		"dlx:x=1":                   false,
+		"pipeline:depth=0":          false,
+		"vax":                       false,
+		"":                          false,
+	} {
+		if got := ValidSpec(spec); got != want {
+			t.Errorf("ValidSpec(%q) = %v, want %v", spec, got, want)
+		}
+	}
+	if DefaultLibVariant("arm") != stdcells.LowLeakage {
+		t.Fatal("arm default variant is not LL")
+	}
+	if DefaultLibVariant("pipeline:depth=2") != stdcells.HighSpeed {
+		t.Fatal("pipeline default variant is not HS")
+	}
+	for spec, want := range map[string]bool{
+		"arm": true, "pipeline": true, "riscv:depth=2": true, "des": true,
+		"dlx": false, "fir": false, "": false,
+	} {
+		if got := PreGrouped(spec); got != want {
+			t.Errorf("PreGrouped(%q) = %v, want %v", spec, got, want)
+		}
+	}
+}

@@ -53,19 +53,24 @@ func InsertScan(d *netlist.Design) (*InsertResult, error) {
 
 	prev := scanIn
 	res := &InsertResult{}
+	// Each conversion removes one flip-flop; batch the removals so the
+	// Insts array compacts once after the chain is built.
+	m.BeginBulk()
+	defer m.EndBulk()
 	for _, ff := range ffs {
 		scanName, ok := scanMap[ff.Cell.Name]
 		if !ok {
 			return nil, fmt.Errorf("dft: no scan equivalent for %s (%s)", ff.Name, ff.Cell.Name)
 		}
 		if qn := ff.Cell.Seq.QN; qn != "" {
-			if n := ff.Conns[qn]; n != nil && len(n.Sinks) > 0 {
+			if n := ff.Conn(qn); n != nil && len(n.Sinks) > 0 {
 				return nil, fmt.Errorf("dft: %s uses QN, which the scan cell lacks", ff.Name)
 			}
 		}
 		cell := lib.MustCell(scanName)
 		conns := map[string]*netlist.Net{}
-		for pin, n := range ff.Conns {
+		for _, pc := range ff.Conns() {
+			pin, n := pc.Pin, pc.Net
 			conns[pin] = n
 		}
 		group := ff.Group
@@ -91,7 +96,7 @@ func InsertScan(d *netlist.Design) (*InsertResult, error) {
 				m.MustConnect(sc, p.Name, n)
 			}
 		}
-		q := sc.Conns[cell.Seq.Q]
+		q := sc.Conn(cell.Seq.Q)
 		if q == nil {
 			q = m.AddNet(name + "_q_scan")
 			m.MustConnect(sc, cell.Seq.Q, q)
@@ -223,13 +228,13 @@ func newConeSim(m *netlist.Module) (*coneSim, error) {
 		}
 		if in.Cell.IsSequential() {
 			for _, out := range in.Cell.Outputs() {
-				if n := in.Conns[out]; n != nil {
+				if n := in.Conn(out); n != nil {
 					cs.inputs = append(cs.inputs, cs.idOf[n])
 				}
 			}
 			for _, p := range in.Cell.Pins {
 				if p.Dir == netlist.In && p.Class == netlist.ClassData {
-					if n := in.Conns[p.Name]; n != nil {
+					if n := in.Conn(p.Name); n != nil {
 						cs.observe = append(cs.observe, cs.idOf[n])
 					}
 				}
@@ -242,7 +247,7 @@ func newConeSim(m *netlist.Module) (*coneSim, error) {
 		}
 		if in.Cell.Kind == netlist.KindTie {
 			for out, fn := range in.Cell.Functions {
-				if n := in.Conns[out]; n != nil {
+				if n := in.Conn(out); n != nil {
 					v := 0
 					if fn.Eval(nil) == logic.H {
 						v = 1
@@ -255,7 +260,8 @@ func newConeSim(m *netlist.Module) (*coneSim, error) {
 	// Kahn levelization over comb-comb edges.
 	deps := map[*netlist.Inst][]*netlist.Inst{}
 	for _, in := range combs {
-		for pin, n := range in.Conns {
+		for _, pc := range in.Conns() {
+			pin, n := pc.Pin, pc.Net
 			if in.Cell.Pin(pin).Dir != netlist.In {
 				continue
 			}
@@ -317,13 +323,14 @@ func (cs *coneSim) evalMask(pattern []uint64, faultID int, faultVal uint64) []ui
 	}
 	env := map[string]uint64{}
 	for _, in := range cs.order {
-		for pin, n := range in.Conns {
+		for _, pc := range in.Conns() {
+			pin, n := pc.Pin, pc.Net
 			if in.Cell.Pin(pin).Dir == netlist.In {
 				env[pin] = vals[cs.idOf[n]]
 			}
 		}
 		for out, fn := range in.Cell.Functions {
-			n := in.Conns[out]
+			n := in.Conn(out)
 			if n == nil {
 				continue
 			}

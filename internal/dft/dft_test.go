@@ -50,7 +50,7 @@ func TestInsertScanStructure(t *testing.T) {
 		if in.Cell == nil || in.Cell.Seq == nil || in.Cell.Seq.ScanIn == "" {
 			continue
 		}
-		si := in.Conns[in.Cell.Seq.ScanIn]
+		si := in.Conn(in.Cell.Seq.ScanIn)
 		drv := si.Driver
 		if drv.Inst == nil {
 			if si.Name != "scan_in" {

@@ -84,8 +84,8 @@ var fixtures = []fixture{
 			if c0 == nil {
 				t.Fatal("G4_reqC/c0 not found")
 			}
-			dup := c0.Conns["A"]
-			if dup == nil || c0.Conns["B"] == nil {
+			dup := c0.Conn("A")
+			if dup == nil || c0.Conn("B") == nil {
 				t.Fatal("G4_reqC/c0 legs not wired as expected")
 			}
 			d.Top.Disconnect(c0, "B")

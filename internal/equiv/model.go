@@ -261,12 +261,12 @@ func FromNetwork(mod *netlist.Module, cn *ctrlnet.Network) (*Model, error) {
 // the reset phase.
 func (x *extractor) gateSignal(in *netlist.Inst, name, outPin string, kind sigKind, region int, master bool, gGate *netlist.Inst) {
 	idxMap := x.m.gateIndex(kind, master)
-	if in == nil || in.Conns[outPin] == nil {
+	if in == nil || in.Conn(outPin) == nil {
 		idxMap[region] = -1
 		x.m.addFinding(lint.Warning, "", fmt.Sprintf("controller gate %s missing; its output is modelled stuck low", name))
 		return
 	}
-	n := in.Conns[outPin]
+	n := in.Conn(outPin)
 	init := false
 	if kind == kindG || kind == kindB {
 		// CGMX1 resets transparent (high); CGSX1 opaque. The b bit has no
@@ -319,7 +319,7 @@ func (x *extractor) wireController(g int, master bool, gs ctrlnet.Gates) {
 		if in == nil {
 			return operand{sig: -1}
 		}
-		return x.resolve(in.Conns[pin], g, master, 0)
+		return x.resolve(in.Conn(pin), g, master, 0)
 	}
 	set := func(idx int, a, b, c operand) {
 		if idx < 0 {
@@ -371,7 +371,7 @@ func (x *extractor) resolve(n *netlist.Net, region int, master bool, depth int) 
 	case in.Cell.Kind == netlist.KindTie:
 		v := false
 		for out, fn := range in.Cell.Functions {
-			if in.Conns[out] == n {
+			if in.Conn(out) == n {
 				v = fn.Eval(nil).Bool()
 			}
 		}
@@ -426,15 +426,15 @@ func (x *extractor) delaySignal(n *netlist.Net, region int, master bool, depth i
 // stages carry the bypassed input on pin B, buffers and muxes forward pin A
 // (the shortest tap — tap choice shifts timing, not logic).
 func delayInput(in *netlist.Inst) *netlist.Net {
-	if strings.HasPrefix(in.Cell.Name, "AND") && in.Conns["B"] != nil {
-		return in.Conns["B"]
+	if strings.HasPrefix(in.Cell.Name, "AND") && in.Conn("B") != nil {
+		return in.Conn("B")
 	}
-	if n := in.Conns["A"]; n != nil {
+	if n := in.Conn("A"); n != nil {
 		return n
 	}
 	for _, p := range in.Cell.Inputs() {
-		if in.Conns[p] != nil {
-			return in.Conns[p]
+		if in.Conn(p) != nil {
+			return in.Conn(p)
 		}
 	}
 	return nil
@@ -509,13 +509,13 @@ func celemLeaves(root *netlist.Net) []*netlist.Net {
 			return
 		}
 		for _, p := range in.Cell.Inputs() {
-			walk(in.Conns[p], depth+1)
+			walk(in.Conn(p), depth+1)
 		}
 	}
 	in := root.Driver.Inst
 	if in != nil && in.Cell != nil {
 		for _, p := range in.Cell.Inputs() {
-			walk(in.Conns[p], 0)
+			walk(in.Conn(p), 0)
 		}
 	}
 	return leaves

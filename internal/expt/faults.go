@@ -6,6 +6,7 @@ import (
 
 	"desync/internal/faults"
 	"desync/internal/logic"
+	"desync/internal/netlist"
 	"desync/internal/sim"
 )
 
@@ -31,11 +32,20 @@ type FaultCampaignConfig struct {
 // the same reset sequencing as MeasureDDLX, a deadlock watchdog spanning a
 // few effective periods, and the latch setup guard.
 func NewDLXCampaign(ctx context.Context, f *DLXFlow, cycles, parallelism int) (*faults.Campaign, error) {
+	return NewCampaign(ctx, f.Desync.Top, f.Period, cycles, parallelism)
+}
+
+// NewCampaign arms a fault campaign on any desynchronized top whose reset
+// follows the flow's convention (an rstn input plus the inserted
+// rst_desync, with delsel[2:0] tied low when present) — every generator
+// ParseSpec builds qualifies. The watchdog horizon and quiescence gap scale
+// with the design's original clock period.
+func NewCampaign(ctx context.Context, top *netlist.Module, period float64, cycles, parallelism int) (*faults.Campaign, error) {
 	if cycles <= 0 {
 		cycles = 12
 	}
 	stim := func(s *sim.Simulator) error {
-		if f.Desync.Top.Port("delsel[0]") != nil {
+		if top.Port("delsel[0]") != nil {
 			for i := 0; i < 3; i++ {
 				if err := s.Drive(fmt.Sprintf("delsel[%d]", i), logic.L, 0); err != nil {
 					return err
@@ -47,10 +57,10 @@ func NewDLXCampaign(ctx context.Context, f *DLXFlow, cycles, parallelism int) (*
 		s.Drive("rstn", logic.H, 1)
 		return s.Drive("rst_desync", logic.L, 2)
 	}
-	return faults.NewCampaign(ctx, f.Desync.Top, faults.Config{
+	return faults.NewCampaign(ctx, top, faults.Config{
 		Stimulus:      stim,
-		Horizon:       2 + f.Period*float64(cycles)*6,
-		QuiescenceGap: 8 * f.Period,
+		Horizon:       2 + period*float64(cycles)*6,
+		QuiescenceGap: 8 * period,
 		SetupGuard:    true,
 		Parallelism:   parallelism,
 	})

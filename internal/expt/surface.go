@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"desync/internal/netlist"
 	"desync/internal/stdcells"
 	"desync/internal/sweep"
 )
@@ -60,6 +61,13 @@ func DLXRobustnessSurface(ctx context.Context, f *DLXFlow, cfg SurfaceConfig) (*
 			return nil, err
 		}
 	}
+	return RobustnessSurface(ctx, f.Desync.Top, f.Period, cfg)
+}
+
+// RobustnessSurface sweeps the same surface over any desynchronized top
+// that follows the flow's reset convention — drsweep's -gen path hands it
+// the generic-flow output for parametric pipeline designs.
+func RobustnessSurface(ctx context.Context, top *netlist.Module, period float64, cfg SurfaceConfig) (*sweep.Report, error) {
 	if cfg.Corners <= 0 {
 		cfg.Corners = 3
 	}
@@ -78,14 +86,14 @@ func DLXRobustnessSurface(ctx context.Context, f *DLXFlow, cfg SurfaceConfig) (*
 	if cfg.DelayPerRegion == 0 {
 		cfg.DelayPerRegion = 2
 	}
-	c, err := NewDLXCampaign(ctx, f, cfg.Cycles, cfg.Parallelism)
+	c, err := NewCampaign(ctx, top, period, cfg.Cycles, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	list := c.DelayFaults(cfg.DelayFactor, cfg.DelayPerRegion)
 	list = append(list, c.ControlStuckFaults()...)
 	if cfg.Glitches {
-		mid := 2 + f.Period*float64(cfg.Cycles)*3
+		mid := 2 + period*float64(cfg.Cycles)*3
 		list = append(list, c.GlitchFaults(mid, 0.3)...)
 	}
 	if len(list) == 0 {

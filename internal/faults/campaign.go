@@ -300,7 +300,7 @@ func (c *Campaign) DelayFaults(factor float64, perRegion int) []Fault {
 			if p.Dir != netlist.Out {
 				continue
 			}
-			n := in.Conns[p.Name]
+			n := in.Conn(p.Name)
 			if n == nil {
 				continue
 			}
@@ -347,7 +347,7 @@ func (c *Campaign) DelayFaults(factor float64, perRegion int) []Fault {
 			if p.Dir != netlist.Out {
 				continue
 			}
-			if n := in.Conns[p.Name]; n != nil {
+			if n := in.Conn(p.Name); n != nil {
 				t += c.netToggles[n.Name]
 			}
 		}

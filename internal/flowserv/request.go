@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"desync/internal/designs"
 	"desync/internal/netlist"
@@ -56,7 +57,9 @@ type FlowOptions struct {
 // JobRequest is the body of POST /jobs: exactly one of Gen (a built-in
 // case-study generator) or Verilog (an uploaded gate-level netlist).
 type JobRequest struct {
-	// Gen names a built-in design: dlx, arm or fir.
+	// Gen names a built-in design in the designs.ParseSpec grammar: a fixed
+	// case study (dlx, arm, fir) or a parametric spec such as
+	// "pipeline:depth=32,width=64,regions=100".
 	Gen string `json:"gen,omitempty"`
 	// Verilog is an uploaded gate-level netlist source.
 	Verilog string `json:"verilog,omitempty"`
@@ -101,10 +104,8 @@ func (r *JobRequest) validate() error {
 	if (r.Gen == "") == (r.Verilog == "") {
 		return fmt.Errorf("exactly one of gen and verilog is required")
 	}
-	switch r.Gen {
-	case "", "dlx", "arm", "fir":
-	default:
-		return fmt.Errorf("unknown gen design %q (want dlx, arm or fir)", r.Gen)
+	if r.Gen != "" && !designs.ValidSpec(r.Gen) {
+		return fmt.Errorf("unknown gen design %q (want %s, with pipeline key=value params)", r.Gen, strings.Join(designs.SpecNames(), "|"))
 	}
 	switch r.Lib {
 	case "", "HS", "LL":
@@ -123,33 +124,28 @@ func (r *JobRequest) libVariant() stdcells.Variant {
 	if r.Lib != "" {
 		return stdcells.Variant(r.Lib)
 	}
-	if r.Gen == "arm" {
-		return stdcells.LowLeakage
+	if r.Gen != "" {
+		return designs.DefaultLibVariant(r.Gen)
 	}
 	return stdcells.HighSpeed
 }
 
 // buildDesign constructs the input design: a generator build or an upload
-// parse. For gen=arm the request's ManualGroups is forced on — the
-// generator bakes the paper's single-region assignment into the instances
+// parse. For pre-grouped generators the request's ManualGroups is forced
+// on — the generator bakes the region assignment into the instances
 // (§5.3) — and the canonical options reflect that, so the forced and the
 // explicit form share a cache entry.
 func (r *JobRequest) buildDesign() (*netlist.Design, error) {
 	lib := stdcells.New(r.libVariant())
-	switch r.Gen {
-	case "dlx":
-		return designs.BuildDLX(lib, designs.TestProgram())
-	case "arm":
-		return designs.BuildARMLike(lib, 42)
-	case "fir":
-		return designs.BuildFIR(lib)
+	if r.Gen != "" {
+		return designs.ParseSpec(r.Gen, lib)
 	}
 	return verilog.Read(r.Verilog, lib, r.Top)
 }
 
 // normalize applies cross-field defaults that depend on the design choice.
 func (r *JobRequest) normalize() {
-	if r.Gen == "arm" {
+	if designs.PreGrouped(r.Gen) {
 		r.Options.ManualGroups = true
 	}
 	if r.Lib == "" {

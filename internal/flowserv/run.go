@@ -65,6 +65,12 @@ func runGuarded(ctx context.Context, j *job, jobParallelism int) (arts map[strin
 	return runFlow(ctx, j, jobParallelism)
 }
 
+// testStageHook, when non-nil, is invoked on every stage transition after
+// the progress event is recorded. Tests use it to hold a job in flight
+// deterministically: the flow on the small generated inputs is far too fast
+// to race HTTP cancel/drain requests against.
+var testStageHook func(ctx context.Context, stage string)
+
 // runFlow drives the whole flow for one job: pre-import lint, the
 // desynchronization pipeline with per-stage progress events and mid-flow
 // lint gates, the post-export lint / static / optional equiv and faults
@@ -100,7 +106,12 @@ func runFlow(ctx context.Context, j *job, jobParallelism int) (map[string][]byte
 		SkipClean:           opts.SkipClean,
 		CompletionDetection: opts.CompletionDetection,
 		Parallelism:         opts.Parallelism,
-		Progress:            j.setStage,
+		Progress: func(stage string) {
+			j.setStage(stage)
+			if testStageHook != nil {
+				testStageHook(ctx, stage)
+			}
+		},
 		StageCheck: func(stage string, midFlow bool) error {
 			rep := lint.Check(d.Top, lint.Options{MidFlow: midFlow, Parallelism: opts.Parallelism})
 			if n := rep.Errors(); n > 0 {

@@ -305,7 +305,18 @@ func TestSubmitValidation(t *testing.T) {
 func TestCancelAndBackpressure(t *testing.T) {
 	_, hs := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 
-	// The ARM runs for seconds; it occupies the single worker.
+	// Hold the running job at its first stage until its context is canceled
+	// (the flow itself finishes in milliseconds — far too fast to race the
+	// cancel request against).
+	testStageHook = func(ctx context.Context, stage string) {
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Minute):
+		}
+	}
+	t.Cleanup(func() { testStageHook = nil })
+
+	// The held job occupies the single worker.
 	running := submitJob(t, hs.URL, `{"gen":"arm"}`)
 	waitForKind(t, hs.URL, running.ID, "start")
 
@@ -375,6 +386,17 @@ func waitForKind(t *testing.T, base, id, kind string) {
 // CLI uses: the running job finishes inside the grace period, the queued
 // jobs are canceled, and Serve returns cleanly.
 func TestDrainUnderSIGTERM(t *testing.T) {
+	// Slow every stage down enough that the queued jobs are still queued
+	// when SIGTERM lands, while the running job still finishes well inside
+	// the grace period.
+	testStageHook = func(ctx context.Context, stage string) {
+		select {
+		case <-ctx.Done():
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	t.Cleanup(func() { testStageHook = nil })
+
 	s := New(Config{Workers: 1, QueueDepth: 4, DrainGrace: 2 * time.Minute})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

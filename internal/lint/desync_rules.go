@@ -156,7 +156,7 @@ func (c *dsChecker) checkChannels() {
 		}
 		// Master acknowledges the slave: its Ao pin must see sai.
 		if mg := ctl.Master.G; mg != nil {
-			if ao := mg.Conns["A"]; ao != ch.SAI {
+			if ao := mg.Conn("A"); ao != ch.SAI {
 				got := "(unconnected)"
 				if ao != nil {
 					got = ao.Name
@@ -168,7 +168,7 @@ func (c *dsChecker) checkChannels() {
 		msPrefix := ctrlnet.MSDelayPrefix(g) + "/"
 		if a1 := m.Inst(ctrlnet.ChainStage(ctrlnet.MSDelayPrefix(g), 1)); a1 == nil {
 			pair("", ch.SRI.Name, "master/slave delay element %sa1 is missing", msPrefix)
-		} else if a1.Conns["B"] != ch.MRO {
+		} else if a1.Conn("B") != ch.MRO {
 			pair(a1.Name, "", "master/slave element input must be %s", ch.MRO.Name)
 		}
 		if d := ch.SRI.Driver.Inst; d == nil || !strings.HasPrefix(d.Name, msPrefix) {
@@ -212,7 +212,7 @@ func (c *dsChecker) checkRequestSide(g int, mri *netlist.Net) {
 		pair("", mri.Name, "matched delay element %sa1 is missing", dePrefix)
 		return
 	}
-	reqSrc := a1.Conns["B"]
+	reqSrc := a1.Conn("B")
 	if reqSrc == nil {
 		pair(a1.Name, "", "matched element input pin B is unconnected")
 		return
@@ -267,7 +267,7 @@ func (c *dsChecker) checkAckSide(g int, sai *netlist.Net) {
 		pair("", "", "slave controller %s is missing", ctrlnet.CtrlPrefix(g, false))
 		return
 	}
-	sao := sg.Conns["A"]
+	sao := sg.Conn("A")
 	if sao == nil {
 		pair(sg.Name, "", "slave ack-in pin is unconnected")
 		return
@@ -333,7 +333,7 @@ func (c *dsChecker) checkCElems() {
 			if p.Dir != netlist.In {
 				continue
 			}
-			n := in.Conns[p.Name]
+			n := in.Conn(p.Name)
 			switch {
 			case n == nil:
 				c.r.addf(RuleCElem, Error, c.m.Name, in.Name, "",

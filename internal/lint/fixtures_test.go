@@ -187,7 +187,7 @@ func mutPhase(t *testing.T, m *netlist.Module, lib *netlist.Library) {
 	src := mustInst(t, m, "r1[0]/ml")
 	d := dataPin(t, dst.Cell)
 	m.Disconnect(dst, d)
-	m.MustConnect(dst, d, src.Conns[src.Cell.Seq.Q])
+	m.MustConnect(dst, d, src.Conn(src.Cell.Seq.Q))
 }
 
 // mutPair rewires the join region's request away from its rendezvous net
@@ -204,7 +204,7 @@ func mutCElem(t *testing.T, m *netlist.Module, lib *netlist.Library) {
 	for _, in := range m.Insts {
 		if strings.HasPrefix(in.Name, "G3_reqC/") && in.Cell != nil &&
 			in.Cell.Kind == netlist.KindCElem {
-			a := in.Conns["A"]
+			a := in.Conn("A")
 			m.Disconnect(in, "B")
 			m.MustConnect(in, "B", a)
 			return
@@ -218,7 +218,7 @@ func mutCElem(t *testing.T, m *netlist.Module, lib *netlist.Library) {
 func mutMargin(t *testing.T, m *netlist.Module, lib *netlist.Library) {
 	dst := mustInst(t, m, "r3[0]/ml")
 	d := dataPin(t, dst.Cell)
-	prev := dst.Conns[d]
+	prev := dst.Conn(d)
 	m.Disconnect(dst, d)
 	for i := 0; i < 8; i++ {
 		out := m.AddNet(fmt.Sprintf("slow%d", i))
@@ -296,7 +296,7 @@ func TestCorruptModuleFindings(t *testing.T) {
 	m.MustConnect(u1, "Z", z)
 	u2 := m.AddInst("u2", lib.MustCell("INVX1"))
 	m.MustConnect(u2, "A", a)
-	u2.Conns["Z"] = z // bypass Connect: the clash the bookkeeping cannot hold
+	u2.SetConnUnchecked("Z", z) // bypass Connect: the clash the bookkeeping cannot hold
 
 	rep := lint.Check(m, lint.Options{})
 	for _, rule := range []string{lint.RuleValidate, lint.RuleMulti} {

@@ -77,7 +77,7 @@ func (r *Report) checkPins(m *netlist.Module) {
 			}
 		}
 		for _, p := range pins {
-			if in.Conns[p.Name] != nil {
+			if in.Conn(p.Name) != nil {
 				continue
 			}
 			sev := Error
@@ -106,7 +106,8 @@ func (r *Report) checkFloat(m *netlist.Module) {
 func (r *Report) checkMultiDriven(m *netlist.Module) {
 	drivers := map[*netlist.Net][]string{}
 	for _, in := range m.Insts {
-		for pin, n := range in.Conns {
+		for _, pc := range in.Conns() {
+			pin, n := pc.Pin, pc.Net
 			if n == nil {
 				continue
 			}
@@ -147,7 +148,8 @@ func (r *Report) checkCombLoops(m *netlist.Module) {
 	indeg := make([]int, len(nodes))
 	for _, in := range nodes {
 		u := idx[in]
-		for pin, n := range in.Conns {
+		for _, pc := range in.Conns() {
+			pin, n := pc.Pin, pc.Net
 			if dir, ok := pinDirOf(in, pin); !ok || dir != netlist.Out || n == nil {
 				continue
 			}
@@ -263,7 +265,8 @@ func (r *Report) checkDeadCones(m *netlist.Module) {
 		if combDatapath(in) {
 			continue
 		}
-		for pin, n := range in.Conns {
+		for _, pc := range in.Conns() {
+			pin, n := pc.Pin, pc.Net
 			if dir, ok := pinDirOf(in, pin); ok && dir == netlist.In {
 				observe(n)
 			}
@@ -278,7 +281,8 @@ func (r *Report) checkDeadCones(m *netlist.Module) {
 			continue
 		}
 		live[drv] = true
-		for pin, in := range drv.Conns {
+		for _, pc := range drv.Conns() {
+			pin, in := pc.Pin, pc.Net
 			if dir, ok := pinDirOf(drv, pin); ok && dir == netlist.In {
 				observe(in)
 			}

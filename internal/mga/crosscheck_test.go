@@ -162,8 +162,8 @@ func TestStaticCatchesMissingCInput(t *testing.T) {
 	if c0 == nil {
 		t.Fatal("G4_reqC/c0 not found")
 	}
-	dup := c0.Conns["A"]
-	if dup == nil || c0.Conns["B"] == nil {
+	dup := c0.Conn("A")
+	if dup == nil || c0.Conn("B") == nil {
 		t.Fatal("G4_reqC/c0 legs not wired as expected")
 	}
 	f.Desync.Top.Disconnect(c0, "B")

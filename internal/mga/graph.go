@@ -210,10 +210,10 @@ func gateOut(in *netlist.Inst) *netlist.Net {
 	if in == nil {
 		return nil
 	}
-	if n := in.Conns["Q"]; n != nil {
+	if n := in.Conn("Q"); n != nil {
 		return n
 	}
-	return in.Conns["Z"]
+	return in.Conn("Z")
 }
 
 // dedupLinks drops duplicate generation links while preserving order.
@@ -305,7 +305,7 @@ func (b *builder) buildRegion(v int, m *equiv.Model, envOf map[int]int) {
 	// slave's next capture must wait out.
 	aoNet := (*netlist.Net)(nil)
 	if c.Slave.G != nil {
-		aoNet = c.Slave.G.Conns["A"]
+		aoNet = c.Slave.G.Conn("A")
 	}
 	cons := dedupLinks(m.StaticConsumers(v))
 	rtz := b.slaveRTZ(v, cons, aoNet)
@@ -340,7 +340,7 @@ func (b *builder) buildRegion(v int, m *equiv.Model, envOf map[int]int) {
 	mrtz := b.arc(c.Master.RO, "A", false) + b.path(ch.SRI, false) + b.arc(c.Slave.AI, "A", false)
 	aoM := (*netlist.Net)(nil)
 	if c.Master.G != nil {
-		aoM = c.Master.G.Conns["A"]
+		aoM = c.Master.G.Conn("A")
 	}
 	reopen := b.arc(c.Slave.AI, "B", true) + b.path(aoM, true) + b.arc(c.Master.G, "A", true)
 	g.AddPlace(Place{Src: g.slaveOf[v], Dst: g.masterOf[v], Tokens: tokIf(mInit), Delay: reopen + mrtz, Name: fmt.Sprintf("cycle G%d", v)})
@@ -385,7 +385,7 @@ func (b *builder) arc(in *netlist.Inst, from string, rise bool) float64 {
 		return 0
 	}
 	out := "Q"
-	if in.Conns["Q"] == nil {
+	if in.Conn("Q") == nil {
 		out = "Z"
 	}
 	var d float64
@@ -459,7 +459,7 @@ func (b *builder) path(n *netlist.Net, rise bool) float64 {
 	ps := b.pinsOf(in.Cell)
 	outPin := ""
 	for _, pin := range ps.outs {
-		if in.Conns[pin] == n {
+		if in.Conn(pin) == n {
 			outPin = pin
 			break
 		}
@@ -468,7 +468,7 @@ func (b *builder) path(n *netlist.Net, rise bool) float64 {
 	first := true
 	d := 0.0
 	for _, pin := range ps.ins {
-		src := in.Conns[pin]
+		src := in.Conn(pin)
 		if src == nil {
 			continue
 		}

@@ -2,7 +2,7 @@ package netlist
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -22,7 +22,8 @@ func (r PinRef) String() string {
 }
 
 // Net is a single-bit wire. A net has at most one driver (instance output or
-// module input port) and any number of sinks.
+// module input port) and any number of sinks. Records are slab-allocated by
+// their module; create nets with AddNet/EnsureNet, never by hand.
 type Net struct {
 	Name      string
 	Driver    PinRef   // zero value (Inst==nil, Pin=="") means undriven
@@ -32,6 +33,9 @@ type Net struct {
 	// Wire is the interconnect delay annotated by placement & routing;
 	// zero before layout. Applied to every driver→sink hop of the net.
 	Wire Delay
+
+	id   NetID
+	dead bool
 }
 
 // HasDriver reports whether the net has a driver.
@@ -64,13 +68,13 @@ func BusBase(name string) (base string, index int, ok bool) {
 }
 
 // Inst is an instance of a library cell or of a submodule (exactly one of
-// Cell and Sub is non-nil). Conns maps the cell/submodule pin name to the
-// connected net in the enclosing module.
+// Cell and Sub is non-nil). Connections are stored as an ordered list carved
+// from the module's connection arena; read them with Conn/Conns. Records are
+// slab-allocated by their module; create instances with AddInst/AddSubInst.
 type Inst struct {
-	Name  string
-	Cell  *CellDef
-	Sub   *Module
-	Conns map[string]*Net
+	Name string
+	Cell *CellDef
+	Sub  *Module
 
 	// Group is the desynchronization region this instance belongs to;
 	// -1 before grouping. Group 0 is the paper's catch-all region for
@@ -92,6 +96,10 @@ type Inst struct {
 	// DelayFactor is this instance's intra-die variability multiplier applied
 	// to all its timing arcs during simulation; 1.0 nominal.
 	DelayFactor float64
+
+	conns []PinConn
+	id    InstID
+	dead  bool
 }
 
 // CellName returns the library cell or submodule name.
@@ -112,14 +120,34 @@ type Port struct {
 // Module is a netlist: ports, nets and instances. Designs straight out of
 // synthesis are flat modules of library cells; the Verilog reader may also
 // build two-level hierarchies which Flatten collapses.
+//
+// Nets and Insts are the dense, insertion-ordered record views; they are
+// maintained by the mutators and must be treated as read-only by consumers.
+// Underneath, records live in slab chunks, carry dense NetID/InstID handles,
+// and are indexed by interned-name tables mapping names to IDs.
 type Module struct {
 	Name  string
 	Ports []*Port
 	Nets  []*Net
 	Insts []*Inst
 
-	netByName  map[string]*Net
-	instByName map[string]*Inst
+	netByName  map[string]NetID
+	instByName map[string]InstID
+	netsByID   []*Net  // dense by NetID; nil after removal
+	instsByID  []*Inst // dense by InstID; nil after removal
+
+	netRecs  slab[Net]
+	instRecs slab[Inst]
+	arena    connArena
+
+	bulkDepth int
+	deadNets  int
+	deadInsts int
+
+	valid   validState
+	scratch scratchState
+	sorted  sortedCache
+	epoch   uint32 // validator mark epoch
 
 	// modseq counts structural mutations (nets, ports, instances,
 	// connectivity). Derivation caches keyed on the module compare it to
@@ -136,8 +164,8 @@ func (m *Module) ModSeq() uint64 { return m.modseq }
 func NewModule(name string) *Module {
 	return &Module{
 		Name:       name,
-		netByName:  map[string]*Net{},
-		instByName: map[string]*Inst{},
+		netByName:  map[string]NetID{},
+		instByName: map[string]InstID{},
 	}
 }
 
@@ -147,18 +175,28 @@ func (m *Module) AddNet(name string) *Net {
 		panic(fmt.Sprintf("netlist: duplicate net %q in module %s", name, m.Name))
 	}
 	m.modseq++
-	n := &Net{Name: name}
+	n := m.netRecs.alloc()
+	n.Name = name
+	n.id = NetID(len(m.netsByID))
+	m.netsByID = append(m.netsByID, n)
 	m.Nets = append(m.Nets, n)
-	m.netByName[name] = n
+	m.netByName[name] = n.id
+	m.touchNet(n.id)
 	return n
 }
 
 // Net returns the named net or nil.
-func (m *Module) Net(name string) *Net { return m.netByName[name] }
+func (m *Module) Net(name string) *Net {
+	id, ok := m.netByName[name]
+	if !ok {
+		return nil
+	}
+	return m.netsByID[id]
+}
 
 // EnsureNet returns the named net, creating it if needed.
 func (m *Module) EnsureNet(name string) *Net {
-	if n := m.netByName[name]; n != nil {
+	if n := m.Net(name); n != nil {
 		return n
 	}
 	return m.AddNet(name)
@@ -169,6 +207,7 @@ func (m *Module) EnsureNet(name string) *Net {
 func (m *Module) AddPort(name string, dir PinDir) *Port {
 	n := m.EnsureNet(name)
 	m.modseq++
+	m.touchNet(n.id)
 	p := &Port{Name: name, Dir: dir, Net: n}
 	m.Ports = append(m.Ports, p)
 	switch dir {
@@ -185,6 +224,7 @@ func (m *Module) AddPort(name string, dir PinDir) *Port {
 // merge a port with another net).
 func (m *Module) AddPortOnNet(name string, dir PinDir, n *Net) (*Port, error) {
 	m.modseq++
+	m.touchNet(n.id)
 	p := &Port{Name: name, Dir: dir, Net: n}
 	m.Ports = append(m.Ports, p)
 	switch dir {
@@ -211,41 +251,60 @@ func (m *Module) Port(name string) *Port {
 
 // AddInst creates an instance of a library cell with no connections.
 func (m *Module) AddInst(name string, cell *CellDef) *Inst {
-	return m.addInst(&Inst{Name: name, Cell: cell, Conns: map[string]*Net{}, Group: -1, DelayFactor: 1})
+	return m.addInst(name, cell, nil, len(cell.Pins))
 }
 
 // AddSubInst creates an instance of a submodule.
 func (m *Module) AddSubInst(name string, sub *Module) *Inst {
-	return m.addInst(&Inst{Name: name, Sub: sub, Conns: map[string]*Net{}, Group: -1, DelayFactor: 1})
+	return m.addInst(name, nil, sub, len(sub.Ports))
 }
 
-func (m *Module) addInst(in *Inst) *Inst {
-	if _, dup := m.instByName[in.Name]; dup {
-		panic(fmt.Sprintf("netlist: duplicate instance %q in module %s", in.Name, m.Name))
+func (m *Module) addInst(name string, cell *CellDef, sub *Module, pins int) *Inst {
+	if _, dup := m.instByName[name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate instance %q in module %s", name, m.Name))
 	}
 	m.modseq++
+	in := m.instRecs.alloc()
+	in.Name = name
+	in.Cell = cell
+	in.Sub = sub
+	in.Group = -1
+	in.DelayFactor = 1
+	in.conns = m.arena.carve(pins)
+	in.id = InstID(len(m.instsByID))
+	m.instsByID = append(m.instsByID, in)
 	m.Insts = append(m.Insts, in)
-	m.instByName[in.Name] = in
+	m.instByName[name] = in.id
+	m.touchInst(in.id)
 	return in
 }
 
 // Inst returns the named instance or nil.
-func (m *Module) Inst(name string) *Inst { return m.instByName[name] }
+func (m *Module) Inst(name string) *Inst {
+	id, ok := m.instByName[name]
+	if !ok {
+		return nil
+	}
+	return m.instsByID[id]
+}
 
 // Connect attaches pin of inst to net, updating the net's driver/sink lists
 // according to the pin direction. Connecting an output pin to an
-// already-driven net is an error.
+// already-driven net is an error. The stored pin name is interned to the
+// cell's (or submodule's) own pin-name string.
 func (m *Module) Connect(in *Inst, pin string, net *Net) error {
-	dir, err := m.pinDir(in, pin)
+	cpin, dir, err := m.pinOf(in, pin)
 	if err != nil {
 		return err
 	}
-	if old := in.Conns[pin]; old != nil {
+	if old := in.Conn(cpin); old != nil {
 		return fmt.Errorf("netlist: %s/%s already connected to %s", in.Name, pin, old.Name)
 	}
 	m.modseq++
-	in.Conns[pin] = net
-	ref := PinRef{Inst: in, Pin: pin}
+	m.touchInst(in.id)
+	m.touchNet(net.id)
+	in.conns = append(in.conns, PinConn{Pin: cpin, Net: net, Dir: dir})
+	ref := PinRef{Inst: in, Pin: cpin}
 	if dir == Out {
 		if net.HasDriver() {
 			return fmt.Errorf("netlist: net %s has two drivers: %s and %s", net.Name, net.Driver, ref)
@@ -266,12 +325,21 @@ func (m *Module) MustConnect(in *Inst, pin string, net *Net) {
 
 // Disconnect removes the connection of pin on inst from its net.
 func (m *Module) Disconnect(in *Inst, pin string) {
-	net := in.Conns[pin]
+	var net *Net
+	ci := -1
+	for i := range in.conns {
+		if in.conns[i].Pin == pin {
+			net, ci = in.conns[i].Net, i
+			break
+		}
+	}
 	if net == nil {
 		return
 	}
 	m.modseq++
-	delete(in.Conns, pin)
+	m.touchInst(in.id)
+	m.touchNet(net.id)
+	in.conns = append(in.conns[:ci], in.conns[ci+1:]...)
 	ref := PinRef{Inst: in, Pin: pin}
 	if net.Driver == ref {
 		net.Driver = PinRef{}
@@ -285,13 +353,55 @@ func (m *Module) Disconnect(in *Inst, pin string) {
 	}
 }
 
-// RemoveInst removes the instance and all its connections.
+// DisconnectSinks removes every sink of net for which drop returns true, in
+// one order-preserving pass, and splices the matching pin off each dropped
+// instance. It is the batch counterpart of per-pin Disconnect for
+// high-fanout nets: detaching k sinks from an n-sink net costs O(n + k·pins)
+// instead of the k·O(n) of repeated Disconnect calls (quadratic on a clock
+// net feeding every flip-flop). The driver is never touched.
+func (m *Module) DisconnectSinks(net *Net, drop func(PinRef) bool) {
+	w := 0
+	for _, s := range net.Sinks {
+		if s.Inst == nil || !drop(s) {
+			net.Sinks[w] = s
+			w++
+			continue
+		}
+		in := s.Inst
+		for i := range in.conns {
+			if in.conns[i].Pin == s.Pin && in.conns[i].Net == net {
+				in.conns = append(in.conns[:i], in.conns[i+1:]...)
+				break
+			}
+		}
+		m.touchInst(in.id)
+	}
+	if w == len(net.Sinks) {
+		return
+	}
+	m.modseq++
+	m.touchNet(net.id)
+	clear(net.Sinks[w:])
+	net.Sinks = net.Sinks[:w]
+}
+
+// RemoveInst removes the instance and all its connections. Inside a
+// BeginBulk/EndBulk section the Insts array is compacted once at EndBulk;
+// outside, the removal splices immediately.
 func (m *Module) RemoveInst(in *Inst) {
-	for pin := range in.Conns {
-		m.Disconnect(in, pin)
+	for len(in.conns) > 0 {
+		m.Disconnect(in, in.conns[len(in.conns)-1].Pin)
 	}
 	m.modseq++
 	delete(m.instByName, in.Name)
+	if m.containsInst(in) {
+		m.instsByID[in.id] = nil
+	}
+	in.dead = true
+	if m.bulkDepth > 0 {
+		m.deadInsts++
+		return
+	}
 	for i, x := range m.Insts {
 		if x == in {
 			m.Insts = append(m.Insts[:i], m.Insts[i+1:]...)
@@ -300,13 +410,22 @@ func (m *Module) RemoveInst(in *Inst) {
 	}
 }
 
-// RemoveNet removes an unconnected net.
+// RemoveNet removes an unconnected net. Inside a bulk section the Nets
+// array is compacted at EndBulk.
 func (m *Module) RemoveNet(n *Net) error {
 	if n.HasDriver() || len(n.Sinks) > 0 {
 		return fmt.Errorf("netlist: net %s still connected", n.Name)
 	}
 	m.modseq++
 	delete(m.netByName, n.Name)
+	if m.containsNet(n) {
+		m.netsByID[n.id] = nil
+	}
+	n.dead = true
+	if m.bulkDepth > 0 {
+		m.deadNets++
+		return nil
+	}
 	for i, x := range m.Nets {
 		if x == n {
 			m.Nets = append(m.Nets[:i], m.Nets[i+1:]...)
@@ -323,9 +442,10 @@ func (m *Module) RenameNet(n *Net, name string) error {
 		return fmt.Errorf("netlist: net name %q already in use", name)
 	}
 	m.modseq++
+	m.touchNet(n.id)
 	delete(m.netByName, n.Name)
 	n.Name = name
-	m.netByName[name] = n
+	m.netByName[name] = n.id
 	return nil
 }
 
@@ -333,9 +453,14 @@ func (m *Module) RenameNet(n *Net, name string) error {
 // Used by logic cleaning when a buffer is removed.
 func (m *Module) ReplaceSinks(from, to *Net) {
 	m.modseq++
+	m.touchNet(from.id)
+	m.touchNet(to.id)
 	for _, s := range from.Sinks {
 		if s.Inst != nil {
-			s.Inst.Conns[s.Pin] = to
+			if e := s.Inst.connEntry(s.Pin); e != nil {
+				e.Net = to
+			}
+			m.touchInst(s.Inst.id)
 		} else {
 			// Module output port: rebind the port to the surviving net.
 			if p := m.Port(s.Pin); p != nil {
@@ -347,24 +472,32 @@ func (m *Module) ReplaceSinks(from, to *Net) {
 	from.Sinks = nil
 }
 
-func (m *Module) pinDir(in *Inst, pin string) (PinDir, error) {
+// pinOf resolves a pin name on the instance's cell or submodule, returning
+// the interned (canonical) name string and the direction.
+func (m *Module) pinOf(in *Inst, pin string) (string, PinDir, error) {
 	if in.Cell != nil {
 		pd := in.Cell.Pin(pin)
 		if pd == nil {
-			return In, fmt.Errorf("netlist: cell %s has no pin %q", in.Cell.Name, pin)
+			return "", In, fmt.Errorf("netlist: cell %s has no pin %q", in.Cell.Name, pin)
 		}
-		return pd.Dir, nil
+		return pd.Name, pd.Dir, nil
 	}
 	p := in.Sub.Port(pin)
 	if p == nil {
-		return In, fmt.Errorf("netlist: module %s has no port %q", in.Sub.Name, pin)
+		return "", In, fmt.Errorf("netlist: module %s has no port %q", in.Sub.Name, pin)
 	}
-	return p.Dir, nil
+	return p.Name, p.Dir, nil
+}
+
+func (m *Module) pinDir(in *Inst, pin string) (PinDir, error) {
+	_, dir, err := m.pinOf(in, pin)
+	return dir, err
 }
 
 // Check validates structural sanity: every instance pin connected, every net
 // with sinks has a driver, no unknown pins. It returns all problems found.
 func (m *Module) Check() []error {
+	m.compact()
 	var errs []error
 	for _, in := range m.Insts {
 		var pins []PinDef
@@ -376,7 +509,7 @@ func (m *Module) Check() []error {
 			}
 		}
 		for _, p := range pins {
-			if in.Conns[p.Name] == nil {
+			if in.Conn(p.Name) == nil {
 				errs = append(errs, fmt.Errorf("%s: unconnected pin %s/%s", m.Name, in.Name, p.Name))
 			}
 		}
@@ -404,6 +537,7 @@ type Stats struct {
 
 // ComputeStats walks the (flat) module and tallies cell counts and areas.
 func (m *Module) ComputeStats() Stats {
+	m.compact()
 	var s Stats
 	s.Nets = len(m.Nets)
 	for _, in := range m.Insts {
@@ -432,9 +566,33 @@ func (m *Module) ComputeStats() Stats {
 
 // SortedNets returns the nets sorted by name (stable output for writers).
 func (m *Module) SortedNets() []*Net {
-	out := append([]*Net(nil), m.Nets...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return append([]*Net(nil), m.sortedNetsCached()...)
+}
+
+// sortedNetsCached returns the module-owned name-sorted net order, rebuilt
+// only when the module has structurally changed since the last sort.
+func (m *Module) sortedNetsCached() []*Net {
+	m.refreshSorted()
+	return m.sorted.nets
+}
+
+// sortedInstsCached is the instance counterpart of sortedNetsCached.
+func (m *Module) sortedInstsCached() []*Inst {
+	m.refreshSorted()
+	return m.sorted.insts
+}
+
+func (m *Module) refreshSorted() {
+	m.compact()
+	if m.sorted.valid && m.sorted.seq == m.modseq {
+		return
+	}
+	m.sorted.nets = append(m.sorted.nets[:0], m.Nets...)
+	slices.SortFunc(m.sorted.nets, func(a, b *Net) int { return strings.Compare(a.Name, b.Name) })
+	m.sorted.insts = append(m.sorted.insts[:0], m.Insts...)
+	slices.SortFunc(m.sorted.insts, func(a, b *Inst) int { return strings.Compare(a.Name, b.Name) })
+	m.sorted.seq = m.modseq
+	m.sorted.valid = true
 }
 
 // Design couples a top module, its (optional) submodules and the library it
@@ -489,7 +647,7 @@ func (d *Design) inline(in *Inst, group int) error {
 	// connected outer nets; internal nets get fresh prefixed names.
 	netMap := map[*Net]*Net{}
 	for _, p := range sub.Ports {
-		outer := in.Conns[p.Name]
+		outer := in.Conn(p.Name)
 		if outer == nil {
 			return fmt.Errorf("netlist: %s/%s unconnected during flatten", in.Name, p.Name)
 		}
@@ -512,8 +670,8 @@ func (d *Design) inline(in *Inst, group int) error {
 		}
 		ni.Group = group
 		ni.SizeOnly = si.SizeOnly
-		for pin, net := range si.Conns {
-			if err := top.Connect(ni, pin, netMap[net]); err != nil {
+		for _, pc := range si.Conns() {
+			if err := top.Connect(ni, pc.Pin, netMap[pc.Net]); err != nil {
 				return err
 			}
 		}

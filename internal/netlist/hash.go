@@ -5,7 +5,10 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // ContentHash returns a stable hex digest of the module's canonical content:
@@ -20,6 +23,11 @@ import (
 // on, so it is a sound cache key for flow results: structure (driver/sink
 // connectivity), cell bindings, groups, false-path marks, SizeOnly/Origin
 // flags, and the per-instance/per-net delay annotations.
+//
+// The walk reuses the module's cached name-sorted orders and scratch
+// buffers: hashing costs one sort per structural revision (shared with
+// SortedNets and the exporters) plus a constant number of allocations,
+// instead of rebuilding per-node maps and string slices on every call.
 func (m *Module) ContentHash() string {
 	h := sha256.New()
 	writeModuleContent(h, m)
@@ -53,65 +61,152 @@ func (d *Design) ContentHash() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// writeModuleContent streams the canonical form of one module. Every
-// collection is emitted in a sorted or declaration order; map iteration
-// never reaches the writer.
-func writeModuleContent(w io.Writer, m *Module) {
-	fmt.Fprintf(w, "name %s\n", m.Name)
-	for _, p := range m.Ports {
-		netName := ""
-		if p.Net != nil {
-			netName = p.Net.Name
-		}
-		fmt.Fprintf(w, "port %s %s %s\n", p.Name, p.Dir, netName)
+// appendRef appends a PinRef exactly as PinRef.String renders it.
+func appendRef(buf []byte, r PinRef) []byte {
+	if r.Inst == nil {
+		return append(buf, r.Pin...)
 	}
+	buf = append(buf, r.Inst.Name...)
+	buf = append(buf, '/')
+	return append(buf, r.Pin...)
+}
 
-	nets := make([]*Net, len(m.Nets))
-	copy(nets, m.Nets)
-	sort.Slice(nets, func(i, j int) bool { return nets[i].Name < nets[j].Name })
-	for _, n := range nets {
-		fmt.Fprintf(w, "net %s drv %s", n.Name, n.Driver)
-		sinks := make([]string, 0, len(n.Sinks))
-		for _, s := range n.Sinks {
-			sinks = append(sinks, s.String())
-		}
-		sort.Strings(sinks)
-		for _, s := range sinks {
-			fmt.Fprintf(w, " snk %s", s)
-		}
-		if n.FalsePath {
-			fmt.Fprint(w, " fp")
-		}
-		if n.Wire != (Delay{}) {
-			fmt.Fprintf(w, " wire %g %g", n.Wire.Best, n.Wire.Worst)
-		}
-		fmt.Fprintln(w)
+// cmpRef orders two PinRefs by the byte order of their String() renderings
+// without materializing the strings. The concatenation matters: sorting by
+// (Inst.Name, Pin) pairs would order "a/z" after "a.x/c" ('.' < '/'),
+// while String() order puts "a/z" first — and the hash's historical sink
+// order is String() order.
+func cmpRef(a, b PinRef) int {
+	as := [3]string{a.Pin, "", ""}
+	if a.Inst != nil {
+		as = [3]string{a.Inst.Name, "/", a.Pin}
 	}
-
-	insts := make([]*Inst, len(m.Insts))
-	copy(insts, m.Insts)
-	sort.Slice(insts, func(i, j int) bool { return insts[i].Name < insts[j].Name })
-	for _, in := range insts {
-		fmt.Fprintf(w, "inst %s %s g %d", in.Name, in.CellName(), in.Group)
-		if in.SizeOnly {
-			fmt.Fprint(w, " so")
+	bs := [3]string{b.Pin, "", ""}
+	if b.Inst != nil {
+		bs = [3]string{b.Inst.Name, "/", b.Pin}
+	}
+	ai, ao := 0, 0
+	bi, bo := 0, 0
+	for {
+		for ai < 3 && ao == len(as[ai]) {
+			ai++
+			ao = 0
 		}
-		if in.Origin != "" {
-			fmt.Fprintf(w, " org %s", in.Origin)
+		for bi < 3 && bo == len(bs[bi]) {
+			bi++
+			bo = 0
 		}
-		if in.DelayFactor != 0 && in.DelayFactor != 1 {
-			fmt.Fprintf(w, " df %g", in.DelayFactor)
-		}
-		pins := make([]string, 0, len(in.Conns))
-		for pin := range in.Conns {
-			pins = append(pins, pin)
-		}
-		sort.Strings(pins)
-		for _, pin := range pins {
-			if n := in.Conns[pin]; n != nil {
-				fmt.Fprintf(w, " %s=%s", pin, n.Name)
+		if ai == 3 || bi == 3 {
+			switch {
+			case ai == 3 && bi == 3:
+				return 0
+			case ai == 3:
+				return -1
+			default:
+				return 1
 			}
 		}
-		fmt.Fprintln(w)
+		if ca, cb := as[ai][ao], bs[bi][bo]; ca != cb {
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+		ao++
+		bo++
 	}
+}
+
+// appendG appends a float exactly as fmt's %g verb renders it.
+func appendG(buf []byte, v float64) []byte {
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// writeModuleContent streams the canonical form of one module. Every
+// collection is emitted in a sorted or declaration order; connection-list
+// iteration order (insertion order) never reaches the writer. Lines are
+// assembled in the module's scratch buffer and flushed per record.
+func writeModuleContent(w io.Writer, m *Module) {
+	buf := m.scratch.buf[:0]
+	flush := func() {
+		w.Write(buf)
+		buf = buf[:0]
+	}
+	buf = append(buf, "name "...)
+	buf = append(buf, m.Name...)
+	buf = append(buf, '\n')
+	for _, p := range m.Ports {
+		buf = append(buf, "port "...)
+		buf = append(buf, p.Name...)
+		buf = append(buf, ' ')
+		buf = append(buf, p.Dir.String()...)
+		buf = append(buf, ' ')
+		if p.Net != nil {
+			buf = append(buf, p.Net.Name...)
+		}
+		buf = append(buf, '\n')
+	}
+	flush()
+
+	refs := m.scratch.refs
+	for _, n := range m.sortedNetsCached() {
+		buf = append(buf, "net "...)
+		buf = append(buf, n.Name...)
+		buf = append(buf, " drv "...)
+		buf = appendRef(buf, n.Driver)
+		refs = append(refs[:0], n.Sinks...)
+		slices.SortFunc(refs, cmpRef)
+		for _, s := range refs {
+			buf = append(buf, " snk "...)
+			buf = appendRef(buf, s)
+		}
+		if n.FalsePath {
+			buf = append(buf, " fp"...)
+		}
+		if n.Wire != (Delay{}) {
+			buf = append(buf, " wire "...)
+			buf = appendG(buf, n.Wire.Best)
+			buf = append(buf, ' ')
+			buf = appendG(buf, n.Wire.Worst)
+		}
+		buf = append(buf, '\n')
+		flush()
+	}
+	m.scratch.refs = refs
+
+	conns := m.scratch.conns
+	for _, in := range m.sortedInstsCached() {
+		buf = append(buf, "inst "...)
+		buf = append(buf, in.Name...)
+		buf = append(buf, ' ')
+		buf = append(buf, in.CellName()...)
+		buf = append(buf, " g "...)
+		buf = strconv.AppendInt(buf, int64(in.Group), 10)
+		if in.SizeOnly {
+			buf = append(buf, " so"...)
+		}
+		if in.Origin != "" {
+			buf = append(buf, " org "...)
+			buf = append(buf, in.Origin...)
+		}
+		if in.DelayFactor != 0 && in.DelayFactor != 1 {
+			buf = append(buf, " df "...)
+			buf = appendG(buf, in.DelayFactor)
+		}
+		conns = append(conns[:0], in.conns...)
+		slices.SortFunc(conns, func(a, b PinConn) int { return strings.Compare(a.Pin, b.Pin) })
+		for i := range conns {
+			if conns[i].Net == nil {
+				continue
+			}
+			buf = append(buf, ' ')
+			buf = append(buf, conns[i].Pin...)
+			buf = append(buf, '=')
+			buf = append(buf, conns[i].Net.Name...)
+		}
+		buf = append(buf, '\n')
+		flush()
+	}
+	m.scratch.conns = conns
+	m.scratch.buf = buf[:0]
 }

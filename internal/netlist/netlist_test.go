@@ -158,7 +158,7 @@ func TestReplaceSinks(t *testing.T) {
 	from.Sinks = append(from.Sinks, PinRef{Pin: "out"})
 
 	m.ReplaceSinks(from, to)
-	if g.Conns["A"] != to {
+	if g.Conn("A") != to {
 		t.Fatal("instance sink not moved")
 	}
 	if p.Net != to {
@@ -262,7 +262,7 @@ func TestFlatten(t *testing.T) {
 		t.Fatalf("groups wrong: %d %d", g1.Group, g2.Group)
 	}
 	// Connectivity preserved: a -> s1/i1 -> s1/mid -> s1/i2 -> link ...
-	if d.Top.Inst("s1/i2").Conns["Z"] != d.Top.Net("link") {
+	if d.Top.Inst("s1/i2").Conn("Z") != d.Top.Net("link") {
 		t.Fatal("port binding to outer net lost")
 	}
 	if d.Top.Net("s1/mid") == nil {

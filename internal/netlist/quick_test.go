@@ -49,12 +49,12 @@ func TestQuickConnectDisconnectInverse(t *testing.T) {
 					return false
 				}
 				seen[key] = true
-				if s.Inst != nil && s.Inst.Conns[s.Pin] != n {
+				if s.Inst != nil && s.Inst.Conn(s.Pin) != n {
 					t.Logf("dangling sink %s on %s", key, n.Name)
 					return false
 				}
 			}
-			if n.Driver.Inst != nil && n.Driver.Inst.Conns[n.Driver.Pin] != n {
+			if n.Driver.Inst != nil && n.Driver.Inst.Conn(n.Driver.Pin) != n {
 				t.Logf("dangling driver on %s", n.Name)
 				return false
 			}

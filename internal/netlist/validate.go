@@ -1,6 +1,10 @@
 package netlist
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+	"strings"
+)
 
 // ValidateOptions tunes the invariant checker for mid-flow snapshots.
 type ValidateOptions struct {
@@ -46,9 +50,250 @@ func (e ValidationError) Error() string { return e.Module + ": " + e.Msg }
 // corrupts the netlist is caught at its own boundary instead of surfacing
 // as a wrong answer (or a panic) stages later.
 //
+// The common case — a module that is in fact clean — is allocation-free:
+// a boolean scan over the record arrays using the module's epoch-mark
+// scratch decides cleanliness, and the diagnostic pass (which builds maps
+// and formats messages) runs only when some invariant is actually broken.
+// When a clean baseline exists and only a bounded set of records has been
+// mutated since (ECO splices, FF substitution windows), the scan is further
+// scoped to the dirty records instead of the whole module.
+//
 // At most MaxErrors violations are reported; when more exist, the final
 // entry is tagged VRuleTruncated and counts the suppressed remainder.
 func (m *Module) Validate(opts ValidateOptions) []ValidationError {
+	m.compact()
+	v := &m.valid
+	if v.ok && !v.overflow && (!v.allowUndriven || opts.AllowUndriven) {
+		if m.modseq == v.seq {
+			return nil // unchanged since the clean baseline
+		}
+		if m.incrementalClean(opts) {
+			m.noteClean(opts)
+			return nil
+		}
+	} else if m.cleanScan(opts.AllowUndriven) {
+		m.noteClean(opts)
+		return nil
+	}
+	errs := m.validateFull(opts)
+	if len(errs) == 0 {
+		m.noteClean(opts)
+	} else {
+		m.dropBaseline()
+	}
+	return errs
+}
+
+// nextEpoch advances the validator mark epoch, clearing stale marks on the
+// (practically unreachable) uint32 wraparound.
+func (m *Module) nextEpoch() uint32 {
+	m.epoch++
+	if m.epoch == 0 {
+		for _, in := range m.Insts {
+			for i := range in.conns {
+				in.conns[i].mark = 0
+			}
+		}
+		m.epoch = 1
+	}
+	return m.epoch
+}
+
+// netEndpointsClean checks one net's bookkeeping: the driver points back at
+// a live connection, every sink resolves to a live connection on this net
+// (stamping the entry's mark to catch the same PinRef listed twice), and —
+// unless undriven nets are allowed — a net with sinks has a driver. Port
+// sinks are appended to *portRefs for the caller's duplicate check.
+func (m *Module) netEndpointsClean(n *Net, epoch uint32, allowUndriven bool, portRefs *[]PinRef) bool {
+	if d := n.Driver; d.Inst != nil {
+		if !m.containsInst(d.Inst) || d.Inst.Conn(d.Pin) != n {
+			return false
+		}
+	}
+	for _, s := range n.Sinks {
+		if s.Inst == nil {
+			*portRefs = append(*portRefs, s)
+			continue
+		}
+		if !m.containsInst(s.Inst) {
+			return false
+		}
+		e := s.Inst.connEntry(s.Pin)
+		if e == nil || e.Net != n || e.mark == epoch {
+			return false
+		}
+		e.mark = epoch
+	}
+	if !allowUndriven && len(n.Sinks) > 0 && !n.HasDriver() {
+		return false
+	}
+	return true
+}
+
+// instConnClean checks one connection of an instance: the net is non-nil
+// and belongs to the module, the pin exists on the cell or submodule, an
+// output pin is recorded as the net's driver, and an input pin was resolved
+// from some net's sink list during this pass (mark == epoch) — or, when
+// markless is set (incremental scan, where clean nets are not swept), the
+// net's sink list is searched directly.
+func (m *Module) instConnClean(in *Inst, pc *PinConn, epoch uint32, markless bool) bool {
+	if pc.Net == nil || !m.containsNet(pc.Net) {
+		return false
+	}
+	var dir PinDir
+	if in.Cell != nil {
+		pd := in.Cell.Pin(pc.Pin)
+		if pd == nil {
+			return false
+		}
+		dir = pd.Dir
+	} else {
+		p := in.Sub.Port(pc.Pin)
+		if p == nil {
+			return false
+		}
+		dir = p.Dir
+	}
+	ref := PinRef{Inst: in, Pin: pc.Pin}
+	if dir == Out {
+		return pc.Net.Driver == ref
+	}
+	if markless {
+		return slices.Contains(pc.Net.Sinks, ref)
+	}
+	return pc.mark == epoch
+}
+
+// dupPortRefs reports whether the collected port-sink references contain a
+// duplicate (the same module port listed as a sink more than once, on one
+// net or across nets). Sorts in place using the caller's scratch.
+func dupPortRefs(refs []PinRef) bool {
+	if len(refs) < 2 {
+		return false
+	}
+	slices.SortFunc(refs, func(a, b PinRef) int { return strings.Compare(a.Pin, b.Pin) })
+	for i := 1; i < len(refs); i++ {
+		if refs[i].Pin == refs[i-1].Pin {
+			return true
+		}
+	}
+	return false
+}
+
+// cleanScan is the allocation-free full cleanliness check: true means the
+// module would produce zero validation errors. Any anomaly returns false
+// and the caller runs the diagnostic pass.
+func (m *Module) cleanScan(allowUndriven bool) bool {
+	if len(m.netByName) != len(m.Nets) || len(m.instByName) != len(m.Insts) {
+		return false
+	}
+	for _, n := range m.Nets {
+		if id, ok := m.netByName[n.Name]; !ok || m.netsByID[id] != n {
+			return false
+		}
+	}
+	for _, in := range m.Insts {
+		if id, ok := m.instByName[in.Name]; !ok || m.instsByID[id] != in {
+			return false
+		}
+		if (in.Cell == nil) == (in.Sub == nil) {
+			return false
+		}
+	}
+	for _, p := range m.Ports {
+		if p.Net == nil || !m.containsNet(p.Net) {
+			return false
+		}
+	}
+	epoch := m.nextEpoch()
+	portRefs := m.scratch.refs[:0]
+	clean := true
+	for _, n := range m.Nets {
+		if !m.netEndpointsClean(n, epoch, allowUndriven, &portRefs) {
+			clean = false
+			break
+		}
+	}
+	if clean && dupPortRefs(portRefs) {
+		clean = false
+	}
+	m.scratch.refs = portRefs
+	if !clean {
+		return false
+	}
+	for _, in := range m.Insts {
+		for i := range in.conns {
+			if !m.instConnClean(in, &in.conns[i], epoch, false) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// incrementalClean rechecks only the records mutated since the clean
+// baseline. Sound under the same contract as the ModSeq derivation caches:
+// mutations go through the module's mutators (which record every touched
+// record); a state corrupted by bypassing them is caught by the next full
+// scan. A false negative here only costs a wasted diagnostic pass — the
+// diagnostic pass, not this scan, decides what errors exist.
+func (m *Module) incrementalClean(opts ValidateOptions) bool {
+	v := &m.valid
+	epoch := m.nextEpoch()
+	portRefs := m.scratch.refs[:0]
+	clean := true
+	for _, id := range v.dirtyNets {
+		n := m.NetByID(id)
+		if n == nil {
+			continue // removed since the baseline
+		}
+		if got, ok := m.netByName[n.Name]; !ok || got != id {
+			clean = false
+			break
+		}
+		if !m.netEndpointsClean(n, epoch, opts.AllowUndriven, &portRefs) {
+			clean = false
+			break
+		}
+	}
+	if clean && dupPortRefs(portRefs) {
+		clean = false
+	}
+	m.scratch.refs = portRefs
+	if !clean {
+		return false
+	}
+	for _, id := range v.dirtyInsts {
+		in := m.InstByID(id)
+		if in == nil {
+			continue
+		}
+		if got, ok := m.instByName[in.Name]; !ok || got != id {
+			return false
+		}
+		if (in.Cell == nil) == (in.Sub == nil) {
+			return false
+		}
+		for i := range in.conns {
+			if !m.instConnClean(in, &in.conns[i], epoch, true) {
+				return false
+			}
+		}
+	}
+	// Ports can be rebound (ReplaceSinks) without a dedicated dirty list;
+	// they are few, so recheck them all.
+	for _, p := range m.Ports {
+		if p.Net == nil || !m.containsNet(p.Net) {
+			return false
+		}
+	}
+	return true
+}
+
+// validateFull is the diagnostic pass: the original full-module algorithm,
+// kept verbatim (message formats and rule tags unchanged) so a dirty module
+// reports exactly what it always did.
+func (m *Module) validateFull(opts ValidateOptions) []ValidationError {
 	limit := opts.MaxErrors
 	if limit <= 0 {
 		limit = 64
@@ -67,7 +312,7 @@ func (m *Module) Validate(opts ValidateOptions) []ValidationError {
 	inNets := make(map[*Net]bool, len(m.Nets))
 	for _, n := range m.Nets {
 		inNets[n] = true
-		if m.netByName[n.Name] != n {
+		if id, ok := m.netByName[n.Name]; !ok || m.netsByID[id] != n {
 			report(VRuleIndex, "net %q missing from or mismatched in the name index", n.Name)
 		}
 	}
@@ -77,7 +322,7 @@ func (m *Module) Validate(opts ValidateOptions) []ValidationError {
 	inInsts := make(map[*Inst]bool, len(m.Insts))
 	for _, in := range m.Insts {
 		inInsts[in] = true
-		if m.instByName[in.Name] != in {
+		if id, ok := m.instByName[in.Name]; !ok || m.instsByID[id] != in {
 			report(VRuleIndex, "instance %q missing from or mismatched in the name index", in.Name)
 		}
 	}
@@ -112,7 +357,8 @@ func (m *Module) Validate(opts ValidateOptions) []ValidationError {
 			report(VRuleInstKind, "instance %s must reference exactly one of cell and submodule", in.Name)
 			continue
 		}
-		for pin, n := range in.Conns {
+		for _, pc := range in.Conns() {
+			pin, n := pc.Pin, pc.Net
 			if n == nil {
 				report(VRuleConn, "%s/%s connected to nil net", in.Name, pin)
 				continue
@@ -142,7 +388,7 @@ func (m *Module) Validate(opts ValidateOptions) []ValidationError {
 		if d := n.Driver; d.Inst != nil {
 			if !inInsts[d.Inst] {
 				report(VRuleDriver, "net %s driven by removed instance %s", n.Name, d.Inst.Name)
-			} else if d.Inst.Conns[d.Pin] != n {
+			} else if d.Inst.Conn(d.Pin) != n {
 				report(VRuleDriver, "net %s records driver %s which is connected elsewhere", n.Name, d)
 			}
 		}
@@ -152,7 +398,7 @@ func (m *Module) Validate(opts ValidateOptions) []ValidationError {
 			}
 			if !inInsts[s.Inst] {
 				report(VRuleSink, "net %s sinks removed instance %s", n.Name, s.Inst.Name)
-			} else if s.Inst.Conns[s.Pin] != n {
+			} else if s.Inst.Conn(s.Pin) != n {
 				report(VRuleSink, "net %s records sink %s which is connected elsewhere", n.Name, s)
 			}
 		}

@@ -183,12 +183,13 @@ func connectivityOrder(m *netlist.Module) []*netlist.Inst {
 			order = append(order, in)
 			// Neighbours through all connected nets.
 			var pins []string
-			for pin := range in.Conns {
+			for _, pc := range in.Conns() {
+				pin := pc.Pin
 				pins = append(pins, pin)
 			}
 			sort.Strings(pins)
 			for _, pin := range pins {
-				n := in.Conns[pin]
+				n := in.Conn(pin)
 				if len(n.Sinks) > 64 {
 					continue // skip global nets: they connect everything
 				}

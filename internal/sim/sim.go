@@ -187,7 +187,7 @@ func New(m *netlist.Module, cfg Config) (*Simulator, error) {
 		s.instState[in] = &state{prevClk: logic.X, env: map[string]logic.V{}}
 		if in.Cell.Kind == netlist.KindTie {
 			for out, fn := range in.Cell.Functions {
-				if n := in.Conns[out]; n != nil {
+				if n := in.Conn(out); n != nil {
 					s.schedule(n, fn.Eval(nil), 0)
 				}
 			}
@@ -405,7 +405,7 @@ func (s *Simulator) delayOf(in *netlist.Inst, fromPin, outPin string, v logic.V)
 	}
 	d *= factor * s.cfg.Scale
 	if s.cfg.UseWireDelays {
-		if n := in.Conns[outPin]; n != nil {
+		if n := in.Conn(outPin); n != nil {
 			d += n.Wire.At(s.cfg.Corner)
 		}
 	}
@@ -419,7 +419,7 @@ func (s *Simulator) buildEnv(in *netlist.Inst) map[string]logic.V {
 		if p.Dir != netlist.In {
 			continue
 		}
-		if n := in.Conns[p.Name]; n != nil {
+		if n := in.Conn(p.Name); n != nil {
 			st.env[p.Name] = s.val[s.netIdx[n]]
 		} else {
 			st.env[p.Name] = logic.X
@@ -435,7 +435,7 @@ func (s *Simulator) evaluate(in *netlist.Inst, pin string) {
 	case netlist.KindComb:
 		env := s.buildEnv(in)
 		for out, fn := range c.Functions {
-			n := in.Conns[out]
+			n := in.Conn(out)
 			if n == nil {
 				continue
 			}
@@ -457,7 +457,7 @@ func (s *Simulator) evaluate(in *netlist.Inst, pin string) {
 		default:
 			return // hold
 		}
-		if n := in.Conns[c.GC.Q]; n != nil {
+		if n := in.Conn(c.GC.Q); n != nil {
 			s.schedule(n, v, s.delayOf(in, pin, c.GC.Q, v))
 		}
 	case netlist.KindTie:
@@ -486,11 +486,11 @@ func asyncState(spec *netlist.SeqSpec, env map[string]logic.V) logic.V {
 
 func (s *Simulator) driveQ(in *netlist.Inst, v logic.V, fromPin string) {
 	spec := in.Cell.Seq
-	if n := in.Conns[spec.Q]; n != nil {
+	if n := in.Conn(spec.Q); n != nil {
 		s.schedule(n, v, s.delayOf(in, fromPin, spec.Q, v))
 	}
 	if spec.QN != "" {
-		if n := in.Conns[spec.QN]; n != nil {
+		if n := in.Conn(spec.QN); n != nil {
 			s.schedule(n, v.Not(), s.delayOf(in, fromPin, spec.QN, v.Not()))
 		}
 	}

@@ -154,7 +154,7 @@ func (w *watchdog) checkSetup(in *netlist.Inst) {
 		if p.Dir != netlist.In || p.Class != netlist.ClassData {
 			continue
 		}
-		n := in.Conns[p.Name]
+		n := in.Conn(p.Name)
 		if n == nil {
 			continue
 		}

@@ -33,21 +33,10 @@ type lexer struct {
 	line int
 }
 
-func lex(src string) ([]token, error) {
-	l := &lexer{src: src, line: 1}
-	var toks []token
-	for {
-		tk, err := l.next()
-		if err != nil {
-			return nil, err
-		}
-		toks = append(toks, tk)
-		if tk.kind == tEOF {
-			return toks, nil
-		}
-	}
-}
-
+// next scans and returns the next token. The parser pulls tokens one at a
+// time: netlist text averages under three bytes per token, so materializing
+// the whole stream would cost more memory than the source itself — at
+// million-gate sizes that dominated import time.
 func (l *lexer) next() (token, error) {
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]

@@ -68,6 +68,18 @@ type linker struct {
 	src      map[string]*srcModule
 	built    map[string]*netlist.Module
 	building map[string]bool
+	// pinShapes caches pinBits per cell/module name: port shapes are fixed,
+	// and rebuilding the map for each of a million instances dominated the
+	// link step's allocation.
+	pinShapes map[string]pinShape
+}
+
+// pinShape is the flattened pin list of a cell or module: single-bit pin
+// names in declaration order, and the same bits grouped by declared base
+// name. Cached entries are shared and must not be mutated.
+type pinShape struct {
+	order  []string
+	byBase map[string][]string
 }
 
 func (lk *linker) module(name string) (*netlist.Module, error) {
@@ -197,30 +209,37 @@ func (b *modBuilder) build() error {
 // pinBits returns the single-bit pin names of a cell or submodule in
 // positional order, and a lookup from base name to its expanded bit pins.
 func (b *modBuilder) pinBits(si srcInst) (order []string, byBase map[string][]string, err error) {
+	if sh, ok := b.lk.pinShapes[si.cell]; ok {
+		return sh.order, sh.byBase, nil
+	}
 	byBase = map[string][]string{}
 	if cell, ok := b.lk.lib.Cells[si.cell]; ok {
 		for _, p := range cell.Pins {
 			order = append(order, p.Name)
 			byBase[p.Name] = []string{p.Name}
 		}
-		return order, byBase, nil
-	}
-	ssm, ok := b.lk.src[si.cell]
-	if !ok {
-		return nil, nil, fmt.Errorf("verilog: %s: line %d: unknown cell or module %q", b.sm.name, si.line, si.cell)
-	}
-	for _, base := range ssm.portOrder {
-		var bits []string
-		if r, isBus := ssm.ranges[base]; isBus {
-			for _, bit := range r.bits() {
-				bits = append(bits, fmt.Sprintf("%s[%d]", base, bit))
-			}
-		} else {
-			bits = []string{base}
+	} else {
+		ssm, ok := b.lk.src[si.cell]
+		if !ok {
+			return nil, nil, fmt.Errorf("verilog: %s: line %d: unknown cell or module %q", b.sm.name, si.line, si.cell)
 		}
-		order = append(order, bits...)
-		byBase[base] = bits
+		for _, base := range ssm.portOrder {
+			var bits []string
+			if r, isBus := ssm.ranges[base]; isBus {
+				for _, bit := range r.bits() {
+					bits = append(bits, fmt.Sprintf("%s[%d]", base, bit))
+				}
+			} else {
+				bits = []string{base}
+			}
+			order = append(order, bits...)
+			byBase[base] = bits
+		}
 	}
+	if b.lk.pinShapes == nil {
+		b.lk.pinShapes = map[string]pinShape{}
+	}
+	b.lk.pinShapes[si.cell] = pinShape{order: order, byBase: byBase}
 	return order, byBase, nil
 }
 

@@ -75,15 +75,37 @@ func (m *srcModule) declWidth(name string) (srcRange, bool) {
 	return r, ok
 }
 
-// parser over the token stream.
+// parser over the token stream. Tokens are pulled from the lexer on demand
+// with one token of lookahead; a lexing error surfaces as EOF plus lexErr so
+// the grammar unwinds normally and parseSource reports the scan failure.
 type parser struct {
-	toks []token
-	pos  int
+	lx     *lexer
+	tok    token // current lookahead
+	lexErr error
 }
 
-func (p *parser) peek() token { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
-func (p *parser) atEOF() bool { return p.toks[p.pos].kind == tEOF }
+func newParser(src string) *parser {
+	p := &parser{lx: &lexer{src: src, line: 1}}
+	p.advance()
+	return p
+}
+
+func (p *parser) advance() {
+	if p.lexErr != nil {
+		return
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		p.lexErr = err
+		p.tok = token{kind: tEOF, line: p.lx.line}
+		return
+	}
+	p.tok = t
+}
+
+func (p *parser) peek() token { return p.tok }
+func (p *parser) next() token { t := p.tok; p.advance(); return t }
+func (p *parser) atEOF() bool { return p.tok.kind == tEOF }
 
 func (p *parser) expectPunct(s string) error {
 	t := p.next()
@@ -106,11 +128,7 @@ func identName(t token) string { return strings.TrimPrefix(t.text, "\\") }
 
 // parseSource parses all modules in the source.
 func parseSource(src string) ([]*srcModule, error) {
-	toks, err := lex(src)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{toks: toks}
+	p := newParser(src)
 	var mods []*srcModule
 	for !p.atEOF() {
 		t := p.next()
@@ -119,9 +137,15 @@ func parseSource(src string) ([]*srcModule, error) {
 		}
 		m, err := p.parseModule()
 		if err != nil {
+			if p.lexErr != nil {
+				return nil, p.lexErr
+			}
 			return nil, err
 		}
 		mods = append(mods, m)
+	}
+	if p.lexErr != nil {
+		return nil, p.lexErr
 	}
 	if len(mods) == 0 {
 		return nil, fmt.Errorf("verilog: no modules in source")
@@ -139,6 +163,10 @@ func (p *parser) parseModule() (*srcModule, error) {
 		dirs:    map[string]netlist.PinDir{},
 		ranges:  map[string]srcRange{},
 		scalars: map[string]bool{},
+		// A typical cell instantiation spends ~60 source bytes; pre-sizing
+		// the instance slice keeps million-gate imports from repeatedly
+		// reallocating (and zero-filling) a many-MB backing array.
+		insts: make([]srcInst, 0, (len(p.lx.src)-p.lx.pos)/64),
 	}
 	if err := p.expectPunct("("); err != nil {
 		return nil, err
@@ -393,10 +421,8 @@ func (p *parser) parseRefList(m *srcModule) ([]srcRef, error) {
 		p.next()
 		name := identName(t)
 		if p.peek().kind == tPunct && p.peek().text == "[" {
-			save := p.pos
 			r, err := p.parseRangeOrIndex()
 			if err != nil {
-				p.pos = save
 				return nil, err
 			}
 			var out []srcRef

@@ -86,7 +86,7 @@ func TestQuickBusRoundTrip(t *testing.T) {
 		for i := 0; i < w; i++ {
 			g1 := d.Top.Inst(fmt.Sprintf("g%d", i))
 			g2 := d2.Top.Inst(fmt.Sprintf("g%d", i))
-			if g2 == nil || g2.Conns["A"].Name != g1.Conns["A"].Name {
+			if g2 == nil || g2.Conn("A").Name != g1.Conn("A").Name {
 				return false
 			}
 		}

@@ -32,7 +32,7 @@ endmodule
 		t.Fatalf("check: %v", errs)
 	}
 	u1 := d.Top.Inst("u1")
-	if u1.Cell.Name != "NAND2X1" || u1.Conns["Z"].Name != "n1" {
+	if u1.Cell.Name != "NAND2X1" || u1.Conn("Z").Name != "n1" {
 		t.Fatal("instance u1 misconnected")
 	}
 	if d.Top.Net("z").Driver.Inst != d.Top.Inst("u2") {
@@ -64,12 +64,12 @@ endmodule
 	}
 	// Constants drive via tie cells.
 	r2 := d.Top.Inst("r2")
-	tieNet := r2.Conns["D"]
+	tieNet := r2.Conn("D")
 	if tieNet.Driver.Inst == nil || tieNet.Driver.Inst.Cell.Name != "TIE0" {
 		t.Fatal("1'b0 not driven by TIE0")
 	}
 	r3 := d.Top.Inst("r3")
-	if r3.Conns["D"].Driver.Inst.Cell.Name != "TIE1" {
+	if r3.Conn("D").Driver.Inst.Cell.Name != "TIE1" {
 		t.Fatal("1'b1 not driven by TIE1")
 	}
 }
@@ -124,7 +124,7 @@ endmodule
 		t.Fatal(err)
 	}
 	u1 := d.Top.Inst("u1")
-	if u1.Conns["A"].Name != "a" || u1.Conns["B"].Name != "b" || u1.Conns["Z"].Name != "z" {
+	if u1.Conn("A").Name != "a" || u1.Conn("B").Name != "b" || u1.Conn("Z").Name != "z" {
 		t.Fatal("positional connection order wrong")
 	}
 }
@@ -301,9 +301,10 @@ endmodule
 		if in2 == nil {
 			t.Fatalf("instance %s lost", in1.Name)
 		}
-		for pin, n1 := range in1.Conns {
-			if in2.Conns[pin] == nil || in2.Conns[pin].Name != n1.Name {
-				t.Fatalf("%s/%s: %s vs %v", in1.Name, pin, n1.Name, in2.Conns[pin])
+		for _, pc := range in1.Conns() {
+			pin, n1 := pc.Pin, pc.Net
+			if in2.Conn(pin) == nil || in2.Conn(pin).Name != n1.Name {
+				t.Fatalf("%s/%s: %s vs %v", in1.Name, pin, n1.Name, in2.Conn(pin))
 			}
 		}
 	}
@@ -384,7 +385,7 @@ endmodule
 	}
 	s := d.Top.Inst("s")
 	// d is [1:0] so MSB-first expansion maps d[1]<-x1, d[0]<-x0.
-	if s.Conns["d[1]"].Name != "x1" || s.Conns["d[0]"].Name != "x0" {
-		t.Fatalf("concat mapping wrong: %v", s.Conns)
+	if s.Conn("d[1]").Name != "x1" || s.Conn("d[0]").Name != "x0" {
+		t.Fatalf("concat mapping wrong: %v", s.Conns())
 	}
 }

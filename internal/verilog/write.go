@@ -188,7 +188,7 @@ func writeInst(sb *strings.Builder, m *netlist.Module, in *netlist.Inst, isBusBi
 	var conns []pinConn
 	if in.Cell != nil {
 		for _, p := range in.Cell.Pins {
-			if n := in.Conns[p.Name]; n != nil {
+			if n := in.Conn(p.Name); n != nil {
 				conns = append(conns, pinConn{p.Name, []*netlist.Net{n}})
 			}
 		}
@@ -213,7 +213,7 @@ func writeInst(sb *strings.Builder, m *netlist.Module, in *netlist.Inst, isBusBi
 				order = append(order, base)
 			}
 			g.pins = append(g.pins, p.Name)
-			g.nets = append(g.nets, in.Conns[p.Name])
+			g.nets = append(g.nets, in.Conn(p.Name))
 		}
 		for _, base := range order {
 			g := groups[base]
