@@ -21,15 +21,19 @@ vet:
 
 # Static verification: repolint enforces the repo's own coding conventions,
 # drlint verifies both example designs before and (via the flow's built-in
-# gates) after desynchronization, and the mga marked-graph engine issues
+# gates) after desynchronization, the mga marked-graph engine issues
 # its polynomial-time liveness/safety/period verdicts on all three case
-# studies (drequiv -static).
+# studies (drequiv -static), and a two-phase DLX conversion exercises the
+# alternate backend end to end (its TP-* lint gate runs inside the tool).
 lint:
 	$(GO) run ./cmd/repolint
 	$(GO) run ./cmd/drlint -gen dlx
 	$(GO) run ./cmd/drlint -gen arm
 	$(GO) run ./cmd/drequiv -gen dlx -static
 	$(GO) run ./cmd/drequiv -gen fir -static
+	$(GO) run ./cmd/drdesync -gen dlx -backend twophase \
+		-out /tmp/drdesync-tp-smoke.v -sdc /tmp/drdesync-tp-smoke.sdc
+	rm -f /tmp/drdesync-tp-smoke.v /tmp/drdesync-tp-smoke.sdc
 
 # Formal verification: model-check deadlock-freedom, phase safety and flow
 # equivalence of both case studies' control networks, cross-validated

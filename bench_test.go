@@ -221,7 +221,7 @@ func BenchmarkAblationCompletionDetection(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		fc, err := expt.RunDLXFlow(expt.FlowConfig{CompletionDetection: true})
+		fc, err := expt.RunDLXFlow(expt.FlowConfig{Mode: core.ModeCompletion})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -75,7 +75,7 @@ func desynchronizeWithFallback(ctx context.Context, build func() (*designState, 
 			}
 			return nil
 		}
-		res, err := core.Desynchronize(ctx, st.d, o)
+		res, err := core.Convert(ctx, st.d, o)
 		switch {
 		case err == nil && len(res.UnderMargin) > 0 && attempt < maxMarginRetries:
 			bumped := opts.Margin

@@ -40,7 +40,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"desync/internal/blif"
@@ -56,7 +55,7 @@ import (
 type runOpts struct {
 	in, gen, top, libVariant     string
 	out, sdcOut, blifOut, tbOut  string
-	falsePaths                   string
+	falsePaths, backend          string
 	period, margin               float64
 	mux, manualGroups, simplify  bool
 	skipClean, cdet              bool
@@ -74,6 +73,7 @@ func main() {
 	flag.StringVar(&o.gen, "gen", "", "desynchronize a generated design instead of a file: dlx, arm, fir, or a spec like pipeline:depth=8,width=32")
 	flag.StringVar(&o.top, "top", "", "top module (default: auto-detect)")
 	flag.StringVar(&o.libVariant, "lib", "HS", "technology library variant: HS or LL")
+	flag.StringVar(&o.backend, "backend", "", "clocking-conversion backend: "+strings.Join(core.BackendNames(), " or ")+" (default desync)")
 	flag.Float64Var(&o.period, "period", 0, "original clock period in ns for constraint generation")
 	flag.BoolVar(&o.mux, "mux", false, "build 8-tap multiplexed delay elements (adds delsel[2:0] ports)")
 	flag.Float64Var(&o.margin, "margin", 1.15, "delay-element sizing margin")
@@ -139,17 +139,22 @@ func run(ctx context.Context, o runOpts) error {
 	if o.falsePaths != "" {
 		fps = strings.Split(o.falsePaths, ",")
 	}
+	var mode core.Mode
+	if o.cdet {
+		mode = core.ModeCompletion
+	}
 	opts := core.Options{
+		Backend:    o.backend,
+		Mode:       mode,
 		Period:     o.period,
 		Margin:     o.margin,
 		MuxTaps:    o.mux,
 		FalsePaths: fps,
 		// Pre-grouped generators (arm, the pipeline family) bake their
 		// region assignment into the instances.
-		ManualGroups:        o.manualGroups || designs.PreGrouped(o.gen),
-		SkipClean:           o.skipClean,
-		CompletionDetection: o.cdet,
-		Parallelism:         o.parallelism,
+		ManualGroups: o.manualGroups || designs.PreGrouped(o.gen),
+		SkipClean:    o.skipClean,
+		Parallelism:  o.parallelism,
 	}
 	d, res, err := desynchronizeWithFallback(ctx, func() (*designState, error) {
 		var dd *netlist.Design
@@ -181,60 +186,17 @@ func run(ctx context.Context, o runOpts) error {
 	fmt.Printf("regions: %d (+%d cells in group 0)\n", res.Grouping.Groups, res.Grouping.Group0)
 	fmt.Printf("flip-flops substituted: %d (+%d helper gates)\n",
 		res.Substitution.FFs, res.Substitution.ExtraGates)
-	var nodes []int
-	for _, g := range res.DDG.Nodes {
-		nodes = append(nodes, g)
-	}
-	sort.Ints(nodes)
-	for _, g := range nodes {
-		fmt.Printf("  region %d: succs %v, comb %.3f ns, delay element %d levels\n",
-			g, res.DDG.Succs[g], res.RegionDelays[g].CombMax, res.DelayLevels[g])
-	}
-	fmt.Printf("controllers: %d, C-tree cells: %d, delay cells: %d\n",
-		res.Insert.Controllers, res.Insert.CTreeCells, res.Insert.DelayCells)
-	fmt.Printf("control network: %d regions derived, insert-claim cross-check clean\n",
-		len(res.Network.Regions))
-
-	// Post-export lint gate: the full DS-* family over the final design,
-	// cross-checked against the constraints the run itself generated and
-	// reusing the control-network IR the flow already derived. When the
-	// margin-bump loop gave up and shipped under margin with an advisory,
-	// the DS-MARGIN findings restate that advisory: demote them to warnings
-	// so the acknowledged degradation still exits 0.
-	rep := lint.Check(d.Top, lint.Options{
-		Desync: true, Constraints: res.Constraints, Network: res.Network,
-		Parallelism: o.parallelism,
-	})
-	if len(res.UnderMargin) > 0 {
-		for i := range rep.Findings {
-			if rep.Findings[i].Rule == lint.RuleMargin {
-				rep.Findings[i].Severity = lint.Warning
-			}
-		}
-	}
-	if err := lintGate("post-export", rep, os.Stderr); err != nil {
-		return err
-	}
-
-	// Static marked-graph gate: always on. Polynomial-time liveness,
-	// safety and throughput verdicts over the inserted control network,
-	// plus the estimate that decides whether the exhaustive -equiv gate's
-	// marking budget can reach the design at all.
-	srep, err := staticGate(d, res.Network, os.Stdout, os.Stderr)
-	if err != nil {
-		return err
-	}
-
-	if o.equivGate && equivWithinReach(srep, o.equivMaxStates, os.Stderr) {
-		if err := equivGate(ctx, d, res.Network, o, os.Stdout, os.Stderr); err != nil {
+	switch res.Backend {
+	case core.BackendDesync:
+		if err := desyncGates(ctx, d, res, o); err != nil {
 			return err
 		}
-	}
-
-	if o.faults {
-		if err := runFaultCampaign(ctx, d, res, o, os.Stdout); err != nil {
+	case core.BackendTwoPhase:
+		if err := twophaseGates(d, res, o); err != nil {
 			return err
 		}
+	default:
+		return fmt.Errorf("no gate pipeline for backend %q", res.Backend)
 	}
 
 	if err := os.WriteFile(o.out, []byte(verilog.Write(d)), 0o644); err != nil {
@@ -246,7 +208,9 @@ func run(ctx context.Context, o runOpts) error {
 		}
 	}
 	if o.tbOut != "" {
-		if err := os.WriteFile(o.tbOut, []byte(core.WriteTestbench(d, res, "", o.period)), 0o644); err != nil {
+		if res.Backend != core.BackendDesync {
+			fmt.Fprintf(os.Stderr, "drdesync: -tb drives the handshake reset protocol; not applicable to the %s backend, skipped\n", res.Backend)
+		} else if err := os.WriteFile(o.tbOut, []byte(core.WriteTestbench(d, res, "", o.period)), 0o644); err != nil {
 			return err
 		}
 	}

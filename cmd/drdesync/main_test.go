@@ -76,6 +76,60 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunTwoPhaseBackend drives the CLI end to end with -backend twophase:
+// the converted netlist must carry the two-phase reset port instead of the
+// handshake one, the SDC must define both phase clocks, and the
+// desync-only -tb output must be skipped, not written.
+func TestRunTwoPhaseBackend(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "dlx2p.v")
+	sdcOut := filepath.Join(dir, "dlx2p.sdc")
+	tbOut := filepath.Join(dir, "tb.v")
+	if err := run(context.Background(), runOpts{
+		gen: "dlx", backend: "twophase", libVariant: "HS",
+		out: out, sdcOut: sdcOut, tbOut: tbOut, period: 4.65, margin: 1.15,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := verilog.Read(string(src), stdcells.New(stdcells.HighSpeed), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := d2.Top.Check(); len(errs) > 0 {
+		t.Fatalf("check: %v", errs[0])
+	}
+	if d2.Top.Port("rst_2phase") == nil {
+		t.Fatal("two-phase reset port missing")
+	}
+	if d2.Top.Port("rst_desync") != nil {
+		t.Fatal("handshake reset port on a two-phase conversion")
+	}
+	sdcText, err := os.ReadFile(sdcOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Phi1", "Phi2", "set_disable_timing"} {
+		if !strings.Contains(string(sdcText), want) {
+			t.Fatalf("SDC missing %s", want)
+		}
+	}
+	if _, err := os.Stat(tbOut); !os.IsNotExist(err) {
+		t.Fatal("-tb wrote a testbench for the twophase backend")
+	}
+
+	// An unregistered backend fails with a staged error, not a panic.
+	if err := run(context.Background(), runOpts{
+		gen: "dlx", backend: "fourphase", libVariant: "HS",
+		out: filepath.Join(dir, "o.v"), period: 1, margin: 1.15,
+	}); err == nil || !strings.Contains(err.Error(), "fourphase") {
+		t.Fatalf("unknown backend not rejected: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	// Missing input file.

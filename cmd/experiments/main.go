@@ -10,6 +10,7 @@
 //	experiments -faults
 //	experiments -sweep
 //	experiments -static
+//	experiments -backends
 //	            [-cycles 25] [-chips 60] [-sel 3] [-seed 5] [-j N]
 package main
 
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"desync/internal/cliutil"
+	"desync/internal/core"
 	"desync/internal/expt"
 	"desync/internal/expt/static"
 	"desync/internal/netlist"
@@ -37,6 +39,7 @@ func main() {
 		faults  = flag.Bool("faults", false, "run the DLX fault-injection campaign")
 		doSweep = flag.Bool("sweep", false, "sweep the DLX robustness surface (corners x chips x faults)")
 		doStat  = flag.Bool("static", false, "cross-check the static marked-graph engine against simulation and the BFS")
+		doBacks = flag.Bool("backends", false, "compare the clocking-conversion backends (area, cycle time) over the case studies")
 		scale   = flag.String("scale", "", "measure the netlist-core scaling table at these comma-separated instance counts (e.g. 10000,100000,1000000)")
 	)
 	var seed int64
@@ -44,7 +47,7 @@ func main() {
 	cliutil.SeedVar(flag.CommandLine, &seed, "seed", 5, "random seed")
 	cliutil.ParallelismVar(flag.CommandLine, &jobs)
 	flag.Parse()
-	if !*all && *table == "" && *fig == "" && !*faults && !*doSweep && !*doStat && *scale == "" {
+	if !*all && *table == "" && *fig == "" && !*faults && !*doSweep && !*doStat && !*doBacks && *scale == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -154,6 +157,18 @@ func main() {
 			}
 			static.Render(os.Stdout, tab)
 			fmt.Println()
+			return nil
+		})
+	}
+	if *all || *doBacks {
+		run("backends", func() error {
+			rows, err := expt.CompareBackends(expt.DefaultComparisonSpecs,
+				[]string{core.BackendDesync, core.BackendTwoPhase},
+				expt.FlowConfig{Parallelism: jobs})
+			if err != nil {
+				return err
+			}
+			fmt.Println(expt.RenderBackendTable(rows))
 			return nil
 		})
 	}

@@ -16,11 +16,19 @@
 //	RL-STAGE    Every flowErr(...) call in internal/core must name its stage
 //	            with a Stage* constant (or propagate an enclosing `stage`
 //	            parameter), so FlowError.Stage is always machine-matchable.
-//	RL-FLOW     In the flow driver (internal/core/desync.go), functions that
-//	            return an error must return nil, a propagated error variable,
-//	            or a flowErr(...) call — never a bare fmt.Errorf/errors.New.
-//	            This is what guarantees core.StageOf works on every failure
-//	            that escapes Desynchronize.
+//	RL-FLOW     In the flow driver (internal/core/flow.go, the shared stage
+//	            skeleton), functions that return an error must return nil, a
+//	            propagated error variable, or a flowErr(...) call — never a
+//	            bare fmt.Errorf/errors.New. This is what guarantees
+//	            core.StageOf works on every failure that escapes Convert.
+//	RL-BACKEND  Staged flow errors are minted by the shared skeleton only:
+//	            outside internal/core no file may build a core.FlowError
+//	            composite literal (backends return plain errors; the skeleton
+//	            wraps them with the stage it was running). And the backend
+//	            registry stays inverted: internal/core must not import a
+//	            backend package (backends import core and register themselves
+//	            via RegisterBackend), and backend packages must not import
+//	            each other.
 //	RL-CTRLNET  The G<id>_ control-net naming convention has one owner:
 //	            internal/ctrlnet. Outside it (and internal/handshake, which
 //	            defines the instance-name grammar ctrlnet wraps), no file may
@@ -214,7 +222,7 @@ func run(root string, w io.Writer) (int, error) {
 func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
 	var out []finding
 	core := strings.HasPrefix(rel, "internal/core/")
-	driver := rel == "internal/core/desync.go"
+	driver := rel == "internal/core/flow.go"
 
 	// cmd/repolint is exempt: its finding messages name the forbidden pattern.
 	if !strings.HasPrefix(rel, "internal/ctrlnet/") && !strings.HasPrefix(rel, "internal/handshake/") &&
@@ -225,6 +233,7 @@ func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
 	if !strings.HasPrefix(rel, "internal/netlist/") && !strings.HasPrefix(rel, "cmd/repolint/") {
 		out = append(out, checkNetIDMaps(fset, rel, f)...)
 	}
+	out = append(out, checkBackendBoundaries(fset, rel, f)...)
 
 	for _, decl := range f.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
@@ -267,6 +276,81 @@ func checkFile(fset *token.FileSet, rel string, f *ast.File) []finding {
 		if !mapOrderAllowlist[key] {
 			out = append(out, checkMapOrder(fset, fn)...)
 		}
+	}
+	return out
+}
+
+// flowErrorMintAllowlist exempts audited sites from RL-BACKEND's
+// FlowError-mint check. The only legitimate exemptions are the drdesync
+// CLI's post-flow gates: StageStatic and StageEquiv are driver-side stages
+// that run after Convert returns, so the skeleton cannot wrap them — the
+// gates mint their own staged errors to keep `failed during the %s stage`
+// working for the whole run. Backend packages never qualify.
+var flowErrorMintAllowlist = map[string]bool{
+	"cmd/drdesync/static.go:staticGate": true,
+	"cmd/drdesync/equiv.go:equivGate":   true,
+}
+
+// backendPackages lists every clocking-conversion backend package by import
+// path. Adding a backend means adding its path here, which buys it both
+// directions of the RL-BACKEND import check for free.
+var backendPackages = []string{
+	"desync/internal/twophase",
+}
+
+// checkBackendBoundaries enforces RL-BACKEND: the staged-error mint stays in
+// the skeleton (no core.FlowError composite literal outside internal/core)
+// and the backend registry stays inverted (internal/core imports no backend
+// package; backend packages do not import each other).
+func checkBackendBoundaries(fset *token.FileSet, rel string, f *ast.File) []finding {
+	var out []finding
+	inCore := strings.HasPrefix(rel, "internal/core/")
+	ownPkg := ""
+	for _, bp := range backendPackages {
+		dir := strings.TrimPrefix(bp, "desync/") + "/"
+		if strings.HasPrefix(rel, dir) {
+			ownPkg = bp
+		}
+	}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		for _, bp := range backendPackages {
+			if path != bp {
+				continue
+			}
+			switch {
+			case inCore:
+				out = append(out, finding{fset.Position(imp.Pos()), "RL-BACKEND",
+					fmt.Sprintf("internal/core must not import backend package %s; backends import core and register via RegisterBackend", bp)})
+			case ownPkg != "" && bp != ownPkg:
+				out = append(out, finding{fset.Position(imp.Pos()), "RL-BACKEND",
+					fmt.Sprintf("backend package %s must not import fellow backend %s; shared vocabulary belongs in core, ctrlnet or handshake", ownPkg, bp)})
+			}
+		}
+	}
+	if inCore || strings.HasPrefix(rel, "cmd/repolint/") {
+		return out
+	}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || flowErrorMintAllowlist[rel+":"+fn.Name.Name] {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			sel, ok := cl.Type.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "core" && sel.Sel.Name == "FlowError" {
+				out = append(out, finding{fset.Position(cl.Pos()), "RL-BACKEND",
+					fmt.Sprintf("staged flow errors are minted by the core skeleton only; %s should return a plain error and let Convert wrap it with its stage", fn.Name.Name)})
+			}
+			return true
+		})
 	}
 	return out
 }

@@ -78,7 +78,7 @@ func Desynchronize() (int, error) {
 	return 1, nil
 }
 `
-	got := check(t, "internal/core/desync.go", src)
+	got := check(t, "internal/core/flow.go", src)
 	var flow int
 	for _, r := range got {
 		if r == "RL-FLOW" {
@@ -96,7 +96,70 @@ import "fmt"
 func ecoMeasure() error { return fmt.Errorf("bare but legal here") }
 `
 	if got := check(t, "internal/core/eco.go", src); len(got) != 0 {
-		t.Fatalf("RL-FLOW leaked outside desync.go: %v", got)
+		t.Fatalf("RL-FLOW leaked outside flow.go: %v", got)
+	}
+}
+
+func TestBackendRuleFiresOnCoreImport(t *testing.T) {
+	src := `package core
+import "desync/internal/twophase"
+var _ = twophase.RstPortName
+`
+	got := check(t, "internal/core/backend.go", src)
+	if len(got) != 1 || got[0] != "RL-BACKEND" {
+		t.Fatalf("want [RL-BACKEND] for core importing a backend, got %v", got)
+	}
+}
+
+func TestBackendRuleFiresOnFlowErrorMint(t *testing.T) {
+	src := `package twophase
+import "desync/internal/core"
+func (backend) Size() error {
+	return &core.FlowError{Stage: core.StageSize}
+}
+`
+	got := check(t, "internal/twophase/backend.go", src)
+	if len(got) != 1 || got[0] != "RL-BACKEND" {
+		t.Fatalf("want [RL-BACKEND] for a backend minting a FlowError, got %v", got)
+	}
+}
+
+func TestBackendRuleAllowsInvertedImports(t *testing.T) {
+	// A backend importing core (registration, options, shared substitution)
+	// is the designed direction; so is a cmd driver importing both.
+	src := `package twophase
+import "desync/internal/core"
+func init() { core.RegisterBackend(nil) }
+`
+	if got := check(t, "internal/twophase/backend.go", src); len(got) != 0 {
+		t.Fatalf("backend importing core flagged: %v", got)
+	}
+	cmd := `package main
+import (
+	"desync/internal/core"
+	"desync/internal/twophase"
+)
+var _ = core.BackendTwoPhase
+var _ = twophase.RstPortName
+`
+	if got := check(t, "cmd/drdesync/gates.go", cmd); len(got) != 0 {
+		t.Fatalf("cmd driver importing a backend flagged: %v", got)
+	}
+}
+
+func TestBackendRuleMintAllowlist(t *testing.T) {
+	src := `package main
+import "desync/internal/core"
+func staticGate() error {
+	return &core.FlowError{Stage: core.StageStatic}
+}
+func otherGate() error {
+	return &core.FlowError{Stage: core.StageStatic}
+}
+`
+	got := check(t, "cmd/drdesync/static.go", src)
+	if len(got) != 1 || got[0] != "RL-BACKEND" {
+		t.Fatalf("want [RL-BACKEND] only for the unaudited mint, got %v", got)
 	}
 }
 

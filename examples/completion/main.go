@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 
+	"desync/internal/core"
 	"desync/internal/expt"
 	"desync/internal/netlist"
 )
@@ -29,7 +30,7 @@ func main() {
 	fmt.Printf("flow equivalent: %v\n\n", rd.Correct)
 
 	fmt.Println("== Completion detection (§2.4.4 alternative) ==")
-	fc, err := expt.RunDLXFlow(expt.FlowConfig{CompletionDetection: true})
+	fc, err := expt.RunDLXFlow(expt.FlowConfig{Mode: core.ModeCompletion})
 	if err != nil {
 		log.Fatal(err)
 	}

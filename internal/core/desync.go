@@ -5,262 +5,36 @@ import (
 	"fmt"
 	"sort"
 
-	"desync/internal/ctrlnet"
+	"desync/internal/handshake"
 	"desync/internal/netlist"
-	"desync/internal/sdc"
 	"desync/internal/sta"
 )
 
-// Options configures a desynchronization run (the tool's command line,
-// §3.2).
-type Options struct {
-	// Period is the original clock period in ns, used for the derived
-	// latch-enable clock constraints (Fig 4.2) and the request-path max
-	// delays.
-	Period float64
-	// Margin scales the matched delay elements over the measured region
-	// budget; defaults to 1.15.
-	Margin float64
-	// MuxTaps builds 8-tap multiplexed delay elements selected by new
-	// delsel[2:0] ports (the calibration knob of Fig 5.3).
-	MuxTaps bool
-	// TapScales overrides DefaultTapScales when MuxTaps is set.
-	TapScales []float64
-	// FalsePaths names nets the grouping and dependency analyses ignore
-	// (§3.2.2 "False Paths").
-	FalsePaths []string
-	// ManualGroups keeps the Group fields already present on the instances
-	// (e.g. from a two-level hierarchy import) instead of running the
-	// automatic grouping.
-	ManualGroups bool
-	// SkipClean disables buffer/inverter-pair removal.
-	SkipClean bool
-	// CompletionDetection replaces delay elements with dual-rail completion
-	// networks (§2.4.4): true data-dependent, average-case timing at ~2x
-	// combinational area.
-	CompletionDetection bool
-	// CompletionMargin adds slow-rise levels to each DONE (default 2).
-	CompletionMargin int
-	// StageCheck, when non-nil, runs after each stage's Validate boundary
-	// with the stage name and whether the snapshot is mid-flow (undriven
-	// latch-enable nets are legal). cmd/drdesync hooks the static lint
-	// engine here so every stage is gated, not just import and export; an
-	// error aborts the flow as a FlowError of that stage.
-	StageCheck func(stage string, midFlow bool) error
-	// Progress, when non-nil, is called with each Stage* constant as the
-	// flow enters that stage — the same seams FlowError.Stage reports, in
-	// Stages order (minus StageClean under SkipClean). The job server
-	// streams these to clients; the callback runs on the flow's goroutine,
-	// so it must be fast and must not call back into the design.
-	Progress func(stage string)
-	// Parallelism bounds the workers of the flow's parallel kernels
-	// (per-region STA extraction during delay-element sizing); 0 means
-	// GOMAXPROCS. The flow's output is identical at any value.
-	Parallelism int
-}
-
-// Result reports everything a drdesync run produced.
-type Result struct {
-	CleanedCells int
-	Grouping     GroupingResult
-	Substitution *SubstituteResult
-	DDG          *DDG
-	RegionDelays map[int]*sta.RegionDelay
-	DelayLevels  map[int]int
-	Insert       *InsertResult
-	Constraints  *sdc.Constraints
-	// UnderMargin lists regions whose sized delay element does not cover
-	// the measured launch-to-capture budget (only possible when the margin
-	// is below 1.0). The flow still completes — the ablation studies sweep
-	// such margins deliberately — but cmd/drdesync warns and can auto-bump.
-	UnderMargin []int
-	// Network is the control-network IR derived from the exported netlist
-	// (ctrlnet.Derive); downstream consumers — lint's DS-* rules, the equiv
-	// model, fault campaigns — reuse it instead of re-deriving their own.
-	Network *ctrlnet.Network
-	// CtrlDiff lists disagreements between the insert stage's Claim and
-	// Network. Always empty on a successful flow: any mismatch is a flow
-	// error at the export stage.
-	CtrlDiff []ctrlnet.Mismatch
-}
-
-// Desynchronize converts the synchronous design in place: flatten, clean,
-// group, substitute flip-flops, build the dependency graph, size the
-// matched delay elements and insert the controller network. The datapath is
-// untouched (§2.1); the clock network is gone; the design gains a
-// rst_desync input (and delsel[2:0] when MuxTaps is set), plus environment
-// handshake ports for boundary regions.
+// Desynchronize converts the synchronous design in place with the desync
+// backend: flatten, clean, group, substitute flip-flops, build the
+// dependency graph, size the matched delay elements and insert the
+// controller network. The datapath is untouched (§2.1); the clock network
+// is gone; the design gains a rst_desync input (and delsel[2:0] when
+// MuxTaps is set), plus environment handshake ports for boundary regions.
 //
-// Cancellation is observed at every stage boundary (and inside the sized
-// kernels); a canceled flow aborts as a FlowError of the stage it was
-// entering, leaving the design in that stage's state.
+// It is Convert pinned to BackendDesync — the original single-backend
+// entry point, kept for callers that mean the paper's transformation by
+// name. Callers selecting a backend at run time use Convert directly.
 func Desynchronize(ctx context.Context, d *netlist.Design, opts Options) (*Result, error) {
-	if opts.Margin == 0 {
-		opts.Margin = 1.15
-	}
-	res := &Result{}
-	name := d.Name
-	progress := opts.Progress
-	if progress == nil {
-		progress = func(string) {}
-	}
-
-	// validate runs the netlist invariant checker after each stage so a
-	// stage that corrupts the structure is caught at its own boundary; it
-	// is also where a cancellation between stages surfaces.
-	validate := func(stage string, midFlow bool) error {
-		if err := ctx.Err(); err != nil {
-			return flowErr(stage, name, "canceled", err)
-		}
-		errs := d.Top.Validate(netlist.ValidateOptions{AllowUndriven: midFlow})
-		if len(errs) > 0 {
-			return flowErr(stage, name, "post-stage validation",
-				fmt.Errorf("%v (and %d more)", errs[0], len(errs)-1))
-		}
-		if opts.StageCheck != nil {
-			if err := opts.StageCheck(stage, midFlow); err != nil {
-				return flowErr(stage, name, "post-stage lint", err)
-			}
-		}
-		return nil
-	}
-
-	if err := ctx.Err(); err != nil {
-		return nil, flowErr(StageImport, name, "canceled", err)
-	}
-	progress(StageImport)
-
-	// Design import finalization: the paper's tool works on a flat view; a
-	// two-level netlist flattens with hierarchy-derived groups (§3.2.2).
-	if err := d.Flatten(opts.ManualGroups); err != nil {
-		return nil, flowErr(StageImport, name, "flatten", err)
-	}
-	if missing := MarkFalsePaths(d.Top, opts.FalsePaths); len(missing) > 0 {
-		return nil, flowErr(StageImport, name, "",
-			fmt.Errorf("unknown false-path nets %v", missing))
-	}
-
-	// Single-clock designs only (§4.1); multiple clock domains are the
-	// paper's future work, and silently merging them would fabricate
-	// cross-domain synchronization that the original never had.
-	clocks := map[*netlist.Net]bool{}
-	for _, in := range d.Top.Insts {
-		if in.Cell == nil || in.Cell.Kind != netlist.KindFF {
-			continue
-		}
-		if ck := in.Conn(in.Cell.Seq.ClockPin); ck != nil {
-			clocks[ck] = true
-		}
-	}
-	if len(clocks) > 1 {
-		var names []string
-		for n := range clocks {
-			names = append(names, n.Name)
-		}
-		sort.Strings(names)
-		return nil, flowErr(StageImport, name, "",
-			fmt.Errorf("%d clock domains (%v); the flow supports single-clock designs (§4.1)",
-				len(names), names))
-	}
-	if err := validate(StageImport, true); err != nil {
-		return nil, err
-	}
-
-	if !opts.SkipClean {
-		progress(StageClean)
-		res.CleanedCells = CleanLogic(d.Top)
-		if err := validate(StageClean, true); err != nil {
-			return nil, err
-		}
-	}
-	progress(StageGroup)
-	if opts.ManualGroups {
-		for _, in := range d.Top.Insts {
-			if in.Group < 0 {
-				in.Group = 0
-			}
-		}
-		res.Grouping.Groups = compactGroups(d.Top)
-	} else {
-		res.Grouping = AutoGroup(d.Top)
-	}
-	if res.Grouping.Groups == 0 {
-		return nil, flowErr(StageGroup, name, "", ErrNoRegions)
-	}
-
-	progress(StageSubstitute)
-	sub, err := SubstituteFlipFlops(d)
-	if err != nil {
-		return nil, flowErr(StageSubstitute, name, "", err)
-	}
-	res.Substitution = sub
-	if err := validate(StageSubstitute, true); err != nil {
-		return nil, err
-	}
-
-	progress(StageSize)
-	res.DDG = BuildDDG(d.Top)
-
-	levels, rds, err := SizeDelayElements(ctx, d, res.DDG, opts.Margin, opts.Parallelism)
-	if err != nil {
-		return nil, flowErr(StageSize, name, "", err)
-	}
-	res.DelayLevels = levels
-	res.RegionDelays = rds
-	res.UnderMargin = underMarginRegions(d.Lib, res.DDG, levels, rds)
-
-	progress(StageInsert)
-	cm := opts.CompletionMargin
-	if cm == 0 {
-		cm = 2
-	}
-	ins, err := InsertControlNetwork(d, res.DDG, sub.Enables, levels, InsertOptions{
-		Margin:              opts.Margin,
-		MuxTaps:             opts.MuxTaps,
-		TapScales:           opts.TapScales,
-		Period:              opts.Period,
-		CompletionDetection: opts.CompletionDetection,
-		CompletionMargin:    cm,
-	})
-	if err != nil {
-		return nil, flowErr(StageInsert, name, "control network", err)
-	}
-	res.Insert = ins
-	res.Constraints = ins.Constraints
-
-	progress(StageExport)
-	if errs := d.Top.Check(); len(errs) > 0 {
-		return nil, flowErr(StageExport, name, "netlist checks",
-			fmt.Errorf("%v (and %d more)", errs[0], len(errs)-1))
-	}
-
-	// Cross-check what the insert stage claims it built against what the
-	// exported netlist structurally contains. The derivation is independent
-	// of flow state (names and pin connectivity only), so a disagreement
-	// means a stage corrupted the control network after insertion — a class
-	// of bug per-consumer re-derivation used to absorb silently.
-	res.Network = ctrlnet.Derive(d.Top)
-	res.CtrlDiff = ctrlnet.Diff(ins.Claim, res.Network)
-	if len(res.CtrlDiff) > 0 {
-		return nil, flowErr(StageExport, name, "control-network cross-check",
-			fmt.Errorf("netlist disagrees with the insert stage's claim: %v (and %d more)",
-				res.CtrlDiff[0], len(res.CtrlDiff)-1))
-	}
-
-	if err := validate(StageExport, false); err != nil {
-		return nil, err
-	}
-	return res, nil
+	opts.Backend = BackendDesync
+	res, err := Convert(ctx, d, opts)
+	return res, err
 }
 
 // underMarginRegions flags regions whose sized element delay falls short of
-// the measured budget: the matched element no longer matches.
+// the measured budget: the matched element no longer matches. The per-level
+// delay comes from the same resolver the sizing uses, so the audit can
+// never apply a different quantum than the chain it audits was built with.
 func underMarginRegions(lib *netlist.Library, ddg *DDG, levels map[int]int, rds map[int]*sta.RegionDelay) []int {
-	arc := lib.MustCell("AND2X1").Arc("A", "Z")
-	if arc == nil {
+	level, err := handshake.DelayLevel(lib)
+	if err != nil || level <= 0 {
 		return nil
 	}
-	level := arc.Rise.At(netlist.Worst)
 	var under []int
 	for _, g := range ddg.Nodes {
 		rd := rds[g]

@@ -14,7 +14,7 @@ const (
 	StageGroup      = "group"
 	StageSubstitute = "substitute"
 	StageSize       = "size"
-	StageInsert     = "insert"
+	StageGenerate   = "generate"
 	StageExport     = "export"
 	StageStatic     = "static"
 	StageEquiv      = "equiv"
@@ -26,7 +26,7 @@ const (
 // run by the drivers, not by Desynchronize itself.
 var Stages = []string{
 	StageImport, StageClean, StageGroup, StageSubstitute,
-	StageSize, StageInsert, StageExport,
+	StageSize, StageGenerate, StageExport,
 }
 
 // ErrNoRegions reports that grouping produced no desynchronization regions

@@ -24,9 +24,10 @@ func SizeDelayElements(ctx context.Context, d *netlist.Design, ddg *DDG, margin 
 	if err != nil {
 		return nil, nil, err
 	}
-	and := d.Lib.MustCell("AND2X1")
-	arc := and.Arc("A", "Z")
-	level := arc.Rise.At(netlist.Worst)
+	level, err := handshake.DelayLevel(d.Lib)
+	if err != nil {
+		return nil, nil, err
+	}
 	levels := map[int]int{}
 	for _, g := range ddg.Nodes {
 		budget := 0.0
@@ -404,7 +405,8 @@ func exposeNet(m *netlist.Module, lib *netlist.Library, port string, src *netlis
 }
 
 // masterSlaveLevels sizes the master→slave request delay: the worst latch
-// enable-to-output plus the worst latch setup, over one AND level's rise.
+// enable-to-output plus the worst latch setup, over one delay-element
+// level's rise (resolved from the library's actual delay cell).
 func masterSlaveLevels(lib *netlist.Library, margin float64) int {
 	var c2q, setup float64
 	for _, c := range lib.Cells {
@@ -416,7 +418,10 @@ func masterSlaveLevels(lib *netlist.Library, margin float64) int {
 		}
 		setup = math.Max(setup, c.Setup.Worst)
 	}
-	level := lib.MustCell("AND2X1").Arc("A", "Z").Rise.Worst
+	level, err := handshake.DelayLevel(lib)
+	if err != nil || level <= 0 {
+		return 2
+	}
 	n := int(math.Ceil((c2q + setup) * margin / level))
 	if n < 2 {
 		n = 2

@@ -37,7 +37,7 @@ func TestProgressSkipsCleanUnderSkipClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{StageImport, StageGroup, StageSubstitute, StageSize, StageInsert, StageExport}
+	want := []string{StageImport, StageGroup, StageSubstitute, StageSize, StageGenerate, StageExport}
 	if !reflect.DeepEqual(seen, want) {
 		t.Fatalf("progress sequence %v, want %v", seen, want)
 	}
@@ -78,7 +78,7 @@ func TestProgressStopsAtFailingStage(t *testing.T) {
 		t.Fatalf("failed at stage %s but progress last entered %s", stage, last)
 	}
 	for _, s := range seen[:len(seen)-1] {
-		if s == StageInsert || s == StageExport {
+		if s == StageGenerate || s == StageExport {
 			t.Fatalf("progress ran past the cancelled stage: %v", seen)
 		}
 	}

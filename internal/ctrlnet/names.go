@@ -100,3 +100,46 @@ func IsEnvRequestNet(name string, g int) bool {
 func IsDelayInstName(name string) bool {
 	return strings.Contains(name, "_delem/") || strings.Contains(name, "_deMS/")
 }
+
+// Two-phase clock-generator names (the twophase backend). The generator is
+// region-independent, so its gates live under the fixed TPGenPrefix; only
+// the per-region phase-distribution buffers carry the "G<id>_" prefix. The
+// names follow the same round-trip discipline as the handshake network:
+// twophase.Derive rebuilds its IR from a re-read netlist using them alone.
+const (
+	// TPGenPrefix roots every generator-owned instance and net name.
+	TPGenPrefix = "TPgen"
+	// TPSrcName is the ring-oscillator NOR: A = rst_2phase, B = the ring
+	// feedback, Z = the raw oscillation.
+	TPSrcName = "TPgen/src"
+	// TPInvName inverts the raw oscillation for the phase splitter.
+	TPInvName = "TPgen/inv"
+	// TPPhase1Name / TPPhase2Name are the cross-coupled splitter NORs whose
+	// Z pins are the phi1 / phi2 phase roots.
+	TPPhase1Name = "TPgen/p1"
+	TPPhase2Name = "TPgen/p2"
+	// TPRingPrefix is the symmetric buffer chain setting the half-period.
+	TPRingPrefix = "TPgen_ring"
+	// TPNov1Prefix / TPNov2Prefix are the non-overlap feedback chains from
+	// phi1 into the p2 NOR and from phi2 into the p1 NOR.
+	TPNov1Prefix = "TPgen_nov1"
+	TPNov2Prefix = "TPgen_nov2"
+)
+
+// TPDistName returns region g's phase-distribution buffer name: the master
+// (phi1) or slave (phi2) enable driver.
+func TPDistName(g int, master bool) string {
+	if master {
+		return Name(g, "tpm")
+	}
+	return Name(g, "tps")
+}
+
+// IsTPGenName reports whether an instance or net name belongs to the
+// two-phase generator core (not the per-region distribution, which the
+// "G<id>_" convention already classifies).
+func IsTPGenName(name string) bool {
+	return name == TPGenPrefix ||
+		strings.HasPrefix(name, TPGenPrefix+"/") ||
+		strings.HasPrefix(name, TPGenPrefix+"_")
+}

@@ -47,9 +47,11 @@ type FlowConfig struct {
 	// SingleRegion desynchronizes the whole design as one region (the
 	// ARM-style fallback), for the grouping ablation.
 	SingleRegion bool
-	// CompletionDetection replaces delay elements with dual-rail completion
-	// networks (§2.4.4).
-	CompletionDetection bool
+	// Backend selects the conversion backend (empty = the desync default).
+	Backend string
+	// Mode selects a backend sub-strategy; core.ModeCompletion replaces
+	// delay elements with dual-rail completion networks (§2.4.4).
+	Mode core.Mode
 	// Parallelism bounds the flow's parallel kernels; 0 means GOMAXPROCS.
 	// The results are identical at any value.
 	Parallelism int
@@ -88,14 +90,15 @@ func RunDLXFlow(cfg FlowConfig) (*DLXFlow, error) {
 			in.Group = 1
 		}
 	}
-	f.Result, err = core.Desynchronize(context.Background(), f.Desync, core.Options{
-		Period:              f.Period,
-		Margin:              cfg.Margin,
-		MuxTaps:             cfg.MuxTaps,
-		TapScales:           cfg.TapScales,
-		ManualGroups:        cfg.SingleRegion,
-		CompletionDetection: cfg.CompletionDetection,
-		Parallelism:         cfg.Parallelism,
+	f.Result, err = core.Convert(context.Background(), f.Desync, core.Options{
+		Backend:      cfg.Backend,
+		Mode:         cfg.Mode,
+		Period:       f.Period,
+		Margin:       cfg.Margin,
+		MuxTaps:      cfg.MuxTaps,
+		TapScales:    cfg.TapScales,
+		ManualGroups: cfg.SingleRegion,
+		Parallelism:  cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err

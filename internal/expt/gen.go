@@ -48,14 +48,15 @@ func RunGenFlow(spec string, cfg FlowConfig) (*GenFlow, error) {
 	if f.Desync, err = designs.ParseSpec(spec, nil); err != nil {
 		return nil, err
 	}
-	f.Result, err = core.Desynchronize(context.Background(), f.Desync, core.Options{
-		Period:              f.Period,
-		Margin:              cfg.Margin,
-		MuxTaps:             cfg.MuxTaps,
-		TapScales:           cfg.TapScales,
-		ManualGroups:        designs.PreGrouped(spec),
-		CompletionDetection: cfg.CompletionDetection,
-		Parallelism:         cfg.Parallelism,
+	f.Result, err = core.Convert(context.Background(), f.Desync, core.Options{
+		Backend:      cfg.Backend,
+		Mode:         cfg.Mode,
+		Period:       f.Period,
+		Margin:       cfg.Margin,
+		MuxTaps:      cfg.MuxTaps,
+		TapScales:    cfg.TapScales,
+		ManualGroups: designs.PreGrouped(spec),
+		Parallelism:  cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -126,7 +126,7 @@ func RenderScaleTable(ctx context.Context, w io.Writer, targets []int, paralleli
 			round(row.Build), round(row.Export), round(row.Import),
 			round(row.Hash), round(row.Validate),
 			round(row.Stages[core.StageSubstitute]), round(row.Stages[core.StageSize]),
-			round(row.Stages[core.StageInsert]), round(row.Derive), round(row.Flow))
+			round(row.Stages[core.StageGenerate]), round(row.Derive), round(row.Flow))
 	}
 	return nil
 }

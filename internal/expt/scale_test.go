@@ -25,7 +25,7 @@ func TestScalePipelineSmoke(t *testing.T) {
 	if row.Flow == 0 || row.Import == 0 || row.Derive == 0 {
 		t.Fatalf("unmeasured stages in row: %+v", row)
 	}
-	for _, stage := range []string{core.StageSubstitute, core.StageSize, core.StageInsert} {
+	for _, stage := range []string{core.StageSubstitute, core.StageSize, core.StageGenerate} {
 		if _, ok := row.Stages[stage]; !ok {
 			t.Fatalf("flow never reported stage %q (got %v)", stage, row.SortedStageNames())
 		}

@@ -22,7 +22,7 @@ const (
 type Event struct {
 	// Seq numbers the event within its job, from 0.
 	Seq int `json:"seq"`
-	// Kind is submitted|cached|start|stage|gate|note|artifact|done|failed|canceled.
+	// Kind is submitted|cached|attached|start|stage|gate|note|artifact|done|failed|canceled.
 	Kind string `json:"kind"`
 	// Stage is the flow stage for kind=stage and the gate name for kind=gate.
 	Stage string `json:"stage,omitempty"`
@@ -37,6 +37,7 @@ type Status struct {
 	Design    string   `json:"design,omitempty"`
 	Gen       string   `json:"gen,omitempty"`
 	Cached    bool     `json:"cached"`
+	Attached  string   `json:"attached,omitempty"`
 	CacheKey  string   `json:"cacheKey"`
 	Stage     string   `json:"stage,omitempty"`
 	Error     string   `json:"error,omitempty"`
@@ -61,6 +62,7 @@ type job struct {
 	stage    string
 	errMsg   string
 	cached   bool
+	attached string // leader job id when this submission rode an in-flight run
 	events   []Event
 	changed  chan struct{}
 	done     chan struct{}
@@ -154,6 +156,31 @@ func (j *job) finish(state, msg string, artifacts map[string][]byte, cached bool
 	close(j.done)
 }
 
+// attach marks the job a follower of the in-flight leader. Called under the
+// server lock at admission, before any other goroutine can see the job.
+func (j *job) attach(leaderID string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attached = leaderID
+	j.eventLocked("attached", "",
+		"identical submission already in flight; attached to job "+leaderID)
+}
+
+// isTerminal reports whether the job already reached a terminal state.
+func (j *job) isTerminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return terminalState(j.state)
+}
+
+// outcome snapshots a terminal job's result for followers. Only valid after
+// done is closed (finish publishes every field before closing it).
+func (j *job) outcome() (state, msg string, artifacts map[string][]byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg, j.artifacts
+}
+
 // cancel requests cancellation: a queued job terminates immediately, a
 // running one has its flow context canceled and terminates at the next
 // stage boundary. Terminal jobs are left alone. Reports whether the
@@ -186,7 +213,8 @@ func (j *job) status() Status {
 	defer j.mu.Unlock()
 	st := Status{
 		ID: j.id, State: j.state, Gen: j.req.Gen, Cached: j.cached,
-		CacheKey: j.key, Stage: j.stage, Error: j.errMsg, Events: len(j.events),
+		Attached: j.attached, CacheKey: j.key, Stage: j.stage,
+		Error: j.errMsg, Events: len(j.events),
 	}
 	if j.design != nil {
 		st.Design = j.design.Top.Name

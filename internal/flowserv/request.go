@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 
+	"desync/internal/core"
 	"desync/internal/designs"
 	"desync/internal/netlist"
 	"desync/internal/stdcells"
@@ -15,14 +16,24 @@ import (
 
 // cacheKeyVersion is folded into every cache key so a change to the flow's
 // canonicalization (new option, different defaults) invalidates old entries
-// instead of serving results computed under different semantics.
-const cacheKeyVersion = "drserve-cache-v1"
+// instead of serving results computed under different semantics. v2: the
+// backend/mode pair replaced the cdet boolean and the canonical form now
+// spells out the backend defaults.
+const cacheKeyVersion = "drserve-cache-v2"
 
 // FlowOptions is the client-facing option set of one job, a JSON mirror of
 // core.Options plus the optional verification gates. Zero values mean the
-// flow defaults (margin 1.15, completion margin 2); Canonicalize makes the
-// defaults explicit so equivalent requests share one cache entry.
+// flow defaults (backend desync, mode matched, margin 1.15); Canonicalize
+// makes the defaults explicit so equivalent requests share one cache entry.
 type FlowOptions struct {
+	// Backend selects the clocking-conversion backend: "desync" (the
+	// default, the paper's handshake control network) or any other backend
+	// registered with the core flow, e.g. "twophase".
+	Backend string `json:"backend,omitempty"`
+	// Mode selects a backend sub-strategy. For the desync backend:
+	// "matched" (default) or "cdet" (dual-rail completion detection,
+	// §2.4.4). Backends without modes reject a non-empty value.
+	Mode string `json:"mode,omitempty"`
 	// Period is the original clock period in ns; 0 derives it from STA over
 	// the input design (worst launch-to-capture budget x 1.05).
 	Period float64 `json:"period,omitempty"`
@@ -34,9 +45,6 @@ type FlowOptions struct {
 	ManualGroups bool `json:"manualGroups,omitempty"`
 	// SkipClean disables buffer/inverter-pair removal.
 	SkipClean bool `json:"skipClean,omitempty"`
-	// CompletionDetection replaces delay elements with dual-rail completion
-	// networks (§2.4.4).
-	CompletionDetection bool `json:"cdet,omitempty"`
 	// Equiv runs the exhaustive marked-graph gate post-export (skipped with
 	// an explicit note when the state estimate exceeds the budget).
 	Equiv bool `json:"equiv,omitempty"`
@@ -72,13 +80,44 @@ type JobRequest struct {
 	Options FlowOptions `json:"options"`
 }
 
+// coreOptions maps the JSON mirror's flow knobs onto the flow's own option
+// type. The gate knobs (equiv, faults) are server-side and stay behind.
+func (o FlowOptions) coreOptions() core.Options {
+	return core.Options{
+		Backend:      o.Backend,
+		Mode:         core.Mode(o.Mode),
+		Period:       o.Period,
+		Margin:       o.Margin,
+		MuxTaps:      o.MuxTaps,
+		ManualGroups: o.ManualGroups,
+		SkipClean:    o.SkipClean,
+		Parallelism:  o.Parallelism,
+	}
+}
+
 // Canonicalize returns the options with every documented default applied
 // and the parallelism request removed — the form that is hashed into the
-// cache key, so that {} and {"margin":1.15} address the same entry.
-func (o FlowOptions) Canonicalize() FlowOptions {
+// cache key, so that {} and {"margin":1.15} address the same entry. The
+// flow knobs defer to core.Options.Canonicalize — defaulting is defined
+// once, there — so the server can never hash a different canonical form
+// than the flow runs; an error names an unknown backend or mode.
+func (o FlowOptions) Canonicalize() (FlowOptions, error) {
+	co, err := o.coreOptions().Canonicalize()
+	if err != nil {
+		return o, err
+	}
 	c := o
-	if c.Margin == 0 {
-		c.Margin = 1.15
+	c.Backend = co.Backend
+	c.Mode = string(co.Mode)
+	c.Margin = co.Margin
+	c.MuxTaps = co.MuxTaps
+	if c.Backend != core.BackendDesync {
+		// The equiv and faults gates model the handshake control network, so
+		// under any other backend they are inert: zero them so a request that
+		// asked anyway shares the cache entry of one that did not. The run
+		// reports the drop with a note event.
+		c.Equiv = false
+		c.Faults = false
 	}
 	if c.FaultCycles == 0 {
 		c.FaultCycles = 12
@@ -96,7 +135,7 @@ func (o FlowOptions) Canonicalize() FlowOptions {
 		c.EquivMaxStates = 0
 	}
 	c.Parallelism = 0
-	return c
+	return c, nil
 }
 
 // validate rejects malformed requests before any work happens.
@@ -114,6 +153,11 @@ func (r *JobRequest) validate() error {
 	}
 	if r.Gen != "" && r.Top != "" {
 		return fmt.Errorf("top applies to uploads only")
+	}
+	// Backend and mode are validated by the flow's own canonicalization, so
+	// an unknown pair is rejected at submit time, not mid-run.
+	if _, err := r.Options.Canonicalize(); err != nil {
+		return fmt.Errorf("options: %w", err)
 	}
 	return nil
 }
@@ -160,7 +204,11 @@ func (r *JobRequest) normalize() {
 // the same entry; any change that can alter the flow's output — netlist
 // content, library variant, any canonical option — lands on a new one.
 func cacheKey(d *netlist.Design, opts FlowOptions) (string, error) {
-	oj, err := json.Marshal(opts.Canonicalize())
+	canon, err := opts.Canonicalize()
+	if err != nil {
+		return "", err
+	}
+	oj, err := json.Marshal(canon)
 	if err != nil {
 		return "", err
 	}

@@ -13,6 +13,7 @@ import (
 	"desync/internal/mga"
 	"desync/internal/netlist"
 	"desync/internal/sta"
+	_ "desync/internal/twophase" // registers the twophase backend with the core flow
 	"desync/internal/verilog"
 )
 
@@ -79,7 +80,13 @@ var testStageHook func(ctx context.Context, stage string)
 func runFlow(ctx context.Context, j *job, jobParallelism int) (map[string][]byte, error) {
 	arts := map[string][]byte{}
 	d := j.design
-	opts := j.req.Options.Canonicalize()
+	// Submit-time validation already canonicalized once; a failure here
+	// would mean the request mutated in flight.
+	opts, err := j.req.Options.Canonicalize()
+	if err != nil {
+		return arts, fmt.Errorf("options: %w", err)
+	}
+	canonical := opts
 	opts.Parallelism = jobParallelism
 
 	// Pre-import gate: reject structurally broken inputs before the heavy
@@ -98,14 +105,15 @@ func runFlow(ctx context.Context, j *job, jobParallelism int) (map[string][]byte
 		}
 	}
 
-	res, err := core.Desynchronize(ctx, d, core.Options{
-		Period:              period,
-		Margin:              opts.Margin,
-		MuxTaps:             opts.MuxTaps,
-		ManualGroups:        opts.ManualGroups,
-		SkipClean:           opts.SkipClean,
-		CompletionDetection: opts.CompletionDetection,
-		Parallelism:         opts.Parallelism,
+	res, err := core.Convert(ctx, d, core.Options{
+		Backend:      opts.Backend,
+		Mode:         core.Mode(opts.Mode),
+		Period:       period,
+		Margin:       opts.Margin,
+		MuxTaps:      opts.MuxTaps,
+		ManualGroups: opts.ManualGroups,
+		SkipClean:    opts.SkipClean,
+		Parallelism:  opts.Parallelism,
 		Progress: func(stage string) {
 			j.setStage(stage)
 			if testStageHook != nil {
@@ -125,11 +133,17 @@ func runFlow(ctx context.Context, j *job, jobParallelism int) (map[string][]byte
 	}
 
 	// Post-export lint over the final design, cross-checked against the
-	// constraints the run generated, reusing the flow's derived IR.
-	lrep := lint.Check(d.Top, lint.Options{
-		Desync: true, Constraints: res.Constraints, Network: res.Network,
-		Parallelism: opts.Parallelism,
-	})
+	// constraints the run generated. The rule family follows the backend:
+	// DS-* (reusing the flow's derived control-network IR) after a
+	// desynchronization, TP-* after a two-phase conversion.
+	lopts := lint.Options{Constraints: res.Constraints, Parallelism: opts.Parallelism}
+	if res.Backend == core.BackendDesync {
+		lopts.Desync = true
+		lopts.Network = res.Network
+	} else {
+		lopts.TwoPhase = true
+	}
+	lrep := lint.Check(d.Top, lopts)
 	if lj, err := lrep.JSON(); err == nil {
 		arts[ArtifactLint] = lj
 	}
@@ -138,27 +152,42 @@ func runFlow(ctx context.Context, j *job, jobParallelism int) (map[string][]byte
 	}
 	j.event("gate", "lint", "post-export lint clean")
 
-	// Static marked-graph gate: always on, polynomial time.
-	srep, err := mga.Analyze(d.Top, res.Network, mga.Options{})
-	if err != nil {
-		return arts, fmt.Errorf("static marked-graph gate: %w", err)
-	}
-	var sbuf bytes.Buffer
-	if err := srep.WriteJSON(&sbuf); err == nil {
-		arts[ArtifactStatic] = sbuf.Bytes()
-	}
-	if n := srep.LintReport(srep.ModelFindings).Errors(); n > 0 {
-		return arts, fmt.Errorf("static marked-graph gate: %d error finding(s)", n)
-	}
-	j.event("gate", "static", "liveness, safety and period verdicts clean")
+	// The remaining gates model the handshake control network, so they run
+	// only for the desync backend. Canonicalization already zeroed the equiv
+	// and faults knobs for other backends; if the submitter asked anyway, say
+	// why nothing ran instead of silently passing.
+	staticOK := false
+	equivRan := false
+	equivNote := ""
+	if res.Backend == core.BackendDesync {
+		// Static marked-graph gate: always on, polynomial time.
+		srep, err := mga.Analyze(d.Top, res.Network, mga.Options{})
+		if err != nil {
+			return arts, fmt.Errorf("static marked-graph gate: %w", err)
+		}
+		var sbuf bytes.Buffer
+		if err := srep.WriteJSON(&sbuf); err == nil {
+			arts[ArtifactStatic] = sbuf.Bytes()
+		}
+		if n := srep.LintReport(srep.ModelFindings).Errors(); n > 0 {
+			return arts, fmt.Errorf("static marked-graph gate: %d error finding(s)", n)
+		}
+		j.event("gate", "static", "liveness, safety and period verdicts clean")
+		staticOK = true
 
-	equivRan, equivNote, err := runEquivGate(ctx, j, d, res, opts, arts)
-	if err != nil {
-		return arts, err
-	}
-	if opts.Faults {
-		if err := runFaultsGate(ctx, j, d, res, opts, period, arts); err != nil {
+		equivRan, equivNote, err = runEquivGate(ctx, j, d, res, opts, arts)
+		if err != nil {
 			return arts, err
+		}
+		if opts.Faults {
+			if err := runFaultsGate(ctx, j, d, res, opts, period, arts); err != nil {
+				return arts, err
+			}
+		}
+	} else {
+		j.event("note", "static", "marked-graph gates model the handshake control network; not applicable to the "+res.Backend+" backend")
+		if j.req.Options.Equiv || j.req.Options.Faults {
+			j.event("note", "gates", "equiv and faults gates are desync-only; dropped at canonicalization")
 		}
 	}
 
@@ -166,13 +195,16 @@ func runFlow(ctx context.Context, j *job, jobParallelism int) (map[string][]byte
 	arts[ArtifactConstraints] = []byte(res.Constraints.Write())
 	sum := Summary{
 		Design: d.Top.Name, Gen: j.req.Gen, Lib: j.req.Lib,
-		CacheKey: j.key, Options: j.req.Options.Canonicalize(),
+		CacheKey: j.key, Options: canonical,
 		Period: period, Regions: res.Grouping.Groups,
 		Cleaned: res.CleanedCells, FFs: res.Substitution.FFs,
-		Controllers: res.Insert.Controllers, DelayCells: res.Insert.DelayCells,
 		UnderMargin: res.UnderMargin, LintErrors: lrep.Errors(),
-		StaticOK: true, EquivRan: equivRan, EquivNote: equivNote,
+		StaticOK: staticOK, EquivRan: equivRan, EquivNote: equivNote,
 		FaultsRan: opts.Faults,
+	}
+	if res.Insert != nil {
+		sum.Controllers = res.Insert.Controllers
+		sum.DelayCells = res.Insert.DelayCells
 	}
 	sum.Artifacts = artifactNames(arts)
 	// result.json names itself in the artifact list.

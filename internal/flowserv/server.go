@@ -1,17 +1,20 @@
-// Package flowserv runs the desynchronization flow as a long-lived HTTP job
-// service: clients submit a design (an uploaded gate-level netlist or one of
-// the built-in case-study generators) plus flow options, poll or stream the
-// job's per-stage progress, and fetch the exported netlist, constraints and
-// verification reports from stable artifact URLs.
+// Package flowserv runs the clocking-conversion flow as a long-lived HTTP
+// job service: clients submit a design (an uploaded gate-level netlist or
+// one of the built-in case-study generators) plus flow options, poll or
+// stream the job's per-stage progress, and fetch the exported netlist,
+// constraints and verification reports from stable artifact URLs.
 //
 // The server is built from the repo's existing layers rather than beside
-// them: jobs execute core.Desynchronize with the same gate discipline as
-// cmd/drdesync, a bounded queue with per-job worker budgets layers on
-// internal/par, and a content-addressed LRU cache keyed on the canonical
-// netlist hash plus canonicalized options serves byte-identical artifacts
-// for repeated submissions — the cross-request analogue of ctrlnet's ModSeq
-// memoization, sound because every kernel in the repo produces identical
-// output at any parallelism.
+// them: jobs execute core.Convert under the request's backend with the
+// same gate discipline as cmd/drdesync, a bounded queue with per-job
+// worker budgets layers on internal/par, and a content-addressed LRU
+// cache keyed on the canonical netlist hash plus canonicalized options
+// serves byte-identical artifacts for repeated submissions — the
+// cross-request analogue of ctrlnet's ModSeq memoization, sound because
+// every kernel in the repo produces identical output at any parallelism.
+// Identical submissions racing in before a result exists are deduplicated
+// at admission: the duplicate attaches to the in-flight leader and copies
+// its terminal outcome instead of running the flow again.
 package flowserv
 
 import (
@@ -76,6 +79,9 @@ type ServerStats struct {
 	Done     int        `json:"done"`
 	Failed   int        `json:"failed"`
 	Canceled int        `json:"canceled"`
+	// Attached counts submissions that rode an identical in-flight run
+	// instead of queueing their own (cumulative).
+	Attached int        `json:"attached"`
 	Draining bool       `json:"draining"`
 	Cache    CacheStats `json:"cache"`
 }
@@ -93,15 +99,22 @@ type Server struct {
 	nextID   int
 	queue    chan *job
 	draining bool
+	// inflight maps a cache key to the job currently computing it (queued
+	// or running). An identical submission arriving meanwhile attaches to
+	// this leader instead of queueing a duplicate run — the in-flight
+	// analogue of the result cache.
+	inflight map[string]*job
+	attached int // total follower submissions, for /stats
 }
 
 // New builds a server from cfg (zero fields take the documented defaults).
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg.withDefaults(),
-		results: newCache(cfg.withDefaults().CacheEntries),
-		jobs:    map[string]*job{},
-		nextID:  1,
+		results:  newCache(cfg.withDefaults().CacheEntries),
+		jobs:     map[string]*job{},
+		inflight: map[string]*job{},
+		nextID:   1,
 	}
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	mux := http.NewServeMux()
@@ -184,10 +197,13 @@ func (s *Server) beginDrain() {
 	close(s.queue)
 	s.mu.Unlock()
 	// Cancel outside the lock: queued jobs terminate immediately, ones a
-	// worker already started are left to the grace period.
+	// worker already started are left to the grace period. Followers are
+	// skipped — they terminate with their leader, which the grace period
+	// already bounds (a queued leader is canceled right here, a running one
+	// at the grace deadline).
 	for _, j := range queued {
 		j.mu.Lock()
-		isQueued := j.state == StateQueued
+		isQueued := j.state == StateQueued && j.attached == ""
 		j.mu.Unlock()
 		if isQueued {
 			j.cancel("server draining")
@@ -197,6 +213,7 @@ func (s *Server) beginDrain() {
 
 // runJob executes one dequeued job to a terminal state.
 func (s *Server) runJob(ctx context.Context, j *job) {
+	defer s.clearInflight(j)
 	jctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	if !j.start(cancel) {
@@ -212,6 +229,19 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	default:
 		j.finish(StateFailed, err.Error(), arts, false)
 	}
+}
+
+// clearInflight drops the job's singleflight registration once it can no
+// longer be attached to. Runs for every dequeued job, including ones
+// canceled while queued (start fails, the run is skipped, the entry must
+// still go); the identity check keeps a later leader under the same key
+// safe from a stale clear.
+func (s *Server) clearInflight(j *job) {
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
 }
 
 // jobBudget clamps a request's parallelism ask to the server's per-job
@@ -284,11 +314,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, j.status())
 		return
 	}
+	// Singleflight: an identical submission already queued or running
+	// becomes a follower of that leader — no duplicate run, no queue slot.
+	// The follower terminates with the leader's outcome (including
+	// cancellation: attaching means sharing the leader's fate).
+	if leader, ok := s.inflight[key]; ok && !leader.isTerminal() {
+		s.nextID++
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		j.attach(leader.id)
+		s.attached++
+		s.mu.Unlock()
+		go func() {
+			<-leader.done
+			state, msg, arts := leader.outcome()
+			j.finish(state, msg, arts, false)
+		}()
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
 	select {
 	case s.queue <- j:
 		s.nextID++
 		s.jobs[id] = j
 		s.order = append(s.order, id)
+		s.inflight[key] = j
 		s.mu.Unlock()
 		writeJSON(w, http.StatusAccepted, j.status())
 	default:
@@ -392,6 +442,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := ServerStats{Cache: s.results.stats()}
 	s.mu.Lock()
 	st.Draining = s.draining
+	st.Attached = s.attached
 	for _, id := range s.order {
 		switch s.jobs[id].status().State {
 		case StateQueued:

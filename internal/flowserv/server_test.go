@@ -277,6 +277,165 @@ func TestUploadVerilogLifecycle(t *testing.T) {
 	}
 }
 
+// TestSingleflightAttach holds one job in flight and submits it again:
+// the duplicate must attach to the running leader (no second run, no queue
+// slot), terminate with the leader's artifacts byte-identically, and show
+// up in /stats. A submission with different options must not attach.
+func TestSingleflightAttach(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	testStageHook = func(ctx context.Context, stage string) {
+		if stage == "clean" {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+		}
+	}
+	t.Cleanup(func() { testStageHook = nil; once.Do(func() { close(release) }) })
+
+	_, hs := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	leader := submitJob(t, hs.URL, `{"gen":"fir"}`)
+	waitForKind(t, hs.URL, leader.ID, "start")
+
+	follower := submitJob(t, hs.URL, `{"gen":"fir"}`)
+	if follower.Attached != leader.ID {
+		t.Fatalf("duplicate submission did not attach: %+v", follower)
+	}
+	if follower.Cached {
+		t.Fatalf("follower claims a cache hit: %+v", follower)
+	}
+	// Different canonical options queue their own run instead of attaching.
+	other := submitJob(t, hs.URL, `{"gen":"fir","options":{"margin":1.3}}`)
+	if other.Attached != "" {
+		t.Fatalf("different options attached to the leader: %+v", other)
+	}
+
+	once.Do(func() { close(release) })
+	lDone := waitTerminal(t, hs.URL, leader.ID)
+	fDone := waitTerminal(t, hs.URL, follower.ID)
+	waitTerminal(t, hs.URL, other.ID)
+	if lDone.State != StateDone || fDone.State != StateDone {
+		t.Fatalf("leader %s, follower %s", lDone.State, fDone.State)
+	}
+	if fmt.Sprint(fDone.Artifacts) != fmt.Sprint(lDone.Artifacts) {
+		t.Fatalf("artifact lists differ: %v vs %v", fDone.Artifacts, lDone.Artifacts)
+	}
+	for _, name := range lDone.Artifacts {
+		_, lb := mustGet(t, hs.URL+"/jobs/"+leader.ID+"/artifacts/"+name)
+		_, fb := mustGet(t, hs.URL+"/jobs/"+follower.ID+"/artifacts/"+name)
+		if !bytes.Equal(lb, fb) {
+			t.Fatalf("artifact %s differs between leader and follower", name)
+		}
+	}
+	evs := streamEvents(t, hs.URL, follower.ID)
+	var sawAttach bool
+	for _, ev := range evs {
+		if ev.Kind == "attached" {
+			sawAttach = true
+		}
+		if ev.Kind == "start" || ev.Kind == "stage" {
+			t.Fatalf("follower ran its own flow: %+v", ev)
+		}
+	}
+	if !sawAttach {
+		t.Fatalf("follower stream lacks the attached event: %+v", evs)
+	}
+
+	var stats ServerStats
+	_, sb := mustGet(t, hs.URL+"/stats")
+	if err := json.Unmarshal(sb, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Attached != 1 {
+		t.Fatalf("stats.Attached = %d, want 1", stats.Attached)
+	}
+
+	// The leader is terminal and out of flight: the same submission now
+	// hits the result cache instead of attaching.
+	again := submitJob(t, hs.URL, `{"gen":"fir"}`)
+	if !again.Cached || again.Attached != "" {
+		t.Fatalf("post-completion resubmission: %+v", again)
+	}
+}
+
+// TestSingleflightFollowsCancel: canceling the leader cancels everyone who
+// attached to it — sharing a run means sharing its fate.
+func TestSingleflightFollowsCancel(t *testing.T) {
+	testStageHook = func(ctx context.Context, stage string) {
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Minute):
+		}
+	}
+	t.Cleanup(func() { testStageHook = nil })
+
+	_, hs := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	leader := submitJob(t, hs.URL, `{"gen":"fir"}`)
+	waitForKind(t, hs.URL, leader.ID, "start")
+	follower := submitJob(t, hs.URL, `{"gen":"fir"}`)
+	if follower.Attached != leader.ID {
+		t.Fatalf("duplicate did not attach: %+v", follower)
+	}
+	if code, _ := mustPost(t, hs.URL+"/jobs/"+leader.ID+"/cancel", ""); code != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d", code)
+	}
+	if st := waitTerminal(t, hs.URL, follower.ID); st.State != StateCanceled {
+		t.Fatalf("follower of a canceled leader ended %s", st.State)
+	}
+}
+
+// TestTwoPhaseSubmission drives a twophase-backend job through the server:
+// the TP-* lint gate replaces the desync gate set, the desync-only gates
+// are dropped at canonicalization (sharing one cache entry with a request
+// that never asked), and result.json reflects the backend.
+func TestTwoPhaseSubmission(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	st := submitJob(t, hs.URL, `{"gen":"fir","options":{"backend":"twophase","equiv":true,"faults":true}}`)
+	final := waitTerminal(t, hs.URL, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("twophase FIR failed: %+v", final)
+	}
+	for _, name := range final.Artifacts {
+		if name == ArtifactStatic || name == ArtifactEquiv || name == ArtifactFaults {
+			t.Fatalf("desync-only artifact %s on a twophase job", name)
+		}
+	}
+	_, rb := mustGet(t, hs.URL+"/jobs/"+st.ID+"/artifacts/"+ArtifactResult)
+	var sum Summary
+	if err := json.Unmarshal(rb, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Options.Backend != core.BackendTwoPhase {
+		t.Fatalf("result backend %q", sum.Options.Backend)
+	}
+	if sum.StaticOK || sum.EquivRan || sum.FaultsRan || sum.Controllers != 0 {
+		t.Fatalf("desync gate results on a twophase job: %+v", sum)
+	}
+	if sum.Options.Equiv || sum.Options.Faults {
+		t.Fatalf("desync-only gate knobs survived canonicalization: %+v", sum.Options)
+	}
+	var noted bool
+	for _, ev := range streamEvents(t, hs.URL, st.ID) {
+		if ev.Kind == "note" && ev.Stage == "gates" {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatal("dropped equiv/faults request produced no note event")
+	}
+
+	// A request that never asked for the dropped gates shares the entry.
+	plain := submitJob(t, hs.URL, `{"gen":"fir","options":{"backend":"twophase"}}`)
+	if plain.CacheKey != st.CacheKey || !plain.Cached {
+		t.Fatalf("inert gate knobs split the cache: %+v vs %+v", plain, st)
+	}
+	// The desync flow on the same design addresses a different entry.
+	if d := submitJob(t, hs.URL, `{"gen":"fir"}`); d.CacheKey == st.CacheKey {
+		t.Fatal("backends share a cache entry")
+	}
+}
+
 // TestSubmitValidation: malformed submissions are rejected before any
 // flow work happens.
 func TestSubmitValidation(t *testing.T) {
@@ -287,6 +446,8 @@ func TestSubmitValidation(t *testing.T) {
 		`{"gen":"vax"}`,
 		`{"gen":"dlx","lib":"XX"}`,
 		`{"gen":"dlx","top":"dlx"}`,
+		`{"gen":"dlx","options":{"backend":"fourphase"}}`,
+		`{"gen":"dlx","options":{"backend":"twophase","mode":"cdet"}}`,
 		`not json`,
 	} {
 		code, _ := mustPost(t, hs.URL+"/jobs", body)

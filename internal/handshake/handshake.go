@@ -24,6 +24,27 @@ import (
 	"desync/internal/netlist"
 )
 
+// DelayCellName is the per-level cell of the asymmetric matched delay
+// elements (the AND of Fig 2.9). It is the single owner of that choice:
+// the element builder, the flow's sizing and the under-margin audit all
+// resolve the per-level delay through DelayLevel, so they cannot disagree
+// about what one chain level is worth on any library variant.
+const DelayCellName = "AND2X1"
+
+// DelayLevel returns the worst-corner rise delay of one matched-element
+// chain level — the quantum every delay-element sizing computation uses.
+func DelayLevel(lib *netlist.Library) (float64, error) {
+	c, err := lib.Cell(DelayCellName)
+	if err != nil {
+		return 0, fmt.Errorf("handshake: delay-element cell: %w", err)
+	}
+	arc := c.Arc("A", "Z")
+	if arc == nil {
+		return 0, fmt.Errorf("handshake: delay-element cell %s has no A->Z arc", DelayCellName)
+	}
+	return arc.Rise.At(netlist.Worst), nil
+}
+
 // ControllerPorts names the nets a latch controller connects to.
 type ControllerPorts struct {
 	Ri, Ai, Ro, Ao, G, Rst *netlist.Net
@@ -91,14 +112,14 @@ func ControllerDisabledArcs(prefix string) [][3]string {
 }
 
 // IsControlOrigin reports whether an instance Origin tag marks a cell
-// created by the desynchronization control stages (controllers and
-// rendezvous trees, delay elements, completion networks, enable-tree
-// buffers). Such cells are exempt from the synchronous-netlist rules —
-// combinational-loop and dead-cone checks — that the lint engine applies to
-// the datapath.
+// created by a clock-replacement stage (controllers and rendezvous trees,
+// delay elements, completion networks, enable-tree buffers, the two-phase
+// clock generator). Such cells are exempt from the synchronous-netlist
+// rules — combinational-loop and dead-cone checks — that the lint engine
+// applies to the datapath.
 func IsControlOrigin(origin string) bool {
 	switch origin {
-	case "ctrl", "delem", "cdet", "cts":
+	case "ctrl", "delem", "cdet", "cts", "tpgen":
 		return true
 	}
 	return false
@@ -202,7 +223,7 @@ func AddDelayElement(m *netlist.Module, lib *netlist.Library, prefix string, in,
 	if spec.Levels < 1 {
 		return fmt.Errorf("handshake: delay element needs ≥1 level")
 	}
-	and, err := lib.Cell("AND2X1")
+	and, err := lib.Cell(DelayCellName)
 	if err != nil {
 		return fmt.Errorf("handshake: delay element %s: %w", prefix, err)
 	}

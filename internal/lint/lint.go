@@ -67,6 +67,13 @@ const (
 	RuleCElem  = "DS-CELEM"  // C-element rendezvous input incomplete
 	RuleMargin = "DS-MARGIN" // matched delay element under its STA budget
 	RuleSDC    = "DS-SDC"    // control loop not covered by an SDC loop-breaking constraint
+
+	// Two-phase rules — a design converted by the twophase backend.
+	RuleTPFF      = "TP-FF"      // flip-flop survived substitution
+	RuleTPGen     = "TP-GEN"     // generator structure incomplete
+	RuleTPPhase   = "TP-PHASE"   // latch enable not rooted at a phase, or adjacent latches sharing one
+	RuleTPOverlap = "TP-OVERLAP" // phase clock waveforms overlap or non-overlap chains missing
+	RuleTPSDC     = "TP-SDC"     // generator loop not covered by an SDC loop-breaking constraint
 )
 
 // RuleInfo describes one rule for the catalog (drlint -rules, DESIGN.MD §9).
@@ -92,6 +99,11 @@ var Rules = []RuleInfo{
 	{RuleCElem, Error, "C-element input missing, constant, or duplicated"},
 	{RuleMargin, Error, "matched delay element shorter than its region's STA budget"},
 	{RuleSDC, Error, "cyclic control path not covered by a loop-breaking constraint"},
+	{RuleTPFF, Error, "flip-flop survived master/slave substitution (two-phase flow)"},
+	{RuleTPGen, Error, "two-phase generator incomplete (ring, splitter, or distribution)"},
+	{RuleTPPhase, Error, "latch enable not rooted at a phase, or adjacent latches on one phase"},
+	{RuleTPOverlap, Error, "phase clock waveforms overlap or non-overlap chains missing"},
+	{RuleTPSDC, Error, "generator loop not covered by a loop-breaking constraint"},
 }
 
 // Finding is one rule violation, located as precisely as the rule allows.
@@ -187,6 +199,9 @@ type Options struct {
 	// Desync enables the DS-* family: the module is expected to be a
 	// complete post-flow design with a controller network.
 	Desync bool
+	// TwoPhase enables the TP-* family: the module is expected to be a
+	// complete post-flow design with a two-phase clock generator.
+	TwoPhase bool
 	// Constraints is the generated SDC used by the DS-SDC and DS-MARGIN
 	// rules. When nil and Desync is set, loop coverage cannot be
 	// cross-checked and the engine says so with an Info finding.
@@ -213,6 +228,9 @@ func Check(m *netlist.Module, opts Options) *Report {
 	if opts.Desync {
 		r.checkDesync(m, opts)
 	}
+	if opts.TwoPhase {
+		r.checkTwoPhase(m, opts)
+	}
 	r.Sort()
 	return r
 }
@@ -232,6 +250,9 @@ func CheckDesign(d *netlist.Design, opts Options) *Report {
 	r.checkNetlist(d.Top, opts)
 	if opts.Desync {
 		r.checkDesync(d.Top, opts)
+	}
+	if opts.TwoPhase {
+		r.checkTwoPhase(d.Top, opts)
 	}
 	r.Sort()
 	return r

@@ -11,14 +11,19 @@ import (
 	"desync/internal/netlist"
 )
 
-// isControlInst reports whether an instance belongs to the inserted control
-// network rather than the datapath. In-memory designs carry Origin tags;
-// designs re-read from Verilog only keep the G<id>_ naming scheme, so both
-// tests run. Control cells are exempt from the synchronous-netlist rules
-// (their loops are the handshakes themselves) and are checked by the DS-*
-// family instead.
+// isControlInst reports whether an instance belongs to an inserted
+// clock-replacement network rather than the datapath. In-memory designs
+// carry Origin tags; designs re-read from Verilog only keep the naming
+// schemes (G<id>_ for per-region cells, TPgen for the two-phase generator
+// core), so both tests run. Control cells are exempt from the
+// synchronous-netlist rules (their loops are the handshakes or the ring
+// oscillator themselves) and are checked by the DS-*/TP-* families
+// instead.
 func isControlInst(in *netlist.Inst) bool {
 	if handshake.IsControlOrigin(in.Origin) {
+		return true
+	}
+	if ctrlnet.IsTPGenName(in.Name) {
 		return true
 	}
 	_, ok := ctrlnet.Region(in.Name)

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+
+	"desync/internal/ctrlnet"
+	"desync/internal/netlist"
+	"desync/internal/sdc"
+	"desync/internal/twophase"
+)
+
+// tpChecker carries the state the TP-* rules share: the derived generator
+// structure and the report under construction. The derivation lives in
+// internal/twophase; the rules here only judge it — the same division of
+// labor as the DS-* family over internal/ctrlnet.
+type tpChecker struct {
+	r *Report
+	m *netlist.Module
+	n *twophase.Network
+}
+
+// checkTwoPhase runs the TP-* family over one post-flow module.
+func (r *Report) checkTwoPhase(m *netlist.Module, opts Options) {
+	c := &tpChecker{r: r, m: m, n: twophase.Derive(m)}
+	c.checkFFs()
+	if c.n.Phi1 == "" && c.n.Phi2 == "" && len(c.n.Regions) == 0 {
+		r.addf(RuleTPGen, Error, m.Name, "", "",
+			"no two-phase generator found (no "+ctrlnet.TPSrcName+" instance); the design is not two-phase clocked")
+		return
+	}
+	c.checkGenerator()
+	c.checkPhases()
+	c.checkOverlap(opts.Constraints)
+	c.checkSDC(opts.Constraints)
+}
+
+// checkFFs: after substitution no flip-flop may remain (TP-FF).
+func (c *tpChecker) checkFFs() {
+	for _, in := range c.m.Insts {
+		if in.Cell != nil && in.Cell.Kind == netlist.KindFF {
+			c.r.addf(RuleTPFF, Error, c.m.Name, in.Name, "",
+				fmt.Sprintf("flip-flop %s survived master/slave substitution", in.CellName()))
+		}
+	}
+}
+
+// checkGenerator judges the derived topology (TP-GEN): the ring must close
+// through the source NOR, the splitter must be cross-coupled through the
+// non-overlap chains, the phases must be distinct nets, and every region's
+// distribution pair must tap the phase roots.
+func (c *tpChecker) checkGenerator() {
+	n := c.n
+	if n.RingLevels < 1 {
+		c.r.addf(RuleTPGen, Error, c.m.Name, ctrlnet.TPRingPrefix, "",
+			"ring oscillator has no delay chain")
+	}
+	if !n.RingClosed {
+		c.r.addf(RuleTPGen, Error, c.m.Name, ctrlnet.TPSrcName, "",
+			"ring oscillator loop is not closed through the source NOR")
+	}
+	if !n.CrossCoupled {
+		c.r.addf(RuleTPGen, Error, c.m.Name, ctrlnet.TPPhase1Name, "",
+			"phase splitter is not cross-coupled through the non-overlap chains")
+	}
+	if n.Phi1 != "" && n.Phi1 == n.Phi2 {
+		c.r.addf(RuleTPGen, Error, c.m.Name, "", n.Phi1,
+			"phi1 and phi2 resolve to the same net")
+	}
+	for _, g := range n.Regions {
+		if !n.Wired[g] {
+			c.r.addf(RuleTPGen, Error, c.m.Name, ctrlnet.TPDistName(g, true), "",
+				fmt.Sprintf("region %d distribution pair does not tap the phase roots", g))
+		}
+	}
+}
+
+// checkPhases colors every latch by the phase its enable resolves to
+// (TP-PHASE): each enable must be rooted at exactly one phase through a
+// distribution buffer, and a latch feeding another latch directly must sit
+// on the opposite phase — the non-overlap guarantee is void if both ends
+// of a transfer open together.
+func (c *tpChecker) checkPhases() {
+	// Phase roots and their distributed copies: the splitter outputs plus
+	// every distribution buffer's output net.
+	phaseOf := map[*netlist.Net]int{}
+	if r := c.m.Net(c.n.Phi1); r != nil {
+		phaseOf[r] = 1
+	}
+	if r := c.m.Net(c.n.Phi2); r != nil {
+		phaseOf[r] = 2
+	}
+	for _, g := range c.n.Regions {
+		for _, master := range []bool{true, false} {
+			in := c.m.Inst(ctrlnet.TPDistName(g, master))
+			if in == nil {
+				continue
+			}
+			if src, out := in.Conn("A"), in.Conn("Z"); src != nil && out != nil {
+				if p, ok := phaseOf[src]; ok {
+					phaseOf[out] = p
+				}
+			}
+		}
+	}
+
+	latchPhase := map[*netlist.Inst]int{}
+	for _, in := range c.m.Insts {
+		if in.Cell == nil || in.Cell.Kind != netlist.KindLatch {
+			continue
+		}
+		en := in.Conn(in.Cell.Seq.ClockPin)
+		if en == nil {
+			c.r.addf(RuleTPPhase, Error, c.m.Name, in.Name, "",
+				"latch enable pin unconnected")
+			continue
+		}
+		p, ok := phaseOf[en]
+		if !ok {
+			c.r.addf(RuleTPPhase, Error, c.m.Name, in.Name, en.Name,
+				"latch enable not rooted at a phase-distribution buffer")
+			continue
+		}
+		latchPhase[in] = p
+	}
+
+	// Direct latch-to-latch transfers (the substituted master/slave pairs,
+	// and any hand-wired equivalent) must alternate phases.
+	for _, in := range c.m.Insts {
+		p, ok := latchPhase[in]
+		if !ok {
+			continue
+		}
+		d := in.Conn("D")
+		if d == nil || d.Driver.Inst == nil {
+			continue
+		}
+		if src, ok := latchPhase[d.Driver.Inst]; ok && src == p {
+			c.r.addf(RuleTPPhase, Error, c.m.Name, in.Name, d.Name,
+				fmt.Sprintf("latch fed directly from %s on the same phase %d",
+					d.Driver.Inst.Name, p))
+		}
+	}
+}
+
+// checkOverlap cross-checks the phase clock constraints (TP-OVERLAP): the
+// netlist's non-overlap chains must exist, and the exported waveforms must
+// keep a strict gap — phi1 falls before phi2 rises, phi2 falls before the
+// period wraps back to phi1.
+func (c *tpChecker) checkOverlap(cons *sdc.Constraints) {
+	if c.n.Nov1Levels < 1 || c.n.Nov2Levels < 1 {
+		c.r.addf(RuleTPOverlap, Error, c.m.Name, ctrlnet.TPNov1Prefix, "",
+			fmt.Sprintf("non-overlap chains missing or empty (%d/%d levels)",
+				c.n.Nov1Levels, c.n.Nov2Levels))
+	}
+	if cons == nil {
+		c.r.addf(RuleTPOverlap, Info, c.m.Name, "", "",
+			"no SDC constraints supplied; phase overlap not cross-checked")
+		return
+	}
+	var phi1, phi2 *sdc.Clock
+	for i := range cons.Clocks {
+		switch cons.Clocks[i].Name {
+		case "Phi1":
+			phi1 = &cons.Clocks[i]
+		case "Phi2":
+			phi2 = &cons.Clocks[i]
+		}
+	}
+	if phi1 == nil || phi2 == nil {
+		c.r.addf(RuleTPOverlap, Error, c.m.Name, "", "",
+			"constraints do not define both Phi1 and Phi2 clocks")
+		return
+	}
+	if phi1.Waveform[1] >= phi2.Waveform[0] {
+		c.r.addf(RuleTPOverlap, Error, c.m.Name, "", "",
+			fmt.Sprintf("Phi1 falls at %.4g, Phi2 rises at %.4g: phases overlap",
+				phi1.Waveform[1], phi2.Waveform[0]))
+	}
+	if phi2.Waveform[1] >= phi2.Period {
+		c.r.addf(RuleTPOverlap, Error, c.m.Name, "", "",
+			fmt.Sprintf("Phi2 falls at %.4g past the period %.4g: phases overlap at wrap",
+				phi2.Waveform[1], phi2.Period))
+	}
+}
+
+// checkSDC verifies the loop-breaking coverage (TP-SDC): the ring feedback
+// and both splitter cross-coupling arcs must each carry a
+// set_disable_timing so STA sees an acyclic graph.
+func (c *tpChecker) checkSDC(cons *sdc.Constraints) {
+	if cons == nil {
+		c.r.addf(RuleTPSDC, Info, c.m.Name, "", "",
+			"no SDC constraints supplied; loop coverage not cross-checked")
+		return
+	}
+	covered := map[sdc.DisabledArc]bool{}
+	for _, da := range cons.Disabled {
+		covered[da] = true
+	}
+	for _, want := range []sdc.DisabledArc{
+		{Inst: ctrlnet.TPSrcName, From: "B", To: "Z"},
+		{Inst: ctrlnet.TPPhase1Name, From: "B", To: "Z"},
+		{Inst: ctrlnet.TPPhase2Name, From: "B", To: "Z"},
+	} {
+		if !covered[want] {
+			c.r.addf(RuleTPSDC, Error, c.m.Name, want.Inst, "",
+				fmt.Sprintf("loop-breaking constraint missing for arc %s %s->%s",
+					want.Inst, want.From, want.To))
+		}
+	}
+}

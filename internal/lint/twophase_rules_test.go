@@ -1,0 +1,123 @@
+package lint_test
+
+import (
+	"context"
+	"testing"
+
+	"desync/internal/core"
+	"desync/internal/ctrlnet"
+	"desync/internal/designs"
+	"desync/internal/lint"
+	"desync/internal/netlist"
+	"desync/internal/sdc"
+	"desync/internal/twophase"
+)
+
+// tpDesign converts a generated design with the twophase backend and
+// returns it with the flow result.
+func tpDesign(t *testing.T, spec string) (*netlist.Design, *core.Result) {
+	t.Helper()
+	d, err := designs.ParseSpec(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Convert(context.Background(), d, core.Options{
+		Backend:      core.BackendTwoPhase,
+		ManualGroups: designs.PreGrouped(spec),
+	})
+	if err != nil {
+		t.Fatalf("Convert(%s, twophase): %v", spec, err)
+	}
+	return d, res
+}
+
+func tpErrors(t *testing.T, d *netlist.Design, cons *sdc.Constraints, rule string) []lint.Finding {
+	t.Helper()
+	rep := lint.Check(d.Top, lint.Options{TwoPhase: true, Constraints: cons})
+	return rep.ByRule(rule)
+}
+
+func TestTwoPhaseCleanDesign(t *testing.T) {
+	for _, spec := range []string{"fir", "pipeline:depth=3,width=8,regions=4"} {
+		d, res := tpDesign(t, spec)
+		rep := lint.Check(d.Top, lint.Options{TwoPhase: true, Constraints: res.Constraints})
+		if n := rep.Errors(); n > 0 {
+			t.Errorf("%s: clean two-phase design has %d lint errors, first: %s",
+				spec, n, rep.Findings[0])
+		}
+	}
+}
+
+func TestTwoPhaseNoGenerator(t *testing.T) {
+	// A desynchronized design checked as two-phase must fail loudly.
+	d, err := designs.ParseSpec("fir", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Convert(context.Background(), d, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tpErrors(t, d, nil, lint.RuleTPGen); len(got) == 0 {
+		t.Errorf("TP-GEN silent on a design with no generator")
+	}
+}
+
+func TestTwoPhaseCutRing(t *testing.T) {
+	d, res := tpDesign(t, "fir")
+	src := d.Top.Inst(ctrlnet.TPSrcName)
+	d.Top.Disconnect(src, "B")
+	if got := tpErrors(t, d, res.Constraints, lint.RuleTPGen); len(got) == 0 {
+		t.Errorf("TP-GEN silent on a cut ring")
+	}
+}
+
+func TestTwoPhaseSharedPhase(t *testing.T) {
+	d, res := tpDesign(t, "fir")
+	// Re-rooting a region's slave distribution onto phi1 puts every
+	// master/slave pair of that region on one phase.
+	g := res.BackendResult.(*twophase.Result).Regions[0]
+	tps := d.Top.Inst(ctrlnet.TPDistName(g, false))
+	phi1 := d.Top.Inst(ctrlnet.TPPhase1Name).Conn("Z")
+	d.Top.Disconnect(tps, "A")
+	d.Top.MustConnect(tps, "A", phi1)
+	if got := tpErrors(t, d, res.Constraints, lint.RuleTPPhase); len(got) == 0 {
+		t.Errorf("TP-PHASE silent on master/slave pairs sharing a phase")
+	}
+}
+
+func TestTwoPhaseLeftoverFF(t *testing.T) {
+	d, res := tpDesign(t, "fir")
+	ff := d.Top.AddInst("straggler", d.Lib.MustCell("DFFQX1"))
+	for _, p := range []string{"D", "CK"} {
+		d.Top.MustConnect(ff, p, d.Top.AddNet("straggler/"+p))
+	}
+	d.Top.MustConnect(ff, "Q", d.Top.AddNet("straggler/Q"))
+	if got := tpErrors(t, d, res.Constraints, lint.RuleTPFF); len(got) == 0 {
+		t.Errorf("TP-FF silent on a surviving flip-flop")
+	}
+}
+
+func TestTwoPhaseOverlapAndSDC(t *testing.T) {
+	d, res := tpDesign(t, "fir")
+
+	// Overlapping waveforms must trip TP-OVERLAP.
+	bad := *res.Constraints
+	bad.Clocks = append([]sdc.Clock(nil), res.Constraints.Clocks...)
+	bad.Clocks[0].Waveform[1] = bad.Clocks[1].Waveform[0] + 0.1
+	if got := tpErrors(t, d, &bad, lint.RuleTPOverlap); len(got) == 0 {
+		t.Errorf("TP-OVERLAP silent on overlapping waveforms")
+	}
+
+	// A dropped loop-breaking arc must trip TP-SDC.
+	cut := *res.Constraints
+	cut.Disabled = nil
+	if got := tpErrors(t, d, &cut, lint.RuleTPSDC); len(got) == 0 {
+		t.Errorf("TP-SDC silent on missing loop-breaking constraints")
+	}
+
+	// Nil constraints downgrade both cross-checks to advisory notes.
+	rep := lint.Check(d.Top, lint.Options{TwoPhase: true})
+	if n := rep.Errors(); n > 0 {
+		t.Errorf("nil-constraints check has %d errors, first: %s", n, rep.Findings[0])
+	}
+}
